@@ -1,0 +1,36 @@
+"""Ablation benchmarks: the cost of disabling each design choice.
+
+Variants (on unbalanced trees, where the asymptotics separate):
+
+* ``ours``          -- the full algorithm;
+* ``always_left``   -- no smaller-subtree merge (Section 4.8 off);
+* ``recompute_vm``  -- no XOR hash maintenance (Section 5.2 off);
+* ``lazy``          -- Appendix C lazy-linear variant (same asymptotics,
+  different constants).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalharness.ablations import ABLATION_VARIANTS
+from repro.evalharness.config import current_profile
+from repro.gen.random_exprs import random_unbalanced
+
+from conftest import run_bench
+
+_PROFILE = current_profile()
+_CAP = 4096 if _PROFILE.name == "ci" else 16384
+_SIZES = tuple(n for n in _PROFILE.fig2_sizes if 256 <= n <= _CAP)
+_EXPRS = {n: random_unbalanced(n, seed=51 ^ n) for n in _SIZES}
+
+
+@pytest.mark.parametrize("size", _SIZES)
+@pytest.mark.parametrize("variant", list(ABLATION_VARIANTS))
+def test_ablation(benchmark, variant, size):
+    label, fn = ABLATION_VARIANTS[variant]
+    benchmark.extra_info["variant"] = label
+    benchmark.extra_info["n"] = size
+    heavy = variant in ('always_left', 'recompute_vm') and size >= 4096
+    result = run_bench(benchmark, fn, _EXPRS[size], heavy=heavy)
+    assert result.root_hash is not None

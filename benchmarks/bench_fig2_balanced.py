@@ -1,0 +1,35 @@
+"""Figure 2 (left): hashing time vs size on balanced random expressions.
+
+One benchmark per (algorithm, size) cell of the sweep.  The paper's
+claim: Ours stays log-linear, a constant factor above the incorrect
+Structural/De Bruijn baselines, while Locally Nameless pays an extra
+log-ish factor even on balanced inputs.  Slope assertions live in
+``tests/test_complexity_props.py``; this file is wall-clock only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.registry import ALGORITHMS, TABLE1_ORDER
+from repro.evalharness.config import current_profile
+from repro.gen.random_exprs import random_balanced
+
+from conftest import run_bench
+
+_PROFILE = current_profile()
+_SIZES = tuple(n for n in _PROFILE.fig2_sizes if n >= 256)
+_EXPRS = {n: random_balanced(n, seed=21 ^ n) for n in _SIZES}
+
+
+@pytest.mark.parametrize("size", _SIZES)
+@pytest.mark.parametrize("name", TABLE1_ORDER)
+def test_fig2_balanced(benchmark, name, size):
+    if name == "locally_nameless" and size > _PROFILE.fig2_ln_max_balanced:
+        pytest.skip("locally nameless capped at this scale profile")
+    algorithm = ALGORITHMS[name]
+    benchmark.extra_info["family"] = "balanced"
+    benchmark.extra_info["n"] = size
+    heavy = size >= 16384 or (name == 'locally_nameless' and size >= 2048)
+    result = run_bench(benchmark, algorithm, _EXPRS[size], heavy=heavy)
+    assert result.root_hash is not None

@@ -1,0 +1,33 @@
+"""Figure 2 (right): hashing time vs size on wildly unbalanced trees.
+
+The separating case: Locally Nameless goes quadratic on deep binder
+chains while Ours stays log-linear.  The quadratic baseline is capped
+per the scale profile; raise ``REPRO_BENCH_SCALE`` to extend it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.registry import ALGORITHMS, TABLE1_ORDER
+from repro.evalharness.config import current_profile
+from repro.gen.random_exprs import random_unbalanced
+
+from conftest import run_bench
+
+_PROFILE = current_profile()
+_SIZES = tuple(n for n in _PROFILE.fig2_sizes if n >= 256)
+_EXPRS = {n: random_unbalanced(n, seed=22 ^ n) for n in _SIZES}
+
+
+@pytest.mark.parametrize("size", _SIZES)
+@pytest.mark.parametrize("name", TABLE1_ORDER)
+def test_fig2_unbalanced(benchmark, name, size):
+    if name == "locally_nameless" and size > _PROFILE.fig2_ln_max_unbalanced:
+        pytest.skip("locally nameless capped at this scale profile")
+    algorithm = ALGORITHMS[name]
+    benchmark.extra_info["family"] = "unbalanced"
+    benchmark.extra_info["n"] = size
+    heavy = size >= 16384 or (name == 'locally_nameless' and size >= 1024)
+    result = run_bench(benchmark, algorithm, _EXPRS[size], heavy=heavy)
+    assert result.root_hash is not None

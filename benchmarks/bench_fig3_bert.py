@@ -1,0 +1,33 @@
+"""Figure 3: hashing time across BERT layer counts.
+
+Expression size scales linearly with layers; the paper's claim is that
+Locally Nameless diverges quadratically with depth while Ours tracks
+the incorrect baselines within a small factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.registry import ALGORITHMS, TABLE1_ORDER
+from repro.evalharness.config import current_profile
+from repro.workloads.bert import bert_target_nodes, build_bert
+
+from conftest import run_bench
+
+_PROFILE = current_profile()
+_LAYERS = _PROFILE.fig3_layers
+_EXPRS = {layers: build_bert(layers) for layers in _LAYERS}
+
+
+@pytest.mark.parametrize("layers", _LAYERS)
+@pytest.mark.parametrize("name", TABLE1_ORDER)
+def test_fig3_bert(benchmark, name, layers):
+    if name == "locally_nameless" and layers > _PROFILE.fig3_ln_max_layers:
+        pytest.skip("locally nameless capped at this scale profile")
+    algorithm = ALGORITHMS[name]
+    benchmark.extra_info["layers"] = layers
+    benchmark.extra_info["n"] = bert_target_nodes(layers)
+    heavy = name == 'locally_nameless' and layers >= 4
+    result = run_bench(benchmark, algorithm, _EXPRS[layers], heavy=heavy)
+    assert result.root_hash is not None

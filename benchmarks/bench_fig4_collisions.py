@@ -1,0 +1,43 @@
+"""Figure 4 / Appendix B: collision-rate experiment cells.
+
+Each benchmark measures one (family, size) cell of the collision sweep
+and attaches the observed collision count, the perfect-hash floor and
+the Theorem 6.7 bound as metadata.  The benchmark clock here measures
+throughput of the experiment engine; the *result* of the experiment is
+in ``extra_info`` (and in ``python -m repro fig4``'s table).
+
+The appendix's full 10*2^16 trials per cell is ``REPRO_BENCH_SCALE=paper``;
+default profiles use fewer trials at a smaller width, preserving the
+qualitative ordering random ~= floor << adversarial < bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.collisions import (
+    collision_experiment,
+    perfect_hash_expectation,
+    theorem_bound,
+)
+from repro.evalharness.config import current_profile
+
+_PROFILE = current_profile()
+
+
+@pytest.mark.parametrize("size", _PROFILE.fig4_sizes)
+@pytest.mark.parametrize("family", ("random", "adversarial"))
+def test_fig4_collisions(benchmark, family, size):
+    trials = max(30, _PROFILE.fig4_trials // 10)  # keep each round short
+    bits = _PROFILE.fig4_bits
+
+    def run():
+        return collision_experiment(family, size, trials, bits=bits, seed=97)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["collisions_per_2_16"] = result.per_2_16
+    benchmark.extra_info["perfect_floor"] = perfect_hash_expectation(bits)
+    benchmark.extra_info["theorem_bound"] = theorem_bound(size, bits)
+    benchmark.extra_info["trials"] = trials
+    # The bound must hold with slack even at these trial counts.
+    assert result.per_2_16 <= theorem_bound(size, bits)

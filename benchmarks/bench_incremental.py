@@ -1,0 +1,61 @@
+"""Section 6.3: incremental re-hash vs batch re-hash after a rewrite.
+
+Benchmarks the incremental update at each profile size and the batch
+re-hash at the same size; their ratio is the paper's incrementality
+claim (O(h^2 + h f) path work vs O(n log n) from scratch).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.hashed import alpha_hash_all
+from repro.core.incremental import IncrementalHasher
+from repro.evalharness.config import current_profile
+from repro.gen.random_exprs import random_balanced
+from repro.lang.expr import Lit
+from repro.lang.traversal import preorder_with_paths
+
+from conftest import run_bench
+
+_PROFILE = current_profile()
+_SIZES = _PROFILE.incremental_sizes
+
+
+def _small_path(expr, seed):
+    rng = random.Random(seed)
+    candidates = [
+        path
+        for path, node in preorder_with_paths(expr)
+        if node.size <= 9 and len(path) >= 1
+    ]
+    return rng.choice(candidates)
+
+
+@pytest.mark.parametrize("size", _SIZES)
+def test_incremental_replace(benchmark, size):
+    expr = random_balanced(size, seed=31 ^ size)
+    hasher = IncrementalHasher(expr)
+    path = _small_path(expr, seed=size)
+    values = itertools.count()
+
+    def rewrite():
+        hasher.replace(path, Lit(next(values)))
+
+    benchmark.extra_info["n"] = size
+    stats = hasher.replace(path, Lit(-1))
+    benchmark.extra_info["touched_nodes"] = stats.touched_nodes
+    benchmark.extra_info["touched_fraction"] = stats.touched_nodes / size
+    benchmark.pedantic(rewrite, rounds=5, iterations=1, warmup_rounds=1)
+    assert hasher.root_hash == alpha_hash_all(hasher.expr).root_hash
+
+
+@pytest.mark.parametrize("size", _SIZES)
+def test_batch_rehash_reference(benchmark, size):
+    expr = random_balanced(size, seed=31 ^ size)
+    benchmark.extra_info["n"] = size
+    result = run_bench(benchmark, alpha_hash_all, expr, heavy=size >= 16384)
+    assert result.root_hash is not None

@@ -1,0 +1,40 @@
+"""Lemma 6.1/6.2: map-operation counts while summarising.
+
+Benchmarks the instrumented summariser and records the operation counts
+(the quantity the lemmas bound by O(n log n)) as metadata; asserts the
+bound with the lemma's constant C = 1 on every run.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.combiners import default_combiners
+from repro.core.hashed import alpha_hash_all
+from repro.core.varmap import MapOpStats
+from repro.evalharness.config import current_profile
+from repro.gen.random_exprs import random_expr
+
+_PROFILE = current_profile()
+_SIZES = _PROFILE.opcount_sizes
+
+
+@pytest.mark.parametrize("shape", ("balanced", "unbalanced"))
+@pytest.mark.parametrize("size", _SIZES)
+def test_opcounts(benchmark, shape, size):
+    expr = random_expr(size, seed=41 ^ size, shape=shape)
+    combiners = default_combiners()
+
+    def run():
+        stats = MapOpStats()
+        alpha_hash_all(expr, combiners, stats=stats)
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    bound = size * math.log2(size) + size  # Lemma 6.1 merges + Lemma 6.2 leaves
+    benchmark.extra_info["n"] = size
+    benchmark.extra_info["map_ops"] = stats.total
+    benchmark.extra_info["ops_per_node"] = stats.total / size
+    assert stats.total <= bound

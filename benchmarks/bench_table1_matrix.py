@@ -1,0 +1,29 @@
+"""Table 1 benchmark: all four algorithms on one mid-size input.
+
+Regenerates the Table 1 cost ordering (Structural < De Bruijn < Ours <<
+Locally Nameless) on a fixed balanced expression, and attaches the
+claimed/observed correctness flags as benchmark metadata.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.registry import ALGORITHMS, TABLE1_ORDER
+from repro.gen.random_exprs import random_balanced
+
+from conftest import run_bench
+
+_SIZE = 4096
+_EXPR = random_balanced(_SIZE, seed=11)
+
+
+@pytest.mark.parametrize("name", TABLE1_ORDER)
+def test_table1_algorithm(benchmark, name):
+    algorithm = ALGORITHMS[name]
+    benchmark.extra_info["paper_complexity"] = algorithm.paper_complexity
+    benchmark.extra_info["true_positives"] = algorithm.true_positives
+    benchmark.extra_info["true_negatives"] = algorithm.true_negatives
+    benchmark.extra_info["n"] = _SIZE
+    result = run_bench(benchmark, algorithm, _EXPR, heavy=(name == 'locally_nameless'))
+    assert result.root_hash is not None

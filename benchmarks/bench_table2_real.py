@@ -1,0 +1,39 @@
+"""Table 2: the realistic ML workloads (MNIST CNN, GMM, BERT-12).
+
+One benchmark per (algorithm, workload) cell.  The Locally Nameless /
+BERT-12 cell takes ~10s per call in pure Python, so it only runs at
+``REPRO_BENCH_SCALE=small`` or above (the harness
+``python -m repro table2`` always includes it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.registry import ALGORITHMS, TABLE1_ORDER
+from repro.evalharness.config import current_profile
+from repro.evalharness.table2 import PAPER_TABLE2_MS
+from repro.workloads import TABLE2_WORKLOADS
+
+from conftest import run_bench
+
+_PROFILE = current_profile()
+_EXPRS = {name: builder() for name, (builder, _) in TABLE2_WORKLOADS.items()}
+
+
+@pytest.mark.parametrize("workload", list(TABLE2_WORKLOADS))
+@pytest.mark.parametrize("name", TABLE1_ORDER)
+def test_table2(benchmark, name, workload):
+    if (
+        name == "locally_nameless"
+        and workload == "BERT 12"
+        and _PROFILE.name == "ci"
+    ):
+        pytest.skip("LN on BERT-12 takes ~10s/call; run with REPRO_BENCH_SCALE=small")
+    expr = _EXPRS[workload]
+    algorithm = ALGORITHMS[name]
+    benchmark.extra_info["n"] = expr.size
+    benchmark.extra_info["paper_ms"] = PAPER_TABLE2_MS.get(name, {}).get(workload)
+    heavy = name == "locally_nameless" or workload == "BERT 12"
+    result = run_bench(benchmark, algorithm, expr, heavy=heavy)
+    assert result.root_hash is not None

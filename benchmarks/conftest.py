@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks honour the ``REPRO_BENCH_SCALE`` profile (ci | small | paper,
+see :mod:`repro.evalharness.config`); the default ``ci`` profile keeps
+the whole suite in the minutes range.  Expensive (quadratic-baseline)
+cells are skipped below the scale that affords them and recorded as
+such, mirroring how the harness tables cap the Locally Nameless series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalharness.config import current_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return current_profile()
+
+
+def run_bench(benchmark, fn, *args, heavy: bool = False):
+    """Run ``fn(*args)`` under pytest-benchmark with bounded rounds.
+
+    Auto-calibration would run the fast cells hundreds of times and the
+    multi-second cells several times each; pedantic mode keeps the whole
+    suite proportional to one-or-few passes per cell, which is what the
+    paper-shape comparisons need.
+    """
+    rounds = 1 if heavy else 3
+    return benchmark.pedantic(
+        fn, args=args, rounds=rounds, iterations=1, warmup_rounds=0 if heavy else 1
+    )
+
+
+def pytest_report_header(config):
+    profile = current_profile()
+    return f"repro benchmark scale profile: {profile.name} (REPRO_BENCH_SCALE)"

@@ -1,0 +1,78 @@
+"""repro: a full reproduction of "Hashing Modulo Alpha-Equivalence"
+(Maziarz, Ellis, Lawrence, Fitzgibbon, Peyton Jones -- PLDI 2021).
+
+Quickstart::
+
+    from repro import parse, uniquify_binders, alpha_hash_all, equivalence_classes
+
+    expr = uniquify_binders(parse(r"foo (\\x. x + 7) (\\y. y + 7)"))
+    hashes = alpha_hash_all(expr)             # every subexpression hashed
+    for cls in equivalence_classes(expr):     # classes of alpha-equal terms
+        print(cls.count, "x", cls.representative)
+
+Package map:
+
+* :mod:`repro.lang` -- expression substrate (AST, parser, printer,
+  alpha-equivalence, de Bruijn, evaluator);
+* :mod:`repro.core` -- the paper's algorithm (e-summaries, the fast
+  hashed form, incremental re-hashing, equivalence classes);
+* :mod:`repro.baselines` -- Table 1 comparison algorithms;
+* :mod:`repro.gen`, :mod:`repro.workloads` -- benchmark inputs;
+* :mod:`repro.apps` -- CSE, structure sharing, ML graph preprocessing;
+* :mod:`repro.analysis`, :mod:`repro.evalharness` -- measurement and
+  per-table/figure regeneration harnesses.
+"""
+
+from repro.apps import cse, share_alpha, share_syntactic
+from repro.baselines import ALGORITHMS, get_algorithm
+from repro.core import (
+    AlphaHashes,
+    HashCombiners,
+    IncrementalHasher,
+    alpha_hash_all,
+    alpha_hash_root,
+    equivalence_classes,
+)
+from repro.lang import (
+    App,
+    Expr,
+    Lam,
+    Let,
+    Lit,
+    Var,
+    alpha_equivalent,
+    evaluate,
+    free_vars,
+    parse,
+    pretty,
+    uniquify_binders,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "cse",
+    "share_alpha",
+    "share_syntactic",
+    "ALGORITHMS",
+    "get_algorithm",
+    "AlphaHashes",
+    "HashCombiners",
+    "IncrementalHasher",
+    "alpha_hash_all",
+    "alpha_hash_root",
+    "equivalence_classes",
+    "App",
+    "Expr",
+    "Lam",
+    "Let",
+    "Lit",
+    "Var",
+    "alpha_equivalent",
+    "evaluate",
+    "free_vars",
+    "parse",
+    "pretty",
+    "uniquify_binders",
+]

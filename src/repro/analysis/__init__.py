@@ -1,0 +1,25 @@
+"""Measurement machinery: timing, curve fitting, collision counting."""
+
+from repro.analysis.collisions import (
+    PAIR_FAMILIES,
+    CollisionResult,
+    collision_experiment,
+    perfect_hash_expectation,
+    theorem_bound,
+)
+from repro.analysis.complexity import MODELS, ModelFit, best_model, loglog_slope
+from repro.analysis.timing import TimingResult, time_call
+
+__all__ = [
+    "PAIR_FAMILIES",
+    "CollisionResult",
+    "collision_experiment",
+    "perfect_hash_expectation",
+    "theorem_bound",
+    "MODELS",
+    "ModelFit",
+    "best_model",
+    "loglog_slope",
+    "TimingResult",
+    "time_call",
+]

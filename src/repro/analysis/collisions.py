@@ -1,0 +1,145 @@
+"""The Appendix B collision experiment engine.
+
+Measures how often the hash of two non-alpha-equivalent expressions of
+the same size collides, for
+
+* **random** pairs -- two independent balanced random expressions
+  (pairs that happen to be alpha-equivalent are discarded, as in the
+  appendix), and
+* **adversarial** pairs -- the Appendix B.1 construction: a differing
+  seed pair wrapped identically, so that a collision anywhere below
+  propagates to the root.
+
+Per trial the hash combiners are re-drawn from a trial-specific seed,
+matching the theorem's model of randomly chosen combiners ("while for a
+fixed seed one can laboriously find a collision, there is no pair of
+expressions that would collide reliably across many seeds").
+
+Reference lines: a *perfect* hash into ``2^b`` codes collides at rate
+``2^-b`` (one per ``2^b`` trials in expectation); Theorem 6.7 upper
+bounds the rate by ``5(|e1|+|e2|)/2^b = 10n/2^b``.
+
+The appendix runs 10 * 2^16 trials per size; that is feasible here but
+slow in pure Python, so the trial count is a parameter (the harness
+scales results to "collisions per 2^16 trials" either way).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.combiners import HashCombiners
+from repro.core.hashed import alpha_hash_root
+from repro.gen.adversarial import adversarial_pair
+from repro.gen.random_exprs import random_expr
+from repro.lang.alpha import alpha_equivalent
+from repro.lang.expr import Expr
+
+__all__ = [
+    "CollisionResult",
+    "collision_experiment",
+    "perfect_hash_expectation",
+    "theorem_bound",
+    "PAIR_FAMILIES",
+]
+
+#: The appendix's scaling unit: results are reported per 2^16 trials.
+_SCALE_TRIALS = 1 << 16
+
+
+@dataclass(frozen=True)
+class CollisionResult:
+    """Collision counts for one (family, size) cell."""
+
+    family: str
+    size: int
+    bits: int
+    trials: int
+    collisions: int
+
+    @property
+    def rate(self) -> float:
+        return self.collisions / self.trials if self.trials else 0.0
+
+    @property
+    def per_2_16(self) -> float:
+        """Collisions scaled to the appendix's 2^16-trial unit."""
+        return self.rate * _SCALE_TRIALS
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"CollisionResult({self.family}, n={self.size}: "
+            f"{self.collisions}/{self.trials} = {self.per_2_16:.2f} per 2^16)"
+        )
+
+
+def perfect_hash_expectation(bits: int) -> float:
+    """Expected collisions per 2^16 trials for a perfect b-bit hash."""
+    return _SCALE_TRIALS / float(1 << bits)
+
+
+def theorem_bound(size: int, bits: int) -> float:
+    """Theorem 6.7's bound per 2^16 trials: 5(|e1|+|e2|)/2^b = 10n/2^b."""
+    return _SCALE_TRIALS * (10.0 * size) / float(1 << bits)
+
+
+def _random_pair(size: int, rng: random.Random) -> tuple[Expr, Expr]:
+    e1 = random_expr(size, rng=rng, shape="balanced")
+    e2 = random_expr(size, rng=rng, shape="balanced")
+    return e1, e2
+
+
+def _adversarial(size: int, rng: random.Random) -> tuple[Expr, Expr]:
+    return adversarial_pair(size, rng=rng)
+
+
+PAIR_FAMILIES: dict[str, Callable[[int, random.Random], tuple[Expr, Expr]]] = {
+    "random": _random_pair,
+    "adversarial": _adversarial,
+}
+
+
+def collision_experiment(
+    family: str,
+    size: int,
+    trials: int,
+    bits: int = 16,
+    seed: int = 0,
+    hash_fn: Optional[Callable[[Expr, HashCombiners], int]] = None,
+    redraw_combiners: bool = True,
+) -> CollisionResult:
+    """Count root-hash collisions over ``trials`` expression pairs.
+
+    ``hash_fn`` defaults to the paper's algorithm
+    (:func:`~repro.core.hashed.alpha_hash_root`); pass another registry
+    algorithm's root-hash to stress it with the same pairs.
+    ``redraw_combiners=False`` keeps a single fixed-seed combiner family
+    across trials (the deterministic-hash configuration).
+    """
+    try:
+        make_pair = PAIR_FAMILIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown pair family {family!r}; available: {sorted(PAIR_FAMILIES)}"
+        ) from None
+    if hash_fn is None:
+        hash_fn = lambda e, c: alpha_hash_root(e, c)  # noqa: E731
+
+    rng = random.Random((seed << 20) ^ size ^ hash(family))
+    fixed = HashCombiners(bits=bits, seed=seed)
+    collisions = 0
+    performed = 0
+    while performed < trials:
+        e1, e2 = make_pair(size, rng)
+        if family == "random" and alpha_equivalent(e1, e2):
+            continue  # discard, as in the appendix
+        if redraw_combiners:
+            combiners = HashCombiners(bits=bits, seed=(seed << 32) | performed)
+        else:
+            combiners = fixed
+        if hash_fn(e1, combiners) == hash_fn(e2, combiners):
+            collisions += 1
+        performed += 1
+    return CollisionResult(family, size, bits, trials, collisions)

@@ -1,0 +1,65 @@
+"""Timing utilities for the Section 7 experiments.
+
+Mirrors the paper's measurement discipline: "The garbage collector was
+disabled during timing."  Each measurement runs a warmup pass, then
+``repeats`` timed passes with :func:`time.perf_counter`, reporting the
+minimum (the standard low-noise estimator for CPU-bound code) alongside
+the mean.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["TimingResult", "time_call"]
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Wall-clock samples for one measured call."""
+
+    times: tuple[float, ...]
+
+    @property
+    def best(self) -> float:
+        return min(self.times)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.times) / len(self.times)
+
+    @property
+    def best_ms(self) -> float:
+        return self.best * 1e3
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TimingResult(best={self.best * 1e3:.3f} ms, n={len(self.times)})"
+
+
+def time_call(
+    fn: Callable[[], object],
+    repeats: int = 3,
+    warmup: int = 1,
+    disable_gc: bool = True,
+) -> TimingResult:
+    """Time ``fn()`` with warmup and GC control."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    was_enabled = gc.isenabled()
+    if disable_gc:
+        gc.disable()
+    try:
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - start)
+    finally:
+        if disable_gc and was_enabled:
+            gc.enable()
+    return TimingResult(tuple(samples))

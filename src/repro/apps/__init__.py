@@ -1,0 +1,21 @@
+"""Downstream applications of alpha-hashing (Section 1's motivations)."""
+
+from repro.apps.cse import CSEResult, CSERound, class_saving, cse
+from repro.apps.inline import count_uses, inline_lets
+from repro.apps.ml_graph import GraphStats, ast_to_graph, graph_stats
+from repro.apps.sharing import SharingResult, share_alpha, share_syntactic
+
+__all__ = [
+    "CSEResult",
+    "CSERound",
+    "class_saving",
+    "cse",
+    "count_uses",
+    "inline_lets",
+    "GraphStats",
+    "ast_to_graph",
+    "graph_stats",
+    "SharingResult",
+    "share_alpha",
+    "share_syntactic",
+]

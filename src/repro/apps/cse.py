@@ -1,0 +1,204 @@
+"""Common subexpression elimination modulo alpha-equivalence (Section 1).
+
+The paper's motivating application: find alpha-equivalent subexpression
+classes and bind one copy with a ``let``::
+
+    (a + (v+7)) * (v+7)        ~>   let w = v+7 in (a + w) * w
+    foo (\\x.x+7) (\\y.y+7)      ~>   let h = \\x.x+7 in foo h h
+
+The pass is greedy: each round hashes all subexpressions (O(n log n)),
+picks the most profitable class, binds it at the lowest common ancestor
+(LCA) of its occurrences, and repeats until no profitable class remains.
+
+Soundness
+---------
+* **Scope.**  Occurrences are alpha-equivalent, so they have identical
+  free-variable *names*; with unique binders each such name has a single
+  binding site, which is an ancestor of every occurrence and therefore
+  an ancestor of their LCA -- so every free variable of the shared term
+  is in scope at the LCA.  (A defensive check verifies this each round.)
+* **Non-overlap.**  Two distinct alpha-equivalent subtrees have equal
+  size and hence cannot nest, so simultaneous replacement is safe.
+* **Semantics.**  In this pure language, binding a term once and
+  referring to it by name preserves values (call-by-value may evaluate
+  a shared term that a lambda body would have skipped, which can only
+  matter for non-total primitives such as ``div`` -- the standard CSE
+  caveat).  The test-suite checks evaluation before/after on closed
+  expressions.
+* **Progress.**  A class with ``k`` occurrences of size ``s`` shrinks
+  the program by ``(k-1)(s-1) - 2`` nodes; only classes with a strict
+  positive saving are rewritten, so the loop terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.combiners import HashCombiners
+from repro.core.equivalence import EquivalenceClass, equivalence_classes
+from repro.lang.expr import Expr, Let, Var
+from repro.lang.names import NameSupply, all_names, binder_names, free_vars, has_unique_binders, uniquify_binders
+from repro.lang.traversal import replace_at, subexpression_at
+
+__all__ = ["cse", "CSEResult", "CSERound", "class_saving"]
+
+
+def class_saving(cls: EquivalenceClass) -> int:
+    """Net node-count reduction from rewriting ``cls``.
+
+    Replacing ``k`` occurrences of an ``s``-node term with variables
+    removes ``k*(s-1)`` nodes and adds a ``Let`` plus one bound copy
+    (``s + 1`` nodes): saving ``(k-1)*(s-1) - 2``.
+    """
+    k, s = cls.count, cls.node_size
+    return (k - 1) * (s - 1) - 2
+
+
+@dataclass
+class CSERound:
+    """What one greedy round did."""
+
+    representative_size: int
+    occurrence_count: int
+    binder: str
+    lca_path: tuple[int, ...]
+    saving: int
+
+
+@dataclass
+class CSEResult:
+    """Outcome of :func:`cse`."""
+
+    expr: Expr
+    original_size: int
+    rounds: list[CSERound] = field(default_factory=list)
+
+    @property
+    def final_size(self) -> int:
+        return self.expr.size
+
+    @property
+    def nodes_saved(self) -> int:
+        return self.original_size - self.final_size
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"CSEResult(rounds={len(self.rounds)}, "
+            f"{self.original_size} -> {self.final_size} nodes)"
+        )
+
+
+def cse(
+    expr: Expr,
+    combiners: Optional[HashCombiners] = None,
+    min_size: int = 3,
+    max_rounds: int = 10_000,
+    verify_classes: bool = True,
+    binder_prefix: str = "cse",
+) -> CSEResult:
+    """Eliminate alpha-equivalent common subexpressions from ``expr``.
+
+    ``min_size`` skips trivially small terms (bare variables and
+    literals are never worth binding); ``verify_classes`` re-checks
+    candidate classes exactly, making the pass sound for any hash width.
+    Binders are uniquified up front if needed (Section 2.2's
+    preprocessing -- without it, name-overloaded terms like the two
+    ``x+2`` in the paper's example would be falsely shared).
+    """
+    if not has_unique_binders(expr):
+        expr = uniquify_binders(expr)
+
+    supply = NameSupply(reserved=all_names(expr))
+    result = CSEResult(expr=expr, original_size=expr.size)
+
+    for _ in range(max_rounds):
+        classes = equivalence_classes(
+            result.expr,
+            combiners,
+            min_count=2,
+            min_size=min_size,
+            verify=verify_classes,
+        )
+        target = _best_profitable(classes)
+        if target is None:
+            break
+        result.expr = _rewrite_class(result.expr, target, supply, result.rounds, binder_prefix)
+    return result
+
+
+def _best_profitable(classes: list[EquivalenceClass]) -> Optional[EquivalenceClass]:
+    """The profitable class with the largest saving (ties: larger terms
+    first, which the sort order of ``equivalence_classes`` provides)."""
+    best = None
+    best_saving = 0
+    for cls in classes:
+        saving = class_saving(cls)
+        if saving > best_saving:
+            best = cls
+            best_saving = saving
+    return best
+
+
+def _rewrite_class(
+    expr: Expr,
+    cls: EquivalenceClass,
+    supply: NameSupply,
+    rounds: list[CSERound],
+    binder_prefix: str,
+) -> Expr:
+    paths = [path for path, _ in cls.occurrences]
+    lca = _common_prefix(paths)
+    _check_scope(expr, cls.representative, lca)
+
+    binder = supply.fresh(binder_prefix)
+    # Replace deeper paths first so shallower spine rebuilds see them.
+    for path in sorted(paths, key=len, reverse=True):
+        expr = replace_at(expr, path, Var(binder))
+    shared_site = subexpression_at(expr, lca)
+    expr = replace_at(expr, lca, Let(binder, cls.representative, shared_site))
+
+    rounds.append(
+        CSERound(
+            representative_size=cls.node_size,
+            occurrence_count=cls.count,
+            binder=binder,
+            lca_path=lca,
+            saving=class_saving(cls),
+        )
+    )
+    return expr
+
+
+def _common_prefix(paths: list[tuple[int, ...]]) -> tuple[int, ...]:
+    prefix = paths[0]
+    for path in paths[1:]:
+        limit = min(len(prefix), len(path))
+        i = 0
+        while i < limit and prefix[i] == path[i]:
+            i += 1
+        prefix = prefix[:i]
+    return prefix
+
+
+def _check_scope(expr: Expr, representative: Expr, lca: tuple[int, ...]) -> None:
+    """Defensive check: every free variable of the shared term that is
+    bound anywhere in ``expr`` must be bound by an ancestor of the LCA."""
+    needed = free_vars(representative)
+    if not needed:
+        return
+    bound_anywhere = set(binder_names(expr))
+    needed_bound = needed & bound_anywhere
+    if not needed_bound:
+        return
+    in_scope: set[str] = set()
+    node = expr
+    for index in lca:
+        if node.kind in ("Lam", "Let"):
+            in_scope.add(node.binder)  # type: ignore[union-attr]
+        node = node.children()[index]
+    missing = needed_bound - in_scope
+    if missing:  # pragma: no cover - guarded against by construction
+        raise AssertionError(
+            f"CSE scope violation: {sorted(missing)} not in scope at {lca}"
+        )

@@ -1,0 +1,142 @@
+"""Let inlining: the inverse of CSE.
+
+``inline_lets`` replaces ``let x = e1 in e2`` by ``e2[x := e1]``
+(capture-avoidingly), bottom-up, optionally filtered by a predicate.
+Two uses:
+
+* as a normaliser in tests: ``inline_lets(cse(e).expr)`` must be
+  alpha-equivalent to ``inline_lets(e)`` -- a purely syntactic proof
+  that the CSE pass only introduced sharing, never changed the term;
+* as a library pass in its own right (compilers inline cheap or
+  single-use bindings all the time); ``max_uses``/``max_size`` give the
+  standard knobs.
+
+Note the usual caveat: under call-by-value, inlining can duplicate or
+drop *work* (and with partial primitives, change error behaviour); like
+CSE it preserves values of pure total programs, which is what the
+alpha-equivalence normalisation argument needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+from repro.lang.subst import substitute
+
+__all__ = ["inline_lets", "count_uses"]
+
+
+def count_uses(body: Expr, name: str) -> int:
+    """Number of free occurrences of ``name`` in ``body``.
+
+    Scope-aware: occurrences under a shadowing binder do not count, and
+    a ``let`` binding of the same name shadows only its body.
+    """
+    uses = 0
+    shadow = 0
+    # ops: ("visit", node) | ("bind", None) | ("unbind", None)
+    stack: list[tuple[str, object]] = [("visit", body)]
+    while stack:
+        op, payload = stack.pop()
+        if op == "bind":
+            shadow += 1
+            continue
+        if op == "unbind":
+            shadow -= 1
+            continue
+        node = payload
+        assert isinstance(node, Expr)
+        if isinstance(node, Var):
+            if node.name == name and shadow == 0:
+                uses += 1
+        elif isinstance(node, Lam):
+            if node.binder == name:
+                stack.append(("unbind", None))
+                stack.append(("visit", node.body))
+                stack.append(("bind", None))
+            else:
+                stack.append(("visit", node.body))
+        elif isinstance(node, App):
+            stack.append(("visit", node.arg))
+            stack.append(("visit", node.fn))
+        elif isinstance(node, Let):
+            if node.binder == name:
+                # the binder shadows the body only; bound is unshadowed.
+                stack.append(("unbind", None))
+                stack.append(("visit", node.body))
+                stack.append(("bind", None))
+                stack.append(("visit", node.bound))
+            else:
+                stack.append(("visit", node.body))
+                stack.append(("visit", node.bound))
+        # Lit: nothing to do.
+    return uses
+
+
+def inline_lets(
+    expr: Expr,
+    should_inline: Optional[Callable[[Let, int], bool]] = None,
+    max_uses: Optional[int] = None,
+    max_size: Optional[int] = None,
+) -> Expr:
+    """Inline let bindings bottom-up.
+
+    ``should_inline(let_node, uses)`` decides per binding (after its
+    children have already been processed); the default inlines
+    everything, filtered by the convenience knobs:
+
+    * ``max_uses`` -- only inline bindings used at most this many times
+      (``max_uses=1`` is the classic always-safe single-use inline);
+    * ``max_size`` -- only inline bound expressions up to this size.
+
+    Unused bindings (``uses == 0``) are dropped outright (dead-code
+    elimination), subject to the same predicate.
+    """
+
+    def default_predicate(node: Let, uses: int) -> bool:
+        if max_uses is not None and uses > max_uses:
+            return False
+        if max_size is not None and node.bound.size > max_size:
+            return False
+        return True
+
+    predicate = should_inline if should_inline is not None else default_predicate
+
+    results: list[Expr] = []
+    stack: list[tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, visited = stack.pop()
+        if not visited:
+            stack.append((node, True))
+            for child in reversed(node.children()):
+                stack.append((child, False))
+            continue
+        if isinstance(node, (Var, Lit)):
+            results.append(node)
+        elif isinstance(node, Lam):
+            body = results.pop()
+            results.append(node if body is node.body else Lam(node.binder, body))
+        elif isinstance(node, App):
+            arg = results.pop()
+            fn = results.pop()
+            if fn is node.fn and arg is node.arg:
+                results.append(node)
+            else:
+                results.append(App(fn, arg))
+        else:
+            assert isinstance(node, Let)
+            body = results.pop()
+            bound = results.pop()
+            uses = count_uses(body, node.binder)
+            if predicate(node, uses):
+                if uses == 0:
+                    results.append(body)
+                else:
+                    results.append(substitute(body, {node.binder: bound}))
+            elif bound is node.bound and body is node.body:
+                results.append(node)
+            else:
+                results.append(Let(node.binder, bound, body))
+    assert len(results) == 1
+    return results[0]

@@ -1,0 +1,21 @@
+"""Comparison algorithms from Table 1 of the paper."""
+
+from repro.baselines.debruijn_hash import debruijn_hash_all
+from repro.baselines.locally_nameless import locally_nameless_hash_all
+from repro.baselines.registry import (
+    ALGORITHMS,
+    TABLE1_ORDER,
+    HashAlgorithm,
+    get_algorithm,
+)
+from repro.baselines.structural import structural_hash_all
+
+__all__ = [
+    "ALGORITHMS",
+    "TABLE1_ORDER",
+    "HashAlgorithm",
+    "get_algorithm",
+    "structural_hash_all",
+    "debruijn_hash_all",
+    "locally_nameless_hash_all",
+]

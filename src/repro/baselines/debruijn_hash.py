@@ -1,0 +1,111 @@
+"""Baseline: de Bruijn hashing (Section 2.4) -- fast but *incorrect*.
+
+The expression is de-Bruijn-ised once, relative to the root, and then
+hashed with the vanilla compositional scheme.  Bound variable
+occurrences hash by their **global** de Bruijn index, which is context
+dependent; as the paper shows, that yields both
+
+* **false negatives** -- in ``\\t. foo (\\x.x+t) (\\y.\\x.x+t)`` the two
+  alpha-equivalent ``\\x.x+t`` subterms hash differently because ``t``
+  appears as ``%1`` in one and ``%2`` in the other; and
+* **false positives** -- in ``\\t. foo (\\x.t*(x+1)) (\\y.\\x.y*(x+1))``
+  the unrelated subterms both become ``\\.%1*(%0+1)``.
+
+(Table 1: true pos. No, true neg. No.)  The paper includes it to show
+the performance cost of *correct* alpha-hashing; so do we.
+
+Cost: one pass with O(1) expected dict operations per variable -- the
+paper's O(n log n) with balanced-tree environments becomes expected O(n)
+with hash maps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.combiners import HashCombiners, default_combiners
+from repro.core.hashed import AlphaHashes
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+
+__all__ = ["debruijn_hash_all"]
+
+
+def debruijn_hash_all(
+    expr: Expr, combiners: Optional[HashCombiners] = None
+) -> AlphaHashes:
+    """Annotate every subexpression with its root-relative de Bruijn hash.
+
+    Note: unlike the alpha-hash, this baseline's node hashes are
+    *context-dependent*, so the input tree must not share node objects
+    between different positions (every generator in :mod:`repro.gen` and
+    :mod:`repro.workloads` builds fresh nodes).
+    """
+    if combiners is None:
+        combiners = default_combiners()
+    combine = combiners.combine
+    hash_name = combiners.hash_name
+
+    depth = 0
+    env: dict[str, list[int]] = {}
+    by_id: dict[int, int] = {}
+    results: list[int] = []
+    # ops: visit / bind(name) / unbind(name) / build(node)
+    stack: list[tuple[str, object]] = [("visit", expr)]
+    while stack:
+        op, payload = stack.pop()
+        if op == "visit":
+            node = payload
+            assert isinstance(node, Expr)
+            if isinstance(node, Var):
+                levels = env.get(node.name)
+                if levels:
+                    value = combine("baseline_bound", depth - levels[-1] - 1)
+                else:
+                    value = combine("baseline_free", hash_name(node.name))
+                by_id[id(node)] = value
+                results.append(value)
+            elif isinstance(node, Lit):
+                value = combine("baseline_lit", combiners.hash_lit(node.value))
+                by_id[id(node)] = value
+                results.append(value)
+            elif isinstance(node, Lam):
+                stack.append(("build", node))
+                stack.append(("unbind", node.binder))
+                stack.append(("visit", node.body))
+                env.setdefault(node.binder, []).append(depth)
+                depth += 1
+            elif isinstance(node, App):
+                stack.append(("build", node))
+                stack.append(("visit", node.arg))
+                stack.append(("visit", node.fn))
+            elif isinstance(node, Let):
+                stack.append(("build", node))
+                stack.append(("unbind", node.binder))
+                stack.append(("visit", node.body))
+                stack.append(("bind", node.binder))
+                stack.append(("visit", node.bound))
+            else:  # pragma: no cover
+                raise TypeError(f"unknown node kind {node.kind}")
+        elif op == "bind":
+            env.setdefault(payload, []).append(depth)  # type: ignore[arg-type]
+            depth += 1
+        elif op == "unbind":
+            env[payload].pop()  # type: ignore[index]
+            depth -= 1
+        elif op == "build":
+            node = payload
+            if isinstance(node, Lam):
+                value = combine("baseline_lam", results.pop())
+            elif isinstance(node, App):
+                arg = results.pop()
+                fn = results.pop()
+                value = combine("baseline_app", fn, arg)
+            else:
+                assert isinstance(node, Let)
+                body = results.pop()
+                bound = results.pop()
+                value = combine("baseline_let", bound, body)
+            by_id[id(node)] = value
+            results.append(value)
+    assert len(results) == 1
+    return AlphaHashes(expr, combiners, by_id)

@@ -1,0 +1,127 @@
+"""Algorithm registry: the four hashing algorithms of Table 1 (plus the
+Appendix C variant), behind one uniform interface.
+
+Every algorithm maps an expression to an :class:`~repro.core.hashed.
+AlphaHashes` annotation of all subexpressions.  The registry records the
+Table 1 metadata -- asymptotic complexity and whether the algorithm
+produces only true positives / true negatives -- which the Table 1
+harness verifies empirically against the paper's own counterexamples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.baselines.debruijn_hash import debruijn_hash_all
+from repro.baselines.locally_nameless import locally_nameless_hash_all
+from repro.baselines.structural import structural_hash_all
+from repro.core.combiners import HashCombiners
+from repro.core.hashed import AlphaHashes, alpha_hash_all
+from repro.core.linear_lazy import alpha_hash_all_lazy
+from repro.lang.expr import Expr
+
+__all__ = ["HashAlgorithm", "ALGORITHMS", "TABLE1_ORDER", "get_algorithm"]
+
+
+@dataclass(frozen=True)
+class HashAlgorithm:
+    """One row of Table 1.
+
+    ``true_positives``: every pair the algorithm equates really is
+    alpha-equivalent (no false positives), assuming unique binders.
+    ``true_negatives``: every alpha-equivalent pair is equated (no false
+    negatives).  ``paper_complexity`` quotes Table 1 (balanced-BST maps);
+    ``python_complexity`` is the expected cost with hash maps, which
+    shaves one log factor off the map-heavy algorithms.
+    """
+
+    name: str
+    label: str
+    section: str
+    paper_complexity: str
+    python_complexity: str
+    true_positives: bool
+    true_negatives: bool
+    run: Callable[[Expr, Optional[HashCombiners]], AlphaHashes]
+
+    @property
+    def correct(self) -> bool:
+        """Meets the Section 3 specification (true pos. AND true neg.)."""
+        return self.true_positives and self.true_negatives
+
+    def __call__(
+        self, expr: Expr, combiners: Optional[HashCombiners] = None
+    ) -> AlphaHashes:
+        return self.run(expr, combiners)
+
+
+def _run_ours(expr: Expr, combiners: Optional[HashCombiners]) -> AlphaHashes:
+    return alpha_hash_all(expr, combiners)
+
+
+ALGORITHMS: dict[str, HashAlgorithm] = {
+    "structural": HashAlgorithm(
+        name="structural",
+        label="Structural",
+        section="2.3",
+        paper_complexity="O(n)",
+        python_complexity="O(n)",
+        true_positives=True,
+        true_negatives=False,
+        run=structural_hash_all,
+    ),
+    "debruijn": HashAlgorithm(
+        name="debruijn",
+        label="De Bruijn",
+        section="2.4",
+        paper_complexity="O(n log n)",
+        python_complexity="O(n) expected",
+        true_positives=False,
+        true_negatives=False,
+        run=debruijn_hash_all,
+    ),
+    "locally_nameless": HashAlgorithm(
+        name="locally_nameless",
+        label="Locally Nameless",
+        section="2.5",
+        paper_complexity="O(n^2 log n)",
+        python_complexity="O(n^2) expected",
+        true_positives=True,
+        true_negatives=True,
+        run=locally_nameless_hash_all,
+    ),
+    "ours": HashAlgorithm(
+        name="ours",
+        label="Ours",
+        section="3-5",
+        paper_complexity="O(n (log n)^2)",
+        python_complexity="O(n log n) expected",
+        true_positives=True,
+        true_negatives=True,
+        run=_run_ours,
+    ),
+    "ours_lazy": HashAlgorithm(
+        name="ours_lazy",
+        label="Ours (Appendix C)",
+        section="App. C",
+        paper_complexity="O(n (log n)^2)",
+        python_complexity="O(n log n) expected",
+        true_positives=True,
+        true_negatives=True,
+        run=alpha_hash_all_lazy,
+    ),
+}
+
+#: The four rows of Table 1, in the paper's order.
+TABLE1_ORDER = ("structural", "debruijn", "locally_nameless", "ours")
+
+
+def get_algorithm(name: str) -> HashAlgorithm:
+    """Look an algorithm up by registry name (KeyError lists options)."""
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        ) from None

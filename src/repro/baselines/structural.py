@@ -1,0 +1,64 @@
+"""Baseline: purely syntactic (structural) hashing (Section 2.3).
+
+The hash of a node combines the constructor, any names, and the
+children's hashes -- classic hash-consing.  O(n), one dict-free pass.
+
+With unique binders this baseline has **no false positives** (structural
+equality implies alpha-equivalence) but plenty of **false negatives**:
+``\\x.x+1`` and ``\\y.y+1`` hash differently (Table 1: true pos. Yes,
+true neg. No).  It exists to calibrate the cost floor of the correct
+algorithms and to implement structure sharing
+(:mod:`repro.apps.sharing`), for which it is exactly right.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.combiners import HashCombiners, default_combiners
+from repro.core.hashed import AlphaHashes
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+
+__all__ = ["structural_hash_all"]
+
+
+def structural_hash_all(
+    expr: Expr, combiners: Optional[HashCombiners] = None
+) -> AlphaHashes:
+    """Annotate every subexpression with its *syntactic* hash."""
+    if combiners is None:
+        combiners = default_combiners()
+    combine = combiners.combine
+    hash_name = combiners.hash_name
+
+    by_id: dict[int, int] = {}
+    results: list[int] = []
+    stack: list[tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, visited = stack.pop()
+        if not visited:
+            stack.append((node, True))
+            for child in reversed(node.children()):
+                stack.append((child, False))
+            continue
+        if isinstance(node, Var):
+            value = combine("baseline_var", hash_name(node.name))
+        elif isinstance(node, Lit):
+            value = combine("baseline_lit", combiners.hash_lit(node.value))
+        elif isinstance(node, Lam):
+            body = results.pop()
+            value = combine("baseline_lam", hash_name(node.binder), body)
+        elif isinstance(node, App):
+            arg = results.pop()
+            fn = results.pop()
+            value = combine("baseline_app", fn, arg)
+        elif isinstance(node, Let):
+            body = results.pop()
+            bound = results.pop()
+            value = combine("baseline_let", hash_name(node.binder), bound, body)
+        else:  # pragma: no cover
+            raise TypeError(f"unknown node kind {node.kind}")
+        by_id[id(node)] = value
+        results.append(value)
+    assert len(results) == 1
+    return AlphaHashes(expr, combiners, by_id)

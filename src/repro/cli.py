@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Experiment commands regenerate the paper's tables and figures::
+
+    python -m repro fig1                    # e-summary walkthrough (Figure 1)
+    python -m repro table1                  # algorithm matrix, verified
+    python -m repro table2                  # realistic workloads (ms)
+    python -m repro fig2 --family balanced  # random-expression sweeps
+    python -m repro fig3                    # BERT layer sweep
+    python -m repro fig4 --scale small      # collision counts
+    python -m repro incremental             # Section 6.3
+    python -m repro opcounts                # Lemma 6.1/6.2
+    python -m repro ablations               # design-choice ablations
+    python -m repro difftest --cases 500    # cross-validate all algorithms
+
+Utility commands work on expression files (surface syntax, see
+``repro.lang.parser``)::
+
+    python -m repro hash FILE               # alpha-hash of the program
+    python -m repro classes FILE            # equivalence classes
+    python -m repro cse FILE                # CSE-transformed program
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main"]
+
+_EXPERIMENTS = {
+    "fig1": "repro.evalharness.fig1",
+    "table1": "repro.evalharness.table1",
+    "table2": "repro.evalharness.table2",
+    "fig2": "repro.evalharness.fig2",
+    "fig3": "repro.evalharness.fig3",
+    "fig4": "repro.evalharness.fig4",
+    "incremental": "repro.evalharness.incremental_exp",
+    "opcounts": "repro.evalharness.opcounts",
+    "ablations": "repro.evalharness.ablations",
+    "difftest": "repro.analysis.differential",
+}
+
+_UTILITIES = ("hash", "classes", "cse")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command in _EXPERIMENTS:
+        import importlib
+
+        module = importlib.import_module(_EXPERIMENTS[command])
+        return int(module.main(rest) or 0)
+    if command in _UTILITIES:
+        return _run_utility(command, rest)
+    print(f"unknown command {command!r}\n", file=sys.stderr)
+    print(__doc__, file=sys.stderr)
+    return 2
+
+
+def _read_expr(path: str):
+    from repro.lang.names import uniquify_binders
+    from repro.lang.parser import parse
+
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    return uniquify_binders(parse(text))
+
+
+def _run_utility(command: str, rest: Sequence[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(prog=f"repro {command}")
+    parser.add_argument("file", help="expression file, or - for stdin")
+    if command == "hash":
+        parser.add_argument("--bits", type=int, default=64)
+        parser.add_argument("--seed", type=int, default=None)
+        parser.add_argument(
+            "--algorithm", default="ours", help="registry algorithm name"
+        )
+    if command == "classes":
+        parser.add_argument("--min-size", type=int, default=2)
+        parser.add_argument("--min-count", type=int, default=2)
+    if command == "cse":
+        parser.add_argument("--min-size", type=int, default=3)
+    args = parser.parse_args(rest)
+    expr = _read_expr(args.file)
+
+    if command == "hash":
+        from repro.baselines.registry import get_algorithm
+        from repro.core.combiners import DEFAULT_SEED, HashCombiners
+
+        seed = DEFAULT_SEED if args.seed is None else args.seed
+        combiners = HashCombiners(bits=args.bits, seed=seed)
+        hashes = get_algorithm(args.algorithm)(expr, combiners)
+        print(f"0x{hashes.root_hash:x}")
+        return 0
+
+    if command == "classes":
+        from repro.core.equivalence import equivalence_classes
+        from repro.lang.pretty import pretty
+
+        classes = equivalence_classes(
+            expr, min_size=args.min_size, min_count=args.min_count, verify=True
+        )
+        if not classes:
+            print("no repeated alpha-equivalent subexpressions")
+            return 0
+        for cls in classes:
+            print(
+                f"{cls.count} occurrences, {cls.node_size} nodes:  "
+                f"{pretty(cls.representative, max_len=100)}"
+            )
+        return 0
+
+    assert command == "cse"
+    from repro.apps.cse import cse
+    from repro.lang.pretty import pretty
+
+    result = cse(expr, min_size=args.min_size)
+    print(pretty(result.expr))
+    print(
+        f"# {result.original_size} -> {result.final_size} nodes "
+        f"in {len(result.rounds)} rounds",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""The paper's contribution: hashing modulo alpha-equivalence.
+
+Public entry points:
+
+* :func:`repro.core.hashed.alpha_hash_all` -- annotate every
+  subexpression with an alpha-invariant hash (the final algorithm,
+  Sections 4.8 + 5).
+* :func:`repro.core.equivalence.equivalence_classes` -- group
+  subexpressions into alpha-equivalence classes.
+* :class:`repro.core.incremental.IncrementalHasher` -- keep hashes up to
+  date across local rewrites (Section 6.3).
+* :mod:`repro.core.esummary` -- the invertible Step-1 summaries and
+  ``rebuild`` (the correctness argument, Section 4).
+* :func:`repro.core.linear_lazy.alpha_hash_all_lazy` -- the Appendix C
+  alternative formulation.
+"""
+
+from repro.core.combiners import DEFAULT_SEED, HashCombiners, default_combiners
+from repro.core.equivalence import EquivalenceClass, equivalence_classes, group_by_hash
+from repro.core.esummary import (
+    ESummary,
+    esummary_equal,
+    hash_esummary_tree,
+    rebuild_naive,
+    rebuild_tagged,
+    summarise_all_naive,
+    summarise_all_tagged,
+    summarise_naive,
+    summarise_tagged,
+)
+from repro.core.hashed import (
+    AlphaHashes,
+    NodeSummary,
+    alpha_hash_all,
+    alpha_hash_root,
+    summarise_node,
+)
+from repro.core.incremental import IncrementalHasher, ReplaceStats
+from repro.core.linear_lazy import LazyVarMap, LinearFn, alpha_hash_all_lazy
+from repro.core.varmap import HashedVarMap, MapOpStats, VarMapTree, entry_hash
+
+__all__ = [
+    "DEFAULT_SEED",
+    "HashCombiners",
+    "default_combiners",
+    "EquivalenceClass",
+    "equivalence_classes",
+    "group_by_hash",
+    "ESummary",
+    "esummary_equal",
+    "hash_esummary_tree",
+    "rebuild_naive",
+    "rebuild_tagged",
+    "summarise_all_naive",
+    "summarise_all_tagged",
+    "summarise_naive",
+    "summarise_tagged",
+    "AlphaHashes",
+    "NodeSummary",
+    "alpha_hash_all",
+    "alpha_hash_root",
+    "summarise_node",
+    "IncrementalHasher",
+    "ReplaceStats",
+    "LazyVarMap",
+    "LinearFn",
+    "alpha_hash_all_lazy",
+    "HashedVarMap",
+    "MapOpStats",
+    "VarMapTree",
+    "entry_hash",
+]

@@ -1,0 +1,131 @@
+"""Finding all alpha-equivalence classes of subexpressions (Section 1, 3).
+
+With an alpha-invariant hash for every node, "the equivalence classes can
+be generated in the cost of a single sort" -- here, a single dict
+grouping pass.  :func:`equivalence_classes` is the library's main entry
+point for CSE-style clients.
+
+Because any hash can collide, the function optionally *verifies* each
+candidate class by exact comparison (splitting classes on the canonical
+de Bruijn key), so callers that rewrite programs can be sound even with
+small hash widths.  With the default 64-bit space, Theorem 6.8 puts the
+probability that verification ever fires below ~n^3/2^61 -- negligible --
+but it is cheap insurance and makes the tiny-width configurations of
+Appendix B safe to play with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.combiners import HashCombiners
+from repro.core.hashed import AlphaHashes, alpha_hash_all
+from repro.lang.debruijn import canonical_key
+from repro.lang.expr import Expr
+
+__all__ = ["EquivalenceClass", "equivalence_classes", "group_by_hash"]
+
+
+@dataclass
+class EquivalenceClass:
+    """One class of mutually alpha-equivalent subexpression occurrences.
+
+    ``occurrences`` lists ``(path, node)`` pairs in preorder; the first
+    occurrence is the representative.  ``verified`` is True when the
+    class was confirmed by exact comparison rather than hash alone.
+    """
+
+    hash_value: int
+    occurrences: list[tuple[tuple[int, ...], Expr]]
+    verified: bool = False
+
+    @property
+    def representative(self) -> Expr:
+        return self.occurrences[0][1]
+
+    @property
+    def count(self) -> int:
+        return len(self.occurrences)
+
+    @property
+    def node_size(self) -> int:
+        return self.representative.size
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"EquivalenceClass(count={self.count}, node_size={self.node_size}, "
+            f"hash=0x{self.hash_value:x})"
+        )
+
+
+def group_by_hash(hashes: AlphaHashes) -> dict[int, list[tuple[tuple[int, ...], Expr]]]:
+    """Group every subexpression occurrence by its alpha-hash."""
+    groups: dict[int, list[tuple[tuple[int, ...], Expr]]] = {}
+    for path, node, value in hashes.items():
+        groups.setdefault(value, []).append((path, node))
+    return groups
+
+
+def equivalence_classes(
+    expr: Expr,
+    combiners: Optional[HashCombiners] = None,
+    min_count: int = 2,
+    min_size: int = 1,
+    verify: bool = False,
+    hashes: Optional[AlphaHashes] = None,
+) -> list[EquivalenceClass]:
+    """All alpha-equivalence classes of subexpressions of ``expr``.
+
+    Parameters
+    ----------
+    min_count:
+        Keep only classes with at least this many occurrences (default 2:
+        singleton classes are rarely interesting downstream).
+    min_size:
+        Keep only classes whose members have at least this many AST nodes
+        (CSE clients typically skip bare variables, ``min_size >= 2``).
+    verify:
+        Split any hash-colliding class by exact (canonical de Bruijn)
+        comparison; the returned classes are then guaranteed correct.
+    hashes:
+        Reuse an existing :class:`AlphaHashes` (e.g. from an incremental
+        pass) instead of re-hashing.
+
+    Classes are sorted largest-representative-first, then by descending
+    occurrence count, then by hash for determinism.
+    """
+    if hashes is None:
+        hashes = alpha_hash_all(expr, combiners)
+
+    classes: list[EquivalenceClass] = []
+    for value, occurrences in group_by_hash(hashes).items():
+        if len(occurrences) < min_count:
+            continue
+        if occurrences[0][1].size < min_size:
+            continue
+        if verify:
+            classes.extend(
+                _split_by_exact_key(value, occurrences, min_count)
+            )
+        else:
+            classes.append(EquivalenceClass(value, occurrences))
+
+    classes.sort(key=lambda c: (-c.node_size, -c.count, c.hash_value))
+    return classes
+
+
+def _split_by_exact_key(
+    hash_value: int,
+    occurrences: list[tuple[tuple[int, ...], Expr]],
+    min_count: int,
+) -> list[EquivalenceClass]:
+    """Split a candidate class by the exact alpha-equivalence oracle."""
+    by_key: dict[tuple, list[tuple[tuple[int, ...], Expr]]] = {}
+    for path, node in occurrences:
+        by_key.setdefault(canonical_key(node), []).append((path, node))
+    return [
+        EquivalenceClass(hash_value, group, verified=True)
+        for group in by_key.values()
+        if len(group) >= min_count
+    ]

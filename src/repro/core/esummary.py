@@ -1,0 +1,436 @@
+"""Step 1: compositional, invertible e-summaries (Section 4).
+
+An e-summary is a pair of a :class:`~repro.core.structure.Structure` and
+a :class:`~repro.core.varmap.VarMapTree`::
+
+    data ESummary = ESummary Structure VarMap
+
+Two subexpressions are alpha-equivalent **iff** their e-summaries are
+equal, and :func:`rebuild` reconstructs an expression alpha-equivalent to
+the original from its summary -- the existence of ``rebuild`` is the
+paper's correctness argument (Section 4.7: the e-summary "loses no
+information", so hashing it is as collision-resistant as the hash
+combiners themselves).
+
+Two summarisers are provided:
+
+* :func:`summarise_naive` -- Section 4.6: the two-sided ``mergeVM`` that
+  touches every entry of both maps at each App/Let node.  Quadratic, but
+  transparently correct.
+* :func:`summarise_tagged` -- Section 4.8: only the *smaller* child map
+  is transformed, each moved entry being wrapped in a ``PTJoin`` carrying
+  the parent's structure tag so the merge stays invertible.  Map
+  operations drop to O(n log n).
+
+Each has a matching ``rebuild`` inverse.  Everything is iterative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.combiners import HashCombiners
+from repro.core.position_tree import (
+    PosTree,
+    PTBoth,
+    PTHere,
+    PTJoin,
+    PTLeftOnly,
+    PTRightOnly,
+    hash_postree,
+    postree_equal,
+)
+from repro.core.structure import (
+    SApp,
+    SLam,
+    SLet,
+    SLit,
+    Structure,
+    SVar,
+    hash_structure,
+    structure_equal,
+    structure_tag,
+    top_hash,
+)
+from repro.core.varmap import VarMapTree, entry_hash
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+from repro.lang.names import NameSupply
+
+__all__ = [
+    "ESummary",
+    "summarise_naive",
+    "summarise_tagged",
+    "summarise_all_naive",
+    "summarise_all_tagged",
+    "esummary_equal",
+    "rebuild_naive",
+    "rebuild_tagged",
+    "hash_esummary_tree",
+]
+
+
+@dataclass(frozen=True)
+class ESummary:
+    """A Structure plus a free-variable map: the complete, invertible
+    description of an expression modulo alpha-equivalence."""
+
+    structure: Structure
+    varmap: VarMapTree
+
+
+def esummary_equal(a: ESummary, b: ESummary) -> bool:
+    """Equality of e-summaries (== alpha-equivalence of the originals)."""
+    if not structure_equal(a.structure, b.structure):
+        return False
+    if len(a.varmap) != len(b.varmap):
+        return False
+    for name, pos in a.varmap.entries.items():
+        other = b.varmap.get(name)
+        if other is None or not postree_equal(pos, other):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Summarising: shared postorder driver
+# ---------------------------------------------------------------------------
+
+
+def _summarise(
+    expr: Expr, combine_app, combine_let, record=None, keep_names: bool = False
+) -> ESummary:
+    """Postorder fold computing e-summaries.
+
+    ``combine_app(node, s1, s2, keep_names)`` and ``combine_let(...)``
+    build the parent summary from child summaries; the Var/Lit/Lam cases
+    are common to both variants.  ``record(node, summary)`` is called for
+    every node when supplied.  ``keep_names=True`` records original
+    binder names as hash-neutral hints (footnote 1, Section 4.7), letting
+    rebuild recover the exact original expression.
+    """
+    results: list[ESummary] = []
+    stack: list[tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, visited = stack.pop()
+        if not visited:
+            stack.append((node, True))
+            for child in reversed(node.children()):
+                stack.append((child, False))
+            continue
+        if isinstance(node, Var):
+            summary = ESummary(SVar, VarMapTree.singleton(node.name, PTHere))
+        elif isinstance(node, Lit):
+            summary = ESummary(SLit(node.value), VarMapTree.empty())
+        elif isinstance(node, Lam):
+            body = results.pop()
+            varmap, pos = body.varmap.removed(node.binder)
+            hint = node.binder if keep_names else None
+            summary = ESummary(SLam(pos, body.structure, hint), varmap)
+        elif isinstance(node, App):
+            arg = results.pop()
+            fn = results.pop()
+            summary = combine_app(node, fn, arg)
+        elif isinstance(node, Let):
+            body = results.pop()
+            bound = results.pop()
+            summary = combine_let(node, bound, body, keep_names)
+        else:  # pragma: no cover
+            raise TypeError(f"unknown node kind {node.kind}")
+        results.append(summary)
+        if record is not None:
+            record(node, summary)
+    assert len(results) == 1
+    return results[0]
+
+
+# -- naive variant (Section 4.6) --------------------------------------------
+
+
+def _naive_app(node: App, fn: ESummary, arg: ESummary) -> ESummary:
+    varmap = VarMapTree.merged(
+        fn.varmap,
+        arg.varmap,
+        left_only=PTLeftOnly,
+        right_only=PTRightOnly,
+        both=PTBoth,
+    )
+    return ESummary(SApp(False, fn.structure, arg.structure), varmap)
+
+
+def _naive_let(
+    node: Let, bound: ESummary, body: ESummary, keep_names: bool = False
+) -> ESummary:
+    body_vm, pos_x = body.varmap.removed(node.binder)
+    varmap = VarMapTree.merged(
+        bound.varmap,
+        body_vm,
+        left_only=PTLeftOnly,
+        right_only=PTRightOnly,
+        both=PTBoth,
+    )
+    hint = node.binder if keep_names else None
+    return ESummary(
+        SLet(pos_x, False, bound.structure, body.structure, hint), varmap
+    )
+
+
+def summarise_naive(expr: Expr, keep_names: bool = False) -> ESummary:
+    """The quadratic reference summariser of Section 4.6 (root summary).
+
+    ``keep_names=True`` records binder names as hash-neutral hints so
+    :func:`rebuild_naive` reproduces the original expression exactly.
+    """
+    return _summarise(expr, _naive_app, _naive_let, keep_names=keep_names)
+
+
+def summarise_all_naive(expr: Expr) -> dict[int, ESummary]:
+    """Naive summaries for *every* node, keyed by ``id(node)``."""
+    out: dict[int, ESummary] = {}
+    _summarise(expr, _naive_app, _naive_let, record=lambda n, s: out.__setitem__(id(n), s))
+    return out
+
+
+# -- tagged smaller-subtree variant (Section 4.8) ----------------------------
+
+
+def _merge_smaller_tree(
+    big: VarMapTree, small: VarMapTree, tag: int
+) -> VarMapTree:
+    """Fold the smaller map into (a copy of) the bigger one, wrapping each
+    moved entry in a tagged PTJoin.  Entries only in the bigger map stay
+    untouched -- that asymmetry is what the tag lets ``rebuild`` undo."""
+    entries = dict(big.entries)
+    for name, pos in small.entries.items():
+        entries[name] = PTJoin(tag, entries.get(name), pos)
+    return VarMapTree(entries)
+
+
+def _tagged_app(node: App, fn: ESummary, arg: ESummary) -> ESummary:
+    left_bigger = len(fn.varmap) >= len(arg.varmap)
+    structure = SApp(left_bigger, fn.structure, arg.structure)
+    tag = structure_tag(structure.size)
+    if left_bigger:
+        varmap = _merge_smaller_tree(fn.varmap, arg.varmap, tag)
+    else:
+        varmap = _merge_smaller_tree(arg.varmap, fn.varmap, tag)
+    return ESummary(structure, varmap)
+
+
+def _tagged_let(
+    node: Let, bound: ESummary, body: ESummary, keep_names: bool = False
+) -> ESummary:
+    body_vm, pos_x = body.varmap.removed(node.binder)
+    left_bigger = len(bound.varmap) >= len(body_vm)
+    hint = node.binder if keep_names else None
+    structure = SLet(pos_x, left_bigger, bound.structure, body.structure, hint)
+    tag = structure_tag(structure.size)
+    if left_bigger:
+        varmap = _merge_smaller_tree(bound.varmap, body_vm, tag)
+    else:
+        varmap = _merge_smaller_tree(body_vm, bound.varmap, tag)
+    return ESummary(structure, varmap)
+
+
+def summarise_tagged(expr: Expr, keep_names: bool = False) -> ESummary:
+    """The smaller-subtree summariser of Section 4.8 (root summary).
+
+    This materialised version exists to (a) prove invertibility via
+    :func:`rebuild_tagged` and (b) cross-check the fast hashed algorithm:
+    hashing its output with :func:`hash_esummary_tree` must agree
+    bit-for-bit with :func:`repro.core.hashed.alpha_hash_root`
+    (``name_hint`` metadata never participates in hashing).
+    """
+    return _summarise(expr, _tagged_app, _tagged_let, keep_names=keep_names)
+
+
+def summarise_all_tagged(expr: Expr) -> dict[int, ESummary]:
+    """Tagged summaries for every node, keyed by ``id(node)``."""
+    out: dict[int, ESummary] = {}
+    _summarise(
+        expr, _tagged_app, _tagged_let, record=lambda n, s: out.__setitem__(id(n), s)
+    )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Rebuilding (Section 4.7): ESummary -> Expression, up to alpha
+# ---------------------------------------------------------------------------
+
+
+def _fresh_supply(summary: ESummary, supply: Optional[NameSupply]) -> NameSupply:
+    if supply is not None:
+        return supply
+    # Invented binder names must not capture the summary's free variables.
+    return NameSupply(reserved=summary.varmap.entries.keys())
+
+
+def _pick_left(pos: PosTree) -> Optional[PosTree]:
+    if isinstance(pos, PTLeftOnly):
+        return pos.child
+    if isinstance(pos, PTBoth):
+        return pos.left
+    return None
+
+
+def _pick_right(pos: PosTree) -> Optional[PosTree]:
+    if isinstance(pos, PTRightOnly):
+        return pos.child
+    if isinstance(pos, PTBoth):
+        return pos.right
+    return None
+
+
+def rebuild_naive(summary: ESummary, supply: Optional[NameSupply] = None) -> Expr:
+    """Invert :func:`summarise_naive`: produce an expression whose
+    summary equals ``summary`` (alpha-equivalent to the original)."""
+    supply = _fresh_supply(summary, supply)
+    results: list[Expr] = []
+    # ops: ("visit", (structure, varmap)) | ("build", (kind, binder))
+    stack: list[tuple[str, object]] = [("visit", (summary.structure, summary.varmap))]
+    while stack:
+        op, payload = stack.pop()
+        if op == "build":
+            kind, binder = payload  # type: ignore[misc]
+            if kind == "Lam":
+                results.append(Lam(binder, results.pop()))
+            elif kind == "App":
+                arg = results.pop()
+                fn = results.pop()
+                results.append(App(fn, arg))
+            else:
+                body = results.pop()
+                bound = results.pop()
+                results.append(Let(binder, bound, body))
+            continue
+        structure, varmap = payload  # type: ignore[misc]
+        if structure.kind == "SVar":
+            results.append(Var(varmap.find_singleton()))
+        elif isinstance(structure, SLit):
+            results.append(Lit(structure.value))
+        elif isinstance(structure, SLam):
+            binder = structure.name_hint or supply.fresh()
+            if structure.pos is not None:
+                varmap = varmap.extended(binder, structure.pos)
+            stack.append(("build", ("Lam", binder)))
+            stack.append(("visit", (structure.body, varmap)))
+        elif isinstance(structure, SApp):
+            vm_fn = varmap.map_maybe(_pick_left)
+            vm_arg = varmap.map_maybe(_pick_right)
+            stack.append(("build", ("App", None)))
+            stack.append(("visit", (structure.arg, vm_arg)))
+            stack.append(("visit", (structure.fn, vm_fn)))
+        elif isinstance(structure, SLet):
+            binder = structure.name_hint or supply.fresh()
+            vm_bound = varmap.map_maybe(_pick_left)
+            vm_body = varmap.map_maybe(_pick_right)
+            if structure.pos is not None:
+                vm_body = vm_body.extended(binder, structure.pos)
+            stack.append(("build", ("Let", binder)))
+            stack.append(("visit", (structure.body, vm_body)))
+            stack.append(("visit", (structure.bound, vm_bound)))
+        else:  # pragma: no cover
+            raise TypeError(f"unknown structure kind {structure.kind}")
+    assert len(results) == 1
+    return results[0]
+
+
+def rebuild_tagged(summary: ESummary, supply: Optional[NameSupply] = None) -> Expr:
+    """Invert :func:`summarise_tagged` (the Section 4.8 rebuild).
+
+    The structure tag distinguishes PTJoins made at *this* node from
+    PTJoins made deeper inside: matching-tag joins are split between the
+    two children; everything else belongs wholly to the bigger child.
+    """
+    supply = _fresh_supply(summary, supply)
+
+    def split(varmap: VarMapTree, tag: int) -> tuple[VarMapTree, VarMapTree]:
+        def upd_small(pos: PosTree) -> Optional[PosTree]:
+            if isinstance(pos, PTJoin) and pos.tag == tag:
+                return pos.small
+            return None
+
+        def upd_big(pos: PosTree) -> Optional[PosTree]:
+            if isinstance(pos, PTJoin) and pos.tag == tag:
+                return pos.big
+            return pos
+
+        return varmap.map_maybe(upd_big), varmap.map_maybe(upd_small)
+
+    results: list[Expr] = []
+    stack: list[tuple[str, object]] = [("visit", (summary.structure, summary.varmap))]
+    while stack:
+        op, payload = stack.pop()
+        if op == "build":
+            kind, binder = payload  # type: ignore[misc]
+            if kind == "Lam":
+                results.append(Lam(binder, results.pop()))
+            elif kind == "App":
+                arg = results.pop()
+                fn = results.pop()
+                results.append(App(fn, arg))
+            else:
+                body = results.pop()
+                bound = results.pop()
+                results.append(Let(binder, bound, body))
+            continue
+        structure, varmap = payload  # type: ignore[misc]
+        if structure.kind == "SVar":
+            results.append(Var(varmap.find_singleton()))
+        elif isinstance(structure, SLit):
+            results.append(Lit(structure.value))
+        elif isinstance(structure, SLam):
+            binder = structure.name_hint or supply.fresh()
+            if structure.pos is not None:
+                varmap = varmap.extended(binder, structure.pos)
+            stack.append(("build", ("Lam", binder)))
+            stack.append(("visit", (structure.body, varmap)))
+        elif isinstance(structure, SApp):
+            tag = structure_tag(structure.size)
+            big_vm, small_vm = split(varmap, tag)
+            if structure.left_bigger:
+                vm_fn, vm_arg = big_vm, small_vm
+            else:
+                vm_fn, vm_arg = small_vm, big_vm
+            stack.append(("build", ("App", None)))
+            stack.append(("visit", (structure.arg, vm_arg)))
+            stack.append(("visit", (structure.fn, vm_fn)))
+        elif isinstance(structure, SLet):
+            tag = structure_tag(structure.size)
+            big_vm, small_vm = split(varmap, tag)
+            if structure.left_bigger:
+                vm_bound, vm_body = big_vm, small_vm
+            else:
+                vm_bound, vm_body = small_vm, big_vm
+            binder = structure.name_hint or supply.fresh()
+            if structure.pos is not None:
+                vm_body = vm_body.extended(binder, structure.pos)
+            stack.append(("build", ("Let", binder)))
+            stack.append(("visit", (structure.body, vm_body)))
+            stack.append(("visit", (structure.bound, vm_bound)))
+        else:  # pragma: no cover
+            raise TypeError(f"unknown structure kind {structure.kind}")
+    assert len(results) == 1
+    return results[0]
+
+
+# ---------------------------------------------------------------------------
+# Hashing a materialised (tagged-form) e-summary
+# ---------------------------------------------------------------------------
+
+
+def hash_esummary_tree(combiners: HashCombiners, summary: ESummary) -> int:
+    """Hash a tagged-form e-summary by folding its trees.
+
+    Definitionally: ``hash (hashStructure s, hashVM m)`` where ``hashVM``
+    is the XOR over entries of ``entryHash``.  The fast Step-2 algorithm
+    must produce exactly this value while never materialising the trees;
+    the test-suite asserts that agreement on every subexpression.
+    """
+    s_hash = hash_structure(combiners, summary.structure)
+    vm_hash = 0
+    for name, pos in summary.varmap.entries.items():
+        pos_hash = hash_postree(combiners, pos)
+        assert pos_hash is not None
+        vm_hash ^= entry_hash(combiners, name, pos_hash)
+    return top_hash(combiners, s_hash, vm_hash)

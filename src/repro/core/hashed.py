@@ -1,0 +1,278 @@
+"""Step 2: the fast alpha-hashing algorithm (Section 5).
+
+This is the paper's final algorithm.  Structures and position trees are
+never materialised: each is represented by its hash code, and the "smart
+constructors" become O(1) hash combiners (Section 5.1).  Variable maps
+keep their entries in a dict and maintain their hash incrementally as the
+XOR of entry hashes (Section 5.2).
+
+Per node the work is:
+
+* ``Var``   -- one singleton-map creation,
+* ``Lit``   -- O(1),
+* ``Lam``   -- one map removal,
+* ``App``/``Let`` -- fold the *smaller* child map into the bigger one,
+  wrapping each moved entry with a tagged-join combiner (Section 4.8).
+
+Lemma 6.1 bounds the total number of merge operations by O(n log n); with
+Python dicts each operation is expected O(1), so the whole pass is
+expected O(n log n) (the paper's balanced-BST maps give O(n (log n)^2)).
+
+The result annotates **every** subexpression with a hash that is equal
+for alpha-equivalent subexpressions and, with probability
+``1 - 5(|e1|+|e2|)/2^b`` per pair (Theorem 6.7), different otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.combiners import HashCombiners, default_combiners
+from repro.core.position_tree import pt_here_hash, pt_join_hash
+from repro.core.structure import (
+    sapp_hash,
+    slam_hash,
+    slet_hash,
+    slit_hash,
+    svar_hash,
+    top_hash,
+)
+from repro.core.varmap import HashedVarMap, MapOpStats, entry_hash
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+from repro.lang.traversal import preorder_with_paths
+
+__all__ = [
+    "AlphaHashes",
+    "NodeSummary",
+    "alpha_hash_all",
+    "alpha_hash_root",
+    "summarise_node",
+]
+
+
+class NodeSummary:
+    """The hashed e-summary of one node: structure hash, variable-map
+    hash and size, and the combined top-level hash."""
+
+    __slots__ = ("structure_hash", "varmap_hash", "varmap_len", "top")
+
+    def __init__(self, structure_hash: int, varmap_hash: int, varmap_len: int, top: int):
+        self.structure_hash = structure_hash
+        self.varmap_hash = varmap_hash
+        self.varmap_len = varmap_len
+        self.top = top
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"NodeSummary(top=0x{self.top:x}, s=0x{self.structure_hash:x}, "
+            f"vm=0x{self.varmap_hash:x}, |vm|={self.varmap_len})"
+        )
+
+
+class AlphaHashes:
+    """Alpha-invariant hashes for every subexpression of ``expr``.
+
+    ``hashes[node]`` (or :meth:`hash_of`) looks up the hash of a subtree
+    *object*; because the hash of a subexpression depends only on the
+    subtree itself (compositionality, Section 3), shared subtree objects
+    are safe: every occurrence has the same hash.
+
+    Iterate with :meth:`items` to enumerate ``(path, node, hash)`` for
+    every occurrence.
+    """
+
+    __slots__ = ("expr", "combiners", "_by_id", "_summaries")
+
+    def __init__(
+        self,
+        expr: Expr,
+        combiners: HashCombiners,
+        by_id: dict[int, int],
+        summaries: Optional[dict[int, NodeSummary]] = None,
+    ):
+        self.expr = expr
+        self.combiners = combiners
+        self._by_id = by_id
+        self._summaries = summaries
+
+    def hash_of(self, node: Expr) -> int:
+        """The alpha-hash of ``node`` (must be a subtree of ``expr``)."""
+        try:
+            return self._by_id[id(node)]
+        except KeyError:
+            raise KeyError(
+                "node is not a subexpression of the hashed expression"
+            ) from None
+
+    __getitem__ = hash_of
+
+    def summary_of(self, node: Expr) -> NodeSummary:
+        """Full hashed e-summary of ``node`` (needs ``keep_summaries``)."""
+        if self._summaries is None:
+            raise ValueError("hashes were computed without keep_summaries=True")
+        return self._summaries[id(node)]
+
+    @property
+    def root_hash(self) -> int:
+        return self._by_id[id(self.expr)]
+
+    def items(self) -> Iterator[tuple[tuple[int, ...], Expr, int]]:
+        """Yield ``(path, node, hash)`` for every subexpression occurrence."""
+        by_id = self._by_id
+        for path, node in preorder_with_paths(self.expr):
+            yield path, node, by_id[id(node)]
+
+    def __len__(self) -> int:
+        return self.expr.size
+
+
+def alpha_hash_all(
+    expr: Expr,
+    combiners: HashCombiners | None = None,
+    stats: MapOpStats | None = None,
+    keep_summaries: bool = False,
+) -> AlphaHashes:
+    """Annotate every subexpression of ``expr`` with its alpha-hash.
+
+    Parameters
+    ----------
+    expr:
+        The expression; binders should be unique (preprocess with
+        :func:`repro.lang.names.uniquify_binders` if unsure -- with
+        shadowed binders hashes remain alpha-correct, but downstream
+        CSE-style rewrites would be unsound, cf. Section 2.2).
+    combiners:
+        The hash-combiner family (width + seed); defaults to the shared
+        64-bit fixed-seed family.
+    stats:
+        Optional :class:`~repro.core.varmap.MapOpStats` that receives the
+        operation counts bounded by Lemmas 6.1/6.2.
+    keep_summaries:
+        Retain per-node structure/varmap hashes (used by tests and the
+        incremental hasher's cross-checks).
+
+    Complexity: expected O(n log n) time, O(n) space.
+    """
+    if combiners is None:
+        combiners = default_combiners()
+
+    count_ops = stats is not None
+    here = pt_here_hash(combiners)
+    var_structure = svar_hash(combiners)
+    # Var nodes all map their name to PTHere, so the entry hash (and the
+    # resulting singleton map hash) depends only on the name: memoise it.
+    var_entry_cache: dict[str, int] = {}
+
+    by_id: dict[int, int] = {}
+    summaries: Optional[dict[int, NodeSummary]] = {} if keep_summaries else None
+
+    # Each stack entry of `results` is (structure_hash, varmap).  Variable
+    # maps are consumed destructively by the parent, which is safe because
+    # every map object is referenced by exactly one pending summary.
+    results: list[tuple[int, HashedVarMap]] = []
+    stack: list[tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, visited = stack.pop()
+        if not visited:
+            stack.append((node, True))
+            for child in reversed(node.children()):
+                stack.append((child, False))
+            continue
+
+        if isinstance(node, Var):
+            s_hash = var_structure
+            name = node.name
+            cached = var_entry_cache.get(name)
+            if cached is None:
+                cached = entry_hash(combiners, name, here)
+                var_entry_cache[name] = cached
+            varmap = HashedVarMap({name: here}, cached)
+            if count_ops:
+                stats.singleton += 1
+        elif isinstance(node, Lit):
+            s_hash = slit_hash(combiners, node.value)
+            varmap = HashedVarMap.empty()
+        elif isinstance(node, Lam):
+            s_body, varmap = results.pop()
+            pos = varmap.remove(combiners, node.binder)
+            if count_ops:
+                stats.remove += 1
+            s_hash = slam_hash(combiners, node.size, pos, s_body)
+        elif isinstance(node, App):
+            s_arg, vm_arg = results.pop()
+            s_fn, vm_fn = results.pop()
+            left_bigger = len(vm_fn) >= len(vm_arg)
+            s_hash = sapp_hash(combiners, node.size, left_bigger, s_fn, s_arg)
+            tag = node.size  # structure size == expression size
+            if left_bigger:
+                big, small = vm_fn, vm_arg
+            else:
+                big, small = vm_arg, vm_fn
+            if count_ops:
+                stats.merge_entries += len(small)
+            _merge_smaller(combiners, big, small, tag)
+            varmap = big
+        elif isinstance(node, Let):
+            s_body, vm_body = results.pop()
+            s_bound, vm_bound = results.pop()
+            pos_x = vm_body.remove(combiners, node.binder)
+            if count_ops:
+                stats.remove += 1
+            left_bigger = len(vm_bound) >= len(vm_body)
+            s_hash = slet_hash(
+                combiners, node.size, pos_x, left_bigger, s_bound, s_body
+            )
+            tag = node.size
+            if left_bigger:
+                big, small = vm_bound, vm_body
+            else:
+                big, small = vm_body, vm_bound
+            if count_ops:
+                stats.merge_entries += len(small)
+            _merge_smaller(combiners, big, small, tag)
+            varmap = big
+        else:  # pragma: no cover
+            raise TypeError(f"unknown node kind {node.kind}")
+
+        node_hash = top_hash(combiners, s_hash, varmap.hash)
+        by_id[id(node)] = node_hash
+        if summaries is not None:
+            summaries[id(node)] = NodeSummary(
+                s_hash, varmap.hash, len(varmap), node_hash
+            )
+        results.append((s_hash, varmap))
+
+    assert len(results) == 1
+    return AlphaHashes(expr, combiners, by_id, summaries)
+
+
+def _merge_smaller(
+    combiners: HashCombiners, big: HashedVarMap, small: HashedVarMap, tag: int
+) -> None:
+    """Destructively fold ``small`` into ``big`` with tagged joins.
+
+    O(len(small)) map operations; each updates ``big``'s XOR hash in O(1).
+    """
+    big_entries = big.entries
+    big_hash = big.hash
+    for name, small_pos in small.entries.items():
+        old_pos = big_entries.get(name)
+        new_pos = pt_join_hash(combiners, tag, old_pos, small_pos)
+        if old_pos is not None:
+            big_hash ^= entry_hash(combiners, name, old_pos)
+        big_entries[name] = new_pos
+        big_hash ^= entry_hash(combiners, name, new_pos)
+    big.hash = big_hash
+
+
+def alpha_hash_root(expr: Expr, combiners: HashCombiners | None = None) -> int:
+    """The alpha-hash of ``expr`` itself (still visits every node once)."""
+    return alpha_hash_all(expr, combiners).root_hash
+
+
+def summarise_node(
+    expr: Expr, combiners: HashCombiners | None = None
+) -> NodeSummary:
+    """The full hashed e-summary of ``expr``'s root."""
+    hashes = alpha_hash_all(expr, combiners, keep_summaries=True)
+    return hashes.summary_of(expr)

@@ -1,0 +1,271 @@
+"""Appendix C: the tag-free variant using lazy linear transformations.
+
+Instead of wrapping the *smaller* map's entries in tagged joins, this
+variant conceptually transforms the position codes of **both** children
+at every App/Let node -- entries coming from the left child through a
+fixed bijection ``f_L``, from the right child through ``f_R``, and
+variables present in both through a strong binary combiner ``f_both``.
+Applying ``f_L``/``f_R`` to *every* entry of the bigger map would be as
+expensive as the naive algorithm, so the transformation is stored
+**lazily**: each map carries a pending linear function ``f(x) = a*x + b``
+over Z_{2^b} (with ``a`` odd, hence invertible), and
+
+* transforming the whole map is one function composition, O(1);
+* looking an entry up applies the pending function, O(1);
+* inserting pre-images the value through ``f^{-1}``, O(1).
+
+The appendix leaves the *map hash* unspecified; we complete the design
+with a multiplier hash that commutes with linear maps: each name ``v``
+gets an odd multiplier ``c_v``, and the map hash over actual position
+codes ``p_v`` is ``sum_v c_v * p_v  (mod 2^b)``.  Maintaining the pair
+``(S1, S0) = (sum c_v * stored_v, sum c_v)`` makes the actual hash
+``a*S1 + b*S0`` available in O(1) *through* any pending ``(a, b)`` --
+insertion, removal and whole-map transformation all stay O(1).  Like
+XOR, the sum is commutative and invertible; unlike XOR it distributes
+over the linear transforms.
+
+The appendix notes this variant also "produces strong hashes" in
+practice but lacks the Theorem 6.7 proof; our collision benchmarks
+(Appendix B harness) exercise it alongside the tagged algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.combiners import HashCombiners, default_combiners
+from repro.core.hashed import AlphaHashes
+from repro.core.varmap import MapOpStats
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+
+__all__ = ["alpha_hash_all_lazy", "LazyVarMap", "LinearFn"]
+
+
+class LinearFn:
+    """An invertible linear function ``x -> a*x + b (mod 2^bits)``.
+
+    ``a`` must be odd, which makes it a unit of Z_{2^bits}; composition
+    and inversion are O(1) (Appendix C: "composing, evaluating, and
+    inverting takes constant time").
+    """
+
+    __slots__ = ("a", "b", "mask")
+
+    def __init__(self, a: int, b: int, mask: int):
+        if a % 2 == 0:
+            raise ValueError("linear coefficient must be odd (invertible mod 2^b)")
+        self.a = a & mask
+        self.b = b & mask
+        self.mask = mask
+
+    @staticmethod
+    def identity(mask: int) -> "LinearFn":
+        return LinearFn(1, 0, mask)
+
+    def __call__(self, x: int) -> int:
+        return (self.a * x + self.b) & self.mask
+
+    def compose_after(self, outer_a: int, outer_b: int) -> "LinearFn":
+        """The composition ``outer . self`` for outer ``x -> a'x + b'``."""
+        mask = self.mask
+        return LinearFn((outer_a * self.a) & mask, (outer_a * self.b + outer_b) & mask, mask)
+
+    def inverse_apply(self, y: int) -> int:
+        """``f^{-1}(y)``: the stored value whose actual value is ``y``."""
+        mask = self.mask
+        a_inv = pow(self.a, -1, mask + 1)
+        return (a_inv * (y - self.b)) & mask
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LinearFn(a=0x{self.a:x}, b=0x{self.b:x})"
+
+
+class LazyVarMap:
+    """Variable map with lazily transformed values and an O(1) hash.
+
+    Invariants (checked by the test-suite's ``materialise``):
+
+    * actual position of ``v``  ==  ``pending(entries[v])``
+    * ``S1 == sum over entries of multiplier(v) * entries[v]``
+    * ``S0 == sum over entries of multiplier(v)``
+    * actual map hash  ==  ``pending.a * S1 + pending.b * S0``
+    """
+
+    __slots__ = ("entries", "pending", "s1", "s0", "mask")
+
+    def __init__(self, mask: int):
+        self.entries: dict[str, int] = {}
+        self.pending = LinearFn.identity(mask)
+        self.s1 = 0
+        self.s0 = 0
+        self.mask = mask
+
+    # -- hashing ---------------------------------------------------------------
+
+    def hash_value(self) -> int:
+        """The map hash over *actual* values, in O(1)."""
+        p = self.pending
+        return (p.a * self.s1 + p.b * self.s0) & self.mask
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- operations --------------------------------------------------------------
+
+    def insert_actual(self, name: str, multiplier: int, actual: int) -> None:
+        """Insert ``name`` with actual position code ``actual``."""
+        stored = self.pending.inverse_apply(actual)
+        old = self.entries.get(name)
+        if old is not None:
+            self.s1 = (self.s1 - multiplier * old) & self.mask
+            self.s0 = (self.s0 - multiplier) & self.mask
+        self.entries[name] = stored
+        self.s1 = (self.s1 + multiplier * stored) & self.mask
+        self.s0 = (self.s0 + multiplier) & self.mask
+
+    def remove(self, name: str, multiplier: int) -> Optional[int]:
+        """Remove ``name``; return its *actual* position code, or None."""
+        stored = self.entries.pop(name, None)
+        if stored is None:
+            return None
+        self.s1 = (self.s1 - multiplier * stored) & self.mask
+        self.s0 = (self.s0 - multiplier) & self.mask
+        return self.pending(stored)
+
+    def get_actual(self, name: str) -> Optional[int]:
+        stored = self.entries.get(name)
+        return None if stored is None else self.pending(stored)
+
+    def transform_all(self, fn: LinearFn) -> None:
+        """Apply ``fn`` to every actual value -- lazily, in O(1)."""
+        self.pending = self.pending.compose_after(fn.a, fn.b)
+
+    def materialise(self) -> dict[str, int]:
+        """Actual name -> position mapping (test oracle; O(len))."""
+        pending = self.pending
+        return {name: pending(stored) for name, stored in self.entries.items()}
+
+
+def alpha_hash_all_lazy(
+    expr: Expr,
+    combiners: Optional[HashCombiners] = None,
+    stats: Optional[MapOpStats] = None,
+) -> AlphaHashes:
+    """Alpha-hash every subexpression using the Appendix C scheme.
+
+    Same complexity and interface as
+    :func:`repro.core.hashed.alpha_hash_all`; only the position-code and
+    map-hash machinery differ (no structure tags, no left-bigger flag --
+    both children are transformed, so the result is independent of which
+    map was materialised).
+    """
+    if combiners is None:
+        combiners = default_combiners()
+    mask = combiners.mask
+
+    # The fixed random bijections of Appendix C, drawn from the seed
+    # stream.  Forcing `a` odd keeps them invertible.
+    def _linear(salt: str, index: int) -> LinearFn:
+        a = combiners.combine(salt, 2 * index + 1) | 1
+        b = combiners.combine(salt, 2 * index + 2)
+        return LinearFn(a, b, mask)
+
+    f_left = _linear("lazy_fl", 0)
+    f_right = _linear("lazy_fr", 0)
+    f_let_left = _linear("lazy_flet", 0)
+    f_let_right = _linear("lazy_flet", 1)
+
+    here = combiners.combine("pt_here")
+    svar = combiners.combine("svar", 1)
+    count_ops = stats is not None
+
+    def multiplier(name: str) -> int:
+        return (2 * combiners.hash_name(name) + 1) & mask
+
+    def merge(
+        big: LazyVarMap,
+        small: LazyVarMap,
+        f_big: LinearFn,
+        f_small: LinearFn,
+        salt: str,
+    ) -> LazyVarMap:
+        """Transform ``big`` lazily by ``f_big``; materialise ``small``'s
+        entries through ``f_small`` (or the strong pair combiner when
+        present in both) and fold them into ``big``."""
+        big.transform_all(f_big)
+        for name, stored in small.entries.items():
+            actual_small = small.pending(stored)
+            mult = multiplier(name)
+            old = big.remove(name, mult)
+            if old is None:
+                new_actual = f_small(actual_small)
+            else:
+                # `old` was already transformed by f_big (it passed
+                # through the lazy pending), exactly as Appendix C's
+                # f_both receives both transformed children.
+                new_actual = combiners.combine(salt, old, actual_small)
+            big.insert_actual(name, mult, new_actual)
+        return big
+
+    by_id: dict[int, int] = {}
+    results: list[tuple[int, LazyVarMap]] = []
+    stack: list[tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, visited = stack.pop()
+        if not visited:
+            stack.append((node, True))
+            for child in reversed(node.children()):
+                stack.append((child, False))
+            continue
+
+        if isinstance(node, Var):
+            varmap = LazyVarMap(mask)
+            varmap.insert_actual(node.name, multiplier(node.name), here)
+            s_hash = svar
+            if count_ops:
+                stats.singleton += 1
+        elif isinstance(node, Lit):
+            varmap = LazyVarMap(mask)
+            s_hash = combiners.combine("slit", 1, combiners.hash_lit(node.value))
+        elif isinstance(node, Lam):
+            s_body, varmap = results.pop()
+            pos = varmap.remove(node.binder, multiplier(node.binder))
+            if count_ops:
+                stats.remove += 1
+            s_hash = combiners.combine(
+                "slam", node.size, combiners.maybe(pos), s_body
+            )
+        elif isinstance(node, App):
+            s_arg, vm_arg = results.pop()
+            s_fn, vm_fn = results.pop()
+            # No left_bigger flag: the merged map is the same either way.
+            s_hash = combiners.combine("sapp", node.size, s_fn, s_arg)
+            if count_ops:
+                stats.merge_entries += min(len(vm_fn), len(vm_arg))
+            if len(vm_fn) >= len(vm_arg):
+                varmap = merge(vm_fn, vm_arg, f_left, f_right, "lazy_fboth")
+            else:
+                varmap = merge(vm_arg, vm_fn, f_right, f_left, "lazy_fboth")
+        elif isinstance(node, Let):
+            s_body, vm_body = results.pop()
+            s_bound, vm_bound = results.pop()
+            pos_x = vm_body.remove(node.binder, multiplier(node.binder))
+            if count_ops:
+                stats.remove += 1
+            s_hash = combiners.combine(
+                "slet", node.size, combiners.maybe(pos_x), s_bound, s_body
+            )
+            if count_ops:
+                stats.merge_entries += min(len(vm_bound), len(vm_body))
+            if len(vm_bound) >= len(vm_body):
+                varmap = merge(vm_bound, vm_body, f_let_left, f_let_right, "lazy_fboth")
+            else:
+                varmap = merge(vm_body, vm_bound, f_let_right, f_let_left, "lazy_fboth")
+        else:  # pragma: no cover
+            raise TypeError(f"unknown node kind {node.kind}")
+
+        by_id[id(node)] = combiners.combine("top", s_hash, varmap.hash_value())
+        results.append((s_hash, varmap))
+
+    assert len(results) == 1
+    return AlphaHashes(expr, combiners, by_id)

@@ -1,0 +1,249 @@
+"""Position trees: where a variable occurs inside a structure.
+
+Two flavours, exactly as in the paper:
+
+* the **naive** form of Section 4.5 (used by the quadratic reference
+  algorithm of Section 4.6)::
+
+      data PosTree = PTHere | PTLeftOnly PosTree
+                   | PTRightOnly PosTree | PTBoth PosTree PosTree
+
+* the **tagged-join** form of Section 4.8 (used by the log-linear
+  algorithm; the tag makes the one-sided merge invertible)::
+
+      data PosTree = PTHere
+                   | PTJoin StructureTag (Maybe PosTree) PosTree
+
+Both forms support :func:`hash_postree`, but only the tagged form's hash
+recipe is shared with the fast Step-2 algorithm (which never materialises
+trees at all -- Section 5.1 replaces every constructor by its hash
+combiner).  Keeping the recipe in one place lets the test-suite assert
+that the fast algorithm computes *bit-identical* hashes to hashing the
+Step-1 trees, which is the paper's two-step correctness argument made
+executable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.combiners import HashCombiners
+
+__all__ = [
+    "PosTree",
+    "PTHere",
+    "PTLeftOnly",
+    "PTRightOnly",
+    "PTBoth",
+    "PTJoin",
+    "postree_equal",
+    "postree_size",
+    "hash_postree",
+    "pt_here_hash",
+    "pt_join_hash",
+    "pt_left_hash",
+    "pt_right_hash",
+    "pt_both_hash",
+]
+
+
+class PosTree:
+    """Base class for position-tree nodes (both flavours)."""
+
+    __slots__ = ()
+    kind: str = "?"
+
+
+class _PTHereSingleton(PosTree):
+    """The single occurrence marker: the variable occurs right here."""
+
+    __slots__ = ()
+    kind = "PTHere"
+
+    def __repr__(self) -> str:
+        return "PTHere"
+
+
+#: Canonical PTHere instance (it carries no data).
+PTHere = _PTHereSingleton()
+
+
+class PTLeftOnly(PosTree):
+    """Naive form: occurrences only in the left child."""
+
+    __slots__ = ("child",)
+    kind = "PTLeftOnly"
+
+    def __init__(self, child: PosTree):
+        self.child = child
+
+
+class PTRightOnly(PosTree):
+    """Naive form: occurrences only in the right child."""
+
+    __slots__ = ("child",)
+    kind = "PTRightOnly"
+
+    def __init__(self, child: PosTree):
+        self.child = child
+
+
+class PTBoth(PosTree):
+    """Naive form: occurrences in both children."""
+
+    __slots__ = ("left", "right")
+    kind = "PTBoth"
+
+    def __init__(self, left: PosTree, right: PosTree):
+        self.left = left
+        self.right = right
+
+
+class PTJoin(PosTree):
+    """Tagged form (Section 4.8): a merge performed at the structure whose
+    :func:`structure tag <repro.core.structure.structure_tag>` is ``tag``.
+
+    ``big`` is the position tree contributed by the bigger child map
+    (``None`` when the variable was absent there); ``small`` is the tree
+    from the smaller map.  Note that entries *only* in the bigger map are
+    not wrapped at all -- rebuild tells the difference by comparing tags.
+    """
+
+    __slots__ = ("tag", "big", "small")
+    kind = "PTJoin"
+
+    def __init__(self, tag: int, big: Optional[PosTree], small: PosTree):
+        self.tag = tag
+        self.big = big
+        self.small = small
+
+
+def postree_equal(a: Optional[PosTree], b: Optional[PosTree]) -> bool:
+    """Structural equality of position trees (iterative, both flavours)."""
+    stack: list[tuple[Optional[PosTree], Optional[PosTree]]] = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        if x is y:
+            continue
+        if x is None or y is None:
+            return False
+        if x.kind != y.kind:
+            return False
+        if isinstance(x, PTJoin):
+            assert isinstance(y, PTJoin)
+            if x.tag != y.tag:
+                return False
+            stack.append((x.big, y.big))
+            stack.append((x.small, y.small))
+        elif isinstance(x, PTBoth):
+            assert isinstance(y, PTBoth)
+            stack.append((x.left, y.left))
+            stack.append((x.right, y.right))
+        elif isinstance(x, (PTLeftOnly, PTRightOnly)):
+            stack.append((x.child, y.child))  # type: ignore[union-attr]
+        # PTHere: nothing further to compare.
+    return True
+
+
+def postree_size(pt: Optional[PosTree]) -> int:
+    """Number of constructor calls in ``pt`` (the |d| of Lemma 6.6)."""
+    if pt is None:
+        return 0
+    total = 0
+    stack = [pt]
+    while stack:
+        node = stack.pop()
+        total += 1
+        if isinstance(node, PTJoin):
+            if node.big is not None:
+                stack.append(node.big)
+            stack.append(node.small)
+        elif isinstance(node, PTBoth):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, (PTLeftOnly, PTRightOnly)):
+            stack.append(node.child)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Hash recipes.  The fast algorithm (repro.core.hashed) calls these same
+# functions with raw ints, never building trees; hash_postree below folds a
+# materialised tree through them, and the two must agree bit-for-bit.
+# ---------------------------------------------------------------------------
+
+
+def pt_here_hash(combiners: HashCombiners) -> int:
+    """Hash of PTHere."""
+    return combiners.combine("pt_here")
+
+
+def pt_join_hash(
+    combiners: HashCombiners, tag: int, big_hash: Optional[int], small_hash: int
+) -> int:
+    """Hash of ``PTJoin tag big small`` from the children's hashes."""
+    return combiners.combine(
+        "pt_join", tag, combiners.maybe(big_hash), small_hash
+    )
+
+
+def pt_left_hash(combiners: HashCombiners, child_hash: int) -> int:
+    """Hash of ``PTLeftOnly child`` (naive form)."""
+    return combiners.combine("pt_left", child_hash)
+
+
+def pt_right_hash(combiners: HashCombiners, child_hash: int) -> int:
+    """Hash of ``PTRightOnly child`` (naive form)."""
+    return combiners.combine("pt_right", child_hash)
+
+
+def pt_both_hash(combiners: HashCombiners, left_hash: int, right_hash: int) -> int:
+    """Hash of ``PTBoth left right`` (naive form)."""
+    return combiners.combine("pt_both", left_hash, right_hash)
+
+
+def hash_postree(combiners: HashCombiners, pt: Optional[PosTree]) -> Optional[int]:
+    """Hash a materialised position tree (iterative postorder fold).
+
+    Returns ``None`` for ``None`` input (the ``Maybe PosTree`` case); use
+    :meth:`HashCombiners.maybe` at the call site where a concrete code is
+    needed.
+    """
+    if pt is None:
+        return None
+    here = pt_here_hash(combiners)
+    results: list[int] = []
+    # (node, visited) two-phase DFS.
+    stack: list[tuple[PosTree, bool]] = [(pt, False)]
+    while stack:
+        node, visited = stack.pop()
+        if not visited:
+            stack.append((node, True))
+            if isinstance(node, PTJoin):
+                if node.big is not None:
+                    stack.append((node.big, False))
+                stack.append((node.small, False))
+            elif isinstance(node, PTBoth):
+                stack.append((node.right, False))
+                stack.append((node.left, False))
+            elif isinstance(node, (PTLeftOnly, PTRightOnly)):
+                stack.append((node.child, False))
+        else:
+            if node.kind == "PTHere":
+                results.append(here)
+            elif isinstance(node, PTJoin):
+                big_hash = results.pop() if node.big is not None else None
+                small_hash = results.pop()
+                results.append(pt_join_hash(combiners, node.tag, big_hash, small_hash))
+            elif isinstance(node, PTBoth):
+                right_hash = results.pop()
+                left_hash = results.pop()
+                results.append(pt_both_hash(combiners, left_hash, right_hash))
+            elif isinstance(node, PTLeftOnly):
+                results.append(pt_left_hash(combiners, results.pop()))
+            elif isinstance(node, PTRightOnly):
+                results.append(pt_right_hash(combiners, results.pop()))
+            else:  # pragma: no cover
+                raise TypeError(f"unknown postree kind {node.kind}")
+    assert len(results) == 1
+    return results[0]

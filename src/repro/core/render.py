@@ -1,0 +1,165 @@
+"""Text rendering of e-summaries (structures, position trees, maps).
+
+Figure 1 of the paper walks through the e-summaries of
+``\\x. (\\b. x b) x`` subexpression by subexpression, showing each
+node's Structure (with names erased) and VarMap (names only here).
+This module renders those data structures compactly so the
+``python -m repro fig1`` harness can reproduce the figure as text, and
+so debugging sessions can *see* summaries:
+
+* structures print like expressions with anonymised variables::
+
+      (lam {L} (app (lam {R} (app <v> <v>)) <v>))
+
+  where ``{...}`` is the binder's position tree;
+* naive position trees print as paths (``L``, ``LR``, ``{L,R}``...);
+* tagged position trees print their joins explicitly
+  (``join@5(big=_, small=*)``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.esummary import ESummary
+from repro.core.position_tree import (
+    PosTree,
+    PTBoth,
+    PTJoin,
+    PTLeftOnly,
+    PTRightOnly,
+)
+from repro.core.structure import SApp, SLam, SLet, SLit, Structure
+
+__all__ = ["render_postree", "render_structure", "render_esummary"]
+
+
+def render_postree(pos: Optional[PosTree]) -> str:
+    """Render a position tree.
+
+    Naive-form trees render as the *set of occurrence paths* the tree
+    denotes (the ``{L,LLRL,RRL}`` notation of Section 4.5); tagged trees
+    render structurally since their meaning depends on merge tags.
+    """
+    if pos is None:
+        return "(absent)"
+    if _is_naive(pos):
+        paths = sorted(_naive_paths(pos))
+        if paths == [""]:
+            return "{here}"
+        return "{" + ",".join(paths) + "}"
+    return _render_tagged(pos)
+
+
+def _is_naive(pos: PosTree) -> bool:
+    stack = [pos]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, PTJoin):
+            return False
+        if isinstance(node, PTBoth):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, (PTLeftOnly, PTRightOnly)):
+            stack.append(node.child)
+    return True
+
+
+def _naive_paths(pos: PosTree) -> list[str]:
+    """All occurrence paths denoted by a naive position tree."""
+    out: list[str] = []
+    stack: list[tuple[PosTree, str]] = [(pos, "")]
+    while stack:
+        node, prefix = stack.pop()
+        if node.kind == "PTHere":
+            out.append(prefix)
+        elif isinstance(node, PTLeftOnly):
+            stack.append((node.child, prefix + "L"))
+        elif isinstance(node, PTRightOnly):
+            stack.append((node.child, prefix + "R"))
+        elif isinstance(node, PTBoth):
+            stack.append((node.left, prefix + "L"))
+            stack.append((node.right, prefix + "R"))
+    return out
+
+
+def _render_tagged(pos: PosTree) -> str:
+    pieces: list[str] = []
+    # stack of strings and nodes (strings are emitted verbatim)
+    stack: list[object] = [pos]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            pieces.append(item)
+            continue
+        assert isinstance(item, PosTree)
+        if item.kind == "PTHere":
+            pieces.append("*")
+        elif isinstance(item, PTJoin):
+            pieces.append(f"join@{item.tag}(big=")
+            stack.append(")")
+            stack.append(item.small)
+            stack.append(", small=")
+            stack.append(item.big if item.big is not None else "_")
+        elif isinstance(item, PTLeftOnly):
+            pieces.append("L(")
+            stack.append(")")
+            stack.append(item.child)
+        elif isinstance(item, PTRightOnly):
+            pieces.append("R(")
+            stack.append(")")
+            stack.append(item.child)
+        else:
+            assert isinstance(item, PTBoth)
+            pieces.append("B(")
+            stack.append(")")
+            stack.append(item.right)
+            stack.append(", ")
+            stack.append(item.left)
+    return "".join(pieces)
+
+
+def render_structure(structure: Structure) -> str:
+    """Render a structure with anonymised variables."""
+    pieces: list[str] = []
+    stack: list[object] = [structure]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            pieces.append(item)
+            continue
+        assert isinstance(item, Structure)
+        if item.kind == "SVar":
+            pieces.append("<v>")
+        elif isinstance(item, SLit):
+            pieces.append(f"<{item.value!r}>")
+        elif isinstance(item, SLam):
+            pieces.append(f"(lam {render_postree(item.pos)} ")
+            stack.append(")")
+            stack.append(item.body)
+        elif isinstance(item, SApp):
+            pieces.append("(app ")
+            stack.append(")")
+            stack.append(item.arg)
+            stack.append(" ")
+            stack.append(item.fn)
+        else:
+            assert isinstance(item, SLet)
+            pieces.append(f"(let {render_postree(item.pos)} ")
+            stack.append(")")
+            stack.append(item.body)
+            stack.append(" ")
+            stack.append(item.bound)
+    return "".join(pieces)
+
+
+def render_esummary(summary: ESummary) -> str:
+    """Render an e-summary as ``Structure: ... / VarMap: name -> paths``."""
+    lines = [f"Structure: {render_structure(summary.structure)}"]
+    if len(summary.varmap) == 0:
+        lines.append("VarMap:    (empty)")
+    else:
+        for name in sorted(summary.varmap.entries):
+            pos = summary.varmap.entries[name]
+            lines.append(f"VarMap:    {name} -> {render_postree(pos)}")
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+One module per artefact:
+
+========  ===========================================  =================
+Artefact  Claim reproduced                              Module
+========  ===========================================  =================
+Table 1   algorithm matrix + true-pos/neg flags         ``table1``
+Figure 2  time vs n, balanced & unbalanced random       ``fig2``
+Table 2   ms on MNIST CNN / GMM / BERT-12               ``table2``
+Figure 3  BERT layer sweep                              ``fig3``
+Figure 4  collision counts vs theory (App. B)           ``fig4``
+S 6.3     incremental rehash cost                       ``incremental_exp``
+L 6.1     map-operation counts                          ``opcounts``
+(ours)    design-choice ablations                       ``ablations``
+========  ===========================================  =================
+
+Each module has ``run_*`` (programmatic) and ``main`` (CLI) entry
+points; ``python -m repro <artefact>`` dispatches to them.
+"""
+
+from repro.evalharness.config import PROFILES, ScaleProfile, current_profile
+
+__all__ = ["PROFILES", "ScaleProfile", "current_profile"]

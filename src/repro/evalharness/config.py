@@ -1,0 +1,108 @@
+"""Benchmark scale configuration.
+
+The paper's Haskell artefact sweeps to 10^7 nodes and runs 10 * 2^16
+collision trials per size; pure Python is ~2 orders of magnitude slower,
+so the harnesses take their problem sizes from a scale profile:
+
+* ``ci``    -- seconds-fast, used by the pytest-benchmark suite defaults;
+* ``small`` -- a couple of minutes, enough to see every asymptotic
+  separation the paper plots (the default for the CLI);
+* ``paper`` -- hours; approaches the paper's ranges.
+
+Select with the ``REPRO_BENCH_SCALE`` environment variable or the CLI
+``--scale`` flag.  Individual knobs can be overridden per harness.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ScaleProfile", "PROFILES", "current_profile"]
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Problem sizes for every harness at one scale."""
+
+    name: str
+    #: Figure 2 sweep sizes for the fast algorithms (ours + incorrect ones).
+    fig2_sizes: tuple[int, ...]
+    #: Cap for the quadratic locally-nameless baseline on balanced trees.
+    fig2_ln_max_balanced: int
+    #: Cap for locally nameless on unbalanced trees (quadratic blow-up).
+    fig2_ln_max_unbalanced: int
+    #: Figure 3 BERT layer counts.
+    fig3_layers: tuple[int, ...]
+    #: Cap (in layers) for locally nameless in the Figure 3 sweep.
+    fig3_ln_max_layers: int
+    #: Figure 4 expression sizes.
+    fig4_sizes: tuple[int, ...]
+    #: Figure 4 trials per (family, size) cell.
+    fig4_trials: int
+    #: Figure 4 hash width (the paper uses 16; smaller widths surface
+    #: collisions at lower trial counts with the same qualitative shape).
+    fig4_bits: int
+    #: Incremental-experiment expression sizes.
+    incremental_sizes: tuple[int, ...]
+    #: Lemma 6.1 op-count sweep sizes.
+    opcount_sizes: tuple[int, ...]
+    #: timing repeats per measurement.
+    repeats: int
+
+
+PROFILES: dict[str, ScaleProfile] = {
+    "ci": ScaleProfile(
+        name="ci",
+        fig2_sizes=(64, 256, 1024, 4096, 16384),
+        fig2_ln_max_balanced=4096,
+        fig2_ln_max_unbalanced=2048,
+        fig3_layers=(1, 2, 4),
+        fig3_ln_max_layers=2,
+        fig4_sizes=(128, 256),
+        fig4_trials=150,
+        fig4_bits=12,
+        incremental_sizes=(1024, 4096, 16384),
+        opcount_sizes=(256, 1024, 4096, 16384),
+        repeats=1,
+    ),
+    "small": ScaleProfile(
+        name="small",
+        fig2_sizes=(64, 256, 1024, 4096, 16384, 65536, 262144),
+        fig2_ln_max_balanced=65536,
+        fig2_ln_max_unbalanced=8192,
+        fig3_layers=(1, 2, 4, 8, 12, 16, 24),
+        fig3_ln_max_layers=12,
+        fig4_sizes=(128, 256, 512, 1024),
+        fig4_trials=600,
+        fig4_bits=12,
+        incremental_sizes=(1024, 8192, 65536, 262144),
+        opcount_sizes=(256, 1024, 4096, 16384, 65536, 262144),
+        repeats=3,
+    ),
+    "paper": ScaleProfile(
+        name="paper",
+        fig2_sizes=(64, 256, 1024, 4096, 16384, 65536, 262144, 1048576),
+        fig2_ln_max_balanced=262144,
+        fig2_ln_max_unbalanced=16384,
+        fig3_layers=(1, 2, 4, 8, 12, 16, 20, 24),
+        fig3_ln_max_layers=24,
+        fig4_sizes=(128, 256, 512, 1024, 2048, 4096),
+        fig4_trials=655360,  # the appendix's 10 * 2^16
+        fig4_bits=16,
+        incremental_sizes=(1024, 8192, 65536, 262144, 1048576),
+        opcount_sizes=(1024, 4096, 16384, 65536, 262144, 1048576),
+        repeats=5,
+    ),
+}
+
+
+def current_profile(override: str | None = None) -> ScaleProfile:
+    """The active profile: ``override`` > ``$REPRO_BENCH_SCALE`` > ci."""
+    name = override or os.environ.get("REPRO_BENCH_SCALE", "ci")
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale profile {name!r}; available: {sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,134 @@
+"""Figure 2: hashing time vs expression size, random expressions.
+
+Left plot: roughly balanced random trees.  Right plot: wildly unbalanced
+trees.  Four series -- Structural*, De Bruijn*, Locally Nameless, Ours
+(* marks algorithms that compute an incorrect equivalence relation and
+serve as speed floors).
+
+The paper's claims this harness reproduces:
+
+* Ours tracks its log-linear bound on both families;
+* Locally Nameless goes clearly quadratic on unbalanced trees (and on
+  balanced trees costs an extra log-ish factor over Ours);
+* the incorrect algorithms are faster than Ours by a modest constant.
+
+Output: one row per size with seconds per algorithm, then fitted
+log-log slopes (the tabular stand-in for the plot's guide lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.complexity import loglog_slope
+from repro.analysis.timing import time_call
+from repro.baselines.registry import ALGORITHMS, TABLE1_ORDER
+from repro.evalharness.config import current_profile
+from repro.evalharness.format import format_seconds, format_table
+from repro.gen.random_exprs import random_expr
+
+__all__ = ["Fig2Result", "run_fig2", "main"]
+
+
+@dataclass
+class Fig2Result:
+    """Timing series for one expression family."""
+
+    family: str
+    sizes: list[int]
+    #: algorithm name -> list of seconds aligned with ``sizes`` (None
+    #: where the algorithm was capped out).
+    seconds: dict[str, list[Optional[float]]]
+
+    def slope(self, algorithm: str) -> Optional[float]:
+        pairs = [
+            (n, t)
+            for n, t in zip(self.sizes, self.seconds[algorithm])
+            if t is not None
+        ]
+        if len(pairs) < 2:
+            return None
+        return loglog_slope([n for n, _ in pairs], [t for _, t in pairs])
+
+    def format(self) -> str:
+        labels = {name: ALGORITHMS[name].label for name in self.seconds}
+        headers = ["n"] + [
+            labels[name] + ("" if ALGORITHMS[name].correct else "*")
+            for name in self.seconds
+        ]
+        rows = []
+        for i, n in enumerate(self.sizes):
+            row: list[object] = [n]
+            for name in self.seconds:
+                t = self.seconds[name][i]
+                row.append(format_seconds(t) if t is not None else "-")
+            rows.append(row)
+        slope_row: list[object] = ["slope"]
+        for name in self.seconds:
+            s = self.slope(name)
+            slope_row.append(f"{s:.2f}" if s is not None else "-")
+        rows.append(slope_row)
+        title = (
+            f"Figure 2 ({self.family}): time to hash all subexpressions\n"
+            "(* = incorrect equivalence classes; slope = log-log fit,"
+            " 1 = linear, 2 = quadratic)"
+        )
+        return format_table(headers, rows, title=title)
+
+
+def run_fig2(
+    family: str,
+    sizes: Optional[Sequence[int]] = None,
+    algorithms: Sequence[str] = TABLE1_ORDER,
+    scale: str | None = None,
+    repeats: int | None = None,
+    seed: int = 0,
+) -> Fig2Result:
+    """Measure the Figure 2 sweep for ``family`` ('balanced'/'unbalanced')."""
+    profile = current_profile(scale)
+    if sizes is None:
+        sizes = profile.fig2_sizes
+    if repeats is None:
+        repeats = profile.repeats
+    ln_cap = (
+        profile.fig2_ln_max_balanced
+        if family == "balanced"
+        else profile.fig2_ln_max_unbalanced
+    )
+
+    result = Fig2Result(family, list(sizes), {name: [] for name in algorithms})
+    for n in sizes:
+        expr = random_expr(n, seed=seed ^ n, shape=family)
+        for name in algorithms:
+            algorithm = ALGORITHMS[name]
+            if name == "locally_nameless" and n > ln_cap:
+                result.seconds[name].append(None)
+                continue
+            timing = time_call(lambda: algorithm(expr), repeats=repeats)
+            result.seconds[name].append(timing.best)
+    return result
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--family",
+        choices=("balanced", "unbalanced", "both"),
+        default="both",
+    )
+    parser.add_argument("--scale", default=None, help="ci | small | paper")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    families = ("balanced", "unbalanced") if args.family == "both" else (args.family,)
+    for family in families:
+        print(run_fig2(family, scale=args.scale, seed=args.seed).format())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

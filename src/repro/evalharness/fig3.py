@@ -1,0 +1,108 @@
+"""Figure 3: hashing time on the BERT workload as layers scale.
+
+The expression size grows linearly with the layer count (loop
+unrolling); the paper shows Locally Nameless diverging quadratically
+while Ours stays near the incorrect baselines.  Same four series as
+Figure 2, swept over layer counts instead of random sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.complexity import loglog_slope
+from repro.analysis.timing import time_call
+from repro.baselines.registry import ALGORITHMS, TABLE1_ORDER
+from repro.evalharness.config import current_profile
+from repro.evalharness.format import format_seconds, format_table
+from repro.workloads.bert import bert_target_nodes, build_bert
+
+__all__ = ["Fig3Result", "run_fig3", "main"]
+
+
+@dataclass
+class Fig3Result:
+    """Timing series over BERT layer counts."""
+
+    layers: list[int]
+    sizes: list[int]
+    seconds: dict[str, list[Optional[float]]]
+
+    def slope(self, algorithm: str) -> Optional[float]:
+        pairs = [
+            (n, t)
+            for n, t in zip(self.sizes, self.seconds[algorithm])
+            if t is not None
+        ]
+        if len(pairs) < 2:
+            return None
+        return loglog_slope(
+            [n for n, _ in pairs], [t for _, t in pairs], tail=len(pairs)
+        )
+
+    def format(self) -> str:
+        headers = ["layers", "n"] + [
+            ALGORITHMS[name].label + ("" if ALGORITHMS[name].correct else "*")
+            for name in self.seconds
+        ]
+        rows: list[list[object]] = []
+        for i, (layers, n) in enumerate(zip(self.layers, self.sizes)):
+            row: list[object] = [layers, n]
+            for name in self.seconds:
+                t = self.seconds[name][i]
+                row.append(format_seconds(t) if t is not None else "-")
+            rows.append(row)
+        slope_row: list[object] = ["slope", ""]
+        for name in self.seconds:
+            s = self.slope(name)
+            slope_row.append(f"{s:.2f}" if s is not None else "-")
+        rows.append(slope_row)
+        title = (
+            "Figure 3: time to hash all subexpressions, BERT layer sweep\n"
+            "(* = incorrect equivalence classes; slope vs n,"
+            " 1 = linear, 2 = quadratic)"
+        )
+        return format_table(headers, rows, title=title)
+
+
+def run_fig3(
+    layer_counts: Optional[Sequence[int]] = None,
+    algorithms: Sequence[str] = TABLE1_ORDER,
+    scale: str | None = None,
+    repeats: int | None = None,
+) -> Fig3Result:
+    """Measure the BERT sweep."""
+    profile = current_profile(scale)
+    if layer_counts is None:
+        layer_counts = profile.fig3_layers
+    if repeats is None:
+        repeats = profile.repeats
+
+    layers = list(layer_counts)
+    sizes = [bert_target_nodes(l) for l in layers]
+    result = Fig3Result(layers, sizes, {name: [] for name in algorithms})
+    for l in layers:
+        expr = build_bert(l)
+        for name in algorithms:
+            if name == "locally_nameless" and l > profile.fig3_ln_max_layers:
+                result.seconds[name].append(None)
+                continue
+            algorithm = ALGORITHMS[name]
+            timing = time_call(lambda: algorithm(expr), repeats=repeats)
+            result.seconds[name].append(timing.best)
+    return result
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default=None, help="ci | small | paper")
+    args = parser.parse_args(argv)
+    print(run_fig3(scale=args.scale).format())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,160 @@
+"""Section 6.3 experiment: incremental re-hashing after a local rewrite.
+
+The paper's analysis: after rewriting a subtree at depth ``h``, only the
+new subtree and the ``h`` ancestors need new summaries -- O(h^2 + h*f)
+work (``f`` = never-bound free variables), or O((log n)^2) on balanced
+trees -- versus O(n log n) for re-hashing from scratch.
+
+This harness replaces a small random subtree in expressions of growing
+size and reports
+
+* the nodes touched by the incremental update vs the whole-tree size,
+* the wall-clock ratio of incremental update vs batch re-hash.
+
+Expected shape: the touched fraction collapses toward zero as n grows
+on balanced inputs (logarithmic path), and incremental wins by orders of
+magnitude.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.timing import time_call
+from repro.core.hashed import alpha_hash_all
+from repro.core.incremental import IncrementalHasher
+from repro.evalharness.config import current_profile
+from repro.evalharness.format import format_seconds, format_table
+from repro.gen.random_exprs import random_expr
+from repro.lang.expr import Expr, Lit, Var
+from repro.lang.traversal import preorder_with_paths
+
+__all__ = ["IncrementalRow", "run_incremental", "main"]
+
+
+@dataclass
+class IncrementalRow:
+    """One expression size's incremental-vs-batch comparison."""
+
+    size: int
+    depth: int
+    rewrite_depth: int
+    touched_nodes: int
+    path_map_entries: int
+    incremental_seconds: float
+    batch_seconds: float
+
+    @property
+    def touched_fraction(self) -> float:
+        return self.touched_nodes / self.size
+
+    @property
+    def speedup(self) -> float:
+        return self.batch_seconds / self.incremental_seconds
+
+
+def _pick_rewrite_path(expr: Expr, rng: random.Random, max_subtree: int) -> tuple[int, ...]:
+    """A random path whose subtree is small (a local rewrite)."""
+    candidates = [
+        path
+        for path, node in preorder_with_paths(expr)
+        if node.size <= max_subtree and len(path) >= 1
+    ]
+    return rng.choice(candidates)
+
+
+def run_incremental(
+    sizes: Optional[Sequence[int]] = None,
+    shape: str = "balanced",
+    scale: str | None = None,
+    seed: int = 0,
+    max_subtree: int = 9,
+) -> list[IncrementalRow]:
+    """Measure incremental update cost across expression sizes."""
+    profile = current_profile(scale)
+    if sizes is None:
+        sizes = profile.incremental_sizes
+    rng = random.Random(seed)
+
+    rows = []
+    for n in sizes:
+        expr = random_expr(n, seed=seed ^ n, shape=shape)
+        path = _pick_rewrite_path(expr, rng, max_subtree)
+        replacement = Lit(rng.randrange(1000))
+
+        hasher = IncrementalHasher(expr)
+        stats = hasher.replace(path, replacement)
+
+        # Wall-clock: a fresh hasher per repetition would re-measure the
+        # build; instead re-apply alternating rewrites in place.
+        other = Var("fresh_free_var")
+        toggle = [replacement, other]
+        counter = [0]
+
+        def do_replace() -> None:
+            counter[0] += 1
+            hasher.replace(path, toggle[counter[0] % 2])
+
+        incremental_time = time_call(do_replace, repeats=max(3, profile.repeats))
+        batch_time = time_call(
+            lambda: alpha_hash_all(hasher.expr), repeats=profile.repeats
+        )
+        rows.append(
+            IncrementalRow(
+                size=n,
+                depth=expr.depth,
+                rewrite_depth=len(path),
+                touched_nodes=stats.touched_nodes,
+                path_map_entries=stats.path_map_entries,
+                incremental_seconds=incremental_time.best,
+                batch_seconds=batch_time.best,
+            )
+        )
+    return rows
+
+
+def format_rows(rows: Sequence[IncrementalRow], shape: str) -> str:
+    table = [
+        [
+            row.size,
+            row.rewrite_depth,
+            row.touched_nodes,
+            f"{row.touched_fraction * 100:.3f}%",
+            format_seconds(row.incremental_seconds),
+            format_seconds(row.batch_seconds),
+            f"{row.speedup:.1f}x",
+        ]
+        for row in rows
+    ]
+    title = (
+        f"Section 6.3: incremental re-hash after a local rewrite ({shape} trees)"
+    )
+    headers = [
+        "n",
+        "rewrite depth",
+        "touched nodes",
+        "touched %",
+        "incremental",
+        "batch rehash",
+        "speedup",
+    ]
+    return format_table(headers, table, title=title)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default=None, help="ci | small | paper")
+    parser.add_argument("--shape", choices=("balanced", "unbalanced"), default="balanced")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    rows = run_incremental(shape=args.shape, scale=args.scale, seed=args.seed)
+    print(format_rows(rows, args.shape))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,141 @@
+"""Lemma 6.1/6.2 experiment: counting variable-map operations.
+
+The complexity proof's load-bearing fact is *not* about wall-clock: it
+bounds the **number of map operations** the summariser performs by
+O(n log n) (Lemma 6.1 for the App-node merges, Lemma 6.2 adding the one
+op per Var/Lam node).  This harness instruments the summariser and
+reports ops/n for growing n -- which should grow like log n, i.e. by a
+constant increment each time n quadruples -- on both tree shapes.
+
+It also demonstrates the "smaller subtree" optimisation (Section 4.8)
+by comparing against a variant that always merges the right map into
+the left regardless of size: on unbalanced trees the total ops go
+quadratic without the optimisation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.combiners import default_combiners
+from repro.core.hashed import alpha_hash_all
+from repro.core.varmap import MapOpStats
+from repro.evalharness.ablations import alpha_hash_all_always_left
+from repro.evalharness.config import current_profile
+from repro.evalharness.format import format_table
+from repro.gen.random_exprs import random_expr
+
+__all__ = ["OpCountRow", "run_opcounts", "main"]
+
+
+@dataclass
+class OpCountRow:
+    """Operation counts at one size."""
+
+    size: int
+    shape: str
+    smaller_subtree_ops: int
+    #: None when the quadratic ablation was skipped at this size.
+    always_left_ops: Optional[int]
+
+    @property
+    def ops_per_node(self) -> float:
+        return self.smaller_subtree_ops / self.size
+
+    @property
+    def lemma_bound(self) -> float:
+        """The n log2 n quantity Lemma 6.1 compares against."""
+        return self.size * math.log2(max(self.size, 2))
+
+
+def run_opcounts(
+    sizes: Optional[Sequence[int]] = None,
+    shape: str = "unbalanced",
+    scale: str | None = None,
+    seed: int = 0,
+    always_left_cap: int = 16384,
+) -> list[OpCountRow]:
+    """Count map operations for both merge policies across sizes.
+
+    The always-left ablation is quadratic on unbalanced inputs, so it is
+    skipped (``always_left_ops=None``) above ``always_left_cap`` nodes.
+    """
+    profile = current_profile(scale)
+    if sizes is None:
+        sizes = profile.opcount_sizes
+
+    rows = []
+    for n in sizes:
+        expr = random_expr(n, seed=seed ^ n, shape=shape)
+        stats = MapOpStats()
+        alpha_hash_all(expr, default_combiners(), stats=stats)
+        left_total: Optional[int] = None
+        if n <= always_left_cap:
+            stats_left = MapOpStats()
+            alpha_hash_all_always_left(expr, default_combiners(), stats=stats_left)
+            left_total = stats_left.total
+        rows.append(
+            OpCountRow(
+                size=n,
+                shape=shape,
+                smaller_subtree_ops=stats.total,
+                always_left_ops=left_total,
+            )
+        )
+    return rows
+
+
+def format_rows(rows: Sequence[OpCountRow]) -> str:
+    table = []
+    for row in rows:
+        if row.always_left_ops is None:
+            left, blowup = "-", "-"
+        else:
+            left = row.always_left_ops
+            blowup = f"{row.always_left_ops / row.smaller_subtree_ops:.1f}x"
+        table.append(
+            [
+                row.size,
+                row.smaller_subtree_ops,
+                f"{row.ops_per_node:.2f}",
+                f"{row.lemma_bound:.0f}",
+                left,
+                blowup,
+            ]
+        )
+    shape = rows[0].shape if rows else "?"
+    title = (
+        f"Lemma 6.1/6.2: map operations, {shape} trees\n"
+        "(ops/n should grow ~log n; 'always-left' disables the"
+        " smaller-subtree optimisation)"
+    )
+    headers = [
+        "n",
+        "ops (smaller-subtree)",
+        "ops/n",
+        "n log2 n",
+        "ops (always-left)",
+        "blowup",
+    ]
+    return format_table(headers, table, title=title)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default=None, help="ci | small | paper")
+    parser.add_argument(
+        "--shape", choices=("balanced", "unbalanced"), default="unbalanced"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    rows = run_opcounts(shape=args.shape, scale=args.scale, seed=args.seed)
+    print(format_rows(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,166 @@
+"""Table 1: the algorithm matrix, with its claims verified empirically.
+
+The paper's Table 1 lists each algorithm's time complexity and whether
+it yields only true positives / true negatives.  This harness prints the
+matrix and *checks* the two boolean columns:
+
+* the true-negative probe is the Section 2.4 false-negative example
+  (``\\t. foo (\\x.x+t) (\\y.\\x.x+t)``: the two inner lambdas are
+  alpha-equivalent and must hash equal);
+* the true-positive probe is the Section 2.4 false-positive example
+  (``\\t. foo (\\x.t*(x+1)) (\\y.\\x.y*(x+1))``: the two inner lambdas are
+  *not* alpha-equivalent and must hash differently);
+* plus randomized probes: alpha-renamed random expressions must collide
+  (for true-negative algorithms) and random non-equivalent same-size
+  expressions must not (for true-positive ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.baselines.registry import ALGORITHMS, TABLE1_ORDER
+from repro.evalharness.format import format_table
+from repro.gen.random_exprs import alpha_rename, random_expr
+from repro.lang.alpha import alpha_equivalent
+from repro.lang.expr import Expr
+from repro.lang.parser import parse
+
+__all__ = ["Table1Row", "run_table1", "main"]
+
+_FALSE_NEG_PROBE = r"\t. foo (\x. x + t) (\y. \x2. x2 + t)"
+_FALSE_POS_PROBE = r"\t. foo (\x. t * (x + 1)) (\y. \x2. y * (x2 + 1))"
+
+
+@dataclass
+class Table1Row:
+    """One algorithm's claimed and observed properties."""
+
+    name: str
+    label: str
+    paper_complexity: str
+    claimed_true_pos: bool
+    claimed_true_neg: bool
+    observed_true_pos: bool
+    observed_true_neg: bool
+
+    @property
+    def consistent(self) -> bool:
+        return (
+            self.claimed_true_pos == self.observed_true_pos
+            and self.claimed_true_neg == self.observed_true_neg
+        )
+
+
+def _inner_lams(expr: Expr) -> tuple[Expr, Expr]:
+    """The two probe sub-lambdas of the Section 2.4 examples."""
+    first = expr.body.fn.arg  # type: ignore[union-attr]
+    second = expr.body.arg.body  # type: ignore[union-attr]
+    assert first.kind == "Lam" and second.kind == "Lam"
+    return first, second
+
+
+def _observe(name: str, random_trials: int, seed: int) -> tuple[bool, bool]:
+    """(true_positives, true_negatives) as observed on the probes."""
+    algorithm = ALGORITHMS[name]
+
+    # True negatives: alpha-equivalent things must collide.
+    true_neg = True
+    probe = parse(_FALSE_NEG_PROBE)
+    a, b = _inner_lams(probe)
+    hashes = algorithm(probe)
+    if hashes.hash_of(a) != hashes.hash_of(b):
+        true_neg = False
+    for trial in range(random_trials):
+        expr = random_expr(120 + trial, seed=seed + trial, shape="balanced")
+        renamed = alpha_rename(expr, seed=trial)
+        if algorithm(expr).root_hash != algorithm(renamed).root_hash:
+            true_neg = False
+            break
+
+    # True positives: non-alpha-equivalent things must not collide.
+    true_pos = True
+    probe = parse(_FALSE_POS_PROBE)
+    a, b = _inner_lams(probe)
+    hashes = algorithm(probe)
+    if hashes.hash_of(a) == hashes.hash_of(b):
+        true_pos = False
+    for trial in range(random_trials):
+        e1 = random_expr(90 + trial, seed=seed + 1000 + trial, shape="balanced")
+        e2 = random_expr(90 + trial, seed=seed + 2000 + trial, shape="balanced")
+        if alpha_equivalent(e1, e2):
+            continue
+        if algorithm(e1).root_hash == algorithm(e2).root_hash:
+            true_pos = False
+            break
+    return true_pos, true_neg
+
+
+def run_table1(
+    algorithms: Sequence[str] = TABLE1_ORDER,
+    random_trials: int = 25,
+    seed: int = 0,
+) -> list[Table1Row]:
+    """Build (and verify) the Table 1 rows."""
+    rows = []
+    for name in algorithms:
+        algorithm = ALGORITHMS[name]
+        observed_tp, observed_tn = _observe(name, random_trials, seed)
+        rows.append(
+            Table1Row(
+                name=name,
+                label=algorithm.label,
+                paper_complexity=algorithm.paper_complexity,
+                claimed_true_pos=algorithm.true_positives,
+                claimed_true_neg=algorithm.true_negatives,
+                observed_true_pos=observed_tp,
+                observed_true_neg=observed_tn,
+            )
+        )
+    return rows
+
+
+def format_rows(rows: Sequence[Table1Row]) -> str:
+    def yn(flag: bool) -> str:
+        return "Yes" if flag else "No"
+
+    table_rows = [
+        [
+            row.label,
+            row.paper_complexity,
+            yn(row.claimed_true_pos),
+            yn(row.observed_true_pos),
+            yn(row.claimed_true_neg),
+            yn(row.observed_true_neg),
+            "ok" if row.consistent else "MISMATCH",
+        ]
+        for row in rows
+    ]
+    title = "Table 1: algorithms (claimed vs empirically observed)"
+    headers = [
+        "Algorithm",
+        "Complexity",
+        "True pos.",
+        "(observed)",
+        "True neg.",
+        "(observed)",
+        "check",
+    ]
+    return format_table(headers, table_rows, title=title)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    rows = run_table1(random_trials=args.trials, seed=args.seed)
+    print(format_rows(rows))
+    return 0 if all(r.consistent for r in rows) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

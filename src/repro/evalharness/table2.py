@@ -1,0 +1,114 @@
+"""Table 2: milliseconds to hash all subexpressions of the realistic
+machine-learning expressions (MNIST CNN n=840, GMM n=1810, BERT-12
+n=12975).
+
+The paper's claims this harness reproduces:
+
+* Ours is within a small factor (<= ~4x in the paper) of the incorrect
+  De Bruijn baseline on all three workloads;
+* Ours beats Locally Nameless decisively on the large BERT expression
+  (820 ms vs 3.6 ms in the paper -- two orders of magnitude);
+* absolute numbers differ (pure Python vs GHC) but the ordering and the
+  growth of the LN gap with n is the result being tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.timing import time_call
+from repro.baselines.registry import ALGORITHMS, TABLE1_ORDER
+from repro.evalharness.config import current_profile
+from repro.evalharness.format import format_ms, format_table
+from repro.workloads import TABLE2_WORKLOADS
+
+__all__ = ["Table2Result", "run_table2", "main", "PAPER_TABLE2_MS"]
+
+#: The paper's reported milliseconds, for side-by-side display.
+PAPER_TABLE2_MS: dict[str, dict[str, float]] = {
+    "structural": {"MNIST CNN": 0.011, "GMM": 0.027, "BERT 12": 0.38},
+    "debruijn": {"MNIST CNN": 0.035, "GMM": 0.089, "BERT 12": 1.70},
+    "locally_nameless": {"MNIST CNN": 0.30, "GMM": 2.00, "BERT 12": 820.0},
+    "ours": {"MNIST CNN": 0.14, "GMM": 0.36, "BERT 12": 3.6},
+}
+
+
+@dataclass
+class Table2Result:
+    """Measured seconds per (algorithm, workload)."""
+
+    workloads: list[tuple[str, int]]  # (name, node count)
+    seconds: dict[str, list[float]]  # algorithm -> aligned with workloads
+
+    def format(self, show_paper: bool = True) -> str:
+        headers = ["Algorithm"] + [
+            f"{name} (n={n})" for name, n in self.workloads
+        ]
+        rows: list[list[object]] = []
+        for alg_name, series in self.seconds.items():
+            algorithm = ALGORITHMS[alg_name]
+            label = algorithm.label + ("" if algorithm.correct else "*")
+            rows.append([label] + [f"{format_ms(t)} ms" for t in series])
+            if show_paper and alg_name in PAPER_TABLE2_MS:
+                paper = PAPER_TABLE2_MS[alg_name]
+                rows.append(
+                    ["  (paper)"]
+                    + [
+                        f"{format_ms(paper[name] / 1e3)} ms"
+                        for name, _ in self.workloads
+                    ]
+                )
+        title = (
+            "Table 2: time to hash all subexpressions, realistic expressions\n"
+            "(* = incorrect equivalence classes)"
+        )
+        return format_table(headers, rows, title=title)
+
+    def ratio(self, numerator: str, denominator: str, workload: str) -> float:
+        index = [name for name, _ in self.workloads].index(workload)
+        return self.seconds[numerator][index] / self.seconds[denominator][index]
+
+
+def run_table2(
+    algorithms: Sequence[str] = TABLE1_ORDER,
+    scale: str | None = None,
+    repeats: int | None = None,
+) -> Table2Result:
+    """Measure all algorithms on the three Table 2 workloads."""
+    profile = current_profile(scale)
+    if repeats is None:
+        repeats = profile.repeats
+    workloads = []
+    exprs = []
+    for name, (builder, reported) in TABLE2_WORKLOADS.items():
+        expr = builder()
+        assert expr.size == reported, (name, expr.size, reported)
+        workloads.append((name, expr.size))
+        exprs.append(expr)
+
+    seconds: dict[str, list[float]] = {}
+    for alg_name in algorithms:
+        algorithm = ALGORITHMS[alg_name]
+        seconds[alg_name] = [
+            time_call(lambda e=expr: algorithm(e), repeats=repeats).best
+            for expr in exprs
+        ]
+    return Table2Result(workloads, seconds)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default=None, help="ci | small | paper")
+    parser.add_argument(
+        "--no-paper", action="store_true", help="hide the paper's numbers"
+    )
+    args = parser.parse_args(argv)
+    print(run_table2(scale=args.scale).format(show_paper=not args.no_paper))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

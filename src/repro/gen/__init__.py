@@ -1,0 +1,21 @@
+"""Random and adversarial expression generators (Section 7.1, App. B)."""
+
+from repro.gen.adversarial import MIN_ADVERSARIAL_SIZE, adversarial_pair, seed_pair
+from repro.gen.random_exprs import (
+    FREE_POOL,
+    alpha_rename,
+    random_balanced,
+    random_expr,
+    random_unbalanced,
+)
+
+__all__ = [
+    "MIN_ADVERSARIAL_SIZE",
+    "adversarial_pair",
+    "seed_pair",
+    "FREE_POOL",
+    "alpha_rename",
+    "random_balanced",
+    "random_expr",
+    "random_unbalanced",
+]

@@ -1,0 +1,84 @@
+"""Adversarial expression pairs (Appendix B.1).
+
+The collision experiment needs pairs of expressions crafted to collide
+more often than random ones.  The appendix's recipe:
+
+* start from two small, closed, non-alpha-equivalent seeds::
+
+      e1 = \\x. x (x x)        e2 = \\x. (x x) x
+
+* then wrap **both** in the same sequence of Lam / App nodes until the
+  target size is reached.
+
+The two expressions differ only at the very bottom; every wrapper
+transforms their (almost certainly different) hashes identically, so a
+collision anywhere below propagates unchanged to the root -- the
+collision probability accumulates with expression size, which is the
+worst case Theorem 6.7's per-combiner union bound charges for.
+
+The generator is "not specialized to our specific algorithm" (App. B.1):
+the same pairs stress every compositional hasher in the registry.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.lang.expr import App, Expr, Lam, Var
+
+__all__ = ["adversarial_pair", "seed_pair", "MIN_ADVERSARIAL_SIZE"]
+
+#: Size of the two seed expressions (they are equal-sized by design).
+MIN_ADVERSARIAL_SIZE = 6
+
+
+def seed_pair() -> tuple[Expr, Expr]:
+    """The appendix's seed expressions: ``\\x. x (x x)`` / ``\\x. (x x) x``."""
+    e1 = Lam("x", App(Var("x"), App(Var("x"), Var("x"))))
+    e2 = Lam("x", App(App(Var("x"), Var("x")), Var("x")))
+    return e1, e2
+
+
+def adversarial_pair(
+    size: int,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+) -> tuple[Expr, Expr]:
+    """A pair of same-shaped, non-alpha-equivalent expressions of exactly
+    ``size`` nodes each, differing only at the bottom.
+
+    Wrapping steps: ``Lam`` adds 1 node, ``App e (Var w)`` (with a fresh
+    free variable ``w``) adds 2; both expressions always receive the same
+    step with the same names.
+    """
+    if size < MIN_ADVERSARIAL_SIZE:
+        raise ValueError(
+            f"adversarial pairs need size >= {MIN_ADVERSARIAL_SIZE}, got {size}"
+        )
+    if rng is None:
+        rng = random.Random(seed if seed is not None else 0xADA)
+
+    e1, e2 = seed_pair()
+    counter = 0
+    remaining = size - e1.size
+    while remaining > 0:
+        if remaining == 1:
+            kind = "lam"
+        elif remaining == 2:
+            kind = "app"
+        else:
+            kind = "lam" if rng.random() < 0.5 else "app"
+        counter += 1
+        if kind == "lam":
+            binder = f"w{counter}"
+            e1 = Lam(binder, e1)
+            e2 = Lam(binder, e2)
+            remaining -= 1
+        else:
+            free = f"u{counter}"
+            e1 = App(e1, Var(free))
+            e2 = App(e2, Var(free))
+            remaining -= 2
+    assert e1.size == size and e2.size == size
+    return e1, e2

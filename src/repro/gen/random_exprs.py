@@ -1,0 +1,210 @@
+"""Random expression generators for the Section 7.1 benchmarks.
+
+Two families, exactly as the paper describes:
+
+* **Balanced trees** -- "at each point generating a Lam or App node with
+  equal probability.  Each Lam node has a fresh binder, and at variable
+  occurrences we choose one of the in-scope bound variables."  App
+  budgets are split near the middle, so depth is O(log n).
+
+* **Wildly unbalanced trees** with very deeply nested binders -- each
+  App gives all but a couple of nodes to one child, producing chains of
+  depth ~n/2.  "This case is not as unrealistic as it sounds: a
+  realistic language will include let bindings, and deeply-nested stacks
+  of let expressions are very common in practice"; pass ``p_let > 0`` to
+  mix Let nodes in.
+
+Both generators:
+
+* hit the requested node count **exactly** (budgets are threaded through
+  an explicit work stack; every leaf costs 1, Lam costs 1 + body, App and
+  Let cost 1 + both children);
+* bind a distinct fresh name at every binder (the paper's preprocessing
+  invariant comes for free);
+* never share node objects between positions (required by the
+  context-dependent de Bruijn baseline);
+* are deterministic given a seed / ``random.Random`` instance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+
+__all__ = [
+    "random_expr",
+    "random_balanced",
+    "random_unbalanced",
+    "alpha_rename",
+    "FREE_POOL",
+]
+
+#: Free variables used when no binder is in scope (e.g. near the root).
+FREE_POOL: tuple[str, ...] = ("f", "g", "h", "p", "q")
+
+_MIN_SPLIT_FRACTION = 0.25  # balanced: each child gets >= 25% of the budget
+_UNBALANCED_SMALL_MAX = 3  # unbalanced: the small side gets 1..3 nodes
+
+
+def random_expr(
+    size: int,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    shape: str = "balanced",
+    p_lam: float = 0.5,
+    p_let: float = 0.0,
+    p_lit: float = 0.0,
+    free_pool: Sequence[str] = FREE_POOL,
+) -> Expr:
+    """Generate a random expression with exactly ``size`` nodes.
+
+    ``shape`` is ``"balanced"`` or ``"unbalanced"``; ``p_lam`` is the
+    probability of choosing a binder over an application at internal
+    positions (Lam, or Let when ``p_let`` of the binder mass is diverted
+    to Let); ``p_lit`` replaces that fraction of leaf variables with
+    integer literals.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    if shape not in ("balanced", "unbalanced"):
+        raise ValueError(f"shape must be 'balanced' or 'unbalanced', got {shape!r}")
+    if rng is None:
+        rng = random.Random(seed if seed is not None else 0xC0FFEE)
+    if not free_pool:
+        raise ValueError("free_pool must not be empty")
+
+    counter = 0
+    scope: list[str] = []
+    results: list[Expr] = []
+    # ops: ("gen", budget) | ("bind", name) | ("unbind", None)
+    #      | ("build", (kind, binder))
+    stack: list[tuple[str, object]] = [("gen", size)]
+    while stack:
+        op, payload = stack.pop()
+        if op == "unbind":
+            scope.pop()
+            continue
+        if op == "bind":
+            scope.append(payload)  # type: ignore[arg-type]
+            continue
+        if op == "build":
+            kind, binder = payload  # type: ignore[misc]
+            if kind == "Lam":
+                results.append(Lam(binder, results.pop()))
+            elif kind == "App":
+                arg = results.pop()
+                fn = results.pop()
+                results.append(App(fn, arg))
+            else:
+                body = results.pop()
+                bound = results.pop()
+                results.append(Let(binder, bound, body))
+            continue
+
+        budget = payload
+        assert isinstance(budget, int)
+        if budget == 1:
+            if p_lit > 0 and rng.random() < p_lit:
+                results.append(Lit(rng.randrange(0, 100)))
+            elif scope:
+                results.append(Var(rng.choice(scope)))
+            else:
+                results.append(Var(rng.choice(list(free_pool))))
+            continue
+
+        want_binder = budget == 2 or rng.random() < p_lam
+        if want_binder:
+            use_let = budget >= 3 and p_let > 0 and rng.random() < p_let
+            counter += 1
+            binder = f"x{counter}"
+            if use_let:
+                bound_budget, body_budget = _split(rng, budget - 1, shape)
+                stack.append(("build", ("Let", binder)))
+                stack.append(("unbind", None))
+                stack.append(("gen", body_budget))
+                # The Let binder scopes over the body only; the bound
+                # expression is generated afterwards (LIFO order) in the
+                # *outer* scope -- see the op ordering below.
+                stack.append(("bind", binder))
+                stack.append(("gen", bound_budget))
+            else:
+                stack.append(("build", ("Lam", binder)))
+                stack.append(("unbind", None))
+                stack.append(("gen", budget - 1))
+                scope.append(binder)
+        else:
+            fn_budget, arg_budget = _split(rng, budget - 1, shape)
+            stack.append(("build", ("App", None)))
+            stack.append(("gen", arg_budget))
+            stack.append(("gen", fn_budget))
+        # Deferred Let binds (pushed above) activate once the bound
+        # expression has been generated.
+        continue
+
+    assert len(results) == 1 and len(scope) == 0
+    return results[0]
+
+
+def _split(rng: random.Random, total: int, shape: str) -> tuple[int, int]:
+    """Split ``total`` (>= 2) into two positive child budgets."""
+    if total < 2:
+        raise AssertionError("need at least two nodes to split")
+    if shape == "balanced":
+        low = max(1, int(total * _MIN_SPLIT_FRACTION))
+        high = total - low
+        if low >= high:
+            first = total // 2
+        else:
+            first = rng.randint(low, high)
+    else:
+        small = rng.randint(1, min(_UNBALANCED_SMALL_MAX, total - 1))
+        # Put the big side left or right with equal probability.
+        first = small if rng.random() < 0.5 else total - small
+    return first, total - first
+
+
+def random_balanced(
+    size: int, seed: int = 0, p_let: float = 0.0, p_lit: float = 0.0
+) -> Expr:
+    """A balanced random expression (Section 7.1, left plot family)."""
+    return random_expr(
+        size, seed=seed, shape="balanced", p_let=p_let, p_lit=p_lit
+    )
+
+
+def random_unbalanced(
+    size: int, seed: int = 0, p_let: float = 0.0, p_lit: float = 0.0
+) -> Expr:
+    """A wildly unbalanced random expression (Section 7.1, right plot)."""
+    return random_expr(
+        size, seed=seed, shape="unbalanced", p_let=p_let, p_lit=p_lit
+    )
+
+
+def alpha_rename(expr: Expr, seed: int = 1) -> Expr:
+    """An alpha-equivalent copy of ``expr`` with fresh binder names.
+
+    Every binder is renamed to a name built from ``seed``, so the result
+    is alpha-equivalent but (for expressions with at least one binder
+    whose name matters) not syntactically identical.
+    """
+    from repro.lang.names import NameSupply, all_names, uniquify_binders
+
+    supply = NameSupply(reserved=all_names(expr))
+    # Prefixing with a seed-derived marker makes renamed binders visibly
+    # different from the originals; the reserved set prevents capture.
+    prefix_supply = _PrefixSupply(supply, f"r{seed}_")
+    return uniquify_binders(expr, prefix_supply)
+
+
+class _PrefixSupply:
+    """A NameSupply adaptor that prefixes every fresh name."""
+
+    def __init__(self, inner, prefix: str):
+        self._inner = inner
+        self._prefix = prefix
+
+    def fresh(self, base: str = "v") -> str:
+        return self._inner.fresh(self._prefix)

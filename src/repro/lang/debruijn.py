@@ -1,0 +1,279 @@
+"""De Bruijn (nameless) representation and conversion (Section 2.4).
+
+A bound variable occurrence is replaced by an index counting the
+intervening binders between the occurrence and its binder; free variables
+keep their names.  ``Let`` binders count as binders for indexing purposes
+(the bound expression of a ``let`` is *outside* the binder's scope).
+
+The paper uses this representation in two ways:
+
+* the **De Bruijn baseline** (incorrect for the paper's spec): hash each
+  node from the de-Bruijn-ised tree computed once, *relative to the root*;
+* the **Locally Nameless baseline** (correct, slow): for each node, hash
+  its subtree de-Bruijn-ised *in isolation*.
+
+Both baselines live in :mod:`repro.baselines`; this module provides the
+underlying conversion and the ``DbExpr`` datatype, which is also how we
+compute canonical alpha-invariant keys for whole expressions in tests.
+"""
+
+from __future__ import annotations
+
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+
+__all__ = [
+    "DbExpr",
+    "DbBound",
+    "DbFree",
+    "DbLam",
+    "DbApp",
+    "DbLet",
+    "DbLit",
+    "to_debruijn",
+    "db_equal",
+    "db_pretty",
+    "canonical_key",
+]
+
+
+class DbExpr:
+    """Base class of nameless expression nodes."""
+
+    __slots__ = ()
+    kind: str = "?"
+
+    def children(self) -> tuple["DbExpr", ...]:
+        return ()
+
+
+class DbBound(DbExpr):
+    """A bound occurrence ``%i`` with de Bruijn index ``i``."""
+
+    __slots__ = ("index",)
+    kind = "DbBound"
+
+    def __init__(self, index: int):
+        if index < 0:
+            raise ValueError("de Bruijn index must be non-negative")
+        self.index = index
+
+
+class DbFree(DbExpr):
+    """A free variable occurrence, kept by name (locally-nameless style)."""
+
+    __slots__ = ("name",)
+    kind = "DbFree"
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class DbLit(DbExpr):
+    """A literal constant."""
+
+    __slots__ = ("value",)
+    kind = "DbLit"
+
+    def __init__(self, value):
+        self.value = value
+
+
+class DbLam(DbExpr):
+    """A binder-less lambda ``\\. body``."""
+
+    __slots__ = ("body",)
+    kind = "DbLam"
+
+    def __init__(self, body: DbExpr):
+        self.body = body
+
+    def children(self) -> tuple[DbExpr, ...]:
+        return (self.body,)
+
+
+class DbApp(DbExpr):
+    """Application."""
+
+    __slots__ = ("fn", "arg")
+    kind = "DbApp"
+
+    def __init__(self, fn: DbExpr, arg: DbExpr):
+        self.fn = fn
+        self.arg = arg
+
+    def children(self) -> tuple[DbExpr, ...]:
+        return (self.fn, self.arg)
+
+
+class DbLet(DbExpr):
+    """A binder-less let: ``let . = bound in body``."""
+
+    __slots__ = ("bound", "body")
+    kind = "DbLet"
+
+    def __init__(self, bound: DbExpr, body: DbExpr):
+        self.bound = bound
+        self.body = body
+
+    def children(self) -> tuple[DbExpr, ...]:
+        return (self.bound, self.body)
+
+
+def to_debruijn(expr: Expr) -> DbExpr:
+    """Convert ``expr`` to its de Bruijn form.
+
+    Free variables become :class:`DbFree` (so the result is the
+    locally-nameless form of the whole expression).  Iterative; O(n)
+    expected time using per-name binder-depth stacks.
+    """
+    # Depth here counts binders entered so far on the path from the root.
+    depth = 0
+    env: dict[str, list[int]] = {}
+    results: list[DbExpr] = []
+    # ops: visit / bind(name) / unbind(name) / build(node)
+    stack: list[tuple[str, object]] = [("visit", expr)]
+    while stack:
+        op, payload = stack.pop()
+        if op == "visit":
+            node = payload
+            assert isinstance(node, Expr)
+            if isinstance(node, Var):
+                levels = env.get(node.name)
+                if levels:
+                    results.append(DbBound(depth - levels[-1] - 1))
+                else:
+                    results.append(DbFree(node.name))
+            elif isinstance(node, Lit):
+                results.append(DbLit(node.value))
+            elif isinstance(node, Lam):
+                stack.append(("build", node))
+                stack.append(("unbind", node.binder))
+                stack.append(("visit", node.body))
+                env.setdefault(node.binder, []).append(depth)
+                depth += 1
+            elif isinstance(node, App):
+                stack.append(("build", node))
+                stack.append(("visit", node.arg))
+                stack.append(("visit", node.fn))
+            elif isinstance(node, Let):
+                stack.append(("build", node))
+                stack.append(("unbind", node.binder))
+                stack.append(("visit", node.body))
+                stack.append(("bind", node.binder))
+                stack.append(("visit", node.bound))
+            else:  # pragma: no cover
+                raise TypeError(f"unknown node kind {node.kind}")
+        elif op == "bind":
+            env.setdefault(payload, []).append(depth)  # type: ignore[arg-type]
+            depth += 1
+        elif op == "unbind":
+            env[payload].pop()  # type: ignore[index]
+            depth -= 1
+        elif op == "build":
+            node = payload
+            if isinstance(node, Lam):
+                results.append(DbLam(results.pop()))
+            elif isinstance(node, App):
+                arg = results.pop()
+                fn = results.pop()
+                results.append(DbApp(fn, arg))
+            else:
+                assert isinstance(node, Let)
+                body = results.pop()
+                bound = results.pop()
+                results.append(DbLet(bound, body))
+    assert len(results) == 1
+    return results[0]
+
+
+def db_equal(a: DbExpr, b: DbExpr) -> bool:
+    """Structural equality of nameless expressions (iterative)."""
+    stack = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        if x.kind != y.kind:
+            return False
+        if isinstance(x, DbBound):
+            if x.index != y.index:  # type: ignore[union-attr]
+                return False
+        elif isinstance(x, DbFree):
+            if x.name != y.name:  # type: ignore[union-attr]
+                return False
+        elif isinstance(x, DbLit):
+            yv = y.value  # type: ignore[union-attr]
+            if x.value != yv or type(x.value) is not type(yv):
+                return False
+        else:
+            xc, yc = x.children(), y.children()
+            if len(xc) != len(yc):
+                return False
+            stack.extend(zip(xc, yc))
+    return True
+
+
+def db_pretty(expr: DbExpr) -> str:
+    """Render a nameless expression, e.g. ``(\\. \\. %1 %0)``."""
+    pieces: list[str] = []
+    stack: list[object] = [expr]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            pieces.append(item)
+            continue
+        assert isinstance(item, DbExpr)
+        if isinstance(item, DbBound):
+            pieces.append(f"%{item.index}")
+        elif isinstance(item, DbFree):
+            pieces.append(item.name)
+        elif isinstance(item, DbLit):
+            pieces.append(repr(item.value))
+        elif isinstance(item, DbLam):
+            pieces.append("(\\. ")
+            stack.append(")")
+            stack.append(item.body)
+        elif isinstance(item, DbApp):
+            pieces.append("(")
+            stack.append(")")
+            stack.append(item.arg)
+            stack.append(" ")
+            stack.append(item.fn)
+        elif isinstance(item, DbLet):
+            pieces.append("(let . = ")
+            stack.append(")")
+            stack.append(item.body)
+            stack.append(" in ")
+            stack.append(item.bound)
+    return "".join(pieces)
+
+
+def canonical_key(expr: Expr) -> tuple:
+    """A hashable key equal for exactly the alpha-equivalent expressions.
+
+    Flattens the de Bruijn form of ``expr`` into a tuple of atoms in
+    preorder.  Used by tests as an oracle (dictionary-based exact
+    grouping) and by :mod:`repro.core.equivalence` for optional exact
+    verification of hash-derived classes.
+    """
+    atoms: list[object] = []
+    stack: list[DbExpr] = [to_debruijn(expr)]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, DbBound):
+            atoms.append(("b", node.index))
+        elif isinstance(node, DbFree):
+            atoms.append(("f", node.name))
+        elif isinstance(node, DbLit):
+            atoms.append(("l", type(node.value).__name__, node.value))
+        elif isinstance(node, DbLam):
+            atoms.append("lam")
+            stack.append(node.body)
+        elif isinstance(node, DbApp):
+            atoms.append("app")
+            stack.append(node.arg)
+            stack.append(node.fn)
+        else:
+            assert isinstance(node, DbLet)
+            atoms.append("let")
+            stack.append(node.body)
+            stack.append(node.bound)
+    return tuple(atoms)

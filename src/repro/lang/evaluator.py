@@ -1,0 +1,230 @@
+"""A call-by-value evaluator for closed expressions (CEK machine).
+
+The paper motivates alpha-hashing with program transformations (CSE,
+Section 1).  To *test* that our CSE pass is semantics-preserving we need
+an evaluator; this is it.  It executes the same language the parser
+produces: lambda, application, non-recursive let, literals, and a family
+of primitive operations exposed as free variables (``add``, ``mul``,
+``ite``, ...).
+
+Design notes
+------------
+* The machine is a classic CEK loop -- control expression, environment,
+  continuation stack -- so evaluation depth is bounded by the heap, not
+  the Python call stack.
+* Environments are immutable linked frames, so closures capture their
+  defining environment in O(1).
+* A ``fuel`` budget bounds the number of machine steps; exceeding it
+  raises :class:`EvalFuelExhausted`.  This keeps property-based tests
+  safe against accidentally divergent random terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+
+__all__ = [
+    "evaluate",
+    "Closure",
+    "PrimValue",
+    "Value",
+    "EvalError",
+    "EvalFuelExhausted",
+    "PRIMITIVES",
+]
+
+
+class EvalError(RuntimeError):
+    """Raised on runtime type errors, unbound variables, bad arity."""
+
+
+class EvalFuelExhausted(EvalError):
+    """Raised when the step budget is exhausted (likely divergence)."""
+
+
+@dataclass(frozen=True)
+class _Frame:
+    """One immutable environment frame: ``name`` bound to ``value``."""
+
+    name: str
+    value: "Value"
+    parent: Optional["_Frame"]
+
+
+def _lookup(frame: Optional[_Frame], name: str) -> "Value":
+    while frame is not None:
+        if frame.name == name:
+            return frame.value
+        frame = frame.parent
+    raise EvalError(f"unbound variable {name!r}")
+
+
+class Closure:
+    """A lambda value: body + captured environment."""
+
+    __slots__ = ("binder", "body", "env")
+
+    def __init__(self, binder: str, body: Expr, env: Optional[_Frame]):
+        self.binder = binder
+        self.body = body
+        self.env = env
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<closure \\{self.binder}. ...>"
+
+
+class PrimValue:
+    """A (possibly partially applied) primitive operation."""
+
+    __slots__ = ("name", "arity", "fn", "args")
+
+    def __init__(self, name: str, arity: int, fn: Callable, args: tuple = ()):
+        self.name = name
+        self.arity = arity
+        self.fn = fn
+        self.args = args
+
+    def applied_to(self, value: "Value") -> "Value":
+        args = self.args + (value,)
+        if len(args) == self.arity:
+            return self.fn(*args)
+        return PrimValue(self.name, self.arity, self.fn, args)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<prim {self.name}/{self.arity} applied to {len(self.args)}>"
+
+
+Value = Union[int, float, bool, str, Closure, PrimValue]
+
+
+def _num_op(name: str, fn: Callable) -> Callable:
+    def wrapped(a: Value, b: Value) -> Value:
+        if not isinstance(a, (int, float)) or isinstance(a, bool):
+            raise EvalError(f"{name}: expected a number, got {a!r}")
+        if not isinstance(b, (int, float)) or isinstance(b, bool):
+            raise EvalError(f"{name}: expected a number, got {b!r}")
+        return fn(a, b)
+
+    return wrapped
+
+
+def _div(a, b):
+    if b == 0:
+        raise EvalError("division by zero")
+    return a / b
+
+
+def _ite(cond: Value, then_val: Value, else_val: Value) -> Value:
+    if not isinstance(cond, bool):
+        raise EvalError(f"ite: expected a bool, got {cond!r}")
+    return then_val if cond else else_val
+
+
+#: name -> (arity, python function).  These are the "free variables with
+#: meaning" used throughout the examples and the CSE soundness tests.
+PRIMITIVES: dict[str, tuple[int, Callable]] = {
+    "add": (2, _num_op("add", lambda a, b: a + b)),
+    "sub": (2, _num_op("sub", lambda a, b: a - b)),
+    "mul": (2, _num_op("mul", lambda a, b: a * b)),
+    "div": (2, _num_op("div", _div)),
+    "min": (2, _num_op("min", min)),
+    "max": (2, _num_op("max", max)),
+    "neg": (1, lambda a: -a),
+    "eq": (2, lambda a, b: a == b),
+    "lt": (2, _num_op("lt", lambda a, b: a < b)),
+    "le": (2, _num_op("le", lambda a, b: a <= b)),
+    "ite": (3, _ite),
+    "exp": (1, lambda a: __import__("math").exp(a)),
+    "log": (1, lambda a: __import__("math").log(a)),
+    "tanh": (1, lambda a: __import__("math").tanh(a)),
+    "relu": (1, lambda a: a if a > 0 else 0.0),
+}
+
+
+# Continuation tags.
+_K_APP_FN = 0  # evaluated the function; payload = (arg_expr, env)
+_K_APP_ARG = 1  # evaluated the argument; payload = fn_value
+_K_LET = 2  # evaluated the bound expr; payload = (binder, body, env)
+
+
+def evaluate(
+    expr: Expr,
+    env: dict[str, Value] | None = None,
+    fuel: int = 1_000_000,
+) -> Value:
+    """Evaluate ``expr`` call-by-value and return its value.
+
+    ``env`` supplies values for free variables (on top of the built-in
+    :data:`PRIMITIVES`).  Raises :class:`EvalError` for runtime errors and
+    :class:`EvalFuelExhausted` after ``fuel`` machine steps.
+    """
+    frame: Optional[_Frame] = None
+    for name, (arity, fn) in PRIMITIVES.items():
+        frame = _Frame(name, PrimValue(name, arity, fn), frame)
+    if env:
+        for name, value in env.items():
+            frame = _Frame(name, value, frame)
+
+    control: object = expr
+    control_is_value = False
+    current_env = frame
+    kont: list[tuple[int, object]] = []
+
+    while True:
+        fuel -= 1
+        if fuel < 0:
+            raise EvalFuelExhausted("evaluation step budget exhausted")
+
+        if not control_is_value:
+            node = control
+            assert isinstance(node, Expr)
+            if isinstance(node, Lit):
+                control = node.value
+                control_is_value = True
+            elif isinstance(node, Var):
+                control = _lookup(current_env, node.name)
+                control_is_value = True
+            elif isinstance(node, Lam):
+                control = Closure(node.binder, node.body, current_env)
+                control_is_value = True
+            elif isinstance(node, App):
+                kont.append((_K_APP_FN, (node.arg, current_env)))
+                control = node.fn
+            elif isinstance(node, Let):
+                kont.append((_K_LET, (node.binder, node.body, current_env)))
+                control = node.bound
+            else:  # pragma: no cover
+                raise EvalError(f"cannot evaluate node kind {node.kind}")
+            continue
+
+        # control is a value; consume a continuation.
+        if not kont:
+            return control  # type: ignore[return-value]
+        tag, payload = kont.pop()
+        if tag == _K_APP_FN:
+            arg_expr, saved_env = payload  # type: ignore[misc]
+            kont.append((_K_APP_ARG, control))
+            control = arg_expr
+            control_is_value = False
+            current_env = saved_env
+        elif tag == _K_APP_ARG:
+            fn_value = payload
+            if isinstance(fn_value, Closure):
+                current_env = _Frame(fn_value.binder, control, fn_value.env)
+                control = fn_value.body
+                control_is_value = False
+            elif isinstance(fn_value, PrimValue):
+                control = fn_value.applied_to(control)
+                control_is_value = True
+            else:
+                raise EvalError(f"cannot apply non-function {fn_value!r}")
+        elif tag == _K_LET:
+            binder, body, saved_env = payload  # type: ignore[misc]
+            current_env = _Frame(binder, control, saved_env)
+            control = body
+            control_is_value = False
+        else:  # pragma: no cover
+            raise EvalError(f"unknown continuation tag {tag}")

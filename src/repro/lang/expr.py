@@ -1,0 +1,305 @@
+"""Core expression AST for the lambda calculus of the paper.
+
+The paper (Section 4.1) uses a minimal language::
+
+    data Expression = Var Name
+                    | Lam Name Expression
+                    | App Expression Expression
+
+and notes that it "can readily be extended to handle richer binding
+constructs (let, case, etc.), as well as constants".  We implement that
+extension because the paper's evaluation workloads (Section 7) lean on
+deeply nested ``let`` stacks and machine-learning expressions containing
+constants.  Our AST therefore has five constructors:
+
+* :class:`Var` -- a variable occurrence.
+* :class:`Lam` -- a lambda abstraction binding one name.
+* :class:`App` -- application of one expression to another.
+* :class:`Let` -- a *non-recursive* let binding: in ``Let x e1 e2`` the
+  binder ``x`` scopes over ``e2`` only.
+* :class:`Lit` -- a literal constant (int, float, bool or string).
+
+Nodes are immutable and carry two O(1)-computed attributes:
+
+* ``size`` -- the number of AST nodes in the subtree (the paper's ``|e|``),
+* ``depth`` -- the height of the subtree (1 for leaves).
+
+Equality on nodes is *identity* equality.  This is deliberate: the
+benchmarks build trees with millions of nodes, and a structural ``__eq__``
+would silently turn innocuous comparisons into O(n) traversals (and blow
+the recursion limit).  Use :func:`syntactic_eq` for explicit structural
+comparison and :func:`repro.lang.alpha.alpha_equivalent` for comparison
+modulo alpha-renaming.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Lam",
+    "App",
+    "Let",
+    "Lit",
+    "LitValue",
+    "var",
+    "lam",
+    "app",
+    "app_many",
+    "lam_many",
+    "let",
+    "let_many",
+    "lit",
+    "syntactic_eq",
+    "is_expr",
+]
+
+#: The types a :class:`Lit` node may carry.
+LitValue = Union[int, float, bool, str]
+
+
+class Expr:
+    """Abstract base class of all expression nodes.
+
+    Concrete nodes expose:
+
+    * ``kind`` -- a short class-level string tag (``"Var"``, ``"Lam"``,
+      ``"App"``, ``"Let"``, ``"Lit"``) that is stable across versions and
+      convenient for dispatch in iterative algorithms.
+    * ``size`` -- number of nodes in this subtree.
+    * ``depth`` -- height of this subtree (leaves have depth 1).
+    * ``children()`` -- tuple of child expressions, in left-to-right order.
+    """
+
+    __slots__ = ("size", "depth")
+
+    kind: str = "?"
+
+    size: int
+    depth: int
+
+    def children(self) -> tuple["Expr", ...]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.lang.pretty import pretty
+
+        text = pretty(self, max_len=60)
+        return f"<{self.kind} size={self.size} {text!r}>"
+
+    # Nodes hash / compare by identity (see module docstring).
+    __hash__ = object.__hash__
+
+
+class Var(Expr):
+    """A variable occurrence, e.g. ``x``."""
+
+    __slots__ = ("name",)
+
+    kind = "Var"
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise TypeError(f"Var name must be a non-empty str, got {name!r}")
+        self.name = name
+        self.size = 1
+        self.depth = 1
+
+    def children(self) -> tuple[Expr, ...]:
+        return ()
+
+
+class Lit(Expr):
+    """A literal constant, e.g. ``42`` or ``3.5``."""
+
+    __slots__ = ("value",)
+
+    kind = "Lit"
+
+    def __init__(self, value: LitValue):
+        if not isinstance(value, (int, float, bool, str)):
+            raise TypeError(f"Lit value must be int/float/bool/str, got {value!r}")
+        self.value = value
+        self.size = 1
+        self.depth = 1
+
+    def children(self) -> tuple[Expr, ...]:
+        return ()
+
+
+class Lam(Expr):
+    """A lambda abstraction ``\\binder. body``."""
+
+    __slots__ = ("binder", "body")
+
+    kind = "Lam"
+
+    def __init__(self, binder: str, body: Expr):
+        if not isinstance(binder, str) or not binder:
+            raise TypeError(f"Lam binder must be a non-empty str, got {binder!r}")
+        if not isinstance(body, Expr):
+            raise TypeError(f"Lam body must be an Expr, got {body!r}")
+        self.binder = binder
+        self.body = body
+        self.size = 1 + body.size
+        self.depth = 1 + body.depth
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.body,)
+
+
+class App(Expr):
+    """An application ``fn arg``."""
+
+    __slots__ = ("fn", "arg")
+
+    kind = "App"
+
+    def __init__(self, fn: Expr, arg: Expr):
+        if not isinstance(fn, Expr) or not isinstance(arg, Expr):
+            raise TypeError(f"App children must be Exprs, got {fn!r}, {arg!r}")
+        self.fn = fn
+        self.arg = arg
+        self.size = 1 + fn.size + arg.size
+        self.depth = 1 + max(fn.depth, arg.depth)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.fn, self.arg)
+
+
+class Let(Expr):
+    """A non-recursive let binding ``let binder = bound in body``.
+
+    ``binder`` scopes over ``body`` only; occurrences of ``binder`` inside
+    ``bound`` refer to an *outer* variable of the same name (which cannot
+    happen once binders have been made unique).
+    """
+
+    __slots__ = ("binder", "bound", "body")
+
+    kind = "Let"
+
+    def __init__(self, binder: str, bound: Expr, body: Expr):
+        if not isinstance(binder, str) or not binder:
+            raise TypeError(f"Let binder must be a non-empty str, got {binder!r}")
+        if not isinstance(bound, Expr) or not isinstance(body, Expr):
+            raise TypeError("Let bound/body must be Exprs")
+        self.binder = binder
+        self.bound = bound
+        self.body = body
+        self.size = 1 + bound.size + body.size
+        self.depth = 1 + max(bound.depth, body.depth)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.bound, self.body)
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+
+def var(name: str) -> Var:
+    """Build a :class:`Var` node."""
+    return Var(name)
+
+
+def lam(binder: str, body: Expr) -> Lam:
+    """Build a :class:`Lam` node."""
+    return Lam(binder, body)
+
+
+def lam_many(binders: Iterable[str], body: Expr) -> Expr:
+    """Build nested lambdas: ``lam_many(["x","y"], e)`` is ``\\x.\\y.e``."""
+    result = body
+    for binder in reversed(list(binders)):
+        result = Lam(binder, result)
+    return result
+
+
+def app(fn: Expr, arg: Expr) -> App:
+    """Build an :class:`App` node."""
+    return App(fn, arg)
+
+
+def app_many(fn: Expr, *args: Expr) -> Expr:
+    """Left-nested application: ``app_many(f, a, b)`` is ``(f a) b``."""
+    result = fn
+    for arg in args:
+        result = App(result, arg)
+    return result
+
+
+def let(binder: str, bound: Expr, body: Expr) -> Let:
+    """Build a :class:`Let` node."""
+    return Let(binder, bound, body)
+
+
+def let_many(bindings: Iterable[tuple[str, Expr]], body: Expr) -> Expr:
+    """Build a nested let stack, first binding outermost."""
+    result = body
+    for binder, bound in reversed(list(bindings)):
+        result = Let(binder, bound, result)
+    return result
+
+
+def lit(value: LitValue) -> Lit:
+    """Build a :class:`Lit` node."""
+    return Lit(value)
+
+
+def is_expr(obj: object) -> bool:
+    """Return True if ``obj`` is an expression node."""
+    return isinstance(obj, Expr)
+
+
+# ---------------------------------------------------------------------------
+# Structural (syntactic) equality
+# ---------------------------------------------------------------------------
+
+
+def syntactic_eq(e1: Expr, e2: Expr) -> bool:
+    """Exact structural equality: same shape, same names, same literals.
+
+    This is the "Syntactic equivalence" of Section 2.1.  Implemented
+    iteratively so deep chains do not overflow the stack.
+    """
+    stack: list[tuple[Expr, Expr]] = [(e1, e2)]
+    while stack:
+        a, b = stack.pop()
+        if a is b:
+            continue
+        if a.kind != b.kind or a.size != b.size:
+            return False
+        if isinstance(a, Var):
+            if a.name != b.name:  # type: ignore[union-attr]
+                return False
+        elif isinstance(a, Lit):
+            bv = b.value  # type: ignore[union-attr]
+            if a.value != bv or type(a.value) is not type(bv):
+                return False
+        elif isinstance(a, Lam):
+            assert isinstance(b, Lam)
+            if a.binder != b.binder:
+                return False
+            stack.append((a.body, b.body))
+        elif isinstance(a, App):
+            assert isinstance(b, App)
+            stack.append((a.fn, b.fn))
+            stack.append((a.arg, b.arg))
+        elif isinstance(a, Let):
+            assert isinstance(b, Let)
+            if a.binder != b.binder:
+                return False
+            stack.append((a.bound, b.bound))
+            stack.append((a.body, b.body))
+        else:  # pragma: no cover - future node kinds
+            raise TypeError(f"unknown node kind {a.kind}")
+    return True
+
+
+def iter_kinds() -> Iterator[str]:
+    """Yield the five node-kind tags, in a stable order."""
+    yield from ("Var", "Lam", "App", "Let", "Lit")

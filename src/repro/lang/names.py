@@ -1,0 +1,290 @@
+"""Variable names: free variables, fresh-name supply, binder uniquification.
+
+The paper's goal statement (Section 3) assumes "every binding site binds a
+distinct variable name", and Section 2.2 shows why: without it, purely
+syntactic identity produces *false positives* such as the two unrelated
+``x+2`` occurrences in ``foo (let x=bar in x+2) (let x=pub in x+2)``.
+:func:`uniquify_binders` implements that preprocessing step in
+O(n) expected time (one dict operation per binder and per variable
+occurrence), matching the paper's "time linear in the expression size".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+
+__all__ = [
+    "NameSupply",
+    "free_vars",
+    "binder_names",
+    "all_names",
+    "has_unique_binders",
+    "uniquify_binders",
+    "rename_free",
+]
+
+
+class NameSupply:
+    """Deterministic supply of fresh variable names.
+
+    Freshness is guaranteed relative to a ``reserved`` set of names fixed
+    at construction plus every name handed out so far.  Generated names
+    look like ``v0, v1, ...`` (or ``{base}_0, {base}_1, ...`` when a base
+    name is supplied), which keeps pretty-printed output readable.
+    """
+
+    __slots__ = ("_reserved", "_counter")
+
+    def __init__(self, reserved: Iterable[str] = (), start: int = 0):
+        self._reserved = set(reserved)
+        self._counter = start
+
+    def fresh(self, base: str = "v") -> str:
+        """Return a name never seen in ``reserved`` nor returned before."""
+        while True:
+            candidate = f"{base}{self._counter}"
+            self._counter += 1
+            if candidate not in self._reserved:
+                self._reserved.add(candidate)
+                return candidate
+
+    def reserve(self, name: str) -> None:
+        """Mark ``name`` as taken."""
+        self._reserved.add(name)
+
+    @classmethod
+    def avoiding(cls, expr: Expr) -> "NameSupply":
+        """A supply whose fresh names clash with nothing in ``expr``."""
+        return cls(reserved=all_names(expr))
+
+
+def _scoped_walk(expr: Expr) -> Iterator[tuple[str, object]]:
+    """Yield scope events for ``expr``: ('var', node), ('bind', name),
+    ('unbind', name).  Children are visited in evaluation order and every
+    ``bind`` is matched by an ``unbind`` when its scope ends."""
+    stack: list[tuple[str, object]] = [("visit", expr)]
+    while stack:
+        op, payload = stack.pop()
+        if op != "visit":
+            yield op, payload
+            continue
+        node = payload
+        assert isinstance(node, Expr)
+        if isinstance(node, Var):
+            yield "var", node
+        elif isinstance(node, Lit):
+            pass
+        elif isinstance(node, Lam):
+            stack.append(("unbind", node.binder))
+            stack.append(("visit", node.body))
+            yield "bind", node.binder
+        elif isinstance(node, App):
+            stack.append(("visit", node.arg))
+            stack.append(("visit", node.fn))
+        elif isinstance(node, Let):
+            stack.append(("unbind", node.binder))
+            stack.append(("visit", node.body))
+            stack.append(("bind", node.binder))
+            stack.append(("visit", node.bound))
+        else:  # pragma: no cover
+            raise TypeError(f"unknown node kind {node.kind}")
+
+
+def free_vars(expr: Expr) -> set[str]:
+    """The set of free variable names of ``expr``.
+
+    Iterative; handles shadowing correctly via a bound-name multiset.
+    """
+    free: set[str] = set()
+    bound: dict[str, int] = {}
+    for op, payload in _scoped_walk(expr):
+        if op == "var":
+            name = payload.name  # type: ignore[union-attr]
+            if bound.get(name, 0) == 0:
+                free.add(name)
+        elif op == "bind":
+            bound[payload] = bound.get(payload, 0) + 1  # type: ignore[index]
+        elif op == "unbind":
+            bound[payload] -= 1  # type: ignore[index]
+    return free
+
+
+def binder_names(expr: Expr) -> list[str]:
+    """All binder names of ``expr`` in preorder (with duplicates)."""
+    out: list[str] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (Lam, Let)):
+            out.append(node.binder)
+        for child in reversed(node.children()):
+            stack.append(child)
+    return out
+
+
+def all_names(expr: Expr) -> set[str]:
+    """Every name mentioned in ``expr``: binders and variable occurrences."""
+    names: set[str] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Var):
+            names.add(node.name)
+        elif isinstance(node, (Lam, Let)):
+            names.add(node.binder)
+        stack.extend(node.children())
+    return names
+
+
+def has_unique_binders(expr: Expr) -> bool:
+    """True iff every binding site of ``expr`` binds a distinct name."""
+    seen: set[str] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (Lam, Let)):
+            if node.binder in seen:
+                return False
+            seen.add(node.binder)
+        stack.extend(node.children())
+    return True
+
+
+def uniquify_binders(expr: Expr, supply: NameSupply | None = None) -> Expr:
+    """Alpha-rename ``expr`` so every binding site binds a distinct name.
+
+    Free variables are left untouched, and fresh names never collide with
+    any name appearing anywhere in the input (so the result is
+    alpha-equivalent to the input).  This is the preprocessing step the
+    paper assumes before all hashing algorithms (Section 2.2).
+
+    The traversal is an explicit stack machine: a mutable environment maps
+    each in-scope source name to its replacement, and ``unbind`` entries
+    restore the previous mapping when a scope ends, so shadowed names are
+    handled correctly at any depth.
+    """
+    if supply is None:
+        supply = NameSupply.avoiding(expr)
+
+    env: dict[str, str] = {}
+    results: list[Expr] = []
+    # Stack ops: ("visit", node) | ("bind", (name, fresh)) |
+    #            ("unbind", (name, old_or_None)) | ("build", (node, binder))
+    stack: list[tuple[str, object]] = [("visit", expr)]
+    while stack:
+        op, payload = stack.pop()
+        if op == "visit":
+            node = payload
+            assert isinstance(node, Expr)
+            if isinstance(node, Var):
+                results.append(Var(env.get(node.name, node.name)))
+            elif isinstance(node, Lit):
+                results.append(node)
+            elif isinstance(node, Lam):
+                fresh = supply.fresh(node.binder)
+                stack.append(("build", (node, fresh)))
+                stack.append(("unbind", (node.binder, env.get(node.binder))))
+                stack.append(("visit", node.body))
+                env[node.binder] = fresh
+            elif isinstance(node, App):
+                stack.append(("build", (node, None)))
+                stack.append(("visit", node.arg))
+                stack.append(("visit", node.fn))
+            elif isinstance(node, Let):
+                fresh = supply.fresh(node.binder)
+                stack.append(("build", (node, fresh)))
+                stack.append(("unbind", (node.binder, env.get(node.binder))))
+                stack.append(("visit", node.body))
+                stack.append(("bind", (node.binder, fresh)))
+                stack.append(("visit", node.bound))
+            else:  # pragma: no cover
+                raise TypeError(f"unknown node kind {node.kind}")
+        elif op == "bind":
+            # The matching unbind was pushed at visit time with the outer
+            # value, which is still correct here: any binds inside the Let's
+            # bound expression have already been undone by their own unbinds.
+            name, fresh = payload  # type: ignore[misc]
+            env[name] = fresh
+        elif op == "unbind":
+            name, old = payload  # type: ignore[misc]
+            if old is None:
+                env.pop(name, None)
+            else:
+                env[name] = old
+        elif op == "build":
+            node, binder = payload  # type: ignore[misc]
+            if isinstance(node, Lam):
+                body = results.pop()
+                results.append(Lam(binder, body))
+            elif isinstance(node, App):
+                arg = results.pop()
+                fn = results.pop()
+                results.append(App(fn, arg))
+            else:
+                assert isinstance(node, Let)
+                body = results.pop()
+                bound = results.pop()
+                results.append(Let(binder, bound, body))
+    assert len(results) == 1
+    return results[0]
+
+
+def rename_free(expr: Expr, mapping: dict[str, str]) -> Expr:
+    """Rename *free* occurrences of variables according to ``mapping``.
+
+    Bound occurrences (and binders) are untouched.  Used by tests and by
+    the workload builders to stitch open fragments together.
+    """
+    env: dict[str, int] = {}
+    results: list[Expr] = []
+    stack: list[tuple[str, object]] = [("visit", expr)]
+    while stack:
+        op, payload = stack.pop()
+        if op == "visit":
+            node = payload
+            assert isinstance(node, Expr)
+            if isinstance(node, Var):
+                if env.get(node.name, 0) == 0 and node.name in mapping:
+                    results.append(Var(mapping[node.name]))
+                else:
+                    results.append(node)
+            elif isinstance(node, Lit):
+                results.append(node)
+            elif isinstance(node, Lam):
+                stack.append(("build", node))
+                stack.append(("unbind", node.binder))
+                stack.append(("visit", node.body))
+                env[node.binder] = env.get(node.binder, 0) + 1
+            elif isinstance(node, App):
+                stack.append(("build", node))
+                stack.append(("visit", node.arg))
+                stack.append(("visit", node.fn))
+            elif isinstance(node, Let):
+                stack.append(("build", node))
+                stack.append(("unbind", node.binder))
+                stack.append(("visit", node.body))
+                stack.append(("bind", node.binder))
+                stack.append(("visit", node.bound))
+            else:  # pragma: no cover
+                raise TypeError(f"unknown node kind {node.kind}")
+        elif op == "bind":
+            env[payload] = env.get(payload, 0) + 1  # type: ignore[index]
+        elif op == "unbind":
+            env[payload] -= 1  # type: ignore[index]
+        elif op == "build":
+            node = payload
+            if isinstance(node, Lam):
+                results.append(Lam(node.binder, results.pop()))
+            elif isinstance(node, App):
+                arg = results.pop()
+                fn = results.pop()
+                results.append(App(fn, arg))
+            else:
+                assert isinstance(node, Let)
+                body = results.pop()
+                bound = results.pop()
+                results.append(Let(node.binder, bound, body))
+    assert len(results) == 1
+    return results[0]

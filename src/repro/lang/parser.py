@@ -1,0 +1,225 @@
+"""Parser for the small lambda-calculus surface syntax.
+
+Grammar (whitespace-insensitive; ``#`` starts a line comment)::
+
+    expr     ::= lambda | letexpr | arith
+    lambda   ::= ('\\' | 'λ') ident+ '.' expr
+    letexpr  ::= 'let' ident '=' expr 'in' expr
+    arith    ::= term  (('+' | '-') term)*
+    term     ::= factor (('*' | '/') factor)*
+    factor   ::= atom atom*                      -- application, left assoc
+    atom     ::= ident | number | string | 'true' | 'false' | '(' expr ')'
+
+Infix arithmetic desugars into applications of the primitive variables
+``add``/``sub``/``mul``/``div`` (see :data:`repro.lang.pretty.INFIX_OPS`),
+so ``x + 7`` parses as ``App (App (Var "add") (Var "x")) (Lit 7)`` --
+exactly the shape the evaluator executes and the pretty printer
+re-sugars.  This parser is a plain recursive-descent parser intended for
+examples and tests; programmatically generated benchmark expressions are
+built directly as ASTs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.lang.expr import App, Expr, Let, Lit, Var, lam_many
+
+__all__ = ["parse", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed input, with a human-readable location."""
+
+    def __init__(self, message: str, position: int, text: str):
+        line = text.count("\n", 0, position) + 1
+        col = position - (text.rfind("\n", 0, position) + 1) + 1
+        super().__init__(f"{message} at line {line}, column {col}")
+        self.position = position
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>      [ \t\r\n]+ | \#[^\n]*      )
+  | (?P<number>  \d+\.\d+ | \d+             )
+  | (?P<ident>   [A-Za-z_][A-Za-z0-9_']*    )
+  | (?P<string>  "(?:[^"\\]|\\.)*"          )
+  | (?P<symbol>  [\\λ().=+\-*/]             )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset({"let", "in", "true", "false"})
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'number' | 'ident' | 'string' | 'symbol' | 'keyword' | 'eof'
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos, text)
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "ident" and value in _KEYWORDS:
+            kind = "keyword"
+        tokens.append(_Token(kind, value, match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text or 'end of input'!r}",
+                token.pos,
+                self.text,
+            )
+        return self.advance()
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        token = self.peek()
+        if token.kind == "symbol" and token.text in ("\\", "λ"):
+            return self.parse_lambda()
+        if token.kind == "keyword" and token.text == "let":
+            return self.parse_let()
+        return self.parse_arith()
+
+    def parse_lambda(self) -> Expr:
+        self.advance()  # the backslash
+        binders = [self.expect("ident").text]
+        while self.peek().kind == "ident":
+            binders.append(self.advance().text)
+        self.expect("symbol", ".")
+        body = self.parse_expr()
+        return lam_many(binders, body)
+
+    def parse_let(self) -> Expr:
+        self.advance()  # 'let'
+        binder = self.expect("ident").text
+        self.expect("symbol", "=")
+        bound = self.parse_expr()
+        self.expect("keyword", "in")
+        body = self.parse_expr()
+        return Let(binder, bound, body)
+
+    def parse_arith(self) -> Expr:
+        left = self.parse_term()
+        while True:
+            token = self.peek()
+            if token.kind == "symbol" and token.text in ("+", "-"):
+                self.advance()
+                right = self.parse_term()
+                prim = "add" if token.text == "+" else "sub"
+                left = App(App(Var(prim), left), right)
+            else:
+                return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_factor()
+        while True:
+            token = self.peek()
+            if token.kind == "symbol" and token.text in ("*", "/"):
+                self.advance()
+                right = self.parse_factor()
+                prim = "mul" if token.text == "*" else "div"
+                left = App(App(Var(prim), left), right)
+            else:
+                return left
+
+    def parse_factor(self) -> Expr:
+        expr = self.parse_atom()
+        while self._at_atom_start():
+            expr = App(expr, self.parse_atom())
+        return expr
+
+    def _at_atom_start(self) -> bool:
+        token = self.peek()
+        if token.kind in ("ident", "number", "string"):
+            return True
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            return True
+        return token.kind == "symbol" and token.text == "("
+
+    def parse_atom(self) -> Expr:
+        token = self.peek()
+        if token.kind == "symbol" and token.text == "-":
+            # Unary minus on a number literal, e.g. inside "(-1)".  The
+            # pretty printer always parenthesises negative literals, so
+            # binary subtraction ("a - 1") is never ambiguous with this.
+            self.advance()
+            number = self.expect("number")
+            if "." in number.text:
+                return Lit(-float(number.text))
+            return Lit(-int(number.text))
+        if token.kind == "ident":
+            self.advance()
+            return Var(token.text)
+        if token.kind == "number":
+            self.advance()
+            if "." in token.text:
+                return Lit(float(token.text))
+            return Lit(int(token.text))
+        if token.kind == "string":
+            self.advance()
+            raw = token.text[1:-1]
+            return Lit(raw.replace('\\"', '"').replace("\\\\", "\\"))
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            self.advance()
+            return Lit(token.text == "true")
+        if token.kind == "symbol" and token.text == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect("symbol", ")")
+            return inner
+        raise ParseError(
+            f"expected an expression, found {token.text or 'end of input'!r}",
+            token.pos,
+            self.text,
+        )
+
+
+def parse(text: str) -> Expr:
+    """Parse ``text`` into an expression AST.
+
+    >>> from repro.lang.pretty import pretty
+    >>> pretty(parse(r"\\x. x + 7"))
+    '\\\\x. x + 7'
+    """
+    parser = _Parser(text)
+    expr = parser.parse_expr()
+    token = parser.peek()
+    if token.kind != "eof":
+        raise ParseError(f"unexpected trailing input {token.text!r}", token.pos, text)
+    return expr

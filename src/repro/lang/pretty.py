@@ -1,0 +1,133 @@
+"""Precedence-aware pretty printer for expressions.
+
+Produces a compact surface syntax accepted back by
+:mod:`repro.lang.parser`, e.g.::
+
+    \\x. (a + (let w = v + 7 in w * w)) x
+
+Known primitive operators (``add``, ``sub``, ``mul``, ``div``) applied to
+two arguments are rendered infix when ``sugar=True`` (the default), which
+matches how the paper writes its examples (``\\x.x+7``).
+
+Iterative (explicit stack), so deeply nested expressions print without
+hitting the recursion limit.
+"""
+
+from __future__ import annotations
+
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+
+__all__ = ["pretty", "INFIX_OPS"]
+
+#: primitive name -> (symbol, precedence).  Parser inverts this table.
+INFIX_OPS: dict[str, tuple[str, int]] = {
+    "add": ("+", 1),
+    "sub": ("-", 1),
+    "mul": ("*", 2),
+    "div": ("/", 2),
+}
+
+_PREC_LAM = 0
+_PREC_APP = 3
+_PREC_ATOM = 4
+
+
+def _infix_view(node: Expr, sugar: bool):
+    """If ``node`` is ``App (App (Var op) a) b`` with ``op`` infix, return
+    (symbol, prec, a, b); otherwise None."""
+    if not sugar or not isinstance(node, App):
+        return None
+    fn = node.fn
+    if isinstance(fn, App) and isinstance(fn.fn, Var):
+        entry = INFIX_OPS.get(fn.fn.name)
+        if entry is not None:
+            symbol, prec = entry
+            return symbol, prec, fn.arg, node.arg
+    return None
+
+
+def _render_lit(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return '"' + value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    text = repr(value)
+    if text.startswith("-"):
+        # Negative literals are parenthesised so they parse back as a
+        # unary-minus atom rather than colliding with binary subtraction.
+        return f"({text})"
+    return text
+
+
+def pretty(expr: Expr, sugar: bool = True, max_len: int | None = None) -> str:
+    """Render ``expr`` as surface syntax.
+
+    ``max_len`` truncates the output (with a trailing ``...``), which keeps
+    ``repr`` of million-node expressions cheap.
+    """
+    pieces: list[str] = []
+    length = 0
+    # Stack items: raw strings, or (node, context_precedence) pairs.
+    stack: list[object] = [(expr, _PREC_LAM)]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            pieces.append(item)
+            length += len(item)
+        else:
+            node, ctx = item  # type: ignore[misc]
+            assert isinstance(node, Expr)
+            if isinstance(node, Var):
+                pieces.append(node.name)
+                length += len(node.name)
+            elif isinstance(node, Lit):
+                text = _render_lit(node.value)
+                pieces.append(text)
+                length += len(text)
+            elif isinstance(node, Lam):
+                parens = _PREC_LAM < ctx
+                if parens:
+                    pieces.append("(")
+                    length += 1
+                    stack.append(")")
+                head = f"\\{node.binder}. "
+                pieces.append(head)
+                length += len(head)
+                stack.append((node.body, _PREC_LAM))
+            elif isinstance(node, Let):
+                parens = _PREC_LAM < ctx
+                if parens:
+                    pieces.append("(")
+                    length += 1
+                    stack.append(")")
+                head = f"let {node.binder} = "
+                pieces.append(head)
+                length += len(head)
+                stack.append((node.body, _PREC_LAM))
+                stack.append(" in ")
+                stack.append((node.bound, _PREC_LAM))
+            else:
+                infix = _infix_view(node, sugar)
+                if infix is not None:
+                    symbol, prec, left, right = infix
+                    parens = prec < ctx
+                    if parens:
+                        pieces.append("(")
+                        length += 1
+                        stack.append(")")
+                    stack.append((right, prec + 1))
+                    stack.append(f" {symbol} ")
+                    stack.append((left, prec))
+                else:
+                    assert isinstance(node, App)
+                    parens = _PREC_APP < ctx
+                    if parens:
+                        pieces.append("(")
+                        length += 1
+                        stack.append(")")
+                    stack.append((node.arg, _PREC_ATOM))
+                    stack.append(" ")
+                    stack.append((node.fn, _PREC_APP))
+        if max_len is not None and length > max_len:
+            return "".join(pieces)[:max_len] + "..."
+    return "".join(pieces)

@@ -1,0 +1,127 @@
+"""Small-step call-by-value reduction via substitution.
+
+A second, independent interpreter: instead of the CEK machine's
+environments and closures (:mod:`repro.lang.evaluator`), this one
+reduces the term itself -- ``(\\x. b) v  ~>  b[x := v]`` -- using the
+capture-avoiding :func:`repro.lang.subst.substitute`.  It is slower and
+can duplicate work, but it is *obviously* the textbook semantics, which
+makes it the perfect differential-testing partner: the test-suite runs
+both interpreters on random closed programs and demands identical
+results, cross-validating the CEK machine, the substitution engine and
+the binder machinery in one property.
+
+Values are literals and lambda terms; primitives reduce when fully
+applied to literal arguments.  Reduction is leftmost-innermost (CBV).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.evaluator import PRIMITIVES, EvalError, EvalFuelExhausted
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+from repro.lang.names import free_vars
+from repro.lang.subst import substitute
+
+__all__ = ["reduce_to_value", "step"]
+
+
+def _is_value(expr: Expr) -> bool:
+    if isinstance(expr, (Lit, Lam)):
+        return True
+    # a partially applied primitive is a value: prim applied to < arity values
+    head, args = _spine(expr)
+    if isinstance(head, Var) and head.name in PRIMITIVES:
+        arity, _ = PRIMITIVES[head.name]
+        return len(args) < arity and all(_is_value(a) for a in args)
+    return False
+
+
+def _spine(expr: Expr) -> tuple[Expr, list[Expr]]:
+    args: list[Expr] = []
+    node = expr
+    while isinstance(node, App):
+        args.append(node.arg)
+        node = node.fn
+    args.reverse()
+    return node, args
+
+
+def step(expr: Expr) -> Optional[Expr]:
+    """One leftmost-innermost CBV step, or None if ``expr`` is a value.
+
+    Raises :class:`EvalError` on stuck non-value terms (unbound
+    variables applied, literals applied, primitive type errors).
+    """
+    if _is_value(expr):
+        return None
+
+    if isinstance(expr, Let):
+        if _is_value(expr.bound):
+            return substitute(expr.body, {expr.binder: expr.bound})
+        reduced = step(expr.bound)
+        if reduced is None:  # pragma: no cover - guarded by _is_value
+            raise EvalError("let-bound value did not step")
+        return Let(expr.binder, reduced, expr.body)
+
+    if isinstance(expr, App):
+        if not _is_value(expr.fn):
+            reduced = step(expr.fn)
+            if reduced is None:
+                raise EvalError(f"cannot apply non-function {expr.fn.kind}")
+            return App(reduced, expr.arg)
+        if not _is_value(expr.arg):
+            reduced = step(expr.arg)
+            if reduced is None:  # pragma: no cover
+                raise EvalError("argument is stuck")
+            return App(expr.fn, reduced)
+        # both value: beta or primitive delta
+        if isinstance(expr.fn, Lam):
+            return substitute(expr.fn.body, {expr.fn.binder: expr.arg})
+        head, args = _spine(expr)
+        if isinstance(head, Var) and head.name in PRIMITIVES:
+            arity, fn = PRIMITIVES[head.name]
+            if len(args) == arity:
+                return _delta(head.name, arity, fn, args)
+            raise EvalError(  # pragma: no cover - over-application is an App
+                f"primitive {head.name} applied to {len(args)} args"
+            )
+        raise EvalError(f"cannot apply non-function {expr.fn.kind}")
+
+    if isinstance(expr, Var):
+        raise EvalError(f"unbound variable {expr.name!r}")
+    raise EvalError(f"stuck term of kind {expr.kind}")  # pragma: no cover
+
+
+def _delta(name: str, arity: int, fn, args: list[Expr]) -> Expr:
+    values = []
+    for arg in args:
+        if isinstance(arg, Lit):
+            values.append(arg.value)
+        elif isinstance(arg, Lam):
+            raise EvalError(f"primitive {name} applied to a lambda")
+        else:  # pragma: no cover - args are values by construction
+            raise EvalError(f"primitive {name} applied to a stuck term")
+    result = fn(*values)
+    if isinstance(result, (int, float, bool, str)):
+        return Lit(result)
+    raise EvalError(  # pragma: no cover - all primitives return literals
+        f"primitive {name} returned a non-literal"
+    )
+
+
+def reduce_to_value(expr: Expr, fuel: int = 100_000) -> Expr:
+    """Reduce ``expr`` to a value (or raise).
+
+    ``fuel`` bounds the number of steps (:class:`EvalFuelExhausted`
+    beyond it).  Note ``step`` itself recurses only down the leftmost
+    application/let spine, so this interpreter is fine for the
+    test-scale terms it exists for; the CEK machine is the scalable one.
+    """
+    current = expr
+    for _ in range(fuel):
+        following = step(current)
+        if following is None:
+            return current
+        current = following
+    raise EvalFuelExhausted("reduction step budget exhausted")

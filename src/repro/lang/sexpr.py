@@ -1,0 +1,212 @@
+"""Structured (de)serialisation of expressions.
+
+A JSON-compatible nested-list encoding, for persisting benchmark inputs
+and interchanging programs with other tools::
+
+    Var "x"            ->  ["v", "x"]
+    Lit 42             ->  ["c", "int", 42]
+    Lam "x" e          ->  ["l", "x", <e>]
+    App f a            ->  ["a", <f>, <a>]
+    Let "x" e1 e2      ->  ["t", "x", <e1>, <e2>]
+
+Literal types are tagged explicitly (``int``/``float``/``bool``/``str``)
+because JSON round-trips erase the bool/int distinction that both
+syntactic and alpha-equivalence preserve.
+
+Both directions are iterative, so million-node unbalanced expressions
+(de)serialise without recursion-limit issues, and :func:`dumps` /
+:func:`loads` wrap the encoding in JSON text directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+
+__all__ = ["to_sexpr", "from_sexpr", "dumps", "loads", "SexprError"]
+
+
+class SexprError(ValueError):
+    """Raised on malformed serialised input."""
+
+
+_LIT_TAGS = {"int": int, "float": float, "bool": bool, "str": str}
+
+
+def to_sexpr(expr: Expr) -> list:
+    """Encode ``expr`` as nested lists (see module docstring)."""
+    # Build bottom-up over a postorder walk.
+    results: list[Any] = []
+    stack: list[tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, visited = stack.pop()
+        if not visited:
+            stack.append((node, True))
+            for child in reversed(node.children()):
+                stack.append((child, False))
+            continue
+        if isinstance(node, Var):
+            results.append(["v", node.name])
+        elif isinstance(node, Lit):
+            if isinstance(node.value, bool):
+                results.append(["c", "bool", node.value])
+            elif isinstance(node.value, int):
+                results.append(["c", "int", node.value])
+            elif isinstance(node.value, float):
+                results.append(["c", "float", node.value])
+            else:
+                results.append(["c", "str", node.value])
+        elif isinstance(node, Lam):
+            body = results.pop()
+            results.append(["l", node.binder, body])
+        elif isinstance(node, App):
+            arg = results.pop()
+            fn = results.pop()
+            results.append(["a", fn, arg])
+        else:
+            assert isinstance(node, Let)
+            body = results.pop()
+            bound = results.pop()
+            results.append(["t", node.binder, bound, body])
+    assert len(results) == 1
+    return results[0]
+
+
+def from_sexpr(data: Any) -> Expr:
+    """Decode the nested-list encoding back into an expression."""
+    results: list[Expr] = []
+    # ops: ("visit", data) | ("build", (tag, binder))
+    stack: list[tuple[str, Any]] = [("visit", data)]
+    while stack:
+        op, payload = stack.pop()
+        if op == "build":
+            tag, binder = payload
+            if tag == "l":
+                results.append(Lam(binder, results.pop()))
+            elif tag == "a":
+                arg = results.pop()
+                fn = results.pop()
+                results.append(App(fn, arg))
+            else:
+                body = results.pop()
+                bound = results.pop()
+                results.append(Let(binder, bound, body))
+            continue
+
+        node = payload
+        if not isinstance(node, (list, tuple)) or not node:
+            raise SexprError(f"expected a tagged list, got {node!r}")
+        tag = node[0]
+        if tag == "v":
+            if len(node) != 2 or not isinstance(node[1], str):
+                raise SexprError(f"malformed variable {node!r}")
+            results.append(Var(node[1]))
+        elif tag == "c":
+            if len(node) != 3 or node[1] not in _LIT_TAGS:
+                raise SexprError(f"malformed literal {node!r}")
+            expected = _LIT_TAGS[node[1]]
+            value = node[2]
+            if expected is float and isinstance(value, int) and not isinstance(value, bool):
+                value = float(value)  # JSON may render 1.0 as 1
+            if not isinstance(value, expected) or (
+                expected is int and isinstance(value, bool)
+            ):
+                raise SexprError(f"literal value/tag mismatch {node!r}")
+            results.append(Lit(value))
+        elif tag == "l":
+            if len(node) != 3 or not isinstance(node[1], str):
+                raise SexprError(f"malformed lambda {node!r}")
+            stack.append(("build", ("l", node[1])))
+            stack.append(("visit", node[2]))
+        elif tag == "a":
+            if len(node) != 3:
+                raise SexprError(f"malformed application {node!r}")
+            stack.append(("build", ("a", None)))
+            stack.append(("visit", node[2]))
+            stack.append(("visit", node[1]))
+        elif tag == "t":
+            if len(node) != 4 or not isinstance(node[1], str):
+                raise SexprError(f"malformed let {node!r}")
+            stack.append(("build", ("t", node[1])))
+            stack.append(("visit", node[3]))
+            stack.append(("visit", node[2]))
+        else:
+            raise SexprError(f"unknown tag {tag!r}")
+    if len(results) != 1:  # pragma: no cover - structural guarantee
+        raise SexprError("unbalanced encoding")
+    return results[0]
+
+
+def dumps(expr: Expr) -> str:
+    """Serialise ``expr`` to a JSON string.
+
+    Uses a *flat postorder* encoding rather than the nested form:
+    ``json`` recurses over nested lists, which would overflow on the
+    deep binder chains this library routinely handles.  Each entry is
+    one node in postorder -- ``["v", name]``, ``["c", tag, value]``,
+    ``["l", binder]``, ``["a"]``, ``["t", binder]`` -- and the decoder
+    replays them against a stack.
+    """
+    post: list[list] = []
+    stack: list[tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, visited = stack.pop()
+        if not visited:
+            stack.append((node, True))
+            for child in reversed(node.children()):
+                stack.append((child, False))
+            continue
+        if isinstance(node, Var):
+            post.append(["v", node.name])
+        elif isinstance(node, Lit):
+            encoded = to_sexpr(node)
+            post.append(encoded)
+        elif isinstance(node, Lam):
+            post.append(["l", node.binder])
+        elif isinstance(node, App):
+            post.append(["a"])
+        else:
+            assert isinstance(node, Let)
+            post.append(["t", node.binder])
+    payload = {"format": "repro-expr-v1", "post": post}
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def loads(text: str) -> Expr:
+    """Deserialise an expression from :func:`dumps` output."""
+    payload = json.loads(text)
+    if not isinstance(payload, dict) or payload.get("format") != "repro-expr-v1":
+        raise SexprError("not a repro-expr-v1 document")
+    post = payload.get("post")
+    if not isinstance(post, list) or not post:
+        raise SexprError("missing postorder node list")
+    results: list[Expr] = []
+    for entry in post:
+        if not isinstance(entry, list) or not entry:
+            raise SexprError(f"malformed entry {entry!r}")
+        tag = entry[0]
+        if tag in ("v", "c"):
+            results.append(from_sexpr(entry))
+        elif tag == "l":
+            if len(entry) != 2 or not isinstance(entry[1], str) or not results:
+                raise SexprError(f"malformed lambda entry {entry!r}")
+            results.append(Lam(entry[1], results.pop()))
+        elif tag == "a":
+            if len(results) < 2:
+                raise SexprError("application entry with too few operands")
+            arg = results.pop()
+            fn = results.pop()
+            results.append(App(fn, arg))
+        elif tag == "t":
+            if len(entry) != 2 or not isinstance(entry[1], str) or len(results) < 2:
+                raise SexprError(f"malformed let entry {entry!r}")
+            body = results.pop()
+            bound = results.pop()
+            results.append(Let(entry[1], bound, body))
+        else:
+            raise SexprError(f"unknown entry tag {tag!r}")
+    if len(results) != 1:
+        raise SexprError("unbalanced postorder stream")
+    return results[0]

@@ -1,0 +1,98 @@
+"""Expression statistics: shape profiles for workload validation.
+
+The benchmark claims of Section 7 hinge on input *shape* -- balanced vs
+unbalanced, binder density, free-variable pressure.  This module
+computes those profiles, which the workload tests use to assert that
+the synthetic MNIST/GMM/BERT expressions actually carry the
+characteristics the real dumps had (deep let spines, unrolled
+repetition), and which `describe` renders for quick inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.expr import Expr, Lam, Let, Lit, Var
+from repro.lang.names import free_vars
+
+__all__ = ["ExprStats", "expr_stats", "describe"]
+
+
+@dataclass(frozen=True)
+class ExprStats:
+    """Shape profile of one expression."""
+
+    size: int
+    depth: int
+    var_count: int
+    lit_count: int
+    lam_count: int
+    app_count: int
+    let_count: int
+    binder_count: int
+    free_var_count: int
+    #: maximum number of binders enclosing any single node
+    max_binder_depth: int
+    #: depth / size: ~log(n)/n for balanced trees, ~0.5 for chains
+    @property
+    def imbalance(self) -> float:
+        return self.depth / self.size if self.size else 0.0
+
+    @property
+    def binder_density(self) -> float:
+        return self.binder_count / self.size if self.size else 0.0
+
+
+def expr_stats(expr: Expr) -> ExprStats:
+    """Compute the full shape profile in one iterative pass."""
+    var_count = lit_count = lam_count = app_count = let_count = 0
+    max_binder_depth = 0
+
+    # (node, binder_depth)
+    stack: list[tuple[Expr, int]] = [(expr, 0)]
+    while stack:
+        node, binders = stack.pop()
+        if binders > max_binder_depth:
+            max_binder_depth = binders
+        if isinstance(node, Var):
+            var_count += 1
+        elif isinstance(node, Lit):
+            lit_count += 1
+        elif isinstance(node, Lam):
+            lam_count += 1
+            stack.append((node.body, binders + 1))
+        elif isinstance(node, Let):
+            let_count += 1
+            stack.append((node.bound, binders))
+            stack.append((node.body, binders + 1))
+        else:
+            app_count += 1
+            stack.append((node.fn, binders))
+            stack.append((node.arg, binders))
+
+    return ExprStats(
+        size=expr.size,
+        depth=expr.depth,
+        var_count=var_count,
+        lit_count=lit_count,
+        lam_count=lam_count,
+        app_count=app_count,
+        let_count=let_count,
+        binder_count=lam_count + let_count,
+        free_var_count=len(free_vars(expr)),
+        max_binder_depth=max_binder_depth,
+    )
+
+
+def describe(expr: Expr) -> str:
+    """A one-paragraph human-readable shape summary."""
+    stats = expr_stats(expr)
+    return (
+        f"{stats.size} nodes, depth {stats.depth} "
+        f"(imbalance {stats.imbalance:.3f}); "
+        f"{stats.var_count} vars / {stats.lit_count} lits / "
+        f"{stats.app_count} apps / {stats.lam_count} lams / "
+        f"{stats.let_count} lets; "
+        f"{stats.binder_count} binders (max nesting {stats.max_binder_depth}), "
+        f"{stats.free_var_count} free variables"
+    )

@@ -1,0 +1,165 @@
+"""Capture-avoiding substitution.
+
+``substitute(e, {"x": r})`` replaces free occurrences of ``x`` in ``e``
+by ``r``, renaming binders in ``e`` where they would capture free
+variables of ``r``.  This is the standard workhorse every compiler
+rewrite needs; here it underpins the let-inlining pass
+(:mod:`repro.apps.inline`), which in turn lets the test-suite check that
+CSE's output *means* the same thing by inlining it back.
+
+As everywhere in this library the traversal is iterative, and the
+renaming strategy is the conventional one: a binder is renamed only when
+an actively substituted term could be captured by it; unchanged subtrees
+are returned as the original objects, so a no-op substitution is cheap
+and preserves sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+from repro.lang.names import NameSupply, all_names, free_vars
+
+__all__ = ["substitute"]
+
+_ABSENT = object()
+
+
+def substitute(
+    expr: Expr,
+    mapping: Mapping[str, Expr],
+    supply: Optional[NameSupply] = None,
+) -> Expr:
+    """Replace free occurrences of the mapped names in ``expr``.
+
+    * binders shadow: inside ``\\x. ...`` a mapping for ``x`` is
+      suspended;
+    * binders are renamed (with fresh names from ``supply``) when an
+      inserted term's free variable would otherwise be captured;
+    * ``Let`` scoping is respected: the bound expression sees the outer
+      mapping, the body sees the binder-adjusted one.
+
+    Returns ``expr`` itself when nothing changed.
+    """
+    if not mapping:
+        return expr
+
+    if supply is None:
+        reserved = set(all_names(expr))
+        for replacement in mapping.values():
+            reserved |= all_names(replacement)
+        supply = NameSupply(reserved=reserved)
+
+    # Union of the free variables of all replacement terms: a binder
+    # with one of these names might capture, and is renamed.  (Checking
+    # against the union rather than only currently-active replacements
+    # may rename slightly more than strictly necessary, which is
+    # harmless: renaming preserves alpha-equivalence.)
+    capture_risk: set[str] = set()
+    for replacement in mapping.values():
+        capture_risk |= free_vars(replacement)
+
+    # active maps a source name to an Expr (substitute it), a str (the
+    # binder was renamed; occurrences become Var of the new name), or is
+    # absent (identity).
+    active: dict[str, object] = dict(mapping)
+    results: list[Expr] = []
+    stack: list[tuple[str, object]] = [("visit", expr)]
+    while stack:
+        op, payload = stack.pop()
+        if op == "restore":
+            name, old = payload  # type: ignore[misc]
+            if old is _ABSENT:
+                active.pop(name, None)
+            else:
+                active[name] = old
+            continue
+        if op == "build":
+            node, binder = payload  # type: ignore[misc]
+            if isinstance(node, Lam):
+                body = results.pop()
+                if body is node.body and binder == node.binder:
+                    results.append(node)
+                else:
+                    results.append(Lam(binder, body))
+            elif isinstance(node, App):
+                arg = results.pop()
+                fn = results.pop()
+                if fn is node.fn and arg is node.arg:
+                    results.append(node)
+                else:
+                    results.append(App(fn, arg))
+            else:
+                assert isinstance(node, Let)
+                body = results.pop()
+                bound = results.pop()
+                if (
+                    bound is node.bound
+                    and body is node.body
+                    and binder == node.binder
+                ):
+                    results.append(node)
+                else:
+                    results.append(Let(binder, bound, body))
+            continue
+        if op == "let_body":
+            # The bound expression has been visited; now enter the
+            # binder's scope for the body.
+            node = payload
+            assert isinstance(node, Let)
+            binder = _enter_binder(node.binder, active, capture_risk, supply, stack)
+            stack.append(("build", (node, binder)))
+            stack.append(("visit", node.body))
+            continue
+
+        node = payload
+        assert isinstance(node, Expr)
+        if isinstance(node, Var):
+            entry = active.get(node.name)
+            if entry is None:
+                results.append(node)
+            elif isinstance(entry, str):
+                results.append(Var(entry))
+            else:
+                assert isinstance(entry, Expr)
+                results.append(entry)
+        elif isinstance(node, Lit):
+            results.append(node)
+        elif isinstance(node, Lam):
+            binder = _enter_binder(node.binder, active, capture_risk, supply, stack)
+            stack.append(("build", (node, binder)))
+            stack.append(("visit", node.body))
+        elif isinstance(node, App):
+            stack.append(("build", (node, None)))
+            stack.append(("visit", node.arg))
+            stack.append(("visit", node.fn))
+        else:
+            assert isinstance(node, Let)
+            stack.append(("let_body", node))
+            stack.append(("visit", node.bound))
+    assert len(results) == 1
+    return results[0]
+
+
+def _enter_binder(
+    binder: str,
+    active: dict[str, object],
+    capture_risk: set[str],
+    supply: NameSupply,
+    stack: list,
+) -> str:
+    """Suspend or rename ``binder`` for the scope about to be visited.
+
+    Pushes the matching restore op; the restore runs after the scope's
+    body has been visited (it sits below the body's visit on the LIFO
+    stack).  Returns the binder name to rebuild with.
+    """
+    old = active.get(binder, _ABSENT)
+    stack.append(("restore", (binder, old)))
+    if binder in capture_risk:
+        fresh = supply.fresh(binder)
+        active[binder] = fresh
+        return fresh
+    active.pop(binder, None)
+    return binder

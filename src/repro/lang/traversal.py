@@ -1,0 +1,187 @@
+"""Iterative traversal utilities over expression trees.
+
+The paper's benchmarks include "wildly unbalanced trees with very deeply
+nested lambdas" (Section 7.1) with up to 10^7 nodes: chains far deeper
+than CPython's recursion limit.  Every algorithm in this library therefore
+traverses with explicit work stacks; this module collects the shared
+plumbing.
+
+Paths
+-----
+Several utilities address subexpressions by *path*: a tuple of child
+indices from the root (``()`` is the root itself; for ``App`` index 0 is
+the function and 1 the argument; for ``Let`` index 0 is the bound
+expression and 1 the body; ``Lam`` has the single child index 0).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+
+__all__ = [
+    "postorder",
+    "preorder",
+    "subexpressions",
+    "preorder_with_paths",
+    "count_nodes",
+    "max_depth",
+    "subexpression_at",
+    "replace_at",
+    "rebuild_bottom_up",
+    "all_paths",
+]
+
+
+def preorder(expr: Expr) -> Iterator[Expr]:
+    """Yield every node of ``expr``, parents before children."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        # Push right-to-left so children come out left-to-right.
+        for child in reversed(node.children()):
+            stack.append(child)
+
+
+def postorder(expr: Expr) -> Iterator[Expr]:
+    """Yield every node of ``expr``, children before parents."""
+    # Classic two-stack postorder.
+    stack = [expr]
+    out: list[Expr] = []
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        stack.extend(node.children())
+    while out:
+        yield out.pop()
+
+
+def subexpressions(expr: Expr) -> Iterator[Expr]:
+    """Alias of :func:`preorder`: every subexpression occurrence, root first."""
+    return preorder(expr)
+
+
+def preorder_with_paths(expr: Expr) -> Iterator[tuple[tuple[int, ...], Expr]]:
+    """Yield ``(path, node)`` pairs in preorder."""
+    stack: list[tuple[tuple[int, ...], Expr]] = [((), expr)]
+    while stack:
+        path, node = stack.pop()
+        yield path, node
+        children = node.children()
+        for i in range(len(children) - 1, -1, -1):
+            stack.append((path + (i,), children[i]))
+
+
+def all_paths(expr: Expr) -> list[tuple[int, ...]]:
+    """All node paths of ``expr`` in preorder."""
+    return [path for path, _ in preorder_with_paths(expr)]
+
+
+def count_nodes(expr: Expr) -> int:
+    """Recount nodes by traversal (should equal ``expr.size``)."""
+    n = 0
+    for _ in preorder(expr):
+        n += 1
+    return n
+
+
+def max_depth(expr: Expr) -> int:
+    """Recompute tree height by traversal (should equal ``expr.depth``)."""
+    best = 0
+    stack: list[tuple[Expr, int]] = [(expr, 1)]
+    while stack:
+        node, d = stack.pop()
+        if d > best:
+            best = d
+        for child in node.children():
+            stack.append((child, d + 1))
+    return best
+
+
+def subexpression_at(expr: Expr, path: Sequence[int]) -> Expr:
+    """Return the subexpression at ``path`` (raises IndexError if invalid)."""
+    node = expr
+    for index in path:
+        children = node.children()
+        node = children[index]
+    return node
+
+
+def replace_at(expr: Expr, path: Sequence[int], replacement: Expr) -> Expr:
+    """Return a copy of ``expr`` with the subtree at ``path`` replaced.
+
+    Only the spine from the root to ``path`` is rebuilt; all off-path
+    subtrees are shared with the input.  Runs in O(len(path)).
+    """
+    spine: list[Expr] = []
+    node = expr
+    for index in path:
+        spine.append(node)
+        node = node.children()[index]
+    result = replacement
+    for index, parent in zip(reversed(path), reversed(spine)):
+        result = _replace_child(parent, index, result)
+    return result
+
+
+def _replace_child(parent: Expr, index: int, child: Expr) -> Expr:
+    if isinstance(parent, Lam):
+        if index != 0:
+            raise IndexError("Lam has a single child (index 0)")
+        return Lam(parent.binder, child)
+    if isinstance(parent, App):
+        if index == 0:
+            return App(child, parent.arg)
+        if index == 1:
+            return App(parent.fn, child)
+        raise IndexError("App child index must be 0 or 1")
+    if isinstance(parent, Let):
+        if index == 0:
+            return Let(parent.binder, child, parent.body)
+        if index == 1:
+            return Let(parent.binder, parent.bound, child)
+        raise IndexError("Let child index must be 0 or 1")
+    raise IndexError(f"{parent.kind} node has no children")
+
+
+def rebuild_bottom_up(
+    expr: Expr,
+    make: Callable[[Expr, tuple[Expr, ...]], Expr],
+) -> Expr:
+    """Rebuild ``expr`` bottom-up, calling ``make(node, new_children)``.
+
+    ``make`` receives the original node and the already-rebuilt children
+    and returns the replacement node.  The identity rebuild is
+    ``make = lambda node, kids: <same-kind node over kids>``.
+
+    Iterative: children are rebuilt before parents via a postorder stack
+    and a result stack, so arbitrarily deep trees are fine.
+    """
+    results: list[Expr] = []
+    for node in postorder(expr):
+        arity = len(node.children())
+        if arity == 0:
+            results.append(make(node, ()))
+        else:
+            kids = tuple(results[len(results) - arity :])
+            del results[len(results) - arity :]
+            results.append(make(node, kids))
+    assert len(results) == 1
+    return results[0]
+
+
+def identity_rebuild(node: Expr, kids: tuple[Expr, ...]) -> Expr:
+    """A ``make`` function for :func:`rebuild_bottom_up` that copies nodes."""
+    if isinstance(node, Var):
+        return Var(node.name)
+    if isinstance(node, Lit):
+        return Lit(node.value)
+    if isinstance(node, Lam):
+        return Lam(node.binder, kids[0])
+    if isinstance(node, App):
+        return App(kids[0], kids[1])
+    if isinstance(node, Let):
+        return Let(node.binder, kids[0], kids[1])
+    raise TypeError(f"unknown node kind {node.kind}")

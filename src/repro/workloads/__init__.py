@@ -1,0 +1,30 @@
+"""Synthetic ML-workload expressions matching Table 2 / Figure 3 sizes."""
+
+from repro.workloads.bert import (
+    BERT12_NODES,
+    BERT_BASE,
+    BERT_PER_LAYER,
+    bert_target_nodes,
+    build_bert,
+)
+from repro.workloads.gmm import GMM_NODES, build_gmm
+from repro.workloads.mnist_cnn import MNIST_CNN_NODES, build_mnist_cnn
+
+__all__ = [
+    "BERT12_NODES",
+    "BERT_BASE",
+    "BERT_PER_LAYER",
+    "bert_target_nodes",
+    "build_bert",
+    "GMM_NODES",
+    "build_gmm",
+    "MNIST_CNN_NODES",
+    "build_mnist_cnn",
+]
+
+#: Table 2 workload registry: name -> (builder, reported node count).
+TABLE2_WORKLOADS = {
+    "MNIST CNN": (build_mnist_cnn, MNIST_CNN_NODES),
+    "GMM": (build_gmm, GMM_NODES),
+    "BERT 12": (lambda: build_bert(12), BERT12_NODES),
+}

@@ -1,0 +1,127 @@
+"""Shared builders for the synthetic machine-learning workloads.
+
+The paper's Table 2 / Figure 3 expressions are real compiler IR dumps
+(an MNIST convolution kernel, the ADBench GMM objective, and a PyTorch
+BERT); those artefacts are not redistributable, so :mod:`repro.workloads`
+synthesises expressions with the same node counts and the same shape
+characteristics -- scalarised tensor arithmetic, deep ``let`` spines from
+ANF-style lowering, shared activation lambdas, and loop-unrolled
+repetition (which creates the alpha-equivalent subterms the algorithms
+are being asked to find).  The hashing algorithms observe only AST shape
+and binding structure, so matched-shape synthetic terms exercise
+identical code paths (see DESIGN.md, "Substitutions").
+
+This module provides the scalar-expression vocabulary those builders
+share, plus :func:`pad_to`, which pads an expression to an exact node
+count so the workload sizes can match the paper's reported ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+
+__all__ = [
+    "prim",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "apply1",
+    "sum_chain",
+    "product_chain",
+    "dot",
+    "let_chain",
+    "pad_to",
+]
+
+
+def prim(name: str, *args: Expr) -> Expr:
+    """Apply the primitive ``name`` to ``args`` (curried)."""
+    expr: Expr = Var(name)
+    for arg in args:
+        expr = App(expr, arg)
+    return expr
+
+
+def add(a: Expr, b: Expr) -> Expr:
+    return prim("add", a, b)
+
+
+def sub(a: Expr, b: Expr) -> Expr:
+    return prim("sub", a, b)
+
+
+def mul(a: Expr, b: Expr) -> Expr:
+    return prim("mul", a, b)
+
+
+def div(a: Expr, b: Expr) -> Expr:
+    return prim("div", a, b)
+
+
+def apply1(fn: Expr, arg: Expr) -> Expr:
+    return App(fn, arg)
+
+
+def sum_chain(terms: Sequence[Expr]) -> Expr:
+    """Left-nested sum ``(((t0 + t1) + t2) + ...)`` -- the shape a
+    sequential reduction loop unrolls into."""
+    if not terms:
+        raise ValueError("sum_chain needs at least one term")
+    acc = terms[0]
+    for term in terms[1:]:
+        acc = add(acc, term)
+    return acc
+
+
+def product_chain(terms: Sequence[Expr]) -> Expr:
+    """Left-nested product."""
+    if not terms:
+        raise ValueError("product_chain needs at least one term")
+    acc = terms[0]
+    for term in terms[1:]:
+        acc = mul(acc, term)
+    return acc
+
+
+def dot(a_names: Sequence[str], b_names: Sequence[str]) -> Expr:
+    """Unrolled dot product of two named vectors."""
+    if len(a_names) != len(b_names):
+        raise ValueError("dot needs equal-length vectors")
+    return sum_chain([mul(Var(a), Var(b)) for a, b in zip(a_names, b_names)])
+
+
+def let_chain(bindings: Iterable[tuple[str, Expr]], body: Expr) -> Expr:
+    """ANF-style let spine, first binding outermost."""
+    result = body
+    for name, bound in reversed(list(bindings)):
+        result = Let(name, bound, result)
+    return result
+
+
+def pad_to(expr: Expr, target: int, prefix: str = "pad") -> Expr:
+    """Wrap ``expr`` so the result has exactly ``target`` nodes.
+
+    Pads with dead ``let`` bindings (``let pad = 0 in ...``, +2 nodes
+    each) plus one unused-binder lambda (+1) when the gap is odd, so any
+    non-negative gap is reachable.  Only used to align workload sizes
+    with the node counts the paper reports; the padding is semantically
+    inert for hashing purposes (every pad introduces fresh names).
+    """
+    gap = target - expr.size
+    if gap < 0:
+        raise ValueError(
+            f"expression already has {expr.size} nodes > target {target}"
+        )
+    counter = 0
+    if gap % 2 == 1:
+        expr = Lam(f"{prefix}_l", expr)
+        gap -= 1
+    while gap > 0:
+        counter += 1
+        expr = Let(f"{prefix}_b{counter}", Lit(0), expr)
+        gap -= 2
+    assert expr.size == target
+    return expr

@@ -1,0 +1,74 @@
+"""Synthetic "MNIST CNN" workload (Table 2, n = 840).
+
+The paper's smallest realistic expression is "a convolution kernel from
+a deep neural network used in computer vision" [LeCun et al. 1989].  We
+synthesise the same thing: one fully unrolled 2-D convolution window
+sweep with a per-pixel activation lambda (inlined at each use site with a fresh
+binder, as a compiler inliner emits it), lowered to a ``let`` spine the
+way a scalarising compiler would produce::
+
+    let o_0_0 = scale * ((\\z_0_0. max z_0_0 zero)
+                         (bias + w_0_0*x_0_0 + ... + w_2_2*x_2_2)) in
+    ...
+    let o_2_2 = ... in
+    o_0_0 + ... + o_2_2
+
+The nine inlined activation lambdas are alpha-equivalent but not
+syntactically identical -- exactly the repetition profile that
+motivates hashing modulo alpha (Section 1).
+
+The default parameters give 798 natural nodes, padded to the paper's
+reported 840.
+"""
+
+from __future__ import annotations
+
+from repro.lang.expr import Expr, Lam, Var
+from repro.workloads.common import add, apply1, let_chain, mul, pad_to, prim, sum_chain
+
+__all__ = ["build_mnist_cnn", "MNIST_CNN_NODES"]
+
+#: Node count reported in Table 2 for this workload.
+MNIST_CNN_NODES = 840
+
+
+def build_mnist_cnn(
+    out_h: int = 3,
+    out_w: int = 3,
+    kernel: int = 3,
+    target_nodes: int | None = MNIST_CNN_NODES,
+) -> Expr:
+    """Build the unrolled convolution expression.
+
+    ``out_h`` x ``out_w`` output pixels, each summing a ``kernel`` x
+    ``kernel`` window of input-pixel/weight products, passed through a
+    shared activation lambda.  ``target_nodes=None`` skips padding and
+    returns the natural size.
+    """
+    bindings: list[tuple[str, Expr]] = []
+
+    outputs: list[str] = []
+    for i in range(out_h):
+        for j in range(out_w):
+            window = [
+                mul(Var(f"w_{a}_{b}"), Var(f"x_{i + a}_{j + b}"))
+                for a in range(kernel)
+                for b in range(kernel)
+            ]
+            # The activation lambda is inlined at every use site with a
+            # freshened binder -- as a compiler inliner would emit it --
+            # so the nine copies are alpha-equivalent but not
+            # syntactically identical (Section 1's motivating shape).
+            act = Lam(f"z_{i}_{j}", prim("max", Var(f"z_{i}_{j}"), Var("zero")))
+            pixel = mul(
+                Var("scale"),
+                apply1(act, add(Var("bias"), sum_chain(window))),
+            )
+            name = f"o_{i}_{j}"
+            bindings.append((name, pixel))
+            outputs.append(name)
+
+    expr = let_chain(bindings, sum_chain([Var(name) for name in outputs]))
+    if target_nodes is not None:
+        expr = pad_to(expr, target_nodes, prefix="cnn")
+    return expr

@@ -1,0 +1,30 @@
+"""Shared fixtures and hypothesis settings for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.combiners import HashCombiners
+
+# One moderate profile for CI; examples are deterministic via the
+# derandomize-by-default database behaviour of hypothesis under pytest.
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def combiners() -> HashCombiners:
+    """The default 64-bit fixed-seed combiner family."""
+    return HashCombiners()
+
+
+@pytest.fixture(scope="session")
+def combiners16() -> HashCombiners:
+    """A 16-bit family (Appendix B width) for collision-prone tests."""
+    return HashCombiners(bits=16, seed=7)

@@ -1,0 +1,131 @@
+"""Hypothesis strategies for expression generation.
+
+Two complementary strategies:
+
+* :func:`expr_skeletons` + :func:`realise` -- a genuinely structural
+  strategy (hypothesis can shrink it): a nameless skeleton is drawn
+  recursively, then names are assigned scope-correctly, with variable
+  leaves choosing among in-scope binders (or free names when the draw
+  demands it / nothing is in scope).
+* :func:`seeded_exprs` -- drives the library's own generator with drawn
+  (size, seed, shape, ...) parameters; covers the exact distributions
+  the benchmarks use.
+
+Both yield well-formed expressions with unique binders available via
+:func:`repro.lang.names.uniquify_binders` where a test requires it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.gen.random_exprs import random_expr
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+
+__all__ = ["expr_skeletons", "realise", "structural_exprs", "seeded_exprs", "exprs"]
+
+_FREE_NAMES = ("f", "g", "h")
+
+
+def expr_skeletons(max_leaves: int = 25) -> st.SearchStrategy:
+    """Nameless expression skeletons as nested tuples."""
+    leaf = st.one_of(
+        st.tuples(st.just("var"), st.integers(min_value=0, max_value=7)),
+        st.tuples(st.just("lit"), st.integers(min_value=-5, max_value=5)),
+    )
+    return st.recursive(
+        leaf,
+        lambda children: st.one_of(
+            st.tuples(st.just("lam"), children),
+            st.tuples(st.just("app"), children, children),
+            st.tuples(st.just("let"), children, children),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+def realise(skeleton: tuple) -> Expr:
+    """Assign scope-correct names to a skeleton (iterative)."""
+    counter = 0
+    scope: list[str] = []
+    results: list[Expr] = []
+    stack: list[tuple[str, object]] = [("visit", skeleton)]
+    while stack:
+        op, payload = stack.pop()
+        if op == "bind":
+            scope.append(payload)  # type: ignore[arg-type]
+            continue
+        if op == "unbind":
+            scope.pop()
+            continue
+        if op == "build":
+            kind, binder = payload  # type: ignore[misc]
+            if kind == "lam":
+                results.append(Lam(binder, results.pop()))
+            elif kind == "app":
+                arg = results.pop()
+                fn = results.pop()
+                results.append(App(fn, arg))
+            else:
+                body = results.pop()
+                bound = results.pop()
+                results.append(Let(binder, bound, body))
+            continue
+        node = payload
+        assert isinstance(node, tuple)
+        tag = node[0]
+        if tag == "var":
+            index = node[1]
+            if scope and index < 2 * len(scope):
+                results.append(Var(scope[index % len(scope)]))
+            else:
+                results.append(Var(_FREE_NAMES[index % len(_FREE_NAMES)]))
+        elif tag == "lit":
+            results.append(Lit(node[1]))
+        elif tag == "lam":
+            counter += 1
+            binder = f"b{counter}"
+            stack.append(("build", ("lam", binder)))
+            stack.append(("unbind", None))
+            stack.append(("visit", node[1]))
+            stack.append(("bind", binder))
+        elif tag == "app":
+            stack.append(("build", ("app", None)))
+            stack.append(("visit", node[2]))
+            stack.append(("visit", node[1]))
+        else:
+            assert tag == "let"
+            counter += 1
+            binder = f"b{counter}"
+            stack.append(("build", ("let", binder)))
+            stack.append(("unbind", None))
+            stack.append(("visit", node[2]))
+            stack.append(("bind", binder))
+            stack.append(("visit", node[1]))
+    assert len(results) == 1
+    return results[0]
+
+
+def structural_exprs(max_leaves: int = 25) -> st.SearchStrategy[Expr]:
+    """Shrinkable expressions via skeleton realisation."""
+    return expr_skeletons(max_leaves).map(realise)
+
+
+def seeded_exprs(
+    min_size: int = 1, max_size: int = 120
+) -> st.SearchStrategy[Expr]:
+    """Expressions from the library's benchmark generator."""
+    return st.builds(
+        random_expr,
+        size=st.integers(min_size, max_size),
+        seed=st.integers(0, 2**20),
+        shape=st.sampled_from(("balanced", "unbalanced")),
+        p_lam=st.floats(0.2, 0.8),
+        p_let=st.sampled_from((0.0, 0.3)),
+        p_lit=st.sampled_from((0.0, 0.2)),
+    )
+
+
+def exprs(max_size: int = 120) -> st.SearchStrategy[Expr]:
+    """The default mixed strategy used across the property suite."""
+    return st.one_of(structural_exprs(), seeded_exprs(max_size=max_size))

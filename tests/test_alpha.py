@@ -1,0 +1,110 @@
+"""Unit and property tests for the reference alpha-equivalence oracle."""
+
+from hypothesis import given
+
+from repro.gen.random_exprs import alpha_rename
+from repro.lang.alpha import alpha_equivalent, alpha_group_exact
+from repro.lang.expr import App, Lam, Let, Lit, Var
+from repro.lang.parser import parse
+
+from strategies import exprs
+
+
+class TestPaperExamples:
+    def test_lambda_renaming(self):
+        assert alpha_equivalent(parse(r"\x. x + y"), parse(r"\p. p + y"))
+
+    def test_free_variable_mismatch(self):
+        assert not alpha_equivalent(parse(r"\x. x + y"), parse(r"\q. q + z"))
+
+    def test_let_binders(self):
+        e1 = parse("let bar = x + 1 in bar * y")
+        e2 = parse("let pub = x + 1 in pub * y")
+        assert alpha_equivalent(e1, e2)
+
+    def test_nested_lambdas(self):
+        e1 = parse(r"\x. \y. x + y * 7")
+        e2 = parse(r"\a. \b. a + b * 7")
+        assert alpha_equivalent(e1, e2)
+
+    def test_swapped_binders_not_equivalent(self):
+        e1 = parse(r"\x. \y. x")
+        e2 = parse(r"\x. \y. y")
+        assert not alpha_equivalent(e1, e2)
+
+
+class TestScoping:
+    def test_shadowing(self):
+        e1 = parse(r"\x. x (\x. x)")
+        e2 = parse(r"\a. a (\b. b)")
+        assert alpha_equivalent(e1, e2)
+
+    def test_shadowing_mismatch(self):
+        e1 = parse(r"\x. x (\y. x)")  # inner body uses OUTER binder
+        e2 = parse(r"\a. a (\b. b)")  # inner body uses INNER binder
+        assert not alpha_equivalent(e1, e2)
+
+    def test_let_bound_is_outer_scope(self):
+        # In `let x = x in x` the bound x is free/outer.
+        e1 = Let("x", Var("x"), Var("x"))
+        e2 = Let("y", Var("x"), Var("y"))
+        assert alpha_equivalent(e1, e2)
+        e3 = Let("y", Var("y"), Var("y"))  # bound side uses different free name
+        assert not alpha_equivalent(e1, e3)
+
+    def test_bound_vs_free_same_name(self):
+        e1 = Lam("x", Var("x"))
+        e2 = Lam("y", Var("x"))  # x free here
+        assert not alpha_equivalent(e1, e2)
+
+
+class TestBasics:
+    def test_literals(self):
+        assert alpha_equivalent(Lit(3), Lit(3))
+        assert not alpha_equivalent(Lit(3), Lit(4))
+        assert not alpha_equivalent(Lit(1), Lit(1.0))
+        assert not alpha_equivalent(Lit(True), Lit(1))
+
+    def test_size_fast_path(self):
+        assert not alpha_equivalent(Var("x"), App(Var("x"), Var("y")))
+
+    def test_kind_mismatch(self):
+        assert not alpha_equivalent(Lam("x", Var("x")), Let("x", Lit(1), Var("x")))
+
+    def test_deep_chain(self):
+        e1, e2 = Var("z"), Var("z")
+        for i in range(20_000):
+            e1 = Lam(f"a{i}", e1)
+            e2 = Lam(f"b{i}", e2)
+        assert alpha_equivalent(e1, e2)
+
+
+class TestProperties:
+    @given(exprs(max_size=80))
+    def test_reflexive(self, e):
+        assert alpha_equivalent(e, e)
+
+    @given(exprs(max_size=80))
+    def test_invariant_under_renaming(self, e):
+        assert alpha_equivalent(e, alpha_rename(e))
+
+    @given(exprs(max_size=50), exprs(max_size=50))
+    def test_symmetric(self, e1, e2):
+        assert alpha_equivalent(e1, e2) == alpha_equivalent(e2, e1)
+
+
+class TestGroupExact:
+    def test_groups(self):
+        items = [
+            parse(r"\x. x"),
+            parse(r"\y. y"),
+            parse(r"\x. x x"),
+            Lit(1),
+            Lit(1),
+        ]
+        groups = alpha_group_exact(items)
+        as_sets = sorted(tuple(g) for g in groups)
+        assert as_sets == [(0, 1), (2,), (3, 4)]
+
+    def test_empty(self):
+        assert alpha_group_exact([]) == []

@@ -1,0 +1,131 @@
+"""Tests for the measurement machinery (timing, fits, collisions)."""
+
+import math
+
+import pytest
+
+from repro.analysis.collisions import (
+    PAIR_FAMILIES,
+    collision_experiment,
+    perfect_hash_expectation,
+    theorem_bound,
+)
+from repro.analysis.complexity import MODELS, best_model, loglog_slope
+from repro.analysis.timing import TimingResult, time_call
+
+
+class TestTiming:
+    def test_returns_samples(self):
+        result = time_call(lambda: sum(range(100)), repeats=3, warmup=1)
+        assert len(result.times) == 3
+        assert result.best <= result.mean
+        assert result.best_ms == result.best * 1e3
+
+    def test_warmup_not_counted(self):
+        calls = []
+        result = time_call(lambda: calls.append(1), repeats=2, warmup=3)
+        assert len(calls) == 5
+        assert len(result.times) == 2
+
+    def test_gc_reenabled(self):
+        import gc
+
+        assert gc.isenabled()
+        time_call(lambda: None, repeats=1)
+        assert gc.isenabled()
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeats=0)
+
+
+class TestComplexityFits:
+    def _series(self, fn, scale):
+        sizes = [2**k for k in range(8, 16)]
+        return sizes, [fn(n) * scale for n in sizes]
+
+    def test_slope_linear(self):
+        sizes, times = self._series(lambda n: n, 1e-7)
+        assert 0.95 <= loglog_slope(sizes, times) <= 1.05
+
+    def test_slope_quadratic(self):
+        sizes, times = self._series(lambda n: n * n, 1e-9)
+        assert 1.95 <= loglog_slope(sizes, times) <= 2.05
+
+    def test_slope_nlogn_between(self):
+        sizes, times = self._series(lambda n: n * math.log2(n), 1e-8)
+        slope = loglog_slope(sizes, times)
+        assert 1.05 <= slope <= 1.45
+
+    @pytest.mark.parametrize("name", list(MODELS))
+    def test_best_model_recovers_shape(self, name):
+        sizes, times = self._series(MODELS[name], 3e-8)
+        assert best_model(sizes, times).name == name
+
+    def test_best_model_with_noise(self):
+        import random
+
+        rng = random.Random(0)
+        sizes = [2**k for k in range(8, 16)]
+        times = [n * math.log2(n) * 1e-8 * rng.uniform(0.9, 1.1) for n in sizes]
+        fit = best_model(sizes, times)
+        assert fit.name in ("n log n", "n log^2 n")
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            loglog_slope([10], [1.0])
+
+    def test_tail_parameter(self):
+        sizes = [10, 100, 1000, 10000]
+        times = [1.0, 1.0, 2.0, 4.0]
+        full = loglog_slope(sizes, times, tail=4)
+        tail = loglog_slope(sizes, times, tail=2)
+        assert tail > full
+
+
+class TestCollisionEngine:
+    def test_reference_lines(self):
+        assert perfect_hash_expectation(16) == 1.0
+        assert perfect_hash_expectation(12) == 16.0
+        assert theorem_bound(128, 16) == 1280.0
+
+    def test_families_registered(self):
+        assert set(PAIR_FAMILIES) == {"random", "adversarial"}
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            collision_experiment("bogus", 64, 5)
+
+    def test_runs_and_scales(self):
+        result = collision_experiment("adversarial", 32, trials=20, bits=16, seed=1)
+        assert result.trials == 20
+        assert result.per_2_16 == result.rate * 65536
+
+    def test_tiny_width_shows_collisions(self):
+        # at 8 bits the floor is 256 per 2^16; a handful of trials
+        # should already see some collisions for adversarial pairs.
+        result = collision_experiment("adversarial", 200, trials=120, bits=8, seed=0)
+        assert result.collisions > 0
+
+    def test_bound_holds(self):
+        for family in ("random", "adversarial"):
+            result = collision_experiment(family, 64, trials=60, bits=12, seed=2)
+            assert result.per_2_16 <= theorem_bound(64, 12)
+
+    def test_fixed_combiners_mode(self):
+        result = collision_experiment(
+            "random", 40, trials=15, bits=16, seed=3, redraw_combiners=False
+        )
+        assert result.trials == 15
+
+    def test_custom_hash_fn(self):
+        from repro.baselines.structural import structural_hash_all
+
+        result = collision_experiment(
+            "adversarial",
+            32,
+            trials=10,
+            bits=16,
+            hash_fn=lambda e, c: structural_hash_all(e, c).root_hash,
+        )
+        assert result.trials == 10

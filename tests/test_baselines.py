@@ -1,0 +1,127 @@
+"""Tests for the Table 1 baseline algorithms and their documented
+failure modes (Sections 2.3-2.5)."""
+
+from hypothesis import given
+
+from repro.baselines.debruijn_hash import debruijn_hash_all
+from repro.baselines.locally_nameless import locally_nameless_hash_all
+from repro.baselines.structural import structural_hash_all
+from repro.core.hashed import alpha_hash_all
+from repro.gen.random_exprs import alpha_rename, random_expr
+from repro.lang.alpha import alpha_equivalent
+from repro.lang.expr import Lam, Var, syntactic_eq
+from repro.lang.parser import parse
+from repro.lang.traversal import preorder
+
+from strategies import exprs
+
+
+class TestStructural:
+    @given(exprs(max_size=50))
+    def test_syntactic_equality_iff_equal_hash(self, e):
+        hashes = structural_hash_all(e)
+        nodes = list(preorder(e))
+        for a in nodes[:10]:
+            for b in nodes[:10]:
+                assert (hashes.hash_of(a) == hashes.hash_of(b)) == syntactic_eq(
+                    a, b
+                )
+
+    def test_false_negative_on_alpha_equivalent(self):
+        # Section 2.2: map (\y.y+1) (map (\x.x+1) vs)
+        e = parse(r"pair (\y. y + 1) (\x. x + 1)")
+        hashes = structural_hash_all(e)
+        assert hashes.hash_of(e.fn.arg) != hashes.hash_of(e.arg)
+
+    def test_binder_names_in_hash(self):
+        assert (
+            structural_hash_all(Lam("x", Var("x"))).root_hash
+            != structural_hash_all(Lam("y", Var("y"))).root_hash
+        )
+
+    def test_let_binder_in_hash(self):
+        a = structural_hash_all(parse("let x = 1 in x")).root_hash
+        b = structural_hash_all(parse("let y = 1 in y")).root_hash
+        assert a != b
+
+
+class TestDeBruijn:
+    def test_paper_false_negative(self):
+        # \t. foo (\x.x+t) (\y.\x.x+t): the two \x.x+t look different
+        # because t's index differs.
+        e = parse(r"\t. foo (\x. x + t) (\y. \x2. x2 + t)")
+        lam1 = e.body.fn.arg
+        lam2 = e.body.arg.body
+        assert alpha_equivalent(lam1, lam2)
+        hashes = debruijn_hash_all(e)
+        assert hashes.hash_of(lam1) != hashes.hash_of(lam2)
+
+    def test_paper_false_positive(self):
+        # \t. foo (\x.t*(x+1)) (\y.\x.y*(x+1)): both become \.%1*(%0+1).
+        e = parse(r"\t. foo (\x. t * (x + 1)) (\y. \x2. y * (x2 + 1))")
+        sub1 = e.body.fn.arg
+        sub2 = e.body.arg.body
+        assert not alpha_equivalent(sub1, sub2)
+        hashes = debruijn_hash_all(e)
+        assert hashes.hash_of(sub1) == hashes.hash_of(sub2)
+
+    @given(exprs(max_size=60))
+    def test_whole_expression_hash_is_alpha_invariant(self, e):
+        # At the ROOT the de Bruijn form is canonical, so root hashes are
+        # alpha-invariant (the failures are at inner nodes only).
+        assert (
+            debruijn_hash_all(e).root_hash
+            == debruijn_hash_all(alpha_rename(e)).root_hash
+        )
+
+    def test_free_variables_hash_by_name(self):
+        assert (
+            debruijn_hash_all(parse("x")).root_hash
+            != debruijn_hash_all(parse("y")).root_hash
+        )
+
+    def test_deep_chain(self):
+        e = random_expr(30_000, seed=1, shape="unbalanced")
+        assert debruijn_hash_all(e).root_hash is not None
+
+
+class TestLocallyNameless:
+    def test_correct_on_paper_false_negative(self):
+        e = parse(r"\t. foo (\x. x + t) (\y. \x2. x2 + t)")
+        hashes = locally_nameless_hash_all(e)
+        assert hashes.hash_of(e.body.fn.arg) == hashes.hash_of(e.body.arg.body)
+
+    def test_correct_on_paper_false_positive(self):
+        e = parse(r"\t. foo (\x. t * (x + 1)) (\y. \x2. y * (x2 + 1))")
+        hashes = locally_nameless_hash_all(e)
+        assert hashes.hash_of(e.body.fn.arg) != hashes.hash_of(e.body.arg.body)
+
+    @given(exprs(max_size=45))
+    def test_agrees_with_ours_on_grouping(self, e):
+        ln = locally_nameless_hash_all(e)
+        ours = alpha_hash_all(e)
+        nodes = list(preorder(e))
+        for a in nodes:
+            for b in nodes[:8]:
+                assert (ln.hash_of(a) == ln.hash_of(b)) == (
+                    ours.hash_of(a) == ours.hash_of(b)
+                )
+
+    @given(exprs(max_size=60))
+    def test_alpha_invariant_everywhere(self, e):
+        renamed = alpha_rename(e)
+        h1 = locally_nameless_hash_all(e)
+        h2 = locally_nameless_hash_all(renamed)
+        assert h1.root_hash == h2.root_hash
+
+    def test_let_body_is_rehashed(self):
+        a = locally_nameless_hash_all(parse("let u = q in u")).root_hash
+        b = locally_nameless_hash_all(parse("let w = q in w")).root_hash
+        assert a == b
+        c = locally_nameless_hash_all(parse("let w = q in q")).root_hash
+        assert a != c
+
+    def test_deep_chain(self):
+        # quadratic, so keep this modest -- but it must not recurse.
+        e = random_expr(3_000, seed=2, shape="unbalanced")
+        assert locally_nameless_hash_all(e).root_hash is not None

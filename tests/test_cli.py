@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def expr_file(tmp_path):
+    path = tmp_path / "program.lam"
+    path.write_text("(a + (v + 7)) * (v + 7)\n")
+    return str(path)
+
+
+class TestDispatch:
+    def test_no_args_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_help_flag(self, capsys):
+        assert main(["--help"]) == 0
+        assert "fig2" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown command" in capsys.readouterr().err
+
+
+class TestHashCommand:
+    def test_hash_prints_hex(self, capsys, expr_file):
+        assert main(["hash", expr_file]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out.startswith("0x")
+        int(out, 16)
+
+    def test_hash_deterministic(self, capsys, expr_file):
+        main(["hash", expr_file])
+        first = capsys.readouterr().out
+        main(["hash", expr_file])
+        assert capsys.readouterr().out == first
+
+    def test_hash_bits(self, capsys, expr_file):
+        assert main(["hash", expr_file, "--bits", "16"]) == 0
+        value = int(capsys.readouterr().out.strip(), 16)
+        assert value < (1 << 16)
+
+    def test_hash_seed_changes_value(self, capsys, expr_file):
+        main(["hash", expr_file, "--seed", "1"])
+        a = capsys.readouterr().out
+        main(["hash", expr_file, "--seed", "2"])
+        assert capsys.readouterr().out != a
+
+    def test_hash_algorithm_choice(self, capsys, expr_file):
+        assert main(["hash", expr_file, "--algorithm", "structural"]) == 0
+        capsys.readouterr()
+
+    def test_alpha_invariance_through_cli(self, capsys, tmp_path):
+        f1 = tmp_path / "a.lam"
+        f2 = tmp_path / "b.lam"
+        f1.write_text(r"\x. x + 7")
+        f2.write_text(r"\y. y + 7")
+        main(["hash", str(f1)])
+        first = capsys.readouterr().out
+        main(["hash", str(f2)])
+        assert capsys.readouterr().out == first
+
+
+class TestClassesCommand:
+    def test_lists_classes(self, capsys, expr_file):
+        assert main(["classes", expr_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 occurrences" in out
+        assert "v + 7" in out
+
+    def test_no_classes(self, capsys, tmp_path):
+        path = tmp_path / "p.lam"
+        path.write_text("a b")
+        main(["classes", str(path)])
+        assert "no repeated" in capsys.readouterr().out
+
+
+class TestCseCommand:
+    def test_transforms(self, capsys, expr_file):
+        assert main(["cse", expr_file]) == 0
+        captured = capsys.readouterr()
+        assert "let cse0 = v + 7 in" in captured.out
+        assert "rounds" in captured.err
+
+
+class TestExperimentDispatch:
+    def test_table1_runs(self, capsys):
+        assert main(["table1", "--trials", "2"]) == 0
+        assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,128 @@
+"""Unit tests for the hash-combiner infrastructure."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.combiners import DEFAULT_SEED, HashCombiners, splitmix64
+
+
+class TestDeterminism:
+    def test_same_seed_same_hashes(self):
+        a = HashCombiners(seed=123)
+        b = HashCombiners(seed=123)
+        assert a.combine("top", 1, 2) == b.combine("top", 1, 2)
+        assert a.hash_name("hello") == b.hash_name("hello")
+
+    def test_different_seeds_differ(self):
+        a = HashCombiners(seed=1)
+        b = HashCombiners(seed=2)
+        assert a.combine("top", 1, 2) != b.combine("top", 1, 2)
+
+    def test_default_seed_stable(self):
+        assert HashCombiners().seed == DEFAULT_SEED & ((1 << 64) - 1)
+
+
+class TestIndependence:
+    def test_salts_differ_per_site(self):
+        c = HashCombiners()
+        assert c.combine("svar", 1) != c.combine("slit", 1)
+        assert c.combine("pt_left", 5) != c.combine("pt_right", 5)
+
+    def test_arity_matters(self):
+        c = HashCombiners()
+        assert c.combine("top", 1) != c.combine("top", 1, 0)
+
+    def test_order_matters(self):
+        c = HashCombiners()
+        assert c.combine("top", 1, 2) != c.combine("top", 2, 1)
+
+    def test_unknown_salt_rejected(self):
+        c = HashCombiners()
+        with pytest.raises(KeyError):
+            c.combine("not-a-salt", 1)
+
+
+class TestWidths:
+    @pytest.mark.parametrize("bits", [8, 16, 32, 64, 100, 128])
+    def test_outputs_fit_width(self, bits):
+        c = HashCombiners(bits=bits, seed=5)
+        for value in (0, 1, 12345, 2**63):
+            assert 0 <= c.combine("top", value) < (1 << bits)
+            assert 0 <= c.hash_name(f"n{value}") < (1 << bits)
+
+    def test_width_bounds(self):
+        with pytest.raises(ValueError):
+            HashCombiners(bits=4)
+        with pytest.raises(ValueError):
+            HashCombiners(bits=256)
+
+    def test_wide_lane_composition(self):
+        c = HashCombiners(bits=128)
+        value = c.combine("top", 7)
+        # both 64-bit lanes must carry entropy
+        assert value >> 64 != 0
+        assert value & ((1 << 64) - 1) != 0
+
+    def test_16_bit_appendix_config(self):
+        c = HashCombiners(bits=16)
+        assert c.mask == 0xFFFF
+
+
+class TestPrimitiveHashes:
+    def test_name_memoised(self):
+        c = HashCombiners()
+        assert c.hash_name("x") == c.hash_name("x")
+
+    def test_names_distinct(self):
+        c = HashCombiners()
+        values = {c.hash_name(f"v{i}") for i in range(500)}
+        assert len(values) == 500
+
+    def test_lit_type_separation(self):
+        c = HashCombiners()
+        assert c.hash_lit(1) != c.hash_lit(1.0)
+        assert c.hash_lit(1) != c.hash_lit(True)
+        assert c.hash_lit(0) != c.hash_lit(False)
+        assert c.hash_lit("1") != c.hash_lit(1)
+
+    def test_lit_float_precision(self):
+        c = HashCombiners()
+        assert c.hash_lit(0.1) != c.hash_lit(0.1000000001)
+
+    def test_huge_ints(self):
+        c = HashCombiners()
+        assert c.hash_lit(2**100) != c.hash_lit(2**100 + 1)
+
+    def test_unhashable_lit(self):
+        with pytest.raises(TypeError):
+            HashCombiners().hash_lit(object())
+
+    def test_maybe_none_sentinel(self):
+        c = HashCombiners()
+        assert c.maybe(None) == c.NONE_HASH
+        assert c.maybe(42) == 42
+
+    def test_flags(self):
+        c = HashCombiners()
+        assert c.flag(True) == c.TRUE_HASH
+        assert c.flag(False) == c.FALSE_HASH
+        assert c.TRUE_HASH != c.FALSE_HASH
+
+
+class TestMixingQuality:
+    def test_splitmix_avalanche(self):
+        # flipping one input bit should flip roughly half the output bits
+        base = splitmix64(0x1234_5678)
+        flipped = splitmix64(0x1234_5679)
+        differing = bin(base ^ flipped).count("1")
+        assert 16 <= differing <= 48
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_splitmix_range(self, x):
+        assert 0 <= splitmix64(x) < 2**64
+
+    def test_no_easy_collisions_across_values(self):
+        c = HashCombiners(bits=64)
+        seen = {c.combine("top", i, j) for i in range(40) for j in range(40)}
+        assert len(seen) == 1600

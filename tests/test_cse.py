@@ -1,0 +1,192 @@
+"""Tests for common subexpression elimination (the paper's motivating
+transformation).  The headline checks: the paper's intro examples come
+out exactly as printed, and evaluation results are preserved on closed
+arithmetic programs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.cse import CSEResult, class_saving, cse
+from repro.core.combiners import HashCombiners
+from repro.core.equivalence import equivalence_classes
+from repro.lang.alpha import alpha_equivalent
+from repro.lang.evaluator import evaluate
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+from repro.lang.names import binder_names, free_vars, has_unique_binders
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.lang.traversal import preorder
+
+
+def arith_expr(rng: random.Random, depth: int, scope: list[str]) -> Expr:
+    """A random *closed, total, evaluable* arithmetic expression with
+    deliberate repetition (so CSE has something to find)."""
+    if depth == 0 or rng.random() < 0.25:
+        if scope and rng.random() < 0.6:
+            return Var(rng.choice(scope))
+        return Lit(rng.randrange(1, 20))
+    roll = rng.random()
+    if roll < 0.55:
+        op = rng.choice(("add", "mul", "sub", "min", "max"))
+        left = arith_expr(rng, depth - 1, scope)
+        # bias towards repeated operands: reuse an identical subtree
+        if rng.random() < 0.4:
+            right = arith_expr(rng, depth - 1, scope)
+        else:
+            right = arith_expr(rng, depth - 1, scope)
+            left = right if rng.random() < 0.3 else left
+        return App(App(Var(op), left), right)
+    if roll < 0.8:
+        binder = f"t{rng.randrange(10**6)}"
+        bound = arith_expr(rng, depth - 1, scope)
+        body = arith_expr(rng, depth - 1, scope + [binder])
+        return Let(binder, bound, body)
+    # immediately-applied lambda (stays total under CBV)
+    binder = f"l{rng.randrange(10**6)}"
+    body = arith_expr(rng, depth - 1, scope + [binder])
+    arg = arith_expr(rng, depth - 1, scope)
+    return App(Lam(binder, body), arg)
+
+
+class TestPaperExamples:
+    def test_intro_example_1(self):
+        result = cse(parse("(a + (v + 7)) * (v + 7)"))
+        assert pretty(result.expr) == "let cse0 = v + 7 in (a + cse0) * cse0"
+
+    def test_intro_example_2_alpha_equivalent_lets(self):
+        e = parse("(a + (let x = exp z in x + 7)) * (let y = exp z in y + 7)")
+        result = cse(e)
+        text = pretty(result.expr)
+        assert text.startswith("let cse0 = let ")
+        assert text.count("exp z") == 1  # the let-bound term now appears once
+
+    def test_intro_example_3_lambdas(self):
+        result = cse(parse(r"foo (\x. x + 7) (\y. y + 7)"))
+        assert pretty(result.expr) == "let cse0 = \\x. x + 7 in foo cse0 cse0"
+
+    def test_section_2_4_under_different_binders(self):
+        # \t. foo (\x.x+t) (\y.\x.x+t)  ~>  \t. let h = \x.x+t in foo h (\y. h)
+        e = parse(r"\t. foo (\x. x + t) (\y. \x2. x2 + t)")
+        result = cse(e)
+        text = pretty(result.expr)
+        assert text.count("+ t") == 1
+        assert len(result.rounds) == 1
+
+    def test_section_2_2_no_false_positive(self):
+        # the two x+2 are unrelated; unique-binder preprocessing must
+        # prevent them being shared.
+        e = parse("foo (let x = bar in x + 2) (let x = pub in x + 2)")
+        result = cse(e)
+        assert len(result.rounds) == 0
+        assert result.final_size == result.original_size
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_semantics_preserved_on_closed_programs(self, seed):
+        rng = random.Random(seed)
+        e = arith_expr(rng, depth=5, scope=[])
+        expected = evaluate(e)
+        result = cse(e)
+        assert evaluate(result.expr) == expected
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_binders_stay_unique(self, seed):
+        rng = random.Random(100 + seed)
+        e = arith_expr(rng, depth=5, scope=[])
+        result = cse(e)
+        assert has_unique_binders(result.expr)
+
+    def test_free_variables_preserved(self):
+        e = parse("(a + (v + 7)) * (v + 7)")
+        result = cse(e)
+        assert free_vars(result.expr) == free_vars(e)
+
+    def test_open_lambdas_share_at_correct_scope(self):
+        e = parse(r"\t. foo (\x. x + t) (\y2. \x2. x2 + t)")
+        result = cse(e)
+        out = result.expr
+        # the new let must be INSIDE \t (t is free in the shared term)
+        assert out.kind == "Lam" and out.binder == "t"
+        lets = [n for n in preorder(out) if n.kind == "Let"]
+        assert len(lets) == 1
+
+    def test_no_profitable_class_is_noop(self):
+        e = parse("a + b")
+        result = cse(e)
+        assert result.rounds == [] and result.expr is not None
+
+
+class TestProgress:
+    def test_size_strictly_decreases_per_round(self):
+        e = parse("(g (v + 7 * w)) + (g (v + 7 * w))")
+        result = cse(e)
+        assert result.rounds
+        assert result.final_size < result.original_size
+        assert result.nodes_saved == sum(r.saving for r in result.rounds)
+
+    def test_class_saving_formula(self):
+        e = parse("g (v + 7) (v + 7)")
+        cls = equivalence_classes(e, min_size=3)[0]
+        # k=2 occurrences of s=5 nodes: (2-1)*(5-1) - 2 = 2
+        assert class_saving(cls) == 2
+
+    def test_unprofitable_small_class_skipped(self):
+        # k=2, s=3 => saving 0: must not rewrite.
+        e = parse("g (f x) (f x)")
+        result = cse(e, min_size=3)
+        assert result.rounds == []
+
+    def test_max_rounds_respected(self):
+        e = parse("(g (v + 7)) + (g (v + 7)) + (h (w + 9)) + (h (w + 9))")
+        result = cse(e, max_rounds=1)
+        assert len(result.rounds) == 1
+
+    def test_nested_repetition_multiple_rounds(self):
+        e = parse(
+            "(p (u + 1) (u + 1)) * (p (u + 1) (u + 1))"
+        )
+        result = cse(e)
+        assert len(result.rounds) >= 1
+        assert evaluate(result.expr, {"p": _prim_pair(), "u": 3}) == evaluate(
+            e, {"p": _prim_pair(), "u": 3}
+        )
+
+
+def _prim_pair():
+    from repro.lang.evaluator import PrimValue
+
+    return PrimValue("p", 2, lambda a, b: a * 100 + b)
+
+
+class TestConfiguration:
+    def test_min_size_filter(self):
+        e = parse("(g (v + 7)) + (g (v + 7))")
+        assert cse(e, min_size=50).rounds == []
+
+    def test_custom_binder_prefix(self):
+        result = cse(parse("(a + (v + 7)) * (v + 7)"), binder_prefix="w")
+        assert "w0" in binder_names(result.expr)
+
+    def test_small_hash_width_with_verification(self):
+        # even at 8 bits, verify_classes keeps the pass sound.
+        rng = random.Random(7)
+        e = arith_expr(rng, depth=5, scope=[])
+        expected = evaluate(e)
+        combiners = HashCombiners(bits=8, seed=3)
+        result = cse(e, combiners=combiners, verify_classes=True)
+        assert evaluate(result.expr) == expected
+
+    def test_uniquifies_on_demand(self):
+        e = parse(r"(\x. x) (\x. x)")
+        result = cse(e, min_size=1)
+        assert has_unique_binders(result.expr)
+
+    def test_result_repr(self):
+        result = cse(parse("(a + (v + 7)) * (v + 7)"))
+        assert isinstance(result, CSEResult)
+        assert result.final_size == result.expr.size

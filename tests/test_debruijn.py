@@ -1,0 +1,105 @@
+"""Unit tests for the de Bruijn representation (Section 2.4)."""
+
+from hypothesis import given
+
+from repro.gen.random_exprs import alpha_rename
+from repro.lang.alpha import alpha_equivalent
+from repro.lang.debruijn import (
+    DbApp,
+    DbBound,
+    DbFree,
+    DbLam,
+    canonical_key,
+    db_equal,
+    db_pretty,
+    to_debruijn,
+)
+from repro.lang.expr import Lam, Let, Lit, Var
+from repro.lang.parser import parse
+
+from strategies import exprs
+
+
+class TestConversion:
+    def test_paper_example(self):
+        # (\x.\y.x+y*7) is (\.\.%1+%0*7) in the paper's notation.
+        e = parse(r"\x. \y. x + y * 7")
+        text = db_pretty(to_debruijn(e))
+        assert "%1" in text and "%0" in text
+        assert text == "(\\. (\\. ((add %1) ((mul %0) 7))))"
+
+    def test_free_variables_keep_names(self):
+        e = parse(r"f x (\y. x + y)")
+        text = db_pretty(to_debruijn(e))
+        assert "f" in text and "x" in text
+        assert "%0" in text
+
+    def test_shadowing(self):
+        e = parse(r"\x. x (\x. x)")
+        db = to_debruijn(e)
+        # outer occurrence: index 0 at depth 1; inner occurrence: index 0 at depth 2
+        assert db_pretty(db) == "(\\. (%0 (\\. %0)))"
+
+    def test_index_skips_intermediate_binder(self):
+        e = parse(r"\x. \y. x")
+        db = to_debruijn(e)
+        assert db_pretty(db) == "(\\. (\\. %1))"
+
+    def test_let_counts_as_binder(self):
+        e = parse(r"let a = z in \y. a")
+        db = to_debruijn(e)
+        assert db_pretty(db) == "(let . = z in (\\. %1))"
+
+    def test_let_bound_is_outside_scope(self):
+        e = Let("x", Var("x"), Var("x"))
+        db = to_debruijn(e)
+        assert db_pretty(db) == "(let . = x in %0)"
+
+    def test_lit(self):
+        assert db_pretty(to_debruijn(Lit(3))) == "3"
+
+    def test_deep_chain(self):
+        e = Var("x0")
+        for i in range(20_000):
+            e = Lam(f"x{i + 1}", e)
+        db = to_debruijn(e)
+        assert db is not None
+
+
+class TestDbEqual:
+    def test_alpha_equivalent_exprs_have_equal_db(self):
+        a = to_debruijn(parse(r"\x. x + y"))
+        b = to_debruijn(parse(r"\p. p + y"))
+        assert db_equal(a, b)
+
+    def test_free_name_mismatch(self):
+        a = to_debruijn(parse(r"\x. x + y"))
+        b = to_debruijn(parse(r"\x. x + z"))
+        assert not db_equal(a, b)
+
+    def test_structure_mismatch(self):
+        assert not db_equal(DbBound(0), DbFree("x"))
+        assert not db_equal(DbLam(DbBound(0)), DbApp(DbBound(0), DbBound(0)))
+
+    def test_index_mismatch(self):
+        assert not db_equal(DbBound(0), DbBound(1))
+
+
+class TestCanonicalKey:
+    def test_equal_for_alpha_equivalent(self):
+        assert canonical_key(parse(r"\x. x")) == canonical_key(parse(r"\y. y"))
+
+    def test_distinct_for_different(self):
+        assert canonical_key(parse(r"\x. x")) != canonical_key(parse(r"\x. x x"))
+
+    def test_lit_type_sensitivity(self):
+        assert canonical_key(Lit(1)) != canonical_key(Lit(1.0))
+        assert canonical_key(Lit(True)) != canonical_key(Lit(1))
+
+    @given(exprs(max_size=60))
+    def test_invariant_under_renaming(self, e):
+        assert canonical_key(e) == canonical_key(alpha_rename(e))
+
+    @given(exprs(max_size=40), exprs(max_size=40))
+    def test_key_equality_iff_alpha_equivalence(self, e1, e2):
+        assert (canonical_key(e1) == canonical_key(e2)) == alpha_equivalent(e1, e2)

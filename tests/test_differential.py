@@ -1,0 +1,37 @@
+"""Tests for the differential-testing driver."""
+
+from repro.analysis.differential import DiffTestReport, main, run_differential_test
+
+
+class TestRun:
+    def test_clean_run(self):
+        report = run_differential_test(cases=8, max_size=50, seed=3)
+        assert report.ok
+        assert report.cases == 8
+        assert report.failures == []
+
+    def test_small_width_still_agrees_internally(self):
+        # at 16 bits, collisions are possible but all three correct
+        # algorithms use the same combiner family at different salts --
+        # cross-algorithm partitions can legitimately differ from the
+        # oracle only via a collision, which is ~n^2/2^16 per case, so a
+        # few small cases should still pass.
+        report = run_differential_test(cases=4, max_size=25, seed=5, bits=32)
+        assert report.ok
+
+    def test_deterministic(self):
+        a = run_differential_test(cases=5, max_size=40, seed=9)
+        b = run_differential_test(cases=5, max_size=40, seed=9)
+        assert a.failures == b.failures == []
+
+
+class TestCli:
+    def test_main_ok(self, capsys):
+        assert main(["--cases", "4", "--max-size", "30"]) == 0
+        assert "all agree" in capsys.readouterr().out
+
+    def test_dispatch_through_repro_cli(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["difftest", "--cases", "3", "--max-size", "25"]) == 0
+        capsys.readouterr()

@@ -1,0 +1,149 @@
+"""Tests for equivalence-class extraction (the library's headline API)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.combiners import HashCombiners
+from repro.core.equivalence import equivalence_classes, group_by_hash
+from repro.core.hashed import alpha_hash_all, alpha_hash_root
+from repro.lang.alpha import alpha_equivalent, alpha_group_exact
+from repro.lang.debruijn import canonical_key
+from repro.lang.parser import parse
+from repro.lang.traversal import preorder
+
+from strategies import exprs
+
+
+class TestPaperExamples:
+    def test_intro_lets(self):
+        e = parse("(a + (let x = exp z in x + 7)) * (let y = exp z in y + 7)")
+        classes = equivalence_classes(e, min_size=2)
+        reps = [c.representative for c in classes]
+        assert any(r.kind == "Let" for r in reps)
+        let_class = next(c for c in classes if c.representative.kind == "Let")
+        assert let_class.count == 2
+
+    def test_intro_lambdas(self):
+        e = parse(r"foo (\x. x + 7) (\y. y + 7)")
+        classes = equivalence_classes(e)
+        lam_class = next(c for c in classes if c.representative.kind == "Lam")
+        assert lam_class.count == 2
+
+    def test_repeated_open_term(self):
+        e = parse("(a + (v + 7)) * (v + 7)")
+        classes = equivalence_classes(e, min_size=3)
+        assert classes[0].count == 2
+        assert classes[0].node_size == 5  # add v 7
+
+
+class TestFilters:
+    def test_min_count(self):
+        e = parse("f x y")
+        assert equivalence_classes(e, min_count=2) == []
+        singles = equivalence_classes(e, min_count=1)
+        assert len(singles) == e.size
+
+    def test_min_size_drops_variables(self):
+        e = parse("f x x")
+        classes = equivalence_classes(e, min_size=2)
+        assert classes == []
+        with_vars = equivalence_classes(e, min_size=1)
+        assert len(with_vars) == 1 and with_vars[0].count == 2
+
+    def test_sorting_largest_first(self):
+        e = parse("(g (v + 7)) + (g (v + 7)) + (v + 7)")
+        classes = equivalence_classes(e, min_size=2)
+        sizes = [c.node_size for c in classes]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestCorrectness:
+    @given(exprs(max_size=60))
+    def test_classes_match_exact_oracle(self, e):
+        hashes = alpha_hash_all(e)
+        nodes = list(preorder(e))
+        # group indices by hash
+        by_hash: dict[int, list[int]] = {}
+        for i, node in enumerate(nodes):
+            by_hash.setdefault(hashes.hash_of(node), []).append(i)
+        hash_groups = sorted(sorted(g) for g in by_hash.values())
+        exact_groups = sorted(sorted(g) for g in alpha_group_exact(nodes))
+        assert hash_groups == exact_groups
+
+    @given(exprs(max_size=50))
+    def test_all_members_mutually_equivalent(self, e):
+        for cls in equivalence_classes(e, min_size=1, min_count=2):
+            rep = cls.representative
+            for _, node in cls.occurrences[1:]:
+                assert alpha_equivalent(rep, node)
+
+    def test_occurrence_paths_resolve(self):
+        from repro.lang.traversal import subexpression_at
+
+        e = parse(r"foo (\x. x + 7) (\y. y + 7)")
+        for cls in equivalence_classes(e):
+            for path, node in cls.occurrences:
+                assert subexpression_at(e, path) is node
+
+
+class TestVerification:
+    def _find_collision_seed(self):
+        """Deterministically find two non-equivalent expressions whose
+        8-bit hashes collide (they are abundant at width 8)."""
+        combiners = HashCombiners(bits=8, seed=1)
+        seen: dict[int, object] = {}
+        from repro.gen.random_exprs import random_expr
+
+        for trial in range(2000):
+            e = random_expr(12 + trial % 9, seed=trial)
+            value = alpha_hash_root(e, combiners)
+            if value in seen and not alpha_equivalent(seen[value], e):
+                return combiners, seen[value], e
+            seen.setdefault(value, e)
+        raise AssertionError("no collision found at 8 bits (unexpected)")
+
+    def test_verify_splits_hash_collisions(self):
+        from repro.lang.expr import App, Var
+
+        combiners, e1, e2 = self._find_collision_seed()
+        tree = App(App(Var("pairup"), e1), e2)
+        # Without verification the colliding subtrees may be (wrongly)
+        # grouped together; with verify=True each class is exact.
+        verified = equivalence_classes(
+            tree, combiners, min_count=1, min_size=1, verify=True
+        )
+        for cls in verified:
+            assert cls.verified
+            rep_key = canonical_key(cls.representative)
+            for _, node in cls.occurrences:
+                assert canonical_key(node) == rep_key
+
+    def test_verified_flag_default_false(self):
+        e = parse("f x x")
+        for cls in equivalence_classes(e, min_size=1):
+            assert not cls.verified
+
+
+class TestGroupByHash:
+    def test_groups_cover_all_occurrences(self):
+        e = parse("f x x")
+        hashes = alpha_hash_all(e)
+        groups = group_by_hash(hashes)
+        total = sum(len(g) for g in groups.values())
+        assert total == e.size
+
+    def test_reuse_precomputed_hashes(self):
+        e = parse("f x x")
+        hashes = alpha_hash_all(e)
+        classes = equivalence_classes(e, hashes=hashes, min_size=1)
+        assert classes and classes[0].count == 2
+
+
+class TestClassAccessors:
+    def test_properties(self):
+        e = parse("g (v + 7) (v + 7)")
+        cls = equivalence_classes(e, min_size=3)[0]
+        assert cls.count == 2
+        assert cls.node_size == 5
+        assert cls.representative.kind == "App"
+        assert cls.hash_value == alpha_hash_root(cls.representative)

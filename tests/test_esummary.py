@@ -1,0 +1,126 @@
+"""Tests for Step-1 e-summaries: the paper's central correctness claim.
+
+"Two e-summaries are equal if and only if the expressions from whence
+they came are alpha-equivalent" -- tested for both the naive (4.6) and
+smaller-subtree (4.8) summarisers, on hand-picked cases and random
+pairs, including the alpha-renaming direction.
+"""
+
+from hypothesis import given
+
+from repro.core.esummary import (
+    esummary_equal,
+    summarise_all_naive,
+    summarise_all_tagged,
+    summarise_naive,
+    summarise_tagged,
+)
+from repro.gen.random_exprs import alpha_rename
+from repro.lang.alpha import alpha_equivalent
+from repro.lang.expr import App, Lam, Let, Lit, Var
+from repro.lang.parser import parse
+
+from strategies import exprs
+
+import pytest
+
+SUMMARISERS = [summarise_naive, summarise_tagged]
+
+
+@pytest.mark.parametrize("summarise", SUMMARISERS)
+class TestEqualityMatchesAlpha:
+    def test_alpha_renamed_lambdas(self, summarise):
+        a = summarise(parse(r"\x. x + y"))
+        b = summarise(parse(r"\p. p + y"))
+        assert esummary_equal(a, b)
+
+    def test_free_variable_names_matter(self, summarise):
+        a = summarise(parse(r"\x. x + y"))
+        b = summarise(parse(r"\q. q + z"))
+        assert not esummary_equal(a, b)
+
+    def test_structure_difference(self, summarise):
+        a = summarise(parse(r"\x. x (x x)"))
+        b = summarise(parse(r"\x. (x x) x"))
+        assert not esummary_equal(a, b)
+
+    def test_add_x_y_vs_add_x_x(self, summarise):
+        # Same structure ("imagine every free variable replaced by
+        # <hole>"), distinguished only by the variable map.
+        a = summarise(parse("add x y"))
+        b = summarise(parse("add x x"))
+        assert not esummary_equal(a, b)
+
+    def test_binder_not_occurring(self, summarise):
+        a = summarise(parse(r"\x. y"))
+        b = summarise(parse(r"\q. y"))
+        c = summarise(parse(r"\x. x"))
+        assert esummary_equal(a, b)
+        assert not esummary_equal(a, c)
+
+    def test_lets(self, summarise):
+        a = summarise(parse("let u = exp z in u + 7"))
+        b = summarise(parse("let w = exp z in w + 7"))
+        assert esummary_equal(a, b)
+
+    def test_lits(self, summarise):
+        assert esummary_equal(summarise(Lit(3)), summarise(Lit(3)))
+        assert not esummary_equal(summarise(Lit(3)), summarise(Lit(4)))
+        assert not esummary_equal(summarise(Lit(1)), summarise(Lit(True)))
+
+    @given(exprs(max_size=50))
+    def test_invariant_under_renaming(self, summarise, e):
+        assert esummary_equal(summarise(e), summarise(alpha_rename(e)))
+
+    @given(exprs(max_size=30), exprs(max_size=30))
+    def test_equality_iff_alpha(self, summarise, e1, e2):
+        assert esummary_equal(summarise(e1), summarise(e2)) == alpha_equivalent(
+            e1, e2
+        )
+
+
+class TestVarMapContents:
+    def test_root_map_is_free_vars(self):
+        e = parse(r"\x. x + y")
+        for summarise in SUMMARISERS:
+            summary = summarise(e)
+            assert set(summary.varmap.entries) == {"add", "y"}
+
+    def test_closed_expression_has_empty_map(self):
+        e = parse(r"\x. \y. x y")
+        for summarise in SUMMARISERS:
+            assert len(summarise(e).varmap) == 0
+
+
+class TestPerNodeSummaries:
+    def test_all_nodes_covered(self):
+        e = parse(r"(\x. x) (\y. y)")
+        for summarise_all in (summarise_all_naive, summarise_all_tagged):
+            summaries = summarise_all(e)
+            assert len(summaries) == e.size
+
+    def test_subterm_summaries_equal_iff_alpha(self):
+        e = parse(r"foo (\x. x + 7) (\y. y + 7)")
+        lam1 = e.fn.arg
+        lam2 = e.arg
+        for summarise_all in (summarise_all_naive, summarise_all_tagged):
+            summaries = summarise_all(e)
+            assert esummary_equal(summaries[id(lam1)], summaries[id(lam2)])
+
+    def test_shadowed_name_still_correct(self):
+        # Shadowing is allowed at the summary level (hashing stays
+        # alpha-correct even without the unique-binder preprocessing).
+        e = parse(r"\x. x (\x2. x2)")
+        shadowed = parse(r"\x. x (\x. x)")
+        for summarise in SUMMARISERS:
+            assert esummary_equal(summarise(e), summarise(shadowed))
+
+
+class TestDeep:
+    def test_deep_lambda_chain(self):
+        e1, e2 = Var("free"), Var("free")
+        for i in range(5_000):
+            e1 = Lam(f"a{i}", e1)
+            e2 = Lam(f"b{i}", e2)
+        for summarise in SUMMARISERS:
+            assert esummary_equal(summarise(e1), summarise(e2))

@@ -1,0 +1,142 @@
+"""Unit tests for the CEK evaluator."""
+
+import pytest
+
+from repro.lang.evaluator import (
+    Closure,
+    EvalError,
+    EvalFuelExhausted,
+    PrimValue,
+    evaluate,
+)
+from repro.lang.expr import App, Lam, Let, Lit, Var
+from repro.lang.parser import parse
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert evaluate(parse("2 + 3")) == 5
+
+    def test_precedence(self):
+        assert evaluate(parse("2 + 3 * 4")) == 14
+
+    def test_sub_div(self):
+        assert evaluate(parse("10 - 4")) == 6
+        assert evaluate(parse("9 / 2")) == 4.5
+
+    def test_min_max_neg(self):
+        assert evaluate(parse("min 3 5")) == 3
+        assert evaluate(parse("max 3 5")) == 5
+        assert evaluate(parse("neg 4")) == -4
+
+    def test_floats(self):
+        assert evaluate(parse("1.5 * 2.0")) == 3.0
+
+    def test_comparisons(self):
+        assert evaluate(parse("lt 1 2")) is True
+        assert evaluate(parse("le 2 2")) is True
+        assert evaluate(parse("eq 2 3")) is False
+
+    def test_ite(self):
+        assert evaluate(parse("ite (lt 1 2) 10 20")) == 10
+        assert evaluate(parse("ite (lt 2 1) 10 20")) == 20
+
+    def test_transcendentals(self):
+        assert evaluate(parse("exp 0")) == 1.0
+        assert evaluate(parse("log 1")) == 0.0
+        assert evaluate(parse("tanh 0")) == 0.0
+        assert evaluate(parse("relu (neg 3)")) == 0.0
+        assert evaluate(parse("relu 3")) == 3
+
+
+class TestBinding:
+    def test_let(self):
+        assert evaluate(parse("let w = 3 + 4 in w * w")) == 49
+
+    def test_nested_lets(self):
+        assert evaluate(parse("let a = 1 in let b = a + 1 in b * b")) == 4
+
+    def test_let_shadowing(self):
+        assert evaluate(parse("let x = 1 in let x = x + 1 in x")) == 2
+
+    def test_lambda_application(self):
+        assert evaluate(parse(r"(\x. x + 1) 41")) == 42
+
+    def test_higher_order(self):
+        assert evaluate(parse(r"(\f. f (f 2)) (\x. x * x)")) == 16
+
+    def test_closure_captures_environment(self):
+        assert evaluate(parse(r"(let a = 10 in \x. x + a) 5")) == 15
+
+    def test_lexical_not_dynamic_scope(self):
+        # the closure's `a` is the defining a=10, not the caller's a=99
+        text = r"let a = 10 in let f = \x. x + a in let a = 99 in f 0"
+        assert evaluate(parse(text)) == 10
+
+    def test_shadowed_lambda(self):
+        assert evaluate(parse(r"(\x. (\x. x) 2) 1")) == 2
+
+    def test_currying(self):
+        assert evaluate(parse(r"(\x. \y. x - y) 10 4")) == 6
+
+
+class TestValuesAndEnv:
+    def test_env_supplies_free_vars(self):
+        assert evaluate(parse("a * b"), env={"a": 6, "b": 7}) == 42
+
+    def test_lambda_value(self):
+        value = evaluate(parse(r"\x. x"))
+        assert isinstance(value, Closure)
+
+    def test_partial_prim(self):
+        value = evaluate(parse("add 1"))
+        assert isinstance(value, PrimValue)
+        assert value.applied_to(2) == 3
+
+    def test_string_value(self):
+        assert evaluate(parse('"s"')) == "s"
+
+
+class TestErrors:
+    def test_unbound_variable(self):
+        with pytest.raises(EvalError, match="unbound"):
+            evaluate(parse("nosuchvar"))
+
+    def test_apply_non_function(self):
+        with pytest.raises(EvalError, match="non-function"):
+            evaluate(parse("3 4"))
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError, match="zero"):
+            evaluate(parse("1 / 0"))
+
+    def test_type_error_in_prim(self):
+        with pytest.raises(EvalError, match="number"):
+            evaluate(parse(r"1 + (\x. x)"))
+
+    def test_ite_requires_bool(self):
+        with pytest.raises(EvalError, match="bool"):
+            evaluate(parse("ite 1 2 3"))
+
+    def test_fuel_exhaustion_on_divergence(self):
+        omega = parse(r"(\x. x x) (\x. x x)")
+        with pytest.raises(EvalFuelExhausted):
+            evaluate(omega, fuel=10_000)
+
+
+class TestMachineDepth:
+    def test_deep_let_chain(self):
+        bindings = "let x0 = 1 in "
+        e = Var("x0")
+        for i in range(20_000):
+            e = Let(f"y{i}", Lit(1), e)
+        e = Let("x0", Lit(7), e)
+        assert evaluate(e) == 7
+
+    def test_deep_application_chain(self):
+        # id (id (... (id 5)))
+        e = Lit(5)
+        identity = parse(r"\x. x")
+        for _ in range(5_000):
+            e = App(parse(r"\x. x"), e)
+        assert evaluate(e, fuel=10_000_000) == 5

@@ -1,0 +1,158 @@
+"""Unit tests for the core AST (repro.lang.expr)."""
+
+import pytest
+
+from repro.lang.expr import (
+    App,
+    Lam,
+    Let,
+    Lit,
+    Var,
+    app_many,
+    lam_many,
+    let_many,
+    syntactic_eq,
+)
+
+
+class TestConstruction:
+    def test_var(self):
+        v = Var("x")
+        assert v.kind == "Var"
+        assert v.name == "x"
+        assert v.size == 1
+        assert v.depth == 1
+        assert v.children() == ()
+
+    def test_lit_kinds(self):
+        assert Lit(3).value == 3
+        assert Lit(3.5).value == 3.5
+        assert Lit(True).value is True
+        assert Lit("s").value == "s"
+
+    def test_lam_size_depth(self):
+        e = Lam("x", App(Var("x"), Var("y")))
+        assert e.size == 4
+        assert e.depth == 3
+        assert e.binder == "x"
+        assert e.children() == (e.body,)
+
+    def test_app_size_depth(self):
+        e = App(Var("f"), App(Var("g"), Var("x")))
+        assert e.size == 5
+        assert e.depth == 3
+
+    def test_let_size_depth_children(self):
+        e = Let("x", Lit(1), Var("x"))
+        assert e.size == 3
+        assert e.depth == 2
+        assert e.children() == (e.bound, e.body)
+
+    def test_size_additive(self):
+        a = App(Var("f"), Var("x"))
+        b = Lam("y", Var("y"))
+        assert App(a, b).size == 1 + a.size + b.size
+
+    def test_bad_var_name(self):
+        with pytest.raises(TypeError):
+            Var("")
+        with pytest.raises(TypeError):
+            Var(3)  # type: ignore[arg-type]
+
+    def test_bad_lam(self):
+        with pytest.raises(TypeError):
+            Lam("", Var("x"))
+        with pytest.raises(TypeError):
+            Lam("x", "not an expr")  # type: ignore[arg-type]
+
+    def test_bad_app(self):
+        with pytest.raises(TypeError):
+            App(Var("f"), None)  # type: ignore[arg-type]
+
+    def test_bad_let(self):
+        with pytest.raises(TypeError):
+            Let("x", Var("a"), 5)  # type: ignore[arg-type]
+
+    def test_bad_lit(self):
+        with pytest.raises(TypeError):
+            Lit([1, 2])  # type: ignore[arg-type]
+
+
+class TestBuilders:
+    def test_lam_many(self):
+        e = lam_many(["x", "y"], Var("x"))
+        assert isinstance(e, Lam) and e.binder == "x"
+        assert isinstance(e.body, Lam) and e.body.binder == "y"
+
+    def test_lam_many_empty(self):
+        body = Var("z")
+        assert lam_many([], body) is body
+
+    def test_app_many_left_nested(self):
+        e = app_many(Var("f"), Var("a"), Var("b"))
+        assert isinstance(e, App)
+        assert isinstance(e.fn, App)
+        assert e.fn.arg.name == "a"  # type: ignore[union-attr]
+        assert e.arg.name == "b"  # type: ignore[union-attr]
+
+    def test_let_many_order(self):
+        e = let_many([("a", Lit(1)), ("b", Lit(2))], Var("b"))
+        assert isinstance(e, Let) and e.binder == "a"
+        assert isinstance(e.body, Let) and e.body.binder == "b"
+
+
+class TestIdentitySemantics:
+    def test_nodes_hash_by_identity(self):
+        a, b = Var("x"), Var("x")
+        assert len({a, b}) == 2
+
+    def test_no_structural_dunder_eq(self):
+        assert (Var("x") == Var("x")) is False
+
+
+class TestSyntacticEq:
+    def test_equal_trees(self):
+        e1 = Lam("x", App(Var("x"), Lit(1)))
+        e2 = Lam("x", App(Var("x"), Lit(1)))
+        assert syntactic_eq(e1, e2)
+
+    def test_same_object(self):
+        e = App(Var("f"), Var("x"))
+        assert syntactic_eq(e, e)
+
+    def test_binder_name_matters(self):
+        assert not syntactic_eq(Lam("x", Var("x")), Lam("y", Var("y")))
+
+    def test_kind_mismatch(self):
+        assert not syntactic_eq(Var("x"), Lit(1))
+
+    def test_lit_type_distinction(self):
+        assert not syntactic_eq(Lit(1), Lit(1.0))
+        assert not syntactic_eq(Lit(True), Lit(1))
+        assert not syntactic_eq(Lit(0), Lit(False))
+
+    def test_let_fields(self):
+        e1 = Let("x", Lit(1), Var("x"))
+        e2 = Let("x", Lit(2), Var("x"))
+        e3 = Let("y", Lit(1), Var("y"))
+        assert not syntactic_eq(e1, e2)
+        assert not syntactic_eq(e1, e3)
+
+    def test_deep_chain_no_recursion_error(self):
+        e1 = Var("x")
+        e2 = Var("x")
+        for i in range(30_000):
+            e1 = Lam(f"v{i}", e1)
+            e2 = Lam(f"v{i}", e2)
+        assert syntactic_eq(e1, e2)
+
+    def test_deep_chain_detects_difference_at_bottom(self):
+        e1 = Var("x")
+        e2 = Var("y")
+        for i in range(10_000):
+            e1 = Lam(f"v{i}", e1)
+            e2 = Lam(f"v{i}", e2)
+        assert not syntactic_eq(e1, e2)
+
+    def test_size_shortcut(self):
+        assert not syntactic_eq(Var("x"), App(Var("x"), Var("y")))

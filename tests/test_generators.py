@@ -1,0 +1,150 @@
+"""Tests for the random/adversarial expression generators."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gen.adversarial import MIN_ADVERSARIAL_SIZE, adversarial_pair, seed_pair
+from repro.gen.random_exprs import (
+    alpha_rename,
+    random_balanced,
+    random_expr,
+    random_unbalanced,
+)
+from repro.lang.alpha import alpha_equivalent
+from repro.lang.expr import Lam, Lit, Var, syntactic_eq
+from repro.lang.names import free_vars, has_unique_binders
+from repro.lang.traversal import preorder
+
+
+class TestRandomExpr:
+    @given(st.integers(1, 300), st.integers(0, 10**6))
+    def test_exact_size_balanced(self, size, seed):
+        assert random_expr(size, seed=seed, shape="balanced").size == size
+
+    @given(st.integers(1, 300), st.integers(0, 10**6))
+    def test_exact_size_unbalanced(self, size, seed):
+        assert random_expr(size, seed=seed, shape="unbalanced").size == size
+
+    @given(st.integers(1, 200), st.integers(0, 10**6))
+    def test_unique_binders(self, size, seed):
+        e = random_expr(size, seed=seed, p_let=0.3)
+        assert has_unique_binders(e)
+
+    def test_deterministic_per_seed(self):
+        a = random_expr(137, seed=42)
+        b = random_expr(137, seed=42)
+        assert syntactic_eq(a, b)
+
+    def test_different_seeds_differ(self):
+        a = random_expr(137, seed=1)
+        b = random_expr(137, seed=2)
+        assert not syntactic_eq(a, b)
+
+    def test_shapes_differ_in_depth(self):
+        n = 4001
+        balanced = random_balanced(n, seed=0)
+        unbalanced = random_unbalanced(n, seed=0)
+        assert balanced.depth < 80
+        assert unbalanced.depth > n // 10
+
+    def test_p_let_produces_lets(self):
+        e = random_expr(500, seed=0, p_let=0.5)
+        assert any(node.kind == "Let" for node in preorder(e))
+
+    def test_p_let_zero_produces_none(self):
+        e = random_expr(500, seed=0, p_let=0.0)
+        assert not any(node.kind == "Let" for node in preorder(e))
+
+    def test_p_lit_produces_literals(self):
+        e = random_expr(500, seed=0, p_lit=0.5)
+        assert any(isinstance(node, Lit) for node in preorder(e))
+
+    def test_variables_are_scope_correct(self):
+        # free variables must all come from the free pool
+        from repro.gen.random_exprs import FREE_POOL
+
+        e = random_expr(800, seed=3, p_let=0.2)
+        assert free_vars(e) <= set(FREE_POOL)
+
+    def test_rng_instance_accepted(self):
+        rng = random.Random(5)
+        e1 = random_expr(50, rng=rng)
+        rng = random.Random(5)
+        e2 = random_expr(50, rng=rng)
+        assert syntactic_eq(e1, e2)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_expr(0)
+        with pytest.raises(ValueError):
+            random_expr(5, shape="sideways")
+        with pytest.raises(ValueError):
+            random_expr(5, free_pool=())
+
+    def test_tiny_sizes(self):
+        assert random_expr(1, seed=0).size == 1
+        e2 = random_expr(2, seed=0)
+        assert e2.size == 2 and isinstance(e2, Lam)
+
+
+class TestAlphaRename:
+    @given(st.integers(2, 150), st.integers(0, 10**5))
+    def test_equivalent_but_renamed(self, size, seed):
+        e = random_expr(size, seed=seed)
+        renamed = alpha_rename(e, seed=seed)
+        assert alpha_equivalent(e, renamed)
+
+    def test_binder_names_actually_change(self):
+        e = random_expr(60, seed=1)  # guaranteed to contain binders
+        renamed = alpha_rename(e)
+        binders = {n.binder for n in preorder(e) if n.kind in ("Lam", "Let")}
+        new_binders = {
+            n.binder for n in preorder(renamed) if n.kind in ("Lam", "Let")
+        }
+        if binders:
+            assert binders.isdisjoint(new_binders)
+
+    def test_free_vars_preserved(self):
+        e = random_expr(100, seed=2)
+        assert free_vars(alpha_rename(e)) == free_vars(e)
+
+
+class TestAdversarialPairs:
+    def test_seed_pair_properties(self):
+        e1, e2 = seed_pair()
+        assert e1.size == e2.size == MIN_ADVERSARIAL_SIZE
+        assert not alpha_equivalent(e1, e2)
+        assert free_vars(e1) == free_vars(e2) == set()
+
+    @given(st.integers(MIN_ADVERSARIAL_SIZE, 400), st.integers(0, 10**5))
+    def test_exact_sizes_and_nonequivalence(self, size, seed):
+        e1, e2 = adversarial_pair(size, seed=seed)
+        assert e1.size == size and e2.size == size
+        assert not alpha_equivalent(e1, e2)
+
+    def test_identical_wrapping(self):
+        e1, e2 = adversarial_pair(64, seed=9)
+        # peel wrappers: they must match node-for-node until the seeds.
+        a, b = e1, e2
+        while a.size > MIN_ADVERSARIAL_SIZE:
+            assert a.kind == b.kind
+            if a.kind == "Lam":
+                assert a.binder == b.binder
+                a, b = a.body, b.body
+            else:
+                assert a.arg.name == b.arg.name  # same free var
+                a, b = a.fn, b.fn
+        assert syntactic_eq(a, seed_pair()[0])
+        assert syntactic_eq(b, seed_pair()[1])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            adversarial_pair(4)
+
+    def test_deterministic(self):
+        a1, a2 = adversarial_pair(100, seed=3)
+        b1, b2 = adversarial_pair(100, seed=3)
+        assert syntactic_eq(a1, b1) and syntactic_eq(a2, b2)

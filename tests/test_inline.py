@@ -1,0 +1,119 @@
+"""Tests for let inlining (the CSE inverse)."""
+
+import random
+
+import pytest
+from hypothesis import given
+
+from repro.apps.cse import cse
+from repro.apps.inline import count_uses, inline_lets
+from repro.lang.alpha import alpha_equivalent
+from repro.lang.expr import Lam, Let, Lit, Var
+from repro.lang.names import uniquify_binders
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.lang.traversal import preorder
+
+from strategies import exprs
+
+
+class TestCountUses:
+    def test_counts_free_occurrences(self):
+        assert count_uses(parse("x + x * x"), "x") == 3
+        assert count_uses(parse("y"), "x") == 0
+
+    def test_shadowing_lambda(self):
+        assert count_uses(parse(r"x (\x. x)"), "x") == 1
+
+    def test_shadowing_let(self):
+        e = Let("x", Var("x"), Var("x"))
+        assert count_uses(e, "x") == 1  # only the bound-side occurrence
+
+    def test_nested_shadowing(self):
+        e = parse(r"x + (\x. x + (\y. x)) + x")
+        assert count_uses(e, "x") == 2
+
+
+class TestInlineLets:
+    def test_single_let(self):
+        out = inline_lets(parse("let w = v + 7 in w * w"))
+        assert pretty(out) == "(v + 7) * (v + 7)"
+
+    def test_nested_lets(self):
+        out = inline_lets(parse("let a = 1 in let b = a + 1 in b * b"))
+        assert pretty(out) == "(1 + 1) * (1 + 1)"
+
+    def test_dead_binding_dropped(self):
+        out = inline_lets(parse("let unused = f 1 in 42"))
+        assert pretty(out) == "42"
+
+    def test_no_lets_is_identity_object(self):
+        e = parse(r"\x. x + 1")
+        assert inline_lets(e) is e
+
+    def test_let_under_lambda(self):
+        out = inline_lets(parse(r"\x. let y = x + 1 in y * y"))
+        assert pretty(out) == "\\x. (x + 1) * (x + 1)"
+
+    def test_capture_avoided(self):
+        # let y = x in \x. y  -- inlining must not capture the free x
+        e = Let("y", Var("x"), Lam("x", Var("y")))
+        out = inline_lets(e)
+        assert alpha_equivalent(out, Lam("z", Var("x")))
+
+
+class TestKnobs:
+    def test_max_uses(self):
+        e = parse("let w = f 1 in w + w + w")
+        assert inline_lets(e, max_uses=2).kind == "Let"  # 3 uses: kept
+        assert inline_lets(e, max_uses=3).kind != "Let"
+
+    def test_max_size(self):
+        e = parse("let w = a + b + c in w")
+        assert inline_lets(e, max_size=3).kind == "Let"
+        assert inline_lets(e, max_size=10).kind != "Let"
+
+    def test_custom_predicate(self):
+        e = parse("let keep = 1 in let drop = 2 in keep + drop")
+        out = inline_lets(e, should_inline=lambda node, uses: node.binder == "drop")
+        lets = [n for n in preorder(out) if n.kind == "Let"]
+        assert len(lets) == 1 and lets[0].binder == "keep"
+
+    def test_single_use_inline_never_grows(self):
+        e = parse("let w = a + b + c + d in g w")
+        out = inline_lets(e, max_uses=1)
+        assert out.size <= e.size
+
+
+class TestCSERoundTrip:
+    """inline(cse(e)) must be alpha-equivalent to inline(e): the CSE
+    pass only introduces sharing, never changes the term."""
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "(a + (v + 7)) * (v + 7)",
+            r"foo (\x. x + 7) (\y. y + 7)",
+            "(a + (let x = exp z in x + 7)) * (let y = exp z in y + 7)",
+            r"\t. foo (\x. x + t) (\y. \x2. x2 + t)",
+        ],
+    )
+    def test_paper_examples(self, source):
+        e = uniquify_binders(parse(source))
+        normal_before = inline_lets(e)
+        normal_after = inline_lets(cse(e).expr)
+        assert alpha_equivalent(normal_before, normal_after)
+
+    @given(exprs(max_size=60))
+    def test_property(self, e):
+        e = uniquify_binders(e)
+        normal_before = inline_lets(e)
+        normal_after = inline_lets(cse(e).expr)
+        assert alpha_equivalent(normal_before, normal_after)
+
+    def test_workload(self):
+        from repro.workloads.mnist_cnn import build_mnist_cnn
+
+        e = build_mnist_cnn()
+        transformed = cse(e, min_size=4).expr
+        assert alpha_equivalent(inline_lets(e), inline_lets(transformed))

@@ -1,0 +1,128 @@
+"""End-to-end integration tests: the full pipelines a downstream user
+would run, stitched across modules."""
+
+from repro.apps.cse import cse
+from repro.apps.ml_graph import ast_to_graph, graph_stats
+from repro.apps.sharing import share_alpha, share_syntactic
+from repro.core.combiners import HashCombiners
+from repro.core.equivalence import equivalence_classes
+from repro.core.hashed import alpha_hash_all
+from repro.core.incremental import IncrementalHasher
+from repro.lang.alpha import alpha_equivalent
+from repro.lang.evaluator import evaluate
+from repro.lang.names import has_unique_binders, uniquify_binders
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.lang.traversal import preorder_with_paths
+from repro.workloads.bert import build_bert
+from repro.workloads.gmm import build_gmm
+from repro.workloads.mnist_cnn import build_mnist_cnn
+
+
+class TestCompilerPipeline:
+    """parse -> uniquify -> hash -> find classes -> CSE -> evaluate."""
+
+    PROGRAM = """
+    # two alpha-equivalent blocks and one shared open term
+    let scalea = (\\u. u * (c + 1)) base in
+    let scaleb = (\\w. w * (c + 1)) base in
+    scalea + scaleb + (c + 1)
+    """
+
+    def test_full_pipeline(self):
+        expr = uniquify_binders(parse(self.PROGRAM))
+        assert has_unique_binders(expr)
+
+        classes = equivalence_classes(expr, min_size=4, verify=True)
+        assert classes, "expected repeated blocks"
+
+        env = {"c": 4, "base": 10}
+        before = evaluate(expr, env)
+        result = cse(expr)
+        assert evaluate(result.expr, env) == before
+        assert result.final_size < result.original_size
+
+        # the CSE output parses back after printing
+        reparsed = parse(pretty(result.expr))
+        assert evaluate(reparsed, env) == before
+
+    def test_pipeline_at_16_bits_with_verification(self):
+        expr = uniquify_binders(parse(self.PROGRAM))
+        combiners = HashCombiners(bits=16, seed=5)
+        env = {"c": 4, "base": 10}
+        result = cse(expr, combiners=combiners, verify_classes=True)
+        assert evaluate(result.expr, env) == evaluate(expr, env)
+
+
+class TestIncrementalWorkflow:
+    """A rewrite loop keeping hashes live, as a compiler would."""
+
+    def test_rewrite_loop(self):
+        expr = uniquify_binders(parse("(a + (v + 7)) * (v + 7)"))
+        hasher = IncrementalHasher(expr)
+        initial = hasher.root_hash
+
+        # rewrite one of the (v+7) occurrences to (v+8) and back
+        paths = [
+            p
+            for p, node in preorder_with_paths(expr)
+            if node.size == 5 and node.kind == "App"
+        ]
+        target = paths[-1]
+        hasher.replace(target, parse("v + 8"))
+        assert hasher.root_hash != initial
+        hasher.replace(target, parse("v + 7"))
+        assert hasher.root_hash == initial
+
+    def test_incremental_feeds_equivalence_classes(self):
+        expr = uniquify_binders(parse("g (v + 7) (w + 9)"))
+        hasher = IncrementalHasher(expr)
+        hasher.replace((1,), parse("v + 7"))
+        classes = equivalence_classes(
+            hasher.expr, min_size=3, hashes=hasher.hashes()
+        )
+        assert classes and classes[0].count == 2
+
+
+class TestWorkloadPipelines:
+    def test_bert_end_to_end(self):
+        expr = build_bert(2)
+        hashes = alpha_hash_all(expr)
+        assert len(hashes) == expr.size
+        classes = equivalence_classes(expr, min_size=4, hashes=hashes)
+        assert classes
+        stats = graph_stats(ast_to_graph(expr, min_class_size=4))
+        assert stats.equality_edges > 0
+
+    def test_cnn_cse_shrinks(self):
+        expr = build_mnist_cnn()
+        result = cse(expr, min_size=4)
+        assert result.final_size < expr.size
+        assert has_unique_binders(result.expr)
+
+    def test_gmm_sharing(self):
+        expr = build_gmm()
+        syntactic = share_syntactic(expr)
+        alpha = share_alpha(expr)
+        assert alpha.unique_nodes < syntactic.unique_nodes < expr.size
+        assert alpha_equivalent(alpha.root, expr)
+
+
+class TestCrossAlgorithmComparison:
+    def test_table1_story_on_one_expression(self):
+        """One expression exercising all four algorithms' behaviours."""
+        from repro.baselines.registry import ALGORITHMS
+
+        e = parse(r"\t. foo (\x. x + t) (\y. \x2. x2 + t)")
+        lam1, lam2 = e.body.fn.arg, e.body.arg.body
+        verdicts = {
+            name: alg(e).hash_of(lam1) == alg(e).hash_of(lam2)
+            for name, alg in ALGORITHMS.items()
+        }
+        assert verdicts == {
+            "structural": False,
+            "debruijn": False,
+            "locally_nameless": True,
+            "ours": True,
+            "ours_lazy": True,
+        }

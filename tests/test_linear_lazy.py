@@ -1,0 +1,164 @@
+"""Tests for the Appendix C lazy-linear-transform variant."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.equivalence import group_by_hash
+from repro.core.hashed import alpha_hash_all
+from repro.core.linear_lazy import LazyVarMap, LinearFn, alpha_hash_all_lazy
+from repro.core.varmap import MapOpStats
+from repro.gen.random_exprs import alpha_rename, random_expr
+from repro.lang.alpha import alpha_equivalent
+from repro.lang.parser import parse
+
+from strategies import exprs
+
+_MASK = (1 << 64) - 1
+
+
+class TestLinearFn:
+    def test_identity(self):
+        f = LinearFn.identity(_MASK)
+        assert f(12345) == 12345
+
+    def test_evaluation(self):
+        f = LinearFn(3, 7, _MASK)
+        assert f(10) == 37
+
+    def test_even_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            LinearFn(2, 0, _MASK)
+
+    @given(st.integers(0, _MASK), st.integers(0, _MASK), st.integers(0, _MASK))
+    def test_inverse(self, a, b, x):
+        f = LinearFn(a | 1, b, _MASK)
+        assert f.inverse_apply(f(x)) == x
+        assert f(f.inverse_apply(x)) == x
+
+    @given(
+        st.integers(0, _MASK),
+        st.integers(0, _MASK),
+        st.integers(0, _MASK),
+        st.integers(0, _MASK),
+        st.integers(0, _MASK),
+    )
+    def test_composition(self, a1, b1, a2, b2, x):
+        inner = LinearFn(a1 | 1, b1, _MASK)
+        composed = inner.compose_after(a2 | 1, b2)
+        outer = LinearFn(a2 | 1, b2, _MASK)
+        assert composed(x) == outer(inner(x))
+
+    def test_small_modulus(self):
+        mask = (1 << 16) - 1
+        f = LinearFn(3, 1, mask)
+        assert f.inverse_apply(f(1234)) == 1234
+
+
+@st.composite
+def lazy_op_sequences(draw):
+    n = draw(st.integers(1, 30))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(("insert", "remove", "transform")))
+        key = draw(st.sampled_from(("a", "b", "c")))
+        value = draw(st.integers(0, _MASK))
+        a = draw(st.integers(0, _MASK)) | 1
+        b = draw(st.integers(0, _MASK))
+        ops.append((kind, key, value, a, b))
+    return ops
+
+
+def _mult(key: str) -> int:
+    return (2 * hash(key) + 1) & _MASK
+
+
+class TestLazyVarMap:
+    @given(lazy_op_sequences())
+    def test_materialise_oracle(self, ops):
+        """The lazy map must behave like an eager map + eager transforms."""
+        lazy = LazyVarMap(_MASK)
+        eager: dict[str, int] = {}
+        for kind, key, value, a, b in ops:
+            if kind == "insert":
+                lazy.insert_actual(key, _mult(key), value)
+                eager[key] = value
+            elif kind == "remove":
+                got = lazy.remove(key, _mult(key))
+                expected = eager.pop(key, None)
+                assert got == expected
+            else:
+                fn = LinearFn(a, b, _MASK)
+                lazy.transform_all(fn)
+                eager = {k: fn(v) for k, v in eager.items()}
+            assert lazy.materialise() == eager
+
+    @given(lazy_op_sequences())
+    def test_hash_matches_definition(self, ops):
+        """hash == sum of multiplier * actual-value, maintained in O(1)."""
+        lazy = LazyVarMap(_MASK)
+        for kind, key, value, a, b in ops:
+            if kind == "insert":
+                lazy.insert_actual(key, _mult(key), value)
+            elif kind == "remove":
+                lazy.remove(key, _mult(key))
+            else:
+                lazy.transform_all(LinearFn(a, b, _MASK))
+            expected = 0
+            for k, actual in lazy.materialise().items():
+                expected = (expected + _mult(k) * actual) & _MASK
+            assert lazy.hash_value() == expected
+
+    def test_get_actual(self):
+        lazy = LazyVarMap(_MASK)
+        lazy.insert_actual("x", _mult("x"), 42)
+        lazy.transform_all(LinearFn(3, 5, _MASK))
+        assert lazy.get_actual("x") == (3 * 42 + 5) & _MASK
+        assert lazy.get_actual("zz") is None
+
+
+class TestLazyAlgorithm:
+    @given(exprs(max_size=60))
+    def test_alpha_invariance(self, e):
+        assert (
+            alpha_hash_all_lazy(e).root_hash
+            == alpha_hash_all_lazy(alpha_rename(e)).root_hash
+        )
+
+    @given(exprs(max_size=50))
+    def test_same_equivalence_classes_as_tagged(self, e):
+        tagged = group_by_hash(alpha_hash_all(e))
+        lazy = group_by_hash(alpha_hash_all_lazy(e))
+        tagged_groups = sorted(sorted(p for p, _ in g) for g in tagged.values())
+        lazy_groups = sorted(sorted(p for p, _ in g) for g in lazy.values())
+        assert tagged_groups == lazy_groups
+
+    @given(exprs(max_size=35), exprs(max_size=35))
+    def test_discrimination(self, e1, e2):
+        same = alpha_hash_all_lazy(e1).root_hash == alpha_hash_all_lazy(e2).root_hash
+        assert same == alpha_equivalent(e1, e2)
+
+    def test_paper_examples(self):
+        e = parse(r"foo (\x. x + 7) (\y. y + 7)")
+        hashes = alpha_hash_all_lazy(e)
+        assert hashes.hash_of(e.fn.arg) == hashes.hash_of(e.arg)
+
+    def test_op_counts_match_smaller_subtree_policy(self):
+        e = random_expr(2048, seed=6, shape="unbalanced")
+        stats = MapOpStats()
+        alpha_hash_all_lazy(e, stats=stats)
+        import math
+
+        assert stats.merge_entries <= 2048 * math.log2(2048)
+
+    def test_large_unbalanced(self):
+        e = random_expr(20_000, seed=8, shape="unbalanced")
+        assert alpha_hash_all_lazy(e).root_hash is not None
+
+    def test_16_bit_width(self):
+        from repro.core.combiners import HashCombiners
+
+        c = HashCombiners(bits=16, seed=2)
+        e = random_expr(100, seed=3)
+        value = alpha_hash_all_lazy(e, c).root_hash
+        assert 0 <= value < (1 << 16)

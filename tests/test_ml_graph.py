@@ -1,0 +1,102 @@
+"""Tests for the AST-to-graph ML preprocessing application."""
+
+import networkx as nx
+
+from repro.apps.ml_graph import ast_to_graph, graph_stats
+from repro.lang.parser import parse
+
+
+class TestGraphShape:
+    def test_node_per_occurrence(self):
+        e = parse("f x x")
+        graph = ast_to_graph(e)
+        assert graph.number_of_nodes() == e.size
+
+    def test_child_edges_form_tree(self):
+        e = parse(r"let a = f x in \y. a + y")
+        graph = ast_to_graph(e, equality_links=False)
+        assert graph.number_of_edges() == e.size - 1
+        assert nx.is_arborescence(graph)
+
+    def test_child_edge_indices(self):
+        e = parse("f x")
+        graph = ast_to_graph(e, equality_links=False)
+        assert graph.edges[(), (0,)]["index"] == 0
+        assert graph.edges[(), (1,)]["index"] == 1
+
+    def test_node_attributes(self):
+        e = parse(r"\x. x + 3")
+        graph = ast_to_graph(e)
+        root = graph.nodes[()]
+        assert root["kind"] == "Lam"
+        assert root["label"] == "x"
+        assert root["size"] == e.size
+        assert isinstance(root["alpha_hash"], int)
+
+    def test_lit_label(self):
+        graph = ast_to_graph(parse("3"))
+        assert graph.nodes[()]["label"] == "3"
+
+
+class TestEqualityLinks:
+    def test_links_between_alpha_equivalent(self):
+        e = parse(r"pair (\x. x + 7) (\y. y + 7)")
+        graph = ast_to_graph(e, min_class_size=2)
+        equal_edges = [
+            (u, v)
+            for u, v, d in graph.edges(data=True)
+            if d.get("kind") == "alpha_equal"
+        ]
+        assert equal_edges
+        # the two lambdas are linked
+        lam_paths = [p for p, d in graph.nodes(data=True) if d["kind"] == "Lam"]
+        linked = {frozenset(edge) for edge in equal_edges}
+        assert any(set(edge) <= set(lam_paths) for edge in linked)
+
+    def test_chain_not_clique(self):
+        e = parse("q (v + 1) (v + 1) (v + 1) (v + 1)")
+        # min size 4 excludes the 3-node partial application "add v".
+        graph = ast_to_graph(e, min_class_size=4)
+        stats = graph_stats(graph)
+        # 4 occurrences chained: 3 edges, not 6
+        assert stats.equality_edges == 3
+
+    def test_class_id_attributes(self):
+        e = parse("g (v + 1) (v + 1)")
+        graph = ast_to_graph(e, min_class_size=3)
+        tagged = [d for _, d in graph.nodes(data=True) if "class_id" in d]
+        assert len(tagged) >= 2
+
+    def test_links_disabled(self):
+        e = parse("g (v + 1) (v + 1)")
+        graph = ast_to_graph(e, equality_links=False)
+        assert graph_stats(graph).equality_edges == 0
+
+    def test_min_class_size_filters_variables(self):
+        e = parse("f x x")
+        graph = ast_to_graph(e, min_class_size=2)
+        assert graph_stats(graph).equality_edges == 0
+        graph_all = ast_to_graph(e, min_class_size=1)
+        assert graph_stats(graph_all).equality_edges == 1
+
+    def test_verify_mode(self):
+        e = parse("g (v + 1) (v + 1)")
+        graph = ast_to_graph(e, verify=True, min_class_size=4)
+        assert graph_stats(graph).equality_edges == 1
+
+
+class TestStats:
+    def test_counts(self):
+        e = parse("g (v + 1) (v + 1)")
+        stats = graph_stats(ast_to_graph(e, min_class_size=1))
+        assert stats.nodes == e.size
+        assert stats.child_edges == e.size - 1
+        assert stats.classes >= 1
+
+    def test_workload_scale(self):
+        from repro.workloads.mnist_cnn import build_mnist_cnn
+
+        e = build_mnist_cnn()
+        stats = graph_stats(ast_to_graph(e, min_class_size=4))
+        assert stats.nodes == 840
+        assert stats.equality_edges >= 8  # nine inlined activations chained

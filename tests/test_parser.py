@@ -1,0 +1,172 @@
+"""Unit tests for the surface-syntax parser."""
+
+import pytest
+from hypothesis import given
+
+from repro.lang.expr import App, Lam, Let, Lit, Var, syntactic_eq
+from repro.lang.parser import ParseError, parse
+from repro.lang.pretty import pretty
+
+from strategies import exprs
+
+
+class TestAtoms:
+    def test_variable(self):
+        e = parse("hello")
+        assert isinstance(e, Var) and e.name == "hello"
+
+    def test_primed_identifier(self):
+        assert parse("x'").name == "x'"  # type: ignore[union-attr]
+
+    def test_int(self):
+        e = parse("42")
+        assert isinstance(e, Lit) and e.value == 42 and isinstance(e.value, int)
+
+    def test_float(self):
+        e = parse("3.5")
+        assert isinstance(e, Lit) and e.value == 3.5
+
+    def test_bools(self):
+        assert parse("true").value is True  # type: ignore[union-attr]
+        assert parse("false").value is False  # type: ignore[union-attr]
+
+    def test_string(self):
+        assert parse('"hi"').value == "hi"  # type: ignore[union-attr]
+
+    def test_string_escapes(self):
+        assert parse(r'"a\"b"').value == 'a"b'  # type: ignore[union-attr]
+
+    def test_parens(self):
+        assert isinstance(parse("(x)"), Var)
+
+
+class TestApplication:
+    def test_left_associative(self):
+        e = parse("f a b")
+        assert isinstance(e, App) and isinstance(e.fn, App)
+        assert e.fn.fn.name == "f"  # type: ignore[union-attr]
+
+    def test_application_over_parens(self):
+        e = parse("f (a b)")
+        assert isinstance(e.arg, App)  # type: ignore[union-attr]
+
+
+class TestArithmetic:
+    def test_desugars_to_prims(self):
+        e = parse("x + 7")
+        assert isinstance(e, App)
+        assert e.fn.fn.name == "add"  # type: ignore[union-attr]
+
+    def test_precedence_mul_over_add(self):
+        e = parse("a + b * c")
+        assert e.fn.fn.name == "add"  # type: ignore[union-attr]
+        assert e.arg.fn.fn.name == "mul"  # type: ignore[union-attr]
+
+    def test_precedence_app_over_mul(self):
+        e = parse("f x * y")
+        assert e.fn.fn.name == "mul"  # type: ignore[union-attr]
+        assert isinstance(e.fn.arg, App)  # type: ignore[union-attr]
+
+    def test_left_assoc_sub(self):
+        e = parse("a - b - c")
+        # (a - b) - c
+        assert e.fn.fn.name == "sub"  # type: ignore[union-attr]
+        assert e.fn.arg.fn.fn.name == "sub"  # type: ignore[union-attr]
+
+    def test_division(self):
+        assert parse("a / b").fn.fn.name == "div"  # type: ignore[union-attr]
+
+
+class TestBinders:
+    def test_lambda(self):
+        e = parse(r"\x. x")
+        assert isinstance(e, Lam) and e.binder == "x"
+
+    def test_unicode_lambda(self):
+        assert isinstance(parse("λx. x"), Lam)
+
+    def test_multi_binder_sugar(self):
+        e = parse(r"\x y. x y")
+        assert isinstance(e, Lam) and isinstance(e.body, Lam)
+
+    def test_lambda_body_extends_right(self):
+        e = parse(r"\x. x + 1")
+        assert isinstance(e, Lam)
+        assert isinstance(e.body, App)
+
+    def test_let(self):
+        e = parse("let w = v + 7 in w * w")
+        assert isinstance(e, Let) and e.binder == "w"
+
+    def test_let_lambda_bound(self):
+        e = parse(r"let f = \x. x in f 3")
+        assert isinstance(e, Let) and isinstance(e.bound, Lam)
+
+    def test_nested_lets(self):
+        e = parse("let a = 1 in let b = a in b")
+        assert isinstance(e, Let) and isinstance(e.body, Let)
+
+
+class TestWhitespaceAndComments:
+    def test_comments(self):
+        e = parse("x # trailing comment\n + y")
+        assert e.fn.fn.name == "add"  # type: ignore[union-attr]
+
+    def test_multiline(self):
+        e = parse("let a =\n  1\nin a")
+        assert isinstance(e, Let)
+
+
+class TestErrors:
+    def test_unexpected_char(self):
+        with pytest.raises(ParseError):
+            parse("x ? y")
+
+    def test_trailing_input(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse("x)")
+
+    def test_missing_body(self):
+        with pytest.raises(ParseError):
+            parse(r"\x.")
+
+    def test_missing_in(self):
+        with pytest.raises(ParseError, match="'in'"):
+            parse("let x = 1 x")
+
+    def test_error_location(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse("x +\n ?")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse("(x")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            r"\x. x + 7",
+            "let w = v + 7 in (a + w) * w",
+            r"foo (\x. x + 7) (\y. y + 7)",
+            "a + b * c - d / e",
+            r"(\f. f (f 2)) (\x. x * x)",
+            'g "str" 3.5 true',
+        ],
+    )
+    def test_specific(self, text):
+        e = parse(text)
+        assert syntactic_eq(parse(pretty(e)), e)
+
+    @given(exprs(max_size=60))
+    def test_property(self, e):
+        assert syntactic_eq(parse(pretty(e)), e)
+
+    @given(exprs(max_size=60))
+    def test_property_no_sugar(self, e):
+        assert syntactic_eq(parse(pretty(e, sugar=False)), e)

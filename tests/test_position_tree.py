@@ -1,0 +1,119 @@
+"""Unit tests for position trees (both flavours) and their hash recipes."""
+
+from repro.core.combiners import HashCombiners
+from repro.core.position_tree import (
+    PTBoth,
+    PTHere,
+    PTJoin,
+    PTLeftOnly,
+    PTRightOnly,
+    hash_postree,
+    postree_equal,
+    postree_size,
+    pt_both_hash,
+    pt_here_hash,
+    pt_join_hash,
+    pt_left_hash,
+    pt_right_hash,
+)
+
+
+class TestEquality:
+    def test_here_singleton(self):
+        assert postree_equal(PTHere, PTHere)
+
+    def test_none_cases(self):
+        assert postree_equal(None, None)
+        assert not postree_equal(None, PTHere)
+        assert not postree_equal(PTHere, None)
+
+    def test_naive_forms(self):
+        a = PTBoth(PTRightOnly(PTHere), PTHere)
+        b = PTBoth(PTRightOnly(PTHere), PTHere)
+        c = PTBoth(PTLeftOnly(PTHere), PTHere)
+        assert postree_equal(a, b)
+        assert not postree_equal(a, c)
+
+    def test_join_tag_sensitivity(self):
+        a = PTJoin(5, None, PTHere)
+        b = PTJoin(5, None, PTHere)
+        c = PTJoin(6, None, PTHere)
+        assert postree_equal(a, b)
+        assert not postree_equal(a, c)
+
+    def test_join_big_vs_none(self):
+        a = PTJoin(5, PTHere, PTHere)
+        b = PTJoin(5, None, PTHere)
+        assert not postree_equal(a, b)
+
+    def test_deep_chain(self):
+        a = PTHere
+        b = PTHere
+        for _ in range(20_000):
+            a = PTLeftOnly(a)
+            b = PTLeftOnly(b)
+        assert postree_equal(a, b)
+        assert not postree_equal(a, PTRightOnly(a))
+
+
+class TestSize:
+    def test_sizes(self):
+        assert postree_size(None) == 0
+        assert postree_size(PTHere) == 1
+        assert postree_size(PTBoth(PTHere, PTHere)) == 3
+        assert postree_size(PTJoin(3, None, PTHere)) == 2
+        assert postree_size(PTJoin(3, PTHere, PTHere)) == 3
+
+
+class TestHashRecipes:
+    def setup_method(self):
+        self.c = HashCombiners(seed=99)
+
+    def test_here(self):
+        assert hash_postree(self.c, PTHere) == pt_here_hash(self.c)
+
+    def test_none(self):
+        assert hash_postree(self.c, None) is None
+
+    def test_left_right_differ(self):
+        left = hash_postree(self.c, PTLeftOnly(PTHere))
+        right = hash_postree(self.c, PTRightOnly(PTHere))
+        assert left != right
+        assert left == pt_left_hash(self.c, pt_here_hash(self.c))
+        assert right == pt_right_hash(self.c, pt_here_hash(self.c))
+
+    def test_both_composes(self):
+        here = pt_here_hash(self.c)
+        tree = PTBoth(PTLeftOnly(PTHere), PTHere)
+        expected = pt_both_hash(self.c, pt_left_hash(self.c, here), here)
+        assert hash_postree(self.c, tree) == expected
+
+    def test_join_with_and_without_big(self):
+        here = pt_here_hash(self.c)
+        with_big = hash_postree(self.c, PTJoin(7, PTHere, PTHere))
+        without = hash_postree(self.c, PTJoin(7, None, PTHere))
+        assert with_big == pt_join_hash(self.c, 7, here, here)
+        assert without == pt_join_hash(self.c, 7, None, here)
+        assert with_big != without
+
+    def test_join_tag_changes_hash(self):
+        assert pt_join_hash(self.c, 1, None, 5) != pt_join_hash(self.c, 2, None, 5)
+
+    def test_nested_join_hash(self):
+        here = pt_here_hash(self.c)
+        inner = PTJoin(3, None, PTHere)
+        outer = PTJoin(9, inner, PTHere)
+        expected_inner = pt_join_hash(self.c, 3, None, here)
+        expected = pt_join_hash(self.c, 9, expected_inner, here)
+        assert hash_postree(self.c, outer) == expected
+
+    def test_deep_tree_hashing(self):
+        tree = PTHere
+        for i in range(20_000):
+            tree = PTJoin(i + 2, None, tree)
+        assert hash_postree(self.c, tree) is not None
+
+    def test_different_seeds_redraw(self):
+        other = HashCombiners(seed=100)
+        tree = PTBoth(PTHere, PTHere)
+        assert hash_postree(self.c, tree) != hash_postree(other, tree)

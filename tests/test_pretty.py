@@ -1,0 +1,86 @@
+"""Unit tests for the pretty printer."""
+
+from repro.lang.expr import App, Lam, Let, Lit, Var
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+
+
+class TestBasics:
+    def test_var(self):
+        assert pretty(Var("x")) == "x"
+
+    def test_lits(self):
+        assert pretty(Lit(3)) == "3"
+        assert pretty(Lit(3.5)) == "3.5"
+        assert pretty(Lit(True)) == "true"
+        assert pretty(Lit(False)) == "false"
+        assert pretty(Lit("hi")) == '"hi"'
+
+    def test_string_escaping(self):
+        assert pretty(Lit('a"b')) == '"a\\"b"'
+
+    def test_lambda(self):
+        assert pretty(parse(r"\x. x")) == "\\x. x"
+
+    def test_let(self):
+        assert pretty(parse("let a = 1 in a")) == "let a = 1 in a"
+
+
+class TestSugar:
+    def test_infix_add(self):
+        assert pretty(parse("x + 7")) == "x + 7"
+
+    def test_infix_precedence_no_redundant_parens(self):
+        assert pretty(parse("a + b * c")) == "a + b * c"
+
+    def test_infix_parens_needed(self):
+        assert pretty(parse("(a + b) * c")) == "(a + b) * c"
+
+    def test_sugar_off(self):
+        assert pretty(parse("x + 7"), sugar=False) == "add x 7"
+
+    def test_partial_prim_application_not_sugared(self):
+        assert pretty(App(Var("add"), Var("x"))) == "add x"
+
+
+class TestParenthesisation:
+    def test_app_arg_parens(self):
+        assert pretty(parse("f (g x)")) == "f (g x)"
+
+    def test_app_fn_chain_flat(self):
+        assert pretty(parse("f a b")) == "f a b"
+
+    def test_lambda_as_argument(self):
+        assert pretty(parse(r"foo (\x. x)")) == "foo (\\x. x)"
+
+    def test_lambda_in_operand(self):
+        text = pretty(App(App(Var("add"), Lam("x", Var("x"))), Lit(1)))
+        assert text == "(\\x. x) + 1"
+
+    def test_let_in_arg_position(self):
+        e = App(Var("f"), Let("a", Lit(1), Var("a")))
+        assert pretty(e) == "f (let a = 1 in a)"
+
+
+class TestScaling:
+    def test_max_len_truncation(self):
+        e = parse("a")
+        for _ in range(100):
+            e = App(e, Var("b"))
+        text = pretty(e, max_len=30)
+        assert text.endswith("...")
+        assert len(text) <= 40
+
+    def test_deep_chain_no_recursion_error(self):
+        e = Var("x")
+        for i in range(30_000):
+            e = Lam(f"v{i}", e)
+        text = pretty(e, max_len=50)
+        assert text.startswith("\\v29999. ")
+
+    def test_full_render_of_deep_chain(self):
+        e = Var("x")
+        for i in range(5_000):
+            e = Lam("v", e)
+        text = pretty(e)
+        assert text.count("\\v. ") == 5_000

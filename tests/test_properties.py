@@ -1,0 +1,144 @@
+"""Cross-cutting property suite: the paper's theorems as hypothesis tests.
+
+Each class corresponds to one formal statement:
+
+* Section 4.2's iff (summary equality == alpha-equivalence) -- via hashes;
+* Section 4.7's invertibility (rebuild);
+* Section 5.2's O(1) XOR maintenance (vs recompute-from-scratch);
+* Section 6.3's incrementality (vs batch);
+* Theorem 6.7's collision bound (empirically, at small widths);
+* Lemma 6.1's operation bound.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.registry import ALGORITHMS
+from repro.core.combiners import HashCombiners
+from repro.core.equivalence import group_by_hash
+from repro.core.esummary import (
+    rebuild_naive,
+    rebuild_tagged,
+    summarise_naive,
+    summarise_tagged,
+)
+from repro.core.hashed import alpha_hash_all, alpha_hash_root
+from repro.core.incremental import IncrementalHasher
+from repro.core.linear_lazy import alpha_hash_all_lazy
+from repro.core.varmap import MapOpStats
+from repro.gen.random_exprs import alpha_rename
+from repro.lang.alpha import alpha_equivalent
+from repro.lang.debruijn import canonical_key
+from repro.lang.expr import Lit
+from repro.lang.traversal import preorder, preorder_with_paths, replace_at
+
+from strategies import exprs
+
+
+class TestAlphaInvariance:
+    """h(e) == h(rename(e)) for every correct algorithm, at every node."""
+
+    @given(exprs(max_size=60), st.integers(0, 100))
+    def test_every_correct_algorithm(self, e, seed):
+        renamed = alpha_rename(e, seed=seed)
+        for name, algorithm in ALGORITHMS.items():
+            if not algorithm.true_negatives:
+                continue
+            assert (
+                algorithm(e).root_hash == algorithm(renamed).root_hash
+            ), name
+
+
+class TestDiscrimination:
+    """Hash equality == alpha-equivalence (whp at 64 bits)."""
+
+    @given(exprs(max_size=45))
+    def test_subexpression_grouping_is_exact(self, e):
+        hashes = alpha_hash_all(e)
+        nodes = list(preorder(e))
+        by_hash: dict[int, list] = {}
+        for node in nodes:
+            by_hash.setdefault(hashes.hash_of(node), []).append(node)
+        for group in by_hash.values():
+            keys = {canonical_key(node) for node in group}
+            assert len(keys) == 1
+        # and distinct groups have distinct keys
+        rep_keys = [canonical_key(g[0]) for g in by_hash.values()]
+        assert len(rep_keys) == len(set(rep_keys))
+
+
+class TestInvertibility:
+    @given(exprs(max_size=60))
+    def test_rebuild_naive(self, e):
+        assert alpha_equivalent(rebuild_naive(summarise_naive(e)), e)
+
+    @given(exprs(max_size=60))
+    def test_rebuild_tagged(self, e):
+        assert alpha_equivalent(rebuild_tagged(summarise_tagged(e)), e)
+
+
+class TestVariantAgreement:
+    """All three correct formulations induce the same partition."""
+
+    @given(exprs(max_size=45))
+    def test_tagged_lazy_locally_nameless_agree(self, e):
+        partitions = []
+        for fn in (
+            lambda x: alpha_hash_all(x),
+            lambda x: alpha_hash_all_lazy(x),
+            lambda x: ALGORITHMS["locally_nameless"](x, None),
+        ):
+            groups = group_by_hash(fn(e))
+            partitions.append(
+                sorted(sorted(p for p, _ in g) for g in groups.values())
+            )
+        assert partitions[0] == partitions[1] == partitions[2]
+
+
+class TestIncrementality:
+    @given(exprs(max_size=50), st.integers(0, 10**6), st.integers(0, 99))
+    def test_replace_equals_batch(self, e, pick, value):
+        hasher = IncrementalHasher(e)
+        paths = [p for p, _ in preorder_with_paths(e)]
+        path = paths[pick % len(paths)]
+        hasher.replace(path, Lit(value))
+        expected = alpha_hash_all(replace_at(e, path, Lit(value)))
+        assert hasher.root_hash == expected.root_hash
+
+
+class TestLemmaBounds:
+    @given(exprs(max_size=120))
+    def test_lemma_6_1_and_6_2(self, e):
+        stats = MapOpStats()
+        alpha_hash_all(e, stats=stats)
+        n = e.size
+        assert stats.merge_entries <= n * math.log2(max(n, 2))
+        assert stats.singleton + stats.remove <= n
+
+
+class TestCollisionBehaviour:
+    @settings(max_examples=25)
+    @given(exprs(max_size=30), exprs(max_size=30), st.integers(0, 50))
+    def test_no_reliable_cross_seed_collision(self, e1, e2, base_seed):
+        """Appendix B's strong claim: non-equivalent expressions cannot
+        collide across independently seeded combiner families."""
+        if alpha_equivalent(e1, e2):
+            return
+        collisions = 0
+        for offset in range(3):
+            combiners = HashCombiners(bits=32, seed=base_seed * 7 + offset)
+            if alpha_hash_root(e1, combiners) == alpha_hash_root(e2, combiners):
+                collisions += 1
+        assert collisions < 3  # colliding on ALL seeds would break the claim
+
+    @settings(max_examples=20)
+    @given(exprs(max_size=40))
+    def test_equivalent_collide_at_any_width(self, e):
+        renamed = alpha_rename(e)
+        for bits in (16, 64, 128):
+            combiners = HashCombiners(bits=bits, seed=11)
+            assert alpha_hash_root(e, combiners) == alpha_hash_root(
+                renamed, combiners
+            )

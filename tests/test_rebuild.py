@@ -1,0 +1,176 @@
+"""Tests for rebuild (Section 4.7): e-summaries are invertible.
+
+"rebuild (summariseExpr e) is alpha-equivalent to e" -- the property
+that makes the e-summary information-lossless and hence the whole
+algorithm free of systematic false positives.
+"""
+
+from hypothesis import given
+
+from repro.core.esummary import (
+    esummary_equal,
+    rebuild_naive,
+    rebuild_tagged,
+    summarise_naive,
+    summarise_tagged,
+)
+from repro.lang.alpha import alpha_equivalent
+from repro.lang.expr import App, Lam, Let, Lit, Var
+from repro.lang.names import NameSupply, has_unique_binders
+from repro.lang.parser import parse
+
+from strategies import exprs
+
+import pytest
+
+VARIANTS = [
+    (summarise_naive, rebuild_naive),
+    (summarise_tagged, rebuild_tagged),
+]
+
+
+@pytest.mark.parametrize("summarise,rebuild", VARIANTS)
+class TestRoundTrip:
+    def test_variable(self, summarise, rebuild):
+        e = Var("x")
+        assert alpha_equivalent(rebuild(summarise(e)), e)
+
+    def test_lit(self, summarise, rebuild):
+        assert alpha_equivalent(rebuild(summarise(Lit(42))), Lit(42))
+
+    def test_identity_lambda(self, summarise, rebuild):
+        e = parse(r"\x. x")
+        assert alpha_equivalent(rebuild(summarise(e)), e)
+
+    def test_unused_binder(self, summarise, rebuild):
+        e = parse(r"\x. y")
+        assert alpha_equivalent(rebuild(summarise(e)), e)
+
+    def test_figure1_example(self, summarise, rebuild):
+        # \x. (\b. x b) x -- the paper's running Figure 1 expression.
+        e = parse(r"\x. (\b. x b) x")
+        assert alpha_equivalent(rebuild(summarise(e)), e)
+
+    def test_repeated_variables(self, summarise, rebuild):
+        e = parse("add x x")
+        assert alpha_equivalent(rebuild(summarise(e)), e)
+
+    def test_lets(self, summarise, rebuild):
+        e = parse("let w = v + 7 in (a + w) * w")
+        assert alpha_equivalent(rebuild(summarise(e)), e)
+
+    def test_let_unused_binder(self, summarise, rebuild):
+        e = parse("let w = v in z")
+        assert alpha_equivalent(rebuild(summarise(e)), e)
+
+    def test_shared_variable_across_children(self, summarise, rebuild):
+        e = parse(r"\f. f (g f) (g g)")
+        assert alpha_equivalent(rebuild(summarise(e)), e)
+
+    def test_unbalanced_merge_paths(self, summarise, rebuild):
+        # Arranged so both merge directions occur (bigger map on the
+        # left at one App, on the right at another).
+        e = parse("pair (a + b + c + d) e * (p (q r))")
+        assert alpha_equivalent(rebuild(summarise(e)), e)
+
+    @given(exprs(max_size=60))
+    def test_property(self, summarise, rebuild, e):
+        rebuilt = rebuild(summarise(e))
+        assert alpha_equivalent(rebuilt, e)
+
+    @given(exprs(max_size=40))
+    def test_rebuild_then_summarise_fixpoint(self, summarise, rebuild, e):
+        summary = summarise(e)
+        assert esummary_equal(summarise(rebuild(summary)), summary)
+
+    def test_deep_chain(self, summarise, rebuild):
+        e = Var("free")
+        for i in range(3_000):
+            e = Lam(f"v{i}", e)
+        assert rebuild(summarise(e)).size == e.size
+
+
+@pytest.mark.parametrize("summarise,rebuild", VARIANTS)
+class TestFreshNames:
+    def test_rebuilt_binders_are_unique(self, summarise, rebuild):
+        e = parse(r"(\x. x) (\x2. x2) (let y = q in y)")
+        rebuilt = rebuild(summarise(e))
+        assert has_unique_binders(rebuilt)
+
+    def test_no_capture_of_free_vars_named_like_fresh(self, summarise, rebuild):
+        # free variable literally called "v0": rebuild must avoid it.
+        e = Lam("x", App(Var("x"), Var("v0")))
+        rebuilt = rebuild(summarise(e))
+        assert alpha_equivalent(rebuilt, e)
+
+    def test_custom_supply(self, summarise, rebuild):
+        e = parse(r"\x. x")
+        supply = NameSupply(start=100)
+        rebuilt = rebuild(summarise(e), supply=supply)
+        assert rebuilt.binder == "v100"  # type: ignore[union-attr]
+
+
+class TestTagDisambiguation:
+    """The Section 4.8 rebuild relies on structure tags to split maps."""
+
+    def test_nested_apps_same_variable(self):
+        # x occurs at several depths; PTJoins with different tags stack.
+        e = parse("x (x (x y))")
+        summary = summarise_tagged(e)
+        assert alpha_equivalent(rebuild_tagged(summary), e)
+
+    def test_variable_in_both_children_at_every_level(self):
+        e = parse("(x x) (x x)")
+        assert alpha_equivalent(rebuild_tagged(summarise_tagged(e)), e)
+
+    def test_deep_joins(self):
+        e = Var("x")
+        for _ in range(200):
+            e = App(e, Var("x"))
+        assert alpha_equivalent(rebuild_tagged(summarise_tagged(e)), e)
+
+
+class TestExactRebuildWithNameHints:
+    """Footnote 1 of Section 4.7: record binder names in the Structure
+    (outside the hash) to recover the original expression exactly."""
+
+    @given(exprs(max_size=60))
+    def test_naive_exact(self, e):
+        from repro.lang.expr import syntactic_eq
+
+        rebuilt = rebuild_naive(summarise_naive(e, keep_names=True))
+        assert syntactic_eq(rebuilt, e)
+
+    @given(exprs(max_size=60))
+    def test_tagged_exact(self, e):
+        from repro.lang.expr import syntactic_eq
+
+        rebuilt = rebuild_tagged(summarise_tagged(e, keep_names=True))
+        assert syntactic_eq(rebuilt, e)
+
+    @given(exprs(max_size=40))
+    def test_hints_are_hash_neutral(self, e):
+        from repro.core.combiners import HashCombiners
+        from repro.core.esummary import hash_esummary_tree
+
+        combiners = HashCombiners(seed=19)
+        with_names = summarise_tagged(e, keep_names=True)
+        without = summarise_tagged(e)
+        assert hash_esummary_tree(combiners, with_names) == hash_esummary_tree(
+            combiners, without
+        )
+
+    @given(exprs(max_size=40))
+    def test_hints_do_not_affect_equality(self, e):
+        from repro.core.esummary import esummary_equal
+
+        assert esummary_equal(
+            summarise_tagged(e, keep_names=True), summarise_tagged(e)
+        )
+
+    def test_shadowed_names_recovered(self):
+        from repro.lang.expr import syntactic_eq
+
+        e = parse(r"\x. x (\x. x)")
+        rebuilt = rebuild_tagged(summarise_tagged(e, keep_names=True))
+        assert syntactic_eq(rebuilt, e)

@@ -1,0 +1,112 @@
+"""Tests for the small-step reducer, including the CEK differential."""
+
+import random
+
+import pytest
+
+from repro.lang.evaluator import EvalError, EvalFuelExhausted, evaluate
+from repro.lang.expr import App, Lam, Lit, Var
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.lang.reduction import reduce_to_value, step
+
+from test_cse import arith_expr
+
+
+class TestStep:
+    def test_value_returns_none(self):
+        assert step(Lit(3)) is None
+        assert step(parse(r"\x. x")) is None
+
+    def test_partial_prim_is_value(self):
+        assert step(parse("add 1")) is None
+
+    def test_beta(self):
+        out = step(parse(r"(\x. x + x) 3"))
+        assert pretty(out) == "3 + 3"
+
+    def test_delta(self):
+        out = step(parse("add 1 2"))
+        assert pretty(out) == "3"
+
+    def test_let_substitutes_value(self):
+        out = step(parse("let w = 3 in w * w"))
+        assert pretty(out) == "3 * 3"
+
+    def test_let_reduces_bound_first(self):
+        out = step(parse("let w = 1 + 2 in w"))
+        assert pretty(out) == "let w = 3 in w"
+
+    def test_leftmost_innermost_order(self):
+        out = step(parse("(1 + 2) * (3 + 4)"))
+        assert pretty(out) == "3 * (3 + 4)"
+
+    def test_capture_avoided_in_beta(self):
+        # (\f. \x. f) (\z. x)  ~>  \x'. \z. x  (the argument's free x
+        # must not be captured by the inner binder).
+        expr = App(Lam("f", Lam("x", Var("f"))), Lam("z", Var("x")))
+        out = step(expr)
+        assert isinstance(out, Lam)
+        assert out.binder != "x"
+        inner = out.body
+        assert isinstance(inner, Lam) and inner.body.name == "x"
+
+    def test_stuck_terms(self):
+        with pytest.raises(EvalError):
+            step(parse("nosuch 1"))
+        with pytest.raises(EvalError):
+            step(parse("3 4"))
+        with pytest.raises(EvalError):
+            reduce_to_value(parse(r"eq (\x. x) 1"))
+
+
+class TestReduceToValue:
+    def test_arithmetic(self):
+        assert reduce_to_value(parse("2 + 3 * 4")).value == 14
+
+    def test_nested_lets(self):
+        out = reduce_to_value(parse("let a = 1 in let b = a + 1 in b * b"))
+        assert out.value == 4
+
+    def test_higher_order(self):
+        out = reduce_to_value(parse(r"(\f. f (f 2)) (\x. x * x)"))
+        assert out.value == 16
+
+    def test_fuel(self):
+        omega = parse(r"(\x. x x) (\x. x x)")
+        with pytest.raises(EvalFuelExhausted):
+            reduce_to_value(omega, fuel=50)
+
+    def test_lambda_value(self):
+        out = reduce_to_value(parse(r"\x. x"))
+        assert isinstance(out, Lam)
+
+
+class TestDifferentialAgainstCEK:
+    """The substitution semantics and the CEK machine must agree on
+    every closed total program -- cross-validating both interpreters
+    and the capture-avoiding substitution they share nothing with."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_closed_programs(self, seed):
+        rng = random.Random(seed * 31 + 7)
+        program = arith_expr(rng, depth=4, scope=[])
+        cek = evaluate(program)
+        small_step = reduce_to_value(program)
+        assert isinstance(small_step, Lit)
+        assert small_step.value == cek
+        assert type(small_step.value) is type(cek)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "ite (lt 1 2) (10 + 1) (20 + 2)",
+            "min (max 3 5) (7 - 2)",
+            r"(\x. \y. x - y) 10 4",
+            "let f = 3 in let g = f * f in g + f",
+            r"(let a = 10 in \x. x + a) 5",
+        ],
+    )
+    def test_specific_programs(self, source):
+        program = parse(source)
+        assert reduce_to_value(program).value == evaluate(program)

@@ -1,0 +1,65 @@
+"""Tests for the algorithm registry (Table 1 metadata)."""
+
+import pytest
+
+from repro.baselines.registry import ALGORITHMS, TABLE1_ORDER, get_algorithm
+from repro.lang.parser import parse
+
+
+class TestContents:
+    def test_table1_rows_present(self):
+        assert TABLE1_ORDER == ("structural", "debruijn", "locally_nameless", "ours")
+        for name in TABLE1_ORDER:
+            assert name in ALGORITHMS
+
+    def test_appendix_variant_registered(self):
+        assert "ours_lazy" in ALGORITHMS
+
+    def test_paper_complexities(self):
+        assert ALGORITHMS["structural"].paper_complexity == "O(n)"
+        assert ALGORITHMS["debruijn"].paper_complexity == "O(n log n)"
+        assert ALGORITHMS["locally_nameless"].paper_complexity == "O(n^2 log n)"
+        assert ALGORITHMS["ours"].paper_complexity == "O(n (log n)^2)"
+
+    def test_correctness_flags_match_table1(self):
+        flags = {
+            name: (alg.true_positives, alg.true_negatives)
+            for name, alg in ALGORITHMS.items()
+        }
+        assert flags["structural"] == (True, False)
+        assert flags["debruijn"] == (False, False)
+        assert flags["locally_nameless"] == (True, True)
+        assert flags["ours"] == (True, True)
+
+    def test_correct_property(self):
+        assert ALGORITHMS["ours"].correct
+        assert not ALGORITHMS["structural"].correct
+        assert not ALGORITHMS["debruijn"].correct
+
+
+class TestInterface:
+    def test_callable(self):
+        e = parse("a b")
+        hashes = ALGORITHMS["ours"](e)
+        assert hashes.root_hash is not None
+
+    def test_custom_combiners_passed_through(self):
+        from repro.core.combiners import HashCombiners
+
+        e = parse("a b")
+        c16 = HashCombiners(bits=16, seed=1)
+        for algorithm in ALGORITHMS.values():
+            assert 0 <= algorithm(e, c16).root_hash < (1 << 16)
+
+    def test_get_algorithm(self):
+        assert get_algorithm("ours").name == "ours"
+
+    def test_get_algorithm_error_lists_options(self):
+        with pytest.raises(KeyError, match="structural"):
+            get_algorithm("nope")
+
+    def test_all_annotate_every_node(self):
+        e = parse(r"let a = f x in \y. a + y")
+        for algorithm in ALGORITHMS.values():
+            hashes = algorithm(e)
+            assert len(list(hashes.items())) == e.size

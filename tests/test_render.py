@@ -1,0 +1,89 @@
+"""Tests for e-summary rendering and the Figure 1 harness."""
+
+from repro.core.esummary import summarise_all_naive, summarise_naive, summarise_tagged
+from repro.core.position_tree import PTBoth, PTHere, PTJoin, PTLeftOnly, PTRightOnly
+from repro.core.render import render_esummary, render_postree, render_structure
+from repro.evalharness.fig1 import FIGURE1_SOURCE, main, run_fig1
+from repro.lang.parser import parse
+
+
+class TestRenderPostree:
+    def test_here(self):
+        assert render_postree(PTHere) == "{here}"
+
+    def test_absent(self):
+        assert render_postree(None) == "(absent)"
+
+    def test_paths(self):
+        tree = PTBoth(PTRightOnly(PTHere), PTHere)
+        assert render_postree(tree) == "{LR,R}"
+
+    def test_deep_paths(self):
+        tree = PTLeftOnly(PTLeftOnly(PTRightOnly(PTHere)))
+        assert render_postree(tree) == "{LLR}"
+
+    def test_tagged_form(self):
+        tree = PTJoin(5, None, PTHere)
+        assert render_postree(tree) == "join@5(big=_, small=*)"
+
+    def test_tagged_nested(self):
+        tree = PTJoin(7, PTHere, PTJoin(3, None, PTHere))
+        text = render_postree(tree)
+        assert "join@7" in text and "join@3" in text
+
+
+class TestRenderStructure:
+    def test_figure1_root(self):
+        summary = summarise_naive(parse(FIGURE1_SOURCE))
+        text = render_structure(summary.structure)
+        # the paper's Figure 1: x occurs at LL and R of the body.
+        assert text == "(lam {LL,R} (app (lam {R} (app <v> <v>)) <v>))"
+
+    def test_let_and_lit(self):
+        summary = summarise_naive(parse("let a = 1 in a"))
+        text = render_structure(summary.structure)
+        assert text == "(let {here} <1> <v>)"
+
+    def test_tagged_structure_renders(self):
+        summary = summarise_tagged(parse("f (g x)"))
+        assert "(app " in render_structure(summary.structure)
+
+
+class TestRenderESummary:
+    def test_varmap_lines_sorted(self):
+        summary = summarise_naive(parse("x b"))
+        text = render_esummary(summary)
+        assert text.index("b ->") < text.index("x ->")
+
+    def test_empty_map(self):
+        summary = summarise_naive(parse(r"\x. x"))
+        assert "(empty)" in render_esummary(summary)
+
+
+class TestFig1Harness:
+    def test_covers_every_subexpression(self):
+        expr = parse(FIGURE1_SOURCE)
+        text = run_fig1()
+        assert text.count("Step-2 hash:") == expr.size
+
+    def test_identical_subterms_share_hashes(self):
+        # the two x occurrences in the figure get the same hash line.
+        text = run_fig1()
+        hash_lines = [
+            line.strip() for line in text.splitlines() if "Step-2 hash" in line
+        ]
+        assert len(hash_lines) != len(set(hash_lines))
+
+    def test_custom_expression(self):
+        text = run_fig1(r"\y. y")
+        assert "(lam {here} <v>)" in text
+
+    def test_cli(self, capsys):
+        assert main([]) == 0
+        assert "input expression" in capsys.readouterr().out
+
+    def test_dispatch(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["fig1"]) == 0
+        capsys.readouterr()

@@ -1,0 +1,156 @@
+"""Robustness and failure-injection tests.
+
+Libraries get misused: fed garbage text, handed summaries they did not
+make, asked to rebuild nonsense.  These tests pin the failure behaviour
+to *clear exceptions* rather than silent corruption, and fuzz the
+surface syntax front end against crashes.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.esummary import ESummary, rebuild_naive, rebuild_tagged
+from repro.core.hashed import alpha_hash_all, alpha_hash_root
+from repro.core.position_tree import PTHere
+from repro.core.structure import SVar
+from repro.core.varmap import VarMapTree
+from repro.lang.expr import App, Expr, Lam, Var
+from repro.lang.parser import ParseError, parse
+from repro.lang.pretty import pretty
+
+
+class TestParserFuzz:
+    @given(st.text(max_size=60))
+    def test_parse_never_crashes_unexpectedly(self, text):
+        """Arbitrary input either parses or raises ParseError -- nothing
+        else (no internal KeyErrors, no RecursionError on flat text)."""
+        try:
+            result = parse(text)
+        except ParseError:
+            return
+        assert isinstance(result, Expr)
+
+    @given(
+        st.text(
+            alphabet="\\xy. ()+*-/01 letin",
+            max_size=80,
+        )
+    )
+    def test_parse_syntaxish_soup(self, text):
+        try:
+            result = parse(text)
+        except ParseError:
+            return
+        # whatever parses must round-trip
+        assert isinstance(parse(pretty(result)), Expr)
+
+    def test_very_long_flat_input(self):
+        source = "f " + " ".join(f"x{i}" for i in range(5000))
+        expr = parse(source)
+        assert expr.size == 2 * 5000 + 1
+
+
+class TestUnicodeNames:
+    def test_unicode_identifiers_hash(self):
+        # names are hashed through UTF-8; exercise multi-byte paths.
+        a = Lam("x", App(Var("x"), Var("переменная")))
+        b = Lam("y", App(Var("y"), Var("переменная")))
+        c = Lam("y", App(Var("y"), Var("変数")))
+        assert alpha_hash_root(a) == alpha_hash_root(b)
+        assert alpha_hash_root(a) != alpha_hash_root(c)
+
+    def test_unicode_binder_names(self):
+        from repro.lang.alpha import alpha_equivalent
+
+        e = Lam("λx", Var("λx"))
+        assert alpha_equivalent(e, Lam("z", Var("z")))
+        assert alpha_hash_root(e) == alpha_hash_root(Lam("z", Var("z")))
+
+
+class TestMalformedSummaries:
+    def test_rebuild_var_with_wrong_map(self):
+        bad = ESummary(SVar, VarMapTree.empty())
+        with pytest.raises(ValueError):
+            rebuild_naive(bad)
+        with pytest.raises(ValueError):
+            rebuild_tagged(bad)
+
+    def test_rebuild_var_with_two_entries(self):
+        bad = ESummary(SVar, VarMapTree({"a": PTHere, "b": PTHere}))
+        with pytest.raises(ValueError):
+            rebuild_naive(bad)
+
+
+class TestApiMisuse:
+    def test_hash_of_node_from_other_tree(self):
+        hashes = alpha_hash_all(parse("a b"))
+        with pytest.raises(KeyError):
+            hashes.hash_of(parse("a b"))
+
+    def test_incremental_bad_paths(self):
+        from repro.core.incremental import IncrementalHasher
+        from repro.lang.expr import Lit
+
+        hasher = IncrementalHasher(parse("f x"))
+        with pytest.raises(IndexError):
+            hasher.replace((0, 0, 0), Lit(1))
+        with pytest.raises(IndexError):
+            hasher.replace((2,), Lit(1))
+
+    def test_zipper_misuse(self):
+        from repro.lang.zipper import Zipper, ZipperError
+
+        z = Zipper.from_expr(parse("f x"))
+        with pytest.raises(ZipperError):
+            z.down(0).down(0)  # Var has no children
+        with pytest.raises(ZipperError):
+            z.down(-1)
+
+    def test_generator_bad_params(self):
+        from repro.gen.random_exprs import random_expr
+
+        with pytest.raises(ValueError):
+            random_expr(-3)
+
+    def test_cse_on_single_node(self):
+        from repro.apps.cse import cse
+
+        result = cse(Var("x"))
+        assert result.final_size == 1
+
+
+class TestExtremeShapes:
+    def test_left_application_spine(self):
+        e: Expr = Var("f")
+        for i in range(20_000):
+            e = App(e, Var("f"))
+        assert alpha_hash_root(e) is not None
+
+    def test_alternating_let_chain(self):
+        from repro.lang.expr import Let, Lit
+
+        e: Expr = Lit(0)
+        for i in range(20_000):
+            e = Let(f"v{i}", Lit(i), e)
+        hashes = alpha_hash_all(e)
+        assert len(hashes) == e.size
+
+    def test_every_node_same_free_var(self):
+        # maximally shared single free variable: maps stay size 1.
+        e: Expr = Var("x")
+        for _ in range(5_000):
+            e = App(e, Var("x"))
+        from repro.core.varmap import MapOpStats
+
+        stats = MapOpStats()
+        alpha_hash_all(e, stats=stats)
+        # all merges move a singleton map: exactly one entry per App.
+        assert stats.merge_entries == 5_000
+
+    def test_wide_and_shallow(self):
+        from repro.workloads.common import sum_chain
+
+        e = sum_chain([Var(f"v{i}") for i in range(4_000)])
+        hashes = alpha_hash_all(e)
+        assert hashes.root_hash is not None

@@ -1,0 +1,93 @@
+"""Tests for the structured serialisation format."""
+
+import pytest
+from hypothesis import given
+
+from repro.lang.expr import App, Lam, Lit, Var, syntactic_eq
+from repro.lang.parser import parse
+from repro.lang.sexpr import SexprError, dumps, from_sexpr, loads, to_sexpr
+
+from strategies import exprs
+
+
+class TestEncoding:
+    def test_var(self):
+        assert to_sexpr(Var("x")) == ["v", "x"]
+
+    def test_lit_tags(self):
+        assert to_sexpr(Lit(1)) == ["c", "int", 1]
+        assert to_sexpr(Lit(1.5)) == ["c", "float", 1.5]
+        assert to_sexpr(Lit(True)) == ["c", "bool", True]
+        assert to_sexpr(Lit("s")) == ["c", "str", "s"]
+
+    def test_nested(self):
+        e = parse(r"\x. x 1")
+        assert to_sexpr(e) == ["l", "x", ["a", ["v", "x"], ["c", "int", 1]]]
+
+    def test_let(self):
+        e = parse("let a = 1 in a")
+        assert to_sexpr(e) == ["t", "a", ["c", "int", 1], ["v", "a"]]
+
+
+class TestRoundTrip:
+    @given(exprs(max_size=80))
+    def test_sexpr_roundtrip(self, e):
+        assert syntactic_eq(from_sexpr(to_sexpr(e)), e)
+
+    @given(exprs(max_size=80))
+    def test_json_roundtrip(self, e):
+        assert syntactic_eq(loads(dumps(e)), e)
+
+    def test_bool_int_distinction_survives_json(self):
+        assert loads(dumps(Lit(True))).value is True
+        assert loads(dumps(Lit(1))).value == 1
+        assert not isinstance(loads(dumps(Lit(1))).value, bool)
+
+    def test_float_integral_value_survives_json(self):
+        out = loads(dumps(Lit(2.0)))
+        assert isinstance(out.value, float) and out.value == 2.0
+
+    def test_deep_chain(self):
+        e = Var("x")
+        for i in range(20_000):
+            e = Lam(f"v{i}", e)
+        assert syntactic_eq(loads(dumps(e)), e)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            42,
+            [],
+            ["z", "x"],
+            ["v"],
+            ["v", 3],
+            ["c", "int"],
+            ["c", "complex", 1],
+            ["c", "int", "not-an-int"],
+            ["c", "int", True],
+            ["l", 3, ["v", "x"]],
+            ["a", ["v", "x"]],
+            ["t", "x", ["v", "y"]],
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SexprError):
+            from_sexpr(bad)
+
+
+class TestFlatFormatErrors:
+    def test_not_a_document(self):
+        with pytest.raises(SexprError):
+            loads('{"post": []}')
+        with pytest.raises(SexprError):
+            loads('[1,2]')
+
+    def test_unbalanced_stream(self):
+        with pytest.raises(SexprError):
+            loads('{"format":"repro-expr-v1","post":[["v","x"],["v","y"]]}')
+
+    def test_too_few_operands(self):
+        with pytest.raises(SexprError):
+            loads('{"format":"repro-expr-v1","post":[["v","x"],["a"]]}')

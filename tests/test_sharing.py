@@ -1,0 +1,102 @@
+"""Tests for structure sharing / hash-consing."""
+
+from hypothesis import given
+
+from repro.apps.sharing import share_alpha, share_syntactic
+from repro.lang.alpha import alpha_equivalent
+from repro.lang.expr import App, Lam, Var, syntactic_eq
+from repro.lang.parser import parse
+
+from strategies import exprs
+
+
+class TestSyntacticSharing:
+    def test_repeated_subtrees_unify(self):
+        e = parse("g (v + 1) (v + 1)")
+        result = share_syntactic(e)
+        assert result.unique_nodes < result.total_nodes
+        assert result.root.fn.arg is result.root.arg  # type: ignore[union-attr]
+
+    def test_result_syntactically_equal(self):
+        e = parse("let a = f x in (f x) + a")
+        result = share_syntactic(e)
+        assert syntactic_eq(result.root, e)
+
+    def test_alpha_variants_not_shared(self):
+        e = parse(r"pair (\x. x) (\y. y)")
+        result = share_syntactic(e)
+        assert result.root.fn.arg is not result.root.arg  # type: ignore[union-attr]
+
+    def test_sharing_ratio(self):
+        e = parse("g (v + 1) (v + 1)")
+        result = share_syntactic(e)
+        assert result.sharing_ratio > 1.0
+
+    def test_no_repetition_means_no_sharing_of_big_nodes(self):
+        e = parse("a b")
+        result = share_syntactic(e)
+        assert result.unique_nodes == e.size
+
+    @given(exprs(max_size=60))
+    def test_property_equality_preserved(self, e):
+        assert syntactic_eq(share_syntactic(e).root, e)
+
+    @given(exprs(max_size=60))
+    def test_property_dag_never_larger(self, e):
+        result = share_syntactic(e)
+        assert result.unique_nodes <= result.total_nodes == e.size
+
+
+class TestAlphaSharing:
+    def test_alpha_variants_shared(self):
+        e = parse(r"pair (\x. x + 7) (\y. y + 7)")
+        result = share_alpha(e)
+        assert result.root.fn.arg is result.root.arg  # type: ignore[union-attr]
+
+    def test_result_alpha_equivalent(self):
+        e = parse(r"pair (\x. x + 7) (\y. y + 7)")
+        result = share_alpha(e)
+        assert alpha_equivalent(result.root, e)
+
+    @given(exprs(max_size=60))
+    def test_property_alpha_equivalence_preserved(self, e):
+        assert alpha_equivalent(share_alpha(e).root, e)
+
+    @given(exprs(max_size=60))
+    def test_alpha_shares_at_least_as_much_as_syntactic(self, e):
+        assert share_alpha(e).unique_nodes <= share_syntactic(e).unique_nodes
+
+    def test_strictly_better_when_alpha_repetition_exists(self):
+        e = parse(r"pair (\x. x + 7) (\y. y + 7)")
+        assert share_alpha(e).unique_nodes < share_syntactic(e).unique_nodes
+
+
+class TestStats:
+    def test_counts(self):
+        e = parse("g (v + 1) (v + 1)")
+        result = share_syntactic(e)
+        assert result.total_nodes == e.size
+        # g, v, 1, add, (add v), (add v 1), (g ..), ((g ..) ..) = 8
+        assert result.unique_nodes == 8
+
+    def test_deep_chain(self):
+        e = Var("x")
+        for _ in range(10_000):
+            e = Lam("v", App(e, Var("x")))  # same binder name everywhere
+        result = share_syntactic(e)
+        # each level embeds a strictly deeper subtree, so levels cannot
+        # share; only the repeated Var("x") leaves collapse.
+        assert result.total_nodes == e.size
+        assert result.unique_nodes == 2 * 10_000 + 1
+
+
+class TestDeepSharing:
+    def test_identical_chain_levels_share(self):
+        # Perfectly self-similar towers share nothing across LEVELS (each
+        # level contains a distinct-size subtree), but repeated leaves do.
+        e = Var("x")
+        for _ in range(500):
+            e = App(e, Var("x"))
+        result = share_syntactic(e)
+        # all Var("x") leaves collapse to one node: 500 Apps + 1 Var
+        assert result.unique_nodes == 501

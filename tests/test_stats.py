@@ -1,0 +1,104 @@
+"""Tests for expression shape statistics."""
+
+from hypothesis import given
+
+from repro.lang.expr import Lam, Lit, Var
+from repro.lang.parser import parse
+from repro.lang.stats import describe, expr_stats
+
+from strategies import exprs
+
+
+class TestCounts:
+    def test_simple(self):
+        stats = expr_stats(parse(r"let a = f x in \y. a + y"))
+        assert stats.size == 10
+        assert stats.let_count == 1
+        assert stats.lam_count == 1
+        assert stats.binder_count == 2
+        assert stats.lit_count == 0
+        assert stats.free_var_count == 3  # f, x, add
+
+    def test_lit_and_var(self):
+        stats = expr_stats(parse("x + 1"))
+        assert stats.var_count == 2  # add, x
+        assert stats.lit_count == 1
+        assert stats.app_count == 2
+
+    def test_max_binder_depth(self):
+        stats = expr_stats(parse(r"\a. \b. \c. a"))
+        assert stats.max_binder_depth == 3
+
+    def test_let_bound_outside_binder_scope(self):
+        # the binder scopes over body only: bound side adds no nesting.
+        stats = expr_stats(parse("let a = x in let b = a in b"))
+        assert stats.max_binder_depth == 2
+
+    @given(exprs(max_size=80))
+    def test_kind_counts_partition_size(self, e):
+        stats = expr_stats(e)
+        total = (
+            stats.var_count
+            + stats.lit_count
+            + stats.lam_count
+            + stats.app_count
+            + stats.let_count
+        )
+        assert total == stats.size == e.size
+        assert stats.depth == e.depth
+
+
+class TestDerived:
+    def test_imbalance_chain(self):
+        e = Var("x")
+        for i in range(999):
+            e = Lam(f"v{i}", e)
+        stats = expr_stats(e)
+        assert stats.imbalance == 1.0  # pure chain
+
+    def test_imbalance_balanced(self):
+        from repro.gen.random_exprs import random_balanced
+
+        stats = expr_stats(random_balanced(4097, seed=1))
+        assert stats.imbalance < 0.05
+
+    def test_binder_density(self):
+        stats = expr_stats(parse(r"\x. x"))
+        assert stats.binder_density == 0.5
+
+    def test_trivial(self):
+        stats = expr_stats(Lit(1))
+        assert stats.size == 1 and stats.imbalance == 1.0
+
+
+class TestWorkloadProfiles:
+    """The synthetic workloads must match the shape claims in their
+    docstrings (deep let spines, binder-rich, plenty of repetition)."""
+
+    def test_bert_is_let_dominated(self):
+        from repro.workloads.bert import build_bert
+
+        stats = expr_stats(build_bert(2))
+        assert stats.let_count > 100
+        assert stats.max_binder_depth > 100  # a deep ANF spine
+
+    def test_cnn_profile(self):
+        from repro.workloads.mnist_cnn import build_mnist_cnn
+
+        stats = expr_stats(build_mnist_cnn())
+        assert stats.lam_count >= 9  # one inlined activation per pixel
+        assert stats.let_count >= 9
+
+    def test_unbalanced_generator_profile(self):
+        from repro.gen.random_exprs import random_unbalanced
+
+        stats = expr_stats(random_unbalanced(8001, seed=2))
+        assert stats.imbalance > 0.25
+
+
+class TestDescribe:
+    def test_renders(self):
+        text = describe(parse(r"let a = f x in \y. a + y"))
+        assert "10 nodes" in text
+        assert "1 lets" in text
+        assert "free variables" in text

@@ -1,0 +1,142 @@
+"""Unit tests for expression structures and their hash recipes."""
+
+from repro.core.combiners import HashCombiners
+from repro.core.position_tree import PTHere, PTJoin
+from repro.core.structure import (
+    SApp,
+    SLam,
+    SLet,
+    SLit,
+    SVar,
+    hash_structure,
+    sapp_hash,
+    slam_hash,
+    slet_hash,
+    slit_hash,
+    structure_equal,
+    structure_tag,
+    svar_hash,
+    top_hash,
+)
+
+
+class TestSizesAndTags:
+    def test_sizes(self):
+        assert SVar.size == 1
+        assert SLit(3).size == 1
+        assert SLam(None, SVar).size == 2
+        assert SApp(True, SVar, SVar).size == 3
+        assert SLet(None, True, SVar, SVar).size == 3
+
+    def test_tag_is_size(self):
+        assert structure_tag(17) == 17
+
+    def test_tag_property_strictly_decreasing_into_substructures(self):
+        # the Section 4.8 requirement: a structure's tag differs from all
+        # of its substructures' tags.
+        inner = SApp(True, SVar, SVar)
+        outer = SLam(None, inner)
+        assert structure_tag(outer.size) != structure_tag(inner.size)
+        assert structure_tag(inner.size) != structure_tag(SVar.size)
+
+
+class TestEquality:
+    def test_svar_singleton(self):
+        assert structure_equal(SVar, SVar)
+
+    def test_lit_values_and_types(self):
+        assert structure_equal(SLit(3), SLit(3))
+        assert not structure_equal(SLit(3), SLit(4))
+        assert not structure_equal(SLit(1), SLit(1.0))
+
+    def test_lam_pos_matters(self):
+        a = SLam(PTHere, SVar)
+        b = SLam(PTHere, SVar)
+        c = SLam(None, SVar)
+        assert structure_equal(a, b)
+        assert not structure_equal(a, c)
+
+    def test_app_flag_matters(self):
+        a = SApp(True, SVar, SVar)
+        b = SApp(False, SVar, SVar)
+        assert not structure_equal(a, b)
+
+    def test_let_fields(self):
+        a = SLet(PTHere, True, SVar, SVar)
+        b = SLet(PTHere, True, SVar, SVar)
+        c = SLet(None, True, SVar, SVar)
+        d = SLet(PTHere, False, SVar, SVar)
+        assert structure_equal(a, b)
+        assert not structure_equal(a, c)
+        assert not structure_equal(a, d)
+
+    def test_kind_mismatch(self):
+        assert not structure_equal(SVar, SLit(0))
+
+    def test_deep(self):
+        a = SVar
+        b = SVar
+        for _ in range(20_000):
+            a = SLam(None, a)
+            b = SLam(None, b)
+        assert structure_equal(a, b)
+
+
+class TestHashing:
+    def setup_method(self):
+        self.c = HashCombiners(seed=77)
+
+    def test_svar(self):
+        assert hash_structure(self.c, SVar) == svar_hash(self.c)
+
+    def test_slit(self):
+        assert hash_structure(self.c, SLit(42)) == slit_hash(self.c, 42)
+
+    def test_slam_composition(self):
+        s = SLam(PTHere, SVar)
+        from repro.core.position_tree import pt_here_hash
+
+        expected = slam_hash(self.c, 2, pt_here_hash(self.c), svar_hash(self.c))
+        assert hash_structure(self.c, s) == expected
+
+    def test_slam_nothing_pos(self):
+        a = hash_structure(self.c, SLam(PTHere, SVar))
+        b = hash_structure(self.c, SLam(None, SVar))
+        assert a != b
+
+    def test_sapp_flag_in_hash(self):
+        v = svar_hash(self.c)
+        assert sapp_hash(self.c, 3, True, v, v) != sapp_hash(self.c, 3, False, v, v)
+
+    def test_sapp_order_in_hash(self):
+        lit = slit_hash(self.c, 1)
+        v = svar_hash(self.c)
+        assert sapp_hash(self.c, 3, True, v, lit) != sapp_hash(self.c, 3, True, lit, v)
+
+    def test_slet_composition(self):
+        s = SLet(PTHere, False, SVar, SLit(1))
+        from repro.core.position_tree import pt_here_hash
+
+        expected = slet_hash(
+            self.c, 3, pt_here_hash(self.c), False, svar_hash(self.c), slit_hash(self.c, 1)
+        )
+        assert hash_structure(self.c, s) == expected
+
+    def test_size_salts_hash(self):
+        # same children, structurally impossible but recipe-level check:
+        v = svar_hash(self.c)
+        assert slam_hash(self.c, 2, None, v) != slam_hash(self.c, 3, None, v)
+
+    def test_top_hash_pairs(self):
+        assert top_hash(self.c, 1, 2) != top_hash(self.c, 2, 1)
+
+    def test_join_pos_in_structure_hash(self):
+        a = SLam(PTJoin(3, None, PTHere), SApp(True, SVar, SVar))
+        b = SLam(PTJoin(4, None, PTHere), SApp(True, SVar, SVar))
+        assert hash_structure(self.c, a) != hash_structure(self.c, b)
+
+    def test_deep_structure(self):
+        s = SVar
+        for _ in range(20_000):
+            s = SLam(None, s)
+        assert hash_structure(self.c, s) is not None

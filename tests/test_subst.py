@@ -1,0 +1,127 @@
+"""Tests for capture-avoiding substitution."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang.alpha import alpha_equivalent
+from repro.lang.expr import App, Lam, Let, Lit, Var, syntactic_eq
+from repro.lang.names import free_vars
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.lang.subst import substitute
+
+from strategies import exprs
+
+
+class TestBasics:
+    def test_simple_replacement(self):
+        out = substitute(parse("x + 1"), {"x": Lit(5)})
+        assert pretty(out) == "5 + 1"
+
+    def test_multiple_names(self):
+        out = substitute(parse("x + y"), {"x": Lit(1), "y": Lit(2)})
+        assert pretty(out) == "1 + 2"
+
+    def test_replacement_is_expression(self):
+        out = substitute(parse("f x"), {"x": parse("g 3")})
+        assert pretty(out) == "f (g 3)"
+
+    def test_empty_mapping_is_identity(self):
+        e = parse(r"\x. x")
+        assert substitute(e, {}) is e
+
+    def test_no_occurrence_returns_same_object(self):
+        e = parse(r"\x. x + 1")
+        assert substitute(e, {"zz": Lit(9)}) is e
+
+    def test_all_occurrences(self):
+        out = substitute(parse("x * x + x"), {"x": Lit(2)})
+        assert pretty(out) == "2 * 2 + 2"
+
+
+class TestScoping:
+    def test_binder_shadows(self):
+        out = substitute(parse(r"x (\x. x)"), {"x": Lit(1)})
+        assert pretty(out) == "1 (\\x. x)"
+
+    def test_let_body_shadowed_bound_not(self):
+        e = Let("x", Var("x"), Var("x"))
+        out = substitute(e, {"x": Lit(7)})
+        assert isinstance(out, Let)
+        assert pretty(out.bound) == "7"
+        assert pretty(out.body) == "x"
+
+    def test_deeply_shadowed(self):
+        out = substitute(parse(r"x + (\y. x + (\x. x) y)"), {"x": Lit(3)})
+        assert pretty(out) == "3 + (\\y. 3 + (\\x. x) y)"
+
+
+class TestCaptureAvoidance:
+    def test_lambda_capture_renamed(self):
+        # substituting y := x under \x must not capture
+        e = parse(r"\x. y")
+        out = substitute(e, {"y": Var("x")})
+        assert isinstance(out, Lam)
+        assert out.binder != "x"
+        assert out.body.name == "x"  # the free x we inserted
+        assert free_vars(out) == {"x"}
+
+    def test_let_capture_renamed(self):
+        e = parse("let x = 1 in y")
+        out = substitute(e, {"y": Var("x")})
+        assert isinstance(out, Let)
+        assert out.binder != "x"
+        assert free_vars(out) == {"x"}
+
+    def test_capture_rename_preserves_bound_occurrences(self):
+        e = parse(r"\x. x + y")
+        out = substitute(e, {"y": Var("x")})
+        # result must be alpha-equivalent to \z. z + x
+        assert alpha_equivalent(out, parse(r"\z. z + x"))
+
+    def test_no_rename_without_risk(self):
+        e = parse(r"\x. y")
+        out = substitute(e, {"y": Var("z")})
+        assert out.binder == "x"
+
+    def test_fresh_name_avoids_everything(self):
+        # the obvious fresh candidates already exist in the term
+        e = parse(r"\x. \x0. x0 (x y)")
+        out = substitute(e, {"y": Var("x")})
+        assert alpha_equivalent(out, parse(r"\a. \b. b (a x)"))
+
+
+class TestSemantics:
+    def test_beta_reduction_equivalence(self):
+        from repro.lang.evaluator import evaluate
+
+        fn = parse(r"\x. x * x + x")
+        arg = parse("2 + 3")
+        beta = substitute(fn.body, {"x": arg})
+        assert evaluate(beta) == evaluate(App(fn, arg))
+
+    @given(exprs(max_size=40), st.integers(0, 100))
+    def test_substituting_fresh_var_then_renaming_back(self, e, value):
+        # substituting a variable that does not occur is identity
+        out = substitute(e, {"@never@": Lit(value)})
+        assert out is e
+
+    @given(exprs(max_size=40))
+    def test_identity_substitution_alpha_neutral(self, e):
+        # x := x is alpha-neutral even where x occurs free
+        for name in sorted(free_vars(e))[:2]:
+            out = substitute(e, {name: Var(name)})
+            assert alpha_equivalent(out, e)
+
+
+class TestDeep:
+    def test_deep_chain(self):
+        e = Var("target")
+        for i in range(20_000):
+            e = Lam(f"v{i}", e)
+        out = substitute(e, {"target": Lit(1)})
+        assert out.size == e.size
+        body = out
+        for _ in range(20_000):
+            body = body.body
+        assert isinstance(body, Lit)

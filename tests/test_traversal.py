@@ -1,0 +1,173 @@
+"""Unit tests for iterative traversal utilities."""
+
+import pytest
+from hypothesis import given
+
+from repro.lang.expr import App, Lam, Let, Lit, Var, syntactic_eq
+from repro.lang.parser import parse
+from repro.lang.traversal import (
+    all_paths,
+    count_nodes,
+    max_depth,
+    postorder,
+    preorder,
+    preorder_with_paths,
+    rebuild_bottom_up,
+    replace_at,
+    subexpression_at,
+)
+from repro.lang.traversal import identity_rebuild
+
+from strategies import exprs
+
+
+def sample():
+    return parse(r"let a = f x in \y. a + y")
+
+
+class TestOrders:
+    def test_preorder_root_first(self):
+        e = sample()
+        nodes = list(preorder(e))
+        assert nodes[0] is e
+        assert len(nodes) == e.size
+
+    def test_preorder_left_to_right(self):
+        e = App(Var("l"), Var("r"))
+        kinds = [n.name for n in preorder(e) if isinstance(n, Var)]
+        assert kinds == ["l", "r"]
+
+    def test_postorder_children_first(self):
+        e = sample()
+        seen: set[int] = set()
+        for node in postorder(e):
+            for child in node.children():
+                assert id(child) in seen
+            seen.add(id(node))
+        assert len(seen) == e.size
+
+    def test_postorder_root_last(self):
+        e = sample()
+        assert list(postorder(e))[-1] is e
+
+    @given(exprs(max_size=60))
+    def test_orders_cover_all_nodes(self, e):
+        assert len(list(preorder(e))) == e.size
+        assert len(list(postorder(e))) == e.size
+
+
+class TestPaths:
+    def test_root_path(self):
+        e = sample()
+        paths = dict(preorder_with_paths(e))
+        assert paths[()] is e
+
+    def test_path_lookup_consistency(self):
+        e = sample()
+        for path, node in preorder_with_paths(e):
+            assert subexpression_at(e, path) is node
+
+    def test_all_paths_count(self):
+        e = sample()
+        assert len(all_paths(e)) == e.size
+
+    def test_let_child_indices(self):
+        e = Let("x", Var("a"), Var("b"))
+        assert subexpression_at(e, (0,)).name == "a"  # type: ignore[union-attr]
+        assert subexpression_at(e, (1,)).name == "b"  # type: ignore[union-attr]
+
+    def test_invalid_path(self):
+        with pytest.raises(IndexError):
+            subexpression_at(Var("x"), (0,))
+
+
+class TestReplaceAt:
+    def test_replace_root(self):
+        e = sample()
+        new = Var("z")
+        assert replace_at(e, (), new) is new
+
+    def test_replace_shares_off_path(self):
+        e = App(App(Var("a"), Var("b")), Var("c"))
+        out = replace_at(e, (1,), Var("z"))
+        assert out.fn is e.fn  # type: ignore[union-attr]
+        assert out.arg.name == "z"  # type: ignore[union-attr]
+
+    def test_replace_in_lam(self):
+        e = Lam("x", Var("x"))
+        out = replace_at(e, (0,), Lit(1))
+        assert isinstance(out, Lam) and out.binder == "x"
+        assert isinstance(out.body, Lit)
+
+    def test_replace_let_bound_and_body(self):
+        e = Let("x", Var("a"), Var("b"))
+        out0 = replace_at(e, (0,), Lit(9))
+        out1 = replace_at(e, (1,), Lit(9))
+        assert isinstance(out0.bound, Lit)  # type: ignore[union-attr]
+        assert isinstance(out1.body, Lit)  # type: ignore[union-attr]
+
+    def test_replace_preserves_original(self):
+        e = sample()
+        before = e.size
+        replace_at(e, (0,), Var("z"))
+        assert e.size == before
+
+    def test_bad_child_index(self):
+        with pytest.raises(IndexError):
+            replace_at(Lam("x", Var("x")), (1,), Var("y"))
+
+    @given(exprs(max_size=50))
+    def test_replace_identity(self, e):
+        for path, node in preorder_with_paths(e):
+            out = replace_at(e, path, node)
+            assert syntactic_eq(out, e)
+            break  # one path per example keeps this fast
+
+
+class TestRecomputation:
+    def test_count_nodes_matches_size(self):
+        e = sample()
+        assert count_nodes(e) == e.size
+
+    def test_max_depth_matches_depth(self):
+        e = sample()
+        assert max_depth(e) == e.depth
+
+    @given(exprs(max_size=80))
+    def test_cached_invariants(self, e):
+        assert count_nodes(e) == e.size
+        assert max_depth(e) == e.depth
+
+    def test_deep_chain(self):
+        e = Var("x")
+        for i in range(30_000):
+            e = Lam(f"v{i}", e)
+        assert count_nodes(e) == 30_001
+        assert max_depth(e) == 30_001
+
+
+class TestRebuildBottomUp:
+    def test_identity_rebuild(self):
+        e = sample()
+        out = rebuild_bottom_up(e, identity_rebuild)
+        assert out is not e
+        assert syntactic_eq(out, e)
+
+    def test_custom_make_sees_children(self):
+        e = parse("f (g x)")
+        sizes = []
+
+        def make(node, kids):
+            sizes.append((node.kind, len(kids)))
+            return identity_rebuild(node, kids)
+
+        rebuild_bottom_up(e, make)
+        assert ("App", 2) in sizes
+        assert ("Var", 0) in sizes
+
+    def test_deep_chain(self):
+        e = Var("x")
+        for i in range(20_000):
+            e = Lam(f"v{i}", e)
+        out = rebuild_bottom_up(e, identity_rebuild)
+        assert out.size == e.size

@@ -1,0 +1,108 @@
+"""Hash-width matrix: the core invariants at every supported width.
+
+Theorem 6.7 is parametric in ``b``; these tests pin the implementation
+to that parametricity -- everything that holds at the 64-bit default
+must hold at 16 bits (Appendix B's width), at odd widths, and in the
+two-lane 128-bit configuration the paper recommends for "very
+large-scale applications".
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.combiners import HashCombiners
+from repro.core.esummary import hash_esummary_tree, summarise_all_tagged
+from repro.core.hashed import alpha_hash_all
+from repro.core.incremental import IncrementalHasher
+from repro.core.linear_lazy import alpha_hash_all_lazy
+from repro.gen.random_exprs import alpha_rename, random_expr
+from repro.lang.expr import Lit
+from repro.lang.traversal import preorder, replace_at
+
+WIDTHS = (16, 32, 64, 100, 128)
+
+
+def _expr(seed: int):
+    return random_expr(70 + seed % 30, seed=seed, p_let=0.25, p_lit=0.15)
+
+
+@pytest.mark.parametrize("bits", WIDTHS)
+class TestPerWidth:
+    def test_outputs_in_range(self, bits):
+        combiners = HashCombiners(bits=bits, seed=bits)
+        hashes = alpha_hash_all(_expr(1), combiners)
+        for _, _, value in hashes.items():
+            assert 0 <= value < (1 << bits)
+
+    def test_alpha_invariance(self, bits):
+        combiners = HashCombiners(bits=bits, seed=bits)
+        e = _expr(2)
+        renamed = alpha_rename(e)
+        assert (
+            alpha_hash_all(e, combiners).root_hash
+            == alpha_hash_all(renamed, combiners).root_hash
+        )
+
+    def test_step_agreement(self, bits):
+        """Fast Step-2 == hash of materialised Step-1, at every width."""
+        combiners = HashCombiners(bits=bits, seed=bits + 1)
+        e = _expr(3)
+        fast = alpha_hash_all(e, combiners)
+        summaries = summarise_all_tagged(e)
+        for node in preorder(e):
+            assert fast.hash_of(node) == hash_esummary_tree(
+                combiners, summaries[id(node)]
+            )
+
+    def test_lazy_alpha_invariance(self, bits):
+        combiners = HashCombiners(bits=bits, seed=bits + 2)
+        e = _expr(4)
+        renamed = alpha_rename(e)
+        assert (
+            alpha_hash_all_lazy(e, combiners).root_hash
+            == alpha_hash_all_lazy(renamed, combiners).root_hash
+        )
+
+    def test_incremental_agreement(self, bits):
+        combiners = HashCombiners(bits=bits, seed=bits + 3)
+        e = _expr(5)
+        hasher = IncrementalHasher(e, combiners)
+        from repro.lang.traversal import preorder_with_paths
+
+        path = [p for p, n in preorder_with_paths(e) if n.size <= 4][0]
+        hasher.replace(path, Lit(1))
+        batch = alpha_hash_all(replace_at(e, path, Lit(1)), combiners)
+        assert hasher.root_hash == batch.root_hash
+
+    def test_widths_are_independent_families(self, bits):
+        """The same seed at different widths must not produce related
+        hashes (each width re-derives its combiner family)."""
+        e = _expr(6)
+        value = alpha_hash_all(e, HashCombiners(bits=bits, seed=9)).root_hash
+        value64 = alpha_hash_all(e, HashCombiners(bits=64, seed=9)).root_hash
+        if bits != 64:
+            assert value != (value64 & ((1 << bits) - 1)) or bits > 64
+
+
+class TestCollisionRatesByWidth:
+    def test_smaller_widths_collide_more(self):
+        """Sanity: at 8 bits distinct expressions collide readily, at 64
+        they never do (on this sample)."""
+        small = HashCombiners(bits=8, seed=1)
+        big = HashCombiners(bits=64, seed=1)
+        seen_small: set[int] = set()
+        seen_big: set[int] = set()
+        collisions_small = 0
+        collisions_big = 0
+        for seed in range(300):
+            e = random_expr(20 + seed % 11, seed=seed)
+            value_small = alpha_hash_all(e, small).root_hash
+            value_big = alpha_hash_all(e, big).root_hash
+            if value_small in seen_small:
+                collisions_small += 1
+            if value_big in seen_big:
+                collisions_big += 1
+            seen_small.add(value_small)
+            seen_big.add(value_big)
+        assert collisions_small > 0
+        assert collisions_big == 0

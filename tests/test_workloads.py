@@ -1,0 +1,112 @@
+"""Tests for the synthetic ML workloads (Table 2 / Figure 3 inputs)."""
+
+import pytest
+
+from repro.core.equivalence import equivalence_classes
+from repro.lang.expr import syntactic_eq
+from repro.lang.names import has_unique_binders
+from repro.lang.traversal import preorder
+from repro.workloads import TABLE2_WORKLOADS
+from repro.workloads.bert import (
+    BERT12_NODES,
+    BERT_BASE,
+    BERT_PER_LAYER,
+    bert_target_nodes,
+    build_bert,
+)
+from repro.workloads.common import pad_to, sum_chain
+from repro.workloads.gmm import GMM_NODES, build_gmm
+from repro.workloads.mnist_cnn import MNIST_CNN_NODES, build_mnist_cnn
+
+
+class TestNodeCounts:
+    def test_mnist_cnn_matches_table2(self):
+        assert build_mnist_cnn().size == MNIST_CNN_NODES == 840
+
+    def test_gmm_matches_table2(self):
+        assert build_gmm().size == GMM_NODES == 1810
+
+    def test_bert12_matches_table2(self):
+        assert build_bert(12).size == BERT12_NODES == 12975
+
+    def test_bert_affine_scaling(self):
+        for layers in (1, 2, 3, 5):
+            assert build_bert(layers).size == BERT_BASE + layers * BERT_PER_LAYER
+
+    def test_bert_target_helper(self):
+        assert bert_target_nodes(12) == 12975
+
+    def test_registry_counts(self):
+        for name, (builder, reported) in TABLE2_WORKLOADS.items():
+            assert builder().size == reported, name
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize(
+        "builder",
+        [build_mnist_cnn, build_gmm, lambda: build_bert(2)],
+    )
+    def test_unique_binders(self, builder):
+        assert has_unique_binders(builder())
+
+    @pytest.mark.parametrize(
+        "builder",
+        [build_mnist_cnn, build_gmm, lambda: build_bert(2)],
+    )
+    def test_deterministic(self, builder):
+        assert syntactic_eq(builder(), builder())
+
+    def test_bert_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            build_bert(0)
+
+
+class TestRepetitionStructure:
+    """The workloads must contain the alpha-equivalent repetition the
+    real compiler dumps have -- otherwise they would not exercise the
+    problem the paper solves."""
+
+    def test_cnn_has_repeated_blocks(self):
+        classes = equivalence_classes(build_mnist_cnn(), min_size=4)
+        assert classes, "expected repeated subexpressions"
+        assert classes[0].count >= 2
+
+    def test_gmm_has_repeated_blocks(self):
+        classes = equivalence_classes(build_gmm(), min_size=4)
+        assert classes
+
+    def test_bert_has_repeated_blocks(self):
+        classes = equivalence_classes(build_bert(2), min_size=4)
+        assert classes
+
+    def test_bert_layers_not_wholesale_equivalent(self):
+        # distinct per-layer weights: layer bodies must NOT collapse.
+        e = build_bert(2)
+        lets = [n for n in preorder(e) if n.kind == "Let"]
+        assert len(lets) > 100  # a deep ANF spine
+
+    def test_workloads_have_deep_let_spines(self):
+        for name, (builder, _) in TABLE2_WORKLOADS.items():
+            e = builder()
+            assert e.depth > 30, name
+
+
+class TestPadTo:
+    def test_pads_exactly(self):
+        from repro.lang.expr import Var
+
+        for target in range(1, 12):
+            e = pad_to(Var("x"), target)
+            assert e.size == target
+
+    def test_rejects_shrinking(self):
+        from repro.lang.expr import Var
+
+        with pytest.raises(ValueError):
+            pad_to(sum_chain([Var("a"), Var("b")]), 2)
+
+    def test_padding_preserves_unique_binders(self):
+        from repro.lang.expr import Var
+
+        e = pad_to(Var("x"), 42)
+        assert has_unique_binders(e)

@@ -1,0 +1,183 @@
+"""Tests for the expression zipper."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang.expr import App, Lam, Let, Lit, Var, syntactic_eq
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.lang.traversal import preorder_with_paths, replace_at
+from repro.lang.zipper import Zipper, ZipperError
+
+from strategies import exprs
+
+
+def sample():
+    return parse(r"let a = f x in \y. a + y")
+
+
+class TestNavigation:
+    def test_root(self):
+        z = Zipper.from_expr(sample())
+        assert z.is_root and z.path == () and z.depth == 0
+
+    def test_down_up_identity(self):
+        e = sample()
+        z = Zipper.from_expr(e).down(1).up()
+        assert z.focus is e
+
+    def test_down_reaches_children(self):
+        e = sample()
+        z = Zipper.from_expr(e)
+        assert z.down(0).focus is e.bound
+        assert z.down(1).focus is e.body
+
+    def test_path_accumulates(self):
+        z = Zipper.from_expr(sample()).down(1).down(0)
+        assert z.path == (1, 0)
+
+    def test_at_path(self):
+        e = sample()
+        z = Zipper.at_path(e, (1, 0))
+        assert z.focus is e.body.body
+
+    def test_siblings(self):
+        e = parse("f x")
+        z = Zipper.from_expr(e).down(0)
+        assert z.right().focus is e.arg
+        assert z.right().left().focus is e.fn
+
+    def test_top_from_deep(self):
+        e = sample()
+        z = Zipper.at_path(e, (1, 0, 0, 1))
+        assert z.top().focus is e
+
+    def test_invalid_moves(self):
+        z = Zipper.from_expr(sample())
+        with pytest.raises(ZipperError):
+            z.up()
+        with pytest.raises(ZipperError):
+            z.left()
+        with pytest.raises(ZipperError):
+            z.down(5)
+        with pytest.raises(ZipperError):
+            Zipper.from_expr(Var("x")).down(0)
+
+    @given(exprs(max_size=50), st.integers(0, 10**6))
+    def test_at_path_matches_traversal(self, e, pick):
+        paths = [p for p, _ in preorder_with_paths(e)]
+        path = paths[pick % len(paths)]
+        z = Zipper.at_path(e, path)
+        assert z.path == path
+
+
+class TestScope:
+    def test_binders_in_scope(self):
+        e = parse(r"let a = f x in \y. a + y")
+        z = Zipper.at_path(e, (1, 0, 1))  # the `a` occurrence in a + y
+        assert z.binders_in_scope() == ["a", "y"]
+
+    def test_let_bound_side_excludes_binder(self):
+        e = parse("let a = f x in a")
+        z = Zipper.at_path(e, (0,))  # the bound expression
+        assert z.binders_in_scope() == []
+
+    def test_root_scope_empty(self):
+        assert Zipper.from_expr(sample()).binders_in_scope() == []
+
+
+class TestEditing:
+    def test_replace_and_rebuild(self):
+        e = parse("(a + (v + 7)) * (v + 7)")
+        z = Zipper.at_path(e, (1,)).replace(parse("q"))
+        rebuilt = z.to_expr()
+        assert pretty(rebuilt) == "(a + (v + 7)) * q"
+
+    def test_edit_matches_replace_at(self):
+        e = sample()
+        new = Lit(9)
+        via_zipper = Zipper.at_path(e, (1, 0)).replace(new).to_expr()
+        via_replace = replace_at(e, (1, 0), new)
+        assert syntactic_eq(via_zipper, via_replace)
+
+    def test_unchanged_rebuild_shares_everything(self):
+        e = sample()
+        z = Zipper.at_path(e, (1, 0))
+        assert z.to_expr() is e
+
+    def test_off_path_sharing(self):
+        e = parse("(f a) (g b)")
+        rebuilt = Zipper.at_path(e, (1, 1)).replace(Var("c")).to_expr()
+        assert rebuilt.fn is e.fn  # untouched left subtree shared
+
+    def test_modify(self):
+        e = parse("f 1")
+        z = Zipper.at_path(e, (1,)).modify(lambda lit: Lit(lit.value + 1))
+        assert pretty(z.to_expr()) == "f 2"
+
+    def test_multiple_edits(self):
+        e = parse("f a b")
+        z = Zipper.at_path(e, (0, 1)).replace(Var("x"))
+        z = Zipper.at_path(z.to_expr(), (1,)).replace(Var("y"))
+        assert pretty(z.to_expr()) == "f x y"
+
+    def test_replace_rejects_non_expr(self):
+        with pytest.raises(TypeError):
+            Zipper.from_expr(sample()).replace("nope")
+
+    @given(exprs(max_size=50), st.integers(0, 10**6))
+    def test_rebuild_equals_replace_at(self, e, pick):
+        paths = [p for p, _ in preorder_with_paths(e)]
+        path = paths[pick % len(paths)]
+        replacement = Lit(42)
+        assert syntactic_eq(
+            Zipper.at_path(e, path).replace(replacement).to_expr(),
+            replace_at(e, path, replacement),
+        )
+
+
+class TestSearch:
+    def test_find(self):
+        e = parse(r"let a = f x in \y. a + y")
+        z = Zipper.from_expr(e).find(lambda n: n.kind == "Lam")
+        assert z is not None and z.focus.kind == "Lam"
+
+    def test_find_returns_first_preorder(self):
+        e = parse("g 1 2")
+        z = Zipper.from_expr(e).find(lambda n: n.kind == "Lit")
+        assert z.focus.value == 1
+
+    def test_find_none(self):
+        assert Zipper.from_expr(parse("a b")).find(lambda n: n.kind == "Lit") is None
+
+    def test_find_from_subfocus(self):
+        e = parse("pair (f 1) (g 2)")
+        z = Zipper.at_path(e, (1,)).find(lambda n: n.kind == "Lit")
+        assert z.focus.value == 2
+
+
+class TestIntegrationWithIncremental:
+    def test_zipper_paths_feed_incremental_hasher(self):
+        from repro.core.hashed import alpha_hash_all
+        from repro.core.incremental import IncrementalHasher
+
+        e = parse("(a + (v + 7)) * (v + 7)")
+        hasher = IncrementalHasher(e)
+        z = Zipper.from_expr(e).find(
+            lambda n: n.kind == "App" and n.size == 5 and pretty(n) == "v + 7"
+        )
+        new = parse("v + 8")
+        hasher.replace(z.path, new)
+        expected = alpha_hash_all(z.replace(new).to_expr())
+        assert hasher.root_hash == expected.root_hash
+
+    def test_deep_navigation(self):
+        e = Var("x")
+        for i in range(10_000):
+            e = Lam(f"v{i}", e)
+        z = Zipper.from_expr(e)
+        for _ in range(10_000):
+            z = z.down(0)
+        assert isinstance(z.focus, Var)
+        assert z.replace(Lit(1)).to_expr().size == e.size
