@@ -1,0 +1,194 @@
+"""Store benchmark: corpus re-hashing through :class:`ExprStore`.
+
+The store's claim: a corpus whose items repeat and overlap (shared
+subtree objects -- what any hash-consing pipeline produces, and what CSE
+rounds leave behind after spine-only rewrites) is hashed once per unique
+subtree, not once per occurrence.  This harness builds such a corpus
+(>= 50% duplicate items by construction) and compares
+
+* **fresh** -- an :func:`alpha_hash_all` pass per corpus item, the
+  pre-store behaviour;
+* **store (cold)** -- one :meth:`ExprStore.hash_corpus` over the same
+  corpus with an empty store;
+* **store (warm)** -- the same call again, everything memoised.
+
+Run under pytest-benchmark like the rest of the suite, or standalone as
+a CI smoke gate::
+
+    PYTHONPATH=src python benchmarks/bench_store.py --smoke
+
+which fails loudly (exit 1) unless the cold store pass beats the fresh
+passes and reports a cache hit-rate > 0.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.hashed import alpha_hash_all
+from repro.gen.random_exprs import random_expr
+from repro.lang.expr import App, Expr
+from repro.store import ExprStore
+
+#: Fraction of corpus items that repeat or recombine earlier items.
+DUP_FRACTION = 0.6
+
+
+def make_corpus(
+    n_items: int, item_size: int, dup_fraction: float = DUP_FRACTION, seed: int = 42
+) -> list[Expr]:
+    """A corpus with ``dup_fraction`` duplicate/overlapping items.
+
+    Duplicates reuse earlier items as shared objects -- half verbatim,
+    half recombined under a fresh ``App`` so overlap (not just repetition)
+    is exercised.  The rest are fresh random expressions in the
+    Section 7.1 families.
+    """
+    rng = random.Random(seed)
+    pool: list[Expr] = []
+    for _ in range(n_items):
+        if pool and rng.random() < dup_fraction:
+            if rng.random() < 0.5:
+                expr: Expr = rng.choice(pool)
+            else:
+                expr = App(rng.choice(pool), rng.choice(pool))
+        else:
+            expr = random_expr(
+                item_size,
+                rng=rng,
+                shape=rng.choice(("balanced", "unbalanced")),
+                p_let=0.3,
+                p_lit=0.1,
+            )
+        pool.append(expr)
+    return pool
+
+
+def fresh_hash_corpus(corpus: list[Expr]) -> list[int]:
+    """The pre-store behaviour: one full hashing pass per item."""
+    return [alpha_hash_all(expr).root_hash for expr in corpus]
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark cells
+# ---------------------------------------------------------------------------
+
+_N_ITEMS = 60
+_ITEM_SIZE = 400
+
+
+def _bench_corpus() -> list[Expr]:
+    return make_corpus(_N_ITEMS, _ITEM_SIZE)
+
+
+def test_fresh_rehash(benchmark):
+    corpus = _bench_corpus()
+    benchmark.extra_info["corpus_nodes"] = sum(e.size for e in corpus)
+    benchmark.pedantic(
+        fresh_hash_corpus, args=(corpus,), rounds=3, iterations=1, warmup_rounds=1
+    )
+
+
+def test_store_rehash_cold(benchmark):
+    corpus = _bench_corpus()
+    benchmark.extra_info["corpus_nodes"] = sum(e.size for e in corpus)
+
+    def cold():
+        return ExprStore().hash_corpus(corpus)
+
+    benchmark.pedantic(cold, rounds=3, iterations=1, warmup_rounds=1)
+    stats = ExprStore()
+    stats.hash_corpus(corpus)
+    benchmark.extra_info["hit_rate"] = round(stats.stats.hit_rate, 4)
+
+
+def test_store_rehash_warm(benchmark):
+    corpus = _bench_corpus()
+    store = ExprStore()
+    store.hash_corpus(corpus)
+    benchmark.pedantic(
+        store.hash_corpus, args=(corpus,), rounds=3, iterations=1, warmup_rounds=1
+    )
+
+
+def test_store_matches_fresh():
+    corpus = _bench_corpus()
+    assert ExprStore().hash_corpus(corpus) == fresh_hash_corpus(corpus)
+
+
+# ---------------------------------------------------------------------------
+# standalone smoke gate (CI)
+# ---------------------------------------------------------------------------
+
+
+def _best_of(fn, repeats: int) -> float:
+    import time
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def smoke(n_items: int, item_size: int, repeats: int) -> int:
+    corpus = make_corpus(n_items, item_size)
+    total_nodes = sum(e.size for e in corpus)
+
+    expected = fresh_hash_corpus(corpus)
+    if ExprStore().hash_corpus(corpus) != expected:
+        print("FAIL: store hashes disagree with fresh AlphaHashes passes")
+        return 1
+
+    fresh_time = _best_of(lambda: fresh_hash_corpus(corpus), repeats)
+    cold_time = _best_of(lambda: ExprStore().hash_corpus(corpus), repeats)
+    warm_store = ExprStore()
+    warm_store.hash_corpus(corpus)
+    warm_time = _best_of(lambda: warm_store.hash_corpus(corpus), repeats)
+
+    probe = ExprStore()
+    probe.hash_corpus(corpus)
+    hit_rate = probe.stats.hit_rate
+
+    print(
+        f"corpus: {n_items} items, {total_nodes} nodes "
+        f"({DUP_FRACTION:.0%} duplicate/overlapping items)"
+    )
+    print(
+        f"fresh {fresh_time * 1e3:8.1f} ms   "
+        f"store cold {cold_time * 1e3:8.1f} ms ({fresh_time / cold_time:.2f}x)   "
+        f"store warm {warm_time * 1e3:8.1f} ms"
+    )
+    print(f"cache hit-rate {hit_rate:.1%}  stats {probe.stats}")
+
+    ok = True
+    if not cold_time < fresh_time:
+        print("FAIL: cold store pass not faster than fresh passes")
+        ok = False
+    if not hit_rate > 0:
+        print("FAIL: cache hit-rate is zero")
+        ok = False
+    if ok:
+        print("OK: store beats fresh re-hashing with a warm cache")
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="quick pass/fail perf gate"
+    )
+    parser.add_argument("--items", type=int, default=60)
+    parser.add_argument("--item-size", type=int, default=400)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("run under pytest for full benchmarks, or pass --smoke")
+    return smoke(args.items, args.item_size, args.repeats)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

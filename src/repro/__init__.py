@@ -19,6 +19,8 @@ Package map:
 * :mod:`repro.baselines` -- Table 1 comparison algorithms;
 * :mod:`repro.gen`, :mod:`repro.workloads` -- benchmark inputs;
 * :mod:`repro.apps` -- CSE, structure sharing, ML graph preprocessing;
+* :mod:`repro.store` -- hash-consed expression store (interning modulo
+  alpha-equivalence with memoized hashing);
 * :mod:`repro.analysis`, :mod:`repro.evalharness` -- measurement and
   per-table/figure regeneration harnesses.
 """
@@ -33,6 +35,7 @@ from repro.core import (
     alpha_hash_root,
     equivalence_classes,
 )
+from repro.store import ExprStore, StoreStats
 from repro.lang import (
     App,
     Expr,
@@ -63,6 +66,8 @@ __all__ = [
     "alpha_hash_all",
     "alpha_hash_root",
     "equivalence_classes",
+    "ExprStore",
+    "StoreStats",
     "App",
     "Expr",
     "Lam",

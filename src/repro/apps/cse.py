@@ -33,13 +33,16 @@ Soundness
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.combiners import HashCombiners
 from repro.core.equivalence import EquivalenceClass, equivalence_classes
 from repro.lang.expr import Expr, Let, Var
 from repro.lang.names import NameSupply, all_names, binder_names, free_vars, has_unique_binders, uniquify_binders
 from repro.lang.traversal import replace_at, subexpression_at
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store import ExprStore
 
 __all__ = ["cse", "CSEResult", "CSERound", "class_saving"]
 
@@ -96,6 +99,7 @@ def cse(
     max_rounds: int = 10_000,
     verify_classes: bool = True,
     binder_prefix: str = "cse",
+    store: Optional["ExprStore"] = None,
 ) -> CSEResult:
     """Eliminate alpha-equivalent common subexpressions from ``expr``.
 
@@ -105,9 +109,23 @@ def cse(
     Binders are uniquified up front if needed (Section 2.2's
     preprocessing -- without it, name-overloaded terms like the two
     ``x+2`` in the paper's example would be falsely shared).
+
+    Each greedy round hashes through an :class:`~repro.store.ExprStore`
+    (a private one unless ``store`` is supplied): a rewrite rebuilds only
+    the spine above the touched sites, so the store's summary memo serves
+    every off-spine subtree from cache instead of re-summarising the
+    whole program per round.
     """
     if not has_unique_binders(expr):
         expr = uniquify_binders(expr)
+
+    owns_store = store is None
+    if owns_store:
+        from repro.store import ExprStore
+
+        store = ExprStore(combiners)
+    else:
+        store.resolve_combiners(combiners)
 
     supply = NameSupply(reserved=all_names(expr))
     result = CSEResult(expr=expr, original_size=expr.size)
@@ -115,15 +133,19 @@ def cse(
     for _ in range(max_rounds):
         classes = equivalence_classes(
             result.expr,
-            combiners,
             min_count=2,
             min_size=min_size,
             verify=verify_classes,
+            hashes=store.hashes(result.expr),
         )
         target = _best_profitable(classes)
         if target is None:
             break
         result.expr = _rewrite_class(result.expr, target, supply, result.rounds, binder_prefix)
+        if owns_store:
+            # Release dead spines from earlier rounds; a caller-supplied
+            # store may be caching for others, so only prune our own.
+            store.prune_memo([result.expr])
     return result
 
 

@@ -8,11 +8,14 @@ single shared tree".  Two flavours:
   table memoises node constructors, exactly as Section 2.3 describes.
 * :func:`share_alpha` -- sharing modulo *alpha*-equivalence, the
   stronger variant Weirich et al. note falls out of a nameless body
-  representation; here we drive it with the paper's alpha-hash and pick
-  one representative per class, so ``\\x.x+1`` and ``\\y.y+1`` share.
-  (The shared tree keeps the representative's binder names; that is
-  sound for read-only consumers, which is what structure sharing is
-  for.)
+  representation; driven by :class:`repro.store.ExprStore`, whose
+  canonical entries *are* the shared DAG: every subexpression is
+  replaced by the canonical representative of its alpha-equivalence
+  class, so ``\\x.x+1`` and ``\\y.y+1`` share.  (The shared tree keeps
+  the representative's binder names; that is sound for read-only
+  consumers, which is what structure sharing is for.)  Pass a store to
+  share across many expressions -- repeated calls reuse its canonical
+  table and summary memo.
 
 Both return a :class:`SharingResult` with the DAG root and occupancy
 statistics.
@@ -21,12 +24,14 @@ statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.combiners import HashCombiners
-from repro.core.hashed import alpha_hash_all
 from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
 from repro.lang.traversal import postorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store import ExprStore
 
 __all__ = ["SharingResult", "share_syntactic", "share_alpha"]
 
@@ -107,7 +112,9 @@ def share_syntactic(expr: Expr) -> SharingResult:
 
 
 def share_alpha(
-    expr: Expr, combiners: Optional[HashCombiners] = None
+    expr: Expr,
+    combiners: Optional[HashCombiners] = None,
+    store: Optional["ExprStore"] = None,
 ) -> SharingResult:
     """Share subtrees modulo alpha-equivalence using the paper's hash.
 
@@ -115,28 +122,17 @@ def share_alpha(
     its alpha-equivalence class (first occurrence in postorder), giving
     strictly more sharing than :func:`share_syntactic` whenever the
     expression contains alpha-equivalent-but-not-identical subterms.
+
+    Interning into an :class:`~repro.store.ExprStore` *is* this
+    transformation, so the pass is a thin wrapper: a private store per
+    call by default, or a caller-supplied one to pool sharing (and hash
+    memoisation) across a whole corpus.
     """
-    hashes = alpha_hash_all(expr, combiners)
-    canon: dict[int, Expr] = {}
-    rebuilt: list[Expr] = []
-    for node in postorder(expr):
-        arity = len(node.children())
-        kids = tuple(rebuilt[len(rebuilt) - arity :]) if arity else ()
-        if arity:
-            del rebuilt[len(rebuilt) - arity :]
-        value = hashes.hash_of(node)
-        canonical = canon.get(value)
-        if canonical is None:
-            if isinstance(node, (Var, Lit)):
-                canonical = node
-            elif isinstance(node, Lam):
-                canonical = Lam(node.binder, kids[0])
-            elif isinstance(node, App):
-                canonical = App(kids[0], kids[1])
-            else:
-                assert isinstance(node, Let)
-                canonical = Let(node.binder, kids[0], kids[1])
-            canon[value] = canonical
-        rebuilt.append(canonical)
-    root = rebuilt[0]
+    if store is None:
+        from repro.store import ExprStore
+
+        store = ExprStore(combiners)
+    else:
+        store.resolve_combiners(combiners)
+    root = store.expr_of(store.intern(expr))
     return SharingResult(root, expr.size, _dag_size(root))

@@ -19,6 +19,7 @@ Utility commands work on expression files (surface syntax, see
     python -m repro hash FILE               # alpha-hash of the program
     python -m repro classes FILE            # equivalence classes
     python -m repro cse FILE                # CSE-transformed program
+    python -m repro store FILE [FILE...]    # intern a corpus, report cache stats
 """
 
 from __future__ import annotations
@@ -41,7 +42,7 @@ _EXPERIMENTS = {
     "difftest": "repro.analysis.differential",
 }
 
-_UTILITIES = ("hash", "classes", "cse")
+_UTILITIES = ("hash", "classes", "cse", "store")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -76,6 +77,9 @@ def _read_expr(path: str):
 
 def _run_utility(command: str, rest: Sequence[str]) -> int:
     import argparse
+
+    if command == "store":
+        return _run_store(rest)
 
     parser = argparse.ArgumentParser(prog=f"repro {command}")
     parser.add_argument("file", help="expression file, or - for stdin")
@@ -130,6 +134,75 @@ def _run_utility(command: str, rest: Sequence[str]) -> int:
         f"# {result.original_size} -> {result.final_size} nodes "
         f"in {len(result.rounds)} rounds",
         file=sys.stderr,
+    )
+    return 0
+
+
+def _run_store(rest: Sequence[str]) -> int:
+    """``repro store``: intern a corpus of expression files and report
+    how much the hash-consed store deduplicated and cached."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="repro store",
+        description="Intern expression files into a hash-consed store "
+        "modulo alpha-equivalence and report cache statistics.",
+    )
+    parser.add_argument(
+        "files", nargs="+", help="expression files (surface syntax); - for stdin"
+    )
+    parser.add_argument("--bits", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        help="LRU-bound the canonical table (default: eviction-free)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable stats"
+    )
+    args = parser.parse_args(rest)
+
+    from repro.core.combiners import DEFAULT_SEED, HashCombiners
+    from repro.store import ExprStore
+
+    seed = DEFAULT_SEED if args.seed is None else args.seed
+    store = ExprStore(
+        HashCombiners(bits=args.bits, seed=seed), max_entries=args.max_entries
+    )
+    total_nodes = 0
+    root_ids = []
+    for path in args.files:
+        expr = _read_expr(path)
+        total_nodes += expr.size
+        root_ids.append(store.intern(expr))
+
+    report = {
+        "files": len(args.files),
+        "total_nodes": total_nodes,
+        "unique_roots": len(set(root_ids)),
+        "entries": len(store),
+        "dedup_ratio": round(total_nodes / len(store), 3) if len(store) else 1.0,
+        **store.stats.as_dict(),
+    }
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{report['files']} file(s), {total_nodes} AST nodes -> "
+        f"{report['entries']} canonical entries "
+        f"(x{report['dedup_ratio']} dedup, "
+        f"{report['unique_roots']} distinct root(s))"
+    )
+    print(
+        f"intern hits {store.stats.hits} / misses {store.stats.misses} "
+        f"(hit-rate {store.stats.intern_hit_rate:.1%}); "
+        f"memo served {store.stats.memo_skipped_nodes} of "
+        f"{store.stats.memo_skipped_nodes + store.stats.hashed_nodes} node visits "
+        f"(hit-rate {store.stats.hit_rate:.1%}); "
+        f"{store.stats.evictions} eviction(s)"
     )
     return 0
 

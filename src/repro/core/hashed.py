@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from repro.core.combiners import HashCombiners, default_combiners
-from repro.core.position_tree import pt_here_hash, pt_join_hash
+from repro.core.position_tree import pt_here_hash
 from repro.core.structure import (
     sapp_hash,
     slam_hash,
@@ -37,7 +37,7 @@ from repro.core.structure import (
     svar_hash,
     top_hash,
 )
-from repro.core.varmap import HashedVarMap, MapOpStats, entry_hash
+from repro.core.varmap import HashedVarMap, MapOpStats, entry_hash, merge_tagged
 from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
 from repro.lang.traversal import preorder_with_paths
 
@@ -210,7 +210,7 @@ def alpha_hash_all(
                 big, small = vm_arg, vm_fn
             if count_ops:
                 stats.merge_entries += len(small)
-            _merge_smaller(combiners, big, small, tag)
+            merge_tagged(combiners, big, small, tag)
             varmap = big
         elif isinstance(node, Let):
             s_body, vm_body = results.pop()
@@ -229,7 +229,7 @@ def alpha_hash_all(
                 big, small = vm_body, vm_bound
             if count_ops:
                 stats.merge_entries += len(small)
-            _merge_smaller(combiners, big, small, tag)
+            merge_tagged(combiners, big, small, tag)
             varmap = big
         else:  # pragma: no cover
             raise TypeError(f"unknown node kind {node.kind}")
@@ -246,23 +246,7 @@ def alpha_hash_all(
     return AlphaHashes(expr, combiners, by_id, summaries)
 
 
-def _merge_smaller(
-    combiners: HashCombiners, big: HashedVarMap, small: HashedVarMap, tag: int
-) -> None:
-    """Destructively fold ``small`` into ``big`` with tagged joins.
 
-    O(len(small)) map operations; each updates ``big``'s XOR hash in O(1).
-    """
-    big_entries = big.entries
-    big_hash = big.hash
-    for name, small_pos in small.entries.items():
-        old_pos = big_entries.get(name)
-        new_pos = pt_join_hash(combiners, tag, old_pos, small_pos)
-        if old_pos is not None:
-            big_hash ^= entry_hash(combiners, name, old_pos)
-        big_entries[name] = new_pos
-        big_hash ^= entry_hash(combiners, name, new_pos)
-    big.hash = big_hash
 
 
 def alpha_hash_root(expr: Expr, combiners: HashCombiners | None = None) -> int:

@@ -21,11 +21,12 @@ to show incremental updates touch ``O(h^2 + h*f)`` work, not ``O(n)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
 from repro.core.combiners import HashCombiners, default_combiners
 from repro.core.hashed import AlphaHashes
-from repro.core.position_tree import pt_here_hash, pt_join_hash
+from repro.core.position_tree import pt_here_hash
+from repro.core.statshape import StatsDictMixin
 from repro.core.structure import (
     sapp_hash,
     slam_hash,
@@ -34,35 +35,54 @@ from repro.core.structure import (
     svar_hash,
     top_hash,
 )
-from repro.core.varmap import HashedVarMap, entry_hash
+from repro.core.varmap import HashedVarMap, merge_tagged
 from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
-from repro.lang.traversal import replace_at
+from repro.lang.traversal import preorder, replace_at
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store uses core)
+    from repro.store import ExprStore
 
 __all__ = ["IncrementalHasher", "ReplaceStats"]
 
 
-@dataclass
-class ReplaceStats:
+@dataclass(repr=False)
+class ReplaceStats(StatsDictMixin):
     """Work accounting for one ``replace`` call.
 
     ``path_nodes`` ancestors were re-summarised, costing
     ``path_map_entries`` map-entry copies/merges; the new subtree of
-    ``subtree_nodes`` nodes was summarised from scratch.  The rest of the
+    ``subtree_nodes`` nodes was summarised from scratch -- except for
+    ``store_memo_nodes`` of them, served from the attached
+    :class:`~repro.store.ExprStore` summary memo.  The rest of the
     expression -- ``unchanged_nodes`` of it -- was not touched at all.
+
+    Shares the :meth:`as_dict` / ``repr`` shape of
+    :class:`repro.store.StoreStats` (both report ``touched_nodes``).
     """
 
     path_nodes: int
     path_map_entries: int
     subtree_nodes: int
     unchanged_nodes: int
+    store_memo_nodes: int = 0
+
+    _stats_properties = ("touched_nodes",)
 
     @property
     def touched_nodes(self) -> int:
-        return self.path_nodes + self.subtree_nodes
+        return self.path_nodes + self.subtree_nodes - self.store_memo_nodes
 
 
 class _Ann:
-    """Annotation-tree node mirroring one expression node."""
+    """Annotation-tree node mirroring one expression node.
+
+    ``children is None`` marks a *collapsed* annotation: the node's
+    summary came from an :class:`~repro.store.ExprStore` cache, so its
+    descendants were never annotated.  Navigation into a collapsed
+    subtree expands it lazily (one level at a time), which keeps the
+    cache win for the common case of replacements that are consulted
+    only at the root.
+    """
 
     __slots__ = ("expr", "s_hash", "varmap", "top", "children")
 
@@ -72,7 +92,7 @@ class _Ann:
         s_hash: int,
         varmap: HashedVarMap,
         top: int,
-        children: tuple["_Ann", ...],
+        children: Optional[tuple["_Ann", ...]],
     ):
         self.expr = expr
         self.s_hash = s_hash
@@ -90,8 +110,16 @@ class IncrementalHasher:
     >>> inc.root_hash                               # updated
     """
 
-    def __init__(self, expr: Expr, combiners: Optional[HashCombiners] = None):
+    def __init__(
+        self,
+        expr: Expr,
+        combiners: Optional[HashCombiners] = None,
+        store: Optional["ExprStore"] = None,
+    ):
+        if store is not None:
+            combiners = store.resolve_combiners(combiners)
         self.combiners = combiners if combiners is not None else default_combiners()
+        self.store = store
         self._here = pt_here_hash(self.combiners)
         self._svar = svar_hash(self.combiners)
         self._root = self._build(expr)
@@ -111,17 +139,13 @@ class IncrementalHasher:
         """Alpha-hash of the subexpression at ``path``."""
         ann = self._root
         for index in path:
+            self._expand(ann)
             ann = ann.children[index]
         return ann.top
 
     def hashes(self) -> AlphaHashes:
         """An :class:`AlphaHashes` view over the current expression."""
-        by_id: dict[int, int] = {}
-        stack = [self._root]
-        while stack:
-            ann = stack.pop()
-            by_id[id(ann.expr)] = ann.top
-            stack.extend(ann.children)
+        by_id = {id(node): value for node, value in self.iter_hashes()}
         return AlphaHashes(self.expr, self.combiners, by_id)
 
     def iter_hashes(self) -> Iterator[tuple[Expr, int]]:
@@ -129,8 +153,34 @@ class IncrementalHasher:
         stack = [self._root]
         while stack:
             ann = stack.pop()
+            if ann.children is None:
+                collapsed = self._collapsed_items(ann)
+                if collapsed is not None:
+                    yield from collapsed
+                    continue
+                self._expand(ann)
             yield ann.expr, ann.top
             stack.extend(ann.children)
+
+    def _collapsed_items(
+        self, ann: _Ann
+    ) -> Optional[list[tuple[Expr, int]]]:
+        """Per-node hashes of a collapsed subtree, straight from the store
+        memo -- or ``None`` if the memo no longer covers it (flushed)."""
+        assert self.store is not None
+        items: list[tuple[Expr, int]] = []
+        for node in preorder(ann.expr):
+            top = self.store.cached_top(node)
+            if top is None:
+                return None
+            items.append((node, top))
+        return items
+
+    def _expand(self, ann: _Ann) -> None:
+        """Materialise the children annotations of a collapsed node."""
+        if ann.children is not None:
+            return
+        ann.children = tuple(self._build(child) for child in ann.expr.children())
 
     # -- updates ---------------------------------------------------------------
 
@@ -146,12 +196,13 @@ class IncrementalHasher:
         ann = self._root
         for index in path:
             spine.append(ann)
+            self._expand(ann)
             if index >= len(ann.children):
                 raise IndexError(f"invalid path {tuple(path)} at {ann.expr.kind}")
             ann = ann.children[index]
-        old_size = ann.expr.size
 
-        new_ann = self._build(new_subexpr)
+        skip_counter = [0]
+        new_ann = self._build(new_subexpr, skip_counter)
 
         merge_counter = [0]
         current = new_ann
@@ -168,18 +219,35 @@ class IncrementalHasher:
             path_map_entries=merge_counter[0],
             subtree_nodes=new_subexpr.size,
             unchanged_nodes=total - len(spine) - new_subexpr.size,
+            store_memo_nodes=skip_counter[0],
         )
 
     # -- construction -----------------------------------------------------------
 
-    def _build(self, expr: Expr) -> _Ann:
+    def _build(
+        self, expr: Expr, skip_counter: Optional[list[int]] = None
+    ) -> _Ann:
         """Summarise ``expr`` bottom-up with snapshot (non-destructive)
-        variable maps, producing an annotation tree."""
+        variable maps, producing an annotation tree.
+
+        When a store is attached, subtrees whose summaries the store has
+        already computed are taken from its cache as collapsed
+        annotations instead of being re-summarised; ``skip_counter[0]``
+        accumulates the node count so saved."""
+        store = self.store
         results: list[_Ann] = []
         stack: list[tuple[Expr, bool]] = [(expr, False)]
         while stack:
             node, visited = stack.pop()
             if not visited:
+                if store is not None:
+                    cached = store.cached_summary(node)
+                    if cached is not None:
+                        s_hash, varmap, top = cached
+                        results.append(_Ann(node, s_hash, varmap, top, None))
+                        if skip_counter is not None:
+                            skip_counter[0] += node.size
+                        continue
                 stack.append((node, True))
                 for child in reversed(node.children()):
                     stack.append((child, False))
@@ -259,23 +327,12 @@ class IncrementalHasher:
         """Non-destructive tagged merge: copy ``big`` (unless owned), fold
         ``small`` in."""
         target = big if big_owned else big.snapshot()
-        return self._merge_into(target, small, tag)
+        return merge_tagged(self.combiners, target, small, tag)
 
     def _merge_into(
         self, target: HashedVarMap, small: HashedVarMap, tag: int
     ) -> HashedVarMap:
-        combiners = self.combiners
-        entries = target.entries
-        acc = target.hash
-        for name, small_pos in small.entries.items():
-            old_pos = entries.get(name)
-            new_pos = pt_join_hash(combiners, tag, old_pos, small_pos)
-            if old_pos is not None:
-                acc ^= entry_hash(combiners, name, old_pos)
-            entries[name] = new_pos
-            acc ^= entry_hash(combiners, name, new_pos)
-        target.hash = acc
-        return target
+        return merge_tagged(self.combiners, target, small, tag)
 
 
 def _rebuild_parent(parent: Expr, index: int, new_child: Expr) -> Expr:

@@ -1,0 +1,45 @@
+"""A common dict/repr shape for work-accounting dataclasses.
+
+Several subsystems report how much work an operation touched --
+:class:`repro.core.incremental.ReplaceStats` counts re-summarised
+ancestors, :class:`repro.store.StoreStats` counts cache hits and
+rehashed nodes.  Benchmarks and tests want to assert on these uniformly
+("how many nodes did this touch?") without knowing which subsystem
+produced the numbers, so every such dataclass mixes in
+:class:`StatsDictMixin`:
+
+* ``as_dict()`` returns a plain ``{field: number}`` dict covering the
+  dataclass fields plus any derived properties the class lists in
+  ``_stats_properties`` (by convention this includes ``touched_nodes``);
+* ``__repr__`` renders exactly that dict, so two stats objects with the
+  same numbers print the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+__all__ = ["StatsDictMixin"]
+
+
+class StatsDictMixin:
+    """Uniform ``as_dict()`` / ``repr`` for stats dataclasses.
+
+    Subclasses must be dataclasses; derived values exposed as properties
+    are included by naming them in the class attribute
+    ``_stats_properties``.
+    """
+
+    _stats_properties: tuple[str, ...] = ()
+
+    def as_dict(self) -> dict[str, float]:
+        out: dict[str, float] = {
+            f.name: getattr(self, f.name) for f in fields(self)
+        }
+        for name in self._stats_properties:
+            out[name] = getattr(self, name)
+        return out
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"{type(self).__name__}({body})"

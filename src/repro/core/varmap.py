@@ -26,9 +26,15 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from repro.core.combiners import HashCombiners
-from repro.core.position_tree import PosTree
+from repro.core.position_tree import PosTree, pt_join_hash
 
-__all__ = ["VarMapTree", "HashedVarMap", "MapOpStats", "entry_hash"]
+__all__ = [
+    "VarMapTree",
+    "HashedVarMap",
+    "MapOpStats",
+    "entry_hash",
+    "merge_tagged",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -260,3 +266,28 @@ class HashedVarMap:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"HashedVarMap(n={len(self.entries)}, hash=0x{self.hash:x})"
+
+
+def merge_tagged(
+    combiners: HashCombiners, big: HashedVarMap, small: HashedVarMap, tag: int
+) -> HashedVarMap:
+    """Fold ``small`` into ``big`` destructively with tagged joins.
+
+    The Section 4.8 smaller-subtree merge in hashed form, shared by the
+    batch summariser, the incremental hasher and the expression store --
+    the bit-for-bit agreement of their hashes depends on there being
+    exactly one copy of this recipe.  O(len(small)) map operations, each
+    updating ``big``'s XOR hash in O(1); ``small`` is left untouched and
+    ``big`` is returned.
+    """
+    big_entries = big.entries
+    big_hash = big.hash
+    for name, small_pos in small.entries.items():
+        old_pos = big_entries.get(name)
+        new_pos = pt_join_hash(combiners, tag, old_pos, small_pos)
+        if old_pos is not None:
+            big_hash ^= entry_hash(combiners, name, old_pos)
+        big_entries[name] = new_pos
+        big_hash ^= entry_hash(combiners, name, new_pos)
+    big.hash = big_hash
+    return big

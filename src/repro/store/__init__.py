@@ -1,0 +1,16 @@
+"""Hash-consed expression storage built on the paper's alpha-hash.
+
+:class:`ExprStore` interns expressions modulo alpha-equivalence (one
+canonical node per class, children stored as node ids) and memoises
+hashed e-summaries so repeated and overlapping corpus expressions are
+hashed once.  See :mod:`repro.store.store` for the design notes.
+"""
+
+from repro.store.store import (
+    ExprStore,
+    StoreCollisionError,
+    StoreEntry,
+    StoreStats,
+)
+
+__all__ = ["ExprStore", "StoreCollisionError", "StoreEntry", "StoreStats"]

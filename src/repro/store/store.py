@@ -1,0 +1,564 @@
+"""A hash-consed expression store keyed by alpha-hashes.
+
+The paper's O(n log n) alpha-hash (Section 5) annotates every
+subexpression with a code that is equal iff the subtrees are
+alpha-equivalent -- exactly the key a content-addressed store needs.
+:class:`ExprStore` builds on that in two layers:
+
+* **Canonical entries.**  Interning an expression assigns every
+  alpha-equivalence class of its subexpressions one integer node id and
+  one canonical representative tree whose children are themselves
+  canonical (a maximally-shared DAG).  ``\\x. x+7`` and ``\\y. y+7``
+  intern to the same id.
+
+* **Summary memo.**  Hashing is memoised per subtree *object*: the store
+  remembers each node's hashed e-summary (structure hash, free-variable
+  map, top hash), so a corpus that repeats or overlaps subtrees -- shared
+  objects across corpus items, or the off-path subtrees a rewrite leaves
+  untouched -- is hashed once, not once per occurrence.  The memoised
+  summary is enough to *resume* hashing mid-tree: a parent containing an
+  already-seen subtree merges the cached free-variable map upward without
+  revisiting the subtree.
+
+Soundness is the paper's: equal alpha-hash == alpha-equivalent, up to
+hash collisions (Theorem 6.7 bounds these below ~n/2^61 at the default
+64-bit width).  A cheap structural guard (kind and size must match on
+every intern hit) turns the astronomically-unlikely collision into a
+loud :class:`StoreCollisionError` instead of silent conflation.
+
+Two capacity modes:
+
+* **eviction-free** (``max_entries=None``) -- entries live forever;
+* **LRU-bounded** (``max_entries=N``) -- least-recently-used root
+  entries are evicted once the table exceeds ``N``; entries still
+  referenced as children of live entries are pinned.  The summary memo
+  is flushed wholesale when it exceeds ``memo_limit`` objects.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.core.combiners import HashCombiners, default_combiners
+from repro.core.hashed import AlphaHashes
+from repro.core.position_tree import pt_here_hash
+from repro.core.statshape import StatsDictMixin
+from repro.core.structure import (
+    sapp_hash,
+    slam_hash,
+    slet_hash,
+    slit_hash,
+    svar_hash,
+    top_hash,
+)
+from repro.core.varmap import HashedVarMap, entry_hash, merge_tagged
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+from repro.lang.traversal import preorder
+
+__all__ = ["ExprStore", "StoreEntry", "StoreStats", "StoreCollisionError"]
+
+
+class StoreCollisionError(RuntimeError):
+    """Two non-alpha-equivalent subtrees produced the same alpha-hash.
+
+    At the default 64-bit width this fires with probability ~n^3/2^61
+    over the store's lifetime (Theorem 6.8); at the small widths of
+    Appendix B it is expected.  Re-seed or widen the combiner family.
+    """
+
+
+@dataclass(repr=False)
+class StoreStats(StatsDictMixin):
+    """Cache accounting for one :class:`ExprStore`.
+
+    Node-granularity counters (the hashing layer):
+
+    * ``hashed_nodes`` -- nodes summarised from scratch;
+    * ``memo_hits`` -- subtree roots served from the summary memo;
+    * ``memo_skipped_nodes`` -- total nodes under those roots (work the
+      memo avoided).
+
+    Class-granularity counters (the intern table):
+
+    * ``hits`` -- interned subtrees whose equivalence class already had
+      a canonical entry;
+    * ``misses`` -- fresh canonical entries created;
+    * ``evictions`` -- entries dropped by the LRU bound.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    memo_hits: int = 0
+    hashed_nodes: int = 0
+    memo_skipped_nodes: int = 0
+    evictions: int = 0
+
+    _stats_properties = ("hit_rate", "intern_hit_rate", "touched_nodes")
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of node visits served by the summary memo."""
+        total = self.hashed_nodes + self.memo_skipped_nodes
+        return self.memo_skipped_nodes / total if total else 0.0
+
+    @property
+    def intern_hit_rate(self) -> float:
+        """Fraction of interned subtrees that hit an existing class."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def touched_nodes(self) -> int:
+        """Nodes actually summarised (same key as ``ReplaceStats``)."""
+        return self.hashed_nodes
+
+
+@dataclass
+class StoreEntry:
+    """One canonical node: an alpha-equivalence class representative.
+
+    ``children`` are node ids of canonical children; ``expr`` is the
+    canonical representative tree (its subtrees are the canonical
+    representatives of the child entries, so entries form a DAG).
+    ``refcount`` counts parent entries referencing this one -- the LRU
+    mode only evicts entries with ``refcount == 0``.
+    """
+
+    node_id: int
+    hash: int
+    kind: str
+    size: int
+    children: tuple[int, ...]
+    expr: Expr
+    refcount: int = 0
+
+
+class _MemoRecord:
+    """Cached hashed e-summary of one subtree object.
+
+    ``node`` pins the expression object so its ``id()`` stays valid for
+    as long as the record lives.  ``vm_entries``/``vm_hash`` are a frozen
+    snapshot of the free-variable map, sufficient to resume hashing in
+    any parent context (summaries are context-free, Section 3).
+    """
+
+    __slots__ = ("node", "s_hash", "vm_entries", "vm_hash", "top", "node_id")
+
+    def __init__(
+        self,
+        node: Expr,
+        s_hash: int,
+        vm_entries: dict[str, int],
+        vm_hash: int,
+        top: int,
+    ):
+        self.node = node
+        self.s_hash = s_hash
+        self.vm_entries = vm_entries
+        self.vm_hash = vm_hash
+        self.top = top
+        self.node_id: Optional[int] = None
+
+
+class ExprStore:
+    """Intern expressions modulo alpha-equivalence; memoise their hashes.
+
+    >>> store = ExprStore()
+    >>> a = store.intern(parse(r"\\x. x + 7"))
+    >>> b = store.intern(parse(r"\\y. y + 7"))   # alpha-equivalent copy
+    >>> a == b                                    # same canonical class
+    True
+    >>> store.stats.hits >= 1                     # intern-table hits
+    True
+
+    Parameters
+    ----------
+    combiners:
+        Hash-combiner family; defaults to the shared 64-bit fixed-seed
+        family, so two default stores agree on every hash.
+    max_entries:
+        ``None`` for the eviction-free mode; an integer bounds the
+        canonical-entry table with LRU eviction of unreferenced entries.
+    memo_limit:
+        Cap on the per-object summary memo (defaults to unbounded in
+        eviction-free mode, ``64 * max_entries`` in LRU mode); when
+        exceeded the memo is flushed wholesale.
+    """
+
+    def __init__(
+        self,
+        combiners: Optional[HashCombiners] = None,
+        max_entries: Optional[int] = None,
+        memo_limit: Optional[int] = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.combiners = combiners if combiners is not None else default_combiners()
+        self.max_entries = max_entries
+        if memo_limit is None and max_entries is not None:
+            memo_limit = 64 * max_entries
+        self.memo_limit = memo_limit
+        self.stats = StoreStats()
+
+        self._here = pt_here_hash(self.combiners)
+        self._svar = svar_hash(self.combiners)
+        self._var_entry_cache: dict[str, int] = {}
+        #: id(node) -> cached summary; holds a strong ref to the node.
+        self._memo: dict[int, _MemoRecord] = {}
+        #: node_id -> entry, in LRU order (oldest first).
+        self._entries: "OrderedDict[int, StoreEntry]" = OrderedDict()
+        #: alpha-hash -> node_id.
+        self._by_hash: dict[int, int] = {}
+        self._next_id = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of live canonical entries."""
+        return len(self._entries)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._entries
+
+    def entry(self, node_id: int) -> StoreEntry:
+        """The canonical entry for ``node_id`` (touches LRU recency)."""
+        entry = self._entries[node_id]
+        self._entries.move_to_end(node_id)
+        return entry
+
+    def expr_of(self, node_id: int) -> Expr:
+        """Canonical representative tree of the class ``node_id``."""
+        return self.entry(node_id).expr
+
+    def hash_of(self, node_id: int) -> int:
+        """The alpha-hash keying the class ``node_id``."""
+        return self.entry(node_id).hash
+
+    def size_of(self, node_id: int) -> int:
+        """Node count of any member of the class ``node_id``."""
+        return self.entry(node_id).size
+
+    def lookup_hash(self, hash_value: int) -> Optional[int]:
+        """Node id of the class with this alpha-hash, if interned."""
+        return self._by_hash.get(hash_value)
+
+    def entries(self) -> Iterator[StoreEntry]:
+        """All live entries, least-recently-used first."""
+        return iter(list(self._entries.values()))
+
+    def cached_summary(
+        self, node: Expr
+    ) -> Optional[tuple[int, HashedVarMap, int]]:
+        """``(structure_hash, owned varmap copy, top_hash)`` for a subtree
+        object this store has hashed before, else ``None``.
+
+        The returned map is an independent copy: callers (the incremental
+        hasher's ancestor re-summarise, most notably) may consume it
+        destructively.
+        """
+        rec = self._memo.get(id(node))
+        if rec is None:
+            return None
+        return rec.s_hash, HashedVarMap(dict(rec.vm_entries), rec.vm_hash), rec.top
+
+    def cached_top(self, node: Expr) -> Optional[int]:
+        """The memoised top-level alpha-hash of ``node``, if any."""
+        rec = self._memo.get(id(node))
+        return None if rec is None else rec.top
+
+    def clear_memo(self) -> None:
+        """Drop the per-object summary memo (canonical entries survive)."""
+        self._memo.clear()
+
+    def prune_memo(self, roots: Iterable[Expr]) -> int:
+        """Drop memo records unreachable from ``roots``; return the count.
+
+        The memo pins every expression object it has summarised, so
+        long-running rewrite loops (CSE most notably) call this between
+        rounds with the current program as the root: dead spines from
+        earlier rounds are released while everything still in the program
+        stays warm.  Reachability is closed over children, which
+        preserves the record-implies-full-subtree-coverage invariant the
+        resume-above-cached-roots optimisation relies on.
+        """
+        keep: set[int] = set()
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if id(node) in keep:
+                continue
+            keep.add(id(node))
+            stack.extend(node.children())
+        before = len(self._memo)
+        self._memo = {
+            key: rec for key, rec in self._memo.items() if key in keep
+        }
+        return before - len(self._memo)
+
+    def resolve_combiners(
+        self, combiners: Optional[HashCombiners]
+    ) -> HashCombiners:
+        """The effective combiner family for a consumer attached to this
+        store: the store's own, after checking that any explicitly
+        requested family agrees with it (same bits and seed)."""
+        if combiners is not None and (
+            combiners.bits != self.combiners.bits
+            or combiners.seed != self.combiners.seed
+        ):
+            raise ValueError(
+                "combiners disagree with the attached store's family"
+            )
+        return self.combiners
+
+    # -- hashing (memoised) ----------------------------------------------------
+
+    def hash_expr(self, expr: Expr) -> int:
+        """The root alpha-hash of ``expr``, reusing every cached subtree."""
+        top = self._hash_tree(expr).top
+        self._maybe_flush_memo()
+        return top
+
+    def hash_corpus(self, exprs: Iterable[Expr]) -> list[int]:
+        """Batch :meth:`hash_expr`; repeated/overlapping trees hash once."""
+        return [self.hash_expr(e) for e in exprs]
+
+    def hashes(self, expr: Expr) -> AlphaHashes:
+        """An :class:`AlphaHashes` view over ``expr`` computed through the
+        memo -- a drop-in replacement for
+        :func:`repro.core.hashed.alpha_hash_all` for equivalence-class
+        clients that rehash overlapping trees repeatedly."""
+        self._hash_tree(expr)
+        memo = self._memo
+        by_id: dict[int, int] = {}
+        for node in preorder(expr):
+            rec = memo.get(id(node))
+            if rec is None:  # pragma: no cover - coverage-invariant breach
+                # Defensive: never hand out a partial view.
+                from repro.core.hashed import alpha_hash_all
+
+                return alpha_hash_all(expr, self.combiners)
+            by_id[id(node)] = rec.top
+        self._maybe_flush_memo()
+        return AlphaHashes(expr, self.combiners, by_id)
+
+    def _hash_tree(self, expr: Expr) -> _MemoRecord:
+        """Summarise ``expr`` bottom-up, skipping memoised subtrees.
+
+        Mirrors :func:`repro.core.hashed.alpha_hash_all` exactly (same
+        combiner recipes, so hashes agree bit-for-bit) but (a) resumes
+        from cached summaries and (b) snapshots every node's map into the
+        memo -- the same one-copy-per-node cost the Section 6.3
+        incremental hasher pays, bought back many times over on corpus
+        reuse.
+        """
+        combiners = self.combiners
+        memo = self._memo
+        stats = self.stats
+        root = memo.get(id(expr))
+        if root is not None:
+            stats.memo_hits += 1
+            stats.memo_skipped_nodes += expr.size
+            return root
+
+        # Each results entry is (s_hash, varmap) with the varmap owned by
+        # this call (parents consume child maps destructively).
+        results: list[tuple[int, HashedVarMap]] = []
+        stack: list[tuple[Expr, bool]] = [(expr, False)]
+        while stack:
+            node, visited = stack.pop()
+            if not visited:
+                rec = memo.get(id(node))
+                if rec is not None:
+                    stats.memo_hits += 1
+                    stats.memo_skipped_nodes += node.size
+                    results.append(
+                        (rec.s_hash, HashedVarMap(dict(rec.vm_entries), rec.vm_hash))
+                    )
+                    continue
+                stack.append((node, True))
+                for child in reversed(node.children()):
+                    stack.append((child, False))
+                continue
+
+            if isinstance(node, Var):
+                s_hash = self._svar
+                name = node.name
+                cached = self._var_entry_cache.get(name)
+                if cached is None:
+                    cached = entry_hash(combiners, name, self._here)
+                    self._var_entry_cache[name] = cached
+                varmap = HashedVarMap({name: self._here}, cached)
+            elif isinstance(node, Lit):
+                s_hash = slit_hash(combiners, node.value)
+                varmap = HashedVarMap.empty()
+            elif isinstance(node, Lam):
+                s_body, varmap = results.pop()
+                pos = varmap.remove(combiners, node.binder)
+                s_hash = slam_hash(combiners, node.size, pos, s_body)
+            elif isinstance(node, App):
+                s_arg, vm_arg = results.pop()
+                s_fn, vm_fn = results.pop()
+                left_bigger = len(vm_fn) >= len(vm_arg)
+                s_hash = sapp_hash(combiners, node.size, left_bigger, s_fn, s_arg)
+                big, small = (vm_fn, vm_arg) if left_bigger else (vm_arg, vm_fn)
+                varmap = merge_tagged(combiners, big, small, node.size)
+            elif isinstance(node, Let):
+                s_body, vm_body = results.pop()
+                s_bound, vm_bound = results.pop()
+                pos_x = vm_body.remove(combiners, node.binder)
+                left_bigger = len(vm_bound) >= len(vm_body)
+                s_hash = slet_hash(
+                    combiners, node.size, pos_x, left_bigger, s_bound, s_body
+                )
+                big, small = (vm_bound, vm_body) if left_bigger else (vm_body, vm_bound)
+                varmap = merge_tagged(combiners, big, small, node.size)
+            else:  # pragma: no cover
+                raise TypeError(f"unknown node kind {node.kind}")
+
+            top = top_hash(combiners, s_hash, varmap.hash)
+            memo[id(node)] = _MemoRecord(
+                node, s_hash, dict(varmap.entries), varmap.hash, top
+            )
+            stats.hashed_nodes += 1
+            results.append((s_hash, varmap))
+
+        assert len(results) == 1
+        return memo[id(expr)]
+
+    def _maybe_flush_memo(self) -> None:
+        """Wholesale memo flush at public-operation boundaries.
+
+        Never called mid-operation: :meth:`intern` reads every node's
+        record right after hashing.  The memo is a pure cache, so losing
+        warmth is the only cost of a flush.
+        """
+        if self.memo_limit is not None and len(self._memo) > self.memo_limit:
+            self._memo.clear()
+
+    # -- interning -------------------------------------------------------------
+
+    def intern(self, expr: Expr) -> int:
+        """Intern ``expr``, returning the node id of its class.
+
+        Every subexpression of ``expr`` is interned along the way; two
+        alpha-equivalent subtrees (within one call or across calls) map
+        to the same id.
+        """
+        self._hash_tree(expr)
+        memo = self._memo
+        ids: list[int] = []
+        stack: list[tuple[Expr, bool]] = [(expr, False)]
+        while stack:
+            node, visited = stack.pop()
+            rec = memo[id(node)]
+            if not visited:
+                if rec.node_id is not None and rec.node_id in self._entries:
+                    self._entries.move_to_end(rec.node_id)
+                    self.stats.hits += 1
+                    ids.append(rec.node_id)
+                    continue
+                stack.append((node, True))
+                for child in reversed(node.children()):
+                    stack.append((child, False))
+                continue
+
+            arity = len(node.children())
+            kid_ids = tuple(ids[len(ids) - arity :]) if arity else ()
+            if arity:
+                del ids[len(ids) - arity :]
+            rec.node_id = self._intern_one(node, rec, kid_ids)
+            ids.append(rec.node_id)
+        assert len(ids) == 1
+        # Evict only once the whole tree is interned: children created
+        # moments ago must not vanish before their parent references them.
+        self._evict_if_needed(protect=ids[0])
+        self._maybe_flush_memo()
+        return ids[0]
+
+    def intern_many(self, exprs: Iterable[Expr]) -> list[int]:
+        """Batch :meth:`intern`: one id per input, duplicates collapse."""
+        return [self.intern(e) for e in exprs]
+
+    def _intern_one(
+        self, node: Expr, rec: _MemoRecord, kid_ids: tuple[int, ...]
+    ) -> int:
+        existing = self._by_hash.get(rec.top)
+        if existing is not None:
+            entry = self._entries[existing]
+            if entry.kind != node.kind or entry.size != node.size:
+                raise StoreCollisionError(
+                    f"alpha-hash 0x{rec.top:x} maps both a {entry.kind} of "
+                    f"size {entry.size} and a {node.kind} of size {node.size}"
+                )
+            self._entries.move_to_end(existing)
+            self.stats.hits += 1
+            return existing
+
+        canonical = self._canonical_expr(node, kid_ids)
+        node_id = self._next_id
+        self._next_id += 1
+        entry = StoreEntry(
+            node_id=node_id,
+            hash=rec.top,
+            kind=node.kind,
+            size=node.size,
+            children=kid_ids,
+            expr=canonical,
+        )
+        for kid in kid_ids:
+            self._entries[kid].refcount += 1
+        self._entries[node_id] = entry
+        self._by_hash[rec.top] = node_id
+        self.stats.misses += 1
+        # The canonical tree is made of canonical subtrees, so hashing it
+        # later can be a pure memo hit: seed its summary from this one.
+        # Only when the memo still covers every canonical child, though --
+        # a record must always imply full-subtree coverage (hashing and
+        # interning resume above cached roots without descending), and a
+        # flush may have dropped the children's records.
+        if id(canonical) not in self._memo and all(
+            id(self._entries[kid].expr) in self._memo for kid in kid_ids
+        ):
+            self._memo[id(canonical)] = _MemoRecord(
+                canonical, rec.s_hash, dict(rec.vm_entries), rec.vm_hash, rec.top
+            )
+            self._memo[id(canonical)].node_id = node_id
+        return node_id
+
+    def _canonical_expr(self, node: Expr, kid_ids: tuple[int, ...]) -> Expr:
+        if isinstance(node, (Var, Lit)):
+            return node
+        kids = tuple(self._entries[kid].expr for kid in kid_ids)
+        if isinstance(node, Lam):
+            return Lam(node.binder, kids[0])
+        if isinstance(node, App):
+            return App(kids[0], kids[1])
+        assert isinstance(node, Let)
+        return Let(node.binder, kids[0], kids[1])
+
+    # -- eviction --------------------------------------------------------------
+
+    def _evict_if_needed(self, protect: Optional[int] = None) -> None:
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            victim = None
+            for node_id, entry in self._entries.items():
+                if entry.refcount == 0 and node_id != protect:
+                    victim = node_id
+                    break
+            if victim is None:
+                # Every remaining entry is either the protected fresh root
+                # or referenced by a live parent; the table cannot shrink
+                # further without breaking child links.
+                break
+            entry = self._entries.pop(victim)
+            del self._by_hash[entry.hash]
+            for kid in entry.children:
+                self._entries[kid].refcount -= 1
+            rec = self._memo.get(id(entry.expr))
+            if rec is not None:
+                rec.node_id = None
+            self.stats.evictions += 1

@@ -1,0 +1,107 @@
+"""Differential fuzzing across the three hashing implementations.
+
+The satellite contract: apply random rewrite sequences and assert that
+:class:`IncrementalHasher` results, from-scratch :class:`AlphaHashes`,
+and store-memoized hashes all agree at every step.  The hypothesis
+variant is shrinkable (a failing rewrite sequence minimises to a small
+script); the seeded walk variant runs longer deterministic sequences.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashed import alpha_hash_all
+from repro.core.incremental import IncrementalHasher
+from repro.gen.random_exprs import random_expr
+from repro.lang.names import NameSupply, all_names, uniquify_binders
+from repro.lang.traversal import preorder_with_paths
+from repro.store import ExprStore
+
+from strategies import expr_skeletons, realise, structural_exprs
+
+
+def _fresh_replacement(skeleton, current):
+    """Realise a drawn skeleton, with binders fresh for ``current``."""
+    replacement = realise(skeleton)
+    supply = NameSupply(reserved=all_names(current) | all_names(replacement))
+    return uniquify_binders(replacement, supply)
+
+
+def assert_all_agree(inc: IncrementalHasher, store: ExprStore) -> None:
+    fresh = alpha_hash_all(inc.expr, inc.combiners)
+    assert inc.root_hash == fresh.root_hash
+    assert store.hash_expr(inc.expr) == fresh.root_hash
+    store_view = store.hashes(inc.expr)
+    for node, value in inc.iter_hashes():
+        assert value == fresh.hash_of(node)
+        assert store_view.hash_of(node) == fresh.hash_of(node)
+
+
+class TestHypothesisRewrites:
+    @settings(max_examples=40)
+    @given(
+        structural_exprs(max_leaves=12),
+        st.lists(
+            st.tuples(st.integers(0, 2**16), expr_skeletons(max_leaves=5)),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    def test_rewrite_sequence_agrees_everywhere(self, base, script):
+        base = uniquify_binders(base)
+        store = ExprStore()
+        inc = IncrementalHasher(base, store=store)
+        assert_all_agree(inc, store)
+        for path_pick, skeleton in script:
+            paths = [path for path, _ in preorder_with_paths(inc.expr)]
+            path = paths[path_pick % len(paths)]
+            inc.replace(path, _fresh_replacement(skeleton, inc.expr))
+            assert_all_agree(inc, store)
+
+
+class TestSeededWalks:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_long_walk(self, seed):
+        rng = random.Random(seed)
+        base = uniquify_binders(
+            random_expr(150, seed=seed, p_let=0.3, p_lit=0.1)
+        )
+        store = ExprStore()
+        inc = IncrementalHasher(base, store=store)
+        for step in range(25):
+            paths = [path for path, _ in preorder_with_paths(inc.expr)]
+            path = rng.choice(paths)
+            replacement = random_expr(
+                rng.randint(1, 20), seed=rng.randrange(2**20), p_let=0.3
+            )
+            supply = NameSupply(
+                reserved=all_names(inc.expr) | all_names(replacement)
+            )
+            inc.replace(path, uniquify_binders(replacement, supply))
+            fresh_root = alpha_hash_all(inc.expr).root_hash
+            assert inc.root_hash == fresh_root
+            assert store.hash_expr(inc.expr) == fresh_root
+        assert_all_agree(inc, store)
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_walk_with_lru_store(self, seed):
+        # a bounded store behind the hasher must not change any answer
+        rng = random.Random(seed)
+        base = uniquify_binders(random_expr(100, seed=seed, p_let=0.2))
+        store = ExprStore(max_entries=64, memo_limit=3000)
+        inc = IncrementalHasher(base, store=store)
+        for _ in range(12):
+            paths = [path for path, _ in preorder_with_paths(inc.expr)]
+            path = rng.choice(paths)
+            replacement = random_expr(rng.randint(1, 12), seed=rng.randrange(2**20))
+            supply = NameSupply(
+                reserved=all_names(inc.expr) | all_names(replacement)
+            )
+            replacement = uniquify_binders(replacement, supply)
+            store.intern(replacement)  # exercise intern + eviction paths too
+            inc.replace(path, replacement)
+            assert inc.root_hash == alpha_hash_all(inc.expr).root_hash
+        assert_all_agree(inc, store)

@@ -1,0 +1,92 @@
+"""Property tests: the store's partition equals the paper's oracles.
+
+The satellite contract: interning into :class:`ExprStore` partitions
+expressions exactly as (a) equality of materialised Step-1 tagged
+e-summaries and (b) the reference :func:`alpha_equivalent` decision
+procedure -- including alpha-varied copies of the same skeleton, which
+exercise the modulo-alpha part of the store keys.
+"""
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.esummary import esummary_equal, summarise_tagged
+from repro.core.hashed import alpha_hash_all
+from repro.gen.random_exprs import alpha_rename
+from repro.lang.alpha import alpha_equivalent
+from repro.store import ExprStore
+
+from strategies import exprs, structural_exprs
+
+
+@given(st.lists(exprs(max_size=40), min_size=2, max_size=4), st.integers(0, 7))
+def test_partition_matches_both_oracles(es, pick):
+    # throw in an alpha-varied copy of one drawn expression so at least
+    # one non-syntactic equality is always present
+    es = es + [alpha_rename(es[pick % len(es)], seed=9)]
+    store = ExprStore()
+    ids = store.intern_many(es)
+    summaries = [summarise_tagged(e) for e in es]
+    for i, j in combinations(range(len(es)), 2):
+        same_store = ids[i] == ids[j]
+        same_summary = esummary_equal(summaries[i], summaries[j])
+        same_alpha = alpha_equivalent(es[i], es[j])
+        assert same_store == same_summary == same_alpha
+
+
+@given(structural_exprs(max_leaves=15), st.integers(1, 5))
+def test_alpha_varied_copies_collapse_to_one_class(e, seed):
+    store = ExprStore()
+    original = store.intern(e)
+    assert store.intern(alpha_rename(e, seed=seed)) == original
+
+
+@given(exprs(max_size=60))
+def test_subexpression_grouping_matches_fresh_hashes(e):
+    # the store's per-node view must induce the same subexpression
+    # grouping as a from-scratch AlphaHashes pass
+    store = ExprStore()
+    view = store.hashes(e)
+    fresh = alpha_hash_all(e)
+    groups_view: dict[int, list] = {}
+    groups_fresh: dict[int, list] = {}
+    for path, node, value in fresh.items():
+        groups_fresh.setdefault(value, []).append(path)
+        groups_view.setdefault(view.hash_of(node), []).append(path)
+    assert groups_view == groups_fresh
+
+
+@given(exprs(max_size=50))
+def test_intern_is_idempotent_and_canonicalising(e):
+    store = ExprStore()
+    node_id = store.intern(e)
+    assert store.intern(e) == node_id
+    canonical = store.expr_of(node_id)
+    assert alpha_equivalent(canonical, e)
+    assert store.intern(canonical) == node_id
+
+
+@settings(max_examples=25)
+@given(st.lists(exprs(max_size=30), min_size=2, max_size=4), st.integers(0, 2**10))
+def test_lru_churn_preserves_consistency(es, seed):
+    # eviction invalidates old ids (classes are re-minted on re-intern)
+    # but must never corrupt the live table: hashes key live entries,
+    # children of live entries stay pinned, and a fresh intern always
+    # lands on the entry its alpha-hash points at
+    from repro.core.hashed import alpha_hash_root
+    from repro.gen.random_exprs import random_expr
+
+    store = ExprStore(max_entries=60)
+    store.intern_many(es)
+    for s in range(4):  # churn to force evictions
+        store.intern(random_expr(35, seed=seed + s))
+    for e in es:
+        node_id = store.intern(e)
+        assert store.lookup_hash(alpha_hash_root(e)) == node_id
+        assert store.hash_of(node_id) == alpha_hash_root(e)
+    for entry in store.entries():
+        assert store.lookup_hash(entry.hash) == entry.node_id
+        for kid in entry.children:
+            assert kid in store
