@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.evalharness.ablations import ABLATION_VARIANTS
+from repro.api.backends import ABLATION_ORDER, get_backend
+from repro.evalharness.ablations import sweep_label
 from repro.evalharness.config import current_profile
 from repro.gen.random_exprs import random_unbalanced
 
@@ -26,11 +27,12 @@ _EXPRS = {n: random_unbalanced(n, seed=51 ^ n) for n in _SIZES}
 
 
 @pytest.mark.parametrize("size", _SIZES)
-@pytest.mark.parametrize("variant", list(ABLATION_VARIANTS))
+@pytest.mark.parametrize("variant", ABLATION_ORDER)
 def test_ablation(benchmark, variant, size):
-    label, fn = ABLATION_VARIANTS[variant]
-    benchmark.extra_info["variant"] = label
+    backend = get_backend(variant)
+    # historical sweep labels, so recorded benchmark series stay comparable
+    benchmark.extra_info["variant"] = sweep_label(variant)
     benchmark.extra_info["n"] = size
     heavy = variant in ('always_left', 'recompute_vm') and size >= 4096
-    result = run_bench(benchmark, fn, _EXPRS[size], heavy=heavy)
+    result = run_bench(benchmark, backend.hash_all, _EXPRS[size], heavy=heavy)
     assert result.root_hash is not None

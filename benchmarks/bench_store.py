@@ -23,8 +23,11 @@ passes and reports a cache hit-rate > 0.
 
 from __future__ import annotations
 
+import os
 import random
+import tempfile
 
+from repro.api import Session
 from repro.core.hashed import alpha_hash_all
 from repro.gen.random_exprs import random_expr
 from repro.lang.expr import App, Expr
@@ -111,9 +114,37 @@ def test_store_rehash_warm(benchmark):
     )
 
 
+def test_session_rehash_cold(benchmark):
+    corpus = _bench_corpus()
+    benchmark.extra_info["corpus_nodes"] = sum(e.size for e in corpus)
+
+    def cold():
+        return Session().hash_corpus(corpus)
+
+    benchmark.pedantic(cold, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_session_snapshot_reload(benchmark):
+    """Load-from-snapshot vs re-hashing: the cross-process reuse path."""
+    corpus = _bench_corpus()
+    session = Session()
+    session.intern_many(corpus)
+    handle, path = tempfile.mkstemp(suffix=".snap")
+    os.close(handle)
+    try:
+        session.save(path)
+        benchmark.extra_info["snapshot_bytes"] = os.path.getsize(path)
+        benchmark.pedantic(
+            Session.load, args=(path,), rounds=3, iterations=1, warmup_rounds=1
+        )
+    finally:
+        os.unlink(path)
+
+
 def test_store_matches_fresh():
     corpus = _bench_corpus()
     assert ExprStore().hash_corpus(corpus) == fresh_hash_corpus(corpus)
+    assert Session().hash_corpus(corpus) == fresh_hash_corpus(corpus)
 
 
 # ---------------------------------------------------------------------------
@@ -169,6 +200,35 @@ def smoke(n_items: int, item_size: int, repeats: int) -> int:
     if not hit_rate > 0:
         print("FAIL: cache hit-rate is zero")
         ok = False
+
+    # Session snapshot round-trip: a corpus hashed once must reload with
+    # bit-identical root hashes and a store that already knows every class.
+    session = Session()
+    roots = session.hash_corpus(corpus)
+    session.intern_many(corpus)
+    handle, path = tempfile.mkstemp(suffix=".snap")
+    os.close(handle)
+    try:
+        session.save(path)
+        loaded = Session.load(path)
+        if loaded.store.stats.as_dict() != session.store.stats.as_dict():
+            print("FAIL: snapshot did not round-trip the store stats")
+            ok = False
+        if loaded.hash_corpus(corpus) != roots:
+            print("FAIL: snapshot reload changed root hashes")
+            ok = False
+        elif any(loaded.store.lookup_hash(h) is None for h in roots):
+            print("FAIL: reloaded store is missing interned classes")
+            ok = False
+        else:
+            print(
+                f"snapshot round-trip ok ({os.path.getsize(path)} bytes, "
+                f"{len(loaded.store)} entries)"
+            )
+    finally:
+        if os.path.exists(path):
+            os.unlink(path)
+
     if ok:
         print("OK: store beats fresh re-hashing with a warm cache")
     return 0 if ok else 1

@@ -25,6 +25,7 @@ Package map:
   per-table/figure regeneration harnesses.
 """
 
+from repro.api import BACKENDS, Session, SessionConfig, get_backend
 from repro.apps import cse, share_alpha, share_syntactic
 from repro.baselines import ALGORITHMS, get_algorithm
 from repro.core import (
@@ -55,6 +56,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "Session",
+    "SessionConfig",
+    "BACKENDS",
+    "get_backend",
     "cse",
     "share_alpha",
     "share_syntactic",

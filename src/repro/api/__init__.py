@@ -1,0 +1,42 @@
+"""``repro.api`` -- the user-facing front door of the reproduction.
+
+Two pieces:
+
+* :class:`Session` (:mod:`repro.api.session`) -- a facade owning a
+  combiner family, an optional :class:`~repro.store.ExprStore`, and a
+  named hasher backend; it exposes ``hash`` / ``hashes`` /
+  ``hash_corpus`` / ``intern`` / ``cse`` / ``share`` / ``stats`` plus
+  ``save`` / ``load`` store snapshots.
+* the unified backend registry (:mod:`repro.api.backends`) -- every
+  Table 1 algorithm, the Appendix C variant and the design-choice
+  ablations behind one ``name -> HasherBackend`` mapping.
+
+Everything else in the package keeps working, but new code (and all the
+in-repo CLIs, harnesses and benchmarks) should come through here.
+"""
+
+from repro.api.backends import (
+    ABLATION_ORDER,
+    BACKENDS,
+    TABLE1_ORDER,
+    FunctionBackend,
+    HasherBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.api.session import Session, SessionConfig, SessionError
+
+__all__ = [
+    "Session",
+    "SessionConfig",
+    "SessionError",
+    "HasherBackend",
+    "FunctionBackend",
+    "BACKENDS",
+    "TABLE1_ORDER",
+    "ABLATION_ORDER",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,182 @@
+"""The unified hasher-backend registry behind :class:`repro.api.Session`.
+
+Before this module the repository had several parallel ways to name a
+hashing algorithm: the Table 1 registry
+(:data:`repro.baselines.registry.ALGORITHMS`), a second registry of
+ablation variants inside the eval harness, the Appendix C variant, and
+the store's memoised path.  Every consumer picked one ad hoc.  This
+module absorbs all of them into **one** name -> backend mapping:
+
+* the four Table 1 rows (``structural``, ``debruijn``,
+  ``locally_nameless``, ``ours``) plus the Appendix C ``ours_lazy``
+  variant, carrying their Table 1 metadata;
+* the design-choice ablations (``always_left``, ``recompute_vm``) from
+  :mod:`repro.baselines.ablated`;
+* aliases for historical names (``lazy`` -> ``ours_lazy``, ``default``
+  -> ``ours``).
+
+A backend is anything satisfying the :class:`HasherBackend` protocol --
+a named object that maps an expression to an
+:class:`~repro.core.hashed.AlphaHashes` annotation.  Only the ``ours``
+backend is *store-backed*: its hashes agree bit-for-bit with
+:class:`repro.store.ExprStore`'s memoised summariser, so a
+:class:`~repro.api.Session` routes it through the store (batching,
+memoisation, snapshots).  All other backends run their own pass -- that
+is the point of selecting them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Protocol, runtime_checkable
+
+from repro.baselines.ablated import (
+    alpha_hash_all_always_left,
+    alpha_hash_all_recompute_vm,
+)
+from repro.baselines.registry import ALGORITHMS, TABLE1_ORDER, HashAlgorithm
+from repro.core.combiners import HashCombiners
+from repro.core.hashed import AlphaHashes
+from repro.lang.expr import Expr
+
+__all__ = [
+    "HasherBackend",
+    "FunctionBackend",
+    "BACKENDS",
+    "TABLE1_ORDER",
+    "ABLATION_ORDER",
+    "get_backend",
+    "register_backend",
+    "backend_names",
+]
+
+
+@runtime_checkable
+class HasherBackend(Protocol):
+    """What a :class:`~repro.api.Session` needs from a hashing backend.
+
+    ``name`` is the registry key; ``label`` a human-readable row label;
+    ``kind`` one of ``"table1"``, ``"variant"`` or ``"ablation"``;
+    ``store_backed`` is True only when the backend's hashes agree
+    bit-for-bit with :class:`repro.store.ExprStore`, allowing the
+    session to serve it from the store's memo.
+    """
+
+    name: str
+    label: str
+    kind: str
+    store_backed: bool
+
+    def hash_all(
+        self, expr: Expr, combiners: Optional[HashCombiners] = None
+    ) -> AlphaHashes:
+        """Annotate every subexpression of ``expr`` with its hash."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class FunctionBackend:
+    """A :class:`HasherBackend` wrapping a plain hashing function.
+
+    ``algorithm`` links back to the Table 1 metadata row
+    (:class:`~repro.baselines.registry.HashAlgorithm`) when the backend
+    is one of the paper's algorithms; ablations carry ``None``.
+    """
+
+    name: str
+    label: str
+    kind: str
+    section: str
+    store_backed: bool
+    run: Callable[[Expr, Optional[HashCombiners]], AlphaHashes] = field(
+        repr=False
+    )
+    algorithm: Optional[HashAlgorithm] = field(default=None, repr=False)
+
+    def hash_all(
+        self, expr: Expr, combiners: Optional[HashCombiners] = None
+    ) -> AlphaHashes:
+        return self.run(expr, combiners)
+
+    __call__ = hash_all
+
+
+#: The one registry: canonical name -> backend.
+BACKENDS: dict[str, FunctionBackend] = {}
+
+#: Alternate spellings accepted by :func:`get_backend`.
+_ALIASES: dict[str, str] = {}
+
+
+def register_backend(
+    backend: FunctionBackend, aliases: Iterable[str] = ()
+) -> FunctionBackend:
+    """Add ``backend`` (and optional alias names) to the registry."""
+    for key in (backend.name, *aliases):
+        if key in BACKENDS or key in _ALIASES:
+            raise ValueError(f"backend name {key!r} is already registered")
+    BACKENDS[backend.name] = backend
+    for alias in aliases:
+        _ALIASES[alias] = backend.name
+    return backend
+
+
+def get_backend(name: str) -> FunctionBackend:
+    """Resolve a backend by canonical name or alias (KeyError lists both)."""
+    backend = BACKENDS.get(_ALIASES.get(name, name))
+    if backend is None:
+        raise KeyError(
+            f"unknown backend {name!r}; available: {sorted(BACKENDS)}"
+            f" (aliases: {sorted(_ALIASES)})"
+        )
+    return backend
+
+
+def backend_names(include_aliases: bool = False) -> tuple[str, ...]:
+    """All registered backend names, sorted."""
+    names = set(BACKENDS)
+    if include_aliases:
+        names |= set(_ALIASES)
+    return tuple(sorted(names))
+
+
+for _name, _alg in ALGORITHMS.items():
+    register_backend(
+        FunctionBackend(
+            name=_name,
+            label=_alg.label,
+            kind="table1" if _name in TABLE1_ORDER else "variant",
+            section=_alg.section,
+            store_backed=(_name == "ours"),
+            run=_alg.run,
+            algorithm=_alg,
+        )
+    )
+
+register_backend(
+    FunctionBackend(
+        name="always_left",
+        label="no smaller-subtree merge",
+        kind="ablation",
+        section="4.8",
+        store_backed=False,
+        run=alpha_hash_all_always_left,
+    )
+)
+register_backend(
+    FunctionBackend(
+        name="recompute_vm",
+        label="no XOR maintenance",
+        kind="ablation",
+        section="5.2",
+        store_backed=False,
+        run=alpha_hash_all_recompute_vm,
+    )
+)
+
+_ALIASES["lazy"] = "ours_lazy"
+_ALIASES["default"] = "ours"
+
+#: The ablation timing sweep, in its historical order ("lazy" is the
+#: alias the old eval-harness registry used for ``ours_lazy``).
+ABLATION_ORDER = ("ours", "always_left", "recompute_vm", "lazy")

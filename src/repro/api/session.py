@@ -1,0 +1,224 @@
+"""The :class:`Session` facade: one front door for hashing workloads.
+
+A session owns the three things every consumer used to assemble by
+hand -- a combiner family, an optional :class:`~repro.store.ExprStore`,
+and a named backend from the unified registry -- and exposes the whole
+workflow behind one object::
+
+    from repro.api import Session
+
+    session = Session()                       # "ours", 64-bit, store-backed
+    session.hash(expr)                        # root alpha-hash
+    session.hashes(expr)                      # every subexpression
+    session.hash_corpus(corpus)               # store-batched
+    session.intern(expr)                      # canonical node id
+    session.cse(expr); session.share(expr)    # apps, pooled through the store
+    session.save("corpus.snap")               # persist intern table + memo
+    warm = Session.load("corpus.snap")        # ...in another process
+
+    Session(backend="debruijn").hashes(expr)  # any Table 1 row or ablation
+
+Store routing: only the default ``ours`` backend is bit-compatible with
+the store's memoised summariser, so only it is served from the store;
+every other backend runs its own pass (selecting ``always_left`` and
+then silently timing the store path would defeat the selection).  The
+store still backs :meth:`intern` / :meth:`cse` / :meth:`share`
+regardless of backend, since interning is defined over the canonical
+alpha-hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Iterable, Optional, Union
+
+from repro.api.backends import FunctionBackend, get_backend
+from repro.core.combiners import DEFAULT_SEED, HashCombiners
+from repro.core.hashed import AlphaHashes
+from repro.lang.expr import Expr
+from repro.store import ExprStore, read_snapshot
+
+__all__ = ["Session", "SessionConfig", "SessionError"]
+
+
+class SessionError(RuntimeError):
+    """A session was asked for something its configuration rules out."""
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything a :class:`Session` needs, in one declarative record.
+
+    ``seed=None`` means the shared fixed default (reproducible hashes
+    across sessions and processes).  ``use_store=False`` disables the
+    store entirely: hashing runs the backend directly and
+    intern/save/load become unavailable.  ``max_entries``/``memo_limit``
+    configure the store's LRU-bounded mode.
+    """
+
+    backend: str = "ours"
+    bits: int = 64
+    seed: Optional[int] = None
+    use_store: bool = True
+    max_entries: Optional[int] = None
+    memo_limit: Optional[int] = None
+
+    @property
+    def resolved_seed(self) -> int:
+        return DEFAULT_SEED if self.seed is None else self.seed
+
+
+class Session:
+    """One coherent entry point over backends, combiners and the store.
+
+    Construct from a :class:`SessionConfig` or from keyword overrides::
+
+        Session()                                   # all defaults
+        Session(backend="ours_lazy", bits=32)
+        Session(SessionConfig(max_entries=10_000))
+    """
+
+    def __init__(self, config: Optional[SessionConfig] = None, **overrides):
+        if config is None:
+            config = SessionConfig(**overrides)
+        elif overrides:
+            raise TypeError(
+                "pass either a SessionConfig or keyword overrides, not both"
+            )
+        self.config = config
+        self.backend: FunctionBackend = get_backend(config.backend)
+        self.combiners = HashCombiners(
+            bits=config.bits, seed=config.resolved_seed
+        )
+        self.store: Optional[ExprStore] = (
+            ExprStore(
+                self.combiners,
+                max_entries=config.max_entries,
+                memo_limit=config.memo_limit,
+            )
+            if config.use_store
+            else None
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        store = f"{len(self.store)} entries" if self.store else "no store"
+        return (
+            f"Session(backend={self.backend.name!r}, "
+            f"bits={self.combiners.bits}, {store})"
+        )
+
+    @property
+    def _store_backed(self) -> bool:
+        return self.store is not None and self.backend.store_backed
+
+    # -- hashing ---------------------------------------------------------------
+
+    def hash(self, expr: Expr) -> int:
+        """The root hash of ``expr`` under the session's backend."""
+        if self._store_backed:
+            return self.store.hash_expr(expr)
+        return self.backend.hash_all(expr, self.combiners).root_hash
+
+    def hashes(self, expr: Expr) -> AlphaHashes:
+        """Hashes of every subexpression of ``expr``."""
+        if self._store_backed:
+            return self.store.hashes(expr)
+        return self.backend.hash_all(expr, self.combiners)
+
+    def hash_corpus(self, exprs: Iterable[Expr]) -> list[int]:
+        """Root hashes of a whole corpus, store-batched when possible:
+        repeated and overlapping subtrees are summarised once."""
+        if self._store_backed:
+            return self.store.hash_corpus(exprs)
+        return [
+            self.backend.hash_all(e, self.combiners).root_hash for e in exprs
+        ]
+
+    # -- interning and apps ----------------------------------------------------
+
+    def _require_store(self, operation: str) -> ExprStore:
+        if self.store is None:
+            raise SessionError(
+                f"{operation} needs a store; this session was built with "
+                "use_store=False"
+            )
+        return self.store
+
+    def intern(self, expr: Expr) -> int:
+        """Intern ``expr``; alpha-equivalent trees share one node id."""
+        return self._require_store("intern()").intern(expr)
+
+    def intern_many(self, exprs: Iterable[Expr]) -> list[int]:
+        """Batch :meth:`intern`: one id per input, duplicates collapse."""
+        return self._require_store("intern_many()").intern_many(exprs)
+
+    def cse(self, expr: Expr, **kwargs):
+        """Common-subexpression elimination through the session's store
+        (see :func:`repro.apps.cse.cse` for the knobs)."""
+        from repro.apps.cse import cse
+
+        return cse(expr, combiners=self.combiners, store=self.store, **kwargs)
+
+    def share(self, exprs: Union[Expr, Iterable[Expr]]):
+        """Alpha-share one expression (-> ``SharingResult``) or a corpus
+        (-> list of them), pooling the canonical DAG across the session."""
+        from repro.apps.sharing import share_alpha
+
+        if isinstance(exprs, Expr):
+            return share_alpha(exprs, combiners=self.combiners, store=self.store)
+        return [
+            share_alpha(e, combiners=self.combiners, store=self.store)
+            for e in exprs
+        ]
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """One merged accounting dict: config, backend, store counters."""
+        out: dict = {
+            "backend": self.backend.name,
+            "backend_kind": self.backend.kind,
+            "bits": self.combiners.bits,
+            "seed": self.combiners.seed,
+            "store_enabled": self.store is not None,
+        }
+        if self.store is not None:
+            out["entries"] = len(self.store)
+            out["store"] = self.store.stats.as_dict()
+        return out
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: str) -> str:
+        """Snapshot the session's store (and backend name) to ``path``."""
+        store = self._require_store("save()")
+        store.save(path, meta={"backend": self.backend.name, "config": asdict(self.config)})
+        return path
+
+    @classmethod
+    def load(cls, path: str, backend: Optional[str] = None) -> "Session":
+        """Rebuild a session from a :meth:`save` snapshot.
+
+        Root hashes are bit-identical to the saving process, and
+        interning lands on the saved node ids without growing the
+        store.  (Re-parsed copies of saved expressions are summarised
+        once -- the memo is per-object -- before resolving to their
+        existing class; the restored canonical representatives hash as
+        pure memo hits.)  ``backend`` overrides the saved backend name.
+        """
+        store, header = read_snapshot(path)
+        meta = header.get("meta") or {}
+        config = SessionConfig(
+            backend=backend or meta.get("backend", "ours"),
+            bits=header["bits"],
+            seed=header["seed"],
+            use_store=True,
+            max_entries=header.get("max_entries"),
+            memo_limit=header.get("memo_limit"),
+        )
+        session = cls(config)
+        # Adopt the restored store wholesale (same combiner family: the
+        # snapshot header is the source of bits and seed).
+        session.store = store
+        session.combiners = store.combiners
+        return session

@@ -1,0 +1,31 @@
+"""Shared handling of the apps' ``session=`` convenience parameter."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.combiners import HashCombiners
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api import Session
+    from repro.store import ExprStore
+
+__all__ = ["resolve_session"]
+
+
+def resolve_session(
+    session: Optional["Session"],
+    combiners: Optional[HashCombiners],
+    store: Optional["ExprStore"],
+) -> tuple[Optional[HashCombiners], Optional["ExprStore"]]:
+    """The effective ``(combiners, store)`` for an app entry point.
+
+    A session supplies both and excludes passing either explicitly --
+    one rule, enforced identically across ``cse``, ``share_alpha`` and
+    ``ast_to_graph``.
+    """
+    if session is None:
+        return combiners, store
+    if combiners is not None or store is not None:
+        raise ValueError("pass either a session or combiners/store, not both")
+    return session.combiners, session.store

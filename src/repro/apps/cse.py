@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro.apps._session_args import resolve_session
 from repro.core.combiners import HashCombiners
 from repro.core.equivalence import EquivalenceClass, equivalence_classes
 from repro.lang.expr import Expr, Let, Var
@@ -42,6 +43,7 @@ from repro.lang.names import NameSupply, all_names, binder_names, free_vars, has
 from repro.lang.traversal import replace_at, subexpression_at
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.api import Session
     from repro.store import ExprStore
 
 __all__ = ["cse", "CSEResult", "CSERound", "class_saving"]
@@ -100,6 +102,7 @@ def cse(
     verify_classes: bool = True,
     binder_prefix: str = "cse",
     store: Optional["ExprStore"] = None,
+    session: Optional["Session"] = None,
 ) -> CSEResult:
     """Eliminate alpha-equivalent common subexpressions from ``expr``.
 
@@ -114,8 +117,11 @@ def cse(
     (a private one unless ``store`` is supplied): a rewrite rebuilds only
     the spine above the touched sites, so the store's summary memo serves
     every off-spine subtree from cache instead of re-summarising the
-    whole program per round.
+    whole program per round.  Passing a :class:`~repro.api.Session`
+    instead supplies both its combiners and its store (equivalent to
+    ``session.cse(expr)``).
     """
+    combiners, store = resolve_session(session, combiners, store)
     if not has_unique_binders(expr):
         expr = uniquify_binders(expr)
 

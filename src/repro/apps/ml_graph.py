@@ -20,15 +20,19 @@ feature extraction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import networkx as nx
 
+from repro.apps._session_args import resolve_session
 from repro.core.combiners import HashCombiners
 from repro.core.equivalence import equivalence_classes
 from repro.core.hashed import alpha_hash_all
 from repro.lang.expr import Expr, Lam, Let, Lit, Var
 from repro.lang.traversal import preorder_with_paths
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api import Session
 
 __all__ = ["ast_to_graph", "GraphStats", "graph_stats"]
 
@@ -49,16 +53,23 @@ def ast_to_graph(
     equality_links: bool = True,
     min_class_size: int = 2,
     verify: bool = False,
+    session: Optional["Session"] = None,
 ) -> "nx.DiGraph":
     """Build the program graph of ``expr``.
 
     ``min_class_size`` sets the smallest subtree (in AST nodes) whose
     equivalence class receives ``alpha_equal`` links; bare variables are
     skipped by default.  ``verify=True`` routes classes through the
-    exact-equality check first.
+    exact-equality check first.  Passing a :class:`~repro.api.Session`
+    hashes through its store, so graphs built over a corpus with shared
+    subtrees summarise each unique subtree once.
     """
+    combiners, _store = resolve_session(session, combiners, None)
+    if session is not None:
+        hashes = session.hashes(expr)
+    else:
+        hashes = alpha_hash_all(expr, combiners)
     graph = nx.DiGraph()
-    hashes = alpha_hash_all(expr, combiners)
 
     for path, node in preorder_with_paths(expr):
         graph.add_node(

@@ -26,11 +26,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.apps._session_args import resolve_session
 from repro.core.combiners import HashCombiners
 from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
 from repro.lang.traversal import postorder
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.api import Session
     from repro.store import ExprStore
 
 __all__ = ["SharingResult", "share_syntactic", "share_alpha"]
@@ -115,6 +117,7 @@ def share_alpha(
     expr: Expr,
     combiners: Optional[HashCombiners] = None,
     store: Optional["ExprStore"] = None,
+    session: Optional["Session"] = None,
 ) -> SharingResult:
     """Share subtrees modulo alpha-equivalence using the paper's hash.
 
@@ -126,8 +129,11 @@ def share_alpha(
     Interning into an :class:`~repro.store.ExprStore` *is* this
     transformation, so the pass is a thin wrapper: a private store per
     call by default, or a caller-supplied one to pool sharing (and hash
-    memoisation) across a whole corpus.
+    memoisation) across a whole corpus.  Passing a
+    :class:`~repro.api.Session` pools through its store (equivalent to
+    ``session.share(expr)``).
     """
+    combiners, store = resolve_session(session, combiners, store)
     if store is None:
         from repro.store import ExprStore
 

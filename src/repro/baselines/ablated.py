@@ -1,0 +1,178 @@
+"""Ablated variants of the fast summariser (design-choice baselines).
+
+Two load-bearing choices from the paper's algorithm, each switched off:
+
+* **Smaller-subtree merge (Section 4.8).**
+  :func:`alpha_hash_all_always_left` always folds the argument/body map
+  into the function/bound map, regardless of size.  On unbalanced trees
+  the merge work goes quadratic -- exactly the problem Section 4.8
+  fixes.
+
+* **XOR-maintained map hash (Section 5.2).**
+  :func:`alpha_hash_all_recompute_vm` keeps the same maps but recomputes
+  the variable-map hash from scratch at every node, "prohibitively
+  (indeed asymptotically) slow" per the paper: O(n * avg-map-size)
+  instead of O(1) per update.
+
+These live next to the Table 1 baselines because they are *comparison
+algorithms*, not measurement code: the timing sweeps that race them
+live in :mod:`repro.evalharness.ablations`, and both are registered as
+named backends in the unified :mod:`repro.api.backends` registry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.combiners import HashCombiners, default_combiners
+from repro.core.hashed import AlphaHashes
+from repro.core.position_tree import pt_here_hash, pt_join_hash
+from repro.core.structure import (
+    sapp_hash,
+    slam_hash,
+    slet_hash,
+    slit_hash,
+    svar_hash,
+    top_hash,
+)
+from repro.core.varmap import HashedVarMap, MapOpStats, entry_hash
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+
+__all__ = ["alpha_hash_all_always_left", "alpha_hash_all_recompute_vm"]
+
+
+def _summarise_generic(
+    expr: Expr,
+    combiners: HashCombiners,
+    merge_left_always: bool,
+    recompute_vm_hash: bool,
+    stats: Optional[MapOpStats] = None,
+) -> AlphaHashes:
+    """The fast summariser with ablation switches.
+
+    Mirrors :func:`repro.core.hashed.alpha_hash_all`; kept separate so
+    the production path stays branch-free.
+    """
+    here = pt_here_hash(combiners)
+    var_structure = svar_hash(combiners)
+    count_ops = stats is not None
+
+    by_id: dict[int, int] = {}
+    results: list[tuple[int, HashedVarMap]] = []
+    stack: list[tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, visited = stack.pop()
+        if not visited:
+            stack.append((node, True))
+            for child in reversed(node.children()):
+                stack.append((child, False))
+            continue
+
+        if isinstance(node, Var):
+            s_hash = var_structure
+            varmap = HashedVarMap.singleton(combiners, node.name, here)
+            if count_ops:
+                stats.singleton += 1
+        elif isinstance(node, Lit):
+            s_hash = slit_hash(combiners, node.value)
+            varmap = HashedVarMap.empty()
+        elif isinstance(node, Lam):
+            s_body, varmap = results.pop()
+            pos = varmap.remove(combiners, node.binder)
+            if count_ops:
+                stats.remove += 1
+            s_hash = slam_hash(combiners, node.size, pos, s_body)
+        elif isinstance(node, App):
+            s_arg, vm_arg = results.pop()
+            s_fn, vm_fn = results.pop()
+            if merge_left_always:
+                left_bigger = True
+            else:
+                left_bigger = len(vm_fn) >= len(vm_arg)
+            s_hash = sapp_hash(combiners, node.size, left_bigger, s_fn, s_arg)
+            big, small = (vm_fn, vm_arg) if left_bigger else (vm_arg, vm_fn)
+            if count_ops:
+                stats.merge_entries += len(small)
+            _fold(combiners, big, small, node.size)
+            varmap = big
+        elif isinstance(node, Let):
+            s_body, vm_body = results.pop()
+            s_bound, vm_bound = results.pop()
+            pos_x = vm_body.remove(combiners, node.binder)
+            if count_ops:
+                stats.remove += 1
+            if merge_left_always:
+                left_bigger = True
+            else:
+                left_bigger = len(vm_bound) >= len(vm_body)
+            s_hash = slet_hash(
+                combiners, node.size, pos_x, left_bigger, s_bound, s_body
+            )
+            big, small = (vm_bound, vm_body) if left_bigger else (vm_body, vm_bound)
+            if count_ops:
+                stats.merge_entries += len(small)
+            _fold(combiners, big, small, node.size)
+            varmap = big
+        else:  # pragma: no cover
+            raise TypeError(f"unknown node kind {node.kind}")
+
+        if recompute_vm_hash:
+            vm_hash = varmap.recomputed_hash(combiners)
+            varmap.hash = vm_hash
+        else:
+            vm_hash = varmap.hash
+        by_id[id(node)] = top_hash(combiners, s_hash, vm_hash)
+        results.append((s_hash, varmap))
+    assert len(results) == 1
+    return AlphaHashes(expr, combiners, by_id)
+
+
+def _fold(
+    combiners: HashCombiners, big: HashedVarMap, small: HashedVarMap, tag: int
+) -> None:
+    entries = big.entries
+    acc = big.hash
+    for name, small_pos in small.entries.items():
+        old_pos = entries.get(name)
+        new_pos = pt_join_hash(combiners, tag, old_pos, small_pos)
+        if old_pos is not None:
+            acc ^= entry_hash(combiners, name, old_pos)
+        entries[name] = new_pos
+        acc ^= entry_hash(combiners, name, new_pos)
+    big.hash = acc
+
+
+def alpha_hash_all_always_left(
+    expr: Expr,
+    combiners: Optional[HashCombiners] = None,
+    stats: Optional[MapOpStats] = None,
+) -> AlphaHashes:
+    """Ablation: merge right-into-left regardless of map sizes.
+
+    Still a correct alpha-hash (the merge policy is deterministic), but
+    the Lemma 6.1 bound no longer applies: unbalanced trees degrade to
+    quadratic merge work.
+    """
+    if combiners is None:
+        combiners = default_combiners()
+    return _summarise_generic(
+        expr, combiners, merge_left_always=True, recompute_vm_hash=False, stats=stats
+    )
+
+
+def alpha_hash_all_recompute_vm(
+    expr: Expr,
+    combiners: Optional[HashCombiners] = None,
+    stats: Optional[MapOpStats] = None,
+) -> AlphaHashes:
+    """Ablation: recompute the variable-map hash from scratch per node.
+
+    Produces bit-identical hashes to the production algorithm (the XOR
+    aggregate is the same value either way) while paying the
+    O(map size) cost the incremental maintenance avoids.
+    """
+    if combiners is None:
+        combiners = default_combiners()
+    return _summarise_generic(
+        expr, combiners, merge_left_always=False, recompute_vm_hash=True, stats=stats
+    )

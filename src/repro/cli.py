@@ -16,10 +16,13 @@ Experiment commands regenerate the paper's tables and figures::
 Utility commands work on expression files (surface syntax, see
 ``repro.lang.parser``)::
 
-    python -m repro hash FILE               # alpha-hash of the program
+    python -m repro hash FILE [FILE...]     # alpha-hash; >1 file = JSON batch
     python -m repro classes FILE            # equivalence classes
     python -m repro cse FILE                # CSE-transformed program
     python -m repro store FILE [FILE...]    # intern a corpus, report cache stats
+    python -m repro session [FILE...]       # the Session facade: pick a
+                                            # --backend, batch-hash a corpus,
+                                            # --save/--load store snapshots
 """
 
 from __future__ import annotations
@@ -42,7 +45,7 @@ _EXPERIMENTS = {
     "difftest": "repro.analysis.differential",
 }
 
-_UTILITIES = ("hash", "classes", "cse", "store")
+_UTILITIES = ("hash", "classes", "cse", "store", "session")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -80,15 +83,13 @@ def _run_utility(command: str, rest: Sequence[str]) -> int:
 
     if command == "store":
         return _run_store(rest)
+    if command == "hash":
+        return _run_hash(rest)
+    if command == "session":
+        return _run_session(rest)
 
     parser = argparse.ArgumentParser(prog=f"repro {command}")
     parser.add_argument("file", help="expression file, or - for stdin")
-    if command == "hash":
-        parser.add_argument("--bits", type=int, default=64)
-        parser.add_argument("--seed", type=int, default=None)
-        parser.add_argument(
-            "--algorithm", default="ours", help="registry algorithm name"
-        )
     if command == "classes":
         parser.add_argument("--min-size", type=int, default=2)
         parser.add_argument("--min-count", type=int, default=2)
@@ -96,16 +97,6 @@ def _run_utility(command: str, rest: Sequence[str]) -> int:
         parser.add_argument("--min-size", type=int, default=3)
     args = parser.parse_args(rest)
     expr = _read_expr(args.file)
-
-    if command == "hash":
-        from repro.baselines.registry import get_algorithm
-        from repro.core.combiners import DEFAULT_SEED, HashCombiners
-
-        seed = DEFAULT_SEED if args.seed is None else args.seed
-        combiners = HashCombiners(bits=args.bits, seed=seed)
-        hashes = get_algorithm(args.algorithm)(expr, combiners)
-        print(f"0x{hashes.root_hash:x}")
-        return 0
 
     if command == "classes":
         from repro.core.equivalence import equivalence_classes
@@ -125,16 +116,197 @@ def _run_utility(command: str, rest: Sequence[str]) -> int:
         return 0
 
     assert command == "cse"
-    from repro.apps.cse import cse
+    from repro.api import Session
     from repro.lang.pretty import pretty
 
-    result = cse(expr, min_size=args.min_size)
+    result = Session().cse(expr, min_size=args.min_size)
     print(pretty(result.expr))
     print(
         f"# {result.original_size} -> {result.final_size} nodes "
         f"in {len(result.rounds)} rounds",
         file=sys.stderr,
     )
+    return 0
+
+
+def _run_hash(rest: Sequence[str]) -> int:
+    """``repro hash``: alpha-hash one or many expression files.
+
+    One input keeps the historical plain ``0x...`` output; several
+    inputs switch to batch mode -- the whole corpus goes through
+    :meth:`Session.hash_corpus` (store-batched, so shared subtrees hash
+    once) and one JSON record per expression is emitted.
+    """
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="repro hash",
+        description="Alpha-hash expression files; with several files, "
+        "emit one JSON record per expression (batch mode).",
+    )
+    parser.add_argument(
+        "files", nargs="+", help="expression files (surface syntax); - for stdin"
+    )
+    parser.add_argument("--bits", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--algorithm",
+        "--backend",
+        dest="algorithm",
+        default="ours",
+        help="any unified-registry backend (Table 1 rows, ours_lazy, ablations)",
+    )
+    args = parser.parse_args(rest)
+
+    from repro.api import Session
+
+    session = Session(backend=args.algorithm, bits=args.bits, seed=args.seed)
+    exprs = [_read_expr(path) for path in args.files]
+    hashes = session.hash_corpus(exprs)
+    if len(args.files) == 1:
+        print(f"0x{hashes[0]:x}")
+        return 0
+    for path, expr, value in zip(args.files, exprs, hashes):
+        print(
+            json.dumps(
+                {
+                    "file": path,
+                    "hash": f"0x{value:x}",
+                    "nodes": expr.size,
+                    "backend": session.backend.name,
+                    "bits": session.combiners.bits,
+                },
+                sort_keys=True,
+            )
+        )
+    return 0
+
+
+def _run_session(rest: Sequence[str]) -> int:
+    """``repro session``: drive the Session facade from the shell.
+
+    Hashes and interns a corpus of expression files through one
+    :class:`~repro.api.Session`, emitting a JSON record per expression;
+    ``--save`` snapshots the session's store afterwards and ``--load``
+    starts from a snapshot, so a corpus hashed once is reusable across
+    processes.  ``--check`` (with ``--load``) fails unless every
+    expression's class was already present in the snapshot.
+    """
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="repro session",
+        description="Hash/intern expression files through a Session facade "
+        "with a pluggable backend and store snapshots.",
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="expression files (surface syntax); - for stdin",
+    )
+    parser.add_argument(
+        "--backend", default=None, help="unified-registry backend name"
+    )
+    parser.add_argument("--bits", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--no-store", action="store_true", help="hash without a store"
+    )
+    parser.add_argument(
+        "--max-entries", type=int, default=None, help="LRU-bound the store"
+    )
+    parser.add_argument("--load", metavar="PATH", help="start from a snapshot")
+    parser.add_argument("--save", metavar="PATH", help="snapshot when done")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless every expression was already in the loaded snapshot",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="emit a final JSON stats record"
+    )
+    args = parser.parse_args(rest)
+    if args.no_store and args.save:
+        parser.error("--save needs a store; drop --no-store")
+    if args.no_store and args.check:
+        parser.error("--check needs a store; drop --no-store")
+    if args.check and not args.load:
+        parser.error("--check only makes sense with --load")
+    if args.load and (
+        args.no_store
+        or args.bits != 64
+        or args.seed is not None
+        or args.max_entries is not None
+    ):
+        parser.error(
+            "--load takes bits/seed/store shape from the snapshot; drop "
+            "--bits/--seed/--no-store/--max-entries"
+        )
+
+    from repro.api import Session
+
+    if args.load:
+        session = Session.load(args.load, backend=args.backend)
+    else:
+        session = Session(
+            backend=args.backend or "ours",
+            bits=args.bits,
+            seed=args.seed,
+            use_store=not args.no_store,
+            max_entries=args.max_entries,
+        )
+
+    exprs = [_read_expr(path) for path in args.files]
+    hashes = session.hash_corpus(exprs)
+    missing = 0
+    known_flags: list[bool] = []
+    if session.store is not None:
+        # Presence is decided on the canonical (store) alpha-hash, not
+        # the selected backend's hash -- the intern table is keyed by the
+        # former, and the two differ for non-default backends.  All flags
+        # are computed before any interning, so a later duplicate of a
+        # missing class still reports it as missing.
+        known_flags = [
+            session.store.lookup_hash(session.store.hash_expr(expr))
+            is not None
+            for expr in exprs
+        ]
+    for index, (path, expr, value) in enumerate(
+        zip(args.files, exprs, hashes)
+    ):
+        record = {
+            "file": path,
+            "hash": f"0x{value:x}",
+            "nodes": expr.size,
+            "backend": session.backend.name,
+        }
+        if session.store is not None:
+            known = known_flags[index]
+            record["known"] = known
+            if not known:
+                missing += 1
+            record["node_id"] = session.intern(expr)
+        print(json.dumps(record, sort_keys=True))
+
+    if args.stats:
+        print(json.dumps(session.stats(), sort_keys=True))
+    if args.save:
+        session.save(args.save)
+        print(f"# saved session snapshot to {args.save}", file=sys.stderr)
+    if args.check:
+        if missing:
+            print(
+                f"CHECK FAILED: {missing} expression(s) not present in the "
+                "loaded snapshot",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"# check ok: all {len(exprs)} expression(s) already known",
+            file=sys.stderr,
+        )
     return 0
 
 

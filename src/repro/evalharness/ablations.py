@@ -3,20 +3,26 @@
 Three load-bearing choices from DESIGN.md, each ablated:
 
 * **Smaller-subtree merge (Section 4.8).**
-  :func:`alpha_hash_all_always_left` always folds the argument/body map
-  into the function/bound map, regardless of size.  On unbalanced trees
-  the merge work goes quadratic -- exactly the problem Section 4.8
-  fixes.
+  :func:`~repro.baselines.ablated.alpha_hash_all_always_left` always
+  folds the argument/body map into the function/bound map, regardless
+  of size.  On unbalanced trees the merge work goes quadratic --
+  exactly the problem Section 4.8 fixes.
 
 * **XOR-maintained map hash (Section 5.2).**
-  :func:`alpha_hash_all_recompute_vm` keeps the same maps but recomputes
-  the variable-map hash from scratch at every node, "prohibitively
-  (indeed asymptotically) slow" per the paper: O(n * avg-map-size)
-  instead of O(1) per update.
+  :func:`~repro.baselines.ablated.alpha_hash_all_recompute_vm` keeps
+  the same maps but recomputes the variable-map hash from scratch at
+  every node, "prohibitively (indeed asymptotically) slow" per the
+  paper: O(n * avg-map-size) instead of O(1) per update.
 
 * **StructureTag vs Appendix C.**  The tagged algorithm and the
   lazy-linear-transform variant have the same asymptotics; the ablation
   times both to show the constant-factor trade.
+
+The variant implementations live in :mod:`repro.baselines.ablated` and
+are resolved -- like every other hashing algorithm -- through the
+unified :mod:`repro.api.backends` registry; this module only times
+them.  The old module-level ``ABLATION_VARIANTS`` registry is a
+deprecated shim over that unified registry.
 
 The harness times all variants on the unbalanced family (where the
 differences are starkest) and prints fitted slopes.
@@ -24,188 +30,57 @@ differences are starkest) and prints fitted slopes.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.complexity import loglog_slope
 from repro.analysis.timing import time_call
-from repro.core.combiners import HashCombiners, default_combiners
-from repro.core.hashed import AlphaHashes, alpha_hash_all
-from repro.core.linear_lazy import alpha_hash_all_lazy
-from repro.core.position_tree import pt_here_hash, pt_join_hash
-from repro.core.structure import (
-    sapp_hash,
-    slam_hash,
-    slet_hash,
-    slit_hash,
-    svar_hash,
-    top_hash,
+from repro.api.backends import ABLATION_ORDER, get_backend
+from repro.baselines.ablated import (  # noqa: F401 -- compatibility re-exports
+    alpha_hash_all_always_left,
+    alpha_hash_all_recompute_vm,
 )
-from repro.core.varmap import HashedVarMap, MapOpStats, entry_hash
 from repro.evalharness.config import current_profile
 from repro.evalharness.format import format_seconds, format_table
 from repro.gen.random_exprs import random_expr
-from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
 
 __all__ = [
     "alpha_hash_all_always_left",
     "alpha_hash_all_recompute_vm",
-    "ABLATION_VARIANTS",
+    "AblationResult",
     "run_ablations",
+    "sweep_label",
     "main",
 ]
 
 
-def _summarise_generic(
-    expr: Expr,
-    combiners: HashCombiners,
-    merge_left_always: bool,
-    recompute_vm_hash: bool,
-    stats: Optional[MapOpStats] = None,
-) -> AlphaHashes:
-    """The fast summariser with ablation switches.
-
-    Mirrors :func:`repro.core.hashed.alpha_hash_all`; kept separate so
-    the production path stays branch-free.
-    """
-    here = pt_here_hash(combiners)
-    var_structure = svar_hash(combiners)
-    count_ops = stats is not None
-
-    by_id: dict[int, int] = {}
-    results: list[tuple[int, HashedVarMap]] = []
-    stack: list[tuple[Expr, bool]] = [(expr, False)]
-    while stack:
-        node, visited = stack.pop()
-        if not visited:
-            stack.append((node, True))
-            for child in reversed(node.children()):
-                stack.append((child, False))
-            continue
-
-        if isinstance(node, Var):
-            s_hash = var_structure
-            varmap = HashedVarMap.singleton(combiners, node.name, here)
-            if count_ops:
-                stats.singleton += 1
-        elif isinstance(node, Lit):
-            s_hash = slit_hash(combiners, node.value)
-            varmap = HashedVarMap.empty()
-        elif isinstance(node, Lam):
-            s_body, varmap = results.pop()
-            pos = varmap.remove(combiners, node.binder)
-            if count_ops:
-                stats.remove += 1
-            s_hash = slam_hash(combiners, node.size, pos, s_body)
-        elif isinstance(node, App):
-            s_arg, vm_arg = results.pop()
-            s_fn, vm_fn = results.pop()
-            if merge_left_always:
-                left_bigger = True
-            else:
-                left_bigger = len(vm_fn) >= len(vm_arg)
-            s_hash = sapp_hash(combiners, node.size, left_bigger, s_fn, s_arg)
-            big, small = (vm_fn, vm_arg) if left_bigger else (vm_arg, vm_fn)
-            if count_ops:
-                stats.merge_entries += len(small)
-            _fold(combiners, big, small, node.size)
-            varmap = big
-        elif isinstance(node, Let):
-            s_body, vm_body = results.pop()
-            s_bound, vm_bound = results.pop()
-            pos_x = vm_body.remove(combiners, node.binder)
-            if count_ops:
-                stats.remove += 1
-            if merge_left_always:
-                left_bigger = True
-            else:
-                left_bigger = len(vm_bound) >= len(vm_body)
-            s_hash = slet_hash(
-                combiners, node.size, pos_x, left_bigger, s_bound, s_body
-            )
-            big, small = (vm_bound, vm_body) if left_bigger else (vm_body, vm_bound)
-            if count_ops:
-                stats.merge_entries += len(small)
-            _fold(combiners, big, small, node.size)
-            varmap = big
-        else:  # pragma: no cover
-            raise TypeError(f"unknown node kind {node.kind}")
-
-        if recompute_vm_hash:
-            vm_hash = varmap.recomputed_hash(combiners)
-            varmap.hash = vm_hash
-        else:
-            vm_hash = varmap.hash
-        by_id[id(node)] = top_hash(combiners, s_hash, vm_hash)
-        results.append((s_hash, varmap))
-    assert len(results) == 1
-    return AlphaHashes(expr, combiners, by_id)
+#: The sweep's historical display labels, which predate the unified
+#: registry ("ours" is labelled "Ours" there, from Table 1).  Keeping
+#: them stable keeps regenerated ablation tables -- and the deprecated
+#: shim below -- byte-compatible with previously published output.
+_SWEEP_LABELS = {"ours": "Ours (full)", "lazy": "Appendix C variant"}
 
 
-def _fold(
-    combiners: HashCombiners, big: HashedVarMap, small: HashedVarMap, tag: int
-) -> None:
-    entries = big.entries
-    acc = big.hash
-    for name, small_pos in small.entries.items():
-        old_pos = entries.get(name)
-        new_pos = pt_join_hash(combiners, tag, old_pos, small_pos)
-        if old_pos is not None:
-            acc ^= entry_hash(combiners, name, old_pos)
-        entries[name] = new_pos
-        acc ^= entry_hash(combiners, name, new_pos)
-    big.hash = acc
+def sweep_label(key: str) -> str:
+    """The historical display label of one ablation-sweep variant."""
+    return _SWEEP_LABELS.get(key, get_backend(key).label)
 
 
-def alpha_hash_all_always_left(
-    expr: Expr,
-    combiners: Optional[HashCombiners] = None,
-    stats: Optional[MapOpStats] = None,
-) -> AlphaHashes:
-    """Ablation: merge right-into-left regardless of map sizes.
-
-    Still a correct alpha-hash (the merge policy is deterministic), but
-    the Lemma 6.1 bound no longer applies: unbalanced trees degrade to
-    quadratic merge work.
-    """
-    if combiners is None:
-        combiners = default_combiners()
-    return _summarise_generic(
-        expr, combiners, merge_left_always=True, recompute_vm_hash=False, stats=stats
-    )
-
-
-def alpha_hash_all_recompute_vm(
-    expr: Expr,
-    combiners: Optional[HashCombiners] = None,
-    stats: Optional[MapOpStats] = None,
-) -> AlphaHashes:
-    """Ablation: recompute the variable-map hash from scratch per node.
-
-    Produces bit-identical hashes to the production algorithm (the XOR
-    aggregate is the same value either way) while paying the
-    O(map size) cost the incremental maintenance avoids.
-    """
-    if combiners is None:
-        combiners = default_combiners()
-    return _summarise_generic(
-        expr, combiners, merge_left_always=False, recompute_vm_hash=True, stats=stats
-    )
-
-
-#: name -> (label, callable) for the timing sweep.
-ABLATION_VARIANTS: dict[str, tuple[str, Callable]] = {
-    "ours": ("Ours (full)", lambda e, c=None: alpha_hash_all(e, c)),
-    "always_left": (
-        "no smaller-subtree merge",
-        lambda e, c=None: alpha_hash_all_always_left(e, c),
-    ),
-    "recompute_vm": (
-        "no XOR maintenance",
-        lambda e, c=None: alpha_hash_all_recompute_vm(e, c),
-    ),
-    "lazy": ("Appendix C variant", lambda e, c=None: alpha_hash_all_lazy(e, c)),
-}
+def __getattr__(name: str):
+    if name == "ABLATION_VARIANTS":
+        warnings.warn(
+            "repro.evalharness.ablations.ABLATION_VARIANTS is deprecated; "
+            "resolve backends through the unified registry instead "
+            "(repro.api.backends.get_backend / repro.api.Session)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {
+            key: (sweep_label(key), get_backend(key).hash_all)
+            for key in ABLATION_ORDER
+        }
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -217,7 +92,7 @@ class AblationResult:
     seconds: dict[str, list[float]]
 
     def format(self) -> str:
-        headers = ["n"] + [ABLATION_VARIANTS[k][0] for k in self.seconds]
+        headers = ["n"] + [sweep_label(k) for k in self.seconds]
         rows: list[list[object]] = []
         for i, n in enumerate(self.sizes):
             rows.append(
@@ -234,7 +109,7 @@ class AblationResult:
 def run_ablations(
     sizes: Optional[Sequence[int]] = None,
     shape: str = "unbalanced",
-    variants: Sequence[str] = tuple(ABLATION_VARIANTS),
+    variants: Sequence[str] = ABLATION_ORDER,
     scale: str | None = None,
     seed: int = 0,
 ) -> AblationResult:
@@ -243,12 +118,14 @@ def run_ablations(
     if sizes is None:
         # The quadratic ablations need smaller caps than the full sweep.
         sizes = tuple(n for n in profile.fig2_sizes if n <= 16384)
+    backends = {key: get_backend(key) for key in variants}
     result = AblationResult(shape, list(sizes), {k: [] for k in variants})
     for n in sizes:
         expr = random_expr(n, seed=seed ^ n, shape=shape)
-        for key in variants:
-            fn = ABLATION_VARIANTS[key][1]
-            timing = time_call(lambda: fn(expr), repeats=profile.repeats)
+        for key, backend in backends.items():
+            timing = time_call(
+                lambda: backend.hash_all(expr), repeats=profile.repeats
+            )
             result.seconds[key].append(timing.best)
     return result
 

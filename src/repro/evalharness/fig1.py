@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.api import Session
 from repro.core.esummary import summarise_all_naive
-from repro.core.hashed import alpha_hash_all
 from repro.core.render import render_esummary
 from repro.lang.parser import parse
 from repro.lang.pretty import pretty
@@ -32,7 +32,7 @@ def run_fig1(source: str = FIGURE1_SOURCE) -> str:
     """Render the figure for ``source`` (defaults to the paper's)."""
     expr = parse(source)
     summaries = summarise_all_naive(expr)
-    hashes = alpha_hash_all(expr)
+    hashes = Session().hashes(expr)
 
     blocks = [f"(a) input expression: {pretty(expr)}", ""]
     label = ord("b")

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.analysis.timing import time_call
-from repro.core.hashed import alpha_hash_all
+from repro.api import Session
 from repro.core.incremental import IncrementalHasher
 from repro.evalharness.config import current_profile
 from repro.evalharness.format import format_seconds, format_table
@@ -98,8 +98,11 @@ def run_incremental(
             hasher.replace(path, toggle[counter[0] % 2])
 
         incremental_time = time_call(do_replace, repeats=max(3, profile.repeats))
+        # The batch comparison is a from-scratch pass, so the session
+        # deliberately runs storeless (a warm store would not re-hash).
+        batch_session = Session(use_store=False)
         batch_time = time_call(
-            lambda: alpha_hash_all(hasher.expr), repeats=profile.repeats
+            lambda: batch_session.hashes(hasher.expr), repeats=profile.repeats
         )
         rows.append(
             IncrementalRow(

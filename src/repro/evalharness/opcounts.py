@@ -22,7 +22,7 @@ from typing import Optional, Sequence
 from repro.core.combiners import default_combiners
 from repro.core.hashed import alpha_hash_all
 from repro.core.varmap import MapOpStats
-from repro.evalharness.ablations import alpha_hash_all_always_left
+from repro.baselines.ablated import alpha_hash_all_always_left
 from repro.evalharness.config import current_profile
 from repro.evalharness.format import format_table
 from repro.gen.random_exprs import random_expr

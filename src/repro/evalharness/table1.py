@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.baselines.registry import ALGORITHMS, TABLE1_ORDER
+from repro.api.backends import TABLE1_ORDER, get_backend
 from repro.evalharness.format import format_table
 from repro.gen.random_exprs import alpha_rename, random_expr
 from repro.lang.alpha import alpha_equivalent
@@ -63,7 +63,7 @@ def _inner_lams(expr: Expr) -> tuple[Expr, Expr]:
 
 def _observe(name: str, random_trials: int, seed: int) -> tuple[bool, bool]:
     """(true_positives, true_negatives) as observed on the probes."""
-    algorithm = ALGORITHMS[name]
+    algorithm = get_backend(name)
 
     # True negatives: alpha-equivalent things must collide.
     true_neg = True
@@ -105,7 +105,13 @@ def run_table1(
     """Build (and verify) the Table 1 rows."""
     rows = []
     for name in algorithms:
-        algorithm = ALGORITHMS[name]
+        backend = get_backend(name)
+        if backend.algorithm is None:
+            raise ValueError(
+                f"backend {name!r} carries no Table 1 metadata "
+                f"(kind={backend.kind!r})"
+            )
+        algorithm = backend.algorithm
         observed_tp, observed_tn = _observe(name, random_trials, seed)
         rows.append(
             Table1Row(

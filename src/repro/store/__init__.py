@@ -6,6 +6,12 @@ hashed e-summaries so repeated and overlapping corpus expressions are
 hashed once.  See :mod:`repro.store.store` for the design notes.
 """
 
+from repro.store.snapshot import (
+    SNAPSHOT_FORMAT,
+    SnapshotError,
+    read_snapshot,
+    write_snapshot,
+)
 from repro.store.store import (
     ExprStore,
     StoreCollisionError,
@@ -13,4 +19,13 @@ from repro.store.store import (
     StoreStats,
 )
 
-__all__ = ["ExprStore", "StoreCollisionError", "StoreEntry", "StoreStats"]
+__all__ = [
+    "ExprStore",
+    "StoreCollisionError",
+    "StoreEntry",
+    "StoreStats",
+    "SnapshotError",
+    "SNAPSHOT_FORMAT",
+    "read_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,291 @@
+"""Versioned on-disk snapshots of an :class:`~repro.store.ExprStore`.
+
+A snapshot makes a corpus interned once reusable across processes: the
+intern table (canonical entries, child links, LRU recency) and the
+summary memo of every canonical tree are written to a JSON-lines file
+and restored bit-identically.  Re-hashing the same corpus in another
+process yields the same root hashes and lands on the existing classes
+without growing the store.  Note the memo is keyed by Python object
+identity, so freshly *re-parsed* trees are still summarised once before
+their intern lookups hit; only the restored canonical representatives
+themselves (``expr_of``) hash as pure memo hits.
+
+File layout (one JSON document per line)::
+
+    {"format": "repro-store-snapshot-v1", "bits": 64, "seed": ..,
+     "max_entries": null, "memo_limit": null, "next_id": N,
+     "entries": K, "stats": {..}, "meta": {..},
+     "checksum": "sha256:<hex of the body bytes>"}
+    {"i": 0, "h": .., "k": "Var", "z": 1, "c": [], "p": "x",
+     "s": .., "v": .., "m": {"x": ..}}
+    ... one line per canonical entry, in LRU order (oldest first) ...
+
+Per entry: ``i`` node id, ``h`` alpha-hash, ``k`` kind, ``z`` size,
+``c`` child node ids, ``p`` the node payload (variable name, binder, or
+``["<tag>", value]`` for literals), and the memoised summary (``s``
+structure hash, ``v`` variable-map hash, ``m`` name -> position-hash
+entries).  Children always intern before parents, so child ids are
+strictly smaller than their parent's and ascending-id order is a valid
+rebuild order; the *file* order is LRU order so recency survives the
+round-trip.  The header checksum is over the exact body bytes --
+truncation or tampering fails loudly as :class:`SnapshotError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.core.combiners import HashCombiners
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.store import ExprStore
+
+__all__ = ["SnapshotError", "write_snapshot", "read_snapshot", "SNAPSHOT_FORMAT"]
+
+SNAPSHOT_FORMAT = "repro-store-snapshot-v1"
+
+_LIT_TAGS = {"int": int, "float": float, "bool": bool, "str": str}
+
+
+class SnapshotError(ValueError):
+    """Raised when a snapshot file is malformed, truncated or tampered."""
+
+
+def _checksum(body: bytes) -> str:
+    return "sha256:" + hashlib.sha256(body).hexdigest()
+
+
+def _lit_payload(value: Any) -> list:
+    if isinstance(value, bool):  # bool first: bool subclasses int
+        return ["bool", value]
+    if isinstance(value, int):
+        return ["int", value]
+    if isinstance(value, float):
+        return ["float", value]
+    if isinstance(value, str):
+        return ["str", value]
+    raise SnapshotError(f"cannot snapshot literal {value!r}")
+
+
+def _decode_lit(payload: Any) -> Lit:
+    if (
+        not isinstance(payload, list)
+        or len(payload) != 2
+        or payload[0] not in _LIT_TAGS
+    ):
+        raise SnapshotError(f"malformed literal payload {payload!r}")
+    tag, value = payload
+    expected = _LIT_TAGS[tag]
+    if expected is float and isinstance(value, int) and not isinstance(value, bool):
+        value = float(value)  # JSON may render 1.0 as 1
+    if not isinstance(value, expected) or (
+        expected is int and isinstance(value, bool)
+    ):
+        raise SnapshotError(f"literal value/tag mismatch {payload!r}")
+    return Lit(value)
+
+
+def write_snapshot(
+    store: "ExprStore", path: str, meta: Optional[dict] = None
+) -> None:
+    """Write ``store`` to ``path`` (see module docstring for the format).
+
+    ``meta`` is an arbitrary JSON-compatible dict stored in the header
+    (the Session facade records its backend name there).  The store is
+    left observably unchanged: the memo backfill needed to summarise
+    entries whose records were flushed alters neither ``store.stats``
+    nor the set of memoised objects.
+    """
+    # Snapshot the user-visible counters and memo keys, then make sure
+    # every canonical tree has a memo record to persist (a flush or
+    # prune may have dropped some); the backfill is bookkeeping, not
+    # workload, so both are restored afterwards.
+    counters = {
+        f.name: getattr(store.stats, f.name) for f in fields(store.stats)
+    }
+    memo_keys_before = set(store._memo)
+    entries_by_id = {entry.node_id: entry for entry in store.entries()}
+    for node_id in sorted(entries_by_id):
+        store._hash_tree(entries_by_id[node_id].expr)
+    for name, value in counters.items():
+        setattr(store.stats, name, value)
+
+    body_lines: list[str] = []
+    for entry in store.entries():  # LRU order, oldest first
+        rec = store._memo[id(entry.expr)]
+        node = entry.expr
+        if isinstance(node, Var):
+            payload: Any = node.name
+        elif isinstance(node, Lit):
+            payload = _lit_payload(node.value)
+        elif isinstance(node, (Lam, Let)):
+            payload = node.binder
+        else:
+            payload = None
+        body_lines.append(
+            json.dumps(
+                {
+                    "i": entry.node_id,
+                    "h": entry.hash,
+                    "k": entry.kind,
+                    "z": entry.size,
+                    "c": list(entry.children),
+                    "p": payload,
+                    "s": rec.s_hash,
+                    "v": rec.vm_hash,
+                    "m": rec.vm_entries,
+                },
+                separators=(",", ":"),
+                sort_keys=True,
+            )
+        )
+    body = ("".join(line + "\n" for line in body_lines)).encode("utf-8")
+
+    header = {
+        "format": SNAPSHOT_FORMAT,
+        "bits": store.combiners.bits,
+        "seed": store.combiners.seed,
+        "max_entries": store.max_entries,
+        "memo_limit": store.memo_limit,
+        "next_id": store._next_id,
+        "entries": len(body_lines),
+        "stats": counters,
+        "meta": meta or {},
+        "checksum": _checksum(body),
+    }
+    with open(path, "wb") as handle:
+        handle.write(
+            json.dumps(header, separators=(",", ":"), sort_keys=True).encode(
+                "utf-8"
+            )
+        )
+        handle.write(b"\n")
+        handle.write(body)
+    # Drop only the records the backfill created; a wholesale
+    # _maybe_flush_memo here could wipe records that were legitimately
+    # warm (and under the limit) before save() was called.
+    for key in list(store._memo):
+        if key not in memo_keys_before:
+            del store._memo[key]
+
+
+def read_snapshot(path: str) -> tuple["ExprStore", dict]:
+    """Rebuild a store from ``path``; return ``(store, header)``.
+
+    The restored store matches the saved one bit-identically: intern
+    table, LRU recency, memo records of every canonical tree, and the
+    saved stats counters all survive.  Hashing a restored canonical
+    representative is a pure memo hit; a re-parsed copy of a saved
+    expression is summarised once (the memo is per-object) and then
+    resolves to its existing class.
+    """
+    from repro.store.store import ExprStore, StoreEntry, _MemoRecord
+
+    with open(path, "rb") as handle:
+        header_line = handle.readline()
+        body = handle.read()
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"unreadable snapshot header: {exc}") from None
+    if not isinstance(header, dict) or header.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"not a {SNAPSHOT_FORMAT} file: {header_line[:80]!r}"
+        )
+    if header.get("checksum") != _checksum(body):
+        raise SnapshotError("snapshot body does not match header checksum")
+    missing_fields = [
+        key
+        for key in ("bits", "seed", "next_id", "entries")
+        if key not in header
+    ]
+    if missing_fields:
+        raise SnapshotError(
+            f"snapshot header is missing required field(s): {missing_fields}"
+        )
+
+    records = []
+    for line in body.splitlines():
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(f"unreadable snapshot entry: {exc}") from None
+    if len(records) != header.get("entries"):
+        raise SnapshotError(
+            f"snapshot holds {len(records)} entries, header says "
+            f"{header.get('entries')}"
+        )
+
+    store = ExprStore(
+        HashCombiners(bits=header["bits"], seed=header["seed"]),
+        max_entries=header.get("max_entries"),
+        memo_limit=header.get("memo_limit"),
+    )
+
+    # Children always have smaller ids than their parents, so ascending
+    # id order rebuilds the canonical trees bottom-up.  Schema breaches
+    # that slip past the checksum (buggy writer, hand-edited file with a
+    # recomputed checksum) must still fail as SnapshotError, not leak a
+    # bare KeyError/TypeError from the rebuild.
+    exprs: dict[int, Expr] = {}
+    try:
+        for rec in sorted(records, key=lambda r: r["i"]):
+            kind, payload = rec["k"], rec["p"]
+            kids = [exprs[c] for c in rec["c"]]
+            if kind == "Var":
+                node: Expr = Var(payload)
+            elif kind == "Lit":
+                node = _decode_lit(payload)
+            elif kind == "Lam":
+                node = Lam(payload, kids[0])
+            elif kind == "App":
+                node = App(kids[0], kids[1])
+            elif kind == "Let":
+                node = Let(payload, kids[0], kids[1])
+            else:
+                raise SnapshotError(f"unknown entry kind {kind!r}")
+            exprs[rec["i"]] = node
+
+        # File order is LRU order: inserting in it restores recency.
+        for rec in records:
+            node_id = rec["i"]
+            entry = StoreEntry(
+                node_id=node_id,
+                hash=rec["h"],
+                kind=rec["k"],
+                size=rec["z"],
+                children=tuple(rec["c"]),
+                expr=exprs[node_id],
+            )
+            store._entries[node_id] = entry
+            store._by_hash[entry.hash] = node_id
+        for entry in store._entries.values():
+            for kid in entry.children:
+                store._entries[kid].refcount += 1
+
+        # Warm the memo.  A record must imply full-subtree coverage,
+        # which holds here because every canonical child is restored.
+        for rec in sorted(records, key=lambda r: r["i"]):
+            node = exprs[rec["i"]]
+            memo_rec = _MemoRecord(
+                node, rec["s"], dict(rec["m"]), rec["v"], rec["h"]
+            )
+            memo_rec.node_id = rec["i"]
+            store._memo[id(node)] = memo_rec
+    except SnapshotError:
+        raise
+    except (KeyError, IndexError, TypeError, AttributeError) as exc:
+        raise SnapshotError(
+            f"malformed snapshot entry: {exc!r}"
+        ) from exc
+
+    store._next_id = header["next_id"]
+    saved_stats = header.get("stats", {})
+    for f in fields(store.stats):
+        if f.name in saved_stats:
+            setattr(store.stats, f.name, saved_stats[f.name])
+    return store, header

@@ -437,6 +437,26 @@ class ExprStore:
         if self.memo_limit is not None and len(self._memo) > self.memo_limit:
             self._memo.clear()
 
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: str, meta: Optional[dict] = None) -> None:
+        """Snapshot this store to ``path`` (intern table + summary memo).
+
+        See :mod:`repro.store.snapshot` for the versioned, checksummed
+        JSON-lines format; ``meta`` rides along in the header.
+        """
+        from repro.store.snapshot import write_snapshot
+
+        write_snapshot(self, path, meta)
+
+    @classmethod
+    def load(cls, path: str) -> "ExprStore":
+        """Rebuild a store saved with :meth:`save` (fully warm)."""
+        from repro.store.snapshot import read_snapshot
+
+        store, _header = read_snapshot(path)
+        return store
+
     # -- interning -------------------------------------------------------------
 
     def intern(self, expr: Expr) -> int:

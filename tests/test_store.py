@@ -293,6 +293,24 @@ class TestStatsShape:
         replace = ReplaceStats(1, 2, 3, 4).as_dict()
         assert {"touched_nodes"} <= set(store.stats.as_dict()) & set(replace)
 
+    def test_fresh_store_rates_never_divide_by_zero(self):
+        # regression: on a store that has done no work at all, both
+        # rate properties (and the dict/repr that evaluate them) must
+        # return 0.0 rather than raising ZeroDivisionError
+        stats = ExprStore().stats
+        assert stats.hit_rate == 0.0
+        assert stats.intern_hit_rate == 0.0
+        d = stats.as_dict()
+        assert d["hit_rate"] == 0.0 and d["intern_hit_rate"] == 0.0
+        assert "hit_rate=0.0" in repr(stats)
+
+    def test_fresh_session_stats_never_divide_by_zero(self):
+        from repro.api import Session
+
+        stats = Session().stats()
+        assert stats["store"]["hit_rate"] == 0.0
+        assert stats["store"]["intern_hit_rate"] == 0.0
+
     def test_repr_matches_dict(self):
         stats = StoreStats(hits=3, misses=1)
         text = repr(stats)
