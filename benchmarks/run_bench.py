@@ -1,0 +1,220 @@
+"""Unified benchmark runner: one command, one trajectory file.
+
+Runs the store and corpus cells and writes a ``BENCH_PR3.json``
+trajectory record -- corpus sizes, wall-clock times, cache hit rates,
+worker counts, shard balance -- so the perf history of the repo is a
+sequence of committed, machine-readable records instead of numbers in
+PR descriptions::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_PR3.json
+    PYTHONPATH=src python benchmarks/run_bench.py --quick   # CI-sized
+
+Cells:
+
+* ``store``    -- fresh re-hash vs cold vs warm :class:`ExprStore` on a
+                  duplicate-heavy corpus (the PR-1 claim, re-measured).
+* ``parallel`` -- ``hash_corpus`` wall-clock for each worker count on a
+                  duplicate-free corpus, with bit-identity checked
+                  against the serial path.
+* ``sharded``  -- flat vs lock-striped sharded interning of one corpus:
+                  wall-clock, shard occupancy balance, and the
+                  hits+misses conservation invariant.
+
+Speedups are *reported* for every shape and *gated* nowhere -- gating
+lives in ``bench_store.py --smoke`` (CI), which knows how many CPUs it
+stands on.  The record always includes the host shape so a trajectory
+file from a 1-CPU container is never misread as a regression against a
+16-core workstation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_store import make_corpus  # noqa: E402  (sibling module)
+
+from repro.api import Session  # noqa: E402
+from repro.core.hashed import alpha_hash_all  # noqa: E402
+from repro.store import ExprStore, ShardedExprStore  # noqa: E402
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def store_cell(n_items: int, item_size: int, repeats: int) -> dict:
+    corpus = make_corpus(n_items, item_size)
+    nodes = sum(e.size for e in corpus)
+    fresh = _best_of(
+        lambda: [alpha_hash_all(e).root_hash for e in corpus], repeats
+    )
+    cold = _best_of(lambda: ExprStore().hash_corpus(corpus), repeats)
+    warm_store = ExprStore()
+    warm_store.hash_corpus(corpus)
+    warm = _best_of(lambda: warm_store.hash_corpus(corpus), repeats)
+    probe = ExprStore()
+    probe.hash_corpus(corpus)
+    return {
+        "items": n_items,
+        "nodes": nodes,
+        "fresh_s": round(fresh, 4),
+        "cold_s": round(cold, 4),
+        "warm_s": round(warm, 4),
+        "cold_speedup": round(fresh / cold, 3) if cold else None,
+        "hit_rate": round(probe.stats.hit_rate, 4),
+    }
+
+
+def parallel_cell(
+    n_items: int, item_size: int, workers_list: list[int], repeats: int
+) -> dict:
+    corpus = make_corpus(n_items, item_size, dup_fraction=0.0, seed=99)
+    nodes = sum(e.size for e in corpus)
+    serial_hashes = Session().hash_corpus(corpus)
+    runs = []
+    serial_s = None
+    for workers in workers_list:
+        elapsed = _best_of(
+            lambda: Session(workers=workers).hash_corpus(corpus), repeats
+        )
+        identical = Session(workers=workers).hash_corpus(corpus) == serial_hashes
+        if workers == 1:
+            serial_s = elapsed
+        runs.append(
+            {
+                "workers": workers,
+                "wall_s": round(elapsed, 4),
+                "identical": identical,
+                "speedup_vs_serial": (
+                    round(serial_s / elapsed, 3) if serial_s else None
+                ),
+            }
+        )
+    return {"items": n_items, "nodes": nodes, "runs": runs}
+
+
+def sharded_cell(
+    n_items: int, item_size: int, num_shards: int, repeats: int
+) -> dict:
+    corpus = make_corpus(n_items, item_size, seed=7)
+    nodes = sum(e.size for e in corpus)
+    flat_s = _best_of(lambda: ExprStore().intern_many(corpus), repeats)
+    sharded_s = _best_of(
+        lambda: ShardedExprStore(num_shards=num_shards).intern_many(corpus),
+        repeats,
+    )
+    probe = ShardedExprStore(num_shards=num_shards)
+    probe.intern_many(corpus)
+    per_shard = probe.shard_stats()
+    sizes = probe.shard_sizes()
+    balance = (max(sizes) / (sum(sizes) / len(sizes))) if sum(sizes) else 1.0
+    return {
+        "items": n_items,
+        "nodes": nodes,
+        "num_shards": num_shards,
+        "flat_intern_s": round(flat_s, 4),
+        "sharded_intern_s": round(sharded_s, 4),
+        "striping_overhead": (
+            round(sharded_s / flat_s, 3) if flat_s else None
+        ),
+        "entries": len(probe),
+        "shard_sizes": sizes,
+        "max_over_mean_occupancy": round(balance, 3),
+        "stats_conserved": (
+            sum(s.hits for s in per_shard) == probe.stats.hits
+            and sum(s.misses for s in per_shard) == probe.stats.misses
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_PR3.json", help="trajectory file to write"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized corpora (seconds)"
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="*",
+        default=None,
+        help="worker counts for the parallel cell (default: 1 2 4)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        store_shape = (40, 200)
+        par_shape = (1500, 60)
+        shard_shape = (300, 120)
+    else:
+        store_shape = (60, 400)
+        par_shape = (10_000, 60)
+        shard_shape = (1_000, 120)
+    workers_list = args.workers or [1, 2, 4]
+
+    record = {
+        "schema": "repro-bench-trajectory-v1",
+        "pr": 3,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count() or 1,
+        },
+        "cells": {},
+    }
+
+    print(f"store cell ({store_shape[0]} items x {store_shape[1]} nodes)...")
+    record["cells"]["store"] = store_cell(*store_shape, args.repeats)
+    print(f"  {json.dumps(record['cells']['store'])}")
+
+    print(
+        f"parallel cell ({par_shape[0]} items x {par_shape[1]} nodes, "
+        f"workers {workers_list})..."
+    )
+    record["cells"]["parallel"] = parallel_cell(
+        *par_shape, workers_list, args.repeats
+    )
+    for run in record["cells"]["parallel"]["runs"]:
+        print(f"  {json.dumps(run)}")
+
+    print(
+        f"sharded cell ({shard_shape[0]} items x {shard_shape[1]} nodes)..."
+    )
+    record["cells"]["sharded"] = sharded_cell(*shard_shape, 8, args.repeats)
+    print(f"  {json.dumps(record['cells']['sharded'])}")
+
+    divergent = [
+        run
+        for run in record["cells"]["parallel"]["runs"]
+        if not run["identical"]
+    ]
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    if divergent:
+        print(f"FAIL: {len(divergent)} parallel run(s) diverged from serial")
+        return 1
+    if not record["cells"]["sharded"]["stats_conserved"]:
+        print("FAIL: sharded stats not conserved across shards")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

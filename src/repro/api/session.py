@@ -36,7 +36,14 @@ from repro.api.backends import FunctionBackend, get_backend
 from repro.core.combiners import DEFAULT_SEED, HashCombiners
 from repro.core.hashed import AlphaHashes
 from repro.lang.expr import Expr
-from repro.store import ExprStore, read_snapshot
+from repro.store import (
+    ExprStore,
+    ShardedExprStore,
+    parallel_hash_corpus,
+    parallel_intern_corpus,
+    read_snapshot,
+    resolve_workers,
+)
 
 __all__ = ["Session", "SessionConfig", "SessionError"]
 
@@ -54,6 +61,14 @@ class SessionConfig:
     store entirely: hashing runs the backend directly and
     intern/save/load become unavailable.  ``max_entries``/``memo_limit``
     configure the store's LRU-bounded mode.
+
+    Scaling knobs: ``num_shards`` (when set) backs the session with a
+    lock-striped :class:`~repro.store.ShardedExprStore`; ``workers``
+    sets the *default* pool size for :meth:`Session.hash_corpus` /
+    :meth:`Session.intern_many` (``1`` = serial, ``0`` = one per CPU);
+    ``parallel_mode`` picks the pool flavour (``"process"`` for
+    CPU-bound corpus hashing -- the sensible default under the GIL --
+    or ``"thread"``).
     """
 
     backend: str = "ours"
@@ -62,6 +77,9 @@ class SessionConfig:
     use_store: bool = True
     max_entries: Optional[int] = None
     memo_limit: Optional[int] = None
+    workers: int = 1
+    parallel_mode: str = "process"
+    num_shards: Optional[int] = None
 
     @property
     def resolved_seed(self) -> int:
@@ -85,20 +103,31 @@ class Session:
             raise TypeError(
                 "pass either a SessionConfig or keyword overrides, not both"
             )
+        if config.parallel_mode not in ("process", "thread"):
+            raise ValueError(
+                f"parallel_mode must be 'process' or 'thread', got "
+                f"{config.parallel_mode!r}"
+            )
         self.config = config
         self.backend: FunctionBackend = get_backend(config.backend)
         self.combiners = HashCombiners(
             bits=config.bits, seed=config.resolved_seed
         )
-        self.store: Optional[ExprStore] = (
-            ExprStore(
-                self.combiners,
-                max_entries=config.max_entries,
-                memo_limit=config.memo_limit,
-            )
-            if config.use_store
-            else None
-        )
+        self.store: Optional[ExprStore] = None
+        if config.use_store:
+            if config.num_shards is not None:
+                self.store = ShardedExprStore(
+                    self.combiners,
+                    num_shards=config.num_shards,
+                    max_entries=config.max_entries,
+                    memo_limit=config.memo_limit,
+                )
+            else:
+                self.store = ExprStore(
+                    self.combiners,
+                    max_entries=config.max_entries,
+                    memo_limit=config.memo_limit,
+                )
 
     def __repr__(self) -> str:  # pragma: no cover
         store = f"{len(self.store)} entries" if self.store else "no store"
@@ -125,10 +154,33 @@ class Session:
             return self.store.hashes(expr)
         return self.backend.hash_all(expr, self.combiners)
 
-    def hash_corpus(self, exprs: Iterable[Expr]) -> list[int]:
+    def hash_corpus(
+        self,
+        exprs: Iterable[Expr],
+        workers: Optional[int] = None,
+        mode: Optional[str] = None,
+    ) -> list[int]:
         """Root hashes of a whole corpus, store-batched when possible:
-        repeated and overlapping subtrees are summarised once."""
+        repeated and overlapping subtrees are summarised once.
+
+        ``workers`` (default: the session's configured ``workers``) fans
+        the corpus out over a process or thread pool (``mode``, default
+        the session's ``parallel_mode``); results are merged back in
+        input order and are **bit-identical** to the serial path.
+        ``workers=0`` means one worker per CPU.  Parallel fan-out is
+        only wired for the store-compatible default backend -- other
+        backends time their own algorithm and stay serial.
+        """
+        effective = self.config.workers if workers is None else workers
+        effective = resolve_workers(effective)
         if self._store_backed:
+            if effective > 1:
+                return parallel_hash_corpus(
+                    exprs,
+                    workers=effective,
+                    mode=mode or self.config.parallel_mode,
+                    store=self.store,
+                )
             return self.store.hash_corpus(exprs)
         return [
             self.backend.hash_all(e, self.combiners).root_hash for e in exprs
@@ -148,9 +200,24 @@ class Session:
         """Intern ``expr``; alpha-equivalent trees share one node id."""
         return self._require_store("intern()").intern(expr)
 
-    def intern_many(self, exprs: Iterable[Expr]) -> list[int]:
-        """Batch :meth:`intern`: one id per input, duplicates collapse."""
-        return self._require_store("intern_many()").intern_many(exprs)
+    def intern_many(
+        self, exprs: Iterable[Expr], workers: Optional[int] = None
+    ) -> list[int]:
+        """Batch :meth:`intern`: one id per input, duplicates collapse.
+
+        With ``workers > 1`` (default: the session's configured
+        ``workers``), slices are interned by worker processes into local
+        stores and merged back shard-by-shard over the snapshot wire
+        format.  The resulting *classes and hashes* are bit-identical to
+        the serial path; node ids may differ (ids encode arrival order,
+        and were never stable across store instances).
+        """
+        store = self._require_store("intern_many()")
+        effective = self.config.workers if workers is None else workers
+        effective = resolve_workers(effective)
+        if effective > 1:
+            return parallel_intern_corpus(exprs, store, workers=effective)
+        return store.intern_many(exprs)
 
     def cse(self, expr: Expr, **kwargs):
         """Common-subexpression elimination through the session's store
@@ -185,6 +252,10 @@ class Session:
         if self.store is not None:
             out["entries"] = len(self.store)
             out["store"] = self.store.stats.as_dict()
+            if isinstance(self.store, ShardedExprStore):
+                out["num_shards"] = self.store.num_shards
+                out["shard_sizes"] = self.store.shard_sizes()
+        out["workers"] = self.config.workers
         return out
 
     # -- persistence -----------------------------------------------------------
@@ -208,6 +279,8 @@ class Session:
         """
         store, header = read_snapshot(path)
         meta = header.get("meta") or {}
+        saved_config = meta.get("config") or {}
+        num_shards = (meta.get("sharded") or {}).get("num_shards")
         config = SessionConfig(
             backend=backend or meta.get("backend", "ours"),
             bits=header["bits"],
@@ -215,8 +288,20 @@ class Session:
             use_store=True,
             max_entries=header.get("max_entries"),
             memo_limit=header.get("memo_limit"),
+            workers=saved_config.get("workers", 1),
+            parallel_mode=saved_config.get("parallel_mode", "process"),
+            num_shards=num_shards,
         )
         session = cls(config)
+        if num_shards is not None:
+            # Re-shard the already-decoded flat snapshot (sharded stores
+            # snapshot via the flat format; node ids are re-assigned,
+            # classes survive).
+            session.store = ShardedExprStore.from_flat_store(
+                store, num_shards
+            )
+            session.combiners = session.store.combiners
+            return session
         # Adopt the restored store wholesale (same combiner family: the
         # snapshot header is the source of bits and seed).
         session.store = store

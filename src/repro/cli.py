@@ -157,11 +157,30 @@ def _run_hash(rest: Sequence[str]) -> int:
         default="ours",
         help="any unified-registry backend (Table 1 rows, ours_lazy, ablations)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="hash the corpus on N workers (0 = one per CPU); results are "
+        "bit-identical to --workers 1",
+    )
+    parser.add_argument(
+        "--parallel-mode",
+        choices=("process", "thread"),
+        default="process",
+        help="worker pool flavour (process is right for CPU-bound hashing)",
+    )
     args = parser.parse_args(rest)
 
     from repro.api import Session
 
-    session = Session(backend=args.algorithm, bits=args.bits, seed=args.seed)
+    session = Session(
+        backend=args.algorithm,
+        bits=args.bits,
+        seed=args.seed,
+        workers=args.workers,
+        parallel_mode=args.parallel_mode,
+    )
     exprs = [_read_expr(path) for path in args.files]
     hashes = session.hash_corpus(exprs)
     if len(args.files) == 1:
@@ -217,6 +236,25 @@ def _run_session(rest: Sequence[str]) -> int:
     parser.add_argument(
         "--max-entries", type=int, default=None, help="LRU-bound the store"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="hash/intern the corpus on N workers (0 = one per CPU); "
+        "hashes are bit-identical to --workers 1",
+    )
+    parser.add_argument(
+        "--parallel-mode",
+        choices=("process", "thread"),
+        default="process",
+        help="worker pool flavour for --workers",
+    )
+    parser.add_argument(
+        "--num-shards",
+        type=int,
+        default=None,
+        help="back the session with a lock-striped sharded store",
+    )
     parser.add_argument("--load", metavar="PATH", help="start from a snapshot")
     parser.add_argument("--save", metavar="PATH", help="snapshot when done")
     parser.add_argument(
@@ -239,10 +277,11 @@ def _run_session(rest: Sequence[str]) -> int:
         or args.bits != 64
         or args.seed is not None
         or args.max_entries is not None
+        or args.num_shards is not None
     ):
         parser.error(
             "--load takes bits/seed/store shape from the snapshot; drop "
-            "--bits/--seed/--no-store/--max-entries"
+            "--bits/--seed/--no-store/--max-entries/--num-shards"
         )
 
     from repro.api import Session
@@ -256,10 +295,15 @@ def _run_session(rest: Sequence[str]) -> int:
             seed=args.seed,
             use_store=not args.no_store,
             max_entries=args.max_entries,
+            workers=args.workers,
+            parallel_mode=args.parallel_mode,
+            num_shards=args.num_shards,
         )
 
     exprs = [_read_expr(path) for path in args.files]
-    hashes = session.hash_corpus(exprs)
+    hashes = session.hash_corpus(
+        exprs, workers=args.workers, mode=args.parallel_mode
+    )
     missing = 0
     known_flags: list[bool] = []
     if session.store is not None:
@@ -267,11 +311,16 @@ def _run_session(rest: Sequence[str]) -> int:
         # the selected backend's hash -- the intern table is keyed by the
         # former, and the two differ for non-default backends.  All flags
         # are computed before any interning, so a later duplicate of a
-        # missing class still reports it as missing.
+        # missing class still reports it as missing.  For the store-backed
+        # default backend the corpus hashes above already *are* canonical
+        # -- reuse them instead of re-hashing the corpus serially (which
+        # would silently undo a --workers fan-out).
+        if session.backend.store_backed:
+            canonical = hashes
+        else:
+            canonical = [session.store.hash_expr(expr) for expr in exprs]
         known_flags = [
-            session.store.lookup_hash(session.store.hash_expr(expr))
-            is not None
-            for expr in exprs
+            session.store.lookup_hash(value) is not None for value in canonical
         ]
     for index, (path, expr, value) in enumerate(
         zip(args.files, exprs, hashes)

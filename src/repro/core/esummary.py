@@ -22,7 +22,11 @@ Two summarisers are provided:
   the parent's structure tag so the merge stays invertible.  Map
   operations drop to O(n log n).
 
-Each has a matching ``rebuild`` inverse.  Everything is iterative.
+Each has a matching ``rebuild`` inverse.  Everything is iterative:
+summarising, rebuilding and hashing all drive explicit work stacks, so
+expression depth is bounded by the heap, never by CPython's recursion
+limit -- ``tests/test_degenerate.py`` pins this at depth 5000 (~5x the
+default limit) as a regression wall.
 """
 
 from __future__ import annotations
@@ -283,7 +287,10 @@ def _pick_right(pos: PosTree) -> Optional[PosTree]:
 
 def rebuild_naive(summary: ESummary, supply: Optional[NameSupply] = None) -> Expr:
     """Invert :func:`summarise_naive`: produce an expression whose
-    summary equals ``summary`` (alpha-equivalent to the original)."""
+    summary equals ``summary`` (alpha-equivalent to the original).
+
+    Explicit-stack: safe far past the recursion limit (depth-5000
+    regression in ``tests/test_degenerate.py``)."""
     supply = _fresh_supply(summary, supply)
     results: list[Expr] = []
     # ops: ("visit", (structure, varmap)) | ("build", (kind, binder))
@@ -341,6 +348,9 @@ def rebuild_tagged(summary: ESummary, supply: Optional[NameSupply] = None) -> Ex
     The structure tag distinguishes PTJoins made at *this* node from
     PTJoins made deeper inside: matching-tag joins are split between the
     two children; everything else belongs wholly to the bigger child.
+
+    Explicit-stack: safe far past the recursion limit (depth-5000
+    regression in ``tests/test_degenerate.py``).
     """
     supply = _fresh_supply(summary, supply)
 

@@ -25,6 +25,7 @@ for alpha-equivalent subexpressions and, with probability
 
 from __future__ import annotations
 
+import struct
 from typing import Iterator, Optional
 
 from repro.core.combiners import HashCombiners, default_combiners
@@ -47,7 +48,23 @@ __all__ = [
     "alpha_hash_all",
     "alpha_hash_root",
     "summarise_node",
+    "lit_cache_key",
 ]
+
+
+def lit_cache_key(value) -> tuple:
+    """Dict key under which a literal's structure hash may be cached.
+
+    Floats key on their IEEE-754 bit pattern, not their value:
+    ``hash_lit`` deliberately distinguishes ``-0.0`` from ``0.0`` (and
+    every NaN payload), while ``-0.0 == 0.0`` as a dict key -- a
+    value-keyed cache would make a literal's hash depend on which
+    spelling was hashed first, breaking bit-reproducibility.  All other
+    literal types compare exactly, so ``(type, value)`` suffices.
+    """
+    if type(value) is float:
+        return (float, struct.pack("<d", value))
+    return (type(value), value)
 
 
 class NodeSummary:
@@ -161,7 +178,10 @@ def alpha_hash_all(
     var_structure = svar_hash(combiners)
     # Var nodes all map their name to PTHere, so the entry hash (and the
     # resulting singleton map hash) depends only on the name: memoise it.
+    # Literal structure hashes likewise depend only on the (type, value)
+    # pair -- both caches turn repeated leaves into dict hits.
     var_entry_cache: dict[str, int] = {}
+    lit_cache: dict[tuple[type, object], int] = {}
 
     by_id: dict[int, int] = {}
     summaries: Optional[dict[int, NodeSummary]] = {} if keep_summaries else None
@@ -169,17 +189,36 @@ def alpha_hash_all(
     # Each stack entry of `results` is (structure_hash, varmap).  Variable
     # maps are consumed destructively by the parent, which is safe because
     # every map object is referenced by exactly one pending summary.
+    # The loop dispatches on ``type(node) is ...`` (the node kinds are
+    # final) and pushes children by attribute -- this avoids one method
+    # call plus one tuple allocation per node in the hottest loop we have.
     results: list[tuple[int, HashedVarMap]] = []
     stack: list[tuple[Expr, bool]] = [(expr, False)]
+    push = stack.append
     while stack:
         node, visited = stack.pop()
+        cls = type(node)
         if not visited:
-            stack.append((node, True))
-            for child in reversed(node.children()):
-                stack.append((child, False))
-            continue
+            if cls is Var or cls is Lit:
+                pass  # leaves fall through to the summarise phase
+            elif cls is Lam:
+                push((node, True))
+                push((node.body, False))
+                continue
+            elif cls is App:
+                push((node, True))
+                push((node.arg, False))
+                push((node.fn, False))
+                continue
+            elif cls is Let:
+                push((node, True))
+                push((node.body, False))
+                push((node.bound, False))
+                continue
+            else:  # pragma: no cover
+                raise TypeError(f"unknown node kind {node.kind}")
 
-        if isinstance(node, Var):
+        if cls is Var:
             s_hash = var_structure
             name = node.name
             cached = var_entry_cache.get(name)
@@ -189,19 +228,24 @@ def alpha_hash_all(
             varmap = HashedVarMap({name: here}, cached)
             if count_ops:
                 stats.singleton += 1
-        elif isinstance(node, Lit):
-            s_hash = slit_hash(combiners, node.value)
+        elif cls is Lit:
+            value = node.value
+            lit_key = lit_cache_key(value)
+            s_hash = lit_cache.get(lit_key)
+            if s_hash is None:
+                s_hash = slit_hash(combiners, value)
+                lit_cache[lit_key] = s_hash
             varmap = HashedVarMap.empty()
-        elif isinstance(node, Lam):
+        elif cls is Lam:
             s_body, varmap = results.pop()
             pos = varmap.remove(combiners, node.binder)
             if count_ops:
                 stats.remove += 1
             s_hash = slam_hash(combiners, node.size, pos, s_body)
-        elif isinstance(node, App):
+        elif cls is App:
             s_arg, vm_arg = results.pop()
             s_fn, vm_fn = results.pop()
-            left_bigger = len(vm_fn) >= len(vm_arg)
+            left_bigger = len(vm_fn.entries) >= len(vm_arg.entries)
             s_hash = sapp_hash(combiners, node.size, left_bigger, s_fn, s_arg)
             tag = node.size  # structure size == expression size
             if left_bigger:
@@ -212,13 +256,13 @@ def alpha_hash_all(
                 stats.merge_entries += len(small)
             merge_tagged(combiners, big, small, tag)
             varmap = big
-        elif isinstance(node, Let):
+        else:  # cls is Let (the scheduling phase rejected everything else)
             s_body, vm_body = results.pop()
             s_bound, vm_bound = results.pop()
             pos_x = vm_body.remove(combiners, node.binder)
             if count_ops:
                 stats.remove += 1
-            left_bigger = len(vm_bound) >= len(vm_body)
+            left_bigger = len(vm_bound.entries) >= len(vm_body.entries)
             s_hash = slet_hash(
                 combiners, node.size, pos_x, left_bigger, s_bound, s_body
             )
@@ -231,8 +275,6 @@ def alpha_hash_all(
                 stats.merge_entries += len(small)
             merge_tagged(combiners, big, small, tag)
             varmap = big
-        else:  # pragma: no cover
-            raise TypeError(f"unknown node kind {node.kind}")
 
         node_hash = top_hash(combiners, s_hash, varmap.hash)
         by_id[id(node)] = node_hash

@@ -48,9 +48,15 @@ __all__ = [
 
 
 class PosTree:
-    """Base class for position-tree nodes (both flavours)."""
+    """Base class for position-tree nodes (both flavours).
 
-    __slots__ = ()
+    ``hash_cache`` memoises :func:`hash_postree` per node as a
+    ``((bits, seed), value)`` pair; position trees are immutable, so the
+    cached hash stays valid for the family that computed it.  Metadata
+    only -- never part of equality.
+    """
+
+    __slots__ = ("hash_cache",)
     kind: str = "?"
 
 
@@ -59,6 +65,9 @@ class _PTHereSingleton(PosTree):
 
     __slots__ = ()
     kind = "PTHere"
+
+    def __init__(self):
+        self.hash_cache = None
 
     def __repr__(self) -> str:
         return "PTHere"
@@ -76,6 +85,7 @@ class PTLeftOnly(PosTree):
 
     def __init__(self, child: PosTree):
         self.child = child
+        self.hash_cache = None
 
 
 class PTRightOnly(PosTree):
@@ -86,6 +96,7 @@ class PTRightOnly(PosTree):
 
     def __init__(self, child: PosTree):
         self.child = child
+        self.hash_cache = None
 
 
 class PTBoth(PosTree):
@@ -97,6 +108,7 @@ class PTBoth(PosTree):
     def __init__(self, left: PosTree, right: PosTree):
         self.left = left
         self.right = right
+        self.hash_cache = None
 
 
 class PTJoin(PosTree):
@@ -116,6 +128,7 @@ class PTJoin(PosTree):
         self.tag = tag
         self.big = big
         self.small = small
+        self.hash_cache = None
 
 
 def postree_equal(a: Optional[PosTree], b: Optional[PosTree]) -> bool:
@@ -208,9 +221,17 @@ def hash_postree(combiners: HashCombiners, pt: Optional[PosTree]) -> Optional[in
     Returns ``None`` for ``None`` input (the ``Maybe PosTree`` case); use
     :meth:`HashCombiners.maybe` at the call site where a concrete code is
     needed.
+
+    Per-node results are memoised in ``PosTree.hash_cache`` keyed by the
+    family's ``(bits, seed)``, so shared or repeatedly-hashed subtrees
+    fold once per family.
     """
     if pt is None:
         return None
+    key = (combiners.bits, combiners.seed)
+    cached = pt.hash_cache
+    if cached is not None and cached[0] == key:
+        return cached[1]
     here = pt_here_hash(combiners)
     results: list[int] = []
     # (node, visited) two-phase DFS.
@@ -218,6 +239,10 @@ def hash_postree(combiners: HashCombiners, pt: Optional[PosTree]) -> Optional[in
     while stack:
         node, visited = stack.pop()
         if not visited:
+            cached = node.hash_cache
+            if cached is not None and cached[0] == key:
+                results.append(cached[1])
+                continue
             stack.append((node, True))
             if isinstance(node, PTJoin):
                 if node.big is not None:
@@ -230,20 +255,22 @@ def hash_postree(combiners: HashCombiners, pt: Optional[PosTree]) -> Optional[in
                 stack.append((node.child, False))
         else:
             if node.kind == "PTHere":
-                results.append(here)
+                value = here
             elif isinstance(node, PTJoin):
                 big_hash = results.pop() if node.big is not None else None
                 small_hash = results.pop()
-                results.append(pt_join_hash(combiners, node.tag, big_hash, small_hash))
+                value = pt_join_hash(combiners, node.tag, big_hash, small_hash)
             elif isinstance(node, PTBoth):
                 right_hash = results.pop()
                 left_hash = results.pop()
-                results.append(pt_both_hash(combiners, left_hash, right_hash))
+                value = pt_both_hash(combiners, left_hash, right_hash)
             elif isinstance(node, PTLeftOnly):
-                results.append(pt_left_hash(combiners, results.pop()))
+                value = pt_left_hash(combiners, results.pop())
             elif isinstance(node, PTRightOnly):
-                results.append(pt_right_hash(combiners, results.pop()))
+                value = pt_right_hash(combiners, results.pop())
             else:  # pragma: no cover
                 raise TypeError(f"unknown postree kind {node.kind}")
+            node.hash_cache = (key, value)
+            results.append(value)
     assert len(results) == 1
     return results[0]

@@ -53,9 +53,18 @@ __all__ = [
 
 
 class Structure:
-    """Base class of structure nodes.  ``size`` counts structure nodes."""
+    """Base class of structure nodes.  ``size`` counts structure nodes.
 
-    __slots__ = ("size",)
+    ``hash_cache`` memoises :func:`hash_structure` results per node as a
+    ``((bits, seed), value)`` pair -- structures are immutable, so the
+    hash of a subtree under one combiner family never changes.  The key
+    is the combiner family's identity ``(bits, seed)`` (two families with
+    equal keys compute equal hashes), so re-hashing under a different
+    seed never serves a stale value.  The cache is metadata only: it
+    participates in neither equality nor hashing.
+    """
+
+    __slots__ = ("size", "hash_cache")
     kind: str = "?"
 
     size: int
@@ -71,6 +80,7 @@ class _SVarSingleton(Structure):
 
     def __init__(self):
         self.size = 1
+        self.hash_cache = None
 
     def __repr__(self) -> str:
         return "SVar"
@@ -88,6 +98,7 @@ class SLit(Structure):
     def __init__(self, value):
         self.value = value
         self.size = 1
+        self.hash_cache = None
 
 
 class SLam(Structure):
@@ -113,6 +124,7 @@ class SLam(Structure):
         self.body = body
         self.name_hint = name_hint
         self.size = 1 + body.size
+        self.hash_cache = None
 
 
 class SApp(Structure):
@@ -128,6 +140,7 @@ class SApp(Structure):
         self.fn = fn
         self.arg = arg
         self.size = 1 + fn.size + arg.size
+        self.hash_cache = None
 
 
 class SLet(Structure):
@@ -152,6 +165,7 @@ class SLet(Structure):
         self.body = body
         self.name_hint = name_hint
         self.size = 1 + bound.size + body.size
+        self.hash_cache = None
 
 
 def structure_tag(size: int) -> int:
@@ -266,12 +280,25 @@ def hash_structure(combiners: HashCombiners, structure: Structure) -> int:
     Position trees hanging off SLam/SLet nodes are hashed with
     :func:`repro.core.position_tree.hash_postree`.  Produces exactly the
     hash the fast Step-2 algorithm maintains incrementally.
+
+    Per-node results are memoised in ``Structure.hash_cache`` (keyed by
+    the combiner family's ``(bits, seed)``), so re-hashing a structure --
+    or a larger structure sharing subtrees with one hashed before --
+    skips every previously-hashed subtree.
     """
+    key = (combiners.bits, combiners.seed)
+    cached = structure.hash_cache
+    if cached is not None and cached[0] == key:
+        return cached[1]
     results: list[int] = []
     stack: list[tuple[Structure, bool]] = [(structure, False)]
     while stack:
         node, visited = stack.pop()
         if not visited:
+            cached = node.hash_cache
+            if cached is not None and cached[0] == key:
+                results.append(cached[1])
+                continue
             stack.append((node, True))
             if isinstance(node, SLam):
                 stack.append((node.body, False))
@@ -283,34 +310,34 @@ def hash_structure(combiners: HashCombiners, structure: Structure) -> int:
                 stack.append((node.bound, False))
         else:
             if node.kind == "SVar":
-                results.append(svar_hash(combiners))
+                value = svar_hash(combiners)
             elif isinstance(node, SLit):
-                results.append(slit_hash(combiners, node.value))
+                value = slit_hash(combiners, node.value)
             elif isinstance(node, SLam):
                 body_hash = results.pop()
                 pos_hash = hash_postree(combiners, node.pos)
-                results.append(slam_hash(combiners, node.size, pos_hash, body_hash))
+                value = slam_hash(combiners, node.size, pos_hash, body_hash)
             elif isinstance(node, SApp):
                 arg_hash = results.pop()
                 fn_hash = results.pop()
-                results.append(
-                    sapp_hash(combiners, node.size, node.left_bigger, fn_hash, arg_hash)
+                value = sapp_hash(
+                    combiners, node.size, node.left_bigger, fn_hash, arg_hash
                 )
             elif isinstance(node, SLet):
                 body_hash = results.pop()
                 bound_hash = results.pop()
                 pos_hash = hash_postree(combiners, node.pos)
-                results.append(
-                    slet_hash(
-                        combiners,
-                        node.size,
-                        pos_hash,
-                        node.left_bigger,
-                        bound_hash,
-                        body_hash,
-                    )
+                value = slet_hash(
+                    combiners,
+                    node.size,
+                    pos_hash,
+                    node.left_bigger,
+                    bound_hash,
+                    body_hash,
                 )
             else:  # pragma: no cover
                 raise TypeError(f"unknown structure kind {node.kind}")
+            node.hash_cache = (key, value)
+            results.append(value)
     assert len(results) == 1
     return results[0]

@@ -11,7 +11,8 @@ Design notes
 ------------
 * The machine is a classic CEK loop -- control expression, environment,
   continuation stack -- so evaluation depth is bounded by the heap, not
-  the Python call stack.
+  the Python call stack (depth-5000 let/application chains are pinned as
+  regressions in ``tests/test_degenerate.py``).
 * Environments are immutable linked frames, so closures capture their
   defining environment in O(1).
 * A ``fuel`` budget bounds the number of machine steps; exceeding it

@@ -6,10 +6,18 @@ hashed e-summaries so repeated and overlapping corpus expressions are
 hashed once.  See :mod:`repro.store.store` for the design notes.
 """
 
+from repro.store.parallel import (
+    parallel_hash_corpus,
+    parallel_intern_corpus,
+    resolve_workers,
+)
+from repro.store.sharded import DEFAULT_NUM_SHARDS, ShardedExprStore
 from repro.store.snapshot import (
     SNAPSHOT_FORMAT,
     SnapshotError,
     read_snapshot,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
     write_snapshot,
 )
 from repro.store.store import (
@@ -21,6 +29,8 @@ from repro.store.store import (
 
 __all__ = [
     "ExprStore",
+    "ShardedExprStore",
+    "DEFAULT_NUM_SHARDS",
     "StoreCollisionError",
     "StoreEntry",
     "StoreStats",
@@ -28,4 +38,9 @@ __all__ = [
     "SNAPSHOT_FORMAT",
     "read_snapshot",
     "write_snapshot",
+    "snapshot_from_bytes",
+    "snapshot_to_bytes",
+    "parallel_hash_corpus",
+    "parallel_intern_corpus",
+    "resolve_workers",
 ]

@@ -1,0 +1,423 @@
+"""Parallel corpus hashing: fan a corpus out over worker pools.
+
+The corpus workload is embarrassingly parallel -- each expression's
+alpha-hash is a pure function of the tree and the combiner family -- so
+:func:`parallel_hash_corpus` splits a corpus into deterministic chunks,
+hashes every chunk in a worker (process or thread), and reassembles the
+results by input position.  The result is **bit-identical** to the
+serial path: same combiners, same per-expression hash, same order.
+
+Engine design notes
+-------------------
+
+* **Deduplication first.**  Corpora produced by rewrite pipelines repeat
+  items *by object identity*; the serial store path absorbs those via
+  its summary memo.  Workers do not share a memo, so the parent
+  deduplicates by ``id()`` up front and only unique objects are fanned
+  out; duplicates are filled in from the first occurrence's result.
+
+* **Fork, not pickle.**  On platforms with ``fork`` (Linux), the corpus
+  is published in a module-level global before the pool starts and the
+  workers inherit it through the forked address space: the tasks on the
+  wire are index ranges (two ints) and the results are flat hash lists.
+  Expression trees are never pickled, so arbitrarily deep corpora
+  (pickling recurses; see ``tests/test_degenerate.py``) parallelise
+  fine and the per-task IPC cost stays O(1).
+
+* **Spawn fallback.**  Without ``fork``, chunks are pickled with a
+  recursion-limit guard scaled to the chunk's known maximum depth
+  (``Expr.depth`` is O(1)); beyond ``MAX_PICKLE_DEPTH`` the engine
+  refuses loudly rather than risk a C-stack overflow.
+
+* **Deterministic chunking.**  Chunk boundaries depend only on the
+  number of unique expressions and the worker count -- never on timing
+  -- and results are placed by index, so the output permutation-merges
+  identically on every run.
+
+* **Store cooperation.**  When the caller owns a store, its memoised
+  top-level hashes are consulted before fanning out (a warm corpus
+  never leaves the parent), and worker-side hashing counters are folded
+  back into the store's stats so the work done on the corpus' behalf
+  stays visible.  Worker *intern tables* can also be merged back -- see
+  :func:`parallel_intern_corpus` -- via the snapshot wire format, which
+  serialises iteratively (deep trees survive) and arrives as real
+  canonical classes in the parent.
+
+Threads vs processes: CPython's GIL serialises the pure-Python hashing
+loops, so ``mode="thread"`` exists for API symmetry, free-threaded
+builds and latency-hiding around I/O; CPU-bound corpus hashing wants
+``mode="process"`` (the default).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Optional, Sequence
+
+from repro.core.combiners import HashCombiners, default_combiners
+from repro.lang.expr import Expr
+from repro.store.store import ExprStore
+
+__all__ = [
+    "parallel_hash_corpus",
+    "parallel_intern_corpus",
+    "resolve_workers",
+    "MAX_PICKLE_DEPTH",
+]
+
+#: Spawn-mode ceiling on expression depth: pickling recurses roughly
+#: once per level, and recursion limits far beyond this risk exhausting
+#: the C stack instead of raising cleanly.  Fork mode has no such limit.
+MAX_PICKLE_DEPTH = 20_000
+
+_HASH_COUNTERS = ("memo_hits", "hashed_nodes", "memo_skipped_nodes")
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``workers`` request: ``None``/``0`` means one worker
+    per available CPU; negatives are rejected."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _chunk_ranges(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(n_items)`` into up to ``n_chunks`` near-even spans.
+
+    Purely arithmetic -- the same inputs always produce the same spans,
+    which is half of the engine's determinism guarantee (the other half
+    is placing results by index).
+    """
+    n_chunks = max(1, min(n_chunks, n_items))
+    base, extra = divmod(n_items, n_chunks)
+    ranges = []
+    start = 0
+    for i in range(n_chunks):
+        stop = start + base + (1 if i < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def _hash_span(
+    exprs: Sequence[Expr], combiners: HashCombiners
+) -> tuple[list[int], dict[str, int]]:
+    """Hash ``exprs`` through a fresh local store; return (hashes, stats).
+
+    The local store gives the span the same intra-chunk subtree reuse
+    the serial path enjoys; its hashing counters ride back so the parent
+    can account for the delegated work.
+    """
+    local = ExprStore(combiners)
+    hashes = [local.hash_expr(expr) for expr in exprs]
+    counters = {name: getattr(local.stats, name) for name in _HASH_COUNTERS}
+    return hashes, counters
+
+
+# -- fork-mode worker state ---------------------------------------------------
+#
+# Published by the parent immediately before the pool is created and
+# inherited by the forked children; cleared afterwards.  The tasks on
+# the wire are (start, stop) index pairs only.  _FORK_PUBLISH_LOCK makes
+# concurrent parallel_* calls (several threads, or the ROADMAP's async
+# sessions) safe: without it, caller B could overwrite the globals
+# between caller A's publish and fork, handing A's workers B's corpus.
+# Holding it for the pool's lifetime serialises process-mode calls,
+# which compete for the same CPUs anyway.
+
+_FORK_PUBLISH_LOCK = threading.Lock()
+_FORK_EXPRS: Optional[Sequence[Expr]] = None
+_FORK_BITS = 64
+_FORK_SEED: Optional[int] = None
+
+
+def _fork_hash_range(span: tuple[int, int]) -> tuple[list[int], dict[str, int]]:
+    start, stop = span
+    assert _FORK_EXPRS is not None, "fork worker started without a corpus"
+    combiners = HashCombiners(bits=_FORK_BITS, seed=_FORK_SEED)
+    return _hash_span(_FORK_EXPRS[start:stop], combiners)
+
+
+def _fork_intern_range(span: tuple[int, int]) -> tuple[list[int], bytes]:
+    from repro.store.snapshot import snapshot_to_bytes
+
+    start, stop = span
+    assert _FORK_EXPRS is not None, "fork worker started without a corpus"
+    combiners = HashCombiners(bits=_FORK_BITS, seed=_FORK_SEED)
+    local = ExprStore(combiners)
+    roots = [local.hash_expr(expr) for expr in _FORK_EXPRS[start:stop]]
+    local.intern_many(_FORK_EXPRS[start:stop])
+    return roots, snapshot_to_bytes(local)
+
+
+def _spawn_hash_chunk(
+    payload: tuple[list[Expr], int, int],
+) -> tuple[list[int], dict[str, int]]:
+    exprs, bits, seed = payload
+    return _hash_span(exprs, HashCombiners(bits=bits, seed=seed))
+
+
+class _DeepPickleGuard:
+    """Temporarily raise the recursion limit for spawn-mode pickling.
+
+    Pickling an expression recurses roughly once per tree level; this
+    guard sizes the limit from the chunk's known maximum ``depth``
+    (maintained O(1) on every node) with headroom, and restores the old
+    limit on exit.  Depths beyond :data:`MAX_PICKLE_DEPTH` are refused
+    loudly -- raising the limit further trades a clean error for a
+    possible C-stack overflow.  Fork mode never pickles trees and has no
+    depth ceiling.
+    """
+
+    def __init__(self, max_depth: int):
+        if max_depth > MAX_PICKLE_DEPTH:
+            raise ValueError(
+                f"corpus depth {max_depth} exceeds MAX_PICKLE_DEPTH "
+                f"({MAX_PICKLE_DEPTH}) for spawn-mode workers; use fork "
+                "mode (Linux default) or hash serially"
+            )
+        self._target = max(sys.getrecursionlimit(), 4 * max_depth + 1000)
+        self._saved: Optional[int] = None
+
+    def __enter__(self):
+        self._saved = sys.getrecursionlimit()
+        sys.setrecursionlimit(self._target)
+        return self
+
+    def __exit__(self, *exc_info):
+        assert self._saved is not None
+        sys.setrecursionlimit(self._saved)
+        return False
+
+
+def _dedup(exprs: Sequence[Expr]) -> tuple[list[Expr], list[int]]:
+    """Unique expression objects plus each input's index into them."""
+    uniq: list[Expr] = []
+    first_seen: dict[int, int] = {}
+    positions: list[int] = []
+    for expr in exprs:
+        key = id(expr)
+        slot = first_seen.get(key)
+        if slot is None:
+            slot = len(uniq)
+            first_seen[key] = slot
+            uniq.append(expr)
+        positions.append(slot)
+    return uniq, positions
+
+
+def _fold_counters(store: ExprStore, counters: dict[str, int]) -> None:
+    for name in _HASH_COUNTERS:
+        setattr(
+            store.stats, name, getattr(store.stats, name) + counters.get(name, 0)
+        )
+
+
+def parallel_hash_corpus(
+    exprs: Iterable[Expr],
+    combiners: Optional[HashCombiners] = None,
+    workers: Optional[int] = None,
+    mode: str = "process",
+    store: Optional[ExprStore] = None,
+    chunks_per_worker: int = 4,
+) -> list[int]:
+    """Root alpha-hashes of a corpus, computed by a worker pool.
+
+    Bit-identical to hashing the same corpus serially with the same
+    ``combiners`` (hashing is a pure function; results are reassembled
+    by input position).  See the module docstring for the engine design.
+
+    Parameters
+    ----------
+    exprs:
+        The corpus.  Materialised once; order defines the output order.
+    combiners:
+        Combiner family; taken from ``store`` when one is given,
+        defaulting to the shared fixed-seed family.
+    workers:
+        Pool size; ``None``/``0`` means one per CPU.  ``1`` short-cuts
+        to the serial path (through ``store`` when given).
+    mode:
+        ``"process"`` (CPU-bound default) or ``"thread"``.
+    store:
+        Optional parent-side store: already-memoised expressions are
+        answered locally, and worker hashing counters are folded into
+        ``store.stats`` afterwards.
+    chunks_per_worker:
+        Fan-out granularity (more chunks -> better balance, more IPC).
+    """
+    corpus = list(exprs)
+    if mode not in ("process", "thread"):
+        raise ValueError(f"mode must be 'process' or 'thread', got {mode!r}")
+    n_workers = resolve_workers(workers)
+    if store is not None:
+        combiners = store.resolve_combiners(combiners)
+    elif combiners is None:
+        combiners = default_combiners()
+
+    if n_workers <= 1 or len(corpus) <= 1:
+        if store is not None:
+            return store.hash_corpus(corpus)
+        local = ExprStore(combiners)
+        return [local.hash_expr(expr) for expr in corpus]
+
+    uniq, positions = _dedup(corpus)
+
+    # Answer what the parent store already knows; fan out only the rest.
+    uniq_results: list[Optional[int]] = [None] * len(uniq)
+    pending: list[int] = []
+    if store is not None:
+        for index, expr in enumerate(uniq):
+            cached = store.cached_top(expr)
+            if cached is None:
+                pending.append(index)
+            else:
+                uniq_results[index] = cached
+    else:
+        pending = list(range(len(uniq)))
+
+    if pending:
+        todo = [uniq[i] for i in pending]
+        spans = _chunk_ranges(len(todo), n_workers * chunks_per_worker)
+        if mode == "thread":
+            chunk_results = _run_thread_chunks(todo, spans, combiners, n_workers)
+        else:
+            chunk_results = _run_process_chunks(todo, spans, combiners, n_workers)
+        cursor = 0
+        for hashes, counters in chunk_results:
+            for value in hashes:
+                uniq_results[pending[cursor]] = value
+                cursor += 1
+            if store is not None:
+                _fold_counters(store, counters)
+        assert cursor == len(pending)
+
+    assert all(value is not None for value in uniq_results)
+    return [uniq_results[slot] for slot in positions]  # type: ignore[misc]
+
+
+def _run_thread_chunks(todo, spans, combiners, n_workers):
+    """Thread pool: shared memory, per-thread local stores, no pickling.
+
+    The pool is capped at the *requested* worker count -- excess chunks
+    queue -- so the caller's concurrency bound holds even though the
+    fan-out produces more chunks than workers for balance.
+    """
+    def run(span):
+        start, stop = span
+        # A fresh combiner family per task keeps the name-cache dict
+        # unshared (same (bits, seed) -> identical hashes).
+        return _hash_span(
+            todo[start:stop], HashCombiners(bits=combiners.bits, seed=combiners.seed)
+        )
+
+    with ThreadPoolExecutor(max_workers=min(n_workers, len(spans))) as pool:
+        return list(pool.map(run, spans))
+
+
+def _pool_context():
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork"), True
+    return multiprocessing.get_context("spawn"), False
+
+
+def _run_process_chunks(todo, spans, combiners, n_workers):
+    global _FORK_EXPRS, _FORK_BITS, _FORK_SEED
+    context, has_fork = _pool_context()
+    n_procs = min(n_workers, len(spans))
+    if has_fork:
+        with _FORK_PUBLISH_LOCK:
+            _FORK_EXPRS = todo
+            _FORK_BITS = combiners.bits
+            _FORK_SEED = combiners.seed
+            try:
+                with context.Pool(processes=n_procs) as pool:
+                    return pool.map(_fork_hash_range, spans)
+            finally:
+                _FORK_EXPRS = None
+    max_depth = max(expr.depth for expr in todo)
+    with _DeepPickleGuard(max_depth):
+        payloads = [
+            (todo[start:stop], combiners.bits, combiners.seed)
+            for start, stop in spans
+        ]
+        with context.Pool(processes=n_procs) as pool:
+            return pool.map(_spawn_hash_chunk, payloads)
+
+
+def parallel_intern_corpus(
+    exprs: Iterable[Expr],
+    store: ExprStore,
+    workers: Optional[int] = None,
+    chunks_per_worker: int = 2,
+) -> list[int]:
+    """Intern a corpus through process workers, merging their tables.
+
+    Workers intern contiguous slices into fresh local stores and ship
+    them back over the snapshot wire format (iterative -- deep trees
+    survive); the parent folds each worker store into ``store`` (a
+    :class:`~repro.store.sharded.ShardedExprStore` merges shard-by-
+    shard via ``merge_store``; a flat store interns the canonical
+    entries directly) and resolves every input to its node id in the
+    parent table.  Node *ids* may differ from a serial
+    ``store.intern_many`` -- ids encode arrival order -- but the classes
+    and their hashes are bit-identical, which is the store's contract.
+
+    Requires ``fork`` (worker results are bytes, but the corpus itself
+    is inherited, never pickled); without it, falls back to the serial
+    path.  The win over serial interning scales with the corpus'
+    duplication factor: workers dedup their slices in parallel and the
+    parent only re-interns each *unique* class once.
+    """
+    from repro.store.snapshot import snapshot_from_bytes
+
+    global _FORK_EXPRS, _FORK_BITS, _FORK_SEED
+    corpus = list(exprs)
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1 or len(corpus) <= 1:
+        return store.intern_many(corpus)
+    context, has_fork = _pool_context()
+    if not has_fork:
+        return store.intern_many(corpus)
+
+    spans = _chunk_ranges(len(corpus), n_workers * chunks_per_worker)
+    with _FORK_PUBLISH_LOCK:
+        _FORK_EXPRS = corpus
+        _FORK_BITS = store.combiners.bits
+        _FORK_SEED = store.combiners.seed
+        try:
+            with context.Pool(processes=min(n_workers, len(spans))) as pool:
+                results = pool.map(_fork_intern_range, spans)
+        finally:
+            _FORK_EXPRS = None
+
+    merge = getattr(store, "merge_store", None)
+    root_hashes: list[int] = []
+    for roots, snapshot_bytes in results:
+        worker_store, _header = snapshot_from_bytes(snapshot_bytes)
+        if merge is not None:
+            merge(worker_store)
+        else:
+            for entry in sorted(
+                worker_store.entries(), key=lambda e: e.size, reverse=True
+            ):
+                store.intern(entry.expr)
+        root_hashes.extend(roots)
+
+    # Spans partition the corpus in order, so root_hashes[i] is corpus[i].
+    ids = []
+    for index, value in enumerate(root_hashes):
+        node_id = store.lookup_hash(value)
+        if node_id is None:
+            # An LRU-bounded parent may have evicted the class during the
+            # merge; re-intern the original to restore the contract.
+            node_id = store.intern(corpus[index])
+        ids.append(node_id)
+    return ids

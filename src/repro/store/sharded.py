@@ -1,0 +1,457 @@
+"""A lock-striped, sharded expression store for concurrent writers.
+
+:class:`ShardedExprStore` partitions the intern table of
+:class:`~repro.store.ExprStore` into ``num_shards`` independent shards,
+each guarded by its own lock and keyed by alpha-hash: the class with
+alpha-hash ``h`` lives in shard ``h % num_shards``.  Because the
+paper's alpha-hashes are uniformly mixed (splitmix64 finalisation),
+classes spread evenly across shards without any balancing logic.
+
+Layering:
+
+* **Summary memo** (inherited from :class:`ExprStore`) -- hashing stays
+  a store-level concern.  The memo is guarded by a single re-entrant
+  lock: summarisation is cheap relative to the table work and the memo
+  is keyed by object identity, so striping it would buy nothing under
+  the GIL.  (A per-thread memo for free-threaded builds is a recorded
+  ROADMAP item.)
+* **Intern table** -- lock-striped.  Entry lookup, creation, LRU
+  touching and eviction all happen under the owning shard's lock only;
+  no operation ever holds two shard locks at once (cross-shard refcount
+  updates take the locks one at a time), so there is no lock ordering
+  to get wrong and no deadlock.
+
+Node ids encode their shard: a class created as the ``k``-th entry of
+shard ``s`` gets id ``k * num_shards + s``, so ``id % num_shards``
+recovers the owning shard in O(1) and ids never collide across shards.
+Ids therefore differ from a plain :class:`ExprStore` interning the same
+corpus -- ids were never stable identifiers across store instances, and
+the class *hashes* (the real keys) are bit-identical.
+
+Capacity: ``max_entries`` bounds the whole table; each shard enforces
+``ceil(max_entries / num_shards)`` with the same refcount-aware LRU
+policy as the flat store.
+
+Shard merging: :meth:`merge_store` folds another store (flat or
+sharded -- e.g. one built by a parallel worker process) into this one
+by re-interning its canonical entries, returning the id remapping.
+
+Snapshots: :meth:`save` flattens into a plain :class:`ExprStore`
+snapshot (same versioned format), and :meth:`load` re-shards it, so
+snapshots interoperate with flat stores in both directions.  Node ids
+are re-assigned on the way through; hashes and classes survive exactly.
+A native sharded snapshot format is a recorded ROADMAP item.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from repro.core.combiners import HashCombiners
+from repro.store.store import (
+    ExprStore,
+    StoreCollisionError,
+    StoreEntry,
+    StoreStats,
+)
+from repro.lang.expr import Expr
+
+__all__ = ["ShardedExprStore", "DEFAULT_NUM_SHARDS"]
+
+DEFAULT_NUM_SHARDS = 8
+
+
+class _Shard:
+    """One lock-striped slice of the intern table.
+
+    ``entries`` is in LRU order (oldest first) like the flat store's
+    table; ``stats`` counts only this shard's intern-layer events
+    (hits / misses / evictions -- the hashing-layer counters live on
+    the store, which is where hashing happens).
+    """
+
+    __slots__ = ("index", "lock", "entries", "by_hash", "stats", "next_local")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.lock = threading.Lock()
+        #: node_id -> entry, LRU order (oldest first).
+        self.entries: "OrderedDict[int, StoreEntry]" = OrderedDict()
+        #: alpha-hash -> node_id (hashes owned by this shard only).
+        self.by_hash: dict[int, int] = {}
+        self.stats = StoreStats()
+        self.next_local = 0
+
+
+class ShardedExprStore(ExprStore):
+    """An :class:`ExprStore` whose intern table is lock-striped shards.
+
+    Drop-in for the flat store's public API: hashing, interning,
+    entry/expr/hash/size lookups, stats, save/load.  Node *ids* differ
+    from a flat store over the same corpus (they encode the shard);
+    class hashes are bit-identical.
+
+    Parameters mirror :class:`ExprStore`, plus ``num_shards``.
+    ``max_entries`` bounds the whole table (split evenly over shards).
+    """
+
+    def __init__(
+        self,
+        combiners: Optional[HashCombiners] = None,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+        max_entries: Optional[int] = None,
+        memo_limit: Optional[int] = None,
+    ):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        super().__init__(
+            combiners, max_entries=max_entries, memo_limit=memo_limit
+        )
+        self.num_shards = num_shards
+        self._shards = [_Shard(i) for i in range(num_shards)]
+        # ceil-split the global bound so the shard bounds sum to >= it
+        # (never evicting more aggressively than the flat store would).
+        self._per_shard_max = (
+            None
+            if max_entries is None
+            else max(1, -(-max_entries // num_shards))
+        )
+        #: Guards the summary memo and intern walks (re-entrant so the
+        #: public wrappers can nest).  Shard locks nest strictly inside.
+        self._memo_lock = threading.RLock()
+        # The base class's flat containers are unused; drop them so any
+        # code path that still touches them fails loudly instead of
+        # silently splitting the table in two.
+        del self._entries
+        del self._by_hash
+
+    # -- shard routing ---------------------------------------------------------
+
+    def _shard_of_hash(self, hash_value: int) -> _Shard:
+        return self._shards[hash_value % self.num_shards]
+
+    def _shard_of_id(self, node_id: int) -> _Shard:
+        return self._shards[node_id % self.num_shards]
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(shard.entries) for shard in self._shards)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._shard_of_id(node_id).entries
+
+    def entry(self, node_id: int) -> StoreEntry:
+        shard = self._shard_of_id(node_id)
+        with shard.lock:
+            entry = shard.entries[node_id]
+            shard.entries.move_to_end(node_id)
+            return entry
+
+    def _get_entry(self, node_id: int) -> StoreEntry:
+        return self._shard_of_id(node_id).entries[node_id]
+
+    def lookup_hash(self, hash_value: int) -> Optional[int]:
+        return self._shard_of_hash(hash_value).by_hash.get(hash_value)
+
+    def entries(self) -> Iterator[StoreEntry]:
+        """All live entries: shard 0's LRU order, then shard 1's, ...
+
+        (A single global recency order does not exist in a sharded
+        table; each shard preserves its own.)
+        """
+        snapshot: list[StoreEntry] = []
+        for shard in self._shards:
+            with shard.lock:
+                snapshot.extend(shard.entries.values())
+        return iter(snapshot)
+
+    def shard_sizes(self) -> list[int]:
+        """Live entry count per shard (occupancy balance diagnostics)."""
+        return [len(shard.entries) for shard in self._shards]
+
+    def shard_stats(self) -> list[StoreStats]:
+        """Per-shard intern-layer counters (hits / misses / evictions).
+
+        Invariant: each counter summed over shards equals the same
+        counter on ``self.stats`` -- interning increments both under the
+        owning shard's lock.
+        """
+        return [shard.stats for shard in self._shards]
+
+    # -- hashing (same algorithm, memo under the store lock) -------------------
+
+    def hash_expr(self, expr: Expr) -> int:
+        with self._memo_lock:
+            return super().hash_expr(expr)
+
+    def hashes(self, expr: Expr):
+        with self._memo_lock:
+            return super().hashes(expr)
+
+    def hash_corpus(self, exprs) -> list[int]:
+        with self._memo_lock:
+            return [super(ShardedExprStore, self).hash_expr(e) for e in exprs]
+
+    def cached_summary(self, node: Expr):
+        with self._memo_lock:
+            return super().cached_summary(node)
+
+    def cached_top(self, node: Expr) -> Optional[int]:
+        with self._memo_lock:
+            return super().cached_top(node)
+
+    def clear_memo(self) -> None:
+        with self._memo_lock:
+            super().clear_memo()
+
+    def prune_memo(self, roots) -> int:
+        with self._memo_lock:
+            return super().prune_memo(roots)
+
+    # -- interning -------------------------------------------------------------
+
+    def intern(self, expr: Expr) -> int:
+        """Intern ``expr`` (same contract as the flat store).
+
+        The summarisation walk runs under the memo lock; each node's
+        table transaction runs under its owning shard's lock only.
+        """
+        with self._memo_lock:
+            self._hash_tree(expr)
+            memo = self._memo
+            ids: list[int] = []
+            stack: list[tuple[Expr, bool]] = [(expr, False)]
+            while stack:
+                node, visited = stack.pop()
+                rec = memo[id(node)]
+                if not visited:
+                    known = rec.node_id
+                    if known is not None and known in self:
+                        shard = self._shard_of_id(known)
+                        with shard.lock:
+                            shard.entries.move_to_end(known)
+                            shard.stats.hits += 1
+                        self.stats.hits += 1
+                        ids.append(known)
+                        continue
+                    stack.append((node, True))
+                    for child in reversed(node.children()):
+                        stack.append((child, False))
+                    continue
+
+                arity = len(node.children())
+                kid_ids = tuple(ids[len(ids) - arity :]) if arity else ()
+                if arity:
+                    del ids[len(ids) - arity :]
+                rec.node_id = self._intern_one(node, rec, kid_ids)
+                ids.append(rec.node_id)
+            assert len(ids) == 1
+            self._evict_if_needed(protect=ids[0])
+            self._maybe_flush_memo()
+            return ids[0]
+
+    def _intern_one(self, node: Expr, rec, kid_ids: tuple[int, ...]) -> int:
+        shard = self._shard_of_hash(rec.top)
+        with shard.lock:
+            existing = shard.by_hash.get(rec.top)
+            if existing is not None:
+                entry = shard.entries[existing]
+                if entry.kind != node.kind or entry.size != node.size:
+                    raise StoreCollisionError(
+                        f"alpha-hash 0x{rec.top:x} maps both a {entry.kind} "
+                        f"of size {entry.size} and a {node.kind} of size "
+                        f"{node.size}"
+                    )
+                shard.entries.move_to_end(existing)
+                shard.stats.hits += 1
+                self.stats.hits += 1
+                return existing
+
+            canonical = self._canonical_expr(node, kid_ids)
+            node_id = shard.next_local * self.num_shards + shard.index
+            shard.next_local += 1
+            entry = StoreEntry(
+                node_id=node_id,
+                hash=rec.top,
+                kind=node.kind,
+                size=node.size,
+                children=kid_ids,
+                expr=canonical,
+            )
+            shard.entries[node_id] = entry
+            shard.by_hash[rec.top] = node_id
+            shard.stats.misses += 1
+            self.stats.misses += 1
+
+        # Child refcounts live in other shards: bump them after releasing
+        # this shard's lock (one lock at a time, never two).
+        for kid in kid_ids:
+            kid_shard = self._shard_of_id(kid)
+            with kid_shard.lock:
+                kid_shard.entries[kid].refcount += 1
+
+        # Seed the canonical tree's memo record, exactly as the flat
+        # store does (a record must imply full-subtree coverage).
+        if id(canonical) not in self._memo and all(
+            id(self._get_entry(kid).expr) in self._memo for kid in kid_ids
+        ):
+            from repro.store.store import _MemoRecord
+
+            seeded = _MemoRecord(
+                canonical, rec.s_hash, dict(rec.vm_entries), rec.vm_hash, rec.top
+            )
+            seeded.node_id = node_id
+            self._memo[id(canonical)] = seeded
+        return node_id
+
+    # -- eviction --------------------------------------------------------------
+
+    def _evict_if_needed(self, protect: Optional[int] = None) -> None:
+        # Evicting in one shard can unpin children living in shards that
+        # were already swept (refcounts cross shards), so sweep rounds
+        # repeat until a full round evicts nothing.  Each round ends with
+        # every shard at its bound or holding only pinned entries (plus
+        # possibly the protected fresh root), matching the flat store's
+        # soft-bound semantics.
+        if self._per_shard_max is None:
+            return
+        progressed = True
+        while progressed:
+            progressed = False
+            for shard in self._shards:
+                while True:
+                    victim_entry = None
+                    with shard.lock:
+                        if len(shard.entries) <= self._per_shard_max:
+                            break
+                        for node_id, entry in shard.entries.items():
+                            if entry.refcount == 0 and node_id != protect:
+                                victim_entry = entry
+                                break
+                        if victim_entry is None:
+                            # Everything left is the protected fresh root
+                            # or referenced by a live parent.
+                            break
+                        shard.entries.pop(victim_entry.node_id)
+                        del shard.by_hash[victim_entry.hash]
+                        shard.stats.evictions += 1
+                        self.stats.evictions += 1
+                        progressed = True
+                    # Cross-shard refcount decrements outside this
+                    # shard's lock (never two shard locks at once).
+                    for kid in victim_entry.children:
+                        kid_shard = self._shard_of_id(kid)
+                        with kid_shard.lock:
+                            kid_shard.entries[kid].refcount -= 1
+                    rec = self._memo.get(id(victim_entry.expr))
+                    if rec is not None:
+                        rec.node_id = None
+
+    # -- merging ---------------------------------------------------------------
+
+    def merge_store(self, other: ExprStore) -> dict[int, int]:
+        """Fold every canonical class of ``other`` into this store.
+
+        Returns the id remapping ``{other_node_id: self_node_id}``.
+        ``other`` may be flat or sharded -- e.g. a store built by a
+        parallel worker over its slice of a corpus.  Interning the
+        canonical representatives (largest first, so smaller classes
+        resolve as memo/intern hits inside the larger trees) preserves
+        hashes bit-for-bit; ids are re-assigned by this store's shards.
+        ``other`` is not modified.
+        """
+        self.resolve_combiners(other.combiners)
+        mapping: dict[int, int] = {}
+        for entry in sorted(
+            other.entries(), key=lambda e: e.size, reverse=True
+        ):
+            mapping[entry.node_id] = self.intern(entry.expr)
+        return mapping
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: str, meta: Optional[dict] = None) -> None:
+        """Snapshot via the flat-store format (see module docstring).
+
+        The snapshot is a plain :class:`ExprStore` snapshot carrying
+        ``num_shards`` in its metadata; node ids are re-assigned on
+        :meth:`load` (hashes and classes survive exactly).
+        """
+        flat = self.to_flat_store()
+        merged_meta = dict(meta or {})
+        merged_meta.setdefault("sharded", {})["num_shards"] = self.num_shards
+        flat.save(path, merged_meta)
+
+    def to_flat_store(self) -> ExprStore:
+        """A plain :class:`ExprStore` holding every class of this store.
+
+        Hashing/intern counters are copied over so accounting survives
+        the flattening (the flat re-intern itself is bookkeeping and is
+        not counted).
+        """
+        with self._memo_lock:
+            flat = ExprStore(
+                self.combiners,
+                max_entries=self.max_entries,
+                memo_limit=self.memo_limit,
+            )
+            for entry in sorted(
+                self.entries(), key=lambda e: e.size, reverse=True
+            ):
+                flat.intern(entry.expr)
+            for name in (
+                "hits",
+                "misses",
+                "memo_hits",
+                "hashed_nodes",
+                "memo_skipped_nodes",
+                "evictions",
+            ):
+                setattr(flat.stats, name, getattr(self.stats, name))
+            return flat
+
+    @classmethod
+    def from_flat_store(
+        cls, flat: ExprStore, num_shards: int
+    ) -> "ShardedExprStore":
+        """Re-shard an already-built flat store (e.g. a decoded
+        snapshot) without touching ``flat``.
+
+        Accounting starts fresh and consistent: every adopted class is
+        one miss of its owning shard, nothing else (per-shard counters
+        must always sum to the store totals).
+        """
+        store = cls(
+            flat.combiners,
+            num_shards=num_shards,
+            max_entries=flat.max_entries,
+            memo_limit=flat.memo_limit,
+        )
+        store.merge_store(flat)
+        for shard in store._shards:
+            shard.stats.hits = 0
+            shard.stats.misses = len(shard.entries)
+            shard.stats.evictions = 0
+        store.stats = StoreStats(misses=len(store))
+        return store
+
+    @classmethod
+    def load(
+        cls, path: str, num_shards: Optional[int] = None
+    ) -> "ShardedExprStore":
+        """Rebuild from a :meth:`save` snapshot (or any flat snapshot),
+        re-sharding the classes.  ``num_shards`` overrides the saved
+        shard count.  (The saving process's workload counters stay
+        available in the snapshot header; the loaded store starts with
+        fresh accounting -- see :meth:`from_flat_store`.)"""
+        from repro.store.snapshot import read_snapshot
+
+        flat, header = read_snapshot(path)
+        meta = header.get("meta") or {}
+        saved = (meta.get("sharded") or {}).get("num_shards")
+        return cls.from_flat_store(
+            flat, num_shards or saved or DEFAULT_NUM_SHARDS
+        )

@@ -44,7 +44,14 @@ from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
 if TYPE_CHECKING:  # pragma: no cover
     from repro.store.store import ExprStore
 
-__all__ = ["SnapshotError", "write_snapshot", "read_snapshot", "SNAPSHOT_FORMAT"]
+__all__ = [
+    "SnapshotError",
+    "write_snapshot",
+    "read_snapshot",
+    "snapshot_to_bytes",
+    "snapshot_from_bytes",
+    "SNAPSHOT_FORMAT",
+]
 
 SNAPSHOT_FORMAT = "repro-store-snapshot-v1"
 
@@ -89,10 +96,14 @@ def _decode_lit(payload: Any) -> Lit:
     return Lit(value)
 
 
-def write_snapshot(
-    store: "ExprStore", path: str, meta: Optional[dict] = None
-) -> None:
-    """Write ``store`` to ``path`` (see module docstring for the format).
+def snapshot_to_bytes(store: "ExprStore", meta: Optional[dict] = None) -> bytes:
+    """Serialise ``store`` to the snapshot wire format, in memory.
+
+    Exactly the bytes :func:`write_snapshot` would put on disk (header
+    line + body).  Used by the parallel intern engine to ship worker
+    stores back to the parent process without touching the filesystem --
+    the JSON-lines encoding is iteration-only, so arbitrarily deep
+    expressions serialise without recursion (unlike pickling the trees).
 
     ``meta`` is an arbitrary JSON-compatible dict stored in the header
     (the Session facade records its backend name there).  The store is
@@ -157,24 +168,33 @@ def write_snapshot(
         "meta": meta or {},
         "checksum": _checksum(body),
     }
-    with open(path, "wb") as handle:
-        handle.write(
-            json.dumps(header, separators=(",", ":"), sort_keys=True).encode(
-                "utf-8"
-            )
-        )
-        handle.write(b"\n")
-        handle.write(body)
+    header_bytes = json.dumps(
+        header, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
     # Drop only the records the backfill created; a wholesale
     # _maybe_flush_memo here could wipe records that were legitimately
     # warm (and under the limit) before save() was called.
     for key in list(store._memo):
         if key not in memo_keys_before:
             del store._memo[key]
+    return header_bytes + b"\n" + body
 
 
-def read_snapshot(path: str) -> tuple["ExprStore", dict]:
-    """Rebuild a store from ``path``; return ``(store, header)``.
+def write_snapshot(
+    store: "ExprStore", path: str, meta: Optional[dict] = None
+) -> None:
+    """Write ``store`` to ``path`` (see module docstring for the format).
+
+    A thin file wrapper over :func:`snapshot_to_bytes`.
+    """
+    data = snapshot_to_bytes(store, meta)
+    with open(path, "wb") as handle:
+        handle.write(data)
+
+
+def snapshot_from_bytes(data: bytes) -> tuple["ExprStore", dict]:
+    """Rebuild a store from :func:`snapshot_to_bytes` output; return
+    ``(store, header)``.
 
     The restored store matches the saved one bit-identically: intern
     table, LRU recency, memo records of every canonical tree, and the
@@ -185,9 +205,11 @@ def read_snapshot(path: str) -> tuple["ExprStore", dict]:
     """
     from repro.store.store import ExprStore, StoreEntry, _MemoRecord
 
-    with open(path, "rb") as handle:
-        header_line = handle.readline()
-        body = handle.read()
+    newline = data.find(b"\n")
+    if newline < 0:
+        header_line, body = data, b""
+    else:
+        header_line, body = data[:newline], data[newline + 1 :]
     try:
         header = json.loads(header_line)
     except json.JSONDecodeError as exc:
@@ -289,3 +311,12 @@ def read_snapshot(path: str) -> tuple["ExprStore", dict]:
         if f.name in saved_stats:
             setattr(store.stats, f.name, saved_stats[f.name])
     return store, header
+
+
+def read_snapshot(path: str) -> tuple["ExprStore", dict]:
+    """Rebuild a store saved with :func:`write_snapshot`; return
+    ``(store, header)``.  A thin file wrapper over
+    :func:`snapshot_from_bytes`."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    return snapshot_from_bytes(data)

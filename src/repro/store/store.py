@@ -42,7 +42,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
 from repro.core.combiners import HashCombiners, default_combiners
-from repro.core.hashed import AlphaHashes
+from repro.core.hashed import AlphaHashes, lit_cache_key
 from repro.core.position_tree import pt_here_hash
 from repro.core.statshape import StatsDictMixin
 from repro.core.structure import (
@@ -205,6 +205,7 @@ class ExprStore:
         self._here = pt_here_hash(self.combiners)
         self._svar = svar_hash(self.combiners)
         self._var_entry_cache: dict[str, int] = {}
+        self._lit_cache: dict[tuple[type, object], int] = {}
         #: id(node) -> cached summary; holds a strong ref to the node.
         self._memo: dict[int, _MemoRecord] = {}
         #: node_id -> entry, in LRU order (oldest first).
@@ -352,6 +353,10 @@ class ExprStore:
         memo -- the same one-copy-per-node cost the Section 6.3
         incremental hasher pays, bought back many times over on corpus
         reuse.
+
+        The loop dispatches on ``type(node) is ...`` (the node kinds are
+        final) and pushes children by attribute, avoiding one method call
+        and one tuple allocation per node on the store's hottest path.
         """
         combiners = self.combiners
         memo = self._memo
@@ -362,12 +367,19 @@ class ExprStore:
             stats.memo_skipped_nodes += expr.size
             return root
 
+        var_entry_cache = self._var_entry_cache
+        lit_cache = self._lit_cache
+        here = self._here
+        svar = self._svar
+
         # Each results entry is (s_hash, varmap) with the varmap owned by
         # this call (parents consume child maps destructively).
         results: list[tuple[int, HashedVarMap]] = []
         stack: list[tuple[Expr, bool]] = [(expr, False)]
+        push = stack.append
         while stack:
             node, visited = stack.pop()
+            cls = type(node)
             if not visited:
                 rec = memo.get(id(node))
                 if rec is not None:
@@ -377,45 +389,62 @@ class ExprStore:
                         (rec.s_hash, HashedVarMap(dict(rec.vm_entries), rec.vm_hash))
                     )
                     continue
-                stack.append((node, True))
-                for child in reversed(node.children()):
-                    stack.append((child, False))
-                continue
+                if cls is Var or cls is Lit:
+                    pass  # leaves summarise immediately
+                elif cls is Lam:
+                    push((node, True))
+                    push((node.body, False))
+                    continue
+                elif cls is App:
+                    push((node, True))
+                    push((node.arg, False))
+                    push((node.fn, False))
+                    continue
+                elif cls is Let:
+                    push((node, True))
+                    push((node.body, False))
+                    push((node.bound, False))
+                    continue
+                else:  # pragma: no cover
+                    raise TypeError(f"unknown node kind {node.kind}")
 
-            if isinstance(node, Var):
-                s_hash = self._svar
+            if cls is Var:
+                s_hash = svar
                 name = node.name
-                cached = self._var_entry_cache.get(name)
+                cached = var_entry_cache.get(name)
                 if cached is None:
-                    cached = entry_hash(combiners, name, self._here)
-                    self._var_entry_cache[name] = cached
-                varmap = HashedVarMap({name: self._here}, cached)
-            elif isinstance(node, Lit):
-                s_hash = slit_hash(combiners, node.value)
+                    cached = entry_hash(combiners, name, here)
+                    var_entry_cache[name] = cached
+                varmap = HashedVarMap({name: here}, cached)
+            elif cls is Lit:
+                value = node.value
+                lit_key = lit_cache_key(value)
+                s_hash = lit_cache.get(lit_key)
+                if s_hash is None:
+                    s_hash = slit_hash(combiners, value)
+                    lit_cache[lit_key] = s_hash
                 varmap = HashedVarMap.empty()
-            elif isinstance(node, Lam):
+            elif cls is Lam:
                 s_body, varmap = results.pop()
                 pos = varmap.remove(combiners, node.binder)
                 s_hash = slam_hash(combiners, node.size, pos, s_body)
-            elif isinstance(node, App):
+            elif cls is App:
                 s_arg, vm_arg = results.pop()
                 s_fn, vm_fn = results.pop()
-                left_bigger = len(vm_fn) >= len(vm_arg)
+                left_bigger = len(vm_fn.entries) >= len(vm_arg.entries)
                 s_hash = sapp_hash(combiners, node.size, left_bigger, s_fn, s_arg)
                 big, small = (vm_fn, vm_arg) if left_bigger else (vm_arg, vm_fn)
                 varmap = merge_tagged(combiners, big, small, node.size)
-            elif isinstance(node, Let):
+            else:  # cls is Let (the scheduling phase rejected everything else)
                 s_body, vm_body = results.pop()
                 s_bound, vm_bound = results.pop()
                 pos_x = vm_body.remove(combiners, node.binder)
-                left_bigger = len(vm_bound) >= len(vm_body)
+                left_bigger = len(vm_bound.entries) >= len(vm_body.entries)
                 s_hash = slet_hash(
                     combiners, node.size, pos_x, left_bigger, s_bound, s_body
                 )
                 big, small = (vm_bound, vm_body) if left_bigger else (vm_body, vm_bound)
                 varmap = merge_tagged(combiners, big, small, node.size)
-            else:  # pragma: no cover
-                raise TypeError(f"unknown node kind {node.kind}")
 
             top = top_hash(combiners, s_hash, varmap.hash)
             memo[id(node)] = _MemoRecord(
@@ -547,10 +576,14 @@ class ExprStore:
             self._memo[id(canonical)].node_id = node_id
         return node_id
 
+    def _get_entry(self, node_id: int) -> StoreEntry:
+        """Entry lookup without LRU side effects (overridable storage hook)."""
+        return self._entries[node_id]
+
     def _canonical_expr(self, node: Expr, kid_ids: tuple[int, ...]) -> Expr:
         if isinstance(node, (Var, Lit)):
             return node
-        kids = tuple(self._entries[kid].expr for kid in kid_ids)
+        kids = tuple(self._get_entry(kid).expr for kid in kid_ids)
         if isinstance(node, Lam):
             return Lam(node.binder, kids[0])
         if isinstance(node, App):

@@ -6,7 +6,16 @@ CPython's default recursion limit, so any accidental recursion fails
 loudly), and shadowed binders, pushed through the Step-1 summarisers,
 their rebuild inverses, the fast hasher, the incremental hasher and the
 store.
+
+``TestVeryDeepChains`` raises the ceiling to depth 5000 (PR 3): the
+summarisers, both rebuilds, the CEK evaluator, the store and the
+parallel engine are all explicit-stack / explicit-continuation, so the
+*only* recursion-limited path near a corpus is pickling the trees --
+which the fork-mode parallel engine deliberately never does, and whose
+failure mode is pinned here as a regression canary.
 """
+
+import pickle
 
 import pytest
 
@@ -22,10 +31,14 @@ from repro.core.combiners import default_combiners
 from repro.core.hashed import alpha_hash_all, alpha_hash_root
 from repro.core.incremental import IncrementalHasher
 from repro.lang.alpha import alpha_equivalent
+from repro.lang.evaluator import evaluate
 from repro.lang.expr import App, Lam, Let, Lit, Var
 from repro.store import ExprStore
 
 DEPTH = 2000
+#: The PR-3 ceiling: ~5x CPython's default recursion limit, so any
+#: accidental recursion anywhere in the pipeline fails loudly.
+DEPTH_DEEP = 5000
 
 
 def check_summarise_rebuild_store(expr, store=None):
@@ -163,6 +176,62 @@ class TestDeepChains:
         assert not alpha_equivalent(
             left_skewed_app(DEPTH), right_skewed_app(DEPTH)
         )
+
+
+class TestVeryDeepChains:
+    """Depth-5000 regression wall (the PR-3 satellite contract).
+
+    Everything on the hashing pipeline -- summarise (both variants),
+    rebuild (both variants), the fast hasher, the store, the CEK
+    evaluator -- must survive ~5x the default recursion limit without
+    touching ``sys.setrecursionlimit``.
+    """
+
+    def test_summarise_and_rebuild_both_variants(self):
+        e = lam_chain(DEPTH_DEEP)
+        tagged = summarise_tagged(e)
+        naive = summarise_naive(e)
+        assert alpha_equivalent(rebuild_tagged(tagged), e)
+        assert alpha_equivalent(rebuild_naive(naive), e)
+        assert esummary_equal(summarise_tagged(rebuild_tagged(tagged)), tagged)
+
+    def test_full_gauntlet_on_skewed_chains(self):
+        check_summarise_rebuild_store(left_skewed_app(DEPTH_DEEP))
+        check_summarise_rebuild_store(right_skewed_app(DEPTH_DEEP))
+
+    def test_evaluator_deep_let_chain(self):
+        # let v0 = 0 in let v1 = v0 in ... in v_{n-1}  ==> 0
+        e = Var(f"v{DEPTH_DEEP - 1}")
+        for i in range(DEPTH_DEEP - 1, -1, -1):
+            e = Let(f"v{i}", Lit(i) if i == 0 else Var(f"v{i - 1}"), e)
+        assert evaluate(e) == 0
+
+    def test_evaluator_deep_application_chain(self):
+        identity = Lam("y", Var("y"))
+        e = Lit(1)
+        for _ in range(DEPTH_DEEP):
+            e = App(identity, e)
+        assert evaluate(e, fuel=20 * DEPTH_DEEP) == 1
+
+    def test_store_interns_deep_chain(self):
+        store = ExprStore()
+        a = store.intern(lam_chain(DEPTH_DEEP))
+        assert store.intern(lam_chain(DEPTH_DEEP)) == a
+
+    def test_parallel_engine_handles_deep_corpus(self):
+        """Fork workers inherit the corpus through process memory; the
+        engine must not fall back to pickling, which recurses."""
+        from repro.store import parallel_hash_corpus
+
+        corpus = [lam_chain(DEPTH_DEEP), right_skewed_app(DEPTH_DEEP)]
+        assert parallel_hash_corpus(corpus, workers=2) == ExprStore(
+        ).hash_corpus(corpus)
+
+    def test_pickle_is_the_recursive_path(self):
+        """Canary: if pickling deep trees ever stops recursing, the
+        engine's fork-only shipping rule can be revisited."""
+        with pytest.raises(RecursionError):
+            pickle.dumps(lam_chain(DEPTH_DEEP))
 
 
 class TestShadowedBinders:

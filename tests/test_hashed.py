@@ -195,3 +195,36 @@ class TestScale:
         for i in range(30_000):
             e = Lam(f"v{i}", e) if i % 2 else App(e, Lit(i))
         assert alpha_hash_root(e) is not None
+
+
+class TestLitCacheBitExactness:
+    """The literal-hash cache must key on bit patterns, not == (PR 3).
+
+    ``hash_lit`` distinguishes -0.0 from 0.0 (IEEE bit patterns), while
+    ``-0.0 == 0.0`` as a dict key: a value-keyed cache would make a
+    literal's hash depend on hashing *history*.
+    """
+
+    def test_negative_zero_vs_zero_order_independent(self):
+        tree_pos_first = App(Lit(0.0), Lit(-0.0))
+        tree_neg_first = App(Lit(-0.0), Lit(0.0))
+        a = alpha_hash_all(tree_pos_first)
+        b = alpha_hash_all(tree_neg_first)
+        assert a.hash_of(tree_pos_first.fn) == b.hash_of(tree_neg_first.arg)
+        assert a.hash_of(tree_pos_first.arg) == b.hash_of(tree_neg_first.fn)
+        assert a.hash_of(tree_pos_first.fn) != a.hash_of(tree_pos_first.arg)
+
+    def test_in_tree_matches_standalone(self):
+        tree = App(Lit(0.0), Lit(-0.0))
+        hashes = alpha_hash_all(tree)
+        assert hashes.hash_of(tree.arg) == alpha_hash_root(Lit(-0.0))
+
+    def test_store_corpus_matches_fresh_and_parallel(self):
+        from repro.store import ExprStore, parallel_hash_corpus
+
+        corpus = [Lit(0.0), Lit(-0.0), App(Lit(0.0), Lit(-0.0))]
+        fresh = [alpha_hash_root(e) for e in corpus]
+        assert ExprStore().hash_corpus(corpus) == fresh
+        assert parallel_hash_corpus(corpus, workers=2) == fresh
+        store = ExprStore()
+        assert store.intern(Lit(0.0)) != store.intern(Lit(-0.0))

@@ -1,0 +1,250 @@
+"""Parallel corpus engine: serial/parallel differential + determinism.
+
+The engine's contract is *bit-identity*: ``hash_corpus(workers=N)``
+must agree hash-for-hash, position-for-position with ``workers=1`` over
+any corpus -- random, adversarial, duplicate-heavy, or degenerate-deep
+-- in both pool flavours.  The 1k mixed-corpus differential below is
+the PR-3 satellite contract; the rest pins the engine's mechanics
+(deterministic chunking, dedup, store stat folding, worker merge).
+"""
+
+import random
+
+import pytest
+
+from repro.api import Session
+from repro.core.combiners import HashCombiners
+from repro.gen.adversarial import adversarial_pair
+from repro.gen.random_exprs import random_expr
+from repro.lang.expr import App, Lam, Var
+from repro.store import (
+    ExprStore,
+    ShardedExprStore,
+    parallel_hash_corpus,
+    parallel_intern_corpus,
+    resolve_workers,
+)
+from repro.store.parallel import _chunk_ranges, _dedup
+
+
+def mixed_corpus(n_items: int, seed: int = 5, size: int = 50):
+    """Random + adversarial generators with object-identity duplicates:
+    the satellite's "1k mixed corpus" diet."""
+    rng = random.Random(seed)
+    corpus = []
+    while len(corpus) < n_items:
+        roll = rng.random()
+        if roll < 0.2 and corpus:
+            corpus.append(rng.choice(corpus))
+        elif roll < 0.4:
+            a, b = adversarial_pair(size, seed=rng.randrange(1 << 30))
+            corpus.extend((a, b))
+        else:
+            corpus.append(
+                random_expr(
+                    size,
+                    rng=rng,
+                    shape=rng.choice(("balanced", "unbalanced")),
+                    p_let=0.25,
+                    p_lit=0.15,
+                )
+            )
+    return corpus[:n_items]
+
+
+class TestDifferential:
+    """The satellite contract: workers=4 == workers=1, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def corpus_1k(self):
+        return mixed_corpus(1000)
+
+    @pytest.fixture(scope="class")
+    def serial_hashes(self, corpus_1k):
+        return Session().hash_corpus(corpus_1k, workers=1)
+
+    def test_process_workers_bit_identical(self, corpus_1k, serial_hashes):
+        assert (
+            Session().hash_corpus(corpus_1k, workers=4) == serial_hashes
+        )
+
+    def test_thread_workers_bit_identical(self, corpus_1k, serial_hashes):
+        assert (
+            Session().hash_corpus(corpus_1k, workers=4, mode="thread")
+            == serial_hashes
+        )
+
+    def test_parallel_runs_are_deterministic(self, corpus_1k):
+        first = parallel_hash_corpus(corpus_1k, workers=3)
+        second = parallel_hash_corpus(corpus_1k, workers=3)
+        assert first == second
+
+    def test_worker_count_never_changes_results(self, corpus_1k, serial_hashes):
+        for workers in (2, 3, 5):
+            assert (
+                parallel_hash_corpus(corpus_1k[:200], workers=workers)
+                == serial_hashes[:200]
+            )
+
+    def test_nondefault_combiners(self):
+        corpus = mixed_corpus(60, seed=8)
+        combiners = HashCombiners(bits=32, seed=123)
+        serial = [
+            ExprStore(HashCombiners(bits=32, seed=123)).hash_expr(e)
+            for e in corpus
+        ]
+        assert (
+            parallel_hash_corpus(corpus, combiners=combiners, workers=3)
+            == serial
+        )
+
+
+class TestEngineMechanics:
+    def test_chunk_ranges_partition_exactly(self):
+        for n_items in (0, 1, 7, 100, 1001):
+            for n_chunks in (1, 3, 8, 200):
+                spans = _chunk_ranges(n_items, n_chunks)
+                covered = [i for a, b in spans for i in range(a, b)]
+                assert covered == list(range(n_items))
+
+    def test_dedup_maps_every_position(self):
+        a, b = Var("x"), Var("y")
+        uniq, positions = _dedup([a, b, a, a, b])
+        assert uniq == [a, b]
+        assert positions == [0, 1, 0, 0, 1]
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_hash_corpus([Var("x")], workers=2, mode="fiber")
+
+    def test_workers_one_uses_store_serially(self):
+        store = ExprStore()
+        corpus = mixed_corpus(20)
+        result = parallel_hash_corpus(corpus, workers=1, store=store)
+        assert result == ExprStore().hash_corpus(corpus)
+        assert store.stats.hashed_nodes > 0
+
+    def test_warm_store_answers_locally(self):
+        store = ExprStore()
+        corpus = mixed_corpus(30)
+        store.hash_corpus(corpus)
+        hashed_before = store.stats.hashed_nodes
+        result = parallel_hash_corpus(corpus, workers=4, store=store)
+        assert result == ExprStore().hash_corpus(corpus)
+        # every unique object was memoised: nothing left to fan out
+        assert store.stats.hashed_nodes == hashed_before
+
+    def test_worker_counters_fold_into_store(self):
+        store = ExprStore()
+        corpus = mixed_corpus(40)
+        parallel_hash_corpus(corpus, workers=3, store=store)
+        # the delegated hashing work is visible in the parent's stats
+        assert store.stats.hashed_nodes > 0
+
+    def test_deep_corpus_fork_mode(self):
+        """Fork workers inherit the corpus; nothing pickles the trees,
+        so degenerate depth parallelises (pickle would recurse)."""
+        deep = Var("x")
+        for i in range(5000):
+            deep = Lam(f"x{i}", deep)
+        corpus = [deep] + mixed_corpus(10)
+        assert parallel_hash_corpus(corpus, workers=2) == ExprStore(
+        ).hash_corpus(corpus)
+
+
+class TestParallelIntern:
+    def test_classes_match_serial(self):
+        corpus = mixed_corpus(200)
+        serial_ids = ExprStore().intern_many(corpus)
+        store = ShardedExprStore(num_shards=4)
+        par_ids = parallel_intern_corpus(corpus, store, workers=3)
+        serial_part = [serial_ids.index(i) for i in serial_ids]
+        par_part = [par_ids.index(i) for i in par_ids]
+        assert par_part == serial_part
+
+    def test_every_id_resolves_in_parent(self):
+        corpus = mixed_corpus(100)
+        store = ShardedExprStore(num_shards=4)
+        ids = parallel_intern_corpus(corpus, store, workers=3)
+        for expr, node_id in zip(corpus, ids):
+            assert store.hash_of(node_id) == ExprStore().hash_expr(expr)
+
+    def test_flat_store_target(self):
+        corpus = mixed_corpus(80)
+        store = ExprStore()
+        ids = parallel_intern_corpus(corpus, store, workers=3)
+        expected = ExprStore()
+        expected_ids = expected.intern_many(corpus)
+        assert [ids.index(i) for i in ids] == [
+            expected_ids.index(i) for i in expected_ids
+        ]
+        assert len(store) == len(expected)
+
+
+class TestSessionIntegration:
+    def test_session_configured_workers(self):
+        corpus = mixed_corpus(60)
+        serial = Session().hash_corpus(corpus)
+        session = Session(workers=3)
+        assert session.hash_corpus(corpus) == serial
+
+    def test_session_sharded_store_with_workers(self):
+        corpus = mixed_corpus(60)
+        session = Session(num_shards=4, workers=3)
+        assert isinstance(session.store, ShardedExprStore)
+        assert session.hash_corpus(corpus) == Session().hash_corpus(corpus)
+        ids = session.intern_many(corpus)
+        assert len(ids) == len(corpus)
+        stats = session.stats()
+        assert stats["num_shards"] == 4
+        assert sum(stats["shard_sizes"]) == stats["entries"]
+
+    def test_session_intern_many_workers_matches_serial_classes(self):
+        corpus = mixed_corpus(80)
+        serial_ids = Session().intern_many(corpus)
+        par_ids = Session(num_shards=4).intern_many(corpus, workers=3)
+        assert [par_ids.index(i) for i in par_ids] == [
+            serial_ids.index(i) for i in serial_ids
+        ]
+
+    def test_non_store_backend_stays_serial_and_correct(self):
+        corpus = mixed_corpus(20)
+        session = Session(backend="debruijn", workers=4)
+        assert session.hash_corpus(corpus) == Session(
+            backend="debruijn"
+        ).hash_corpus(corpus)
+
+    def test_sharded_session_snapshot_round_trip(self, tmp_path):
+        corpus = mixed_corpus(40)
+        session = Session(num_shards=4)
+        hashes = session.hash_corpus(corpus)
+        session.intern_many(corpus)
+        path = str(tmp_path / "sharded_session.snap")
+        session.save(path)
+        restored = Session.load(path)
+        assert isinstance(restored.store, ShardedExprStore)
+        assert restored.store.num_shards == 4
+        assert restored.hash_corpus(corpus) == hashes
+
+    def test_invalid_parallel_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Session(parallel_mode="fiber")
+
+
+class TestAppleToAppleAdversarial:
+    def test_adversarial_pairs_stay_distinct_in_parallel(self):
+        """Near-colliding pairs must come back distinct and identical to
+        the serial path (the engine must not perturb hashing)."""
+        pairs = [adversarial_pair(120, seed=s) for s in range(20)]
+        corpus = [e for pair in pairs for e in pair]
+        hashes = parallel_hash_corpus(corpus, workers=4)
+        assert hashes == ExprStore().hash_corpus(corpus)
+        for left, right in zip(hashes[::2], hashes[1::2]):
+            assert left != right

@@ -1,0 +1,283 @@
+"""ShardedExprStore: API parity with the flat store, striping invariants.
+
+The sharded store's contract: identical *hashes and class partitions*
+to a flat :class:`ExprStore` over any corpus (node ids may differ --
+they encode the owning shard), per-shard counters that always sum to
+the store totals, refcount-safe cross-shard LRU eviction, a shard-merge
+operation, and flat-format snapshots that round-trip in both
+directions.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core.combiners import HashCombiners
+from repro.gen.adversarial import adversarial_pair
+from repro.gen.random_exprs import random_expr
+from repro.lang.alpha import alpha_equivalent
+from repro.lang.expr import App, Lam, Lit, Var
+from repro.store import DEFAULT_NUM_SHARDS, ExprStore, ShardedExprStore
+
+
+def mixed_corpus(n_items: int, seed: int = 11, size: int = 60):
+    """Random + adversarial + duplicated items, the differential diet."""
+    rng = random.Random(seed)
+    corpus = []
+    for index in range(n_items):
+        roll = rng.random()
+        if roll < 0.15 and corpus:
+            corpus.append(rng.choice(corpus))  # duplicate object
+        elif roll < 0.3:
+            a, b = adversarial_pair(size, seed=rng.randrange(1 << 30))
+            corpus.append(a)
+            corpus.append(b)
+        else:
+            corpus.append(
+                random_expr(
+                    size,
+                    rng=rng,
+                    shape=rng.choice(("balanced", "unbalanced")),
+                    p_let=0.3,
+                    p_lit=0.1,
+                )
+            )
+    return corpus
+
+
+def partition(ids):
+    """Canonical shape of an id sequence (first-occurrence indices)."""
+    return [ids.index(i) for i in ids]
+
+
+class TestFlatParity:
+    def test_hashes_bit_identical(self):
+        corpus = mixed_corpus(80)
+        assert ShardedExprStore(num_shards=4).hash_corpus(
+            corpus
+        ) == ExprStore().hash_corpus(corpus)
+
+    def test_class_partition_matches_flat(self):
+        corpus = mixed_corpus(60)
+        flat_ids = ExprStore().intern_many(corpus)
+        sharded_ids = ShardedExprStore(num_shards=4).intern_many(corpus)
+        assert partition(sharded_ids) == partition(flat_ids)
+
+    def test_entry_lookups(self):
+        store = ShardedExprStore(num_shards=4)
+        expr = Lam("x", App(Var("x"), Lit(7)))
+        node_id = store.intern(expr)
+        assert node_id in store
+        assert store.hash_of(node_id) == store.hash_expr(expr)
+        assert store.size_of(node_id) == expr.size
+        assert alpha_equivalent(store.expr_of(node_id), expr)
+        assert store.lookup_hash(store.hash_of(node_id)) == node_id
+
+    def test_alpha_equivalent_trees_share_class(self):
+        store = ShardedExprStore(num_shards=4)
+        assert store.intern(Lam("x", Var("x"))) == store.intern(
+            Lam("y", Var("y"))
+        )
+
+    def test_entry_count_matches_flat(self):
+        corpus = mixed_corpus(40)
+        flat = ExprStore()
+        flat.intern_many(corpus)
+        sharded = ShardedExprStore(num_shards=8)
+        sharded.intern_many(corpus)
+        assert len(sharded) == len(flat)
+
+    def test_ids_encode_their_shard(self):
+        store = ShardedExprStore(num_shards=4)
+        store.intern_many(mixed_corpus(30))
+        for entry in store.entries():
+            assert entry.node_id % 4 == entry.hash % 4
+
+    def test_num_shards_validation(self):
+        with pytest.raises(ValueError):
+            ShardedExprStore(num_shards=0)
+
+
+class TestShardStats:
+    def test_hits_and_misses_conserved_across_shards(self):
+        store = ShardedExprStore(num_shards=8)
+        store.intern_many(mixed_corpus(120))
+        per_shard = store.shard_stats()
+        assert sum(s.hits for s in per_shard) == store.stats.hits
+        assert sum(s.misses for s in per_shard) == store.stats.misses
+        assert sum(s.evictions for s in per_shard) == store.stats.evictions
+        assert store.stats.hits > 0 and store.stats.misses > 0
+
+    def test_shard_misses_equal_shard_occupancy_when_unbounded(self):
+        store = ShardedExprStore(num_shards=8)
+        store.intern_many(mixed_corpus(60))
+        for shard_stats, size in zip(store.shard_stats(), store.shard_sizes()):
+            assert shard_stats.misses == size
+
+    def test_occupancy_spreads_over_shards(self):
+        store = ShardedExprStore(num_shards=8)
+        store.intern_many(mixed_corpus(120))
+        sizes = store.shard_sizes()
+        assert sum(sizes) == len(store)
+        # splitmix-mixed hashes spread evenly; no shard should dominate
+        assert max(sizes) <= 3 * (sum(sizes) / len(sizes))
+
+
+class TestEviction:
+    def test_lru_bound_evicts_everything_unpinned(self):
+        store = ShardedExprStore(num_shards=4, max_entries=40)
+        store.intern_many(mixed_corpus(60))
+        assert store.stats.evictions > 0
+        unbounded = ShardedExprStore(num_shards=4)
+        unbounded.intern_many(mixed_corpus(60))
+        assert len(store) < len(unbounded)
+        # The bound is soft exactly like the flat store's: a shard over
+        # its ceil-split bound (10) may hold only entries pinned by live
+        # parents (refcount > 0), plus at most the protected fresh root.
+        for shard_index in range(4):
+            over = [
+                e
+                for e in store.entries()
+                if e.node_id % 4 == shard_index
+            ]
+            if len(over) > 10:
+                unpinned = [e for e in over if e.refcount == 0]
+                assert len(unpinned) <= 1
+
+    def test_referenced_children_survive_eviction(self):
+        store = ShardedExprStore(num_shards=2, max_entries=8)
+        store.intern_many(mixed_corpus(40, size=30))
+        for entry in store.entries():
+            for kid in entry.children:
+                assert kid in store  # no dangling child links
+
+    def test_eviction_never_changes_hashes(self):
+        corpus = mixed_corpus(30, size=20)
+        bounded = ShardedExprStore(num_shards=2, max_entries=6)
+        bounded.intern_many(corpus)
+        assert bounded.hash_corpus(corpus) == ExprStore().hash_corpus(corpus)
+
+
+class TestMerge:
+    def test_merge_flat_store(self):
+        corpus = mixed_corpus(50)
+        flat = ExprStore()
+        flat.intern_many(corpus)
+        sharded = ShardedExprStore(num_shards=4)
+        mapping = sharded.merge_store(flat)
+        assert len(sharded) == len(flat)
+        assert set(mapping) == {e.node_id for e in flat.entries()}
+        for entry in flat.entries():
+            assert sharded.hash_of(mapping[entry.node_id]) == entry.hash
+
+    def test_merge_sharded_store(self):
+        left = ShardedExprStore(num_shards=4)
+        right = ShardedExprStore(num_shards=2)
+        corpus = mixed_corpus(40)
+        left.intern_many(corpus[: len(corpus) // 2])
+        right.intern_many(corpus[len(corpus) // 2 :])
+        left.merge_store(right)
+        expected = ExprStore()
+        expected.intern_many(corpus)
+        assert len(left) == len(expected)
+
+    def test_merge_is_idempotent(self):
+        flat = ExprStore()
+        flat.intern_many(mixed_corpus(30))
+        sharded = ShardedExprStore(num_shards=4)
+        sharded.merge_store(flat)
+        before = len(sharded)
+        sharded.merge_store(flat)
+        assert len(sharded) == before
+
+    def test_merge_rejects_mismatched_combiners(self):
+        other = ExprStore(HashCombiners(bits=32))
+        with pytest.raises(ValueError):
+            ShardedExprStore(num_shards=2).merge_store(other)
+
+
+class TestSnapshots:
+    def test_save_load_round_trip(self, tmp_path):
+        corpus = mixed_corpus(40)
+        store = ShardedExprStore(num_shards=4)
+        hashes = store.hash_corpus(corpus)
+        store.intern_many(corpus)
+        path = str(tmp_path / "sharded.snap")
+        store.save(path)
+        restored = ShardedExprStore.load(path)
+        assert restored.num_shards == 4
+        assert len(restored) == len(store)
+        assert restored.hash_corpus(corpus) == hashes
+        for value in hashes:
+            assert restored.lookup_hash(value) is not None
+
+    def test_load_into_different_shard_count(self, tmp_path):
+        store = ShardedExprStore(num_shards=4)
+        corpus = mixed_corpus(30)
+        store.intern_many(corpus)
+        path = str(tmp_path / "sharded.snap")
+        store.save(path)
+        restored = ShardedExprStore.load(path, num_shards=2)
+        assert restored.num_shards == 2
+        assert len(restored) == len(store)
+
+    def test_flat_store_can_read_sharded_snapshot(self, tmp_path):
+        store = ShardedExprStore(num_shards=4)
+        corpus = mixed_corpus(30)
+        hashes = store.hash_corpus(corpus)
+        store.intern_many(corpus)
+        path = str(tmp_path / "sharded.snap")
+        store.save(path)
+        flat = ExprStore.load(path)
+        assert flat.hash_corpus(corpus) == hashes
+        assert len(flat) == len(store)
+
+    def test_loaded_stats_are_consistent(self, tmp_path):
+        store = ShardedExprStore(num_shards=4)
+        store.intern_many(mixed_corpus(30))
+        path = str(tmp_path / "sharded.snap")
+        store.save(path)
+        restored = ShardedExprStore.load(path)
+        per_shard = restored.shard_stats()
+        assert sum(s.misses for s in per_shard) == restored.stats.misses
+        assert restored.stats.misses == len(restored)
+
+
+class TestConcurrentIntern:
+    def test_threaded_writers_build_one_consistent_table(self):
+        """N threads interning overlapping slices concurrently must end
+        at exactly the flat store's class partition, with conserved
+        counters -- the lock-striping correctness claim."""
+        corpus = mixed_corpus(120)
+        store = ShardedExprStore(num_shards=8)
+        errors = []
+
+        def work(slice_):
+            try:
+                store.intern_many(slice_)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        third = len(corpus) // 3
+        slices = [
+            corpus[:third],
+            corpus[third : 2 * third],
+            corpus[2 * third :],
+            corpus[::2],  # overlaps both halves
+        ]
+        threads = [threading.Thread(target=work, args=(s,)) for s in slices]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        flat = ExprStore()
+        flat.intern_many(corpus)
+        assert len(store) == len(flat)
+        per_shard = store.shard_stats()
+        assert sum(s.hits for s in per_shard) == store.stats.hits
+        assert sum(s.misses for s in per_shard) == store.stats.misses
+
+    def test_default_shard_count(self):
+        assert ShardedExprStore().num_shards == DEFAULT_NUM_SHARDS
