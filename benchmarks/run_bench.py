@@ -1,21 +1,30 @@
 """Unified benchmark runner: one command, one trajectory file.
 
-Runs the store and corpus cells and writes a ``BENCH_PR3.json``
+Runs the store and corpus cells and writes a ``BENCH_PR4.json``
 trajectory record -- corpus sizes, wall-clock times, cache hit rates,
 worker counts, shard balance -- so the perf history of the repo is a
 sequence of committed, machine-readable records instead of numbers in
 PR descriptions::
 
-    PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_PR3.json
+    PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_PR4.json
     PYTHONPATH=src python benchmarks/run_bench.py --quick   # CI-sized
 
 Cells:
 
 * ``store``    -- fresh re-hash vs cold vs warm :class:`ExprStore` on a
                   duplicate-heavy corpus (the PR-1 claim, re-measured).
+* ``arena``    -- the tree walk vs the arena kernel
+                  (:mod:`repro.core.arena`) on the 600k-node corpus the
+                  PR-3 parallel cell measured, single worker: compile +
+                  kernel wall-clock, bit-identity, dedup ratio.
 * ``parallel`` -- ``hash_corpus`` wall-clock for each worker count on a
                   duplicate-free corpus, with bit-identity checked
-                  against the serial path.
+                  against the serial path.  Runs asking for more
+                  workers than the host has CPUs are marked
+                  ``"cpu_bound": true`` -- their speedup measures the
+                  hardware, not the engine, and the smoke gate skips
+                  them (the PR-3 trajectory's 0.9x-at-4-workers cell
+                  was exactly such a 1-CPU artefact).
 * ``sharded``  -- flat vs lock-striped sharded interning of one corpus:
                   wall-clock, shard occupancy balance, and the
                   hits+misses conservation invariant.
@@ -57,15 +66,21 @@ def _best_of(fn, repeats: int) -> float:
 def store_cell(n_items: int, item_size: int, repeats: int) -> dict:
     corpus = make_corpus(n_items, item_size)
     nodes = sum(e.size for e in corpus)
+    # engine="tree" throughout: the store cell tracks the memoised
+    # tree path (the PR-1 claim); the arena cell owns the array kernel.
     fresh = _best_of(
         lambda: [alpha_hash_all(e).root_hash for e in corpus], repeats
     )
-    cold = _best_of(lambda: ExprStore().hash_corpus(corpus), repeats)
+    cold = _best_of(
+        lambda: ExprStore().hash_corpus(corpus, engine="tree"), repeats
+    )
     warm_store = ExprStore()
-    warm_store.hash_corpus(corpus)
-    warm = _best_of(lambda: warm_store.hash_corpus(corpus), repeats)
+    warm_store.hash_corpus(corpus, engine="tree")
+    warm = _best_of(
+        lambda: warm_store.hash_corpus(corpus, engine="tree"), repeats
+    )
     probe = ExprStore()
-    probe.hash_corpus(corpus)
+    probe.hash_corpus(corpus, engine="tree")
     return {
         "items": n_items,
         "nodes": nodes,
@@ -77,19 +92,58 @@ def store_cell(n_items: int, item_size: int, repeats: int) -> dict:
     }
 
 
+def arena_cell(n_items: int, item_size: int, repeats: int) -> dict:
+    """Tree walk vs arena kernel, single worker, bit-identity checked.
+
+    The corpus is the duplicate-free one the PR-3 parallel cell
+    measured, so the arena's dedup ratio reflects structural repetition
+    in the expressions themselves, not object-identity repeats.
+    """
+    from repro.core.arena import flatten_corpus
+
+    corpus = make_corpus(n_items, item_size, dup_fraction=0.0, seed=99)
+    nodes = sum(e.size for e in corpus)
+    tree_hashes = ExprStore().hash_corpus(corpus, engine="tree")
+    arena_hashes = ExprStore().hash_corpus(corpus, engine="arena")
+    tree_s = _best_of(
+        lambda: ExprStore().hash_corpus(corpus, engine="tree"), repeats
+    )
+    arena_s = _best_of(
+        lambda: ExprStore().hash_corpus(corpus, engine="arena"), repeats
+    )
+    arena, _roots = flatten_corpus(corpus)
+    return {
+        "items": n_items,
+        "nodes": nodes,
+        "unique_arena_nodes": len(arena),
+        "dedup_ratio": round(len(arena) / nodes, 4) if nodes else None,
+        "tree_s": round(tree_s, 4),
+        "arena_s": round(arena_s, 4),
+        "arena_speedup": round(tree_s / arena_s, 3) if arena_s else None,
+        "identical": arena_hashes == tree_hashes,
+    }
+
+
 def parallel_cell(
     n_items: int, item_size: int, workers_list: list[int], repeats: int
 ) -> dict:
     corpus = make_corpus(n_items, item_size, dup_fraction=0.0, seed=99)
     nodes = sum(e.size for e in corpus)
+    cpus = os.cpu_count() or 1
     serial_hashes = Session().hash_corpus(corpus)
     runs = []
     serial_s = None
     for workers in workers_list:
-        elapsed = _best_of(
-            lambda: Session(workers=workers).hash_corpus(corpus), repeats
-        )
-        identical = Session(workers=workers).hash_corpus(corpus) == serial_hashes
+
+        def one_pass(workers=workers):
+            # A fresh session per timing keeps the store memo cold --
+            # the cell measures the engine, not cache warmth -- and
+            # closing it releases the session-owned worker pool.
+            with Session(workers=workers) as session:
+                return session.hash_corpus(corpus)
+
+        elapsed = _best_of(one_pass, repeats)
+        identical = one_pass() == serial_hashes
         if workers == 1:
             serial_s = elapsed
         runs.append(
@@ -100,9 +154,13 @@ def parallel_cell(
                 "speedup_vs_serial": (
                     round(serial_s / elapsed, 3) if serial_s else None
                 ),
+                # More workers than CPUs: the speedup floor measures the
+                # hardware, not the engine -- consumers (the smoke gate,
+                # trajectory readers) must skip, not fail, these runs.
+                "cpu_bound": workers > cpus,
             }
         )
-    return {"items": n_items, "nodes": nodes, "runs": runs}
+    return {"items": n_items, "nodes": nodes, "cpus": cpus, "runs": runs}
 
 
 def sharded_cell(
@@ -142,7 +200,7 @@ def sharded_cell(
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--out", default="BENCH_PR3.json", help="trajectory file to write"
+        "--out", default="BENCH_PR4.json", help="trajectory file to write"
     )
     parser.add_argument(
         "--quick", action="store_true", help="CI-sized corpora (seconds)"
@@ -165,11 +223,12 @@ def main(argv=None) -> int:
         store_shape = (60, 400)
         par_shape = (10_000, 60)
         shard_shape = (1_000, 120)
+    arena_shape = par_shape  # arena vs recursive on the parallel corpus
     workers_list = args.workers or [1, 2, 4]
 
     record = {
         "schema": "repro-bench-trajectory-v1",
-        "pr": 3,
+        "pr": 4,
         "host": {
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -181,6 +240,10 @@ def main(argv=None) -> int:
     print(f"store cell ({store_shape[0]} items x {store_shape[1]} nodes)...")
     record["cells"]["store"] = store_cell(*store_shape, args.repeats)
     print(f"  {json.dumps(record['cells']['store'])}")
+
+    print(f"arena cell ({arena_shape[0]} items x {arena_shape[1]} nodes)...")
+    record["cells"]["arena"] = arena_cell(*arena_shape, args.repeats)
+    print(f"  {json.dumps(record['cells']['arena'])}")
 
     print(
         f"parallel cell ({par_shape[0]} items x {par_shape[1]} nodes, "
@@ -209,6 +272,9 @@ def main(argv=None) -> int:
     print(f"wrote {args.out}")
     if divergent:
         print(f"FAIL: {len(divergent)} parallel run(s) diverged from serial")
+        return 1
+    if not record["cells"]["arena"]["identical"]:
+        print("FAIL: arena kernel hashes diverged from the tree path")
         return 1
     if not record["cells"]["sharded"]["stats_conserved"]:
         print("FAIL: sharded stats not conserved across shards")

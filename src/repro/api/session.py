@@ -33,17 +33,20 @@ from dataclasses import asdict, dataclass
 from typing import Iterable, Optional, Union
 
 from repro.api.backends import FunctionBackend, get_backend
+from repro.core.arena import resolve_engine
 from repro.core.combiners import DEFAULT_SEED, HashCombiners
 from repro.core.hashed import AlphaHashes
 from repro.lang.expr import Expr
 from repro.store import (
     ExprStore,
     ShardedExprStore,
+    WorkerPool,
     parallel_hash_corpus,
     parallel_intern_corpus,
     read_snapshot,
     resolve_workers,
 )
+from repro.store.parallel import PARALLEL_MODES
 
 __all__ = ["Session", "SessionConfig", "SessionError"]
 
@@ -68,7 +71,10 @@ class SessionConfig:
     :meth:`Session.intern_many` (``1`` = serial, ``0`` = one per CPU);
     ``parallel_mode`` picks the pool flavour (``"process"`` for
     CPU-bound corpus hashing -- the sensible default under the GIL --
-    or ``"thread"``).
+    ``"fork"``/``"spawn"`` to force one start method, or ``"thread"``);
+    ``engine`` picks the corpus hashing strategy (``"auto"`` compiles
+    large corpora into an array arena, ``"tree"``/``"arena"`` force a
+    path -- see the README's "Arena kernel" section).
     """
 
     backend: str = "ours"
@@ -80,6 +86,7 @@ class SessionConfig:
     workers: int = 1
     parallel_mode: str = "process"
     num_shards: Optional[int] = None
+    engine: str = "auto"
 
     @property
     def resolved_seed(self) -> int:
@@ -103,12 +110,23 @@ class Session:
             raise TypeError(
                 "pass either a SessionConfig or keyword overrides, not both"
             )
-        if config.parallel_mode not in ("process", "thread"):
+        if config.parallel_mode not in PARALLEL_MODES:
             raise ValueError(
-                f"parallel_mode must be 'process' or 'thread', got "
+                f"parallel_mode must be one of {PARALLEL_MODES}, got "
                 f"{config.parallel_mode!r}"
             )
+        if config.engine not in ("auto", "arena", "tree"):
+            raise ValueError(
+                f"engine must be 'auto', 'arena' or 'tree', got "
+                f"{config.engine!r}"
+            )
         self.config = config
+        #: Long-lived worker pools keyed by (mode, size), created on
+        #: first parallel use and reused across hash_corpus calls until
+        #: close() -- the fork/spawn cost is paid once per session, not
+        #: once per batch.  (The tree engine's fork path ignores them;
+        #: see repro.store.parallel.WorkerPool.)
+        self._pools: dict[tuple[str, int], WorkerPool] = {}
         self.backend: FunctionBackend = get_backend(config.backend)
         self.combiners = HashCombiners(
             bits=config.bits, seed=config.resolved_seed
@@ -154,11 +172,20 @@ class Session:
             return self.store.hashes(expr)
         return self.backend.hash_all(expr, self.combiners)
 
+    def _pool_for(self, mode: str, workers: int) -> WorkerPool:
+        key = (mode, workers)
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = WorkerPool(workers, mode)
+            self._pools[key] = pool
+        return pool
+
     def hash_corpus(
         self,
         exprs: Iterable[Expr],
         workers: Optional[int] = None,
         mode: Optional[str] = None,
+        engine: Optional[str] = None,
     ) -> list[int]:
         """Root hashes of a whole corpus, store-batched when possible:
         repeated and overlapping subtrees are summarised once.
@@ -167,24 +194,67 @@ class Session:
         the corpus out over a process or thread pool (``mode``, default
         the session's ``parallel_mode``); results are merged back in
         input order and are **bit-identical** to the serial path.
-        ``workers=0`` means one worker per CPU.  Parallel fan-out is
-        only wired for the store-compatible default backend -- other
-        backends time their own algorithm and stay serial.
+        ``workers=0`` means one worker per CPU.  ``engine`` (default
+        the session's ``engine``) picks tree walking vs the arena
+        kernel.  Parallel fan-out is only wired for the
+        store-compatible default backend -- other backends time their
+        own algorithm and stay serial.
+
+        Parallel arena-engine calls run on a session-owned persistent
+        pool (arenas reach workers as picklable payloads; the tree
+        engine needs a fresh publish-then-fork pool per call and never
+        uses one); call :meth:`close` -- or use the session as a
+        context manager -- to release the pools.
         """
         effective = self.config.workers if workers is None else workers
         effective = resolve_workers(effective)
+        engine = self.config.engine if engine is None else engine
         if self._store_backed:
             if effective > 1:
-                return parallel_hash_corpus(
-                    exprs,
-                    workers=effective,
-                    mode=mode or self.config.parallel_mode,
-                    store=self.store,
+                mode = mode or self.config.parallel_mode
+                corpus = exprs if isinstance(exprs, list) else list(exprs)
+                # Resolve the engine once, here: only the arena engine
+                # can run on a reusable pool, and passing the concrete
+                # choice down keeps this decision and the fan-out's in
+                # one place.
+                engine = resolve_engine(
+                    engine, sum(e.size for e in corpus)
                 )
-            return self.store.hash_corpus(exprs)
+                return parallel_hash_corpus(
+                    corpus,
+                    workers=effective,
+                    mode=mode,
+                    store=self.store,
+                    engine=engine,
+                    pool=(
+                        self._pool_for(mode, effective)
+                        if engine == "arena"
+                        else None
+                    ),
+                )
+            return self.store.hash_corpus(exprs, engine=engine)
         return [
             self.backend.hash_all(e, self.combiners).root_hash for e in exprs
         ]
+
+    def close(self) -> None:
+        """Shut down the session's persistent worker pools (idempotent).
+
+        The store and its caches survive -- only pool processes/threads
+        are released.  Sessions are also context managers::
+
+            with Session(workers=4) as session:
+                session.hash_corpus(corpus)   # pool reused across calls
+        """
+        pools, self._pools = self._pools, {}
+        for pool in pools.values():
+            pool.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- interning and apps ----------------------------------------------------
 
@@ -201,7 +271,10 @@ class Session:
         return self._require_store("intern()").intern(expr)
 
     def intern_many(
-        self, exprs: Iterable[Expr], workers: Optional[int] = None
+        self,
+        exprs: Iterable[Expr],
+        workers: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> list[int]:
         """Batch :meth:`intern`: one id per input, duplicates collapse.
 
@@ -210,14 +283,18 @@ class Session:
         stores and merged back shard-by-shard over the snapshot wire
         format.  The resulting *classes and hashes* are bit-identical to
         the serial path; node ids may differ (ids encode arrival order,
-        and were never stable across store instances).
+        and were never stable across store instances).  Serially,
+        ``engine`` routes large corpora through the arena bulk-intern
+        path on eviction-free flat stores.
         """
         store = self._require_store("intern_many()")
         effective = self.config.workers if workers is None else workers
         effective = resolve_workers(effective)
         if effective > 1:
             return parallel_intern_corpus(exprs, store, workers=effective)
-        return store.intern_many(exprs)
+        return store.intern_many(
+            exprs, engine=self.config.engine if engine is None else engine
+        )
 
     def cse(self, expr: Expr, **kwargs):
         """Common-subexpression elimination through the session's store
@@ -226,17 +303,28 @@ class Session:
 
         return cse(expr, combiners=self.combiners, store=self.store, **kwargs)
 
-    def share(self, exprs: Union[Expr, Iterable[Expr]]):
+    def share(
+        self,
+        exprs: Union[Expr, Iterable[Expr]],
+        engine: Optional[str] = None,
+    ):
         """Alpha-share one expression (-> ``SharingResult``) or a corpus
-        (-> list of them), pooling the canonical DAG across the session."""
-        from repro.apps.sharing import share_alpha
+        (-> list of them), pooling the canonical DAG across the session.
+
+        Corpora go through :func:`repro.apps.sharing.share_alpha_corpus`,
+        which batch-interns the whole input -- large corpora take the
+        store's arena bulk-intern fast path.  ``engine`` overrides the
+        session default per call, like :meth:`hash_corpus`."""
+        from repro.apps.sharing import share_alpha, share_alpha_corpus
 
         if isinstance(exprs, Expr):
             return share_alpha(exprs, combiners=self.combiners, store=self.store)
-        return [
-            share_alpha(e, combiners=self.combiners, store=self.store)
-            for e in exprs
-        ]
+        return share_alpha_corpus(
+            list(exprs),
+            combiners=self.combiners,
+            store=self.store,
+            engine=self.config.engine if engine is None else engine,
+        )
 
     # -- introspection ---------------------------------------------------------
 
@@ -256,6 +344,10 @@ class Session:
                 out["num_shards"] = self.store.num_shards
                 out["shard_sizes"] = self.store.shard_sizes()
         out["workers"] = self.config.workers
+        out["engine"] = self.config.engine
+        out["live_pools"] = sorted(
+            f"{mode}x{workers}" for mode, workers in self._pools
+        )
         return out
 
     # -- persistence -----------------------------------------------------------
@@ -291,6 +383,7 @@ class Session:
             workers=saved_config.get("workers", 1),
             parallel_mode=saved_config.get("parallel_mode", "process"),
             num_shards=num_shards,
+            engine=saved_config.get("engine", "auto"),
         )
         session = cls(config)
         if num_shards is not None:

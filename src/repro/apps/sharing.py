@@ -35,7 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.api import Session
     from repro.store import ExprStore
 
-__all__ = ["SharingResult", "share_syntactic", "share_alpha"]
+__all__ = ["SharingResult", "share_syntactic", "share_alpha", "share_alpha_corpus"]
 
 
 @dataclass
@@ -142,3 +142,42 @@ def share_alpha(
         store.resolve_combiners(combiners)
     root = store.expr_of(store.intern(expr))
     return SharingResult(root, expr.size, _dag_size(root))
+
+
+def share_alpha_corpus(
+    exprs: list[Expr],
+    combiners: Optional[HashCombiners] = None,
+    store: Optional["ExprStore"] = None,
+    session: Optional["Session"] = None,
+    engine: str = "auto",
+) -> list[SharingResult]:
+    """Batch :func:`share_alpha`: one result per input, one shared pool.
+
+    Equivalent to calling :func:`share_alpha` per item against one
+    store, but the corpus is interned in a single batch, so a large
+    corpus takes the store's arena bulk-intern fast path (one compile,
+    one kernel pass, duplicates never re-walked) instead of one
+    tree walk per item.  The canonical DAG is pooled across items:
+    sharing spans the whole corpus, exactly as with a shared store.
+    """
+    combiners, store = resolve_session(session, combiners, store)
+    if store is None:
+        from repro.store import ExprStore
+
+        store = ExprStore(combiners)
+    else:
+        store.resolve_combiners(combiners)
+    if store.max_entries is not None:
+        # An LRU-bounded store may evict early roots (refcount 0)
+        # before a batch-then-resolve loop reads them back: share item
+        # by item so every root is resolved while it is still pinned.
+        return [
+            share_alpha(expr, combiners=combiners, store=store)
+            for expr in exprs
+        ]
+    ids = store.intern_many(exprs, engine=engine)
+    results = []
+    for expr, node_id in zip(exprs, ids):
+        root = store.expr_of(node_id)
+        results.append(SharingResult(root, expr.size, _dag_size(root)))
+    return results

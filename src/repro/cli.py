@@ -166,40 +166,50 @@ def _run_hash(rest: Sequence[str]) -> int:
     )
     parser.add_argument(
         "--parallel-mode",
-        choices=("process", "thread"),
+        choices=("process", "fork", "spawn", "thread"),
         default="process",
         help="worker pool flavour (process is right for CPU-bound hashing)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "arena", "tree"),
+        default="auto",
+        help="corpus hashing strategy: tree walking, the arena kernel, "
+        "or size-based auto selection",
     )
     args = parser.parse_args(rest)
 
     from repro.api import Session
 
-    session = Session(
+    # The context manager releases the session-owned worker pools that
+    # --workers N > 1 spins up.
+    with Session(
         backend=args.algorithm,
         bits=args.bits,
         seed=args.seed,
         workers=args.workers,
         parallel_mode=args.parallel_mode,
-    )
-    exprs = [_read_expr(path) for path in args.files]
-    hashes = session.hash_corpus(exprs)
-    if len(args.files) == 1:
-        print(f"0x{hashes[0]:x}")
-        return 0
-    for path, expr, value in zip(args.files, exprs, hashes):
-        print(
-            json.dumps(
-                {
-                    "file": path,
-                    "hash": f"0x{value:x}",
-                    "nodes": expr.size,
-                    "backend": session.backend.name,
-                    "bits": session.combiners.bits,
-                },
-                sort_keys=True,
+        engine=args.engine,
+    ) as session:
+        exprs = [_read_expr(path) for path in args.files]
+        hashes = session.hash_corpus(exprs)
+        if len(args.files) == 1:
+            print(f"0x{hashes[0]:x}")
+            return 0
+        for path, expr, value in zip(args.files, exprs, hashes):
+            print(
+                json.dumps(
+                    {
+                        "file": path,
+                        "hash": f"0x{value:x}",
+                        "nodes": expr.size,
+                        "backend": session.backend.name,
+                        "bits": session.combiners.bits,
+                    },
+                    sort_keys=True,
+                )
             )
-        )
-    return 0
+        return 0
 
 
 def _run_session(rest: Sequence[str]) -> int:
@@ -245,9 +255,15 @@ def _run_session(rest: Sequence[str]) -> int:
     )
     parser.add_argument(
         "--parallel-mode",
-        choices=("process", "thread"),
+        choices=("process", "fork", "spawn", "thread"),
         default="process",
         help="worker pool flavour for --workers",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "arena", "tree"),
+        default="auto",
+        help="corpus hashing strategy (see README: Arena kernel)",
     )
     parser.add_argument(
         "--num-shards",
@@ -298,11 +314,21 @@ def _run_session(rest: Sequence[str]) -> int:
             workers=args.workers,
             parallel_mode=args.parallel_mode,
             num_shards=args.num_shards,
+            engine=args.engine,
         )
 
     exprs = [_read_expr(path) for path in args.files]
+    try:
+        return _session_report(session, args, exprs)
+    finally:
+        session.close()  # releases persistent worker pools (--workers N)
+
+
+def _session_report(session, args, exprs) -> int:
+    import json
+
     hashes = session.hash_corpus(
-        exprs, workers=args.workers, mode=args.parallel_mode
+        exprs, workers=args.workers, mode=args.parallel_mode, engine=args.engine
     )
     missing = 0
     known_flags: list[bool] = []
@@ -322,6 +348,11 @@ def _run_session(rest: Sequence[str]) -> int:
         known_flags = [
             session.store.lookup_hash(value) is not None for value in canonical
         ]
+        # One bulk intern (after the flags above), not one walk per
+        # file: serial sessions reuse the compile the hash pass above
+        # cached (large corpora take the store's arena bulk-intern
+        # path); --workers sessions fan out over the worker-merge path.
+        node_ids = session.intern_many(exprs, engine=args.engine)
     for index, (path, expr, value) in enumerate(
         zip(args.files, exprs, hashes)
     ):
@@ -336,7 +367,7 @@ def _run_session(rest: Sequence[str]) -> int:
             record["known"] = known
             if not known:
                 missing += 1
-            record["node_id"] = session.intern(expr)
+            record["node_id"] = node_ids[index]
         print(json.dumps(record, sort_keys=True))
 
     if args.stats:

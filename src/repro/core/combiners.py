@@ -29,6 +29,11 @@ __all__ = ["HashCombiners", "DEFAULT_SEED", "splitmix64"]
 
 _MASK64 = (1 << 64) - 1
 _GOLDEN = 0x9E3779B97F4A7C15
+# The splitmix64 finalising multipliers.  The inlined combiner chains in
+# repro.core.kernel / repro.core.arena import these -- one definition
+# keeps their bit-identity with combine() from drifting.
+_M0 = 0xBF58476D1CE4E5B9
+_M1 = 0x94D049BB133111EB
 
 #: Default seed: fixed so that hashes are reproducible run-to-run, as the
 #: paper notes "one may prefer to fix the seed and make the hashing
@@ -40,8 +45,8 @@ def splitmix64(x: int) -> int:
     """One splitmix64 step: advance-and-finalise ``x`` (a 64-bit int)."""
     x = (x + _GOLDEN) & _MASK64
     z = x
-    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
-    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    z = ((z ^ (z >> 30)) * _M0) & _MASK64
+    z = ((z ^ (z >> 27)) * _M1) & _MASK64
     return z ^ (z >> 31)
 
 
@@ -152,8 +157,8 @@ class HashCombiners:
             h = lane_salts[0]
             for value in values:
                 x = ((h ^ (value & _MASK64) ^ ((value >> 64) & _MASK64)) + _GOLDEN) & _MASK64
-                x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
-                x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+                x = ((x ^ (x >> 30)) * _M0) & _MASK64
+                x = ((x ^ (x >> 27)) * _M1) & _MASK64
                 h = x ^ (x >> 31)
             return h & self.mask
         out = 0

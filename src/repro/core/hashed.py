@@ -29,17 +29,11 @@ import struct
 from typing import Iterator, Optional
 
 from repro.core.combiners import HashCombiners, default_combiners
+from repro.core.kernel import summarise_tree
 from repro.core.position_tree import pt_here_hash
-from repro.core.structure import (
-    sapp_hash,
-    slam_hash,
-    slet_hash,
-    slit_hash,
-    svar_hash,
-    top_hash,
-)
-from repro.core.varmap import HashedVarMap, MapOpStats, entry_hash, merge_tagged
-from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+from repro.core.structure import svar_hash
+from repro.core.varmap import MapOpStats
+from repro.lang.expr import Expr
 from repro.lang.traversal import preorder_with_paths
 
 __all__ = [
@@ -173,118 +167,30 @@ def alpha_hash_all(
     if combiners is None:
         combiners = default_combiners()
 
-    count_ops = stats is not None
-    here = pt_here_hash(combiners)
-    var_structure = svar_hash(combiners)
     # Var nodes all map their name to PTHere, so the entry hash (and the
     # resulting singleton map hash) depends only on the name: memoise it.
     # Literal structure hashes likewise depend only on the (type, value)
     # pair -- both caches turn repeated leaves into dict hits.
     var_entry_cache: dict[str, int] = {}
-    lit_cache: dict[tuple[type, object], int] = {}
+    lit_cache: dict[tuple, int] = {}
 
     by_id: dict[int, int] = {}
     summaries: Optional[dict[int, NodeSummary]] = {} if keep_summaries else None
 
-    # Each stack entry of `results` is (structure_hash, varmap).  Variable
-    # maps are consumed destructively by the parent, which is safe because
-    # every map object is referenced by exactly one pending summary.
-    # The loop dispatches on ``type(node) is ...`` (the node kinds are
-    # final) and pushes children by attribute -- this avoids one method
-    # call plus one tuple allocation per node in the hottest loop we have.
-    results: list[tuple[int, HashedVarMap]] = []
-    stack: list[tuple[Expr, bool]] = [(expr, False)]
-    push = stack.append
-    while stack:
-        node, visited = stack.pop()
-        cls = type(node)
-        if not visited:
-            if cls is Var or cls is Lit:
-                pass  # leaves fall through to the summarise phase
-            elif cls is Lam:
-                push((node, True))
-                push((node.body, False))
-                continue
-            elif cls is App:
-                push((node, True))
-                push((node.arg, False))
-                push((node.fn, False))
-                continue
-            elif cls is Let:
-                push((node, True))
-                push((node.body, False))
-                push((node.bound, False))
-                continue
-            else:  # pragma: no cover
-                raise TypeError(f"unknown node kind {node.kind}")
-
-        if cls is Var:
-            s_hash = var_structure
-            name = node.name
-            cached = var_entry_cache.get(name)
-            if cached is None:
-                cached = entry_hash(combiners, name, here)
-                var_entry_cache[name] = cached
-            varmap = HashedVarMap({name: here}, cached)
-            if count_ops:
-                stats.singleton += 1
-        elif cls is Lit:
-            value = node.value
-            lit_key = lit_cache_key(value)
-            s_hash = lit_cache.get(lit_key)
-            if s_hash is None:
-                s_hash = slit_hash(combiners, value)
-                lit_cache[lit_key] = s_hash
-            varmap = HashedVarMap.empty()
-        elif cls is Lam:
-            s_body, varmap = results.pop()
-            pos = varmap.remove(combiners, node.binder)
-            if count_ops:
-                stats.remove += 1
-            s_hash = slam_hash(combiners, node.size, pos, s_body)
-        elif cls is App:
-            s_arg, vm_arg = results.pop()
-            s_fn, vm_fn = results.pop()
-            left_bigger = len(vm_fn.entries) >= len(vm_arg.entries)
-            s_hash = sapp_hash(combiners, node.size, left_bigger, s_fn, s_arg)
-            tag = node.size  # structure size == expression size
-            if left_bigger:
-                big, small = vm_fn, vm_arg
-            else:
-                big, small = vm_arg, vm_fn
-            if count_ops:
-                stats.merge_entries += len(small)
-            merge_tagged(combiners, big, small, tag)
-            varmap = big
-        else:  # cls is Let (the scheduling phase rejected everything else)
-            s_body, vm_body = results.pop()
-            s_bound, vm_bound = results.pop()
-            pos_x = vm_body.remove(combiners, node.binder)
-            if count_ops:
-                stats.remove += 1
-            left_bigger = len(vm_bound.entries) >= len(vm_body.entries)
-            s_hash = slet_hash(
-                combiners, node.size, pos_x, left_bigger, s_bound, s_body
-            )
-            tag = node.size
-            if left_bigger:
-                big, small = vm_bound, vm_body
-            else:
-                big, small = vm_body, vm_bound
-            if count_ops:
-                stats.merge_entries += len(small)
-            merge_tagged(combiners, big, small, tag)
-            varmap = big
-
-        node_hash = top_hash(combiners, s_hash, varmap.hash)
-        by_id[id(node)] = node_hash
-        if summaries is not None:
-            summaries[id(node)] = NodeSummary(
-                s_hash, varmap.hash, len(varmap), node_hash
-            )
-        results.append((s_hash, varmap))
-
-    assert len(results) == 1
+    # The hot loop itself lives in repro.core.kernel.summarise_tree,
+    # shared with the store's memoised summariser and (through the same
+    # recipe helpers) the arena kernel.
+    summarise_tree(
+        expr,
+        combiners,
+        here=pt_here_hash(combiners),
+        svar=svar_hash(combiners),
+        var_entry_cache=var_entry_cache,
+        lit_cache=lit_cache,
+        by_id=by_id,
+        summaries=summaries,
+        map_stats=stats,
+    )
     return AlphaHashes(expr, combiners, by_id, summaries)
 
 

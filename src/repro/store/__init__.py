@@ -6,7 +6,9 @@ hashed e-summaries so repeated and overlapping corpus expressions are
 hashed once.  See :mod:`repro.store.store` for the design notes.
 """
 
+from repro.store.arena_intern import hash_corpus_arena, intern_corpus_arena
 from repro.store.parallel import (
+    WorkerPool,
     parallel_hash_corpus,
     parallel_intern_corpus,
     resolve_workers,
@@ -43,4 +45,7 @@ __all__ = [
     "parallel_hash_corpus",
     "parallel_intern_corpus",
     "resolve_workers",
+    "WorkerPool",
+    "hash_corpus_arena",
+    "intern_corpus_arena",
 ]

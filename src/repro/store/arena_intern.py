@@ -1,0 +1,236 @@
+"""Arena-backed fast paths for the expression store (``engine="arena"``).
+
+Two entry points, both invoked from :class:`~repro.store.ExprStore`
+when a corpus is large enough for the compile-then-hash trade to win
+(:data:`repro.core.arena.ARENA_MIN_NODES`, overridable per call):
+
+* :func:`hash_corpus_arena` -- batch hashing.  Items the store already
+  knows (per-object summary memo, or the arena root cache from an
+  earlier batch) are answered locally; the rest are compiled into one
+  :class:`~repro.core.arena.ExprArena` and hashed by the array kernel.
+  Hashes are bit-identical to the tree path; what changes is the cache
+  discipline -- the arena path does **not** snapshot a per-object memo
+  record for every interior node (that one-dict-copy-per-node cost is
+  precisely what it avoids).  Instead each corpus *root* lands in the
+  store's arena root cache, so re-hashing the same corpus objects is
+  O(1) per item, while ``hash_expr``/``hashes`` on interior subtrees
+  falls back to the tree path's memo as before.
+
+* :func:`intern_corpus_arena` -- bulk interning for eviction-free flat
+  stores.  The corpus is compiled once, hashed once, and then every
+  *unique* arena node is resolved against the intern table directly:
+  duplicates never reach ``_hash_tree``, and a class interned by an
+  earlier batch costs one dict probe.  Canonical entries, hashes, ids
+  and refcounts come out exactly as the serial path would produce for
+  the same arrival order; the summary memo is left cold (see above),
+  and ``hits``/``misses`` count unique arena nodes rather than subtree
+  occurrences.  LRU-bounded stores and sharded stores keep the serial
+  path: mid-batch eviction could invalidate the arena's child-class
+  links, and shards want the lock-striped write path.
+
+Both paths fold their work into ``store.stats`` so delegated hashing
+stays visible: ``hashed_nodes`` counts unique arena nodes summarised,
+``memo_skipped_nodes`` counts the nodes flatten-dedup avoided.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.arena import (
+    OP_APP,
+    OP_LAM,
+    OP_LET,
+    OP_LIT,
+    OP_VAR,
+    arena_hash,
+    flatten_corpus,
+)
+from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.store import ExprStore
+
+__all__ = ["hash_corpus_arena", "intern_corpus_arena"]
+
+_KIND_OF_OP = ("Var", "Lit", "Lam", "App", "Let")
+
+
+def hash_corpus_arena(
+    store: Optional["ExprStore"],
+    corpus: Sequence[Expr],
+    combiners=None,
+    fanout=None,
+) -> list[int]:
+    """Root alpha-hashes of ``corpus`` through the arena kernel.
+
+    ``store`` may be ``None`` (pure function mode: no memo consults, no
+    stats; ``combiners`` must then be given).  ``fanout``, when set, is
+    ``fanout(arena, unique_roots) -> {root_index: top}`` and replaces
+    the local kernel run -- the parallel engine plugs its worker pools
+    in here, so serial and parallel share every other line of this
+    path.
+    """
+    # Sharded stores guard their memo behind an RLock; every touch of
+    # root_memo / stats / the flush below happens under it (re-entrant,
+    # so arriving via the already-locked ShardedExprStore.hash_corpus
+    # is fine).  The flatten and kernel run outside the lock.
+    lock = getattr(store, "_memo_lock", None) if store is not None else None
+    if lock is None:
+        lock = contextlib.nullcontext()
+    if store is not None:
+        combiners = store.combiners
+        root_memo = store._arena_root_memo
+        stats = store.stats
+    results: list = [None] * len(corpus)
+    pending: list[Expr] = []
+    pending_at: list[int] = []
+    if store is None:
+        pending = list(corpus)
+        pending_at = list(range(len(corpus)))
+    else:
+        with lock:
+            for index, expr in enumerate(corpus):
+                top = store.cached_top(expr)
+                if top is None:
+                    cached = root_memo.get(id(expr))
+                    if cached is not None:
+                        top = cached[1]
+                if top is None:
+                    pending.append(expr)
+                    pending_at.append(index)
+                else:
+                    stats.memo_hits += 1
+                    stats.memo_skipped_nodes += expr.size
+                    results[index] = top
+
+    if pending:
+        arena, roots = flatten_corpus(pending)
+        if fanout is None:
+            tops = arena_hash(arena, combiners)
+        else:
+            tops = fanout(arena, sorted(set(roots)))
+        if store is None:
+            for root, index in zip(roots, pending_at):
+                results[index] = tops[root]
+        else:
+            with lock:
+                unique_nodes = len(arena)
+                stats.hashed_nodes += unique_nodes
+                walked = sum(expr.size for expr in pending)
+                if walked > unique_nodes:
+                    stats.memo_skipped_nodes += walked - unique_nodes
+                for expr, root, index in zip(pending, roots, pending_at):
+                    top = tops[root]
+                    root_memo[id(expr)] = (expr, top)
+                    results[index] = top
+                if (
+                    fanout is None
+                    and store._arena_intern_ok
+                    and store.max_entries is None
+                ):
+                    # Serial passes produce per-node tops: stash the
+                    # compile so a following bulk intern of the same
+                    # corpus reuses it (one-shot; the consumer clears
+                    # it).  Fanned-out passes only have root tops, and
+                    # stores that cannot take the bulk-intern path
+                    # would pin the corpus for nothing.
+                    store._arena_compile_cache = (
+                        arena,
+                        pending,
+                        {id(e): r for e, r in zip(pending, roots)},
+                        tops,
+                    )
+
+    if store is not None:
+        with lock:
+            store._maybe_flush_memo()
+    return results
+
+
+def intern_corpus_arena(store: "ExprStore", corpus: Sequence[Expr]) -> list[int]:
+    """Intern ``corpus`` via one arena pass (flat eviction-free stores)."""
+    from repro.store.store import StoreCollisionError, StoreEntry
+
+    stats = store.stats
+    arena = None
+    cached = store._arena_compile_cache
+    store._arena_compile_cache = None  # one-shot: consumed or dropped
+    if cached is not None:
+        c_arena, _pinned, root_by_id, c_tops = cached
+        cached_roots = [root_by_id.get(id(expr)) for expr in corpus]
+        if all(root is not None for root in cached_roots):
+            # The hash pass just compiled this corpus: reuse its arena
+            # and per-node tops (counted there -- no stats double-add).
+            arena, roots, tops = c_arena, cached_roots, c_tops
+    if arena is None:
+        arena, roots = flatten_corpus(corpus)
+        tops = arena_hash(arena, store.combiners)
+        stats.hashed_nodes += len(arena)
+        walked = sum(expr.size for expr in corpus)
+        if walked > len(arena):
+            stats.memo_skipped_nodes += walked - len(arena)
+
+    op = bytes(arena.op)
+    left, right = arena.left.tolist(), arena.right.tolist()
+    aux, sizes = arena.aux.tolist(), arena.sizes.tolist()
+    names, literals = arena.names, arena.literals
+
+    entries = store._entries
+    by_hash = store._by_hash
+    class_id = [0] * len(op)
+
+    for i in range(len(op)):
+        top = tops[i]
+        existing = by_hash.get(top)
+        if existing is not None:
+            entry = entries[existing]
+            kind = _KIND_OF_OP[op[i]]
+            if entry.kind != kind or entry.size != sizes[i]:
+                raise StoreCollisionError(
+                    f"alpha-hash 0x{top:x} maps both a {entry.kind} of "
+                    f"size {entry.size} and a {kind} of size {sizes[i]}"
+                )
+            entries.move_to_end(existing)
+            stats.hits += 1
+            class_id[i] = existing
+            continue
+
+        opc = op[i]
+        if opc == OP_VAR:
+            canonical: Expr = Var(names[aux[i]])
+            kid_ids: tuple[int, ...] = ()
+        elif opc == OP_LIT:
+            canonical = Lit(literals[aux[i]])
+            kid_ids = ()
+        elif opc == OP_LAM:
+            kid_ids = (class_id[left[i]],)
+            canonical = Lam(names[aux[i]], entries[kid_ids[0]].expr)
+        elif opc == OP_APP:
+            kid_ids = (class_id[left[i]], class_id[right[i]])
+            canonical = App(entries[kid_ids[0]].expr, entries[kid_ids[1]].expr)
+        else:
+            kid_ids = (class_id[left[i]], class_id[right[i]])
+            canonical = Let(
+                names[aux[i]], entries[kid_ids[0]].expr, entries[kid_ids[1]].expr
+            )
+
+        node_id = store._next_id
+        store._next_id += 1
+        entries[node_id] = StoreEntry(
+            node_id=node_id,
+            hash=top,
+            kind=_KIND_OF_OP[opc],
+            size=sizes[i],
+            children=kid_ids,
+            expr=canonical,
+        )
+        for kid in kid_ids:
+            entries[kid].refcount += 1
+        by_hash[top] = node_id
+        stats.misses += 1
+        class_id[i] = node_id
+
+    store._maybe_flush_memo()
+    return [class_id[root] for root in roots]

@@ -43,10 +43,29 @@ Engine design notes
   serialises iteratively (deep trees survive) and arrives as real
   canonical classes in the parent.
 
+* **Arena chunks (PR 4).**  With ``engine="arena"`` (the default above
+  the node threshold) the parent compiles the corpus into one
+  :class:`~repro.core.arena.ExprArena` and fans out *index ranges over
+  the unique roots*; each worker hashes the downward closure of its
+  roots with the array kernel.  Arenas are a handful of flat arrays, so
+  they pickle iteratively and cheaply -- which lifts the fork-only
+  restriction: ``mode="spawn"`` ships the arena over the wire with no
+  depth limit, and a long-lived :class:`WorkerPool` can be reused
+  across calls because nothing depends on fork-time globals.
+
+* **Persistent pools.**  :class:`WorkerPool` is a session-owned
+  long-lived pool (process or thread) that amortises the per-call
+  fork/spawn cost across many ``hash_corpus`` batches; data reaches the
+  workers through task payloads, never through fork-inherited globals.
+  The tree engine's fork fast path still wants a fresh pool per call
+  (workers inherit the corpus at fork time) and ignores a supplied
+  pool.
+
 Threads vs processes: CPython's GIL serialises the pure-Python hashing
 loops, so ``mode="thread"`` exists for API symmetry, free-threaded
 builds and latency-hiding around I/O; CPU-bound corpus hashing wants
-``mode="process"`` (the default).
+a process mode (``"process"`` = fork where available else spawn, or
+explicitly ``"fork"`` / ``"spawn"``).
 """
 
 from __future__ import annotations
@@ -54,9 +73,11 @@ from __future__ import annotations
 import os
 import sys
 import threading
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Optional, Sequence
 
+from repro.core.arena import ExprArena, arena_hash, resolve_engine
 from repro.core.combiners import HashCombiners, default_combiners
 from repro.lang.expr import Expr
 from repro.store.store import ExprStore
@@ -65,8 +86,15 @@ __all__ = [
     "parallel_hash_corpus",
     "parallel_intern_corpus",
     "resolve_workers",
+    "WorkerPool",
     "MAX_PICKLE_DEPTH",
+    "PARALLEL_MODES",
 ]
+
+#: Accepted ``mode`` values: ``"process"`` picks fork when the platform
+#: has it (falling back to spawn), ``"fork"`` / ``"spawn"`` force one
+#: start method, ``"thread"`` uses an in-process pool.
+PARALLEL_MODES = ("process", "fork", "spawn", "thread")
 
 #: Spawn-mode ceiling on expression depth: pickling recurses roughly
 #: once per level, and recursion limits far beyond this risk exhausting
@@ -132,6 +160,8 @@ def _hash_span(
 
 _FORK_PUBLISH_LOCK = threading.Lock()
 _FORK_EXPRS: Optional[Sequence[Expr]] = None
+_FORK_ARENA: Optional[ExprArena] = None
+_FORK_AROOTS: Optional[list] = None
 _FORK_BITS = 64
 _FORK_SEED: Optional[int] = None
 
@@ -153,6 +183,28 @@ def _fork_intern_range(span: tuple[int, int]) -> tuple[list[int], bytes]:
     roots = [local.hash_expr(expr) for expr in _FORK_EXPRS[start:stop]]
     local.intern_many(_FORK_EXPRS[start:stop])
     return roots, snapshot_to_bytes(local)
+
+
+def _fork_arena_range(span: tuple[int, int]) -> list[int]:
+    start, stop = span
+    assert _FORK_ARENA is not None, "fork worker started without an arena"
+    roots = _FORK_AROOTS[start:stop]
+    combiners = HashCombiners(bits=_FORK_BITS, seed=_FORK_SEED)
+    tops = arena_hash(_FORK_ARENA, combiners, only=roots)
+    return [tops[r] for r in roots]
+
+
+def _arena_payload_tops(payload) -> list[int]:
+    """Spawn / persistent-pool task: the arena rides in the payload.
+
+    The arena pickles as flat arrays (iterative, no recursion), so this
+    works under any start method and at any expression depth -- the
+    restriction that confined deep corpora to fork mode does not apply
+    to the arena engine.
+    """
+    arena, roots, bits, seed = payload
+    tops = arena_hash(arena, HashCombiners(bits=bits, seed=seed), only=roots)
+    return [tops[r] for r in roots]
 
 
 def _spawn_hash_chunk(
@@ -225,6 +277,8 @@ def parallel_hash_corpus(
     mode: str = "process",
     store: Optional[ExprStore] = None,
     chunks_per_worker: int = 4,
+    engine: str = "auto",
+    pool: Optional[WorkerPool] = None,
 ) -> list[int]:
     """Root alpha-hashes of a corpus, computed by a worker pool.
 
@@ -250,10 +304,22 @@ def parallel_hash_corpus(
         ``store.stats`` afterwards.
     chunks_per_worker:
         Fan-out granularity (more chunks -> better balance, more IPC).
+    engine:
+        ``"tree"`` fans out expression chunks (the PR-3 engine);
+        ``"arena"`` compiles the corpus once and fans out root-index
+        ranges over the arena (cheap to ship under any start method);
+        ``"auto"`` picks the arena above the node threshold.
+    pool:
+        An optional long-lived :class:`WorkerPool` to run on (its mode
+        overrides ``mode``).  Only the arena engine and thread mode can
+        use it -- the tree engine's fork path needs a fresh pool whose
+        workers inherit the published corpus, and ignores ``pool``.
     """
     corpus = list(exprs)
-    if mode not in ("process", "thread"):
-        raise ValueError(f"mode must be 'process' or 'thread', got {mode!r}")
+    if pool is not None:
+        mode = pool.mode
+    if mode not in PARALLEL_MODES:
+        raise ValueError(f"mode must be one of {PARALLEL_MODES}, got {mode!r}")
     n_workers = resolve_workers(workers)
     if store is not None:
         combiners = store.resolve_combiners(combiners)
@@ -262,9 +328,17 @@ def parallel_hash_corpus(
 
     if n_workers <= 1 or len(corpus) <= 1:
         if store is not None:
-            return store.hash_corpus(corpus)
-        local = ExprStore(combiners)
-        return [local.hash_expr(expr) for expr in corpus]
+            return store.hash_corpus(corpus, engine=engine)
+        return ExprStore(combiners).hash_corpus(corpus, engine=engine)
+
+    if engine == "auto":
+        engine = resolve_engine(engine, sum(expr.size for expr in corpus))
+    else:
+        engine = resolve_engine(engine, 0)  # validates the name
+    if engine == "arena":
+        return _parallel_hash_arena(
+            corpus, combiners, n_workers, mode, store, chunks_per_worker, pool
+        )
 
     uniq, positions = _dedup(corpus)
 
@@ -287,7 +361,9 @@ def parallel_hash_corpus(
         if mode == "thread":
             chunk_results = _run_thread_chunks(todo, spans, combiners, n_workers)
         else:
-            chunk_results = _run_process_chunks(todo, spans, combiners, n_workers)
+            chunk_results = _run_process_chunks(
+                todo, spans, combiners, n_workers, mode
+            )
         cursor = 0
         for hashes, counters in chunk_results:
             for value in hashes:
@@ -299,6 +375,95 @@ def parallel_hash_corpus(
 
     assert all(value is not None for value in uniq_results)
     return [uniq_results[slot] for slot in positions]  # type: ignore[misc]
+
+
+def _parallel_hash_arena(
+    corpus, combiners, n_workers, mode, store, chunks_per_worker, pool
+):
+    """Arena engine: compile once in the parent, fan out root spans.
+
+    Workers hash the downward closure of their roots, so shared
+    subtrees near the bottom of the arena may be recomputed by several
+    workers -- bounded duplicated work traded for zero coordination.
+    Results are keyed by arena root index, which the shared
+    :func:`~repro.store.arena_intern.hash_corpus_arena` epilogue maps
+    back to corpus positions (bit-identical to serial by construction).
+    """
+    from repro.store.arena_intern import hash_corpus_arena
+
+    def fanout(arena, uroots):
+        global _FORK_ARENA, _FORK_AROOTS, _FORK_BITS, _FORK_SEED
+        # Process modes ship the arena per task: one chunk per worker
+        # keeps the wire cost at workers * |arena|.  Threads share
+        # memory, and a poolless forking context publishes the arena
+        # through the forked address space, so those two can afford
+        # finer chunks -- but a persistent *process* pool (any start
+        # method) pays the pickle per task and wants coarse chunks.
+        context = has_fork = None
+        if mode != "thread" and pool is None:
+            context, has_fork = _context_for(mode)
+        if mode == "thread" or has_fork:
+            n_chunks = n_workers * chunks_per_worker
+        else:
+            n_chunks = n_workers
+        spans = _chunk_ranges(len(uroots), n_chunks)
+        if len(spans) <= 1:
+            tops = arena_hash(arena, combiners)
+            return {root: tops[root] for root in uroots}
+
+        if mode == "thread":
+            def run(span):
+                start, stop = span
+                roots = uroots[start:stop]
+                tops = arena_hash(
+                    arena,
+                    HashCombiners(bits=combiners.bits, seed=combiners.seed),
+                    only=roots,
+                )
+                return [tops[r] for r in roots]
+
+            if pool is not None:
+                span_results = pool.map(run, spans)
+            else:
+                with ThreadPoolExecutor(
+                    max_workers=min(n_workers, len(spans))
+                ) as executor:
+                    span_results = list(executor.map(run, spans))
+        elif pool is not None:
+            payloads = [
+                (arena, uroots[start:stop], combiners.bits, combiners.seed)
+                for start, stop in spans
+            ]
+            span_results = pool.map(_arena_payload_tops, payloads)
+        else:
+            n_procs = min(n_workers, len(spans))
+            if has_fork:
+                with _FORK_PUBLISH_LOCK:
+                    _FORK_ARENA = arena
+                    _FORK_AROOTS = uroots
+                    _FORK_BITS = combiners.bits
+                    _FORK_SEED = combiners.seed
+                    try:
+                        with context.Pool(processes=n_procs) as procs:
+                            span_results = procs.map(_fork_arena_range, spans)
+                    finally:
+                        _FORK_ARENA = None
+                        _FORK_AROOTS = None
+            else:
+                payloads = [
+                    (arena, uroots[start:stop], combiners.bits, combiners.seed)
+                    for start, stop in spans
+                ]
+                with context.Pool(processes=n_procs) as procs:
+                    span_results = procs.map(_arena_payload_tops, payloads)
+
+        out = {}
+        for (start, stop), tops_list in zip(spans, span_results):
+            for position, top in zip(range(start, stop), tops_list):
+                out[uroots[position]] = top
+        return out
+
+    return hash_corpus_arena(store, corpus, combiners=combiners, fanout=fanout)
 
 
 def _run_thread_chunks(todo, spans, combiners, n_workers):
@@ -328,9 +493,88 @@ def _pool_context():
     return multiprocessing.get_context("spawn"), False
 
 
-def _run_process_chunks(todo, spans, combiners, n_workers):
+def _context_for(mode: str):
+    """The multiprocessing context for an explicit process ``mode``."""
+    import multiprocessing
+
+    if mode == "fork":
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ValueError("mode='fork' is unavailable on this platform")
+        return multiprocessing.get_context("fork"), True
+    if mode == "spawn":
+        return multiprocessing.get_context("spawn"), False
+    return _pool_context()
+
+
+class WorkerPool:
+    """A long-lived worker pool reused across ``parallel_*`` calls.
+
+    Owned by a :class:`~repro.api.Session` (or used standalone as a
+    context manager); the underlying pool is created lazily on first
+    use and survives until :meth:`close`, amortising the per-call
+    fork/spawn cost the ROADMAP flagged.  Tasks reach the workers
+    through pickled payloads only, so the pool is agnostic to when it
+    was created -- which is exactly why the tree engine's
+    publish-then-fork fast path cannot use it and ignores it.
+    """
+
+    def __init__(self, workers: Optional[int] = None, mode: str = "process"):
+        if mode not in PARALLEL_MODES:
+            raise ValueError(
+                f"mode must be one of {PARALLEL_MODES}, got {mode!r}"
+            )
+        self.workers = resolve_workers(workers)
+        self.mode = mode
+        self._pool = None
+        self._finalizer = None
+
+    def _ensure(self):
+        if self._pool is None:
+            # The finalizer reclaims worker processes when an un-closed
+            # WorkerPool (e.g. a one-shot Session never close()d) is
+            # garbage-collected; close() detaches it and shuts down
+            # cleanly instead.
+            if self.mode == "thread":
+                pool = ThreadPoolExecutor(max_workers=self.workers)
+                self._finalizer = weakref.finalize(self, pool.shutdown, False)
+            else:
+                context, _ = _context_for(self.mode)
+                pool = context.Pool(processes=self.workers)
+                self._finalizer = weakref.finalize(self, pool.terminate)
+            self._pool = pool
+        return self._pool
+
+    def map(self, fn, payloads) -> list:
+        return list(self._ensure().map(fn, payloads))
+
+    @property
+    def started(self) -> bool:
+        return self._pool is not None
+
+    def close(self) -> None:
+        pool = self._pool
+        self._pool = None
+        finalizer, self._finalizer = self._finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
+        if pool is None:
+            return
+        if isinstance(pool, ThreadPoolExecutor):
+            pool.shutdown(wait=True)
+        else:
+            pool.close()
+            pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _run_process_chunks(todo, spans, combiners, n_workers, mode="process"):
     global _FORK_EXPRS, _FORK_BITS, _FORK_SEED
-    context, has_fork = _pool_context()
+    context, has_fork = _context_for(mode)
     n_procs = min(n_workers, len(spans))
     if has_fork:
         with _FORK_PUBLISH_LOCK:

@@ -191,9 +191,9 @@ class ShardedExprStore(ExprStore):
         with self._memo_lock:
             return super().hashes(expr)
 
-    def hash_corpus(self, exprs) -> list[int]:
+    def hash_corpus(self, exprs, engine: str = "auto") -> list[int]:
         with self._memo_lock:
-            return [super(ShardedExprStore, self).hash_expr(e) for e in exprs]
+            return super().hash_corpus(exprs, engine=engine)
 
     def cached_summary(self, node: Expr):
         with self._memo_lock:
@@ -212,6 +212,10 @@ class ShardedExprStore(ExprStore):
             return super().prune_memo(roots)
 
     # -- interning -------------------------------------------------------------
+
+    #: The arena bulk-intern path writes the flat `_entries`/`_by_hash`
+    #: tables directly; shards want the lock-striped write path instead.
+    _arena_intern_ok = False
 
     def intern(self, expr: Expr) -> int:
         """Intern ``expr`` (same contract as the flat store).

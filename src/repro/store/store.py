@@ -41,19 +41,14 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
+from repro.core.arena import resolve_engine
 from repro.core.combiners import HashCombiners, default_combiners
-from repro.core.hashed import AlphaHashes, lit_cache_key
+from repro.core.hashed import AlphaHashes
+from repro.core.kernel import MemoRecord, summarise_tree
 from repro.core.position_tree import pt_here_hash
 from repro.core.statshape import StatsDictMixin
-from repro.core.structure import (
-    sapp_hash,
-    slam_hash,
-    slet_hash,
-    slit_hash,
-    svar_hash,
-    top_hash,
-)
-from repro.core.varmap import HashedVarMap, entry_hash, merge_tagged
+from repro.core.structure import svar_hash
+from repro.core.varmap import HashedVarMap
 from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
 from repro.lang.traversal import preorder
 
@@ -135,31 +130,10 @@ class StoreEntry:
     refcount: int = 0
 
 
-class _MemoRecord:
-    """Cached hashed e-summary of one subtree object.
-
-    ``node`` pins the expression object so its ``id()`` stays valid for
-    as long as the record lives.  ``vm_entries``/``vm_hash`` are a frozen
-    snapshot of the free-variable map, sufficient to resume hashing in
-    any parent context (summaries are context-free, Section 3).
-    """
-
-    __slots__ = ("node", "s_hash", "vm_entries", "vm_hash", "top", "node_id")
-
-    def __init__(
-        self,
-        node: Expr,
-        s_hash: int,
-        vm_entries: dict[str, int],
-        vm_hash: int,
-        top: int,
-    ):
-        self.node = node
-        self.s_hash = s_hash
-        self.vm_entries = vm_entries
-        self.vm_hash = vm_hash
-        self.top = top
-        self.node_id: Optional[int] = None
+# The record class moved to repro.core.kernel in PR 4 (the shared
+# summarise loop creates it); the old private name stays importable for
+# the snapshot codec and the sharded store.
+_MemoRecord = MemoRecord
 
 
 class ExprStore:
@@ -208,6 +182,16 @@ class ExprStore:
         self._lit_cache: dict[tuple[type, object], int] = {}
         #: id(node) -> cached summary; holds a strong ref to the node.
         self._memo: dict[int, _MemoRecord] = {}
+        #: id(root) -> (root, top hash): the arena engine's root cache.
+        #: Cheaper than a full memo record (no varmap snapshot) but only
+        #: answers whole-corpus-item repeats; flushed with the memo.
+        self._arena_root_memo: dict[int, tuple[Expr, int]] = {}
+        #: The last serial arena compile: (arena, corpus objects,
+        #: id(expr) -> root index, per-node tops).  Lets a bulk intern
+        #: that follows a hash pass over the same corpus (the ``repro
+        #: session`` flow) reuse the compile instead of re-flattening
+        #: and re-hashing; replaced wholesale by each hash pass.
+        self._arena_compile_cache: Optional[tuple] = None
         #: node_id -> entry, in LRU order (oldest first).
         self._entries: "OrderedDict[int, StoreEntry]" = OrderedDict()
         #: alpha-hash -> node_id.
@@ -272,6 +256,8 @@ class ExprStore:
     def clear_memo(self) -> None:
         """Drop the per-object summary memo (canonical entries survive)."""
         self._memo.clear()
+        self._arena_root_memo.clear()
+        self._arena_compile_cache = None
 
     def prune_memo(self, roots: Iterable[Expr]) -> int:
         """Drop memo records unreachable from ``roots``; return the count.
@@ -284,6 +270,7 @@ class ExprStore:
         preserves the record-implies-full-subtree-coverage invariant the
         resume-above-cached-roots optimisation relies on.
         """
+        self._arena_compile_cache = None  # pins a corpus; prune drops it
         keep: set[int] = set()
         stack = list(roots)
         while stack:
@@ -292,11 +279,16 @@ class ExprStore:
                 continue
             keep.add(id(node))
             stack.extend(node.children())
-        before = len(self._memo)
+        before = len(self._memo) + len(self._arena_root_memo)
         self._memo = {
             key: rec for key, rec in self._memo.items() if key in keep
         }
-        return before - len(self._memo)
+        self._arena_root_memo = {
+            key: rec
+            for key, rec in self._arena_root_memo.items()
+            if key in keep
+        }
+        return before - len(self._memo) - len(self._arena_root_memo)
 
     def resolve_combiners(
         self, combiners: Optional[HashCombiners]
@@ -321,9 +313,25 @@ class ExprStore:
         self._maybe_flush_memo()
         return top
 
-    def hash_corpus(self, exprs: Iterable[Expr]) -> list[int]:
-        """Batch :meth:`hash_expr`; repeated/overlapping trees hash once."""
-        return [self.hash_expr(e) for e in exprs]
+    def hash_corpus(self, exprs: Iterable[Expr], engine: str = "auto") -> list[int]:
+        """Batch :meth:`hash_expr`; repeated/overlapping trees hash once.
+
+        ``engine`` picks the batch strategy: ``"tree"`` walks each item
+        through the memoised summariser; ``"arena"`` compiles the corpus
+        into a post-order array arena and runs the array kernel
+        (bit-identical hashes, no per-node memo warming -- see
+        :mod:`repro.store.arena_intern`); ``"auto"`` (default) takes the
+        arena above :data:`~repro.core.arena.ARENA_MIN_NODES` total
+        nodes.
+        """
+        corpus = exprs if isinstance(exprs, list) else list(exprs)
+        if engine != "tree" and corpus:
+            total = sum(expr.size for expr in corpus)
+            if resolve_engine(engine, total) == "arena":
+                from repro.store.arena_intern import hash_corpus_arena
+
+                return hash_corpus_arena(self, corpus)
+        return [self.hash_expr(e) for e in corpus]
 
     def hashes(self, expr: Expr) -> AlphaHashes:
         """An :class:`AlphaHashes` view over ``expr`` computed through the
@@ -347,113 +355,31 @@ class ExprStore:
     def _hash_tree(self, expr: Expr) -> _MemoRecord:
         """Summarise ``expr`` bottom-up, skipping memoised subtrees.
 
-        Mirrors :func:`repro.core.hashed.alpha_hash_all` exactly (same
-        combiner recipes, so hashes agree bit-for-bit) but (a) resumes
-        from cached summaries and (b) snapshots every node's map into the
-        memo -- the same one-copy-per-node cost the Section 6.3
-        incremental hasher pays, bought back many times over on corpus
-        reuse.
-
-        The loop dispatches on ``type(node) is ...`` (the node kinds are
-        final) and pushes children by attribute, avoiding one method call
-        and one tuple allocation per node on the store's hottest path.
+        Delegates to the shared :func:`repro.core.kernel.summarise_tree`
+        loop (the same one :func:`repro.core.hashed.alpha_hash_all`
+        runs, so hashes agree bit-for-bit) with the memo hooks enabled:
+        the walk (a) resumes from cached summaries and (b) snapshots
+        every node's map into the memo -- the same one-copy-per-node
+        cost the Section 6.3 incremental hasher pays, bought back many
+        times over on corpus reuse.
         """
-        combiners = self.combiners
         memo = self._memo
-        stats = self.stats
         root = memo.get(id(expr))
         if root is not None:
-            stats.memo_hits += 1
-            stats.memo_skipped_nodes += expr.size
+            self.stats.memo_hits += 1
+            self.stats.memo_skipped_nodes += expr.size
             return root
 
-        var_entry_cache = self._var_entry_cache
-        lit_cache = self._lit_cache
-        here = self._here
-        svar = self._svar
-
-        # Each results entry is (s_hash, varmap) with the varmap owned by
-        # this call (parents consume child maps destructively).
-        results: list[tuple[int, HashedVarMap]] = []
-        stack: list[tuple[Expr, bool]] = [(expr, False)]
-        push = stack.append
-        while stack:
-            node, visited = stack.pop()
-            cls = type(node)
-            if not visited:
-                rec = memo.get(id(node))
-                if rec is not None:
-                    stats.memo_hits += 1
-                    stats.memo_skipped_nodes += node.size
-                    results.append(
-                        (rec.s_hash, HashedVarMap(dict(rec.vm_entries), rec.vm_hash))
-                    )
-                    continue
-                if cls is Var or cls is Lit:
-                    pass  # leaves summarise immediately
-                elif cls is Lam:
-                    push((node, True))
-                    push((node.body, False))
-                    continue
-                elif cls is App:
-                    push((node, True))
-                    push((node.arg, False))
-                    push((node.fn, False))
-                    continue
-                elif cls is Let:
-                    push((node, True))
-                    push((node.body, False))
-                    push((node.bound, False))
-                    continue
-                else:  # pragma: no cover
-                    raise TypeError(f"unknown node kind {node.kind}")
-
-            if cls is Var:
-                s_hash = svar
-                name = node.name
-                cached = var_entry_cache.get(name)
-                if cached is None:
-                    cached = entry_hash(combiners, name, here)
-                    var_entry_cache[name] = cached
-                varmap = HashedVarMap({name: here}, cached)
-            elif cls is Lit:
-                value = node.value
-                lit_key = lit_cache_key(value)
-                s_hash = lit_cache.get(lit_key)
-                if s_hash is None:
-                    s_hash = slit_hash(combiners, value)
-                    lit_cache[lit_key] = s_hash
-                varmap = HashedVarMap.empty()
-            elif cls is Lam:
-                s_body, varmap = results.pop()
-                pos = varmap.remove(combiners, node.binder)
-                s_hash = slam_hash(combiners, node.size, pos, s_body)
-            elif cls is App:
-                s_arg, vm_arg = results.pop()
-                s_fn, vm_fn = results.pop()
-                left_bigger = len(vm_fn.entries) >= len(vm_arg.entries)
-                s_hash = sapp_hash(combiners, node.size, left_bigger, s_fn, s_arg)
-                big, small = (vm_fn, vm_arg) if left_bigger else (vm_arg, vm_fn)
-                varmap = merge_tagged(combiners, big, small, node.size)
-            else:  # cls is Let (the scheduling phase rejected everything else)
-                s_body, vm_body = results.pop()
-                s_bound, vm_bound = results.pop()
-                pos_x = vm_body.remove(combiners, node.binder)
-                left_bigger = len(vm_bound.entries) >= len(vm_body.entries)
-                s_hash = slet_hash(
-                    combiners, node.size, pos_x, left_bigger, s_bound, s_body
-                )
-                big, small = (vm_bound, vm_body) if left_bigger else (vm_body, vm_bound)
-                varmap = merge_tagged(combiners, big, small, node.size)
-
-            top = top_hash(combiners, s_hash, varmap.hash)
-            memo[id(node)] = _MemoRecord(
-                node, s_hash, dict(varmap.entries), varmap.hash, top
-            )
-            stats.hashed_nodes += 1
-            results.append((s_hash, varmap))
-
-        assert len(results) == 1
+        summarise_tree(
+            expr,
+            self.combiners,
+            here=self._here,
+            svar=self._svar,
+            var_entry_cache=self._var_entry_cache,
+            lit_cache=self._lit_cache,
+            memo=memo,
+            store_stats=self.stats,
+        )
         return memo[id(expr)]
 
     def _maybe_flush_memo(self) -> None:
@@ -463,8 +389,15 @@ class ExprStore:
         record right after hashing.  The memo is a pure cache, so losing
         warmth is the only cost of a flush.
         """
-        if self.memo_limit is not None and len(self._memo) > self.memo_limit:
-            self._memo.clear()
+        if self.memo_limit is not None:
+            if len(self._memo) > self.memo_limit:
+                self._memo.clear()
+            if len(self._arena_root_memo) > self.memo_limit:
+                self._arena_root_memo.clear()
+            # The compile cache pins a whole corpus: a memo-bounded
+            # store gives up the hash->intern reuse to keep its
+            # memory contract.
+            self._arena_compile_cache = None
 
     # -- persistence -----------------------------------------------------------
 
@@ -526,9 +459,34 @@ class ExprStore:
         self._maybe_flush_memo()
         return ids[0]
 
-    def intern_many(self, exprs: Iterable[Expr]) -> list[int]:
-        """Batch :meth:`intern`: one id per input, duplicates collapse."""
-        return [self.intern(e) for e in exprs]
+    #: Whether :meth:`intern_many` may take the arena bulk-intern path.
+    #: Subclasses with their own write discipline (the sharded store's
+    #: lock striping) opt out and keep the per-item path.
+    _arena_intern_ok = True
+
+    def intern_many(self, exprs: Iterable[Expr], engine: str = "auto") -> list[int]:
+        """Batch :meth:`intern`: one id per input, duplicates collapse.
+
+        ``engine="arena"`` (or ``"auto"`` above the node threshold, on
+        eviction-free flat stores) compiles the corpus once and resolves
+        every unique subtree class against the intern table directly --
+        same classes, hashes and ids as the serial path, with
+        ``hits``/``misses`` counted per unique class instead of per
+        occurrence (see :mod:`repro.store.arena_intern`).
+        """
+        corpus = exprs if isinstance(exprs, list) else list(exprs)
+        if (
+            engine != "tree"
+            and corpus
+            and self._arena_intern_ok
+            and self.max_entries is None
+        ):
+            total = sum(expr.size for expr in corpus)
+            if resolve_engine(engine, total) == "arena":
+                from repro.store.arena_intern import intern_corpus_arena
+
+                return intern_corpus_arena(self, corpus)
+        return [self.intern(e) for e in corpus]
 
     def _intern_one(
         self, node: Expr, rec: _MemoRecord, kid_ids: tuple[int, ...]
