@@ -1,0 +1,154 @@
+"""Service smoke gate: a live ``repro serve`` must be bit-identical.
+
+Run against an already-started server (CI starts ``repro serve`` in the
+background)::
+
+    python -m repro serve --port 8655 &
+    PYTHONPATH=src python benchmarks/service_smoke.py \
+        --url http://127.0.0.1:8655 --items 1000
+
+The gate:
+
+1. waits for ``/v1/health`` (bounded retries);
+2. generates a mixed corpus of ``--items`` expressions;
+3. hashes it through the HTTP client and **hard-fails on any bit** of
+   divergence from the local path (``alpha_hash_all`` and a local
+   ``Session``);
+4. interns the corpus remotely, downloads the server snapshot, and
+   checks the restored store serves the same hashes with the same entry
+   count (stats conservation);
+5. uploads a disjoint local store and checks the merge grew the server
+   by exactly the new classes.
+
+Exit code 0 = all gates hold; 1 = divergence (with a diff summary).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+
+def build_corpus(n_items: int, seed: int = 42):
+    from repro.gen.random_exprs import random_expr
+
+    rng = random.Random(seed)
+    corpus = []
+    for _ in range(n_items):
+        if corpus and rng.random() < 0.25:
+            corpus.append(rng.choice(corpus))
+        else:
+            corpus.append(random_expr(40, rng=rng, p_let=0.2, p_lit=0.2))
+    return corpus
+
+
+def wait_for_health(client, attempts: int, delay: float) -> dict:
+    from repro.service import ServiceError
+
+    last = None
+    for _ in range(attempts):
+        try:
+            return client.health()
+        except ServiceError as exc:
+            last = exc
+            time.sleep(delay)
+    raise SystemExit(f"server never became healthy: {last}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default="http://127.0.0.1:8655")
+    parser.add_argument("--items", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--health-attempts", type=int, default=50)
+    parser.add_argument("--health-delay", type=float, default=0.2)
+    args = parser.parse_args(argv)
+
+    from repro.api import Session
+    from repro.core.hashed import alpha_hash_all
+    from repro.service import ServiceClient
+    from repro.store import snapshot_from_bytes
+
+    client = ServiceClient(args.url, timeout=300.0)
+    health = wait_for_health(client, args.health_attempts, args.health_delay)
+    print(f"service_smoke: server healthy {health}")
+
+    corpus = build_corpus(args.items, seed=args.seed)
+    total_nodes = sum(e.size for e in corpus)
+    print(f"service_smoke: corpus {len(corpus)} items, {total_nodes} nodes")
+
+    t0 = time.perf_counter()
+    remote = client.hash_corpus(corpus)
+    remote_s = time.perf_counter() - t0
+    reference = [alpha_hash_all(e).root_hash for e in corpus]
+    with Session() as session:
+        local = session.hash_corpus(corpus)
+
+    failures = 0
+    if remote != reference:
+        bad = sum(1 for a, b in zip(remote, reference) if a != b)
+        print(
+            f"FAIL: remote hashes diverge from alpha_hash_all on "
+            f"{bad}/{len(corpus)} items",
+            file=sys.stderr,
+        )
+        failures += 1
+    if remote != local:
+        print("FAIL: remote hashes diverge from the local Session path",
+              file=sys.stderr)
+        failures += 1
+    print(f"service_smoke: remote hash bit-identity ok ({remote_s:.2f}s)")
+
+    # Snapshot download: the warm server store must serve the corpus.
+    client.intern_many(corpus)
+    entries_remote = client.stats()["entries"]
+    store, header = snapshot_from_bytes(client.fetch_snapshot())
+    if len(store) != entries_remote:
+        print(
+            f"FAIL: snapshot holds {len(store)} entries, server reports "
+            f"{entries_remote}",
+            file=sys.stderr,
+        )
+        failures += 1
+    if store.hash_corpus(corpus) != reference:
+        print("FAIL: downloaded snapshot diverges from the corpus hashes",
+              file=sys.stderr)
+        failures += 1
+    print(
+        f"service_smoke: snapshot download ok "
+        f"({entries_remote} entries, format {header['format']})"
+    )
+
+    # Snapshot upload: merging a disjoint local store grows the server
+    # by exactly the new classes (conservation).
+    disjoint = build_corpus(50, seed=args.seed + 1)
+    local_session = Session()
+    local_session.intern_many(disjoint)
+    reply = client.push_snapshot(local_session)
+    entries_after = client.stats()["entries"]
+    union = Session()
+    union.intern_many(corpus)
+    union.intern_many(disjoint)
+    if entries_after != len(union.store):
+        print(
+            f"FAIL: merged server holds {entries_after} entries, local "
+            f"union holds {len(union.store)}",
+            file=sys.stderr,
+        )
+        failures += 1
+    print(
+        f"service_smoke: snapshot upload/merge ok "
+        f"(+{reply['merged_classes']} classes -> {entries_after} entries)"
+    )
+
+    if failures:
+        print(f"service_smoke: {failures} gate(s) FAILED", file=sys.stderr)
+        return 1
+    print("service_smoke: all gates ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

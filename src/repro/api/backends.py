@@ -13,7 +13,20 @@ module absorbs all of them into **one** name -> backend mapping:
 * the design-choice ablations (``always_left``, ``recompute_vm``) from
   :mod:`repro.baselines.ablated`;
 * aliases for historical names (``lazy`` -> ``ours_lazy``, ``default``
-  -> ``ours``).
+  -> ``ours``);
+* **third-party backends** advertised through ``importlib.metadata``
+  entry points in the ``repro.backends`` group (loaded lazily on the
+  first unknown-name lookup, or eagerly via
+  :func:`load_entry_point_backends`).  An installed distribution opts
+  in with::
+
+      [project.entry-points."repro.backends"]
+      myhash = "mypkg.hashing:BACKEND"
+
+  where the target is a ready :class:`HasherBackend` (e.g. a
+  :class:`FunctionBackend`) or a bare ``hash_all``-shaped function,
+  which is wrapped into a ``kind="plugin"`` backend under the entry
+  point's name.
 
 A backend is anything satisfying the :class:`HasherBackend` protocol --
 a named object that maps an expression to an
@@ -45,9 +58,11 @@ __all__ = [
     "BACKENDS",
     "TABLE1_ORDER",
     "ABLATION_ORDER",
+    "ENTRY_POINT_GROUP",
     "get_backend",
     "register_backend",
     "backend_names",
+    "load_entry_point_backends",
 ]
 
 
@@ -101,16 +116,18 @@ class FunctionBackend:
     __call__ = hash_all
 
 
-#: The one registry: canonical name -> backend.
-BACKENDS: dict[str, FunctionBackend] = {}
+#: The one registry: canonical name -> backend.  Values are
+#: :class:`FunctionBackend` for everything in-repo; entry-point plugins
+#: may register any :class:`HasherBackend`.
+BACKENDS: dict[str, HasherBackend] = {}
 
 #: Alternate spellings accepted by :func:`get_backend`.
 _ALIASES: dict[str, str] = {}
 
 
 def register_backend(
-    backend: FunctionBackend, aliases: Iterable[str] = ()
-) -> FunctionBackend:
+    backend: HasherBackend, aliases: Iterable[str] = ()
+) -> HasherBackend:
     """Add ``backend`` (and optional alias names) to the registry."""
     for key in (backend.name, *aliases):
         if key in BACKENDS or key in _ALIASES:
@@ -121,9 +138,16 @@ def register_backend(
     return backend
 
 
-def get_backend(name: str) -> FunctionBackend:
-    """Resolve a backend by canonical name or alias (KeyError lists both)."""
+def get_backend(name: str) -> HasherBackend:
+    """Resolve a backend by canonical name or alias (KeyError lists both).
+
+    An unknown name triggers one lazy sweep of the ``repro.backends``
+    entry-point group before failing, so installed third-party backends
+    resolve without any import-time cost on the common path.
+    """
     backend = BACKENDS.get(_ALIASES.get(name, name))
+    if backend is None and load_entry_point_backends():
+        backend = BACKENDS.get(_ALIASES.get(name, name))
     if backend is None:
         raise KeyError(
             f"unknown backend {name!r}; available: {sorted(BACKENDS)}"
@@ -133,11 +157,99 @@ def get_backend(name: str) -> FunctionBackend:
 
 
 def backend_names(include_aliases: bool = False) -> tuple[str, ...]:
-    """All registered backend names, sorted."""
+    """All registered backend names, sorted (entry points included)."""
+    load_entry_point_backends()
     names = set(BACKENDS)
     if include_aliases:
         names |= set(_ALIASES)
     return tuple(sorted(names))
+
+
+# -- entry-point discovery -----------------------------------------------------
+
+#: The ``importlib.metadata`` entry-point group third-party backends
+#: advertise themselves under.
+ENTRY_POINT_GROUP = "repro.backends"
+
+_entry_points_scanned = False
+
+
+def _iter_entry_points():
+    """All entry points in :data:`ENTRY_POINT_GROUP` (test seam)."""
+    from importlib import metadata
+
+    return tuple(metadata.entry_points(group=ENTRY_POINT_GROUP))
+
+
+def _coerce_backend(name: str, obj) -> Optional[HasherBackend]:
+    """Adapt an entry-point target to a :class:`HasherBackend`.
+
+    A ready backend object passes through; a bare callable is wrapped
+    as a ``kind="plugin"`` :class:`FunctionBackend` named after the
+    entry point.  Anything else is rejected (``None``).
+    """
+    if isinstance(obj, HasherBackend):
+        return obj
+    if callable(obj):
+        return FunctionBackend(
+            name=name,
+            label=name,
+            kind="plugin",
+            section="entry-point",
+            store_backed=False,
+            run=obj,
+        )
+    return None
+
+
+def load_entry_point_backends(refresh: bool = False) -> tuple[str, ...]:
+    """Register every ``repro.backends`` entry point; return new names.
+
+    Idempotent: the group is scanned once per process unless
+    ``refresh=True``.  A broken plugin (import error, wrong shape, name
+    collision with an existing backend) is reported as a warning and
+    skipped -- one bad distribution must not take down the registry.
+    """
+    import warnings
+
+    global _entry_points_scanned
+    if _entry_points_scanned and not refresh:
+        return ()
+    _entry_points_scanned = True
+
+    loaded: list[str] = []
+    for entry_point in _iter_entry_points():
+        if entry_point.name in BACKENDS or entry_point.name in _ALIASES:
+            continue  # first registration (or a built-in) wins
+        try:
+            target = entry_point.load()
+        except Exception as exc:  # defensive: plugin code is untrusted
+            warnings.warn(
+                f"repro.backends entry point {entry_point.name!r} failed to "
+                f"load: {exc!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        backend = _coerce_backend(entry_point.name, target)
+        if backend is None:
+            warnings.warn(
+                f"repro.backends entry point {entry_point.name!r} is neither "
+                "a HasherBackend nor a callable; skipped",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        aliases = (
+            (entry_point.name,) if backend.name != entry_point.name else ()
+        )
+        try:
+            register_backend(backend, aliases=aliases)
+        except ValueError as exc:
+            warnings.warn(str(exc), RuntimeWarning, stacklevel=2)
+            continue
+        loaded.append(backend.name)
+    return tuple(loaded)
 
 
 for _name, _alg in ALGORITHMS.items():

@@ -1,0 +1,206 @@
+"""The planning stage: resolve a request into an inspectable plan.
+
+The :class:`Planner` turns a declarative :class:`~repro.api.request.
+HashRequest` / :class:`~repro.api.request.InternRequest` plus a
+:class:`~repro.api.session.Session` into an :class:`ExecutionPlan` --
+every decision the scattered kwargs of PRs 3-4 used to make inline
+(tree vs arena engine, worker count, pool flavour, serial vs pooled
+executor) is made **here, once**, and the result is a frozen record the
+caller can inspect, log, or ship over the wire before anything runs::
+
+    plan = session.plan(HashRequest(corpus, workers=4))
+    print(plan.explain())       # why each choice was made
+    session.execute(request, plan=plan)
+
+Engine policy
+-------------
+
+``engine="auto"`` compares the corpus' total node count against
+:data:`ARENA_NODE_THRESHOLD` -- the **one** threshold constant, which
+the planner shares with the low-level ``resolve_engine`` normaliser
+(defined next to the arena kernel as
+:data:`repro.core.arena.ARENA_MIN_NODES`, so the core stays importable
+without this package; there is exactly one literal).  The store- and
+parallel-layer batch entry points consult the same constant through
+:func:`repro.core.arena.plan_corpus_engine`, so a forced ``engine=``
+and an ``auto`` decision can never disagree between layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.arena import ARENA_MIN_NODES, resolve_engine
+from repro.store.parallel import resolve_workers
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api.request import HashRequest
+    from repro.api.session import Session
+
+__all__ = ["ExecutionPlan", "Planner", "PlanError", "ARENA_NODE_THRESHOLD"]
+
+#: Total corpus nodes at which ``engine="auto"`` switches from the
+#: memoised tree walk to the arena kernel.  This is the planner's one
+#: threshold; every layer's ``auto`` decision resolves against it.
+ARENA_NODE_THRESHOLD = ARENA_MIN_NODES
+
+
+class PlanError(ValueError):
+    """A request cannot be planned against this session."""
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Every resolved decision for one request, before anything runs.
+
+    ``engine``, ``workers`` and ``mode`` are concrete (no ``"auto"``,
+    no ``None``); ``executor`` names the registered executor that will
+    carry the plan out (:mod:`repro.api.executors`); ``reasons`` records
+    one line per decision for :meth:`explain`.
+    """
+
+    kind: str  #: ``"hash"`` or ``"intern"``
+    backend: str  #: resolved unified-registry backend name
+    store_backed: bool  #: whether the store's memo serves this backend
+    engine: str  #: ``"tree"`` or ``"arena"`` -- never ``"auto"``
+    workers: int  #: resolved pool size (1 = serial)
+    mode: str  #: pool flavour, meaningful when ``workers > 1``
+    executor: str  #: ``"serial"`` or ``"pool"``
+    corpus_items: int  #: expressions in the request
+    total_nodes: int  #: total AST nodes across the corpus
+    bits: int  #: combiner width the job will run at
+    seed: int  #: combiner seed the job will run at
+    num_shards: Optional[int] = None  #: sharded-store fan-in, if any
+    reasons: tuple[str, ...] = ()
+
+    def as_dict(self) -> dict:
+        """A JSON-compatible view (the service API returns this)."""
+        return asdict(self)
+
+    def explain(self) -> str:
+        """A human-readable account of every planning decision."""
+        head = (
+            f"{self.kind} {self.corpus_items} expression(s), "
+            f"{self.total_nodes} nodes -> engine={self.engine}, "
+            f"executor={self.executor}, workers={self.workers} "
+            f"({self.mode}), backend={self.backend}"
+        )
+        return "\n".join([head, *(f"  - {r}" for r in self.reasons)])
+
+
+class Planner:
+    """Resolves requests against a session into :class:`ExecutionPlan`s.
+
+    Stateless apart from its ``arena_threshold`` (default
+    :data:`ARENA_NODE_THRESHOLD`); a session owns one and consults it
+    from :meth:`~repro.api.session.Session.plan`.  Swap it out to test
+    or tune the policy without touching any execution code::
+
+        session.planner = Planner(arena_threshold=1_000)
+    """
+
+    def __init__(self, arena_threshold: int = ARENA_NODE_THRESHOLD):
+        self.arena_threshold = arena_threshold
+
+    def plan(self, session: "Session", request: "HashRequest") -> "ExecutionPlan":
+        reasons: list[str] = []
+        combiners = session.combiners
+
+        # Determinism hints: a request pinned to one hash family must
+        # never silently run under another.
+        if request.bits is not None and request.bits != combiners.bits:
+            raise PlanError(
+                f"request pins bits={request.bits} but the session hashes "
+                f"at {combiners.bits} bits"
+            )
+        if request.seed is not None and request.seed != combiners.seed:
+            raise PlanError(
+                f"request pins seed={request.seed} but the session hashes "
+                f"with seed {combiners.seed}"
+            )
+
+        backend = session.backend
+        if request.backend is not None:
+            from repro.api.backends import get_backend
+
+            try:
+                backend = get_backend(request.backend)
+            except KeyError as exc:
+                raise PlanError(str(exc)) from None
+            if backend is not session.backend:
+                reasons.append(
+                    f"backend {backend.name!r} overrides the session's "
+                    f"{session.backend.name!r}"
+                )
+
+        store = session.store
+        store_backed = store is not None and backend.store_backed
+        if request.kind == "intern":
+            if store is None:
+                raise PlanError(
+                    "intern requests need a store; this session was built "
+                    "with use_store=False"
+                )
+            store_backed = True  # interning is defined over the store
+
+        # Resource hints fall back to the session's configured defaults.
+        workers = resolve_workers(
+            session.config.workers if request.workers is None else request.workers
+        )
+        mode = request.mode or session.config.parallel_mode
+        engine_hint = request.engine or session.config.engine
+
+        total_nodes = request.total_nodes
+        if engine_hint == "auto":
+            engine = resolve_engine(
+                engine_hint, total_nodes, threshold=self.arena_threshold
+            )
+            reasons.append(
+                f"auto engine -> {engine}: {total_nodes} nodes "
+                f"{'>=' if engine == 'arena' else '<'} "
+                f"threshold {self.arena_threshold}"
+            )
+        else:
+            engine = resolve_engine(engine_hint, total_nodes)
+            reasons.append(f"engine {engine!r} forced by the request")
+
+        # Executor selection mirrors (and replaces) the inline branch
+        # the Session facade used to carry: fan out only when there is
+        # a store to cooperate with and more than one item to fan.
+        if workers > 1 and not store_backed and request.kind == "hash":
+            reasons.append(
+                f"backend {backend.name!r} times its own pass; staying serial"
+            )
+            executor = "serial"
+            workers = 1
+        elif workers > 1 and len(request.exprs) > 1:
+            executor = "pool"
+            reasons.append(
+                f"{workers} workers over a {mode} pool "
+                f"({len(request.exprs)} items)"
+            )
+        else:
+            if workers > 1:
+                reasons.append(
+                    "corpus too small to fan out; running serially"
+                )
+                workers = 1
+            executor = "serial"
+
+        num_shards = getattr(store, "num_shards", None)
+        return ExecutionPlan(
+            kind=request.kind,
+            backend=backend.name,
+            store_backed=store_backed,
+            engine=engine,
+            workers=workers,
+            mode=mode,
+            executor=executor,
+            corpus_items=len(request.exprs),
+            total_nodes=total_nodes,
+            bits=combiners.bits,
+            seed=combiners.seed,
+            num_shards=num_shards,
+            reasons=tuple(reasons),
+        )

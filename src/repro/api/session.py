@@ -12,6 +12,11 @@ workflow behind one object::
     session.hashes(expr)                      # every subexpression
     session.hash_corpus(corpus)               # store-batched
     session.intern(expr)                      # canonical node id
+
+    # corpus work is a request -> plan -> execute pipeline underneath:
+    request = HashRequest(corpus, workers=4, engine="auto")
+    session.plan(request)                     # inspectable ExecutionPlan
+    session.execute(request)                  # bit-identical to serial
     session.cse(expr); session.share(expr)    # apps, pooled through the store
     session.save("corpus.snap")               # persist intern table + memo
     warm = Session.load("corpus.snap")        # ...in another process
@@ -29,11 +34,14 @@ alpha-hash.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict, dataclass
 from typing import Iterable, Optional, Union
 
-from repro.api.backends import FunctionBackend, get_backend
-from repro.core.arena import resolve_engine
+from repro.api.backends import HasherBackend, get_backend
+from repro.api.executors import get_executor
+from repro.api.plan import ExecutionPlan, Planner
+from repro.api.request import HashRequest, InternRequest
 from repro.core.combiners import DEFAULT_SEED, HashCombiners
 from repro.core.hashed import AlphaHashes
 from repro.lang.expr import Expr
@@ -41,14 +49,16 @@ from repro.store import (
     ExprStore,
     ShardedExprStore,
     WorkerPool,
-    parallel_hash_corpus,
-    parallel_intern_corpus,
     read_snapshot,
-    resolve_workers,
 )
 from repro.store.parallel import PARALLEL_MODES
 
 __all__ = ["Session", "SessionConfig", "SessionError"]
+
+_LEGACY_KWARGS_HINT = (
+    "is deprecated; build a repro.api.HashRequest/InternRequest and call "
+    "Session.execute() (the kwargs are lowered into a request for now)"
+)
 
 
 class SessionError(RuntimeError):
@@ -127,7 +137,11 @@ class Session:
         #: once per batch.  (The tree engine's fork path ignores them;
         #: see repro.store.parallel.WorkerPool.)
         self._pools: dict[tuple[str, int], WorkerPool] = {}
-        self.backend: FunctionBackend = get_backend(config.backend)
+        #: The policy stage of the request -> plan -> execute pipeline;
+        #: swap it (e.g. ``Planner(arena_threshold=...)``) to retune
+        #: decisions without touching execution code.
+        self.planner = Planner()
+        self.backend: HasherBackend = get_backend(config.backend)
         self.combiners = HashCombiners(
             bits=config.bits, seed=config.resolved_seed
         )
@@ -180,6 +194,34 @@ class Session:
             self._pools[key] = pool
         return pool
 
+    # -- the request -> plan -> execute pipeline -------------------------------
+
+    def plan(self, request: HashRequest) -> ExecutionPlan:
+        """Resolve ``request`` into an inspectable :class:`ExecutionPlan`
+        (engine, workers, pool mode, executor) without running anything.
+        See :mod:`repro.api.plan` for the policy."""
+        return self.planner.plan(self, request)
+
+    def execute(
+        self, request: HashRequest, plan: Optional[ExecutionPlan] = None
+    ) -> list[int]:
+        """Run ``request`` (planning it first unless ``plan`` is given).
+
+        The canonical entry point for corpus work::
+
+            session.execute(HashRequest(corpus, workers=4))
+            session.execute(InternRequest(corpus))
+
+        Results are bit-identical across executors and engines -- the
+        plan only decides *how* the same pure function is evaluated.
+        Pool-executor plans run on session-owned persistent pools; call
+        :meth:`close` (or use the session as a context manager) to
+        release them.
+        """
+        if plan is None:
+            plan = self.plan(request)
+        return get_executor(plan.executor).run(self, request, plan)
+
     def hash_corpus(
         self,
         exprs: Iterable[Expr],
@@ -190,52 +232,25 @@ class Session:
         """Root hashes of a whole corpus, store-batched when possible:
         repeated and overlapping subtrees are summarised once.
 
-        ``workers`` (default: the session's configured ``workers``) fans
-        the corpus out over a process or thread pool (``mode``, default
-        the session's ``parallel_mode``); results are merged back in
-        input order and are **bit-identical** to the serial path.
-        ``workers=0`` means one worker per CPU.  ``engine`` (default
-        the session's ``engine``) picks tree walking vs the arena
-        kernel.  Parallel fan-out is only wired for the
-        store-compatible default backend -- other backends time their
-        own algorithm and stay serial.
-
-        Parallel arena-engine calls run on a session-owned persistent
-        pool (arenas reach workers as picklable payloads; the tree
-        engine needs a fresh publish-then-fork pool per call and never
-        uses one); call :meth:`close` -- or use the session as a
-        context manager -- to release the pools.
+        Sugar for ``execute(HashRequest(exprs))``: the session's
+        configured ``workers`` / ``parallel_mode`` / ``engine`` become
+        the planner's defaults, results are **bit-identical** to the
+        serial path regardless of the plan.  The per-call ``workers`` /
+        ``mode`` / ``engine`` keyword overrides are deprecated -- pass a
+        :class:`~repro.api.request.HashRequest` carrying the hints to
+        :meth:`execute` instead (they are lowered into exactly that
+        request here, under a :class:`DeprecationWarning`).
         """
-        effective = self.config.workers if workers is None else workers
-        effective = resolve_workers(effective)
-        engine = self.config.engine if engine is None else engine
-        if self._store_backed:
-            if effective > 1:
-                mode = mode or self.config.parallel_mode
-                corpus = exprs if isinstance(exprs, list) else list(exprs)
-                # Resolve the engine once, here: only the arena engine
-                # can run on a reusable pool, and passing the concrete
-                # choice down keeps this decision and the fan-out's in
-                # one place.
-                engine = resolve_engine(
-                    engine, sum(e.size for e in corpus)
-                )
-                return parallel_hash_corpus(
-                    corpus,
-                    workers=effective,
-                    mode=mode,
-                    store=self.store,
-                    engine=engine,
-                    pool=(
-                        self._pool_for(mode, effective)
-                        if engine == "arena"
-                        else None
-                    ),
-                )
-            return self.store.hash_corpus(exprs, engine=engine)
-        return [
-            self.backend.hash_all(e, self.combiners).root_hash for e in exprs
-        ]
+        if workers is not None or mode is not None or engine is not None:
+            warnings.warn(
+                "Session.hash_corpus(workers=/mode=/engine=) "
+                + _LEGACY_KWARGS_HINT,
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return self.execute(
+            HashRequest(exprs, workers=workers, mode=mode, engine=engine)
+        )
 
     def close(self) -> None:
         """Shut down the session's persistent worker pools (idempotent).
@@ -278,23 +293,22 @@ class Session:
     ) -> list[int]:
         """Batch :meth:`intern`: one id per input, duplicates collapse.
 
-        With ``workers > 1`` (default: the session's configured
-        ``workers``), slices are interned by worker processes into local
-        stores and merged back shard-by-shard over the snapshot wire
-        format.  The resulting *classes and hashes* are bit-identical to
-        the serial path; node ids may differ (ids encode arrival order,
-        and were never stable across store instances).  Serially,
-        ``engine`` routes large corpora through the arena bulk-intern
-        path on eviction-free flat stores.
+        Sugar for ``execute(InternRequest(exprs))``.  Pooled plans
+        intern slices in worker processes and merge the tables back
+        shard-by-shard over the snapshot wire format: the resulting
+        *classes and hashes* are bit-identical to the serial path; node
+        ids may differ (ids encode arrival order, and were never stable
+        across store instances).  The per-call ``workers`` / ``engine``
+        keyword overrides are deprecated -- pass an
+        :class:`~repro.api.request.InternRequest` to :meth:`execute`.
         """
-        store = self._require_store("intern_many()")
-        effective = self.config.workers if workers is None else workers
-        effective = resolve_workers(effective)
-        if effective > 1:
-            return parallel_intern_corpus(exprs, store, workers=effective)
-        return store.intern_many(
-            exprs, engine=self.config.engine if engine is None else engine
-        )
+        if workers is not None or engine is not None:
+            warnings.warn(
+                "Session.intern_many(workers=/engine=) " + _LEGACY_KWARGS_HINT,
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return self.execute(InternRequest(exprs, workers=workers, engine=engine))
 
     def cse(self, expr: Expr, **kwargs):
         """Common-subexpression elimination through the session's store
@@ -370,9 +384,34 @@ class Session:
         pure memo hits.)  ``backend`` overrides the saved backend name.
         """
         store, header = read_snapshot(path)
+        return cls._adopt_snapshot(store, header, backend)
+
+    @classmethod
+    def from_snapshot_bytes(
+        cls, data: bytes, backend: Optional[str] = None
+    ) -> "Session":
+        """:meth:`load`, but from in-memory snapshot wire bytes (e.g.
+        fetched from a :mod:`repro.service` server)."""
+        from repro.store import snapshot_from_bytes
+
+        store, header = snapshot_from_bytes(data)
+        return cls._adopt_snapshot(store, header, backend)
+
+    @classmethod
+    def _adopt_snapshot(
+        cls, store: ExprStore, header: dict, backend: Optional[str]
+    ) -> "Session":
+        """The one snapshot-adoption path behind :meth:`load` and
+        :meth:`from_snapshot_bytes`."""
         meta = header.get("meta") or {}
         saved_config = meta.get("config") or {}
-        num_shards = (meta.get("sharded") or {}).get("num_shards")
+        if isinstance(store, ShardedExprStore):
+            # Native v2 sharded snapshot: adopted directly below --
+            # original node ids, per-shard recency and counters all
+            # survive.
+            num_shards: Optional[int] = store.num_shards
+        else:
+            num_shards = (meta.get("sharded") or {}).get("num_shards")
         config = SessionConfig(
             backend=backend or meta.get("backend", "ours"),
             bits=header["bits"],
@@ -386,10 +425,10 @@ class Session:
             engine=saved_config.get("engine", "auto"),
         )
         session = cls(config)
-        if num_shards is not None:
-            # Re-shard the already-decoded flat snapshot (sharded stores
-            # snapshot via the flat format; node ids are re-assigned,
-            # classes survive).
+        if num_shards is not None and not isinstance(store, ShardedExprStore):
+            # A v1 snapshot written by a pre-v2 sharded store: re-shard
+            # the decoded flat table (node ids are re-assigned, classes
+            # survive).
             session.store = ShardedExprStore.from_flat_store(
                 store, num_shards
             )

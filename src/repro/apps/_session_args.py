@@ -2,19 +2,19 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.core.combiners import HashCombiners
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.api import Session
+    from repro.api import AsyncSession, Session
     from repro.store import ExprStore
 
 __all__ = ["resolve_session"]
 
 
 def resolve_session(
-    session: Optional["Session"],
+    session: Optional[Union["Session", "AsyncSession"]],
     combiners: Optional[HashCombiners],
     store: Optional["ExprStore"],
 ) -> tuple[Optional[HashCombiners], Optional["ExprStore"]]:
@@ -22,10 +22,12 @@ def resolve_session(
 
     A session supplies both and excludes passing either explicitly --
     one rule, enforced identically across ``cse``, ``share_alpha`` and
-    ``ast_to_graph``.
+    ``ast_to_graph``.  An :class:`~repro.api.AsyncSession` is accepted
+    too: the apps pool through the synchronous session it wraps.
     """
     if session is None:
         return combiners, store
     if combiners is not None or store is not None:
         raise ValueError("pass either a session or combiners/store, not both")
-    return session.combiners, session.store
+    inner = getattr(session, "session", session)  # unwrap AsyncSession
+    return inner.combiners, inner.store

@@ -23,6 +23,10 @@ Utility commands work on expression files (surface syntax, see
     python -m repro session [FILE...]       # the Session facade: pick a
                                             # --backend, batch-hash a corpus,
                                             # --save/--load store snapshots
+    python -m repro serve --port 8655       # serve the session over HTTP/JSON
+                                            # (hash/intern/stats + snapshot
+                                            # download/upload; see
+                                            # repro.service)
 """
 
 from __future__ import annotations
@@ -45,7 +49,7 @@ _EXPERIMENTS = {
     "difftest": "repro.analysis.differential",
 }
 
-_UTILITIES = ("hash", "classes", "cse", "store", "session")
+_UTILITIES = ("hash", "classes", "cse", "store", "session", "serve")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -87,6 +91,10 @@ def _run_utility(command: str, rest: Sequence[str]) -> int:
         return _run_hash(rest)
     if command == "session":
         return _run_session(rest)
+    if command == "serve":
+        from repro.service.server import serve
+
+        return serve(rest)
 
     parser = argparse.ArgumentParser(prog=f"repro {command}")
     parser.add_argument("file", help="expression file, or - for stdin")
@@ -327,8 +335,17 @@ def _run_session(rest: Sequence[str]) -> int:
 def _session_report(session, args, exprs) -> int:
     import json
 
-    hashes = session.hash_corpus(
-        exprs, workers=args.workers, mode=args.parallel_mode, engine=args.engine
+    from repro.api import HashRequest, InternRequest
+
+    # CLI knobs lower into declarative requests -- the planner resolves
+    # them against the session exactly like library callers' requests.
+    hashes = session.execute(
+        HashRequest(
+            exprs,
+            workers=args.workers,
+            mode=args.parallel_mode,
+            engine=args.engine,
+        )
     )
     missing = 0
     known_flags: list[bool] = []
@@ -352,7 +369,7 @@ def _session_report(session, args, exprs) -> int:
         # file: serial sessions reuse the compile the hash pass above
         # cached (large corpora take the store's arena bulk-intern
         # path); --workers sessions fan out over the worker-merge path.
-        node_ids = session.intern_many(exprs, engine=args.engine)
+        node_ids = session.execute(InternRequest(exprs, engine=args.engine))
     for index, (path, expr, value) in enumerate(
         zip(args.files, exprs, hashes)
     ):

@@ -57,6 +57,7 @@ __all__ = [
     "flatten_corpus",
     "ARENA_MIN_NODES",
     "resolve_engine",
+    "plan_corpus_engine",
     "OP_VAR",
     "OP_LIT",
     "OP_LAM",
@@ -70,20 +71,44 @@ OP_VAR, OP_LIT, OP_LAM, OP_APP, OP_LET = 0, 1, 2, 3, 4
 #: arena.  Below it the per-corpus compile overhead (building the arrays
 #: and leaf tables) eats the per-node win; above it the kernel pulls
 #: ahead quickly.  Chosen from the BENCH_PR4 sweep; override per call
-#: with ``engine="arena"`` / ``engine="tree"``.
+#: with ``engine="arena"`` / ``engine="tree"``.  This is the **one**
+#: auto-engine literal in the repository: the planner re-exports it as
+#: :data:`repro.api.plan.ARENA_NODE_THRESHOLD` (the policy-level name),
+#: and every batch entry point resolves ``"auto"`` against it through
+#: :func:`resolve_engine` / :func:`plan_corpus_engine`.
 ARENA_MIN_NODES = 25_000
 
 
+def resolve_engine(
+    engine: str, total_nodes: int, threshold: Optional[int] = None
+) -> str:
+    """Normalise an ``engine`` request to ``"arena"`` or ``"tree"``.
 
-def resolve_engine(engine: str, total_nodes: int) -> str:
-    """Normalise an ``engine`` request to ``"arena"`` or ``"tree"``."""
+    ``threshold`` defaults to :data:`ARENA_MIN_NODES`; the planner
+    passes its own (same value unless deliberately retuned) so policy
+    stays swappable in exactly one place.
+    """
     if engine == "auto":
-        return "arena" if total_nodes >= ARENA_MIN_NODES else "tree"
+        limit = ARENA_MIN_NODES if threshold is None else threshold
+        return "arena" if total_nodes >= limit else "tree"
     if engine in ("arena", "tree"):
         return engine
     raise ValueError(
         f"engine must be 'auto', 'arena' or 'tree', got {engine!r}"
     )
+
+
+def plan_corpus_engine(engine: str, corpus: Sequence[Expr]) -> str:
+    """The concrete engine for hashing/interning ``corpus``.
+
+    The one shared ``auto`` decision point for the store- and
+    parallel-layer batch entry points: total nodes are counted here
+    (``Expr.size`` is O(1) per root) and compared against the single
+    threshold constant, so no call site carries its own size loop or
+    literal."""
+    if engine == "auto":
+        return resolve_engine(engine, sum(expr.size for expr in corpus))
+    return resolve_engine(engine, 0)  # validates the name
 
 
 class ExprArena:

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.timing import time_call
-from repro.baselines.registry import ALGORITHMS, TABLE1_ORDER
+from repro.api.backends import TABLE1_ORDER, get_backend
 from repro.evalharness.config import current_profile
 from repro.evalharness.format import format_ms, format_table
 from repro.workloads import TABLE2_WORKLOADS
@@ -47,8 +47,13 @@ class Table2Result:
         ]
         rows: list[list[object]] = []
         for alg_name, series in self.seconds.items():
-            algorithm = ALGORITHMS[alg_name]
-            label = algorithm.label + ("" if algorithm.correct else "*")
+            backend = get_backend(alg_name)
+            # Only Table 1 rows carry a correctness column; plugin or
+            # ablation backends (which need not carry `.algorithm` at
+            # all) are shown without the asterisk.
+            algorithm = getattr(backend, "algorithm", None)
+            incorrect = algorithm is not None and not algorithm.correct
+            label = backend.label + ("*" if incorrect else "")
             rows.append([label] + [f"{format_ms(t)} ms" for t in series])
             if show_paper and alg_name in PAPER_TABLE2_MS:
                 paper = PAPER_TABLE2_MS[alg_name]
@@ -89,9 +94,13 @@ def run_table2(
 
     seconds: dict[str, list[float]] = {}
     for alg_name in algorithms:
-        algorithm = ALGORITHMS[alg_name]
+        # The unified registry resolves Table 1 rows, ablations and any
+        # entry-point plugin backend alike.
+        backend = get_backend(alg_name)
         seconds[alg_name] = [
-            time_call(lambda e=expr: algorithm(e), repeats=repeats).best
+            time_call(
+                lambda e=expr: backend.hash_all(e), repeats=repeats
+            ).best
             for expr in exprs
         ]
     return Table2Result(workloads, seconds)
@@ -105,8 +114,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--no-paper", action="store_true", help="hide the paper's numbers"
     )
+    parser.add_argument(
+        "--backend",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="time an extra unified-registry backend alongside the Table 1 "
+        "rows (repeatable; entry-point plugins welcome)",
+    )
     args = parser.parse_args(argv)
-    print(run_table2(scale=args.scale).format(show_paper=not args.no_paper))
+    algorithms = tuple(TABLE1_ORDER) + tuple(
+        name for name in args.backend if name not in TABLE1_ORDER
+    )
+    print(
+        run_table2(algorithms=algorithms, scale=args.scale).format(
+            show_paper=not args.no_paper
+        )
+    )
     return 0
 
 

@@ -25,7 +25,19 @@ from typing import Any
 
 from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
 
-__all__ = ["to_sexpr", "from_sexpr", "dumps", "loads", "SexprError"]
+__all__ = [
+    "to_sexpr",
+    "from_sexpr",
+    "to_wire",
+    "from_wire",
+    "dumps",
+    "loads",
+    "SexprError",
+    "WIRE_FORMAT",
+]
+
+#: Format tag of the flat postorder wire encoding (`dumps`/`to_wire`).
+WIRE_FORMAT = "repro-expr-v1"
 
 
 class SexprError(ValueError):
@@ -139,15 +151,16 @@ def from_sexpr(data: Any) -> Expr:
     return results[0]
 
 
-def dumps(expr: Expr) -> str:
-    """Serialise ``expr`` to a JSON string.
+def to_wire(expr: Expr) -> dict:
+    """Encode ``expr`` as a JSON-compatible *flat postorder* document.
 
-    Uses a *flat postorder* encoding rather than the nested form:
-    ``json`` recurses over nested lists, which would overflow on the
-    deep binder chains this library routinely handles.  Each entry is
-    one node in postorder -- ``["v", name]``, ``["c", tag, value]``,
-    ``["l", binder]``, ``["a"]``, ``["t", binder]`` -- and the decoder
-    replays them against a stack.
+    The wire form behind :func:`dumps` and the :mod:`repro.service`
+    HTTP API: ``{"format": "repro-expr-v1", "post": [...]}`` where each
+    entry is one node in postorder -- ``["v", name]``, ``["c", tag,
+    value]``, ``["l", binder]``, ``["a"]``, ``["t", binder]``.  Flat
+    rather than nested because ``json`` recurses over nested lists,
+    which would overflow on the deep binder chains this library
+    routinely handles; the decoder replays entries against a stack.
     """
     post: list[list] = []
     stack: list[tuple[Expr, bool]] = [(expr, False)]
@@ -170,15 +183,18 @@ def dumps(expr: Expr) -> str:
         else:
             assert isinstance(node, Let)
             post.append(["t", node.binder])
-    payload = {"format": "repro-expr-v1", "post": post}
-    return json.dumps(payload, separators=(",", ":"))
+    return {"format": WIRE_FORMAT, "post": post}
 
 
-def loads(text: str) -> Expr:
-    """Deserialise an expression from :func:`dumps` output."""
-    payload = json.loads(text)
-    if not isinstance(payload, dict) or payload.get("format") != "repro-expr-v1":
-        raise SexprError("not a repro-expr-v1 document")
+def dumps(expr: Expr) -> str:
+    """Serialise ``expr`` to a JSON string (see :func:`to_wire`)."""
+    return json.dumps(to_wire(expr), separators=(",", ":"))
+
+
+def from_wire(payload: Any) -> Expr:
+    """Decode a :func:`to_wire` document back into an expression."""
+    if not isinstance(payload, dict) or payload.get("format") != WIRE_FORMAT:
+        raise SexprError(f"not a {WIRE_FORMAT} document")
     post = payload.get("post")
     if not isinstance(post, list) or not post:
         raise SexprError("missing postorder node list")
@@ -210,3 +226,8 @@ def loads(text: str) -> Expr:
     if len(results) != 1:
         raise SexprError("unbalanced postorder stream")
     return results[0]
+
+
+def loads(text: str) -> Expr:
+    """Deserialise an expression from :func:`dumps` output."""
+    return from_wire(json.loads(text))

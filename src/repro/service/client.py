@@ -1,0 +1,207 @@
+"""A thin stdlib client for the ``repro serve`` endpoint.
+
+Mirrors the session surface over HTTP/JSON::
+
+    client = ServiceClient("http://127.0.0.1:8655")
+    client.hash_corpus(corpus)             # bit-identical to local hashing
+    client.intern_many(corpus)             # node ids on the server store
+    client.stats()                         # the server session's stats()
+
+    data = client.fetch_snapshot()         # the warm store, snapshot bytes
+    session = client.pull_session()        # ...rebuilt locally
+
+    client.push_snapshot(local_session)    # merge local classes upstream
+
+Expressions are shipped as flat postorder wire documents
+(:func:`repro.lang.sexpr.to_wire`): iterative encoding, so deep binder
+chains survive, and the server re-hashes from the tree -- the client
+needs no combiner state at all.  Stores travel as the versioned
+snapshot format; :meth:`push_snapshot` accepts raw bytes, a store, or
+a session and merging preserves hashes bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Iterable, Optional, Union
+
+from repro.lang.expr import Expr
+from repro.lang.sexpr import to_wire
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level or server-reported failure, with its status code."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to one :class:`~repro.service.server.ReproServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        content_type: str = "application/json",
+    ) -> tuple[int, bytes, str]:
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method
+        )
+        if body is not None:
+            request.add_header("Content-Type", content_type)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return (
+                    resp.status,
+                    resp.read(),
+                    resp.headers.get("Content-Type", ""),
+                )
+        except urllib.error.HTTPError as exc:
+            detail = exc.read()
+            try:
+                message = json.loads(detail).get("error", "")
+            except (json.JSONDecodeError, AttributeError):
+                message = detail.decode("utf-8", "replace")
+            raise ServiceError(
+                f"{method} {path} -> {exc.code}: {message}", status=exc.code
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"{method} {path} failed: {exc.reason}"
+            ) from None
+
+    def _json(self, method: str, path: str, payload: Optional[dict] = None):
+        body = (
+            None
+            if payload is None
+            else json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        )
+        _status, data, _ctype = self._request(method, path, body)
+        return json.loads(data)
+
+    @staticmethod
+    def _corpus_payload(exprs: Iterable[Expr], hints: dict) -> dict:
+        payload = {"exprs": [to_wire(e) for e in exprs]}
+        payload.update({k: v for k, v in hints.items() if v is not None})
+        return payload
+
+    # -- the session surface, remotely -----------------------------------------
+
+    def health(self) -> dict:
+        return self._json("GET", "/v1/health")
+
+    def stats(self) -> dict:
+        return self._json("GET", "/v1/stats")
+
+    def hash_corpus(
+        self,
+        exprs: Iterable[Expr],
+        *,
+        backend: Optional[str] = None,
+        engine: Optional[str] = None,
+        workers: Optional[int] = None,
+        mode: Optional[str] = None,
+        with_plan: bool = False,
+    ) -> Union[list[int], tuple[list[int], dict]]:
+        """Root alpha-hashes of ``exprs``, computed by the server.
+
+        Bit-identical to hashing locally at the server's combiner
+        family; hints are planned server-side exactly like a local
+        request.  ``with_plan=True`` also returns the server's resolved
+        :class:`~repro.api.plan.ExecutionPlan` as a dict.
+        """
+        reply = self._json(
+            "POST",
+            "/v1/hash",
+            self._corpus_payload(
+                exprs,
+                {
+                    "backend": backend,
+                    "engine": engine,
+                    "workers": workers,
+                    "mode": mode,
+                },
+            ),
+        )
+        if with_plan:
+            return reply["hashes"], reply["plan"]
+        return reply["hashes"]
+
+    def intern_many(
+        self,
+        exprs: Iterable[Expr],
+        *,
+        engine: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> list[int]:
+        """Intern ``exprs`` into the server store; returns node ids."""
+        reply = self._json(
+            "POST",
+            "/v1/intern",
+            self._corpus_payload(exprs, {"engine": engine, "workers": workers}),
+        )
+        return reply["ids"]
+
+    # -- snapshots over the wire -----------------------------------------------
+
+    def fetch_snapshot(self) -> bytes:
+        """The server store as versioned snapshot bytes ("save")."""
+        _status, data, _ctype = self._request("GET", "/v1/snapshot")
+        return data
+
+    def download_snapshot(self, path: str) -> str:
+        """Write :meth:`fetch_snapshot` to ``path``; returns ``path``."""
+        with open(path, "wb") as handle:
+            handle.write(self.fetch_snapshot())
+        return path
+
+    def pull_session(self):
+        """A local warm :class:`~repro.api.Session` over the server store.
+
+        Goes through :meth:`Session.from_snapshot_bytes`, so a sharded
+        server store arrives as a sharded local store with its config
+        (shard count, saved defaults) intact -- exactly like
+        :meth:`Session.load` on a snapshot file.
+        """
+        from repro.api import Session
+
+        return Session.from_snapshot_bytes(self.fetch_snapshot())
+
+    def push_snapshot(self, source) -> dict:
+        """Upload a store and merge it into the server's ("load").
+
+        ``source`` may be snapshot bytes, anything with a
+        ``snapshot``-compatible store (a :class:`~repro.api.Session`),
+        or a store itself.  Hashes merge bit-identically; the reply
+        reports how many classes arrived and the server's new entry
+        count.
+        """
+        if isinstance(source, (bytes, bytearray)):
+            data = bytes(source)
+        else:
+            from repro.store import snapshot_to_bytes
+
+            store = getattr(source, "store", source)
+            if store is None:
+                raise ValueError("source session has no store to push")
+            data = snapshot_to_bytes(store)
+        _status, reply, _ctype = self._request(
+            "POST", "/v1/snapshot", data, "application/octet-stream"
+        )
+        return json.loads(reply)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ServiceClient({self.base_url!r})"

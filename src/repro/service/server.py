@@ -1,0 +1,448 @@
+"""The snapshot-wire HTTP server behind ``repro serve``.
+
+Stdlib only (``http.server`` + ``json``): one
+:class:`~repro.api.Session` served over five JSON/bytes endpoints,
+versioned under ``/v1``:
+
+===========================  ==================================================
+``GET  /v1/health``          liveness + combiner family + store shape
+``GET  /v1/stats``           :meth:`Session.stats` (entries, hit rates, pools)
+``POST /v1/hash``            ``{"exprs": [wire...], hints...}`` ->
+                             ``{"hashes": [...], "plan": {...}}``
+``POST /v1/intern``          same body -> ``{"ids": [...], "hashes": [...]}``
+``GET  /v1/snapshot``        the store as versioned snapshot bytes ("save")
+``POST /v1/snapshot``        upload snapshot bytes, merge into the store
+                             ("load"); returns the id remapping size
+===========================  ==================================================
+
+Expressions ride as the flat postorder documents of
+:func:`repro.lang.sexpr.to_wire`; stores ride as the existing
+checksummed snapshot format (:func:`repro.store.snapshot_to_bytes` /
+``snapshot_from_bytes``) -- a sharded server store produces the v2
+sharded layout, a flat one the v1 layout, and clients can load either.
+Hash/intern hints (``engine`` / ``workers`` / ``mode`` / ``backend``)
+are lowered into a :class:`~repro.api.request.HashRequest` server-side,
+so a remote call and a local call run the *same* plan and return
+bit-identical hashes; the resolved plan is echoed in the response for
+inspectability.
+
+Concurrency: the listener is a ``ThreadingHTTPServer`` (slow clients
+don't starve the accept loop), while store-touching work is serialised
+per server -- the session is the shared resource; the parallelism that
+matters (corpus fan-out over worker pools) happens *inside* a request
+per its plan.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.api import HashRequest, InternRequest, PlanError, Session
+from repro.lang.sexpr import SexprError, from_wire
+from repro.store import SnapshotError, snapshot_from_bytes, snapshot_to_bytes
+
+__all__ = ["ReproServer", "serve"]
+
+#: Cap on request bodies (snapshot uploads included): a stray client
+#: must not be able to balloon the server's memory.  Generous -- a
+#: million-node corpus is a few tens of MB on the wire.
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+
+def _max_request_workers() -> int:
+    """Ceiling on a client-supplied ``workers`` hint.
+
+    ``workers`` reaches ``Session._pool_for`` and forks real processes;
+    without a cap a remote client could ask for thousands.  One worker
+    per CPU is also where the speedup tops out, so clamping (rather
+    than rejecting) loses the client nothing.
+    """
+    import os
+
+    return os.cpu_count() or 1
+
+
+class _RequestError(Exception):
+    """A client error carrying its HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _decode_corpus(payload: dict) -> list:
+    exprs_wire = payload.get("exprs")
+    if not isinstance(exprs_wire, list):
+        raise _RequestError(400, "body must carry an 'exprs' list")
+    try:
+        return [from_wire(doc) for doc in exprs_wire]
+    except SexprError as exc:
+        raise _RequestError(400, f"malformed expression: {exc}") from None
+
+
+def _request_hints(payload: dict) -> dict:
+    hints = {}
+    for name in ("backend", "engine", "workers", "mode", "bits", "seed"):
+        if payload.get(name) is not None:
+            hints[name] = payload[name]
+    workers = hints.get("workers")
+    if isinstance(workers, int) and workers > 0:
+        # 0 already means "one per CPU"; clamp explicit asks to the same
+        # ceiling so clients cannot make the server fork unboundedly.
+        hints["workers"] = min(workers, _max_request_workers())
+    return hints
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------------
+
+    @property
+    def service(self) -> "ReproServer":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, fmt, *args):  # pragma: no cover - log plumbing
+        if self.service.verbose:
+            super().log_message(fmt, *args)
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        # Error replies may be sent before the request body was read
+        # (unknown route, oversized body); under HTTP/1.1 keep-alive the
+        # unread bytes would be parsed as the next request line, so
+        # close the connection instead of corrupting it.
+        if status >= 400:
+            self.close_connection = True
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, obj) -> None:
+        body = json.dumps(obj, sort_keys=True).encode("utf-8")
+        self._send(status, body, "application/json")
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise _RequestError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        return self.rfile.read(length)
+
+    def _read_json(self) -> dict:
+        try:
+            payload = json.loads(self._read_body())
+        except json.JSONDecodeError as exc:
+            raise _RequestError(400, f"malformed JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _RequestError(400, "body must be a JSON object")
+        return payload
+
+    def _dispatch(self, handler) -> None:
+        try:
+            handler()
+        except _RequestError as exc:
+            self._send_json(exc.status, {"error": str(exc)})
+        except (PlanError, ValueError, KeyError, TypeError) as exc:
+            self._send_json(400, {"error": f"{type(exc).__name__}: {exc}"})
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    # -- routes ----------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        routes = {
+            "/v1/health": self._get_health,
+            "/v1/stats": self._get_stats,
+            "/v1/snapshot": self._get_snapshot,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+            return
+        self._dispatch(handler)
+
+    def do_POST(self) -> None:
+        routes = {
+            "/v1/hash": self._post_hash,
+            "/v1/intern": self._post_intern,
+            "/v1/snapshot": self._post_snapshot,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+            return
+        self._dispatch(handler)
+
+    def _get_health(self) -> None:
+        session = self.service.session
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "backend": session.backend.name,
+                "bits": session.combiners.bits,
+                "seed": session.combiners.seed,
+                "store": session.store is not None,
+                "entries": len(session.store) if session.store else 0,
+            },
+        )
+
+    def _get_stats(self) -> None:
+        with self.service.lock:
+            stats = self.service.session.stats()
+        stats["requests_served"] = self.service.requests_served
+        self._send_json(200, stats)
+
+    def _get_snapshot(self) -> None:
+        service = self.service
+        store = service.session.store
+        if store is None:
+            raise _RequestError(409, "this server runs without a store")
+        with service.lock:
+            data = snapshot_to_bytes(
+                store, meta={"backend": service.session.backend.name}
+            )
+        service.count_request()
+        self._send(200, data, "application/octet-stream")
+
+    def _post_snapshot(self) -> None:
+        service = self.service
+        store = service.session.store
+        if store is None:
+            raise _RequestError(409, "this server runs without a store")
+        data = self._read_body()
+        try:
+            uploaded, header = snapshot_from_bytes(data)
+        except SnapshotError as exc:
+            raise _RequestError(400, f"bad snapshot: {exc}") from None
+        with service.lock:
+            mapping = store.merge_store(uploaded)
+            entries = len(store)
+        service.count_request()
+        self._send_json(
+            200,
+            {
+                "merged_classes": len(mapping),
+                "entries": entries,
+                "uploaded_format": header.get("format"),
+            },
+        )
+
+    def _post_hash(self) -> None:
+        payload = self._read_json()
+        corpus = _decode_corpus(payload)
+        request = HashRequest(corpus, **_request_hints(payload))
+        service = self.service
+        with service.lock:
+            plan = service.session.plan(request)
+            hashes = service.session.execute(request, plan=plan)
+        service.count_request()
+        self._send_json(200, {"hashes": hashes, "plan": plan.as_dict()})
+
+    def _post_intern(self) -> None:
+        payload = self._read_json()
+        corpus = _decode_corpus(payload)
+        request = InternRequest(corpus, **_request_hints(payload))
+        service = self.service
+        store = service.session.store
+        if store is None:
+            raise _RequestError(409, "this server runs without a store")
+        with service.lock:
+            plan = service.session.plan(request)
+            ids = service.session.execute(request, plan=plan)
+            # Canonical hashes come from the (memo-warm) hashing path,
+            # not an id lookup: on an entry-bounded store an early root
+            # can already be evicted again by the end of the batch, and
+            # a capacity condition must not surface as a KeyError.
+            hashes = [store.hash_expr(expr) for expr in corpus]
+        service.count_request()
+        self._send_json(
+            200, {"ids": ids, "hashes": hashes, "plan": plan.as_dict()}
+        )
+
+
+class ReproServer:
+    """One session behind a threaded HTTP endpoint.
+
+    Usable embedded (tests spin one up on an ephemeral port) or via the
+    ``repro serve`` CLI::
+
+        with ReproServer(port=0, workers=2) as server:
+            client = ServiceClient(server.url)
+            client.hash_corpus(corpus)
+
+    ``session`` may be an existing session (shared store); otherwise
+    keywords build a private one, closed with the server.
+    """
+
+    def __init__(
+        self,
+        session: Optional[Session] = None,
+        host: str = "127.0.0.1",
+        port: int = 8655,
+        verbose: bool = False,
+        **session_kwargs,
+    ):
+        if session is not None and session_kwargs:
+            raise TypeError(
+                "pass either an existing session or Session keywords, not both"
+            )
+        self.session = Session(**session_kwargs) if session is None else session
+        self._owns_session = session is None
+        self.verbose = verbose
+        #: Serialises store-touching work across handler threads.
+        self.lock = threading.Lock()
+        self.requests_served = 0
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    def count_request(self) -> None:
+        with self.lock:
+            self.requests_served += 1
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ReproServer":
+        """Serve on a daemon thread; returns immediately."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-serve",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving, release the socket (and session, if owned)."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        if self._owns_session:
+            self.session.close()
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve(argv=None) -> int:
+    """The ``repro serve`` entry point (see :mod:`repro.cli`)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve a Session over HTTP/JSON: hash/intern corpora "
+        "remotely, download the warm store as a snapshot, upload and merge "
+        "client snapshots.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8655)
+    parser.add_argument(
+        "--backend", default="ours", help="unified-registry backend name"
+    )
+    parser.add_argument("--bits", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="default pool size for corpus requests (0 = one per CPU; "
+        "default 1, or the snapshot's saved default with --load)",
+    )
+    parser.add_argument(
+        "--parallel-mode",
+        choices=("process", "fork", "spawn", "thread"),
+        default=None,
+    )
+    parser.add_argument(
+        "--engine", choices=("auto", "arena", "tree"), default=None
+    )
+    parser.add_argument(
+        "--num-shards",
+        type=int,
+        default=None,
+        help="back the server with a lock-striped sharded store",
+    )
+    parser.add_argument(
+        "--load", metavar="PATH", help="warm-start from a store snapshot"
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.load:
+        if args.bits != 64 or args.seed is not None or args.num_shards is not None:
+            parser.error(
+                "--load takes bits/seed/store shape from the snapshot; "
+                "drop --bits/--seed/--num-shards"
+            )
+        session = Session.load(args.load, backend=args.backend)
+        # Scheduling knobs are not store shape: explicit CLI values
+        # override the snapshot's saved defaults rather than being
+        # silently ignored.
+        overrides = {
+            name: value
+            for name, value in (
+                ("workers", args.workers),
+                ("parallel_mode", args.parallel_mode),
+                ("engine", args.engine),
+            )
+            if value is not None
+        }
+        if overrides:
+            session.config = replace(session.config, **overrides)
+    else:
+        session = Session(
+            backend=args.backend,
+            bits=args.bits,
+            seed=args.seed,
+            workers=1 if args.workers is None else args.workers,
+            parallel_mode=args.parallel_mode or "process",
+            engine=args.engine or "auto",
+            num_shards=args.num_shards,
+        )
+    server = ReproServer(
+        session, host=args.host, port=args.port, verbose=args.verbose
+    )
+    entries = len(session.store) if session.store is not None else 0
+    print(
+        f"repro serve: {server.url} (backend={session.backend.name}, "
+        f"bits={session.combiners.bits}, {entries} warm entries)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.close()
+        session.close()
+    return 0

@@ -15,6 +15,7 @@ from repro.store.parallel import (
 )
 from repro.store.sharded import DEFAULT_NUM_SHARDS, ShardedExprStore
 from repro.store.snapshot import (
+    SHARDED_SNAPSHOT_FORMAT,
     SNAPSHOT_FORMAT,
     SnapshotError,
     read_snapshot,
@@ -38,6 +39,7 @@ __all__ = [
     "StoreStats",
     "SnapshotError",
     "SNAPSHOT_FORMAT",
+    "SHARDED_SNAPSHOT_FORMAT",
     "read_snapshot",
     "write_snapshot",
     "snapshot_from_bytes",

@@ -77,7 +77,7 @@ import weakref
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Optional, Sequence
 
-from repro.core.arena import ExprArena, arena_hash, resolve_engine
+from repro.core.arena import ExprArena, arena_hash, plan_corpus_engine
 from repro.core.combiners import HashCombiners, default_combiners
 from repro.lang.expr import Expr
 from repro.store.store import ExprStore
@@ -331,10 +331,8 @@ def parallel_hash_corpus(
             return store.hash_corpus(corpus, engine=engine)
         return ExprStore(combiners).hash_corpus(corpus, engine=engine)
 
-    if engine == "auto":
-        engine = resolve_engine(engine, sum(expr.size for expr in corpus))
-    else:
-        engine = resolve_engine(engine, 0)  # validates the name
+    # One shared auto decision point (the planner's threshold constant).
+    engine = plan_corpus_engine(engine, corpus)
     if engine == "arena":
         return _parallel_hash_arena(
             corpus, combiners, n_workers, mode, store, chunks_per_worker, pool
@@ -642,17 +640,10 @@ def parallel_intern_corpus(
         finally:
             _FORK_EXPRS = None
 
-    merge = getattr(store, "merge_store", None)
     root_hashes: list[int] = []
     for roots, snapshot_bytes in results:
         worker_store, _header = snapshot_from_bytes(snapshot_bytes)
-        if merge is not None:
-            merge(worker_store)
-        else:
-            for entry in sorted(
-                worker_store.entries(), key=lambda e: e.size, reverse=True
-            ):
-                store.intern(entry.expr)
+        store.merge_store(worker_store)
         root_hashes.extend(roots)
 
     # Spans partition the corpus in order, so root_hashes[i] is corpus[i].

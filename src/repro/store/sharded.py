@@ -36,11 +36,14 @@ Shard merging: :meth:`merge_store` folds another store (flat or
 sharded -- e.g. one built by a parallel worker process) into this one
 by re-interning its canonical entries, returning the id remapping.
 
-Snapshots: :meth:`save` flattens into a plain :class:`ExprStore`
-snapshot (same versioned format), and :meth:`load` re-shards it, so
-snapshots interoperate with flat stores in both directions.  Node ids
-are re-assigned on the way through; hashes and classes survive exactly.
-A native sharded snapshot format is a recorded ROADMAP item.
+Snapshots: :meth:`save` writes the native v2 sharded layout (shard
+sections encoded in parallel; node ids, per-shard recency and counters
+preserved -- see :mod:`repro.store.snapshot`), and :meth:`load` reads
+either that or a flat v1 snapshot, re-sharding the classes in the
+latter case.  Flat stores can likewise ingest sharded snapshots
+through :func:`~repro.store.snapshot.snapshot_from_bytes` plus
+:meth:`ExprStore.merge_store`, so the two layouts interoperate in both
+directions.
 """
 
 from __future__ import annotations
@@ -355,39 +358,27 @@ class ShardedExprStore(ExprStore):
                         rec.node_id = None
 
     # -- merging ---------------------------------------------------------------
-
-    def merge_store(self, other: ExprStore) -> dict[int, int]:
-        """Fold every canonical class of ``other`` into this store.
-
-        Returns the id remapping ``{other_node_id: self_node_id}``.
-        ``other`` may be flat or sharded -- e.g. a store built by a
-        parallel worker over its slice of a corpus.  Interning the
-        canonical representatives (largest first, so smaller classes
-        resolve as memo/intern hits inside the larger trees) preserves
-        hashes bit-for-bit; ids are re-assigned by this store's shards.
-        ``other`` is not modified.
-        """
-        self.resolve_combiners(other.combiners)
-        mapping: dict[int, int] = {}
-        for entry in sorted(
-            other.entries(), key=lambda e: e.size, reverse=True
-        ):
-            mapping[entry.node_id] = self.intern(entry.expr)
-        return mapping
+    #
+    # merge_store is inherited from ExprStore: interning the canonical
+    # representatives largest-first routes every class through this
+    # store's lock-striped shards, which is exactly the override point
+    # the base implementation leaves to self.intern().
 
     # -- persistence -----------------------------------------------------------
 
     def save(self, path: str, meta: Optional[dict] = None) -> None:
-        """Snapshot via the flat-store format (see module docstring).
+        """Snapshot natively as the v2 sharded layout.
 
-        The snapshot is a plain :class:`ExprStore` snapshot carrying
-        ``num_shards`` in its metadata; node ids are re-assigned on
-        :meth:`load` (hashes and classes survive exactly).
+        Shard sections are encoded in parallel and **node ids are
+        preserved** across the round-trip (so are per-shard recency and
+        counters) -- unlike the PR 3 path, which flattened to the v1
+        format and re-assigned ids on load.  See
+        :mod:`repro.store.snapshot` for the layout; flat v1 snapshots
+        remain loadable via :meth:`load`.
         """
-        flat = self.to_flat_store()
-        merged_meta = dict(meta or {})
-        merged_meta.setdefault("sharded", {})["num_shards"] = self.num_shards
-        flat.save(path, merged_meta)
+        from repro.store.snapshot import write_snapshot
+
+        write_snapshot(self, path, meta)
 
     def to_flat_store(self) -> ExprStore:
         """A plain :class:`ExprStore` holding every class of this store.
@@ -446,16 +437,22 @@ class ShardedExprStore(ExprStore):
     def load(
         cls, path: str, num_shards: Optional[int] = None
     ) -> "ShardedExprStore":
-        """Rebuild from a :meth:`save` snapshot (or any flat snapshot),
-        re-sharding the classes.  ``num_shards`` overrides the saved
-        shard count.  (The saving process's workload counters stay
-        available in the snapshot header; the loaded store starts with
-        fresh accounting -- see :meth:`from_flat_store`.)"""
+        """Rebuild from a :meth:`save` snapshot (either layout).
+
+        A v2 sharded snapshot restores directly -- original node ids,
+        per-shard recency and counters intact; a flat v1 snapshot (or a
+        v2 one loaded with a different ``num_shards``) re-shards the
+        classes, re-assigning ids and starting accounting fresh (see
+        :meth:`from_flat_store`)."""
         from repro.store.snapshot import read_snapshot
 
-        flat, header = read_snapshot(path)
+        store, header = read_snapshot(path)
+        if isinstance(store, cls):
+            if num_shards is None or num_shards == store.num_shards:
+                return store
+            return cls.from_flat_store(store.to_flat_store(), num_shards)
         meta = header.get("meta") or {}
         saved = (meta.get("sharded") or {}).get("num_shards")
         return cls.from_flat_store(
-            flat, num_shards or saved or DEFAULT_NUM_SHARDS
+            store, num_shards or saved or DEFAULT_NUM_SHARDS
         )

@@ -29,12 +29,38 @@ strictly smaller than their parent's and ascending-id order is a valid
 rebuild order; the *file* order is LRU order so recency survives the
 round-trip.  The header checksum is over the exact body bytes --
 truncation or tampering fails loudly as :class:`SnapshotError`.
+
+Sharded layout (v2)
+-------------------
+
+A :class:`~repro.store.sharded.ShardedExprStore` snapshots natively as
+``repro-store-snapshot-v2-sharded``: the same header-line + JSON-lines
+body, but the body is the concatenation of one *section per shard*
+(entry schema unchanged, each section in its shard's LRU order) and the
+header carries ``num_shards`` plus per-shard metadata::
+
+    {"format": "repro-store-snapshot-v2-sharded", ..., "num_shards": K,
+     "shards": [{"entries": N, "next_local": L, "bytes": B,
+                 "stats": {..}}, ...], "checksum": "sha256:..."}
+
+Unlike the v1 flatten-and-re-shard path, the v2 layout **preserves
+node ids** (shard-encoded: ``id % num_shards`` is the owning shard),
+per-shard LRU recency and per-shard counters, and the sections are
+encoded/decoded as one independent task per shard on a thread pool
+(JSON work holds the GIL on classic builds, where this is mostly
+structural; free-threaded builds get real overlap).  Sharded ids are not
+ascending parent-over-child, so the rebuild orders records by subtree
+*size* -- every child is strictly smaller than its parent, making
+ascending size a valid bottom-up order.  Flat v1 snapshots remain
+readable (and loadable into sharded stores, re-sharding classes as
+before); :func:`snapshot_from_bytes` dispatches on the format tag.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import fields
 from typing import TYPE_CHECKING, Any, Optional
 
@@ -42,6 +68,7 @@ from repro.core.combiners import HashCombiners
 from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.sharded import ShardedExprStore
     from repro.store.store import ExprStore
 
 __all__ = [
@@ -51,9 +78,11 @@ __all__ = [
     "snapshot_to_bytes",
     "snapshot_from_bytes",
     "SNAPSHOT_FORMAT",
+    "SHARDED_SNAPSHOT_FORMAT",
 ]
 
 SNAPSHOT_FORMAT = "repro-store-snapshot-v1"
+SHARDED_SNAPSHOT_FORMAT = "repro-store-snapshot-v2-sharded"
 
 _LIT_TAGS = {"int": int, "float": float, "bool": bool, "str": str}
 
@@ -96,65 +125,111 @@ def _decode_lit(payload: Any) -> Lit:
     return Lit(value)
 
 
+def _node_payload(node: Expr) -> Any:
+    """The ``p`` field of one entry record."""
+    if isinstance(node, Var):
+        return node.name
+    if isinstance(node, Lit):
+        return _lit_payload(node.value)
+    if isinstance(node, (Lam, Let)):
+        return node.binder
+    return None
+
+
+def _entry_record(entry, rec) -> dict:
+    """One entry + its memoised summary as a plain JSON-ready dict."""
+    return {
+        "i": entry.node_id,
+        "h": entry.hash,
+        "k": entry.kind,
+        "z": entry.size,
+        "c": list(entry.children),
+        "p": _node_payload(entry.expr),
+        "s": rec.s_hash,
+        "v": rec.vm_hash,
+        "m": rec.vm_entries,
+    }
+
+
+def _encode_records(records: list[dict]) -> bytes:
+    """JSON-lines encode one run of entry records."""
+    return (
+        "".join(
+            json.dumps(rec, separators=(",", ":"), sort_keys=True) + "\n"
+            for rec in records
+        )
+    ).encode("utf-8")
+
+
+class _MemoBackfill:
+    """Backfill memo records for every entry, observably side-effect free.
+
+    A flush or prune may have dropped some canonical trees' summary
+    records; persisting needs them all.  On enter the user-visible
+    counters and the memo key set are captured and every entry's tree is
+    (re)summarised; on exit the counters are restored and only the
+    records the backfill created are dropped -- records that were
+    legitimately warm before the save stay warm.
+    """
+
+    def __init__(self, store: "ExprStore", entries: list):
+        self.store = store
+        self.entries = entries
+
+    def __enter__(self) -> "_MemoBackfill":
+        store = self.store
+        self.counters = {
+            f.name: getattr(store.stats, f.name) for f in fields(store.stats)
+        }
+        self.memo_keys_before = set(store._memo)
+        for entry in sorted(self.entries, key=lambda e: e.node_id):
+            store._hash_tree(entry.expr)
+        for name, value in self.counters.items():
+            setattr(store.stats, name, value)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        store = self.store
+        for key in list(store._memo):
+            if key not in self.memo_keys_before:
+                del store._memo[key]
+
+
 def snapshot_to_bytes(store: "ExprStore", meta: Optional[dict] = None) -> bytes:
     """Serialise ``store`` to the snapshot wire format, in memory.
 
     Exactly the bytes :func:`write_snapshot` would put on disk (header
     line + body).  Used by the parallel intern engine to ship worker
-    stores back to the parent process without touching the filesystem --
-    the JSON-lines encoding is iteration-only, so arbitrarily deep
-    expressions serialise without recursion (unlike pickling the trees).
+    stores back to the parent process (and by the :mod:`repro.service`
+    endpoints to ship stores between machines) without touching the
+    filesystem -- the JSON-lines encoding is iteration-only, so
+    arbitrarily deep expressions serialise without recursion (unlike
+    pickling the trees).
 
-    ``meta`` is an arbitrary JSON-compatible dict stored in the header
-    (the Session facade records its backend name there).  The store is
-    left observably unchanged: the memo backfill needed to summarise
-    entries whose records were flushed alters neither ``store.stats``
-    nor the set of memoised objects.
+    Dispatches on the store's shape: a
+    :class:`~repro.store.sharded.ShardedExprStore` produces the native
+    v2 sharded layout (ids preserved, sections encoded in parallel), a
+    flat store the v1 layout.  ``meta`` is an arbitrary JSON-compatible
+    dict stored in the header (the Session facade records its backend
+    name there).  The store is left observably unchanged.
     """
-    # Snapshot the user-visible counters and memo keys, then make sure
-    # every canonical tree has a memo record to persist (a flush or
-    # prune may have dropped some); the backfill is bookkeeping, not
-    # workload, so both are restored afterwards.
-    counters = {
-        f.name: getattr(store.stats, f.name) for f in fields(store.stats)
-    }
-    memo_keys_before = set(store._memo)
-    entries_by_id = {entry.node_id: entry for entry in store.entries()}
-    for node_id in sorted(entries_by_id):
-        store._hash_tree(entries_by_id[node_id].expr)
-    for name, value in counters.items():
-        setattr(store.stats, name, value)
+    from repro.store.sharded import ShardedExprStore
 
-    body_lines: list[str] = []
-    for entry in store.entries():  # LRU order, oldest first
-        rec = store._memo[id(entry.expr)]
-        node = entry.expr
-        if isinstance(node, Var):
-            payload: Any = node.name
-        elif isinstance(node, Lit):
-            payload = _lit_payload(node.value)
-        elif isinstance(node, (Lam, Let)):
-            payload = node.binder
-        else:
-            payload = None
-        body_lines.append(
-            json.dumps(
-                {
-                    "i": entry.node_id,
-                    "h": entry.hash,
-                    "k": entry.kind,
-                    "z": entry.size,
-                    "c": list(entry.children),
-                    "p": payload,
-                    "s": rec.s_hash,
-                    "v": rec.vm_hash,
-                    "m": rec.vm_entries,
-                },
-                separators=(",", ":"),
-                sort_keys=True,
-            )
-        )
-    body = ("".join(line + "\n" for line in body_lines)).encode("utf-8")
+    if isinstance(store, ShardedExprStore):
+        return _sharded_snapshot_to_bytes(store, meta)
+    return _flat_snapshot_to_bytes(store, meta)
+
+
+def _flat_snapshot_to_bytes(
+    store: "ExprStore", meta: Optional[dict] = None
+) -> bytes:
+    entries = list(store.entries())  # LRU order, oldest first
+    with _MemoBackfill(store, entries) as backfill:
+        records = [
+            _entry_record(entry, store._memo[id(entry.expr)])
+            for entry in entries
+        ]
+    body = _encode_records(records)
 
     header = {
         "format": SNAPSHOT_FORMAT,
@@ -163,20 +238,79 @@ def snapshot_to_bytes(store: "ExprStore", meta: Optional[dict] = None) -> bytes:
         "max_entries": store.max_entries,
         "memo_limit": store.memo_limit,
         "next_id": store._next_id,
-        "entries": len(body_lines),
-        "stats": counters,
+        "entries": len(records),
+        "stats": backfill.counters,
         "meta": meta or {},
         "checksum": _checksum(body),
     }
     header_bytes = json.dumps(
         header, separators=(",", ":"), sort_keys=True
     ).encode("utf-8")
-    # Drop only the records the backfill created; a wholesale
-    # _maybe_flush_memo here could wipe records that were legitimately
-    # warm (and under the limit) before save() was called.
-    for key in list(store._memo):
-        if key not in memo_keys_before:
-            del store._memo[key]
+    return header_bytes + b"\n" + body
+
+
+def _sharded_snapshot_to_bytes(
+    store: "ShardedExprStore", meta: Optional[dict] = None
+) -> bytes:
+    """The native v2 sharded layout (see module docstring).
+
+    Record extraction runs under the store's locks; section encoding --
+    the bulk of the work -- runs as one independent task per shard on a
+    thread pool (see the module docstring's GIL caveat).
+    """
+    import os
+
+    with store._memo_lock:
+        shard_entries: list[list] = []
+        for shard in store._shards:
+            with shard.lock:
+                shard_entries.append(list(shard.entries.values()))
+        all_entries = [e for entries in shard_entries for e in entries]
+        with _MemoBackfill(store, all_entries) as backfill:
+            shard_records = [
+                [
+                    _entry_record(entry, store._memo[id(entry.expr)])
+                    for entry in entries
+                ]
+                for entries in shard_entries
+            ]
+        shard_meta = [
+            {
+                "entries": len(records),
+                "next_local": shard.next_local,
+                "stats": {
+                    f.name: getattr(shard.stats, f.name)
+                    for f in fields(shard.stats)
+                },
+            }
+            for shard, records in zip(store._shards, shard_records)
+        ]
+
+    # Encoding works on plain dicts -- no store state -- so it can fan
+    # out without holding any lock.
+    n_tasks = max(1, min(store.num_shards, os.cpu_count() or 1))
+    with ThreadPoolExecutor(max_workers=n_tasks) as pool:
+        sections = list(pool.map(_encode_records, shard_records))
+    for meta_entry, section in zip(shard_meta, sections):
+        meta_entry["bytes"] = len(section)
+    body = b"".join(sections)
+
+    header = {
+        "format": SHARDED_SNAPSHOT_FORMAT,
+        "bits": store.combiners.bits,
+        "seed": store.combiners.seed,
+        "max_entries": store.max_entries,
+        "memo_limit": store.memo_limit,
+        "num_shards": store.num_shards,
+        "entries": sum(m["entries"] for m in shard_meta),
+        "shards": shard_meta,
+        "stats": backfill.counters,
+        "meta": meta or {},
+        "checksum": _checksum(body),
+    }
+    header_bytes = json.dumps(
+        header, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
     return header_bytes + b"\n" + body
 
 
@@ -196,15 +330,17 @@ def snapshot_from_bytes(data: bytes) -> tuple["ExprStore", dict]:
     """Rebuild a store from :func:`snapshot_to_bytes` output; return
     ``(store, header)``.
 
-    The restored store matches the saved one bit-identically: intern
-    table, LRU recency, memo records of every canonical tree, and the
-    saved stats counters all survive.  Hashing a restored canonical
-    representative is a pure memo hit; a re-parsed copy of a saved
-    expression is summarised once (the memo is per-object) and then
-    resolves to its existing class.
+    Dispatches on the header's format tag: a v1 document rebuilds a
+    flat :class:`~repro.store.store.ExprStore`, a v2 sharded document a
+    :class:`~repro.store.sharded.ShardedExprStore` with its original
+    node ids, per-shard recency and counters.  Either way the restored
+    store matches the saved one bit-identically: intern table, LRU
+    recency, memo records of every canonical tree, and the saved stats
+    counters all survive.  Hashing a restored canonical representative
+    is a pure memo hit; a re-parsed copy of a saved expression is
+    summarised once (the memo is per-object) and then resolves to its
+    existing class.
     """
-    from repro.store.store import ExprStore, StoreEntry, _MemoRecord
-
     newline = data.find(b"\n")
     if newline < 0:
         header_line, body = data, b""
@@ -214,12 +350,65 @@ def snapshot_from_bytes(data: bytes) -> tuple["ExprStore", dict]:
         header = json.loads(header_line)
     except json.JSONDecodeError as exc:
         raise SnapshotError(f"unreadable snapshot header: {exc}") from None
-    if not isinstance(header, dict) or header.get("format") != SNAPSHOT_FORMAT:
+    fmt = header.get("format") if isinstance(header, dict) else None
+    if fmt not in (SNAPSHOT_FORMAT, SHARDED_SNAPSHOT_FORMAT):
         raise SnapshotError(
-            f"not a {SNAPSHOT_FORMAT} file: {header_line[:80]!r}"
+            f"not a {SNAPSHOT_FORMAT} / {SHARDED_SNAPSHOT_FORMAT} file: "
+            f"{header_line[:80]!r}"
         )
     if header.get("checksum") != _checksum(body):
         raise SnapshotError("snapshot body does not match header checksum")
+    if fmt == SHARDED_SNAPSHOT_FORMAT:
+        return _sharded_snapshot_from_bytes(header, body)
+    return _flat_snapshot_from_bytes(header, body)
+
+
+def _parse_records(body: bytes, expected: Any) -> list[dict]:
+    records = []
+    for line in body.splitlines():
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(f"unreadable snapshot entry: {exc}") from None
+    if len(records) != expected:
+        raise SnapshotError(
+            f"snapshot holds {len(records)} entries, header says {expected}"
+        )
+    return records
+
+
+def _build_exprs(records: list[dict]) -> dict[int, Expr]:
+    """Rebuild every record's canonical tree, bottom-up.
+
+    Ascending *size* order (ties broken by id for determinism) is valid
+    for both layouts: every child is strictly smaller than its parent.
+    For v1's ascending ids this coincides with the historical order.
+    """
+    exprs: dict[int, Expr] = {}
+    for rec in sorted(records, key=lambda r: (r["z"], r["i"])):
+        kind, payload = rec["k"], rec["p"]
+        kids = [exprs[c] for c in rec["c"]]
+        if kind == "Var":
+            node: Expr = Var(payload)
+        elif kind == "Lit":
+            node = _decode_lit(payload)
+        elif kind == "Lam":
+            node = Lam(payload, kids[0])
+        elif kind == "App":
+            node = App(kids[0], kids[1])
+        elif kind == "Let":
+            node = Let(payload, kids[0], kids[1])
+        else:
+            raise SnapshotError(f"unknown entry kind {kind!r}")
+        exprs[rec["i"]] = node
+    return exprs
+
+
+def _flat_snapshot_from_bytes(
+    header: dict, body: bytes
+) -> tuple["ExprStore", dict]:
+    from repro.store.store import ExprStore, StoreEntry, _MemoRecord
+
     missing_fields = [
         key
         for key in ("bits", "seed", "next_id", "entries")
@@ -230,17 +419,7 @@ def snapshot_from_bytes(data: bytes) -> tuple["ExprStore", dict]:
             f"snapshot header is missing required field(s): {missing_fields}"
         )
 
-    records = []
-    for line in body.splitlines():
-        try:
-            records.append(json.loads(line))
-        except json.JSONDecodeError as exc:
-            raise SnapshotError(f"unreadable snapshot entry: {exc}") from None
-    if len(records) != header.get("entries"):
-        raise SnapshotError(
-            f"snapshot holds {len(records)} entries, header says "
-            f"{header.get('entries')}"
-        )
+    records = _parse_records(body, header.get("entries"))
 
     store = ExprStore(
         HashCombiners(bits=header["bits"], seed=header["seed"]),
@@ -248,29 +427,11 @@ def snapshot_from_bytes(data: bytes) -> tuple["ExprStore", dict]:
         memo_limit=header.get("memo_limit"),
     )
 
-    # Children always have smaller ids than their parents, so ascending
-    # id order rebuilds the canonical trees bottom-up.  Schema breaches
-    # that slip past the checksum (buggy writer, hand-edited file with a
-    # recomputed checksum) must still fail as SnapshotError, not leak a
-    # bare KeyError/TypeError from the rebuild.
-    exprs: dict[int, Expr] = {}
+    # Schema breaches that slip past the checksum (buggy writer,
+    # hand-edited file with a recomputed checksum) must still fail as
+    # SnapshotError, not leak a bare KeyError/TypeError from the rebuild.
     try:
-        for rec in sorted(records, key=lambda r: r["i"]):
-            kind, payload = rec["k"], rec["p"]
-            kids = [exprs[c] for c in rec["c"]]
-            if kind == "Var":
-                node: Expr = Var(payload)
-            elif kind == "Lit":
-                node = _decode_lit(payload)
-            elif kind == "Lam":
-                node = Lam(payload, kids[0])
-            elif kind == "App":
-                node = App(kids[0], kids[1])
-            elif kind == "Let":
-                node = Let(payload, kids[0], kids[1])
-            else:
-                raise SnapshotError(f"unknown entry kind {kind!r}")
-            exprs[rec["i"]] = node
+        exprs = _build_exprs(records)
 
         # File order is LRU order: inserting in it restores recency.
         for rec in records:
@@ -306,10 +467,128 @@ def snapshot_from_bytes(data: bytes) -> tuple["ExprStore", dict]:
         ) from exc
 
     store._next_id = header["next_id"]
-    saved_stats = header.get("stats", {})
-    for f in fields(store.stats):
-        if f.name in saved_stats:
-            setattr(store.stats, f.name, saved_stats[f.name])
+    _restore_stats(store.stats, header.get("stats", {}))
+    return store, header
+
+
+def _restore_stats(stats, saved: dict) -> None:
+    for f in fields(stats):
+        if f.name in saved:
+            setattr(stats, f.name, saved[f.name])
+
+
+def _sharded_snapshot_from_bytes(
+    header: dict, body: bytes
+) -> tuple["ShardedExprStore", dict]:
+    """Decode the v2 sharded layout; node ids and recency survive."""
+    import os
+
+    from repro.store.sharded import ShardedExprStore
+    from repro.store.store import StoreEntry, _MemoRecord
+
+    missing_fields = [
+        key
+        for key in ("bits", "seed", "num_shards", "entries", "shards")
+        if key not in header
+    ]
+    if missing_fields:
+        raise SnapshotError(
+            f"snapshot header is missing required field(s): {missing_fields}"
+        )
+    shard_meta = header["shards"]
+    num_shards = header["num_shards"]
+    if not isinstance(shard_meta, list) or len(shard_meta) != num_shards:
+        raise SnapshotError(
+            f"header lists {len(shard_meta)} shard section(s) for "
+            f"num_shards={num_shards}"
+        )
+
+    # Split the body into per-shard sections by the recorded byte runs,
+    # then parse them in parallel (mirror of the writer's fan-out).
+    sections: list[bytes] = []
+    cursor = 0
+    try:
+        for meta_entry in shard_meta:
+            run = meta_entry["bytes"]
+            sections.append(body[cursor : cursor + run])
+            cursor += run
+    except (KeyError, TypeError) as exc:
+        raise SnapshotError(f"malformed shard metadata: {exc!r}") from exc
+    if cursor != len(body):
+        raise SnapshotError(
+            f"shard sections cover {cursor} bytes, body holds {len(body)}"
+        )
+    n_tasks = max(1, min(num_shards, os.cpu_count() or 1))
+    with ThreadPoolExecutor(max_workers=n_tasks) as pool:
+        shard_records = list(
+            pool.map(
+                _parse_records,
+                sections,
+                [m.get("entries") for m in shard_meta],
+            )
+        )
+
+    store = ShardedExprStore(
+        HashCombiners(bits=header["bits"], seed=header["seed"]),
+        num_shards=num_shards,
+        max_entries=header.get("max_entries"),
+        memo_limit=header.get("memo_limit"),
+    )
+    records = [rec for section in shard_records for rec in section]
+    if len(records) != header["entries"]:
+        raise SnapshotError(
+            f"snapshot holds {len(records)} entries, header says "
+            f"{header['entries']}"
+        )
+
+    try:
+        exprs = _build_exprs(records)
+
+        for shard, meta_entry, section in zip(
+            store._shards, shard_meta, shard_records
+        ):
+            # Section order is the shard's LRU order.
+            for rec in section:
+                node_id = rec["i"]
+                if node_id % num_shards != shard.index:
+                    raise SnapshotError(
+                        f"node id {node_id} landed in shard section "
+                        f"{shard.index} (ids encode their shard)"
+                    )
+                entry = StoreEntry(
+                    node_id=node_id,
+                    hash=rec["h"],
+                    kind=rec["k"],
+                    size=rec["z"],
+                    children=tuple(rec["c"]),
+                    expr=exprs[node_id],
+                )
+                shard.entries[node_id] = entry
+                shard.by_hash[entry.hash] = node_id
+            shard.next_local = meta_entry.get(
+                "next_local", len(shard.entries)
+            )
+            _restore_stats(shard.stats, meta_entry.get("stats", {}))
+
+        for shard in store._shards:
+            for entry in shard.entries.values():
+                for kid in entry.children:
+                    store._shard_of_id(kid).entries[kid].refcount += 1
+
+        # Warm the memo exactly like the flat layout.
+        for rec in sorted(records, key=lambda r: (r["z"], r["i"])):
+            node = exprs[rec["i"]]
+            memo_rec = _MemoRecord(
+                node, rec["s"], dict(rec["m"]), rec["v"], rec["h"]
+            )
+            memo_rec.node_id = rec["i"]
+            store._memo[id(node)] = memo_rec
+    except SnapshotError:
+        raise
+    except (KeyError, IndexError, TypeError, AttributeError) as exc:
+        raise SnapshotError(f"malformed snapshot entry: {exc!r}") from exc
+
+    _restore_stats(store.stats, header.get("stats", {}))
     return store, header
 
 

@@ -41,7 +41,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
-from repro.core.arena import resolve_engine
+from repro.core.arena import plan_corpus_engine
 from repro.core.combiners import HashCombiners, default_combiners
 from repro.core.hashed import AlphaHashes
 from repro.core.kernel import MemoRecord, summarise_tree
@@ -321,16 +321,15 @@ class ExprStore:
         into a post-order array arena and runs the array kernel
         (bit-identical hashes, no per-node memo warming -- see
         :mod:`repro.store.arena_intern`); ``"auto"`` (default) takes the
-        arena above :data:`~repro.core.arena.ARENA_MIN_NODES` total
-        nodes.
+        arena above the planner's one threshold constant
+        (:data:`repro.api.plan.ARENA_NODE_THRESHOLD`, resolved through
+        :func:`repro.core.arena.plan_corpus_engine`).
         """
         corpus = exprs if isinstance(exprs, list) else list(exprs)
-        if engine != "tree" and corpus:
-            total = sum(expr.size for expr in corpus)
-            if resolve_engine(engine, total) == "arena":
-                from repro.store.arena_intern import hash_corpus_arena
+        if corpus and plan_corpus_engine(engine, corpus) == "arena":
+            from repro.store.arena_intern import hash_corpus_arena
 
-                return hash_corpus_arena(self, corpus)
+            return hash_corpus_arena(self, corpus)
         return [self.hash_expr(e) for e in corpus]
 
     def hashes(self, expr: Expr) -> AlphaHashes:
@@ -476,16 +475,14 @@ class ExprStore:
         """
         corpus = exprs if isinstance(exprs, list) else list(exprs)
         if (
-            engine != "tree"
-            and corpus
+            corpus
             and self._arena_intern_ok
             and self.max_entries is None
+            and plan_corpus_engine(engine, corpus) == "arena"
         ):
-            total = sum(expr.size for expr in corpus)
-            if resolve_engine(engine, total) == "arena":
-                from repro.store.arena_intern import intern_corpus_arena
+            from repro.store.arena_intern import intern_corpus_arena
 
-                return intern_corpus_arena(self, corpus)
+            return intern_corpus_arena(self, corpus)
         return [self.intern(e) for e in corpus]
 
     def _intern_one(
@@ -533,6 +530,27 @@ class ExprStore:
             )
             self._memo[id(canonical)].node_id = node_id
         return node_id
+
+    def merge_store(self, other: "ExprStore") -> dict[int, int]:
+        """Fold every canonical class of ``other`` into this store.
+
+        Returns the id remapping ``{other_node_id: self_node_id}``.
+        Interning the canonical representatives largest-first lets the
+        smaller classes resolve as memo/intern hits inside the larger
+        trees; hashes are preserved bit-for-bit, ids are re-assigned by
+        this store.  ``other`` is not modified.  (The sharded store
+        inherits this as-is -- ``self.intern`` is the override point
+        that routes every class through its lock-striped shards; the
+        parallel intern engine and the service's snapshot-upload
+        endpoint both merge worker/client stores through it.)
+        """
+        self.resolve_combiners(other.combiners)
+        mapping: dict[int, int] = {}
+        for entry in sorted(
+            other.entries(), key=lambda e: e.size, reverse=True
+        ):
+            mapping[entry.node_id] = self.intern(entry.expr)
+        return mapping
 
     def _get_entry(self, node_id: int) -> StoreEntry:
         """Entry lookup without LRU side effects (overridable storage hook)."""

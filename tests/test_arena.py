@@ -17,7 +17,7 @@ import random
 
 import pytest
 
-from repro.api import Session
+from repro.api import HashRequest, Session
 from repro.core.arena import (
     ARENA_MIN_NODES,
     ExprArena,
@@ -392,7 +392,7 @@ class TestStoreIntegration:
     def test_session_engine_plumbing(self, corpus):
         ref = Session(engine="tree").hash_corpus(corpus)
         assert Session(engine="arena").hash_corpus(corpus) == ref
-        assert Session().hash_corpus(corpus, engine="arena") == ref
+        assert Session().execute(HashRequest(corpus, engine="arena")) == ref
 
     def test_session_rejects_unknown_engine(self):
         with pytest.raises(ValueError):

@@ -12,7 +12,7 @@ import random
 
 import pytest
 
-from repro.api import Session
+from repro.api import HashRequest, InternRequest, Session
 from repro.core.combiners import HashCombiners
 from repro.gen.adversarial import adversarial_pair
 from repro.gen.random_exprs import random_expr
@@ -61,16 +61,17 @@ class TestDifferential:
 
     @pytest.fixture(scope="class")
     def serial_hashes(self, corpus_1k):
-        return Session().hash_corpus(corpus_1k, workers=1)
+        return Session().execute(HashRequest(corpus_1k, workers=1))
 
     def test_process_workers_bit_identical(self, corpus_1k, serial_hashes):
         assert (
-            Session().hash_corpus(corpus_1k, workers=4) == serial_hashes
+            Session().execute(HashRequest(corpus_1k, workers=4))
+            == serial_hashes
         )
 
     def test_thread_workers_bit_identical(self, corpus_1k, serial_hashes):
         assert (
-            Session().hash_corpus(corpus_1k, workers=4, mode="thread")
+            Session().execute(HashRequest(corpus_1k, workers=4, mode="thread"))
             == serial_hashes
         )
 
@@ -209,7 +210,9 @@ class TestSessionIntegration:
     def test_session_intern_many_workers_matches_serial_classes(self):
         corpus = mixed_corpus(80)
         serial_ids = Session().intern_many(corpus)
-        par_ids = Session(num_shards=4).intern_many(corpus, workers=3)
+        par_ids = Session(num_shards=4).execute(
+            InternRequest(corpus, workers=3)
+        )
         assert [par_ids.index(i) for i in par_ids] == [
             serial_ids.index(i) for i in serial_ids
         ]

@@ -244,6 +244,121 @@ class TestSnapshots:
         assert restored.stats.misses == len(restored)
 
 
+class TestNativeSnapshotV2:
+    """The ISSUE 5 satellite: the v2 sharded layout preserves node ids,
+    per-shard recency/counters, and parallel-snapshots shards."""
+
+    def build(self, num_shards=4, n_items=60):
+        corpus = mixed_corpus(n_items)
+        store = ShardedExprStore(num_shards=num_shards)
+        hashes = store.hash_corpus(corpus)
+        ids = store.intern_many(corpus)
+        return corpus, store, hashes, ids
+
+    def test_v2_format_tag_and_id_preservation(self, tmp_path):
+        from repro.store import SHARDED_SNAPSHOT_FORMAT, read_snapshot
+
+        corpus, store, hashes, ids = self.build()
+        path = str(tmp_path / "native.snap")
+        store.save(path)
+        restored, header = read_snapshot(path)
+        assert header["format"] == SHARDED_SNAPSHOT_FORMAT
+        assert isinstance(restored, ShardedExprStore)
+        # Node ids survive the round-trip (v1 re-assigned them).
+        assert restored.intern_many(corpus) == ids
+        assert restored.hash_corpus(corpus) == hashes
+        assert {e.node_id for e in restored.entries()} == {
+            e.node_id for e in store.entries()
+        }
+
+    def test_bytes_round_trip_without_files(self):
+        from repro.store import snapshot_from_bytes, snapshot_to_bytes
+
+        corpus, store, hashes, ids = self.build()
+        restored, _header = snapshot_from_bytes(snapshot_to_bytes(store))
+        assert restored.intern_many(corpus) == ids
+        assert restored.hash_corpus(corpus) == hashes
+
+    def test_per_shard_stats_and_sizes_survive(self, tmp_path):
+        corpus, store, _hashes, _ids = self.build()
+        path = str(tmp_path / "native.snap")
+        store.save(path)
+        restored = ShardedExprStore.load(path)
+        assert restored.shard_sizes() == store.shard_sizes()
+        assert [s.as_dict() for s in restored.shard_stats()] == [
+            s.as_dict() for s in store.shard_stats()
+        ]
+        assert restored.stats.as_dict() == store.stats.as_dict()
+
+    def test_restored_canonicals_hash_as_memo_hits(self, tmp_path):
+        corpus, store, _hashes, _ids = self.build()
+        path = str(tmp_path / "native.snap")
+        store.save(path)
+        restored = ShardedExprStore.load(path)
+        hits_before = restored.stats.memo_hits
+        for entry in restored.entries():
+            restored.hash_expr(entry.expr)
+        assert restored.stats.hashed_nodes == store.stats.hashed_nodes
+        assert restored.stats.memo_hits > hits_before
+
+    def test_save_does_not_disturb_the_store(self):
+        from repro.store import snapshot_to_bytes
+
+        corpus, store, _hashes, _ids = self.build()
+        stats_before = store.stats.as_dict()
+        memo_before = len(store._memo)
+        snapshot_to_bytes(store)
+        assert store.stats.as_dict() == stats_before
+        assert len(store._memo) == memo_before
+
+    def test_tampered_v2_body_fails_loudly(self, tmp_path):
+        from repro.store import SnapshotError, snapshot_from_bytes, snapshot_to_bytes
+
+        _corpus, store, _hashes, _ids = self.build()
+        data = bytearray(snapshot_to_bytes(store))
+        data[-2] ^= 0xFF
+        with pytest.raises(SnapshotError, match="checksum"):
+            snapshot_from_bytes(bytes(data))
+
+    def test_truncated_section_fails_loudly(self):
+        from repro.store import SnapshotError, snapshot_from_bytes, snapshot_to_bytes
+
+        _corpus, store, _hashes, _ids = self.build()
+        data = snapshot_to_bytes(store)
+        header, _newline, body = data.partition(b"\n")
+        # Recompute the checksum over a truncated body so only the
+        # shard-section accounting can catch the damage.
+        import hashlib
+        import json
+
+        truncated = body[: len(body) // 2]
+        doc = json.loads(header)
+        doc["checksum"] = (
+            "sha256:" + hashlib.sha256(truncated).hexdigest()
+        )
+        forged = (
+            json.dumps(doc, separators=(",", ":"), sort_keys=True).encode()
+            + b"\n"
+            + truncated
+        )
+        with pytest.raises(SnapshotError):
+            snapshot_from_bytes(forged)
+
+    def test_deep_entries_snapshot_iteratively(self, tmp_path):
+        # Depth-2000 canonical chains: the encoder must stay iterative.
+        from repro.lang.expr import App, Var
+
+        deep = Var("x")
+        for _ in range(2000):
+            deep = App(Var("f"), deep)
+        store = ShardedExprStore(num_shards=2)
+        node_id = store.intern(deep)
+        path = str(tmp_path / "deep.snap")
+        store.save(path)
+        restored = ShardedExprStore.load(path)
+        assert restored.intern(deep) == node_id
+
+
 class TestConcurrentIntern:
     def test_threaded_writers_build_one_consistent_table(self):
         """N threads interning overlapping slices concurrently must end
