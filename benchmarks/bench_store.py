@@ -43,6 +43,7 @@ import tempfile
 from typing import Optional
 
 from repro.api import Session
+from repro.core.cpus import available_cpus
 from repro.core.hashed import alpha_hash_all
 from repro.gen.random_exprs import random_expr
 from repro.lang.expr import App, Expr
@@ -54,6 +55,12 @@ DUP_FRACTION = 0.6
 #: The arena gate: the array kernel must beat the tree walk by this
 #: factor on the smoke corpus, single worker (PR-4 acceptance bar).
 ARENA_SMOKE_FLOOR = 2.0
+
+#: The vec gate: the vectorized kernel must beat the scalar kernel by
+#: this factor on the same arena (PR-6 acceptance bar).  Single-threaded
+#: by construction, so -- unlike the parallel floors -- it holds on any
+#: host shape; it is only skipped when NumPy is not importable.
+VEC_SMOKE_FLOOR = 2.0
 
 
 def make_corpus(
@@ -365,6 +372,61 @@ def arena_smoke(n_items: int, item_size: int, repeats: int) -> tuple[int, dict]:
     return 0, cell
 
 
+def vec_smoke(n_items: int, item_size: int, repeats: int) -> tuple[int, dict]:
+    """Vectorized vs scalar arena kernel: bit-identity always, >= 2x gate.
+
+    Both kernels hash the *same* flattened arena (flatten cost is
+    excluded -- the cell times the kernels alone).  Without NumPy the
+    cell reports the scalar time and skips the gate honestly.
+    """
+    from repro.core.arena import HAVE_NUMPY, arena_hash_any, flatten_corpus
+
+    corpus = make_corpus(n_items, item_size, dup_fraction=0.0, seed=99)
+    total_nodes = sum(e.size for e in corpus)
+    arena, _roots = flatten_corpus(corpus)
+    scalar_time = _best_of(
+        lambda: arena_hash_any(arena, kernel="scalar"), repeats
+    )
+    cell = {
+        "items": n_items,
+        "nodes": total_nodes,
+        "unique_arena_nodes": len(arena),
+        "numpy": HAVE_NUMPY,
+        "scalar_s": round(scalar_time, 4),
+    }
+    print(
+        f"vec corpus: {n_items} items, {total_nodes} nodes "
+        f"({len(arena)} unique arena nodes)"
+    )
+    if not HAVE_NUMPY:
+        print("SKIP: NumPy not importable -- scalar time reported, not gated")
+        return 0, cell
+    vec_time = _best_of(lambda: arena_hash_any(arena, kernel="vec"), repeats)
+    speedup = scalar_time / vec_time if vec_time else float("inf")
+    cell["vec_s"] = round(vec_time, 4)
+    cell["speedup"] = round(speedup, 3)
+    cell["required_speedup"] = VEC_SMOKE_FLOOR
+    cell["identical"] = arena_hash_any(arena, kernel="vec") == arena_hash_any(
+        arena, kernel="scalar"
+    )
+    print(
+        f"scalar {scalar_time * 1e3:8.1f} ms   "
+        f"vec {vec_time * 1e3:8.1f} ms   ({speedup:.2f}x)"
+    )
+    if not cell["identical"]:
+        print("FAIL: vectorized kernel hashes diverge from the scalar kernel")
+        return 1, cell
+    print(f"vec hashes bit-identical to the scalar kernel over {n_items} items")
+    if speedup < VEC_SMOKE_FLOOR:
+        print(
+            f"FAIL: vec speedup {speedup:.2f}x below the "
+            f"{VEC_SMOKE_FLOOR:.1f}x floor (single worker)"
+        )
+        return 1, cell
+    print(f"OK: vec speedup {speedup:.2f}x >= {VEC_SMOKE_FLOOR:.1f}x floor")
+    return 0, cell
+
+
 def parallel_smoke(
     n_items: int, item_size: int, workers: int, repeats: int
 ) -> tuple[int, dict]:
@@ -374,7 +436,7 @@ def parallel_smoke(
     object identity before fanning out, so duplicates would measure the
     dedup dictionary, not the workers.
     """
-    cpus = os.cpu_count() or 1
+    cpus = available_cpus()
     corpus = make_corpus(n_items, item_size, dup_fraction=0.0, seed=99)
     total_nodes = sum(e.size for e in corpus)
 
@@ -488,6 +550,18 @@ def main(argv=None) -> int:
         help="nodes per item for the arena cell",
     )
     parser.add_argument(
+        "--vec-items",
+        type=int,
+        default=0,
+        help="corpus items for the vec-kernel gate (0 disables the cell)",
+    )
+    parser.add_argument(
+        "--vec-item-size",
+        type=int,
+        default=60,
+        help="nodes per item for the vec cell",
+    )
+    parser.add_argument(
         "--json-out",
         metavar="PATH",
         default=None,
@@ -501,7 +575,7 @@ def main(argv=None) -> int:
         "schema": "repro-bench-trajectory-v1",
         "bench": "bench_store",
         "python": platform.python_version(),
-        "cpus": os.cpu_count() or 1,
+        "cpus": available_cpus(),
     }
     if args.workers:
         par_status, cell = parallel_smoke(
@@ -515,6 +589,12 @@ def main(argv=None) -> int:
         )
         status = status or arena_status
         record["arena"] = cell
+    if args.vec_items:
+        vec_status, cell = vec_smoke(
+            args.vec_items, args.vec_item_size, args.repeats
+        )
+        status = status or vec_status
+        record["vec"] = cell
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as handle:
             json.dump(record, handle, indent=2, sort_keys=True)

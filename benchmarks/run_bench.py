@@ -1,12 +1,12 @@
 """Unified benchmark runner: one command, one trajectory file.
 
-Runs the store and corpus cells and writes a ``BENCH_PR4.json``
+Runs the store and corpus cells and writes a ``BENCH_PR6.json``
 trajectory record -- corpus sizes, wall-clock times, cache hit rates,
 worker counts, shard balance -- so the perf history of the repo is a
 sequence of committed, machine-readable records instead of numbers in
 PR descriptions::
 
-    PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_PR4.json
+    PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_PR6.json
     PYTHONPATH=src python benchmarks/run_bench.py --quick   # CI-sized
 
 Cells:
@@ -17,6 +17,11 @@ Cells:
                   (:mod:`repro.core.arena`) on the 600k-node corpus the
                   PR-3 parallel cell measured, single worker: compile +
                   kernel wall-clock, bit-identity, dedup ratio.
+* ``vec``      -- the vectorized vs the scalar arena kernel on the same
+                  flattened arena (flatten cost excluded: this cell
+                  times the kernels alone), bit-identity checked; the
+                  smoke gate (``bench_store.py --smoke``) asserts >= 2x
+                  when NumPy is importable.
 * ``parallel`` -- ``hash_corpus`` wall-clock for each worker count on a
                   duplicate-free corpus, with bit-identity checked
                   against the serial path.  Runs asking for more
@@ -50,6 +55,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from bench_store import make_corpus  # noqa: E402  (sibling module)
 
 from repro.api import Session  # noqa: E402
+from repro.core.cpus import available_cpus  # noqa: E402
 from repro.core.hashed import alpha_hash_all  # noqa: E402
 from repro.store import ExprStore, ShardedExprStore  # noqa: E402
 
@@ -61,6 +67,13 @@ def _best_of(fn, repeats: int) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _shm_segments() -> set:
+    """POSIX shared-memory segments visible right now (empty off-Linux)."""
+    import glob
+
+    return set(glob.glob("/dev/shm/psm_*"))
 
 
 def store_cell(n_items: int, item_size: int, repeats: int) -> dict:
@@ -124,12 +137,44 @@ def arena_cell(n_items: int, item_size: int, repeats: int) -> dict:
     }
 
 
+def vec_cell(n_items: int, item_size: int, repeats: int) -> dict:
+    """Vectorized vs scalar arena kernel, same arena, flatten excluded.
+
+    The level-batched NumPy kernel and the Python scalar loop hash the
+    *same* :class:`ExprArena`, so the ratio is a pure kernel speedup --
+    single-threaded, hence meaningful on any host shape (no
+    ``cpu_bound`` caveat applies).  Without NumPy only the scalar side
+    runs and the record says so (``"numpy": false``).
+    """
+    from repro.core.arena import HAVE_NUMPY, arena_hash_any, flatten_corpus
+
+    corpus = make_corpus(n_items, item_size, dup_fraction=0.0, seed=99)
+    nodes = sum(e.size for e in corpus)
+    arena, _roots = flatten_corpus(corpus)
+    scalar_s = _best_of(lambda: arena_hash_any(arena, kernel="scalar"), repeats)
+    cell = {
+        "items": n_items,
+        "nodes": nodes,
+        "unique_arena_nodes": len(arena),
+        "numpy": HAVE_NUMPY,
+        "scalar_s": round(scalar_s, 4),
+    }
+    if HAVE_NUMPY:
+        vec_s = _best_of(lambda: arena_hash_any(arena, kernel="vec"), repeats)
+        cell["vec_s"] = round(vec_s, 4)
+        cell["vec_speedup"] = round(scalar_s / vec_s, 3) if vec_s else None
+        cell["identical"] = arena_hash_any(arena, kernel="vec") == arena_hash_any(
+            arena, kernel="scalar"
+        )
+    return cell
+
+
 def parallel_cell(
     n_items: int, item_size: int, workers_list: list[int], repeats: int
 ) -> dict:
     corpus = make_corpus(n_items, item_size, dup_fraction=0.0, seed=99)
     nodes = sum(e.size for e in corpus)
-    cpus = os.cpu_count() or 1
+    cpus = available_cpus()
     serial_hashes = Session().hash_corpus(corpus)
     runs = []
     serial_s = None
@@ -200,7 +245,7 @@ def sharded_cell(
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--out", default="BENCH_PR4.json", help="trajectory file to write"
+        "--out", default="BENCH_PR6.json", help="trajectory file to write"
     )
     parser.add_argument(
         "--quick", action="store_true", help="CI-sized corpora (seconds)"
@@ -228,14 +273,18 @@ def main(argv=None) -> int:
 
     record = {
         "schema": "repro-bench-trajectory-v1",
-        "pr": 4,
+        "pr": 6,
         "host": {
             "python": platform.python_version(),
             "platform": platform.platform(),
-            "cpus": os.cpu_count() or 1,
+            "cpus": available_cpus(),
         },
         "cells": {},
     }
+    # Shared-memory hygiene: the parallel cells below fan arenas out
+    # through /dev/shm segments; any segment still alive at the end is
+    # a leak and fails the run.
+    shm_before = _shm_segments()
 
     print(f"store cell ({store_shape[0]} items x {store_shape[1]} nodes)...")
     record["cells"]["store"] = store_cell(*store_shape, args.repeats)
@@ -244,6 +293,10 @@ def main(argv=None) -> int:
     print(f"arena cell ({arena_shape[0]} items x {arena_shape[1]} nodes)...")
     record["cells"]["arena"] = arena_cell(*arena_shape, args.repeats)
     print(f"  {json.dumps(record['cells']['arena'])}")
+
+    print(f"vec cell ({arena_shape[0]} items x {arena_shape[1]} nodes)...")
+    record["cells"]["vec"] = vec_cell(*arena_shape, args.repeats)
+    print(f"  {json.dumps(record['cells']['vec'])}")
 
     print(
         f"parallel cell ({par_shape[0]} items x {par_shape[1]} nodes, "
@@ -261,6 +314,9 @@ def main(argv=None) -> int:
     record["cells"]["sharded"] = sharded_cell(*shard_shape, 8, args.repeats)
     print(f"  {json.dumps(record['cells']['sharded'])}")
 
+    leaked = sorted(_shm_segments() - shm_before)
+    record["leaked_shm_segments"] = len(leaked)
+
     divergent = [
         run
         for run in record["cells"]["parallel"]["runs"]
@@ -276,8 +332,14 @@ def main(argv=None) -> int:
     if not record["cells"]["arena"]["identical"]:
         print("FAIL: arena kernel hashes diverged from the tree path")
         return 1
+    if not record["cells"]["vec"].get("identical", True):
+        print("FAIL: vectorized kernel hashes diverged from the scalar kernel")
+        return 1
     if not record["cells"]["sharded"]["stats_conserved"]:
         print("FAIL: sharded stats not conserved across shards")
+        return 1
+    if leaked:
+        print(f"FAIL: {len(leaked)} leaked shared-memory segment(s): {leaked}")
         return 1
     return 0
 

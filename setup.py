@@ -8,5 +8,8 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     package_data={"repro": ["py.typed"]},
+    # the core is stdlib-only; numpy unlocks the vectorized arena
+    # kernel (engine="arena-vec" / the "auto" fast path)
+    extras_require={"vec": ["numpy"]},
     entry_points={"console_scripts": ["repro-alpha-hash=repro.cli:main"]},
 )

@@ -31,6 +31,7 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable, Optional, Protocol, runtime_checkable
 
+from repro.core.arena import engine_family
 from repro.store.parallel import parallel_hash_corpus, parallel_intern_corpus
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -107,7 +108,7 @@ class PooledExecutor:
             engine=plan.engine,
             pool=(
                 session._pool_for(plan.mode, plan.workers)
-                if plan.engine == "arena"
+                if engine_family(plan.engine) == "arena"
                 else None
             ),
         )

@@ -31,7 +31,13 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, Optional
 
-from repro.core.arena import ARENA_MIN_NODES, resolve_engine
+from repro.core.arena import (
+    ARENA_MIN_NODES,
+    engine_family,
+    engine_kernel,
+    resolve_engine,
+    resolve_kernel,
+)
 from repro.store.parallel import resolve_workers
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -63,7 +69,7 @@ class ExecutionPlan:
     kind: str  #: ``"hash"`` or ``"intern"``
     backend: str  #: resolved unified-registry backend name
     store_backed: bool  #: whether the store's memo serves this backend
-    engine: str  #: ``"tree"`` or ``"arena"`` -- never ``"auto"``
+    engine: str  #: ``"tree"`` / ``"arena"`` family -- never ``"auto"``
     workers: int  #: resolved pool size (1 = serial)
     mode: str  #: pool flavour, meaningful when ``workers > 1``
     executor: str  #: ``"serial"`` or ``"pool"``
@@ -72,6 +78,7 @@ class ExecutionPlan:
     bits: int  #: combiner width the job will run at
     seed: int  #: combiner seed the job will run at
     num_shards: Optional[int] = None  #: sharded-store fan-in, if any
+    kernel: Optional[str] = None  #: ``"vec"``/``"scalar"`` (arena only)
     reasons: tuple[str, ...] = ()
 
     def as_dict(self) -> dict:
@@ -80,9 +87,10 @@ class ExecutionPlan:
 
     def explain(self) -> str:
         """A human-readable account of every planning decision."""
+        kernel = f" kernel={self.kernel}," if self.kernel else ""
         head = (
             f"{self.kind} {self.corpus_items} expression(s), "
-            f"{self.total_nodes} nodes -> engine={self.engine}, "
+            f"{self.total_nodes} nodes -> engine={self.engine},{kernel} "
             f"executor={self.executor}, workers={self.workers} "
             f"({self.mode}), backend={self.backend}"
         )
@@ -165,6 +173,25 @@ class Planner:
             engine = resolve_engine(engine_hint, total_nodes)
             reasons.append(f"engine {engine!r} forced by the request")
 
+        # The arena family additionally picks its kernel.  Forcing the
+        # vectorized kernel on a NumPy-less interpreter is a planning
+        # error (fail before anything runs); ``auto`` records which way
+        # it went and why.
+        kernel: Optional[str] = None
+        if engine_family(engine) == "arena":
+            kernel_hint = engine_kernel(engine)
+            try:
+                kernel = resolve_kernel(kernel_hint)
+            except ValueError as exc:
+                raise PlanError(str(exc)) from None
+            if kernel_hint == "auto":
+                reasons.append(
+                    f"arena kernel -> {kernel}: NumPy "
+                    + ("importable" if kernel == "vec" else "missing, scalar fallback")
+                )
+            else:
+                reasons.append(f"arena kernel {kernel!r} forced by the engine hint")
+
         # Executor selection mirrors (and replaces) the inline branch
         # the Session facade used to carry: fan out only when there is
         # a store to cooperate with and more than one item to fan.
@@ -202,5 +229,6 @@ class Planner:
             bits=combiners.bits,
             seed=combiners.seed,
             num_shards=num_shards,
+            kernel=kernel,
             reasons=tuple(reasons),
         )

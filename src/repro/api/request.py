@@ -30,13 +30,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Iterable, Optional
 
+from repro.core.arena import ENGINE_CHOICES
 from repro.lang.expr import Expr
 from repro.store.parallel import PARALLEL_MODES
 
 __all__ = ["HashRequest", "InternRequest", "ENGINES"]
 
 #: Accepted ``engine`` hints (``None`` defers to the session default).
-ENGINES = ("auto", "arena", "tree")
+#: One tuple with the kernel layer (``repro.core.arena``): the arena
+#: family splits into ``"arena"`` (kernel auto-picked), ``"arena-vec"``
+#: (force the vectorized kernel) and ``"arena-scalar"`` (force the
+#: pure-Python kernel).
+ENGINES = ENGINE_CHOICES
 
 
 def _freeze_corpus(exprs: Iterable[Expr]) -> tuple[Expr, ...]:
@@ -61,8 +66,9 @@ class HashRequest:
     backend:
         Unified-registry backend name; ``None`` means the session's.
     engine:
-        ``"auto"`` / ``"arena"`` / ``"tree"`` corpus strategy hint;
-        ``None`` defers to the session default.
+        Corpus strategy hint (:data:`ENGINES`): ``"auto"`` / ``"tree"``
+        / ``"arena"`` / ``"arena-vec"`` / ``"arena-scalar"``; ``None``
+        defers to the session default.
     workers:
         Pool size hint (``0`` = one per CPU, ``1`` = serial); ``None``
         defers to the session default.

@@ -42,6 +42,7 @@ from repro.api.backends import HasherBackend, get_backend
 from repro.api.executors import get_executor
 from repro.api.plan import ExecutionPlan, Planner
 from repro.api.request import HashRequest, InternRequest
+from repro.core.arena import ENGINE_CHOICES
 from repro.core.combiners import DEFAULT_SEED, HashCombiners
 from repro.core.hashed import AlphaHashes
 from repro.lang.expr import Expr
@@ -125,9 +126,9 @@ class Session:
                 f"parallel_mode must be one of {PARALLEL_MODES}, got "
                 f"{config.parallel_mode!r}"
             )
-        if config.engine not in ("auto", "arena", "tree"):
+        if config.engine not in ENGINE_CHOICES:
             raise ValueError(
-                f"engine must be 'auto', 'arena' or 'tree', got "
+                f"engine must be one of {', '.join(ENGINE_CHOICES)}, got "
                 f"{config.engine!r}"
             )
         self.config = config

@@ -34,6 +34,8 @@ from __future__ import annotations
 import sys
 from typing import Optional, Sequence
 
+from repro.core.arena import ENGINE_CHOICES
+
 __all__ = ["main"]
 
 _EXPERIMENTS = {
@@ -180,10 +182,11 @@ def _run_hash(rest: Sequence[str]) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=("auto", "arena", "tree"),
+        choices=ENGINE_CHOICES,
         default="auto",
-        help="corpus hashing strategy: tree walking, the arena kernel, "
-        "or size-based auto selection",
+        help="corpus hashing strategy: tree walking, the arena kernel "
+        "(arena-vec forces the vectorized kernel, arena-scalar the "
+        "pure-Python one), or size-based auto selection",
     )
     args = parser.parse_args(rest)
 
@@ -269,7 +272,7 @@ def _run_session(rest: Sequence[str]) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=("auto", "arena", "tree"),
+        choices=ENGINE_CHOICES,
         default="auto",
         help="corpus hashing strategy (see README: Arena kernel)",
     )

@@ -35,6 +35,7 @@ themselves were pickled (see :mod:`repro.store.parallel`).
 
 from __future__ import annotations
 
+import threading
 from array import array
 from typing import Iterable, Optional, Sequence
 
@@ -51,11 +52,28 @@ from repro.core.position_tree import pt_here_hash
 from repro.core.structure import slit_hash, svar_hash
 from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
 
+try:  # NumPy is an optional extra (``repro[vec]``): the vectorized
+    import numpy as _np  # kernel needs it, everything else falls back.
+except ImportError:  # pragma: no cover - exercised via the no-numpy CI leg
+    _np = None
+
+#: True when the vectorized kernel is available in this interpreter.
+HAVE_NUMPY = _np is not None
+
 __all__ = [
     "ExprArena",
+    "ArenaMemo",
     "arena_hash",
+    "arena_hash_vec",
+    "arena_hash_any",
     "flatten_corpus",
     "ARENA_MIN_NODES",
+    "ARENA_ENGINES",
+    "ENGINE_CHOICES",
+    "HAVE_NUMPY",
+    "engine_family",
+    "engine_kernel",
+    "resolve_kernel",
     "resolve_engine",
     "plan_corpus_engine",
     "OP_VAR",
@@ -66,6 +84,64 @@ __all__ = [
 ]
 
 OP_VAR, OP_LIT, OP_LAM, OP_APP, OP_LET = 0, 1, 2, 3, 4
+
+#: Engine names that select the arena family.  ``"arena"`` lets the
+#: kernel auto-pick (vectorized when NumPy is importable, scalar
+#: otherwise); the suffixed forms force one kernel -- ``arena-vec``
+#: errors without NumPy, ``arena-scalar`` exists mostly so benchmarks
+#: and the differential wall can pin the fallback.
+ARENA_ENGINES = ("arena", "arena-vec", "arena-scalar")
+
+#: Every value accepted where an ``engine`` is requested (CLI, requests,
+#: session config).  One tuple so the choice lists cannot drift.
+ENGINE_CHOICES = ("auto", "tree") + ARENA_ENGINES
+
+
+def engine_family(engine: str) -> str:
+    """Collapse an engine name to its family: ``"arena"`` or ``"tree"``.
+
+    Call sites that only care *which pipeline* runs (store gates, the
+    pooled executor) compare against the family, so ``arena-vec`` and
+    ``arena-scalar`` route exactly like ``arena``.
+    """
+    return "arena" if engine in ARENA_ENGINES else engine
+
+
+def engine_kernel(engine: str) -> str:
+    """The kernel request carried by an engine name.
+
+    ``"auto"`` for the bare families (the dispatcher then prefers the
+    vectorized kernel when NumPy is present), ``"vec"``/``"scalar"``
+    for the pinned forms.
+    """
+    if engine == "arena-vec":
+        return "vec"
+    if engine == "arena-scalar":
+        return "scalar"
+    return "auto"
+
+
+def resolve_kernel(kernel: str = "auto") -> str:
+    """Normalise a kernel request to ``"vec"`` or ``"scalar"``.
+
+    ``"auto"`` prefers the vectorized kernel whenever NumPy imported;
+    forcing ``"vec"`` without NumPy is an error rather than a silent
+    fallback (the caller asked for a specific performance envelope).
+    """
+    if kernel == "auto":
+        return "vec" if HAVE_NUMPY else "scalar"
+    if kernel == "vec":
+        if not HAVE_NUMPY:
+            raise ValueError(
+                "kernel 'vec' (engine 'arena-vec') requires NumPy; "
+                "install the repro[vec] extra or use 'arena-scalar'"
+            )
+        return "vec"
+    if kernel == "scalar":
+        return "scalar"
+    raise ValueError(
+        f"kernel must be 'auto', 'vec' or 'scalar', got {kernel!r}"
+    )
 
 #: Corpus size (total nodes) above which ``engine="auto"`` picks the
 #: arena.  Below it the per-corpus compile overhead (building the arrays
@@ -91,10 +167,10 @@ def resolve_engine(
     if engine == "auto":
         limit = ARENA_MIN_NODES if threshold is None else threshold
         return "arena" if total_nodes >= limit else "tree"
-    if engine in ("arena", "tree"):
+    if engine == "tree" or engine in ARENA_ENGINES:
         return engine
     raise ValueError(
-        f"engine must be 'auto', 'arena' or 'tree', got {engine!r}"
+        f"engine must be one of {', '.join(ENGINE_CHOICES)}, got {engine!r}"
     )
 
 
@@ -508,6 +584,7 @@ def arena_hash(
     arena: ExprArena,
     combiners: Optional[HashCombiners] = None,
     only: Optional[Sequence[int]] = None,
+    memo: Optional["ArenaMemo"] = None,
 ) -> list[Optional[int]]:
     """Alpha-hash every arena node; ``tops[i]`` is node ``i``'s hash.
 
@@ -522,10 +599,13 @@ def arena_hash(
 
     ``only`` restricts work to the downward closure of the given roots
     (other slots come back ``None``) -- this is the unit the parallel
-    engine fans out.  Bit-identical to
-    :func:`~repro.core.hashed.alpha_hash_all` at every width; the
-    single-lane fast path below inlines the splitmix64 chains, the
-    multi-lane widths go through the same recipes via
+    engine fans out.  ``memo``, an :class:`ArenaMemo`, seeds the pass
+    with summaries other chunks already computed and publishes this
+    pass's results back, so thread-mode fan-out stops re-walking shared
+    subtrees (seeded maps are never stolen -- every reference copies).
+    Bit-identical to :func:`~repro.core.hashed.alpha_hash_all` at every
+    width; the single-lane fast path below inlines the splitmix64
+    chains, the multi-lane widths go through the same recipes via
     :func:`~repro.core.kernel.combine_chain`.
     """
     if combiners is None:
@@ -535,21 +615,30 @@ def arena_hash(
     # Plain lists index faster than array('q') (no per-access int
     # materialisation); the one-shot conversion is C-speed, cheap next
     # to the kernel even when ``only`` restricts the Python-speed work.
+    # ``tolist`` also accepts the numpy / memoryview columns a
+    # shared-memory attached arena carries (see repro.core.arena_shm).
     op = bytes(arena.op)
     left, right = arena.left.tolist(), arena.right.tolist()
     aux, sizes = arena.aux.tolist(), arena.sizes.tolist()
 
     names, literals = arena.names, arena.literals
-    if only is None:
+    done = memo.snapshot_done() if memo is not None else None
+    seeded: list[int] = []
+    if only is None and done is None:
         indices: Sequence[int] = range(n)
         # Leaf tables: one hash per interned name / literal, not per node.
         name_h = [combiners.hash_name(name) for name in names]
         lit_s = [slit_hash(combiners, value) for value in literals]
     else:
-        from itertools import compress
-
-        mask = arena.closure(only)
-        indices = list(compress(range(n), mask))
+        if only is not None:
+            mask = arena.closure(only)
+        else:
+            mask = b"\x01" * n
+        if done is None:
+            indices = [i for i in range(n) if mask[i]]
+        else:
+            indices = [i for i in range(n) if mask[i] and not done[i]]
+            seeded = [i for i in range(n) if mask[i] and done[i]]
         # The leaf tables are shared arena-wide; a restricted pass (one
         # parallel chunk of many) hashes only the entries its closure
         # touches, so per-chunk setup scales with the chunk.
@@ -561,6 +650,13 @@ def arena_hash(
                 lit_used[aux[i]] = 1
             elif opc != OP_APP:
                 name_used[aux[i]] = 1
+        # Seeded free-variable maps are keyed by name id too: merges
+        # above a seeded subtree dereference those entry chains.
+        for i in seeded:
+            vm = memo.vms[i]
+            if vm:
+                for nid in vm:
+                    name_used[nid] = 1
         # None marks slots the closure never dereferences (map keys and
         # binder removals only involve names of in-closure Vars); the
         # derived entry_pre/var_entry tables skip them too.
@@ -587,6 +683,12 @@ def arena_hash(
     vms: list = [None] * n
     tops: list = [None] * n
 
+    for i in seeded:
+        shs[i] = memo.shs[i]
+        vmhs[i] = memo.vmhs[i]
+        vms[i] = memo.vms[i]
+        tops[i] = memo.tops[i]
+
     # Reference counts: how many parents will consume each node's map.
     # (Children of in-closure nodes are in the closure by construction.)
     uses = [0] * n
@@ -597,6 +699,15 @@ def arena_hash(
         child = right[i]
         if child >= 0:
             uses[child] += 1
+    if memo is not None:
+        # One phantom reference per node keeps every map alive (and, for
+        # seeded nodes, unstolen): the published dicts are shared across
+        # threads and must never be mutated, and the fresh ones survive
+        # the pass so merge() below can publish them.
+        for i in indices:
+            uses[i] += 1
+        for i in seeded:
+            uses[i] += 1
 
     if combiners._lanes == 1:
         _arena_hash_lane1(
@@ -609,6 +720,11 @@ def arena_hash(
             combiners, indices, op, left, right, aux, sizes,
             name_h, var_entry, lit_s, HERE, SVAR, NONE, TRUE, FALSE,
             shs, vmhs, vms, tops, uses,
+        )
+
+    if memo is not None:
+        memo.merge(
+            (i, tops[i], shs[i], vmhs[i], vms[i]) for i in indices
         )
     return tops
 
@@ -985,3 +1101,690 @@ def _arena_hash_generic(
 
         shs[i], vmhs[i], vms[i] = s, vh, vm
         tops[i] = top2(s, vh)
+
+
+class ArenaMemo:
+    """Cross-chunk memo for one arena batch: integer-indexed, thread-safe.
+
+    Thread-mode fan-out splits an arena's roots into chunks, but the
+    chunks' closures overlap heavily (flatten-dedup is exactly what
+    makes them overlap).  One ``ArenaMemo``, shared by every chunk of a
+    batch, lets a chunk (a) skip nodes another chunk already summarised
+    and (b) publish its own summaries at the end of its pass -- the
+    "merge at batch boundaries" discipline: no per-node locking, one
+    lock acquisition per chunk for the snapshot and one for the merge.
+
+    Published entries are immutable by contract: ``done[i]`` is set only
+    after ``i``'s summary is written, under the lock, and readers seed
+    kernels with the *same* dict objects, which the kernels then never
+    mutate (they copy on write -- see the phantom reference counts in
+    :func:`arena_hash` / the append-only pool in :func:`arena_hash_vec`).
+    """
+
+    __slots__ = ("lock", "done", "tops", "shs", "vmhs", "vms")
+
+    def __init__(self, n: int):
+        self.lock = threading.Lock()
+        self.done = bytearray(n)
+        self.tops: list = [None] * n
+        self.shs: list = [0] * n
+        self.vmhs: list = [0] * n
+        self.vms: list = [None] * n
+
+    def snapshot_done(self) -> bytes:
+        """A point-in-time copy of the done mask (safe to read lock-free)."""
+        with self.lock:
+            return bytes(self.done)
+
+    def merge(self, items) -> int:
+        """Publish ``(index, top, s_hash, vm_hash, vm_dict)`` summaries.
+
+        First writer wins per index (the summaries are deterministic, so
+        losers are simply duplicate work).  Returns how many entries
+        were newly published.
+        """
+        fresh = 0
+        with self.lock:
+            done = self.done
+            for i, top, sh, vh, vm in items:
+                if done[i]:
+                    continue
+                self.tops[i] = top
+                self.shs[i] = sh
+                self.vmhs[i] = vh
+                self.vms[i] = vm if vm is not None else {}
+                done[i] = 1
+                fresh += 1
+        return fresh
+
+
+def arena_hash_any(
+    arena: ExprArena,
+    combiners: Optional[HashCombiners] = None,
+    only: Optional[Sequence[int]] = None,
+    kernel: str = "auto",
+    memo: Optional[ArenaMemo] = None,
+) -> list[Optional[int]]:
+    """Run the arena kernel named by ``kernel`` (``auto``/``vec``/``scalar``)."""
+    if resolve_kernel(kernel) == "vec":
+        return arena_hash_vec(arena, combiners, only=only, memo=memo)
+    return arena_hash(arena, combiners, only=only, memo=memo)
+
+
+def arena_hash_vec(
+    arena: ExprArena,
+    combiners: Optional[HashCombiners] = None,
+    only: Optional[Sequence[int]] = None,
+    memo: Optional[ArenaMemo] = None,
+) -> list[Optional[int]]:
+    """Vectorized arena kernel: the same pass, level-by-level in NumPy.
+
+    ``depths`` orders the arena into levels (a node's children are
+    strictly shallower), so every splitmix64 combiner chain of one
+    level runs as a handful of ``uint64`` array operations instead of
+    per-node Python bytecode.  The free-variable maps live in one
+    append-only columnar pool -- per node a ``(start, len)`` slice of
+    ``(name_id, pos_lo, pos_hi)`` rows sorted by name id -- so binder
+    removal is a batched ``searchsorted``, the small-into-big merge of
+    Lemma 6.1 is one stable sort + last-wins dedup per level, and the
+    XOR'd map-hash deltas fold with ``bitwise_xor.reduceat``.  Maps are
+    never mutated in place, which is also what makes memo seeding safe.
+
+    Bit-identical to :func:`arena_hash` (and hence to the tree paths)
+    at every width: values are carried as ``(lo, hi)`` 64-bit lane
+    pairs, absorbed as ``lo ^ hi`` exactly like
+    :meth:`~repro.core.combiners.HashCombiners.combine`.
+
+    Trade-off: the pool is append-only, so peak memory is the total map
+    traffic (the O(n log n) merge bound) rather than the scalar
+    kernel's live-map footprint.  Same signature and result contract as
+    :func:`arena_hash`; requires NumPy.
+    """
+    if _np is None:  # pragma: no cover - vec callers gate on HAVE_NUMPY
+        raise RuntimeError(
+            "arena_hash_vec requires NumPy; install the repro[vec] extra "
+            "or call arena_hash (the scalar kernel)"
+        )
+    np = _np
+    if combiners is None:
+        combiners = default_combiners()
+    n = len(arena.op)
+    out: list = [None] * n
+    if n == 0:
+        return out
+
+    lanes = combiners._lanes
+    two = lanes == 2
+    U = np.uint64
+    M64 = _MASK64
+    G, M0, M1 = U(_GOLDEN), U(_M0), U(_M1)
+    C30, C27, C31 = U(30), U(27), U(31)
+    mask_lo = U(combiners.mask & M64)
+    mask_hi = U((combiners.mask >> 64) & M64)
+
+    def mix(h, v):
+        # One splitmix64 absorb step, broadcasting over arrays.
+        x = (h ^ v) + G
+        x = (x ^ (x >> C30)) * M0
+        x = (x ^ (x >> C27)) * M1
+        return x ^ (x >> C31)
+
+    salts = combiners._salts
+
+    def chain(salt_name, vals):
+        # vals: [(lo, hi), ...] -- hi is None for pure-64-bit values.
+        # Mirrors HashCombiners.combine: absorb lo ^ hi per lane, then
+        # truncate; for two lanes, lane 0 is the high word of the output.
+        lane_salts = salts[salt_name]
+        if not two:
+            h = U(lane_salts[0])
+            for lo, hi in vals:
+                h = mix(h, lo if hi is None else lo ^ hi)
+            return h & mask_lo, None
+        h0, h1 = U(lane_salts[0]), U(lane_salts[1])
+        for lo, hi in vals:
+            v = lo if hi is None else lo ^ hi
+            h0 = mix(h0, v)
+            h1 = mix(h1, v)
+        return h1, h0 & mask_hi
+
+    def col_i64(col):
+        if isinstance(col, np.ndarray):
+            return col
+        return np.frombuffer(col, dtype=np.int64)
+
+    opc = (
+        arena.op
+        if isinstance(arena.op, np.ndarray)
+        else np.frombuffer(arena.op, dtype=np.uint8)
+    )
+    left = col_i64(arena.left)
+    right = col_i64(arena.right)
+    aux = col_i64(arena.aux)
+    sizes = col_i64(arena.sizes)
+    depths = col_i64(arena.depths)
+    names, literals = arena.names, arena.literals
+    n_names = len(names)
+
+    # -- indices: full pass, closure-restricted, and/or memo-filtered --------
+    done = memo.snapshot_done() if memo is not None else None
+    if only is None and done is None:
+        idx = np.arange(n, dtype=np.int64)
+        restricted = False
+        seeded_idx = ()
+    else:
+        restricted = True
+        if only is not None:
+            mask = np.frombuffer(arena.closure(only), dtype=np.uint8) != 0
+        else:
+            mask = np.ones(n, dtype=bool)
+        if done is not None:
+            done_np = np.frombuffer(done, dtype=np.uint8) != 0
+            seeded_idx = np.nonzero(mask & done_np)[0].tolist()
+            idx = np.nonzero(mask & ~done_np)[0]
+        else:
+            seeded_idx = ()
+            idx = np.nonzero(mask)[0]
+
+    # -- leaf tables (Python-speed, but per unique name/literal only) --------
+    name_used = np.zeros(n_names, dtype=bool)
+    lit_used = np.zeros(len(literals), dtype=bool)
+    if restricted:
+        op_i = opc[idx]
+        aux_i = aux[idx]
+        name_used[aux_i[(op_i != OP_APP) & (op_i != OP_LIT)]] = True
+        lit_used[aux_i[op_i == OP_LIT]] = True
+        for i in seeded_idx:
+            vm = memo.vms[i]
+            if vm:
+                name_used[list(vm)] = True
+    else:
+        name_used[:] = True
+        lit_used[:] = True
+
+    nh_lo = np.zeros(n_names, dtype=U)
+    nh_hi = np.zeros(n_names, dtype=U) if two else None
+    for j in np.nonzero(name_used)[0].tolist():
+        h = combiners.hash_name(names[j])
+        nh_lo[j] = h & M64
+        if two:
+            nh_hi[j] = (h >> 64) & M64
+    ls_lo = np.zeros(len(literals), dtype=U)
+    ls_hi = np.zeros(len(literals), dtype=U) if two else None
+    for j in np.nonzero(lit_used)[0].tolist():
+        h = slit_hash(combiners, literals[j])
+        ls_lo[j] = h & M64
+        if two:
+            ls_hi[j] = (h >> 64) & M64
+
+    def split(value):
+        return U(value & M64), (U((value >> 64) & M64) if two else None)
+
+    here_lo, here_hi = split(pt_here_hash(combiners))
+    svar_lo, svar_hi = split(svar_hash(combiners))
+    none_lo, none_hi = split(combiners.NONE_HASH)
+    true_lo, true_hi = split(combiners.TRUE_HASH)
+    false_lo, false_hi = split(combiners.FALSE_HASH)
+    # var_entry[nid] = entry(name, PTHere): unused slots hold garbage
+    # (their nh is 0) and are never read.
+    ve_lo, ve_hi = chain("entry", [(nh_lo, nh_hi), (here_lo, here_hi)])
+
+    # -- per-node state columns ----------------------------------------------
+    shs_lo = np.zeros(n, dtype=U)
+    shs_hi = np.zeros(n, dtype=U) if two else None
+    vmh_lo = np.zeros(n, dtype=U)
+    vmh_hi = np.zeros(n, dtype=U) if two else None
+    map_start = np.zeros(n, dtype=np.int64)
+    map_len = np.zeros(n, dtype=np.int64)
+
+    class Pool:
+        # Append-only columnar map pool: (name id, pos lanes) rows.
+        __slots__ = ("nid", "lo", "hi", "size")
+
+        def __init__(self, cap):
+            self.nid = np.empty(cap, dtype=np.int64)
+            self.lo = np.empty(cap, dtype=U)
+            self.hi = np.empty(cap, dtype=U) if two else None
+            self.size = 0
+
+        def append(self, nid, lo, hi):
+            m = len(nid)
+            need = self.size + m
+            cap = len(self.nid)
+            if need > cap:
+                cap = max(cap * 2, need)
+                for attr in ("nid", "lo", "hi"):
+                    arr = getattr(self, attr)
+                    if arr is None:
+                        continue
+                    grown = np.empty(cap, dtype=arr.dtype)
+                    grown[: self.size] = arr[: self.size]
+                    setattr(self, attr, grown)
+            s = self.size
+            self.nid[s:need] = nid
+            self.lo[s:need] = lo
+            if two:
+                self.hi[s:need] = hi
+            self.size = need
+            return s
+
+    pool = Pool(max(1024, 2 * len(idx)))
+
+    # -- memo seeding --------------------------------------------------------
+    for i in seeded_idx:
+        out[i] = memo.tops[i]
+        sh = memo.shs[i]
+        vh = memo.vmhs[i]
+        shs_lo[i] = sh & M64
+        vmh_lo[i] = vh & M64
+        if two:
+            shs_hi[i] = (sh >> 64) & M64
+            vmh_hi[i] = (vh >> 64) & M64
+        vm = memo.vms[i]
+        if vm:
+            entries = sorted(vm.items())
+            nid = np.array([e[0] for e in entries], dtype=np.int64)
+            plo = np.array([e[1] & M64 for e in entries], dtype=U)
+            phi = (
+                np.array([(e[1] >> 64) & M64 for e in entries], dtype=U)
+                if two
+                else None
+            )
+            map_start[i] = pool.append(nid, plo, phi)
+            map_len[i] = len(entries)
+
+    # -- batched map machinery -----------------------------------------------
+    K = n_names + 1  # combined (segment, name-id) sort key stride
+
+    def gather(starts, lens):
+        """Concatenate pool slices: per-entry segment ids + columns.
+
+        Returns ``(seg, nid, lo, hi, offs)`` where ``offs[j]`` is the
+        flat offset of segment ``j`` (= cumsum of lens, exclusive).
+        """
+        total = int(lens.sum())
+        offs = np.cumsum(lens) - lens
+        seg = np.repeat(np.arange(len(lens), dtype=np.int64), lens)
+        pos = (
+            np.arange(total, dtype=np.int64) - offs[seg] + starts[seg]
+            if total
+            else np.empty(0, dtype=np.int64)
+        )
+        return (
+            seg,
+            pool.nid[pos],
+            pool.lo[pos],
+            pool.hi[pos] if two else None,
+            offs,
+        )
+
+    def remove_binder(nodes, binders):
+        """Drop ``binders`` from ``nodes``' maps (batched Lam/Let step).
+
+        Returns ``(starts, lens, vlo, vhi, found, pos_lo, pos_hi)`` --
+        the adjusted map slices and map hashes plus the removed
+        positions -- without touching ``nodes``' own published state.
+        """
+        starts = map_start[nodes]
+        lens = map_len[nodes]
+        vlo = vmh_lo[nodes]
+        vhi = vmh_hi[nodes] if two else None
+        k = len(nodes)
+        found = np.zeros(k, dtype=bool)
+        pos_lo = np.zeros(k, dtype=U)
+        pos_hi = np.zeros(k, dtype=U) if two else None
+        total = int(lens.sum())
+        if total:
+            seg, gn, glo, ghi, _offs = gather(starts, lens)
+            comb = seg * K + gn
+            q = np.arange(k, dtype=np.int64) * K + binders
+            loc = np.searchsorted(comb, q)
+            loc_c = np.minimum(loc, total - 1)
+            found = (loc < total) & (comb[loc_c] == q)
+            if found.any():
+                fidx = loc[found]
+                pos_lo[found] = glo[fidx]
+                if two:
+                    pos_hi[found] = ghi[fidx]
+                bnd_f = binders[found]
+                e_lo, e_hi = chain(
+                    "entry",
+                    [
+                        (nh_lo[bnd_f], nh_hi[bnd_f] if two else None),
+                        (
+                            pos_lo[found],
+                            pos_hi[found] if two else None,
+                        ),
+                    ],
+                )
+                vlo[found] ^= e_lo
+                if two:
+                    vhi[found] ^= e_hi
+                keep = np.ones(total, dtype=bool)
+                keep[fidx] = False
+                lens = lens - found.astype(np.int64)
+                start0 = pool.append(
+                    gn[keep], glo[keep], ghi[keep] if two else None
+                )
+                starts = start0 + (np.cumsum(lens) - lens)
+        return starts, lens, vlo, vhi, found, pos_lo, pos_hi
+
+    def merge_maps(b_start, b_len, b_vlo, b_vhi, s_start, s_len, tags):
+        """Merge small maps into big ones (Lemma 6.1, batched).
+
+        All arguments are per-node arrays; returns the merged
+        ``(starts, lens, vlo, vhi)``.  Nodes whose small map is empty
+        alias the big slice unchanged (no copy).
+        """
+        r_start = b_start.copy()
+        r_len = b_len.copy()
+        r_vlo = b_vlo.copy()
+        r_vhi = b_vhi.copy() if two else None
+        act = np.nonzero(s_len > 0)[0]
+        if not len(act):
+            return r_start, r_len, r_vlo, r_vhi
+        bl = b_len[act]
+        s_seg, sn, s_plo, s_phi, s_offs = gather(s_start[act], s_len[act])
+        b_total = int(bl.sum())
+        scomb = s_seg * K + sn
+        if b_total:
+            b_seg, bn, b_plo, b_phi, _ = gather(b_start[act], bl)
+            bcomb = b_seg * K + bn
+            loc = np.searchsorted(bcomb, scomb)
+            loc_c = np.minimum(loc, b_total - 1)
+            old_found = (loc < b_total) & (bcomb[loc_c] == scomb)
+            old_lo = np.where(old_found, b_plo[loc_c], none_lo)
+            old_hi = (
+                np.where(old_found, b_phi[loc_c], none_hi) if two else None
+            )
+        else:
+            bn = np.empty(0, dtype=np.int64)
+            b_plo = np.empty(0, dtype=U)
+            b_phi = np.empty(0, dtype=U) if two else None
+            bcomb = np.empty(0, dtype=np.int64)
+            old_found = np.zeros(len(sn), dtype=bool)
+            old_lo = np.full(len(sn), none_lo, dtype=U)
+            old_hi = np.full(len(sn), none_hi, dtype=U) if two else None
+        # new = pt_join(tag, maybe(old), small_pos)
+        t_lo = tags[act].astype(U)[s_seg]
+        new_lo, new_hi = chain(
+            "pt_join", [(t_lo, None), (old_lo, old_hi), (s_plo, s_phi)]
+        )
+        # Map-hash delta per small entry: XOR in entry(name, new), XOR
+        # out entry(name, old) where the name was already mapped.
+        e_new_lo, e_new_hi = chain(
+            "entry",
+            [(nh_lo[sn], nh_hi[sn] if two else None), (new_lo, new_hi)],
+        )
+        d_lo = e_new_lo
+        d_hi = e_new_hi
+        if old_found.any():
+            sn_f = sn[old_found]
+            e_old_lo, e_old_hi = chain(
+                "entry",
+                [
+                    (nh_lo[sn_f], nh_hi[sn_f] if two else None),
+                    (
+                        old_lo[old_found],
+                        old_hi[old_found] if two else None,
+                    ),
+                ],
+            )
+            d_lo = d_lo.copy()
+            d_lo[old_found] ^= e_old_lo
+            if two:
+                d_hi = d_hi.copy()
+                d_hi[old_found] ^= e_old_hi
+        # Every act segment is non-empty, so the reduceat offsets are
+        # strictly increasing and each slot folds exactly its segment.
+        r_vlo[act] ^= np.bitwise_xor.reduceat(d_lo, s_offs)
+        if two:
+            r_vhi[act] ^= np.bitwise_xor.reduceat(d_hi, s_offs)
+        # Merged maps: concat big + rewritten small, stable-sort by the
+        # combined key, keep the *last* of each duplicate pair (the
+        # rewritten small entry overwrites the big one's value).
+        all_keys = np.concatenate((bcomb, scomb))
+        all_nid = np.concatenate((bn, sn))
+        all_lo = np.concatenate((b_plo, new_lo))
+        all_hi = np.concatenate((b_phi, new_hi)) if two else None
+        order = np.argsort(all_keys, kind="stable")
+        sorted_keys = all_keys[order]
+        keep = np.empty(len(sorted_keys), dtype=bool)
+        keep[:-1] = sorted_keys[:-1] != sorted_keys[1:]
+        keep[-1] = True
+        sel = order[keep]
+        res_keys = sorted_keys[keep]
+        new_lens = np.bincount(res_keys // K, minlength=len(act))
+        start0 = pool.append(
+            all_nid[sel], all_lo[sel], all_hi[sel] if two else None
+        )
+        r_start[act] = start0 + (np.cumsum(new_lens) - new_lens)
+        r_len[act] = new_lens
+        return r_start, r_len, r_vlo, r_vhi
+
+    def sh_pair(nodes):
+        return shs_lo[nodes], shs_hi[nodes] if two else None
+
+    # -- the level loop ------------------------------------------------------
+    if len(idx):
+        d_vals = depths[idx]
+        order = np.argsort(d_vals, kind="stable")
+        sorted_idx = idx[order]
+        sorted_d = d_vals[order]
+        bounds = np.nonzero(
+            np.concatenate(([True], sorted_d[1:] != sorted_d[:-1]))
+        )[0]
+        level_slices = list(zip(bounds.tolist(), bounds[1:].tolist() + [len(sorted_idx)]))
+    else:
+        sorted_idx = idx
+        level_slices = []
+
+    for lo_b, hi_b in level_slices:
+        lvl = sorted_idx[lo_b:hi_b]
+        lvl_op = opc[lvl]
+
+        sub = lvl[lvl_op == OP_VAR]
+        if len(sub):
+            nid = aux[sub]
+            shs_lo[sub] = svar_lo
+            vmh_lo[sub] = ve_lo[nid]
+            if two:
+                shs_hi[sub] = svar_hi
+                vmh_hi[sub] = ve_hi[nid]
+            m = len(sub)
+            start0 = pool.append(
+                nid,
+                np.full(m, here_lo, dtype=U),
+                np.full(m, here_hi, dtype=U) if two else None,
+            )
+            map_start[sub] = start0 + np.arange(m, dtype=np.int64)
+            map_len[sub] = 1
+
+        sub = lvl[lvl_op == OP_LIT]
+        if len(sub):
+            lid = aux[sub]
+            shs_lo[sub] = ls_lo[lid]
+            if two:
+                shs_hi[sub] = ls_hi[lid]
+            # vmh stays 0, map stays empty.
+
+        sub = lvl[lvl_op == OP_LAM]
+        if len(sub):
+            body = left[sub]
+            binders = aux[sub]
+            starts, lens, vlo, vhi, found, pos_lo, pos_hi = remove_binder(
+                body, binders
+            )
+            map_start[sub] = starts
+            map_len[sub] = lens
+            vmh_lo[sub] = vlo
+            if two:
+                vmh_hi[sub] = vhi
+            maybe_lo = np.where(found, pos_lo, none_lo)
+            maybe_hi = np.where(found, pos_hi, none_hi) if two else None
+            s_lo, s_hi = chain(
+                "slam",
+                [
+                    (sizes[sub].astype(U), None),
+                    (maybe_lo, maybe_hi),
+                    sh_pair(body),
+                ],
+            )
+            shs_lo[sub] = s_lo
+            if two:
+                shs_hi[sub] = s_hi
+
+        sub = lvl[lvl_op == OP_APP]
+        if len(sub):
+            fn = left[sub]
+            arg = right[sub]
+            left_bigger = map_len[fn] >= map_len[arg]
+            big = np.where(left_bigger, fn, arg)
+            small = np.where(left_bigger, arg, fn)
+            starts, lens, vlo, vhi = merge_maps(
+                map_start[big],
+                map_len[big],
+                vmh_lo[big],
+                vmh_hi[big] if two else None,
+                map_start[small],
+                map_len[small],
+                sizes[sub],
+            )
+            map_start[sub] = starts
+            map_len[sub] = lens
+            vmh_lo[sub] = vlo
+            if two:
+                vmh_hi[sub] = vhi
+            flag_lo = np.where(left_bigger, true_lo, false_lo)
+            flag_hi = (
+                np.where(left_bigger, true_hi, false_hi) if two else None
+            )
+            s_lo, s_hi = chain(
+                "sapp",
+                [
+                    (sizes[sub].astype(U), None),
+                    (flag_lo, flag_hi),
+                    sh_pair(fn),
+                    sh_pair(arg),
+                ],
+            )
+            shs_lo[sub] = s_lo
+            if two:
+                shs_hi[sub] = s_hi
+
+        sub = lvl[lvl_op == OP_LET]
+        if len(sub):
+            bound = left[sub]
+            body = right[sub]
+            binders = aux[sub]
+            # Binder scopes over the body only: remove it there first,
+            # then size-compare against the bound map (tree order).
+            b_starts, b_lens, b_vlo, b_vhi, found, pos_lo, pos_hi = (
+                remove_binder(body, binders)
+            )
+            left_bigger = map_len[bound] >= b_lens
+            big_start = np.where(left_bigger, map_start[bound], b_starts)
+            big_len = np.where(left_bigger, map_len[bound], b_lens)
+            big_vlo = np.where(left_bigger, vmh_lo[bound], b_vlo)
+            big_vhi = (
+                np.where(left_bigger, vmh_hi[bound], b_vhi) if two else None
+            )
+            small_start = np.where(left_bigger, b_starts, map_start[bound])
+            small_len = np.where(left_bigger, b_lens, map_len[bound])
+            starts, lens, vlo, vhi = merge_maps(
+                big_start,
+                big_len,
+                big_vlo,
+                big_vhi,
+                small_start,
+                small_len,
+                sizes[sub],
+            )
+            map_start[sub] = starts
+            map_len[sub] = lens
+            vmh_lo[sub] = vlo
+            if two:
+                vmh_hi[sub] = vhi
+            maybe_lo = np.where(found, pos_lo, none_lo)
+            maybe_hi = np.where(found, pos_hi, none_hi) if two else None
+            flag_lo = np.where(left_bigger, true_lo, false_lo)
+            flag_hi = (
+                np.where(left_bigger, true_hi, false_hi) if two else None
+            )
+            s_lo, s_hi = chain(
+                "slet",
+                [
+                    (sizes[sub].astype(U), None),
+                    (maybe_lo, maybe_hi),
+                    (flag_lo, flag_hi),
+                    sh_pair(bound),
+                    sh_pair(body),
+                ],
+            )
+            shs_lo[sub] = s_lo
+            if two:
+                shs_hi[sub] = s_hi
+
+    # -- tops ----------------------------------------------------------------
+    if len(idx):
+        t_lo, t_hi = chain(
+            "top",
+            [
+                (shs_lo[idx], shs_hi[idx] if two else None),
+                (vmh_lo[idx], vmh_hi[idx] if two else None),
+            ],
+        )
+        if not two:
+            vals = t_lo.tolist()
+            if not restricted:
+                out = vals
+            else:
+                for i, v in zip(idx.tolist(), vals):
+                    out[i] = v
+        else:
+            lo_list = t_lo.tolist()
+            hi_list = t_hi.tolist()
+            if not restricted:
+                out = [(h << 64) | l for h, l in zip(hi_list, lo_list)]
+            else:
+                for i, h, l in zip(idx.tolist(), hi_list, lo_list):
+                    out[i] = (h << 64) | l
+
+    # -- memo publish --------------------------------------------------------
+    if memo is not None and len(idx):
+        idx_list = idx.tolist()
+        start_l = map_start[idx].tolist()
+        len_l = map_len[idx].tolist()
+        if not two:
+            sh_l = shs_lo[idx].tolist()
+            vh_l = vmh_lo[idx].tolist()
+        else:
+            sh_l = [
+                (h << 64) | l
+                for h, l in zip(shs_hi[idx].tolist(), shs_lo[idx].tolist())
+            ]
+            vh_l = [
+                (h << 64) | l
+                for h, l in zip(vmh_hi[idx].tolist(), vmh_lo[idx].tolist())
+            ]
+
+        def published():
+            for j, i in enumerate(idx_list):
+                s, m = start_l[j], len_l[j]
+                if m:
+                    keys = pool.nid[s : s + m].tolist()
+                    p_lo = pool.lo[s : s + m].tolist()
+                    if two:
+                        p_hi = pool.hi[s : s + m].tolist()
+                        vm = {
+                            k: (h << 64) | l
+                            for k, l, h in zip(keys, p_lo, p_hi)
+                        }
+                    else:
+                        vm = dict(zip(keys, p_lo))
+                else:
+                    vm = {}
+                yield i, out[i], sh_l[j], vh_l[j], vm
+
+        memo.merge(published())
+    return out

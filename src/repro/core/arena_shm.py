@@ -1,0 +1,221 @@
+"""Zero-copy arena fan-out over ``multiprocessing.shared_memory``.
+
+Pool-based parallel hashing used to pickle the whole :class:`ExprArena`
+into every worker task: O(arena bytes x workers) of serialisation that
+BENCH_PR3/PR4 showed eating the entire parallel win.  This module ships
+the arena's flat columns through one POSIX shared-memory segment
+instead -- the parent copies the columns in once, workers *attach* and
+wrap the same pages in zero-copy views, and the per-task payload shrinks
+to a small metadata dict plus the chunk's root indices.
+
+Lifecycle discipline (the part that keeps ``/dev/shm`` clean):
+
+* The parent creates the segment via :class:`SharedArenaHandle` and is
+  the **only** unlinker.  Fan-out call sites hold the handle in a
+  ``try/finally`` so the segment is unlinked even when a worker dies
+  mid-batch (the pool raises, the ``finally`` still runs).
+* Workers attach read-only views and never unlink.  On Python < 3.13
+  the ``resource_tracker`` would "helpfully" register every attachment
+  and unlink it again at worker exit (racing other workers and the
+  parent); :func:`attach_arena` suppresses the registration instead --
+  un-registering after the fact is not enough, because sibling workers
+  share one tracker process whose name *set* dedups their registrations,
+  so the second un-register dies with a ``KeyError`` inside the tracker.
+* Workers cache one attachment keyed by segment name
+  (:func:`attach_arena_cached`): tasks from the same batch reuse it,
+  and a new batch's first task drops the stale entry.
+
+The attached views are NumPy arrays when NumPy is importable and
+``memoryview.cast`` slices otherwise -- both satisfy what the kernels
+need (``len``, indexing, ``tolist``, the buffer protocol), so the
+zero-copy path works for the scalar fallback too.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from multiprocessing import shared_memory
+from typing import Optional
+
+from repro.core.arena import ExprArena
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the no-numpy CI leg
+    _np = None
+
+__all__ = [
+    "SharedArenaHandle",
+    "share_arena",
+    "attach_arena",
+    "attach_arena_cached",
+    "drop_attachments",
+]
+
+# One int64 column is 8 bytes per node; the segment packs the five int
+# columns first (8-aligned by construction) and the opcode bytes last.
+_I64_COLUMNS = ("left", "right", "aux", "sizes", "depths")
+
+
+class SharedArenaHandle:
+    """Parent-side owner of one arena's shared-memory segment.
+
+    ``meta()`` is the picklable task payload; :meth:`close` detaches,
+    :meth:`unlink` removes the segment from the system.  ``close_unlink``
+    is the one-call ``finally`` form.  Unlinking twice is harmless --
+    the second call is a no-op -- so crash paths can be generous.
+    """
+
+    __slots__ = ("shm", "_n", "_names", "_literals", "_unlinked")
+
+    def __init__(self, arena: ExprArena):
+        n = len(arena.op)
+        size = max(1, n * (8 * len(_I64_COLUMNS) + 1))
+        self.shm = shared_memory.SharedMemory(create=True, size=size)
+        buf = self.shm.buf
+        offset = 0
+        for column in _I64_COLUMNS:
+            view = memoryview(getattr(arena, column))
+            raw = view.tobytes() if view.format != "B" else bytes(view)
+            buf[offset : offset + 8 * n] = raw
+            offset += 8 * n
+        buf[offset : offset + n] = bytes(arena.op)
+        self._n = n
+        self._names = arena.names
+        self._literals = arena.literals
+        self._unlinked = False
+
+    def meta(self) -> dict:
+        """The picklable attach recipe for workers."""
+        return {
+            "shm_name": self.shm.name,
+            "nodes": self._n,
+            "names": self._names,
+            "literals": self._literals,
+        }
+
+    def close(self) -> None:
+        try:
+            self.shm.close()
+        except (BufferError, OSError):  # pragma: no cover - defensive
+            pass
+
+    def unlink(self) -> None:
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def close_unlink(self) -> None:
+        """The ``finally`` clause: detach and remove, idempotently."""
+        self.close()
+        self.unlink()
+
+
+def share_arena(arena: ExprArena) -> SharedArenaHandle:
+    """Copy ``arena``'s columns into a fresh shared-memory segment."""
+    return SharedArenaHandle(arena)
+
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach without handing the segment to the resource tracker.
+
+    Before Python 3.13 (which grew ``track=False``) every attachment is
+    auto-registered and unlinked at process exit; for segments owned by
+    the parent that is a use-after-free against the other workers, and
+    un-registering afterwards double-removes in the tracker shared by
+    sibling workers.  Suppress the registration at the source instead.
+    """
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError:  # pragma: no cover - minimal builds
+        return shared_memory.SharedMemory(name=name, create=False)
+    with _ATTACH_LOCK:
+        registered = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            return shared_memory.SharedMemory(name=name, create=False)
+        finally:
+            resource_tracker.register = registered
+
+
+def attach_arena(meta: dict) -> tuple[ExprArena, shared_memory.SharedMemory]:
+    """Worker-side attach: rebuild an :class:`ExprArena` over the segment.
+
+    The returned arena's columns are zero-copy views of the shared
+    pages; the caller (or :func:`attach_arena_cached`) keeps the
+    ``SharedMemory`` object alive for as long as the arena is used.
+    """
+    shm = _attach_untracked(meta["shm_name"])
+    n = meta["nodes"]
+    arena = ExprArena.__new__(ExprArena)
+    buf = shm.buf
+    offset = 0
+    for column in _I64_COLUMNS:
+        chunk = buf[offset : offset + 8 * n]
+        if _np is not None:
+            view = _np.frombuffer(chunk, dtype=_np.int64)
+        else:
+            view = chunk.cast("q")
+        setattr(arena, column, view)
+        offset += 8 * n
+    op_view = buf[offset : offset + n]
+    arena.op = _np.frombuffer(op_view, dtype=_np.uint8) if _np is not None else op_view
+    arena.names = meta["names"]
+    arena.literals = meta["literals"]
+    arena._name_ids = {}
+    arena._lit_ids = {}
+    arena._struct = None
+    return arena, shm
+
+
+_ATTACHED: dict[str, tuple[ExprArena, shared_memory.SharedMemory]] = {}
+
+
+def attach_arena_cached(meta: dict) -> ExprArena:
+    """Attach with a one-segment per-worker cache.
+
+    Tasks of one batch share the attachment; a task naming a different
+    segment evicts the old one first (batches are sequential per pool).
+    """
+    key = meta["shm_name"]
+    cached = _ATTACHED.get(key)
+    if cached is not None:
+        return cached[0]
+    drop_attachments()
+    arena, shm = attach_arena(meta)
+    _ATTACHED[key] = (arena, shm)
+    return arena
+
+
+def drop_attachments() -> None:
+    """Release every cached attachment (views first, then the mapping)."""
+    for key in list(_ATTACHED):
+        arena, shm = _ATTACHED.pop(key)
+        # Drop the exported views so close() can release the mapping;
+        # memoryview slices must be released explicitly, numpy views
+        # just need their references gone.
+        for column in _I64_COLUMNS + ("op",):
+            view = getattr(arena, column, None)
+            if isinstance(view, memoryview):
+                view.release()
+            setattr(arena, column, None)
+        view = None  # the loop variable still pins the last column
+        try:
+            shm.close()
+        except (BufferError, OSError):  # pragma: no cover - views still held
+            pass
+
+
+# Workers that die with a cached attachment would otherwise hit a
+# BufferError in SharedMemory.__del__ (the numpy views still pin the
+# buffer during interpreter teardown); draining the cache first keeps
+# exits quiet.  A no-op in processes that never attached.
+atexit.register(drop_attachments)

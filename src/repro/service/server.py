@@ -42,6 +42,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from repro.api import HashRequest, InternRequest, PlanError, Session
+from repro.core.arena import ENGINE_CHOICES
 from repro.lang.sexpr import SexprError, from_wire
 from repro.store import SnapshotError, snapshot_from_bytes, snapshot_to_bytes
 
@@ -58,12 +59,13 @@ def _max_request_workers() -> int:
 
     ``workers`` reaches ``Session._pool_for`` and forks real processes;
     without a cap a remote client could ask for thousands.  One worker
-    per CPU is also where the speedup tops out, so clamping (rather
+    per *available* CPU (affinity- and cgroup-aware, not the machine's
+    raw count) is also where the speedup tops out, so clamping (rather
     than rejecting) loses the client nothing.
     """
-    import os
+    from repro.core.cpus import available_cpus
 
-    return os.cpu_count() or 1
+    return available_cpus()
 
 
 class _RequestError(Exception):
@@ -384,7 +386,7 @@ def serve(argv=None) -> int:
         default=None,
     )
     parser.add_argument(
-        "--engine", choices=("auto", "arena", "tree"), default=None
+        "--engine", choices=ENGINE_CHOICES, default=None
     )
     parser.add_argument(
         "--num-shards",

@@ -44,7 +44,7 @@ from repro.core.arena import (
     OP_LET,
     OP_LIT,
     OP_VAR,
-    arena_hash,
+    arena_hash_any,
     flatten_corpus,
 )
 from repro.lang.expr import App, Expr, Lam, Let, Lit, Var
@@ -62,6 +62,7 @@ def hash_corpus_arena(
     corpus: Sequence[Expr],
     combiners=None,
     fanout=None,
+    kernel: str = "auto",
 ) -> list[int]:
     """Root alpha-hashes of ``corpus`` through the arena kernel.
 
@@ -70,7 +71,8 @@ def hash_corpus_arena(
     ``fanout(arena, unique_roots) -> {root_index: top}`` and replaces
     the local kernel run -- the parallel engine plugs its worker pools
     in here, so serial and parallel share every other line of this
-    path.
+    path.  ``kernel`` picks the vectorized or scalar array kernel
+    (``"auto"`` prefers vectorized when NumPy is importable).
     """
     # Sharded stores guard their memo behind an RLock; every touch of
     # root_memo / stats / the flush below happens under it (re-entrant,
@@ -108,7 +110,7 @@ def hash_corpus_arena(
     if pending:
         arena, roots = flatten_corpus(pending)
         if fanout is None:
-            tops = arena_hash(arena, combiners)
+            tops = arena_hash_any(arena, combiners, kernel=kernel)
         else:
             tops = fanout(arena, sorted(set(roots)))
         if store is None:
@@ -149,7 +151,9 @@ def hash_corpus_arena(
     return results
 
 
-def intern_corpus_arena(store: "ExprStore", corpus: Sequence[Expr]) -> list[int]:
+def intern_corpus_arena(
+    store: "ExprStore", corpus: Sequence[Expr], kernel: str = "auto"
+) -> list[int]:
     """Intern ``corpus`` via one arena pass (flat eviction-free stores)."""
     from repro.store.store import StoreCollisionError, StoreEntry
 
@@ -166,7 +170,7 @@ def intern_corpus_arena(store: "ExprStore", corpus: Sequence[Expr]) -> list[int]
             arena, roots, tops = c_arena, cached_roots, c_tops
     if arena is None:
         arena, roots = flatten_corpus(corpus)
-        tops = arena_hash(arena, store.combiners)
+        tops = arena_hash_any(arena, store.combiners, kernel=kernel)
         stats.hashed_nodes += len(arena)
         walked = sum(expr.size for expr in corpus)
         if walked > len(arena):

@@ -70,15 +70,24 @@ explicitly ``"fork"`` / ``"spawn"``).
 
 from __future__ import annotations
 
-import os
 import sys
 import threading
 import weakref
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Iterable, Optional, Sequence
 
-from repro.core.arena import ExprArena, arena_hash, plan_corpus_engine
+from repro.core.arena import (
+    ArenaMemo,
+    ExprArena,
+    arena_hash_any,
+    engine_family,
+    engine_kernel,
+    plan_corpus_engine,
+    resolve_kernel,
+)
 from repro.core.combiners import HashCombiners, default_combiners
+from repro.core.cpus import available_cpus
 from repro.lang.expr import Expr
 from repro.store.store import ExprStore
 
@@ -106,9 +115,10 @@ _HASH_COUNTERS = ("memo_hits", "hashed_nodes", "memo_skipped_nodes")
 
 def resolve_workers(workers: Optional[int]) -> int:
     """Normalise a ``workers`` request: ``None``/``0`` means one worker
-    per available CPU; negatives are rejected."""
+    per *available* CPU (affinity/cgroup aware -- see
+    :func:`repro.core.cpus.available_cpus`); negatives are rejected."""
     if workers is None or workers == 0:
-        return os.cpu_count() or 1
+        return available_cpus()
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
     return workers
@@ -164,6 +174,7 @@ _FORK_ARENA: Optional[ExprArena] = None
 _FORK_AROOTS: Optional[list] = None
 _FORK_BITS = 64
 _FORK_SEED: Optional[int] = None
+_FORK_KERNEL = "scalar"
 
 
 def _fork_hash_range(span: tuple[int, int]) -> tuple[list[int], dict[str, int]]:
@@ -190,20 +201,28 @@ def _fork_arena_range(span: tuple[int, int]) -> list[int]:
     assert _FORK_ARENA is not None, "fork worker started without an arena"
     roots = _FORK_AROOTS[start:stop]
     combiners = HashCombiners(bits=_FORK_BITS, seed=_FORK_SEED)
-    tops = arena_hash(_FORK_ARENA, combiners, only=roots)
+    tops = arena_hash_any(
+        _FORK_ARENA, combiners, only=roots, kernel=_FORK_KERNEL
+    )
     return [tops[r] for r in roots]
 
 
-def _arena_payload_tops(payload) -> list[int]:
-    """Spawn / persistent-pool task: the arena rides in the payload.
+def _shm_arena_tops(payload) -> list[int]:
+    """Spawn / persistent-pool task: attach the shared-memory arena.
 
-    The arena pickles as flat arrays (iterative, no recursion), so this
-    works under any start method and at any expression depth -- the
-    restriction that confined deep corpora to fork mode does not apply
-    to the arena engine.
+    The payload carries only an attach recipe (segment name + leaf
+    tables) and the chunk's roots; the columns themselves are mapped
+    zero-copy from the parent's segment, replacing the per-task arena
+    pickle that used to cost O(arena bytes x tasks).  Works under any
+    start method and at any expression depth.
     """
-    arena, roots, bits, seed = payload
-    tops = arena_hash(arena, HashCombiners(bits=bits, seed=seed), only=roots)
+    from repro.core.arena_shm import attach_arena_cached
+
+    meta, roots, bits, seed, kernel = payload
+    arena = attach_arena_cached(meta)
+    tops = arena_hash_any(
+        arena, HashCombiners(bits=bits, seed=seed), only=roots, kernel=kernel
+    )
     return [tops[r] for r in roots]
 
 
@@ -307,8 +326,10 @@ def parallel_hash_corpus(
     engine:
         ``"tree"`` fans out expression chunks (the PR-3 engine);
         ``"arena"`` compiles the corpus once and fans out root-index
-        ranges over the arena (cheap to ship under any start method);
-        ``"auto"`` picks the arena above the node threshold.
+        ranges over the arena (shipped zero-copy through shared memory
+        under any start method); ``"arena-vec"`` / ``"arena-scalar"``
+        additionally pin the arena kernel; ``"auto"`` picks the arena
+        above the node threshold.
     pool:
         An optional long-lived :class:`WorkerPool` to run on (its mode
         overrides ``mode``).  Only the arena engine and thread mode can
@@ -333,9 +354,16 @@ def parallel_hash_corpus(
 
     # One shared auto decision point (the planner's threshold constant).
     engine = plan_corpus_engine(engine, corpus)
-    if engine == "arena":
+    if engine_family(engine) == "arena":
         return _parallel_hash_arena(
-            corpus, combiners, n_workers, mode, store, chunks_per_worker, pool
+            corpus,
+            combiners,
+            n_workers,
+            mode,
+            store,
+            chunks_per_worker,
+            pool,
+            kernel=resolve_kernel(engine_kernel(engine)),
         )
 
     uniq, positions = _dedup(corpus)
@@ -376,47 +404,49 @@ def parallel_hash_corpus(
 
 
 def _parallel_hash_arena(
-    corpus, combiners, n_workers, mode, store, chunks_per_worker, pool
+    corpus, combiners, n_workers, mode, store, chunks_per_worker, pool,
+    kernel="scalar",
 ):
     """Arena engine: compile once in the parent, fan out root spans.
 
-    Workers hash the downward closure of their roots, so shared
-    subtrees near the bottom of the arena may be recomputed by several
-    workers -- bounded duplicated work traded for zero coordination.
-    Results are keyed by arena root index, which the shared
+    Workers hash the downward closure of their roots; thread mode
+    shares an :class:`~repro.core.arena.ArenaMemo` across chunks (merge
+    at batch boundaries), so overlapping closures are summarised once
+    per batch instead of once per chunk.  Process modes attach the
+    arena's columns from one shared-memory segment (zero-copy; the
+    segment is unlinked in a ``finally`` even when a worker dies
+    mid-batch), except the poolless fork path, where the forked address
+    space is already zero-copy.  Results are keyed by arena root index,
+    which the shared
     :func:`~repro.store.arena_intern.hash_corpus_arena` epilogue maps
     back to corpus positions (bit-identical to serial by construction).
     """
     from repro.store.arena_intern import hash_corpus_arena
 
     def fanout(arena, uroots):
-        global _FORK_ARENA, _FORK_AROOTS, _FORK_BITS, _FORK_SEED
-        # Process modes ship the arena per task: one chunk per worker
-        # keeps the wire cost at workers * |arena|.  Threads share
-        # memory, and a poolless forking context publishes the arena
-        # through the forked address space, so those two can afford
-        # finer chunks -- but a persistent *process* pool (any start
-        # method) pays the pickle per task and wants coarse chunks.
+        global _FORK_ARENA, _FORK_AROOTS, _FORK_BITS, _FORK_SEED, _FORK_KERNEL
         context = has_fork = None
         if mode != "thread" and pool is None:
             context, has_fork = _context_for(mode)
-        if mode == "thread" or has_fork:
-            n_chunks = n_workers * chunks_per_worker
-        else:
-            n_chunks = n_workers
-        spans = _chunk_ranges(len(uroots), n_chunks)
+        # Shared memory (or the forked address space) makes per-task
+        # shipping cost O(roots), so every mode can afford fine chunks.
+        spans = _chunk_ranges(len(uroots), n_workers * chunks_per_worker)
         if len(spans) <= 1:
-            tops = arena_hash(arena, combiners)
+            tops = arena_hash_any(arena, combiners, kernel=kernel)
             return {root: tops[root] for root in uroots}
 
         if mode == "thread":
+            memo = ArenaMemo(len(arena))
+
             def run(span):
                 start, stop = span
                 roots = uroots[start:stop]
-                tops = arena_hash(
+                tops = arena_hash_any(
                     arena,
                     HashCombiners(bits=combiners.bits, seed=combiners.seed),
                     only=roots,
+                    kernel=kernel,
+                    memo=memo,
                 )
                 return [tops[r] for r in roots]
 
@@ -427,33 +457,41 @@ def _parallel_hash_arena(
                     max_workers=min(n_workers, len(spans))
                 ) as executor:
                     span_results = list(executor.map(run, spans))
-        elif pool is not None:
-            payloads = [
-                (arena, uroots[start:stop], combiners.bits, combiners.seed)
-                for start, stop in spans
-            ]
-            span_results = pool.map(_arena_payload_tops, payloads)
-        else:
-            n_procs = min(n_workers, len(spans))
-            if has_fork:
-                with _FORK_PUBLISH_LOCK:
-                    _FORK_ARENA = arena
-                    _FORK_AROOTS = uroots
-                    _FORK_BITS = combiners.bits
-                    _FORK_SEED = combiners.seed
-                    try:
-                        with context.Pool(processes=n_procs) as procs:
-                            span_results = procs.map(_fork_arena_range, spans)
-                    finally:
-                        _FORK_ARENA = None
-                        _FORK_AROOTS = None
-            else:
+        elif pool is not None or not has_fork:
+            from repro.core.arena_shm import share_arena
+
+            handle = share_arena(arena)
+            try:
+                meta = handle.meta()
                 payloads = [
-                    (arena, uroots[start:stop], combiners.bits, combiners.seed)
+                    (meta, uroots[start:stop], combiners.bits,
+                     combiners.seed, kernel)
                     for start, stop in spans
                 ]
-                with context.Pool(processes=n_procs) as procs:
-                    span_results = procs.map(_arena_payload_tops, payloads)
+                if pool is not None:
+                    span_results = pool.map(_shm_arena_tops, payloads)
+                else:
+                    n_procs = min(n_workers, len(spans))
+                    with context.Pool(processes=n_procs) as procs:
+                        span_results = procs.map(_shm_arena_tops, payloads)
+            finally:
+                # The parent owns the segment: unlink unconditionally,
+                # including when a dead worker broke the pool mid-batch.
+                handle.close_unlink()
+        else:
+            n_procs = min(n_workers, len(spans))
+            with _FORK_PUBLISH_LOCK:
+                _FORK_ARENA = arena
+                _FORK_AROOTS = uroots
+                _FORK_BITS = combiners.bits
+                _FORK_SEED = combiners.seed
+                _FORK_KERNEL = kernel
+                try:
+                    with context.Pool(processes=n_procs) as procs:
+                        span_results = procs.map(_fork_arena_range, spans)
+                finally:
+                    _FORK_ARENA = None
+                    _FORK_AROOTS = None
 
         out = {}
         for (start, stop), tops_list in zip(spans, span_results):
@@ -514,6 +552,17 @@ class WorkerPool:
     through pickled payloads only, so the pool is agnostic to when it
     was created -- which is exactly why the tree engine's
     publish-then-fork fast path cannot use it and ignores it.
+
+    Process mode runs on :class:`concurrent.futures.ProcessPoolExecutor`
+    rather than ``multiprocessing.Pool``: a worker that dies mid-batch
+    raises :class:`~concurrent.futures.process.BrokenProcessPool` (a
+    clean error -- ``Pool.map`` would hang), the broken executor is
+    discarded so the *next* call transparently gets a fresh pool, and
+    ``concurrent.futures`` drains its workers through an interpreter
+    atexit hook, so a never-closed pool (a dropped, un-``close()``\\ d
+    Session) cannot leave orphaned children past interpreter exit.  The
+    GC finalizer additionally drains the pool as soon as the owner is
+    collected.
     """
 
     def __init__(self, workers: Optional[int] = None, mode: str = "process"):
@@ -528,22 +577,34 @@ class WorkerPool:
 
     def _ensure(self):
         if self._pool is None:
-            # The finalizer reclaims worker processes when an un-closed
-            # WorkerPool (e.g. a one-shot Session never close()d) is
-            # garbage-collected; close() detaches it and shuts down
-            # cleanly instead.
+            # The finalizer drains worker processes as soon as an
+            # un-closed WorkerPool (e.g. a one-shot Session never
+            # close()d) is garbage-collected; close() detaches it and
+            # shuts down cleanly instead.  shutdown(wait=False) is safe
+            # from a finalizer/atexit context: it signals the workers
+            # and lets concurrent.futures' own exit hook join them.
             if self.mode == "thread":
                 pool = ThreadPoolExecutor(max_workers=self.workers)
-                self._finalizer = weakref.finalize(self, pool.shutdown, False)
             else:
+                from concurrent.futures import ProcessPoolExecutor
+
                 context, _ = _context_for(self.mode)
-                pool = context.Pool(processes=self.workers)
-                self._finalizer = weakref.finalize(self, pool.terminate)
+                pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context
+                )
+            self._finalizer = weakref.finalize(self, pool.shutdown, False)
             self._pool = pool
         return self._pool
 
     def map(self, fn, payloads) -> list:
-        return list(self._ensure().map(fn, payloads))
+        try:
+            return list(self._ensure().map(fn, payloads))
+        except BrokenProcessPool:
+            # A worker died mid-batch.  Drop the broken executor so the
+            # next call starts a fresh pool, then let the caller see
+            # the error (its finally blocks release shared resources).
+            self.close()
+            raise
 
     @property
     def started(self) -> bool:
@@ -555,13 +616,8 @@ class WorkerPool:
         finalizer, self._finalizer = self._finalizer, None
         if finalizer is not None:
             finalizer.detach()
-        if pool is None:
-            return
-        if isinstance(pool, ThreadPoolExecutor):
+        if pool is not None:
             pool.shutdown(wait=True)
-        else:
-            pool.close()
-            pool.join()
 
     def __enter__(self) -> "WorkerPool":
         return self

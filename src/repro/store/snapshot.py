@@ -258,7 +258,7 @@ def _sharded_snapshot_to_bytes(
     the bulk of the work -- runs as one independent task per shard on a
     thread pool (see the module docstring's GIL caveat).
     """
-    import os
+    from repro.core.cpus import available_cpus
 
     with store._memo_lock:
         shard_entries: list[list] = []
@@ -288,7 +288,7 @@ def _sharded_snapshot_to_bytes(
 
     # Encoding works on plain dicts -- no store state -- so it can fan
     # out without holding any lock.
-    n_tasks = max(1, min(store.num_shards, os.cpu_count() or 1))
+    n_tasks = max(1, min(store.num_shards, available_cpus()))
     with ThreadPoolExecutor(max_workers=n_tasks) as pool:
         sections = list(pool.map(_encode_records, shard_records))
     for meta_entry, section in zip(shard_meta, sections):
@@ -481,8 +481,7 @@ def _sharded_snapshot_from_bytes(
     header: dict, body: bytes
 ) -> tuple["ShardedExprStore", dict]:
     """Decode the v2 sharded layout; node ids and recency survive."""
-    import os
-
+    from repro.core.cpus import available_cpus
     from repro.store.sharded import ShardedExprStore
     from repro.store.store import StoreEntry, _MemoRecord
 
@@ -518,7 +517,7 @@ def _sharded_snapshot_from_bytes(
         raise SnapshotError(
             f"shard sections cover {cursor} bytes, body holds {len(body)}"
         )
-    n_tasks = max(1, min(num_shards, os.cpu_count() or 1))
+    n_tasks = max(1, min(num_shards, available_cpus()))
     with ThreadPoolExecutor(max_workers=n_tasks) as pool:
         shard_records = list(
             pool.map(

@@ -41,7 +41,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
-from repro.core.arena import plan_corpus_engine
+from repro.core.arena import engine_family, engine_kernel, plan_corpus_engine
 from repro.core.combiners import HashCombiners, default_combiners
 from repro.core.hashed import AlphaHashes
 from repro.core.kernel import MemoRecord, summarise_tree
@@ -320,16 +320,18 @@ class ExprStore:
         through the memoised summariser; ``"arena"`` compiles the corpus
         into a post-order array arena and runs the array kernel
         (bit-identical hashes, no per-node memo warming -- see
-        :mod:`repro.store.arena_intern`); ``"auto"`` (default) takes the
-        arena above the planner's one threshold constant
-        (:data:`repro.api.plan.ARENA_NODE_THRESHOLD`, resolved through
-        :func:`repro.core.arena.plan_corpus_engine`).
+        :mod:`repro.store.arena_intern`), with ``"arena-vec"`` /
+        ``"arena-scalar"`` forcing the vectorized or scalar kernel;
+        ``"auto"`` (default) takes the arena above the planner's one
+        threshold constant (:data:`repro.api.plan.ARENA_NODE_THRESHOLD`,
+        resolved through :func:`repro.core.arena.plan_corpus_engine`).
         """
         corpus = exprs if isinstance(exprs, list) else list(exprs)
-        if corpus and plan_corpus_engine(engine, corpus) == "arena":
+        planned = plan_corpus_engine(engine, corpus) if corpus else engine
+        if corpus and engine_family(planned) == "arena":
             from repro.store.arena_intern import hash_corpus_arena
 
-            return hash_corpus_arena(self, corpus)
+            return hash_corpus_arena(self, corpus, kernel=engine_kernel(planned))
         return [self.hash_expr(e) for e in corpus]
 
     def hashes(self, expr: Expr) -> AlphaHashes:
@@ -474,15 +476,16 @@ class ExprStore:
         occurrence (see :mod:`repro.store.arena_intern`).
         """
         corpus = exprs if isinstance(exprs, list) else list(exprs)
+        planned = plan_corpus_engine(engine, corpus) if corpus else engine
         if (
             corpus
             and self._arena_intern_ok
             and self.max_entries is None
-            and plan_corpus_engine(engine, corpus) == "arena"
+            and engine_family(planned) == "arena"
         ):
             from repro.store.arena_intern import intern_corpus_arena
 
-            return intern_corpus_arena(self, corpus)
+            return intern_corpus_arena(self, corpus, kernel=engine_kernel(planned))
         return [self.intern(e) for e in corpus]
 
     def _intern_one(
