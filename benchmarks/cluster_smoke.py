@@ -1,0 +1,300 @@
+"""Cluster smoke gate: coordinator + 2 shard nodes as real processes.
+
+CI entry point for the distributed hash cluster::
+
+    PYTHONPATH=src python benchmarks/cluster_smoke.py --items 600
+
+The gate spawns two ``repro serve --shard-id i --shard-count 2`` nodes
+and one ``repro cluster serve`` coordinator on free localhost ports,
+then hard-fails unless:
+
+1. the coordinator health folds both shards as up;
+2. coordinator hashing is **bit-identical** to ``alpha_hash_all``;
+3. interning through the coordinator conserves stats -- folded totals
+   equal elementwise per-shard sums, and the merged snapshot union
+   holds exactly the classes a flat local :class:`Session` holds;
+4. a replica seeded from shard 0's snapshot catches up over
+   ``/v1/snapshot/delta`` with a payload **smaller than the full
+   snapshot**, landing bit-identical;
+5. SIGKILLing shard 1 leaves hashing alive (chunks re-route) while
+   interning its keys is a **bounded 503 that names the dead shard**;
+6. SIGTERM stops the coordinator and the surviving node with
+   **exit code 0** -- no leaked listeners.
+
+Exit code 0 = all gates hold; 1 = any gate failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def spawn(args):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args], env=dict(os.environ)
+    )
+
+
+def build_corpus(n_items: int, seed: int = 42):
+    from repro.gen.random_exprs import random_expr
+
+    rng = random.Random(seed)
+    corpus = []
+    for _ in range(n_items):
+        if corpus and rng.random() < 0.25:
+            corpus.append(rng.choice(corpus))
+        else:
+            corpus.append(random_expr(40, rng=rng, p_let=0.2, p_lit=0.2))
+    return corpus
+
+
+def wait_for_health(client, attempts: int, delay: float) -> dict:
+    from repro.service import ServiceError
+
+    last = None
+    for _ in range(attempts):
+        try:
+            return client.health()
+        except ServiceError as exc:
+            last = exc
+            time.sleep(delay)
+    raise SystemExit(f"server never became healthy: {last}")
+
+
+def stop_cleanly(name: str, proc, failures: int) -> int:
+    """SIGTERM ``proc``; a hang or non-zero exit is a gate failure."""
+    if proc.poll() is not None:
+        print(
+            f"FAIL: {name} died early with exit {proc.returncode}",
+            file=sys.stderr,
+        )
+        return failures + 1
+    proc.send_signal(signal.SIGTERM)
+    try:
+        returncode = proc.wait(timeout=15)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait(timeout=10)
+        print(f"FAIL: {name} still alive 15s after SIGTERM", file=sys.stderr)
+        return failures + 1
+    if returncode != 0:
+        print(
+            f"FAIL: {name} exited {returncode} on SIGTERM (want 0)",
+            file=sys.stderr,
+        )
+        return failures + 1
+    print(f"cluster_smoke: {name} SIGTERM clean shutdown ok (exit 0)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--items", type=int, default=600)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--health-attempts", type=int, default=50)
+    parser.add_argument("--health-delay", type=float, default=0.2)
+    args = parser.parse_args(argv)
+
+    shard_count = 2
+    ports = [free_port() for _ in range(shard_count + 1)]
+    nodes = [
+        spawn(
+            [
+                "serve",
+                "--host", "127.0.0.1",
+                "--port", str(ports[i]),
+                "--shard-id", str(i),
+                "--shard-count", str(shard_count),
+            ]
+        )
+        for i in range(shard_count)
+    ]
+    shard_urls = [f"http://127.0.0.1:{ports[i]}" for i in range(shard_count)]
+    coordinator = spawn(
+        [
+            "cluster", "serve",
+            "--host", "127.0.0.1",
+            "--port", str(ports[shard_count]),
+            "--retries", "1",
+            "--backoff", "0.05",
+            "--down-ttl", "30",
+            *[arg for url in shard_urls for arg in ("--shard", url)],
+        ]
+    )
+    coordinator_url = f"http://127.0.0.1:{ports[shard_count]}"
+    procs = list(zip(["shard 0", "shard 1", "coordinator"],
+                     nodes + [coordinator]))
+    try:
+        return run_gates(args, shard_urls, coordinator_url, nodes, coordinator)
+    except BaseException:
+        for _name, proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        raise
+
+
+def run_gates(args, shard_urls, coordinator_url, nodes, coordinator) -> int:
+    from repro.api import Session
+    from repro.core.hashed import alpha_hash_all
+    from repro.service import ServiceClient, ServiceError
+    from repro.store import snapshot_from_bytes
+
+    failures = 0
+
+    # Gate 1: every process comes up and the coordinator folds them.
+    for url in shard_urls:
+        wait_for_health(
+            ServiceClient(url, timeout=30.0),
+            args.health_attempts, args.health_delay,
+        )
+    client = ServiceClient(coordinator_url, timeout=300.0, retries=0)
+    health = wait_for_health(client, args.health_attempts, args.health_delay)
+    if not (health["ok"] and len(health["shards"]) == 2):
+        print(f"FAIL: cluster health not ok: {health}", file=sys.stderr)
+        failures += 1
+    print(f"cluster_smoke: coordinator up, {len(health['shards'])} shards ok")
+
+    corpus = build_corpus(args.items, seed=args.seed)
+    reference = [alpha_hash_all(e).root_hash for e in corpus]
+
+    # Gate 2: routed hashing is bit-identical to the local path.
+    t0 = time.perf_counter()
+    remote = client.hash_corpus(corpus)
+    routed_s = time.perf_counter() - t0
+    if remote != reference:
+        bad = sum(1 for a, b in zip(remote, reference) if a != b)
+        print(
+            f"FAIL: cluster hashes diverge on {bad}/{len(corpus)} items",
+            file=sys.stderr,
+        )
+        failures += 1
+    print(f"cluster_smoke: routed hash bit-identity ok ({routed_s:.2f}s)")
+
+    # Gate 3: interning conserves stats across the fold and the
+    # merged snapshot union equals a flat store's class set.
+    client.intern_many(corpus)
+    stats = client.stats()
+    if stats["entries"] != sum(s["entries"] for s in stats["shards"]):
+        print("FAIL: folded entries != per-shard sum", file=sys.stderr)
+        failures += 1
+    for key, total in stats["store"].items():
+        per_shard = sum(s["store"].get(key, 0) for s in stats["shards"])
+        if total != per_shard:
+            print(
+                f"FAIL: folded counter {key}={total} != shard sum "
+                f"{per_shard}",
+                file=sys.stderr,
+            )
+            failures += 1
+    merged, header = snapshot_from_bytes(client.fetch_snapshot())
+    with Session() as flat:
+        flat.intern_many(corpus)
+        flat_hashes = {e.hash for e in flat.store.entries()}
+    if {e.hash for e in merged.entries()} != flat_hashes:
+        print("FAIL: merged snapshot union != flat store classes",
+              file=sys.stderr)
+        failures += 1
+    print(
+        f"cluster_smoke: stats conservation ok ({stats['entries']} entries "
+        f"across {stats['shard_count']} shards, union == flat "
+        f"{len(flat_hashes)} classes, format {header['format']})"
+    )
+
+    # Gate 4: replica catch-up over the delta endpoint, not a full
+    # transfer. Shard 0 keeps interning (its own keys) after the
+    # replica seeds, so the delta window is non-empty.
+    shard0 = ServiceClient(shard_urls[0], timeout=30.0)
+    replica = Session.from_snapshot_bytes(shard0.fetch_snapshot())
+    try:
+        full_before = len(shard0.fetch_snapshot())
+        extra = [
+            e for e in build_corpus(120, seed=args.seed + 1)
+            if alpha_hash_all(e).root_hash % 2 == 0
+        ]
+        shard0.intern_many(extra)
+        delta = shard0.fetch_delta(replica.store.version)
+        report = shard0.catch_up(replica)
+        if not (report["applied"] > 0 and len(delta) < full_before):
+            print(
+                f"FAIL: delta catch-up not incremental: {report}, "
+                f"delta {len(delta)}B vs full {full_before}B",
+                file=sys.stderr,
+            )
+            failures += 1
+        if len(replica.store) != shard0.stats()["entries"]:
+            print("FAIL: replica entries != shard entries after catch-up",
+                  file=sys.stderr)
+            failures += 1
+        if replica.hash_corpus(extra) != [
+            alpha_hash_all(e).root_hash for e in extra
+        ]:
+            print("FAIL: caught-up replica diverges", file=sys.stderr)
+            failures += 1
+        print(
+            f"cluster_smoke: replica delta catch-up ok "
+            f"(applied {report['applied']}, {len(delta)}B delta vs "
+            f"{full_before}B full)"
+        )
+    finally:
+        replica.close()
+
+    # Gate 5: SIGKILL shard 1 -- hashing re-routes, interning its keys
+    # is a bounded 503 that names it.
+    nodes[1].kill()
+    nodes[1].wait(timeout=10)
+    probe = corpus[:50]
+    if client.hash_corpus(probe) != reference[:50]:
+        print("FAIL: hashing diverged after losing shard 1",
+              file=sys.stderr)
+        failures += 1
+    doomed = [e for e, h in zip(corpus, reference) if h % 2 == 1][:5]
+    started = time.monotonic()
+    try:
+        client.intern_many(doomed)
+    except ServiceError as exc:
+        elapsed = time.monotonic() - started
+        if exc.status != 503 or "shard 1" not in str(exc):
+            print(f"FAIL: wrong degradation error: {exc}", file=sys.stderr)
+            failures += 1
+        elif elapsed > 20:
+            print(f"FAIL: degradation took {elapsed:.1f}s (> 20s bound)",
+                  file=sys.stderr)
+            failures += 1
+        else:
+            print(
+                f"cluster_smoke: dead-shard degradation ok "
+                f"(503 naming shard 1 in {elapsed:.2f}s, hash re-routed)"
+            )
+    else:
+        print("FAIL: interning dead shard's keys did not 503",
+              file=sys.stderr)
+        failures += 1
+
+    # Gate 6: SIGTERM stops the coordinator and the surviving node
+    # cleanly (exit 0).
+    failures = stop_cleanly("coordinator", coordinator, failures)
+    failures = stop_cleanly("shard 0", nodes[0], failures)
+
+    if failures:
+        print(f"cluster_smoke: {failures} gate(s) FAILED", file=sys.stderr)
+        return 1
+    print("cluster_smoke: all gates ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,14 @@ Cells:
 * ``sharded``  -- flat vs lock-striped sharded interning of one corpus:
                   wall-clock, shard occupancy balance, and the
                   hits+misses conservation invariant.
+* ``cluster``  -- coordinator-routing overhead: the same corpus hashed
+                  against one directly-addressed ``repro serve`` node
+                  vs through a ``repro cluster serve`` coordinator
+                  fronting two shard nodes (all on localhost), with
+                  bit-identity and folded-stats conservation checked.
+
+``--cells`` picks a subset (default: all); ``--pr`` stamps the record
+and the default output name (``BENCH_PR<n>.json``).
 
 Speedups are *reported* for every shape and *gated* nowhere -- gating
 lives in ``bench_store.py --smoke`` (CI), which knows how many CPUs it
@@ -242,10 +250,87 @@ def sharded_cell(
     }
 
 
+def cluster_cell(n_items: int, item_size: int, repeats: int) -> dict:
+    """Coordinator-routing overhead vs a directly-addressed node.
+
+    Everything runs on localhost in this process (threaded HTTP
+    servers), so the ratio isolates what the coordinator *adds*: one
+    extra hop, the chunk fan-out/reassembly, and the two-phase intern's
+    hash-then-route.  Bit-identity and stats conservation are gates,
+    not just observations.
+    """
+    from repro.cluster import ClusterCoordinator
+    from repro.service import ReproServer, ServiceClient
+
+    corpus = make_corpus(n_items, item_size, seed=7)
+    nodes = sum(e.size for e in corpus)
+    direct = ReproServer(port=0).start()
+    shard0 = ReproServer(port=0, shard_id=0, shard_count=2).start()
+    shard1 = ReproServer(port=0, shard_id=1, shard_count=2).start()
+    coordinator = ClusterCoordinator(
+        [shard0.url, shard1.url], port=0
+    ).start()
+    try:
+        direct_client = ServiceClient(direct.url, timeout=300.0)
+        cluster_client = ServiceClient(coordinator.url, timeout=300.0)
+        reference = direct_client.hash_corpus(corpus)
+        routed = cluster_client.hash_corpus(corpus)
+        direct_s = _best_of(
+            lambda: direct_client.hash_corpus(corpus), repeats
+        )
+        routed_s = _best_of(
+            lambda: cluster_client.hash_corpus(corpus), repeats
+        )
+        intern_s = _best_of(
+            lambda: cluster_client.intern_many(corpus), repeats
+        )
+        stats = cluster_client.stats()
+        conserved = stats["entries"] == sum(
+            shard["entries"] for shard in stats["shards"]
+        ) and all(
+            total == sum(s["store"].get(key, 0) for s in stats["shards"])
+            for key, total in stats["store"].items()
+        )
+        return {
+            "items": n_items,
+            "nodes": nodes,
+            "shard_count": 2,
+            "direct_hash_s": round(direct_s, 4),
+            "cluster_hash_s": round(routed_s, 4),
+            "routing_overhead": (
+                round(routed_s / direct_s, 3) if direct_s else None
+            ),
+            "cluster_intern_s": round(intern_s, 4),
+            "identical": routed == reference,
+            "entries": stats["entries"],
+            "shard_entries": [s["entries"] for s in stats["shards"]],
+            "stats_conserved": conserved,
+        }
+    finally:
+        coordinator.close()
+        for server in (direct, shard0, shard1):
+            server.close()
+
+
+ALL_CELLS = ("store", "arena", "vec", "parallel", "sharded", "cluster")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--out", default="BENCH_PR6.json", help="trajectory file to write"
+        "--out",
+        default=None,
+        help="trajectory file to write (default BENCH_PR<n>.json)",
+    )
+    parser.add_argument(
+        "--pr", type=int, default=7, help="PR number stamped on the record"
+    )
+    parser.add_argument(
+        "--cells",
+        nargs="*",
+        choices=ALL_CELLS,
+        default=None,
+        help="cells to run (default: all)",
     )
     parser.add_argument(
         "--quick", action="store_true", help="CI-sized corpora (seconds)"
@@ -259,21 +344,25 @@ def main(argv=None) -> int:
         help="worker counts for the parallel cell (default: 1 2 4)",
     )
     args = parser.parse_args(argv)
+    out_path = args.out or f"BENCH_PR{args.pr}.json"
+    cells = tuple(args.cells) if args.cells else ALL_CELLS
 
     if args.quick:
         store_shape = (40, 200)
         par_shape = (1500, 60)
         shard_shape = (300, 120)
+        cluster_shape = (300, 60)
     else:
         store_shape = (60, 400)
         par_shape = (10_000, 60)
         shard_shape = (1_000, 120)
+        cluster_shape = (1_000, 60)
     arena_shape = par_shape  # arena vs recursive on the parallel corpus
     workers_list = args.workers or [1, 2, 4]
 
     record = {
         "schema": "repro-bench-trajectory-v1",
-        "pr": 6,
+        "pr": args.pr,
         "host": {
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -286,58 +375,89 @@ def main(argv=None) -> int:
     # a leak and fails the run.
     shm_before = _shm_segments()
 
-    print(f"store cell ({store_shape[0]} items x {store_shape[1]} nodes)...")
-    record["cells"]["store"] = store_cell(*store_shape, args.repeats)
-    print(f"  {json.dumps(record['cells']['store'])}")
+    if "store" in cells:
+        print(
+            f"store cell ({store_shape[0]} items x {store_shape[1]} nodes)..."
+        )
+        record["cells"]["store"] = store_cell(*store_shape, args.repeats)
+        print(f"  {json.dumps(record['cells']['store'])}")
 
-    print(f"arena cell ({arena_shape[0]} items x {arena_shape[1]} nodes)...")
-    record["cells"]["arena"] = arena_cell(*arena_shape, args.repeats)
-    print(f"  {json.dumps(record['cells']['arena'])}")
+    if "arena" in cells:
+        print(
+            f"arena cell ({arena_shape[0]} items x {arena_shape[1]} nodes)..."
+        )
+        record["cells"]["arena"] = arena_cell(*arena_shape, args.repeats)
+        print(f"  {json.dumps(record['cells']['arena'])}")
 
-    print(f"vec cell ({arena_shape[0]} items x {arena_shape[1]} nodes)...")
-    record["cells"]["vec"] = vec_cell(*arena_shape, args.repeats)
-    print(f"  {json.dumps(record['cells']['vec'])}")
+    if "vec" in cells:
+        print(f"vec cell ({arena_shape[0]} items x {arena_shape[1]} nodes)...")
+        record["cells"]["vec"] = vec_cell(*arena_shape, args.repeats)
+        print(f"  {json.dumps(record['cells']['vec'])}")
 
-    print(
-        f"parallel cell ({par_shape[0]} items x {par_shape[1]} nodes, "
-        f"workers {workers_list})..."
-    )
-    record["cells"]["parallel"] = parallel_cell(
-        *par_shape, workers_list, args.repeats
-    )
-    for run in record["cells"]["parallel"]["runs"]:
-        print(f"  {json.dumps(run)}")
+    if "parallel" in cells:
+        print(
+            f"parallel cell ({par_shape[0]} items x {par_shape[1]} nodes, "
+            f"workers {workers_list})..."
+        )
+        record["cells"]["parallel"] = parallel_cell(
+            *par_shape, workers_list, args.repeats
+        )
+        for run in record["cells"]["parallel"]["runs"]:
+            print(f"  {json.dumps(run)}")
 
-    print(
-        f"sharded cell ({shard_shape[0]} items x {shard_shape[1]} nodes)..."
-    )
-    record["cells"]["sharded"] = sharded_cell(*shard_shape, 8, args.repeats)
-    print(f"  {json.dumps(record['cells']['sharded'])}")
+    if "sharded" in cells:
+        print(
+            f"sharded cell ({shard_shape[0]} items x {shard_shape[1]} nodes)..."
+        )
+        record["cells"]["sharded"] = sharded_cell(
+            *shard_shape, 8, args.repeats
+        )
+        print(f"  {json.dumps(record['cells']['sharded'])}")
+
+    if "cluster" in cells:
+        print(
+            f"cluster cell ({cluster_shape[0]} items x "
+            f"{cluster_shape[1]} nodes, 2 shard nodes)..."
+        )
+        record["cells"]["cluster"] = cluster_cell(
+            *cluster_shape, args.repeats
+        )
+        print(f"  {json.dumps(record['cells']['cluster'])}")
 
     leaked = sorted(_shm_segments() - shm_before)
     record["leaked_shm_segments"] = len(leaked)
 
     divergent = [
         run
-        for run in record["cells"]["parallel"]["runs"]
+        for run in record["cells"].get("parallel", {}).get("runs", [])
         if not run["identical"]
     ]
-    with open(args.out, "w", encoding="utf-8") as handle:
+    with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(f"wrote {args.out}")
+    print(f"wrote {out_path}")
     if divergent:
         print(f"FAIL: {len(divergent)} parallel run(s) diverged from serial")
         return 1
-    if not record["cells"]["arena"]["identical"]:
+    if not record["cells"].get("arena", {"identical": True})["identical"]:
         print("FAIL: arena kernel hashes diverged from the tree path")
         return 1
-    if not record["cells"]["vec"].get("identical", True):
+    if not record["cells"].get("vec", {}).get("identical", True):
         print("FAIL: vectorized kernel hashes diverged from the scalar kernel")
         return 1
-    if not record["cells"]["sharded"]["stats_conserved"]:
+    if not record["cells"].get("sharded", {"stats_conserved": True})[
+        "stats_conserved"
+    ]:
         print("FAIL: sharded stats not conserved across shards")
         return 1
+    cluster_record = record["cells"].get("cluster")
+    if cluster_record is not None:
+        if not cluster_record["identical"]:
+            print("FAIL: cluster-routed hashes diverged from the direct node")
+            return 1
+        if not cluster_record["stats_conserved"]:
+            print("FAIL: folded cluster stats not conserved across shards")
+            return 1
     if leaked:
         print(f"FAIL: {len(leaked)} leaked shared-memory segment(s): {leaked}")
         return 1

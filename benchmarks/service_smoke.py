@@ -1,7 +1,10 @@
 """Service smoke gate: a live ``repro serve`` must be bit-identical.
 
-Run against an already-started server (CI starts ``repro serve`` in the
-background)::
+Self-managed (the gate owns the server process, preferred in CI)::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py --spawn --items 1000
+
+or against an already-started server::
 
     python -m repro serve --port 8655 &
     PYTHONPATH=src python benchmarks/service_smoke.py \
@@ -18,7 +21,9 @@ The gate:
    checks the restored store serves the same hashes with the same entry
    count (stats conservation);
 5. uploads a disjoint local store and checks the merge grew the server
-   by exactly the new classes.
+   by exactly the new classes;
+6. with ``--spawn``: SIGTERMs the server and requires a clean exit 0
+   within a bounded wait -- no leaked listeners, ever.
 
 Exit code 0 = all gates hold; 1 = divergence (with a diff summary).
 """
@@ -26,9 +31,37 @@ Exit code 0 = all gates hold; 1 = divergence (with a diff summary).
 from __future__ import annotations
 
 import argparse
+import os
 import random
+import signal
+import socket
+import subprocess
 import sys
 import time
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def spawn_server(port: int, extra_args=()) -> "subprocess.Popen":
+    """Start ``repro serve`` as a child with this interpreter/env."""
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            str(port),
+            *extra_args,
+        ],
+        env=dict(os.environ),
+    )
 
 
 def build_corpus(n_items: int, seed: int = 42):
@@ -60,12 +93,36 @@ def wait_for_health(client, attempts: int, delay: float) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--url", default="http://127.0.0.1:8655")
+    parser.add_argument(
+        "--spawn",
+        action="store_true",
+        help="start a repro serve child on a free port and SIGTERM it "
+        "at the end, gating on a clean exit 0 (ignores --url)",
+    )
     parser.add_argument("--items", type=int, default=1000)
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--health-attempts", type=int, default=50)
     parser.add_argument("--health-delay", type=float, default=0.2)
     args = parser.parse_args(argv)
 
+    child = None
+    if args.spawn:
+        port = free_port()
+        child = spawn_server(port)
+        args.url = f"http://127.0.0.1:{port}"
+        print(f"service_smoke: spawned repro serve pid={child.pid} on {args.url}")
+
+    try:
+        return run_gates(args, child)
+    except BaseException:
+        # A gate blew up (not just failed): don't leak the child.
+        if child is not None and child.poll() is None:
+            child.kill()
+            child.wait(timeout=10)
+        raise
+
+
+def run_gates(args, child) -> int:
     from repro.api import Session
     from repro.core.hashed import alpha_hash_all
     from repro.service import ServiceClient
@@ -142,6 +199,28 @@ def main(argv=None) -> int:
         f"service_smoke: snapshot upload/merge ok "
         f"(+{reply['merged_classes']} classes -> {entries_after} entries)"
     )
+
+    # Clean shutdown: SIGTERM must produce exit 0 within a bounded
+    # wait -- a hung or non-zero exit means a leaked listener in CI.
+    if child is not None:
+        child.send_signal(signal.SIGTERM)
+        try:
+            returncode = child.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            child.kill()
+            child.wait(timeout=10)
+            print("FAIL: server still alive 15s after SIGTERM",
+                  file=sys.stderr)
+            failures += 1
+        else:
+            if returncode != 0:
+                print(
+                    f"FAIL: server exited {returncode} on SIGTERM (want 0)",
+                    file=sys.stderr,
+                )
+                failures += 1
+            else:
+                print("service_smoke: SIGTERM clean shutdown ok (exit 0)")
 
     if failures:
         print(f"service_smoke: {failures} gate(s) FAILED", file=sys.stderr)

@@ -20,6 +20,9 @@ behind one facade:
   parallel engine; results are bit-identical across all of them.
 * :class:`AsyncSession` (:mod:`repro.api.aio`) -- the asyncio front
   end (awaitable corpus jobs, bounded in-flight, cancellation).
+* :class:`RemoteSession` (:mod:`repro.api.remote`) -- the same verbs
+  against a ``repro serve`` node or a ``repro cluster serve``
+  coordinator; swap a URL to scale from one store to a cluster.
 * the unified backend registry (:mod:`repro.api.backends`) -- every
   Table 1 algorithm, the Appendix C variant, the design-choice
   ablations, and any third-party backend advertised through the
@@ -58,6 +61,7 @@ from repro.api.plan import (
     Planner,
     PlanError,
 )
+from repro.api.remote import RemoteSession
 from repro.api.request import HashRequest, InternRequest
 from repro.api.session import Session, SessionConfig, SessionError
 
@@ -67,6 +71,7 @@ __all__ = [
     "SessionConfig",
     "SessionError",
     "AsyncSession",
+    "RemoteSession",
     # pipeline
     "HashRequest",
     "InternRequest",

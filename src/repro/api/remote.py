@@ -1,0 +1,120 @@
+"""A session facade over a remote hashing endpoint.
+
+:class:`RemoteSession` points the :class:`~repro.api.Session` verbs at
+a ``repro serve`` node *or* a ``repro cluster serve`` coordinator --
+the two speak the same ``/v1`` protocol, so code written against one
+store scales to a cluster by changing a URL::
+
+    with RemoteSession("http://coordinator:8656") as remote:
+        remote.hash_corpus(corpus)     # bit-identical to local hashing
+        remote.intern_many(corpus)
+        remote.stats()                 # folded cluster totals
+
+    # replica flow: seed once, then ship only the new classes
+    local = remote.pull()                  # full snapshot -> warm Session
+    ...
+    remote.catch_up(local)                 # /v1/snapshot/delta?since=...
+
+Everything store-shaped stays server-side; the only local state is the
+HTTP client (bounded retries with backoff -- see
+:class:`~repro.service.client.ServiceClient`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lang.expr import Expr
+
+__all__ = ["RemoteSession"]
+
+
+class RemoteSession:
+    """The Session verbs, executed by a remote node or cluster."""
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 60.0,
+        retries: int = 2,
+        backoff: float = 0.1,
+    ):
+        # Imported here, not at module top: repro.service.server pulls
+        # repro.api in, so an eager import from the api package would
+        # be circular.
+        from repro.service.client import ServiceClient
+
+        self.client = ServiceClient(
+            base_url, timeout=timeout, retries=retries, backoff=backoff
+        )
+
+    # -- hashing / interning ---------------------------------------------------
+
+    def hash(self, expr: Expr, **hints) -> int:
+        return self.client.hash_corpus([expr], **hints)[0]
+
+    def hash_corpus(self, exprs: Iterable[Expr], **hints) -> list[int]:
+        return self.client.hash_corpus(list(exprs), **hints)
+
+    def intern_many(self, exprs: Iterable[Expr], **hints) -> list[int]:
+        return self.client.intern_many(list(exprs), **hints)
+
+    def intern(self, expr: Expr, **hints) -> int:
+        return self.intern_many([expr], **hints)[0]
+
+    # -- introspection ---------------------------------------------------------
+
+    def health(self) -> dict:
+        return self.client.health()
+
+    def stats(self) -> dict:
+        return self.client.stats()
+
+    def metrics(self) -> dict:
+        return self.client.metrics()
+
+    def ping(self) -> bool:
+        """Liveness as a bool (no exception plumbing at call sites)."""
+        from repro.service.client import ServiceError
+
+        try:
+            return bool(self.health().get("ok"))
+        except ServiceError:
+            return False
+
+    # -- store movement --------------------------------------------------------
+
+    def pull(self):
+        """The remote store as a warm local :class:`~repro.api.Session`.
+
+        Against a coordinator this is the merged union of every
+        shard's classes (flat layout, coordinator-assigned ids).
+        """
+        return self.client.pull_session()
+
+    def push(self, source) -> dict:
+        """Merge a local store/session/snapshot into the remote store."""
+        return self.client.push_snapshot(source)
+
+    def catch_up(self, target) -> dict:
+        """Apply the remote's delta since ``target.store.version``.
+
+        Node-only (a coordinator has no id space of its own); the
+        target must have been seeded from this node's snapshot.
+        """
+        return self.client.catch_up(target)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Nothing to release locally; here for Session symmetry."""
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RemoteSession({self.client.base_url!r})"

@@ -27,6 +27,11 @@ Utility commands work on expression files (surface syntax, see
                                             # (hash/intern/stats + snapshot
                                             # download/upload; see
                                             # repro.service)
+    python -m repro cluster serve \\
+        --shard http://127.0.0.1:8655 \\
+        --shard http://127.0.0.1:8657       # coordinator over shard nodes
+                                            # started with --shard-id/-count
+                                            # (see repro.cluster)
 """
 
 from __future__ import annotations
@@ -51,7 +56,7 @@ _EXPERIMENTS = {
     "difftest": "repro.analysis.differential",
 }
 
-_UTILITIES = ("hash", "classes", "cse", "store", "session", "serve")
+_UTILITIES = ("hash", "classes", "cse", "store", "session", "serve", "cluster")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -97,6 +102,10 @@ def _run_utility(command: str, rest: Sequence[str]) -> int:
         from repro.service.server import serve
 
         return serve(rest)
+    if command == "cluster":
+        from repro.cluster.coordinator import cluster
+
+        return cluster(rest)
 
     parser = argparse.ArgumentParser(prog=f"repro {command}")
     parser.add_argument("file", help="expression file, or - for stdin")

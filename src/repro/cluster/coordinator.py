@@ -1,0 +1,686 @@
+"""The cluster front door: one endpoint, many shard nodes.
+
+A :class:`ClusterCoordinator` speaks the same ``/v1`` wire protocol as
+a single :class:`~repro.service.server.ReproServer`, so any client
+(:class:`~repro.service.client.ServiceClient`, ``RemoteSession``, curl)
+can point at a coordinator instead of a node and see *one* logical
+store.  Behind it, work is partitioned by the paper's own invariant --
+alpha-hashes are canonical and uniform -- exactly like
+:class:`~repro.store.ShardedExprStore` stripes in-process, lifted to
+whole processes:
+
+* ``/v1/hash`` fans contiguous corpus chunks out to the live shards
+  concurrently.  Hashing is stateless and bit-identical on every node
+  (same combiner family), so a chunk whose shard dies mid-request is
+  simply replayed on another live shard.
+
+* ``/v1/intern`` is two-phase: hash first (fan-out as above), then
+  group items by owning shard (``root_hash % shard_count``) and send
+  each group to its owner.  Ownership is not negotiable -- if the
+  owner is down the coordinator answers **503 naming that shard**
+  rather than silently interning the class somewhere it does not
+  belong.  Returned ids are shard-local; the reply carries ``owners``
+  so ``(owner, id)`` is globally unique.
+
+* ``/v1/stats`` requires every shard and folds the per-shard store
+  counters elementwise, so cluster totals are conserved sums of node
+  counters.  ``/v1/metrics`` and ``/v1/health`` are best-effort and
+  report down shards instead of failing.
+
+* ``/v1/snapshot`` downloads every shard's snapshot and merges the
+  union into one flat store -- bit-identical hashes, coordinator-local
+  ids -- so "save the cluster" degenerates to the single-node flow.
+
+Failure policy: every shard call is bounded (client timeout + bounded
+retries with backoff), a failing shard is marked down for ``down_ttl``
+seconds so subsequent requests fail fast instead of re-probing, and a
+down shard is retried after the TTL lapses.  Nothing here blocks
+unboundedly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http.server import ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.combiners import HashCombiners
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import _Handler, _RequestError
+from repro.store import snapshot_from_bytes, snapshot_to_bytes
+from repro.store.store import ExprStore
+
+__all__ = ["ClusterCoordinator", "cluster"]
+
+
+class _ShardNode:
+    """One shard endpoint plus its cached liveness."""
+
+    def __init__(self, index: int, url: str, client: ServiceClient):
+        self.index = index
+        self.url = url
+        self.client = client
+        #: Monotonic deadline before which the node is presumed down.
+        self.down_until = 0.0
+        self.last_error: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return f"shard {self.index} ({self.url})"
+
+
+class _CoordinatorHandler(_Handler):
+    """Coordinator routes over the node handler's HTTP plumbing."""
+
+    server_version = "repro-cluster/1"
+
+    @property
+    def coordinator(self) -> "ClusterCoordinator":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:
+        routes = {
+            "/v1/health": self._get_health,
+            "/v1/stats": self._get_stats,
+            "/v1/metrics": self._get_metrics,
+            "/v1/snapshot": self._get_snapshot,
+        }
+        handler = routes.get(self.path.split("?", 1)[0])
+        if handler is None:
+            self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+            return
+        self._dispatch(handler)
+
+    def do_POST(self) -> None:
+        routes = {
+            "/v1/hash": self._post_hash,
+            "/v1/intern": self._post_intern,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+            return
+        self._dispatch(handler)
+
+    def _get_health(self) -> None:
+        self._send_json(200, self.coordinator.health())
+
+    def _get_stats(self) -> None:
+        self._send_json(200, self.coordinator.folded_stats())
+
+    def _get_metrics(self) -> None:
+        self._send_json(200, self.coordinator.folded_metrics())
+
+    def _get_snapshot(self) -> None:
+        data = self.coordinator.merged_snapshot_bytes()
+        self.coordinator.count_request()
+        self._send(200, data, "application/octet-stream")
+
+    def _wire_payload(self) -> tuple[list, dict]:
+        payload = self._read_json()
+        docs = payload.get("exprs")
+        if not isinstance(docs, list):
+            raise _RequestError(400, "body must carry an 'exprs' list")
+        hints = {
+            name: payload[name]
+            for name in ("backend", "engine", "workers", "mode")
+            if payload.get(name) is not None
+        }
+        return docs, hints
+
+    def _post_hash(self) -> None:
+        docs, hints = self._wire_payload()
+        coordinator = self.coordinator
+        hashes, fanout = coordinator.hash_wire(docs, hints)
+        coordinator.count_request()
+        self._send_json(
+            200,
+            {
+                "hashes": hashes,
+                "plan": {
+                    "cluster": {
+                        "shard_count": coordinator.topology.num_shards,
+                        "fanout": fanout,
+                    }
+                },
+            },
+        )
+
+    def _post_intern(self) -> None:
+        docs, hints = self._wire_payload()
+        coordinator = self.coordinator
+        ids, hashes, owners = coordinator.intern_wire(docs, hints)
+        coordinator.count_request()
+        self._send_json(
+            200,
+            {
+                "ids": ids,
+                "hashes": hashes,
+                "owners": owners,
+                "plan": {
+                    "cluster": {
+                        "shard_count": coordinator.topology.num_shards,
+                        "groups": len(set(owners)),
+                    }
+                },
+            },
+        )
+
+
+class ClusterCoordinator:
+    """Route one logical store's traffic across shard nodes.
+
+    Usable embedded (tests) or via ``repro cluster serve``::
+
+        with ClusterCoordinator([node0.url, node1.url], port=0) as coord:
+            client = ServiceClient(coord.url)
+            client.hash_corpus(corpus)    # fans out, bit-identical
+            client.intern_many(corpus)    # routed to owning shards
+    """
+
+    def __init__(
+        self,
+        shard_urls,
+        host: str = "127.0.0.1",
+        port: int = 8656,
+        *,
+        timeout: float = 30.0,
+        retries: int = 2,
+        backoff: float = 0.1,
+        down_ttl: float = 2.0,
+        verbose: bool = False,
+    ):
+        self.topology = ClusterTopology(shard_urls)
+        self.verbose = verbose
+        self.down_ttl = down_ttl
+        self.nodes = [
+            _ShardNode(
+                index,
+                url,
+                ServiceClient(
+                    url, timeout=timeout, retries=retries, backoff=backoff
+                ),
+            )
+            for index, url in enumerate(self.topology)
+        ]
+        self.lock = threading.Lock()
+        self.requests_served = 0
+        self.started_at = time.monotonic()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(4, 2 * len(self.nodes)),
+            thread_name_prefix="repro-cluster",
+        )
+        self._httpd = ThreadingHTTPServer((host, port), _CoordinatorHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+        self._closed = False
+
+    # -- lifecycle (mirrors ReproServer) ---------------------------------------
+
+    def count_request(self) -> None:
+        with self.lock:
+            self.requests_served += 1
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ClusterCoordinator":
+        if self._thread is None:
+            self._serving = True
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-cluster-serve",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._serving = True
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving and release the socket; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._serving:
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    shutdown = close
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- node liveness ---------------------------------------------------------
+
+    def _usable(self, node: _ShardNode) -> bool:
+        return node.down_until <= time.monotonic()
+
+    def _mark_down(self, node: _ShardNode, exc: Exception) -> None:
+        with self.lock:
+            node.down_until = time.monotonic() + self.down_ttl
+            node.last_error = str(exc)
+
+    def _mark_up(self, node: _ShardNode) -> None:
+        if node.down_until or node.last_error:
+            with self.lock:
+                node.down_until = 0.0
+                node.last_error = None
+
+    def _call(self, node: _ShardNode, fn: Callable[[ServiceClient], object]):
+        """Run ``fn(node.client)``, folding the outcome into liveness.
+
+        A connection failure or 5xx marks the node down for
+        ``down_ttl`` (so the *next* request fails fast instead of
+        re-probing a corpse); 4xx is the shard answering fine and
+        disagreeing, which is not a liveness signal.
+        """
+        try:
+            result = fn(node.client)
+        except ServiceError as exc:
+            if exc.status is None or exc.status >= 500:
+                self._mark_down(node, exc)
+            raise
+        self._mark_up(node)
+        return result
+
+    @staticmethod
+    def _is_liveness_failure(exc: ServiceError) -> bool:
+        return exc.status is None or exc.status >= 500
+
+    # -- fan-out primitives ----------------------------------------------------
+
+    def _fan_all(self, fn: Callable[[ServiceClient], object], what: str):
+        """``fn`` on *every* shard, in shard order; all must answer.
+
+        Used where the reply is only meaningful when complete (stats
+        conservation, snapshot union): a dead shard surfaces as a 503
+        naming it, never as a silently partial answer.
+        """
+        futures = [
+            self._pool.submit(self._call, node, fn) for node in self.nodes
+        ]
+        results = []
+        failure: Optional[_RequestError] = None
+        for node, future in zip(self.nodes, futures):
+            try:
+                results.append(future.result())
+            except ServiceError as exc:
+                if failure is None:
+                    failure = _RequestError(
+                        503 if self._is_liveness_failure(exc) else 502,
+                        f"{what} needs every shard, but {node.name} "
+                        f"failed: {exc}",
+                    )
+        if failure is not None:
+            raise failure
+        return results
+
+    def _fan_best_effort(self, fn: Callable[[ServiceClient], object]):
+        """``fn`` on every shard; per-node ``(reply, error)`` pairs."""
+        futures = [
+            self._pool.submit(self._call, node, fn) for node in self.nodes
+        ]
+        out = []
+        for future in futures:
+            try:
+                out.append((future.result(), None))
+            except ServiceError as exc:
+                out.append((None, str(exc)))
+        return out
+
+    # -- hashing: stateless, re-routable ---------------------------------------
+
+    def hash_wire(self, docs: list, hints: Optional[dict] = None):
+        """Root hashes of wire documents, fanned across live shards.
+
+        Returns ``(hashes, fanout)`` where ``fanout`` is the number of
+        chunks dispatched.  Any shard can hash any chunk (bit-identical
+        combiners everywhere), so a chunk only fails when *no* shard is
+        reachable -- then a 503 says so.
+        """
+        hints = dict(hints or {})
+        if not docs:
+            return [], 0
+        now = time.monotonic()
+        preferred = [n.index for n in self.nodes if n.down_until <= now]
+        if not preferred:
+            preferred = [n.index for n in self.nodes]
+        chunks = min(len(preferred), len(docs))
+        bounds = [
+            (len(docs) * i // chunks, len(docs) * (i + 1) // chunks)
+            for i in range(chunks)
+        ]
+        futures = [
+            self._pool.submit(
+                self._hash_chunk, docs[lo:hi], hints, preferred[i]
+            )
+            for i, (lo, hi) in enumerate(bounds)
+        ]
+        hashes: list = [None] * len(docs)
+        failure: Optional[_RequestError] = None
+        for (lo, hi), future in zip(bounds, futures):
+            try:
+                hashes[lo:hi] = future.result()
+            except _RequestError as exc:
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
+        return hashes, chunks
+
+    def _hash_chunk(self, docs: list, hints: dict, preferred: int) -> list:
+        """One chunk on the preferred shard, failing over round-robin."""
+        order = self.nodes[preferred:] + self.nodes[:preferred]
+        attempted = []
+        # First pass sticks to nodes believed up; the second probes the
+        # rest (their TTL may have lapsed, or everyone is down and the
+        # cache is stale).  Each node is tried at most once per pass.
+        for require_usable in (True, False):
+            for node in order:
+                if node in attempted:
+                    continue
+                if require_usable and not self._usable(node):
+                    continue
+                attempted.append(node)
+                try:
+                    reply = self._call(
+                        node, lambda c: c.hash_wire(docs, hints)
+                    )
+                    return reply["hashes"]
+                except ServiceError as exc:
+                    if not self._is_liveness_failure(exc):
+                        raise _RequestError(
+                            exc.status or 502, f"{node.name}: {exc}"
+                        ) from None
+        raise _RequestError(
+            503,
+            f"no shard reachable for hashing (tried "
+            f"{len(attempted)}/{len(self.nodes)}): last errors "
+            + "; ".join(
+                f"{n.name}: {n.last_error}" for n in attempted[-2:]
+            ),
+        )
+
+    # -- interning: ownership is not negotiable --------------------------------
+
+    def intern_wire(self, docs: list, hints: Optional[dict] = None):
+        """Two-phase intern: hash everywhere, write at the owner.
+
+        Returns ``(ids, hashes, owners)`` aligned with ``docs``; ids
+        are shard-local (``(owners[i], ids[i])`` is globally unique).
+        A dead *owner* is a hard 503 naming the shard -- its keys
+        cannot be interned anywhere else.
+        """
+        hints = dict(hints or {})
+        hashes, _fanout = self.hash_wire(docs, hints)
+        groups: dict[int, list[int]] = {}
+        for index, digest in enumerate(hashes):
+            groups.setdefault(self.topology.owner_of(digest), []).append(index)
+        futures = {
+            owner: self._pool.submit(
+                self._intern_group, owner, [docs[i] for i in indices], hints
+            )
+            for owner, indices in groups.items()
+        }
+        ids: list = [None] * len(docs)
+        owners: list = [None] * len(docs)
+        failure: Optional[_RequestError] = None
+        for owner, indices in groups.items():
+            try:
+                group_ids = futures[owner].result()
+            except _RequestError as exc:
+                if failure is None:
+                    failure = exc
+                continue
+            for local, index in zip(group_ids, indices):
+                ids[index] = local
+                owners[index] = owner
+        if failure is not None:
+            raise failure
+        return ids, hashes, owners
+
+    def _intern_group(self, owner: int, docs: list, hints: dict) -> list:
+        node = self.nodes[owner]
+        if not self._usable(node):
+            raise _RequestError(
+                503,
+                f"{node.name} owns these keys but is down "
+                f"({node.last_error}); retry after its cooldown",
+            )
+        try:
+            reply = self._call(node, lambda c: c.intern_wire(docs, hints))
+        except ServiceError as exc:
+            if self._is_liveness_failure(exc):
+                raise _RequestError(
+                    503, f"{node.name} owns these keys but is "
+                    f"unreachable: {exc}"
+                ) from None
+            if exc.status == 409:
+                # The node disagrees about ownership: the topology the
+                # coordinator serves does not match the --shard-id /
+                # --shard-count the nodes were started with.
+                raise _RequestError(
+                    502,
+                    f"{node.name} refused keys the topology says it "
+                    f"owns -- shard order mismatch? ({exc})",
+                ) from None
+            raise _RequestError(exc.status or 502, f"{node.name}: {exc}") \
+                from None
+        return reply["ids"]
+
+    # -- folded views ----------------------------------------------------------
+
+    def health(self) -> dict:
+        per_shard = []
+        for node, (reply, error) in zip(
+            self.nodes, self._fan_best_effort(lambda c: c.health())
+        ):
+            entry = {
+                "shard": node.index,
+                "url": node.url,
+                "ok": error is None and bool(reply and reply.get("ok")),
+            }
+            if reply:
+                entry["entries"] = reply.get("entries")
+                entry["version"] = reply.get("version")
+            if error:
+                entry["error"] = error
+            per_shard.append(entry)
+        return {
+            "ok": all(entry["ok"] for entry in per_shard),
+            "role": "coordinator",
+            "shard_count": self.topology.num_shards,
+            "shards": per_shard,
+            "requests_served": self.requests_served,
+        }
+
+    def folded_stats(self) -> dict:
+        """Cluster stats as conserved sums of per-shard counters."""
+        replies = self._fan_all(lambda c: c.stats(), what="stats")
+        totals: dict = {}
+        entries = 0
+        for reply in replies:
+            entries += reply.get("entries", 0)
+            for key, value in (reply.get("store") or {}).items():
+                if isinstance(value, (int, float)):
+                    totals[key] = totals.get(key, 0) + value
+        first = replies[0]
+        return {
+            "role": "coordinator",
+            "backend": first.get("backend"),
+            "bits": first.get("bits"),
+            "seed": first.get("seed"),
+            "shard_count": self.topology.num_shards,
+            "entries": entries,
+            "store": totals,
+            "shards": replies,
+            "requests_served": self.requests_served,
+        }
+
+    def folded_metrics(self) -> dict:
+        per_shard = []
+        for node, (reply, error) in zip(
+            self.nodes, self._fan_best_effort(lambda c: c.metrics())
+        ):
+            entry = {"shard": node.index, "url": node.url, "ok": error is None}
+            if reply is not None:
+                entry["metrics"] = reply
+            if error:
+                entry["error"] = error
+            per_shard.append(entry)
+        return {
+            "ok": all(entry["ok"] for entry in per_shard),
+            "role": "coordinator",
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "requests_served": self.requests_served,
+            "shard_count": self.topology.num_shards,
+            "shards": per_shard,
+        }
+
+    def merged_snapshot_bytes(self) -> bytes:
+        """Union of every shard's classes as one flat snapshot.
+
+        Hashes are preserved bit-for-bit by ``merge_store``; ids are
+        re-assigned in the merged store (shard-local ids don't survive,
+        by design -- hashes are the global names here).
+        """
+        datas = self._fan_all(lambda c: c.fetch_snapshot(), what="snapshot")
+        stores = [snapshot_from_bytes(data)[0] for data in datas]
+        merged = ExprStore(
+            HashCombiners(
+                bits=stores[0].combiners.bits, seed=stores[0].combiners.seed
+            )
+        )
+        for store in stores:
+            merged.merge_store(store)
+        return snapshot_to_bytes(
+            merged,
+            meta={
+                "cluster": {
+                    "shard_count": self.topology.num_shards,
+                    "shard_entries": [len(s) for s in stores],
+                }
+            },
+        )
+
+
+def cluster(argv=None) -> int:
+    """The ``repro cluster`` entry point (see :mod:`repro.cli`)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro cluster",
+        description="Run or inspect a distributed hash cluster: a "
+        "coordinator front door routing /v1 traffic across repro serve "
+        "shard nodes by alpha-hash ownership.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve_p = sub.add_parser(
+        "serve", help="run a coordinator over already-running shard nodes"
+    )
+    serve_p.add_argument(
+        "--shard",
+        action="append",
+        required=True,
+        metavar="URL",
+        dest="shards",
+        help="shard node URL; repeat once per shard, in shard-id order "
+        "(position i must be the node started with --shard-id i)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8656)
+    serve_p.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request timeout towards a shard, seconds",
+    )
+    serve_p.add_argument(
+        "--retries", type=int, default=2,
+        help="bounded retries per shard request (backoff doubles, jittered)",
+    )
+    serve_p.add_argument(
+        "--backoff", type=float, default=0.1,
+        help="first retry delay in seconds",
+    )
+    serve_p.add_argument(
+        "--down-ttl", type=float, default=2.0,
+        help="seconds a failed shard is presumed down (fail fast window)",
+    )
+    serve_p.add_argument("--verbose", action="store_true")
+
+    status_p = sub.add_parser(
+        "status", help="print a coordinator's folded /v1/metrics"
+    )
+    status_p.add_argument("--url", required=True, help="coordinator URL")
+    status_p.add_argument("--timeout", type=float, default=10.0)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "status":
+        import json as _json
+
+        client = ServiceClient(args.url, timeout=args.timeout, retries=0)
+        print(_json.dumps(client.metrics(), indent=2, sort_keys=True))
+        return 0
+
+    coordinator = ClusterCoordinator(
+        args.shards,
+        host=args.host,
+        port=args.port,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        down_ttl=args.down_ttl,
+        verbose=args.verbose,
+    )
+    print(
+        f"repro cluster serve: {coordinator.url} fronting "
+        f"{coordinator.topology.num_shards} shard(s): "
+        + ", ".join(coordinator.topology),
+        flush=True,
+    )
+
+    import signal
+
+    def _on_sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    installed = False
+    try:
+        previous = signal.signal(signal.SIGTERM, _on_sigterm)
+        installed = True
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+    try:
+        coordinator.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if installed and previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+        coordinator.close()
+    return 0

@@ -1,0 +1,64 @@
+"""Cluster shape: which shard owns which alpha-hash.
+
+The cluster partitions the *class space*, not the corpus: an
+equivalence class belongs to exactly one shard, decided by its root
+alpha-hash modulo the shard count -- the same key
+:class:`~repro.store.ShardedExprStore` stripes on in-process, lifted
+to whole nodes.  Because alpha-hashes are uniform by construction
+(that is the paper's point), the modulus balances shards without any
+placement metadata: ownership is a pure function of the hash, so every
+coordinator, node and replica computes the same answer independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ClusterTopology", "TopologyError"]
+
+
+class TopologyError(ValueError):
+    """An unusable cluster description (no shards, duplicate URLs...)."""
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """An ordered, fixed set of shard node URLs.
+
+    The position of a URL *is* its shard id: node ``i`` owns every
+    class whose root alpha-hash satisfies ``hash % num_shards == i``.
+    Order therefore matters and must match the ``--shard-id`` each node
+    was started with.
+    """
+
+    shard_urls: tuple[str, ...] = field(default_factory=tuple)
+
+    def __init__(self, shard_urls):
+        urls = tuple(str(u).rstrip("/") for u in shard_urls)
+        if not urls:
+            raise TopologyError("a cluster needs at least one shard URL")
+        seen = set()
+        for url in urls:
+            if not url.startswith(("http://", "https://")):
+                raise TopologyError(f"shard URL must be http(s): {url!r}")
+            if url in seen:
+                raise TopologyError(f"duplicate shard URL {url!r}")
+            seen.add(url)
+        object.__setattr__(self, "shard_urls", urls)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_urls)
+
+    def owner_of(self, digest: int) -> int:
+        """The shard id owning the class with root alpha-hash ``digest``."""
+        return digest % self.num_shards
+
+    def url_of(self, shard_id: int) -> str:
+        return self.shard_urls[shard_id]
+
+    def __len__(self) -> int:
+        return self.num_shards
+
+    def __iter__(self):
+        return iter(self.shard_urls)

@@ -18,11 +18,20 @@ chains survive, and the server re-hashes from the tree -- the client
 needs no combiner state at all.  Stores travel as the versioned
 snapshot format; :meth:`push_snapshot` accepts raw bytes, a store, or
 a session and merging preserves hashes bit-for-bit.
+
+Transient failures -- connection refused/reset and 5xx replies -- are
+retried with exponential backoff plus jitter, bounded by ``retries``.
+Every endpoint here is idempotent (hashing is pure, interning and
+snapshot merging converge to the same state on replay), so retrying
+POSTs is safe.  4xx replies are the caller's fault and surface
+immediately as :class:`ServiceError` with the status attached.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 from typing import Iterable, Optional, Union
@@ -42,13 +51,34 @@ class ServiceError(RuntimeError):
 
 
 class ServiceClient:
-    """Talk to one :class:`~repro.service.server.ReproServer`."""
+    """Talk to one :class:`~repro.service.server.ReproServer`.
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    ``retries`` bounds how many times a request is *re-sent* after a
+    transient failure (0 disables retrying); ``backoff`` is the first
+    delay in seconds, doubling per attempt and capped at
+    ``max_backoff``, with each delay jittered to 50-100% of nominal so
+    a fleet of clients does not retry in lockstep.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        retries: int = 2,
+        backoff: float = 0.1,
+        max_backoff: float = 2.0,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.max_backoff = max_backoff
 
     # -- plumbing --------------------------------------------------------------
+
+    def _sleep_before_retry(self, attempt: int) -> None:
+        delay = min(self.max_backoff, self.backoff * (2**attempt))
+        time.sleep(delay * (0.5 + random.random() * 0.5))
 
     def _request(
         self,
@@ -57,31 +87,53 @@ class ServiceClient:
         body: Optional[bytes] = None,
         content_type: str = "application/json",
     ) -> tuple[int, bytes, str]:
-        request = urllib.request.Request(
-            self.base_url + path, data=body, method=method
-        )
-        if body is not None:
-            request.add_header("Content-Type", content_type)
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return (
-                    resp.status,
-                    resp.read(),
-                    resp.headers.get("Content-Type", ""),
-                )
-        except urllib.error.HTTPError as exc:
-            detail = exc.read()
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                self.base_url + path, data=body, method=method
+            )
+            if body is not None:
+                request.add_header("Content-Type", content_type)
             try:
-                message = json.loads(detail).get("error", "")
-            except (json.JSONDecodeError, AttributeError):
-                message = detail.decode("utf-8", "replace")
-            raise ServiceError(
-                f"{method} {path} -> {exc.code}: {message}", status=exc.code
-            ) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"{method} {path} failed: {exc.reason}"
-            ) from None
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as resp:
+                    return (
+                        resp.status,
+                        resp.read(),
+                        resp.headers.get("Content-Type", ""),
+                    )
+            except urllib.error.HTTPError as exc:
+                detail = exc.read()
+                try:
+                    message = json.loads(detail).get("error", "")
+                except (json.JSONDecodeError, AttributeError):
+                    message = detail.decode("utf-8", "replace")
+                if exc.code >= 500 and attempt < self.retries:
+                    self._sleep_before_retry(attempt)
+                    continue
+                raise ServiceError(
+                    f"{method} {path} -> {exc.code}: {message}",
+                    status=exc.code,
+                ) from None
+            except urllib.error.URLError as exc:
+                # Connection refused/reset, DNS, timeout: the request
+                # may never have reached the server, so replay it.
+                if attempt < self.retries:
+                    self._sleep_before_retry(attempt)
+                    continue
+                raise ServiceError(
+                    f"{method} {path} failed: {exc.reason}"
+                ) from None
+            except TimeoutError:
+                # Read timeouts escape urllib unwrapped (socket.timeout
+                # is TimeoutError); same treatment as a dropped link.
+                if attempt < self.retries:
+                    self._sleep_before_retry(attempt)
+                    continue
+                raise ServiceError(
+                    f"{method} {path} timed out after {self.timeout}s"
+                ) from None
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _json(self, method: str, path: str, payload: Optional[dict] = None):
         body = (
@@ -105,6 +157,10 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._json("GET", "/v1/stats")
+
+    def metrics(self) -> dict:
+        """The server's operational metrics (uptime, rates, occupancy)."""
+        return self._json("GET", "/v1/metrics")
 
     def hash_corpus(
         self,
@@ -155,12 +211,58 @@ class ServiceClient:
         )
         return reply["ids"]
 
+    # -- wire-level passthrough (coordinator fan-out) --------------------------
+
+    def hash_wire(self, docs: list, hints: Optional[dict] = None) -> dict:
+        """POST already-encoded wire documents to ``/v1/hash``.
+
+        The cluster coordinator relays client documents shard-ward
+        without a decode/re-encode round trip; returns the full reply
+        (``hashes`` + ``plan``).
+        """
+        payload = {"exprs": list(docs)}
+        payload.update(hints or {})
+        return self._json("POST", "/v1/hash", payload)
+
+    def intern_wire(self, docs: list, hints: Optional[dict] = None) -> dict:
+        """POST already-encoded wire documents to ``/v1/intern``."""
+        payload = {"exprs": list(docs)}
+        payload.update(hints or {})
+        return self._json("POST", "/v1/intern", payload)
+
     # -- snapshots over the wire -----------------------------------------------
 
     def fetch_snapshot(self) -> bytes:
         """The server store as versioned snapshot bytes ("save")."""
         _status, data, _ctype = self._request("GET", "/v1/snapshot")
         return data
+
+    def fetch_delta(self, since: int) -> bytes:
+        """Delta bytes covering server interns newer than ``since``.
+
+        ``since`` is a store version stamp, normally the replica's own
+        ``store.version`` (0 means "everything").  Apply the result
+        with :func:`repro.store.apply_delta_bytes`, or use
+        :meth:`catch_up` for the full fetch-and-apply loop.
+        """
+        _status, data, _ctype = self._request(
+            "GET", f"/v1/snapshot/delta?since={int(since)}"
+        )
+        return data
+
+    def catch_up(self, target) -> dict:
+        """Bring a local replica up to date with one delta fetch.
+
+        ``target`` is a :class:`~repro.api.Session` or a store that was
+        seeded from this server's snapshot (same id space).  Returns
+        the apply report: ``{"applied", "skipped", "version"}``.
+        """
+        store = getattr(target, "store", target)
+        if store is None:
+            raise ValueError("target session has no store to catch up")
+        from repro.store import apply_delta_bytes
+
+        return apply_delta_bytes(store, self.fetch_delta(store.version))
 
     def download_snapshot(self, path: str) -> str:
         """Write :meth:`fetch_snapshot` to ``path``; returns ``path``."""

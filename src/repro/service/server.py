@@ -7,12 +7,16 @@ versioned under ``/v1``:
 ===========================  ==================================================
 ``GET  /v1/health``          liveness + combiner family + store shape
 ``GET  /v1/stats``           :meth:`Session.stats` (entries, hit rates, pools)
+``GET  /v1/metrics``         operational metrics: uptime, request count,
+                             hit/miss rates, shard occupancy, engine/kernel
 ``POST /v1/hash``            ``{"exprs": [wire...], hints...}`` ->
                              ``{"hashes": [...], "plan": {...}}``
 ``POST /v1/intern``          same body -> ``{"ids": [...], "hashes": [...]}``
 ``GET  /v1/snapshot``        the store as versioned snapshot bytes ("save")
 ``POST /v1/snapshot``        upload snapshot bytes, merge into the store
                              ("load"); returns the id remapping size
+``GET  /v1/snapshot/delta``  ``?since=V``: entries interned after store
+                             version ``V`` as delta bytes (replica catch-up)
 ===========================  ==================================================
 
 Expressions ride as the flat postorder documents of
@@ -31,20 +35,34 @@ don't starve the accept loop), while store-touching work is serialised
 per server -- the session is the shared resource; the parallelism that
 matters (corpus fan-out over worker pools) happens *inside* a request
 per its plan.
+
+Cluster membership: a server started with ``shard_id``/``shard_count``
+is one node of a hash cluster (see :mod:`repro.cluster`).  It hashes
+anything, but *interns* only expressions whose root alpha-hash it owns
+(``hash % shard_count == shard_id``) -- a foreign key is rejected with
+409 so a misrouted write can never silently split an equivalence class
+across nodes.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
+from urllib.parse import parse_qs, urlsplit
 
 from repro.api import HashRequest, InternRequest, PlanError, Session
-from repro.core.arena import ENGINE_CHOICES
+from repro.core.arena import ENGINE_CHOICES, engine_kernel, resolve_kernel
 from repro.lang.sexpr import SexprError, from_wire
-from repro.store import SnapshotError, snapshot_from_bytes, snapshot_to_bytes
+from repro.store import (
+    SnapshotError,
+    delta_to_bytes,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+)
 
 __all__ = ["ReproServer", "serve"]
 
@@ -160,12 +178,18 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes ----------------------------------------------------------------
 
     def do_GET(self) -> None:
+        # GET paths may carry a query string (/v1/snapshot/delta?since=N):
+        # route on the bare path, stash the parsed query for the handler.
+        split = urlsplit(self.path)
+        self.query = parse_qs(split.query)
         routes = {
             "/v1/health": self._get_health,
             "/v1/stats": self._get_stats,
+            "/v1/metrics": self._get_metrics,
             "/v1/snapshot": self._get_snapshot,
+            "/v1/snapshot/delta": self._get_snapshot_delta,
         }
-        handler = routes.get(self.path)
+        handler = routes.get(split.path)
         if handler is None:
             self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
             return
@@ -184,24 +208,98 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch(handler)
 
     def _get_health(self) -> None:
-        session = self.service.session
-        self._send_json(
-            200,
-            {
-                "ok": True,
-                "backend": session.backend.name,
-                "bits": session.combiners.bits,
-                "seed": session.combiners.seed,
-                "store": session.store is not None,
-                "entries": len(session.store) if session.store else 0,
-            },
-        )
+        service = self.service
+        session = service.session
+        body = {
+            "ok": True,
+            "backend": session.backend.name,
+            "bits": session.combiners.bits,
+            "seed": session.combiners.seed,
+            "store": session.store is not None,
+            "entries": len(session.store) if session.store else 0,
+            "shard_id": service.shard_id,
+            "shard_count": service.shard_count,
+        }
+        if session.store is not None:
+            body["version"] = session.store.version
+        self._send_json(200, body)
 
     def _get_stats(self) -> None:
         with self.service.lock:
             stats = self.service.session.stats()
         stats["requests_served"] = self.service.requests_served
         self._send_json(200, stats)
+
+    def _get_metrics(self) -> None:
+        service = self.service
+        session = service.session
+        with service.lock:
+            stats = session.stats()
+        store_stats = stats.get("store") or {}
+        hits = store_stats.get("hits", 0)
+        misses = store_stats.get("misses", 0)
+        memo_hits = store_stats.get("memo_hits", 0)
+        hashed = store_stats.get("hashed_nodes", 0)
+        probes = hits + misses
+        engine = stats.get("engine", "auto")
+        try:
+            kernel = resolve_kernel(engine_kernel(engine))
+        except ValueError:
+            kernel = "unavailable"
+        body = {
+            "ok": True,
+            "uptime_s": round(time.monotonic() - service.started_at, 3),
+            "requests_served": service.requests_served,
+            "backend": stats.get("backend"),
+            "engine": engine,
+            "kernel": kernel,
+            "workers": stats.get("workers"),
+            "shard_id": service.shard_id,
+            "shard_count": service.shard_count,
+            "store": None,
+        }
+        if session.store is not None:
+            body["store"] = {
+                "entries": stats.get("entries", 0),
+                "version": session.store.version,
+                "counters": store_stats,
+                # Probe rates: of the intern-table probes, how many
+                # landed on a known class; of the summary work, how
+                # much was answered from the memo.
+                "intern_hit_rate": (hits / probes) if probes else None,
+                "memo_hit_rate": (
+                    memo_hits / (memo_hits + hashed)
+                    if (memo_hits + hashed)
+                    else None
+                ),
+                "num_shards": stats.get("num_shards"),
+                "shard_occupancy": stats.get("shard_sizes"),
+            }
+        self._send_json(200, body)
+
+    def _get_snapshot_delta(self) -> None:
+        service = self.service
+        store = service.session.store
+        if store is None:
+            raise _RequestError(409, "this server runs without a store")
+        raw = self.query.get("since", [])
+        if len(raw) != 1:
+            raise _RequestError(400, "exactly one 'since' parameter required")
+        try:
+            since = int(raw[0])
+        except ValueError:
+            raise _RequestError(
+                400, f"'since' must be an integer, got {raw[0]!r}"
+            ) from None
+        try:
+            with service.lock:
+                data = delta_to_bytes(
+                    store, since, meta={"backend": service.session.backend.name}
+                )
+        except SnapshotError as exc:
+            raise _RequestError(409, f"bad delta window: {exc}") from None
+        service.count_request()
+        self._send(200, data, "application/octet-stream")
 
     def _get_snapshot(self) -> None:
         service = self.service
@@ -258,13 +356,39 @@ class _Handler(BaseHTTPRequestHandler):
         if store is None:
             raise _RequestError(409, "this server runs without a store")
         with service.lock:
-            plan = service.session.plan(request)
-            ids = service.session.execute(request, plan=plan)
-            # Canonical hashes come from the (memo-warm) hashing path,
-            # not an id lookup: on an entry-bounded store an early root
-            # can already be evicted again by the end of the batch, and
-            # a capacity condition must not surface as a KeyError.
-            hashes = [store.hash_expr(expr) for expr in corpus]
+            if service.shard_count is not None:
+                # Cluster node: hash first and refuse foreign keys
+                # *before* anything lands in the intern table.  Hashing
+                # is ownership-free (bit-identical everywhere), so this
+                # costs one summary pass the intern below then answers
+                # from the warm memo.
+                hashes = [store.hash_expr(expr) for expr in corpus]
+                foreign = [
+                    index
+                    for index, digest in enumerate(hashes)
+                    if digest % service.shard_count != service.shard_id
+                ]
+                if foreign:
+                    first = foreign[0]
+                    raise _RequestError(
+                        409,
+                        f"shard {service.shard_id}/{service.shard_count} "
+                        f"does not own {len(foreign)} of {len(corpus)} "
+                        f"items: item {first} (hash 0x{hashes[first]:x}) "
+                        f"belongs to shard "
+                        f"{hashes[first] % service.shard_count}",
+                    )
+                plan = service.session.plan(request)
+                ids = service.session.execute(request, plan=plan)
+            else:
+                plan = service.session.plan(request)
+                ids = service.session.execute(request, plan=plan)
+                # Canonical hashes come from the (memo-warm) hashing
+                # path, not an id lookup: on an entry-bounded store an
+                # early root can already be evicted again by the end of
+                # the batch, and a capacity condition must not surface
+                # as a KeyError.
+                hashes = [store.hash_expr(expr) for expr in corpus]
         service.count_request()
         self._send_json(
             200, {"ids": ids, "hashes": hashes, "plan": plan.as_dict()}
@@ -283,6 +407,10 @@ class ReproServer:
 
     ``session`` may be an existing session (shared store); otherwise
     keywords build a private one, closed with the server.
+
+    ``shard_id``/``shard_count`` (both or neither) make this server a
+    cluster shard node: ``/v1/intern`` rejects expressions whose root
+    alpha-hash it does not own (``hash % shard_count != shard_id``).
     """
 
     def __init__(
@@ -291,15 +419,29 @@ class ReproServer:
         host: str = "127.0.0.1",
         port: int = 8655,
         verbose: bool = False,
+        shard_id: Optional[int] = None,
+        shard_count: Optional[int] = None,
         **session_kwargs,
     ):
         if session is not None and session_kwargs:
             raise TypeError(
                 "pass either an existing session or Session keywords, not both"
             )
+        if (shard_id is None) != (shard_count is None):
+            raise ValueError("shard_id and shard_count go together")
+        if shard_count is not None:
+            if shard_count < 1:
+                raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+            if not 0 <= shard_id < shard_count:
+                raise ValueError(
+                    f"shard_id must be in [0, {shard_count}), got {shard_id}"
+                )
         self.session = Session(**session_kwargs) if session is None else session
         self._owns_session = session is None
         self.verbose = verbose
+        self.shard_id = shard_id
+        self.shard_count = shard_count
+        self.started_at = time.monotonic()
         #: Serialises store-touching work across handler threads.
         self.lock = threading.Lock()
         self.requests_served = 0
@@ -307,6 +449,8 @@ class ReproServer:
         self._httpd.daemon_threads = True
         self._httpd.service = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+        self._serving = False
+        self._closed = False
 
     def count_request(self) -> None:
         with self.lock:
@@ -327,6 +471,7 @@ class ReproServer:
     def start(self) -> "ReproServer":
         """Serve on a daemon thread; returns immediately."""
         if self._thread is None:
+            self._serving = True
             self._thread = threading.Thread(
                 target=self._httpd.serve_forever,
                 name="repro-serve",
@@ -337,17 +482,33 @@ class ReproServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until interrupted."""
+        self._serving = True
         self._httpd.serve_forever()
 
     def close(self) -> None:
-        """Stop serving, release the socket (and session, if owned)."""
-        self._httpd.shutdown()
+        """Stop serving, release the socket (and session, if owned).
+
+        Idempotent, and safe on a server whose accept loop never ran
+        (``ThreadingHTTPServer.shutdown`` would otherwise block forever
+        waiting for a loop that isn't there) -- so signal handlers,
+        ``finally`` blocks and context managers can all call it without
+        coordination.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._serving:
+            self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
         if self._owns_session:
             self.session.close()
+
+    #: ``shutdown`` reads better at call sites that hold a server they
+    #: did not start (signal handlers, supervisors); same semantics.
+    shutdown = close
 
     def __enter__(self) -> "ReproServer":
         return self.start()
@@ -397,6 +558,19 @@ def serve(argv=None) -> int:
     parser.add_argument(
         "--load", metavar="PATH", help="warm-start from a store snapshot"
     )
+    parser.add_argument(
+        "--shard-id",
+        type=int,
+        default=None,
+        help="this node's shard index within a hash cluster",
+    )
+    parser.add_argument(
+        "--shard-count",
+        type=int,
+        default=None,
+        help="total shards in the cluster (intern requests whose root "
+        "hash this node does not own are rejected with 409)",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -432,19 +606,46 @@ def serve(argv=None) -> int:
             num_shards=args.num_shards,
         )
     server = ReproServer(
-        session, host=args.host, port=args.port, verbose=args.verbose
+        session,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        shard_id=args.shard_id,
+        shard_count=args.shard_count,
     )
     entries = len(session.store) if session.store is not None else 0
+    shard = (
+        f", shard {args.shard_id}/{args.shard_count}"
+        if args.shard_count is not None
+        else ""
+    )
     print(
         f"repro serve: {server.url} (backend={session.backend.name}, "
-        f"bits={session.combiners.bits}, {entries} warm entries)",
+        f"bits={session.combiners.bits}, {entries} warm entries{shard})",
         flush=True,
     )
+
+    # SIGTERM (supervisors, CI teardown) exits through the same clean
+    # path as Ctrl-C: the accept loop unwinds, the socket is released,
+    # worker pools shut down.  No leaked listeners.
+    import signal
+
+    def _on_sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    installed = False
+    try:
+        previous = signal.signal(signal.SIGTERM, _on_sigterm)
+        installed = True
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
     try:
         server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+    except KeyboardInterrupt:
         pass
     finally:
+        if installed and previous is not None:
+            signal.signal(signal.SIGTERM, previous)
         server.close()
         session.close()
     return 0

@@ -15,9 +15,12 @@ from repro.store.parallel import (
 )
 from repro.store.sharded import DEFAULT_NUM_SHARDS, ShardedExprStore
 from repro.store.snapshot import (
+    DELTA_FORMAT,
     SHARDED_SNAPSHOT_FORMAT,
     SNAPSHOT_FORMAT,
     SnapshotError,
+    apply_delta_bytes,
+    delta_to_bytes,
     read_snapshot,
     snapshot_from_bytes,
     snapshot_to_bytes,
@@ -40,10 +43,13 @@ __all__ = [
     "SnapshotError",
     "SNAPSHOT_FORMAT",
     "SHARDED_SNAPSHOT_FORMAT",
+    "DELTA_FORMAT",
     "read_snapshot",
     "write_snapshot",
     "snapshot_from_bytes",
     "snapshot_to_bytes",
+    "delta_to_bytes",
+    "apply_delta_bytes",
     "parallel_hash_corpus",
     "parallel_intern_corpus",
     "resolve_workers",

@@ -222,6 +222,7 @@ def intern_corpus_arena(
 
         node_id = store._next_id
         store._next_id += 1
+        store.version += 1
         entries[node_id] = StoreEntry(
             node_id=node_id,
             hash=top,
@@ -229,6 +230,7 @@ def intern_corpus_arena(
             size=sizes[i],
             children=kid_ids,
             expr=canonical,
+            version=store.version,
         )
         for kid in kid_ids:
             entries[kid].refcount += 1

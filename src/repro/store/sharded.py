@@ -280,6 +280,10 @@ class ShardedExprStore(ExprStore):
             canonical = self._canonical_expr(node, kid_ids)
             node_id = shard.next_local * self.num_shards + shard.index
             shard.next_local += 1
+            # The store-global version stamp is safe here: every intern
+            # walk runs under the store's re-entrant memo lock, so
+            # _intern_one calls are serialised across threads.
+            self.version += 1
             entry = StoreEntry(
                 node_id=node_id,
                 hash=rec.top,
@@ -287,6 +291,7 @@ class ShardedExprStore(ExprStore):
                 size=node.size,
                 children=kid_ids,
                 expr=canonical,
+                version=self.version,
             )
             shard.entries[node_id] = entry
             shard.by_hash[rec.top] = node_id

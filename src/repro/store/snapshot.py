@@ -77,12 +77,16 @@ __all__ = [
     "read_snapshot",
     "snapshot_to_bytes",
     "snapshot_from_bytes",
+    "delta_to_bytes",
+    "apply_delta_bytes",
     "SNAPSHOT_FORMAT",
     "SHARDED_SNAPSHOT_FORMAT",
+    "DELTA_FORMAT",
 ]
 
 SNAPSHOT_FORMAT = "repro-store-snapshot-v1"
 SHARDED_SNAPSHOT_FORMAT = "repro-store-snapshot-v2-sharded"
+DELTA_FORMAT = "repro-store-delta-v1"
 
 _LIT_TAGS = {"int": int, "float": float, "bool": bool, "str": str}
 
@@ -148,6 +152,7 @@ def _entry_record(entry, rec) -> dict:
         "s": rec.s_hash,
         "v": rec.vm_hash,
         "m": rec.vm_entries,
+        "t": entry.version,
     }
 
 
@@ -238,6 +243,7 @@ def _flat_snapshot_to_bytes(
         "max_entries": store.max_entries,
         "memo_limit": store.memo_limit,
         "next_id": store._next_id,
+        "version": store.version,
         "entries": len(records),
         "stats": backfill.counters,
         "meta": meta or {},
@@ -302,6 +308,7 @@ def _sharded_snapshot_to_bytes(
         "max_entries": store.max_entries,
         "memo_limit": store.memo_limit,
         "num_shards": store.num_shards,
+        "version": store.version,
         "entries": sum(m["entries"] for m in shard_meta),
         "shards": shard_meta,
         "stats": backfill.counters,
@@ -377,17 +384,40 @@ def _parse_records(body: bytes, expected: Any) -> list[dict]:
     return records
 
 
-def _build_exprs(records: list[dict]) -> dict[int, Expr]:
+def _build_exprs(records: list[dict], resolve_base=None) -> dict[int, Expr]:
     """Rebuild every record's canonical tree, bottom-up.
 
     Ascending *size* order (ties broken by id for determinism) is valid
     for both layouts: every child is strictly smaller than its parent.
     For v1's ascending ids this coincides with the historical order.
+
+    ``resolve_base`` (delta application) resolves child ids that are not
+    among ``records`` themselves -- they then refer to canonical entries
+    the receiving store already holds; ``None`` from the resolver is a
+    malformed/inapplicable delta and fails loudly.
     """
     exprs: dict[int, Expr] = {}
+
+    def _kid(c: int) -> Expr:
+        # The receiving store's canonical child object wins over a copy
+        # rebuilt from this document: parents must reference the store's
+        # canonical subtree objects, or the maximally-shared DAG (and
+        # the memo's object-identity keys) would silently fork.
+        node = resolve_base(c) if resolve_base is not None else None
+        if node is None:
+            node = exprs.get(c)
+        if node is None:
+            raise SnapshotError(
+                f"malformed snapshot entry: references unknown child id "
+                f"{c} (not in this document"
+                + ("" if resolve_base is None else " or the store")
+                + ")"
+            )
+        return node
+
     for rec in sorted(records, key=lambda r: (r["z"], r["i"])):
         kind, payload = rec["k"], rec["p"]
-        kids = [exprs[c] for c in rec["c"]]
+        kids = [_kid(c) for c in rec["c"]]
         if kind == "Var":
             node: Expr = Var(payload)
         elif kind == "Lit":
@@ -443,6 +473,7 @@ def _flat_snapshot_from_bytes(
                 size=rec["z"],
                 children=tuple(rec["c"]),
                 expr=exprs[node_id],
+                version=rec.get("t", 0),
             )
             store._entries[node_id] = entry
             store._by_hash[entry.hash] = node_id
@@ -467,6 +498,9 @@ def _flat_snapshot_from_bytes(
         ) from exc
 
     store._next_id = header["next_id"]
+    store.version = header.get(
+        "version", max((r.get("t", 0) for r in records), default=0)
+    )
     _restore_stats(store.stats, header.get("stats", {}))
     return store, header
 
@@ -561,6 +595,7 @@ def _sharded_snapshot_from_bytes(
                     size=rec["z"],
                     children=tuple(rec["c"]),
                     expr=exprs[node_id],
+                    version=rec.get("t", 0),
                 )
                 shard.entries[node_id] = entry
                 shard.by_hash[entry.hash] = node_id
@@ -587,6 +622,9 @@ def _sharded_snapshot_from_bytes(
     except (KeyError, IndexError, TypeError, AttributeError) as exc:
         raise SnapshotError(f"malformed snapshot entry: {exc!r}") from exc
 
+    store.version = header.get(
+        "version", max((r.get("t", 0) for r in records), default=0)
+    )
     _restore_stats(store.stats, header.get("stats", {}))
     return store, header
 
@@ -598,3 +636,242 @@ def read_snapshot(path: str) -> tuple["ExprStore", dict]:
     with open(path, "rb") as handle:
         data = handle.read()
     return snapshot_from_bytes(data)
+
+
+# -- incremental snapshot deltas -----------------------------------------------
+#
+# A delta is the journal of canonical entries interned since a version
+# stamp: the same header-line + JSON-lines layout as a full snapshot
+# (entry schema unchanged, ``t`` is each entry's creation stamp), but
+# the body holds only the live entries with ``version > since`` and the
+# header records the ``(since, version]`` window it covers::
+#
+#     {"format": "repro-store-delta-v1", "bits": .., "seed": ..,
+#      "since": S, "version": V, "num_shards": null | K,
+#      "entries": N, "meta": {..}, "checksum": "sha256:..."}
+#
+# Deltas assume a shared id space: the receiver started from a full
+# snapshot of the same store (node ids are preserved by both the v1 and
+# v2 layouts), so child ids that predate ``since`` resolve against the
+# receiver's own table.  That makes replica catch-up O(new entries)
+# instead of O(store) -- the whole point.  Application is idempotent:
+# entries the receiver already holds are verified (same hash/kind/size)
+# and skipped, so overlapping deltas are safe to replay.
+
+
+def _memo_lock_of(store: "ExprStore"):
+    """The store's memo lock when it has one (sharded stores), else a
+    no-op context -- delta emission/application must be atomic against
+    concurrent interns."""
+    import contextlib
+
+    return getattr(store, "_memo_lock", None) or contextlib.nullcontext()
+
+
+def _store_num_shards(store: "ExprStore") -> Optional[int]:
+    from repro.store.sharded import ShardedExprStore
+
+    return store.num_shards if isinstance(store, ShardedExprStore) else None
+
+
+def delta_to_bytes(
+    store: "ExprStore", since: int, meta: Optional[dict] = None
+) -> bytes:
+    """Serialise the live entries interned after version ``since``.
+
+    ``since`` is a version stamp previously observed on this store (a
+    replica's ``store.version`` after loading a full snapshot or an
+    earlier delta); ``since == store.version`` yields a valid empty
+    delta.  A ``since`` ahead of the store's version is a protocol
+    breach (the caller tracked a *different* store) and raises
+    :class:`SnapshotError`.
+
+    Entries created after ``since`` and evicted again before this call
+    are simply absent -- the receiver never needed them.  Children of
+    every shipped entry are guaranteed resolvable on a receiver at
+    version >= ``since``: a child either rides in the delta (fresh) or
+    was live at ``since`` (pinned by its parent's refcount ever since),
+    hence present in the receiver's baseline.
+    """
+    with _memo_lock_of(store):
+        if since < 0 or since > store.version:
+            raise SnapshotError(
+                f"delta since={since} is outside this store's history "
+                f"(version {store.version})"
+            )
+        fresh = sorted(
+            (e for e in store.entries() if e.version > since),
+            key=lambda e: e.version,
+        )
+        with _MemoBackfill(store, fresh):
+            records = [
+                _entry_record(entry, store._memo[id(entry.expr)])
+                for entry in fresh
+            ]
+        body = _encode_records(records)
+        header = {
+            "format": DELTA_FORMAT,
+            "bits": store.combiners.bits,
+            "seed": store.combiners.seed,
+            "since": since,
+            "version": store.version,
+            "num_shards": _store_num_shards(store),
+            "entries": len(records),
+            "meta": meta or {},
+            "checksum": _checksum(body),
+        }
+    header_bytes = json.dumps(
+        header, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    return header_bytes + b"\n" + body
+
+
+def apply_delta_bytes(store: "ExprStore", data: bytes) -> dict:
+    """Apply a :func:`delta_to_bytes` document to ``store``; return
+    ``{"applied": .., "skipped": .., "version": ..}``.
+
+    ``store`` must share the delta's combiner family, store shape
+    (``num_shards``) and id space (it was restored from a snapshot of
+    the emitting store), and must have reached the delta's ``since``
+    stamp -- a gap means missing entries and fails loudly.  Entries the
+    store already holds are verified and skipped (idempotent replay);
+    truncated, tampered or schema-breaching documents raise
+    :class:`SnapshotError` without partial application of the broken
+    record's subtree.
+    """
+    from repro.store.sharded import ShardedExprStore
+    from repro.store.store import StoreEntry, _MemoRecord
+
+    newline = data.find(b"\n")
+    if newline < 0:
+        header_line, body = data, b""
+    else:
+        header_line, body = data[:newline], data[newline + 1 :]
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"unreadable delta header: {exc}") from None
+    if not isinstance(header, dict) or header.get("format") != DELTA_FORMAT:
+        raise SnapshotError(
+            f"not a {DELTA_FORMAT} document: {header_line[:80]!r}"
+        )
+    if header.get("checksum") != _checksum(body):
+        raise SnapshotError("delta body does not match header checksum")
+    missing_fields = [
+        key
+        for key in ("bits", "seed", "since", "version", "entries")
+        if key not in header
+    ]
+    if missing_fields:
+        raise SnapshotError(
+            f"delta header is missing required field(s): {missing_fields}"
+        )
+    if (
+        header["bits"] != store.combiners.bits
+        or header["seed"] != store.combiners.seed
+    ):
+        raise SnapshotError(
+            f"delta combiner family (bits={header['bits']}, "
+            f"seed={header['seed']}) disagrees with the store's "
+            f"(bits={store.combiners.bits}, seed={store.combiners.seed})"
+        )
+    num_shards = header.get("num_shards")
+    if num_shards != _store_num_shards(store):
+        raise SnapshotError(
+            f"delta store shape (num_shards={num_shards}) disagrees with "
+            f"the receiving store's "
+            f"(num_shards={_store_num_shards(store)}); deltas share the "
+            "emitter's id space and only apply to the matching shape"
+        )
+
+    with _memo_lock_of(store):
+        if header["since"] > store.version:
+            raise SnapshotError(
+                f"delta starts at version {header['since']} but the store "
+                f"is at {store.version}: entries are missing in between -- "
+                "catch up with an older delta or a full snapshot"
+            )
+        records = _parse_records(body, header["entries"])
+        sharded = isinstance(store, ShardedExprStore)
+
+        def _existing(node_id: int) -> Optional[StoreEntry]:
+            if sharded:
+                return store._shard_of_id(node_id).entries.get(node_id)
+            return store._entries.get(node_id)
+
+        def _resolve_base(node_id: int) -> Optional[Expr]:
+            entry = _existing(node_id)
+            return None if entry is None else entry.expr
+
+        applied = skipped = 0
+        try:
+            exprs = _build_exprs(records, resolve_base=_resolve_base)
+            for rec in sorted(records, key=lambda r: (r["z"], r["i"])):
+                node_id = rec["i"]
+                present = _existing(node_id)
+                if present is not None:
+                    if (
+                        present.hash != rec["h"]
+                        or present.kind != rec["k"]
+                        or present.size != rec["z"]
+                    ):
+                        raise SnapshotError(
+                            f"delta entry {node_id} disagrees with the "
+                            f"store's existing entry (hash/kind/size "
+                            "mismatch): the receiver does not mirror the "
+                            "emitting store"
+                        )
+                    skipped += 1
+                    continue
+                entry = StoreEntry(
+                    node_id=node_id,
+                    hash=rec["h"],
+                    kind=rec["k"],
+                    size=rec["z"],
+                    children=tuple(rec["c"]),
+                    expr=exprs[node_id],
+                    version=rec["t"],
+                )
+                if sharded:
+                    shard = store._shard_of_id(node_id)
+                    with shard.lock:
+                        shard.entries[node_id] = entry
+                        shard.by_hash[entry.hash] = node_id
+                        shard.next_local = max(
+                            shard.next_local,
+                            node_id // store.num_shards + 1,
+                        )
+                        shard.stats.misses += 1
+                else:
+                    store._entries[node_id] = entry
+                    store._by_hash[entry.hash] = node_id
+                    store._next_id = max(store._next_id, node_id + 1)
+                store.stats.misses += 1
+                for kid in entry.children:
+                    kid_entry = _existing(kid)
+                    kid_entry.refcount += 1
+                # Warm the memo like the full-snapshot loaders, but only
+                # when every canonical child is still covered (a record
+                # must imply full-subtree coverage, and the receiver may
+                # have flushed its memo since the baseline load).
+                node = exprs[node_id]
+                if id(node) not in store._memo and all(
+                    id(_existing(kid).expr) in store._memo
+                    for kid in entry.children
+                ):
+                    memo_rec = _MemoRecord(
+                        node, rec["s"], dict(rec["m"]), rec["v"], rec["h"]
+                    )
+                    memo_rec.node_id = node_id
+                    store._memo[id(node)] = memo_rec
+                applied += 1
+        except SnapshotError:
+            raise
+        except (KeyError, IndexError, TypeError, AttributeError) as exc:
+            raise SnapshotError(f"malformed delta entry: {exc!r}") from exc
+        store.version = max(store.version, header["version"])
+        return {
+            "applied": applied,
+            "skipped": skipped,
+            "version": store.version,
+        }

@@ -118,7 +118,11 @@ class StoreEntry:
     canonical representative tree (its subtrees are the canonical
     representatives of the child entries, so entries form a DAG).
     ``refcount`` counts parent entries referencing this one -- the LRU
-    mode only evicts entries with ``refcount == 0``.
+    mode only evicts entries with ``refcount == 0``.  ``version`` is the
+    store's monotonic intern stamp at creation time: entry ``version``
+    values are unique and strictly increasing in creation order, which
+    is what incremental snapshot deltas
+    (:func:`repro.store.snapshot.delta_to_bytes`) select on.
     """
 
     node_id: int
@@ -128,6 +132,7 @@ class StoreEntry:
     children: tuple[int, ...]
     expr: Expr
     refcount: int = 0
+    version: int = 0
 
 
 # The record class moved to repro.core.kernel in PR 4 (the shared
@@ -197,6 +202,12 @@ class ExprStore:
         #: alpha-hash -> node_id.
         self._by_hash: dict[int, int] = {}
         self._next_id = 0
+        #: Monotonic intern stamp: +1 per canonical entry ever created
+        #: (never reused, never decremented -- evictions leave gaps).
+        #: ``delta_to_bytes(store, since)`` ships exactly the live
+        #: entries with ``entry.version > since``; replicas track the
+        #: primary's counter through snapshots and deltas.
+        self.version = 0
 
     # -- queries ---------------------------------------------------------------
 
@@ -506,6 +517,7 @@ class ExprStore:
         canonical = self._canonical_expr(node, kid_ids)
         node_id = self._next_id
         self._next_id += 1
+        self.version += 1
         entry = StoreEntry(
             node_id=node_id,
             hash=rec.top,
@@ -513,6 +525,7 @@ class ExprStore:
             size=node.size,
             children=kid_ids,
             expr=canonical,
+            version=self.version,
         )
         for kid in kid_ids:
             self._entries[kid].refcount += 1

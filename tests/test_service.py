@@ -7,6 +7,7 @@ format with entry-count conservation.
 """
 
 import random
+import time
 
 import pytest
 
@@ -253,3 +254,83 @@ class TestErrorHandling:
             assert client.hash_corpus([expr]) == [
                 alpha_hash_all(expr).root_hash
             ]
+
+
+class TestMetricsEndpoint:
+    def test_metrics_shape_and_rates(self, server, client, corpus):
+        client.intern_many(corpus[:20])
+        client.hash_corpus(corpus[:20])
+        metrics = client.metrics()
+        assert metrics["ok"] is True
+        assert metrics["uptime_s"] >= 0
+        assert metrics["requests_served"] >= 2
+        assert metrics["backend"] == "ours"
+        assert metrics["kernel"] in ("vec", "scalar")
+        assert metrics["shard_id"] is None and metrics["shard_count"] is None
+        store = metrics["store"]
+        assert store["entries"] > 0
+        assert store["version"] == store["entries"]  # eviction-free store
+        assert 0 <= store["intern_hit_rate"] <= 1
+        assert store["counters"]["misses"] == store["entries"]
+
+    def test_sharded_store_occupancy(self, corpus):
+        with ReproServer(port=0, num_shards=4) as server:
+            client = ServiceClient(server.url)
+            client.intern_many(corpus[:30])
+            store = client.metrics()["store"]
+            assert store["num_shards"] == 4
+            assert len(store["shard_occupancy"]) == 4
+            assert sum(store["shard_occupancy"]) == store["entries"]
+
+
+class TestClientRetry:
+    def test_connection_errors_retried_then_surface(self):
+        # No listener on this port: each attempt fails fast; the client
+        # must give up after its bounded retries, not hang or loop.
+        client = ServiceClient(
+            "http://127.0.0.1:9", timeout=0.5, retries=2, backoff=0.01
+        )
+        started = time.monotonic()
+        with pytest.raises(ServiceError):
+            client.health()
+        assert time.monotonic() - started < 10
+
+    def test_4xx_not_retried(self, server):
+        # A 404 is the caller's fault: it surfaces immediately even
+        # with retries enabled (only 5xx/connection errors replay).
+        client = ServiceClient(server.url, retries=3, backoff=0.01)
+        started = time.monotonic()
+        with pytest.raises(ServiceError) as excinfo:
+            client._json("GET", "/v1/nope")
+        assert excinfo.value.status == 404
+        assert time.monotonic() - started < 1
+
+    def test_retry_disabled_with_zero(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.5, retries=0)
+        with pytest.raises(ServiceError):
+            client.health()
+
+
+class TestCleanShutdown:
+    def test_close_is_idempotent(self):
+        server = ReproServer(port=0).start()
+        ServiceClient(server.url).health()
+        server.close()
+        server.close()  # second close: no hang, no error
+        server.shutdown()  # alias shares the guard
+
+    def test_close_without_serving_does_not_hang(self):
+        # shutdown() on a ThreadingHTTPServer whose accept loop never
+        # ran would block forever; close() must special-case it.
+        server = ReproServer(port=0)
+        server.close()
+
+    def test_socket_released_for_rebind(self):
+        server = ReproServer(port=0).start()
+        port = server.port
+        server.close()
+        rebound = ReproServer(port=port).start()
+        try:
+            assert ServiceClient(rebound.url).health()["ok"] is True
+        finally:
+            rebound.close()
