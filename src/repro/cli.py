@@ -25,12 +25,18 @@ Utility commands work on expression files (surface syntax, see
                                             # --save/--load store snapshots
     python -m repro serve --port 8655       # serve the session over HTTP/JSON
                                             # (hash/intern/stats + snapshot
-                                            # download/upload; see
+                                            # download/upload; --journal DIR
+                                            # for crash-safe write-ahead
+                                            # durability, --follow URL to run
+                                            # as a tailing read replica; see
                                             # repro.service)
     python -m repro cluster serve \\
         --shard http://127.0.0.1:8655 \\
         --shard http://127.0.0.1:8657       # coordinator over shard nodes
-                                            # started with --shard-id/-count
+                                            # started with --shard-id/-count;
+                                            # --replica SHARD=URL adds read
+                                            # failover + promotion, --budget
+                                            # caps per-request failover time
                                             # (see repro.cluster)
 """
 

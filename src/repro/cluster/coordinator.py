@@ -32,9 +32,17 @@ whole processes:
   ids -- so "save the cluster" degenerates to the single-node flow.
 
 Failure policy: every shard call is bounded (client timeout + bounded
-retries with backoff), a failing shard is marked down for ``down_ttl``
-seconds so subsequent requests fail fast instead of re-probing, and a
-down shard is retried after the TTL lapses.  Nothing here blocks
+retries with backoff, all inside an optional per-request ``budget``),
+and each node carries a circuit breaker -- a failure opens it for
+``down_ttl`` seconds so subsequent requests fail fast, with half-open
+health probes (at most one per ``probe_interval``) so a node that
+comes back early rejoins on the next touch rather than after the full
+TTL.  With replicas configured (nodes started with ``--follow``),
+*reads* fail over to the freshest reachable replica transparently,
+and a primary that stays down for a full ``down_ttl`` is replaced by
+an in-sync replica (health version >= the last acknowledged write) as
+the shard's write target -- promotion is sticky and never moves
+ownership, only which node answers for it.  Nothing here blocks
 unboundedly.
 """
 
@@ -57,19 +65,74 @@ __all__ = ["ClusterCoordinator", "cluster"]
 
 
 class _ShardNode:
-    """One shard endpoint plus its cached liveness."""
+    """One endpoint serving a shard's classes, plus its circuit breaker.
 
-    def __init__(self, index: int, url: str, client: ServiceClient):
-        self.index = index
+    The breaker is the classic three-state machine folded into two
+    timestamps: closed (``down_until`` in the past), open (``down_until``
+    in the future -- calls fail fast), and half-open (``next_probe_at``
+    reached -- the next touch spends one cheap health probe instead of
+    serving stale 503s for the rest of the TTL).
+    """
+
+    def __init__(
+        self, shard: int, url: str, client: ServiceClient,
+        probe_client: ServiceClient, role: str,
+    ):
+        self.shard = shard
         self.url = url
         self.client = client
+        #: Short-timeout, zero-retry client for liveness probes only.
+        self.probe_client = probe_client
+        self.role = role  # "primary" | "replica"
         #: Monotonic deadline before which the node is presumed down.
         self.down_until = 0.0
+        #: When the current outage started (None while up).
+        self.down_since: Optional[float] = None
+        #: Earliest moment a touch may spend a health probe on this node.
+        self.next_probe_at = 0.0
         self.last_error: Optional[str] = None
+        self.consecutive_failures = 0
+        #: Up->down transitions (circuit-breaker opens), monotone.
+        self.breaker_opens = 0
+        #: Highest store version observed in any of this node's replies.
+        self.version = 0
 
     @property
     def name(self) -> str:
-        return f"shard {self.index} ({self.url})"
+        if self.role == "replica":
+            return f"replica of shard {self.shard} ({self.url})"
+        return f"shard {self.shard} ({self.url})"
+
+
+class _ShardGroup:
+    """A shard's replica set: configured primary first, then replicas.
+
+    ``active`` indexes the node currently taking *writes*.  It starts at
+    the configured primary and moves only by promotion (primary down for
+    a full ``down_ttl`` with an in-sync replica available).  Promotion
+    is sticky: a primary that comes back after its replacement has
+    acknowledged writes is stale by definition, so it rejoins as a read
+    candidate only, and re-seating it is an operator action.
+    """
+
+    def __init__(self, index: int, nodes: list[_ShardNode]):
+        self.index = index
+        self.nodes = nodes
+        self.active = 0
+        #: Highest version this coordinator has acknowledged a write at;
+        #: the in-sync bar a replica must clear to be promotable.
+        self.acked_version = 0
+        #: Reads served by a non-active node because the active failed.
+        self.failovers = 0
+        self.promotions = 0
+
+    @property
+    def active_node(self) -> _ShardNode:
+        return self.nodes[self.active]
+
+    @property
+    def replicas(self) -> list[_ShardNode]:
+        return [n for i, n in enumerate(self.nodes) if i != self.active]
 
 
 class _CoordinatorHandler(_Handler):
@@ -187,25 +250,54 @@ class ClusterCoordinator:
         host: str = "127.0.0.1",
         port: int = 8656,
         *,
+        replicas=None,
         timeout: float = 30.0,
         retries: int = 2,
         backoff: float = 0.1,
         down_ttl: float = 2.0,
+        budget: Optional[float] = None,
+        probe_interval: float = 0.25,
         verbose: bool = False,
     ):
-        self.topology = ClusterTopology(shard_urls)
+        if budget is not None and budget <= 0:
+            raise ValueError(f"budget must be > 0 seconds, got {budget}")
+        self.topology = ClusterTopology(shard_urls, replicas=replicas)
         self.verbose = verbose
         self.down_ttl = down_ttl
-        self.nodes = [
-            _ShardNode(
-                index,
+        #: Total wall-clock allowance per incoming request: every retry,
+        #: failover hop and promotion probe must fit inside it.
+        self.budget = budget
+        self.probe_interval = probe_interval
+
+        def _node(shard: int, url: str, role: str) -> _ShardNode:
+            return _ShardNode(
+                shard,
                 url,
                 ServiceClient(
-                    url, timeout=timeout, retries=retries, backoff=backoff
+                    url,
+                    timeout=timeout,
+                    retries=retries,
+                    backoff=backoff,
+                    deadline=budget,
                 ),
+                ServiceClient(url, timeout=min(1.0, timeout), retries=0),
+                role,
+            )
+
+        self.groups = [
+            _ShardGroup(
+                index,
+                [_node(index, url, "primary")]
+                + [
+                    _node(index, r, "replica")
+                    for r in self.topology.replicas_of(index)
+                ],
             )
             for index, url in enumerate(self.topology)
         ]
+        #: Every node in the cluster, primaries and replicas alike --
+        #: the candidate pool for ownership-free work (hashing).
+        self.nodes = [node for group in self.groups for node in group.nodes]
         self.lock = threading.Lock()
         self.requests_served = 0
         self.started_at = time.monotonic()
@@ -274,21 +366,56 @@ class ClusterCoordinator:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # -- node liveness ---------------------------------------------------------
+    # -- node liveness / circuit breakers --------------------------------------
 
     def _usable(self, node: _ShardNode) -> bool:
-        return node.down_until <= time.monotonic()
+        """Is the node worth sending a request to right now?
+
+        A node inside its down-TTL is normally skipped (breaker open,
+        fail fast), but once per ``probe_interval`` a touch spends one
+        cheap health probe instead -- so a node that comes back early is
+        back in rotation on the next touch, not after the full TTL.
+        """
+        now = time.monotonic()
+        if node.down_until <= now:
+            return True
+        if now < node.next_probe_at:
+            return False
+        with self.lock:
+            if now < node.next_probe_at:  # lost the probe race
+                return False
+            node.next_probe_at = now + self.probe_interval
+        try:
+            reply = node.probe_client.health()
+        except ServiceError:
+            return False
+        self._note_version(node, reply.get("version"))
+        self._mark_up(node)
+        return True
 
     def _mark_down(self, node: _ShardNode, exc: Exception) -> None:
         with self.lock:
-            node.down_until = time.monotonic() + self.down_ttl
+            now = time.monotonic()
+            if node.down_since is None:
+                node.down_since = now
+                node.breaker_opens += 1
+            node.consecutive_failures += 1
+            node.down_until = now + self.down_ttl
+            node.next_probe_at = now + self.probe_interval
             node.last_error = str(exc)
 
     def _mark_up(self, node: _ShardNode) -> None:
-        if node.down_until or node.last_error:
+        if node.down_until or node.last_error or node.down_since is not None:
             with self.lock:
                 node.down_until = 0.0
+                node.down_since = None
+                node.next_probe_at = 0.0
+                node.consecutive_failures = 0
                 node.last_error = None
+
+    def _note_version(self, node: _ShardNode, version) -> None:
+        if isinstance(version, int):
+            node.version = max(node.version, version)
 
     def _call(self, node: _ShardNode, fn: Callable[[ServiceClient], object]):
         """Run ``fn(node.client)``, folding the outcome into liveness.
@@ -305,45 +432,106 @@ class ClusterCoordinator:
                 self._mark_down(node, exc)
             raise
         self._mark_up(node)
+        if isinstance(result, dict):
+            self._note_version(node, result.get("version"))
         return result
 
     @staticmethod
     def _is_liveness_failure(exc: ServiceError) -> bool:
         return exc.status is None or exc.status >= 500
 
+    # -- request budget --------------------------------------------------------
+
+    def _deadline(self) -> Optional[float]:
+        """The absolute budget deadline for a request starting now."""
+        return None if self.budget is None else time.monotonic() + self.budget
+
+    @staticmethod
+    def _budget_spent(deadline_at: Optional[float]) -> bool:
+        return deadline_at is not None and time.monotonic() >= deadline_at
+
+    # -- read failover ---------------------------------------------------------
+
+    def _read_order(self, group: _ShardGroup) -> list[_ShardNode]:
+        """Read candidates: active first, then replicas freshest-first."""
+        replicas = sorted(
+            group.replicas, key=lambda n: n.version, reverse=True
+        )
+        return [group.active_node] + replicas
+
+    def _call_group(
+        self,
+        group: _ShardGroup,
+        fn: Callable[[ServiceClient], object],
+        deadline_at: Optional[float] = None,
+    ):
+        """A *read* against one shard, failing over across its replica
+        set.  Liveness failures move to the next freshest node; a node
+        answering with a 4xx is the authoritative answer and re-raises.
+        Raises the last liveness error once every candidate (or the
+        budget) is exhausted.
+        """
+        last_exc: Optional[ServiceError] = None
+        for node in self._read_order(group):
+            if self._budget_spent(deadline_at):
+                break
+            if not self._usable(node):
+                continue
+            try:
+                result = self._call(node, fn)
+            except ServiceError as exc:
+                if not self._is_liveness_failure(exc):
+                    raise
+                last_exc = exc
+                continue
+            if node is not group.active_node:
+                with self.lock:
+                    group.failovers += 1
+            return result
+        if last_exc is not None:
+            raise last_exc
+        raise ServiceError(
+            f"shard {group.index}: no node reachable "
+            f"({'budget exhausted' if self._budget_spent(deadline_at) else 'all breakers open'})"
+        )
+
     # -- fan-out primitives ----------------------------------------------------
 
     def _fan_all(self, fn: Callable[[ServiceClient], object], what: str):
         """``fn`` on *every* shard, in shard order; all must answer.
 
-        Used where the reply is only meaningful when complete (stats
-        conservation, snapshot union): a dead shard surfaces as a 503
-        naming it, never as a silently partial answer.
+        Each shard's call fails over across its replica set, so a dead
+        primary with a live replica still contributes.  Used where the
+        reply is only meaningful when complete (stats conservation,
+        snapshot union): a fully-dead shard surfaces as a 503 naming
+        it, never as a silently partial answer.
         """
+        deadline_at = self._deadline()
         futures = [
-            self._pool.submit(self._call, node, fn) for node in self.nodes
+            self._pool.submit(self._call_group, group, fn, deadline_at)
+            for group in self.groups
         ]
         results = []
         failure: Optional[_RequestError] = None
-        for node, future in zip(self.nodes, futures):
+        for group, future in zip(self.groups, futures):
             try:
                 results.append(future.result())
             except ServiceError as exc:
                 if failure is None:
                     failure = _RequestError(
                         503 if self._is_liveness_failure(exc) else 502,
-                        f"{what} needs every shard, but {node.name} "
-                        f"failed: {exc}",
+                        f"{what} needs every shard, but shard "
+                        f"{group.index} failed: {exc}",
                     )
         if failure is not None:
             raise failure
         return results
 
-    def _fan_best_effort(self, fn: Callable[[ServiceClient], object]):
-        """``fn`` on every shard; per-node ``(reply, error)`` pairs."""
-        futures = [
-            self._pool.submit(self._call, node, fn) for node in self.nodes
-        ]
+    def _fan_best_effort(
+        self, nodes: list[_ShardNode], fn: Callable[[ServiceClient], object]
+    ):
+        """``fn`` on each given node; per-node ``(reply, error)`` pairs."""
+        futures = [self._pool.submit(self._call, node, fn) for node in nodes]
         out = []
         for future in futures:
             try:
@@ -365,10 +553,14 @@ class ClusterCoordinator:
         hints = dict(hints or {})
         if not docs:
             return [], 0
+        deadline_at = self._deadline()
         now = time.monotonic()
-        preferred = [n.index for n in self.nodes if n.down_until <= now]
+        # Hashing is ownership-free, so replicas count as capacity too.
+        preferred = [
+            i for i, n in enumerate(self.nodes) if n.down_until <= now
+        ]
         if not preferred:
-            preferred = [n.index for n in self.nodes]
+            preferred = list(range(len(self.nodes)))
         chunks = min(len(preferred), len(docs))
         bounds = [
             (len(docs) * i // chunks, len(docs) * (i + 1) // chunks)
@@ -376,7 +568,8 @@ class ClusterCoordinator:
         ]
         futures = [
             self._pool.submit(
-                self._hash_chunk, docs[lo:hi], hints, preferred[i]
+                self._hash_chunk, docs[lo:hi], hints, preferred[i],
+                deadline_at,
             )
             for i, (lo, hi) in enumerate(bounds)
         ]
@@ -392,17 +585,32 @@ class ClusterCoordinator:
             raise failure
         return hashes, chunks
 
-    def _hash_chunk(self, docs: list, hints: dict, preferred: int) -> list:
-        """One chunk on the preferred shard, failing over round-robin."""
+    def _hash_chunk(
+        self, docs: list, hints: dict, preferred: int,
+        deadline_at: Optional[float] = None,
+    ) -> list:
+        """One chunk on the preferred node, failing over round-robin
+        across *every* node (replicas hash bit-identically)."""
         order = self.nodes[preferred:] + self.nodes[:preferred]
         attempted = []
         # First pass sticks to nodes believed up; the second probes the
         # rest (their TTL may have lapsed, or everyone is down and the
-        # cache is stale).  Each node is tried at most once per pass.
+        # cache is stale).  Each node is tried at most once per pass,
+        # and never past the request's budget deadline.
         for require_usable in (True, False):
             for node in order:
                 if node in attempted:
                     continue
+                if self._budget_spent(deadline_at):
+                    raise _RequestError(
+                        503,
+                        f"timeout budget ({self.budget}s) exhausted after "
+                        f"{len(attempted)} node(s); last errors "
+                        + "; ".join(
+                            f"{n.name}: {n.last_error}"
+                            for n in attempted[-2:]
+                        ),
+                    )
                 if require_usable and not self._usable(node):
                     continue
                 attempted.append(node)
@@ -436,13 +644,15 @@ class ClusterCoordinator:
         cannot be interned anywhere else.
         """
         hints = dict(hints or {})
+        deadline_at = self._deadline()
         hashes, _fanout = self.hash_wire(docs, hints)
         groups: dict[int, list[int]] = {}
         for index, digest in enumerate(hashes):
             groups.setdefault(self.topology.owner_of(digest), []).append(index)
         futures = {
             owner: self._pool.submit(
-                self._intern_group, owner, [docs[i] for i in indices], hints
+                self._intern_group, owner, [docs[i] for i in indices], hints,
+                deadline_at,
             )
             for owner, indices in groups.items()
         }
@@ -463,14 +673,93 @@ class ClusterCoordinator:
             raise failure
         return ids, hashes, owners
 
-    def _intern_group(self, owner: int, docs: list, hints: dict) -> list:
-        node = self.nodes[owner]
-        if not self._usable(node):
+    def _write_target(self, group: _ShardGroup) -> _ShardNode:
+        """The node that may take this shard's writes *right now*.
+
+        The active node while its breaker is closed (or a half-open
+        probe revives it).  Once the active primary has been down for a
+        full ``down_ttl``, an in-sync replica (health version at or
+        above the last acknowledged write) is promoted and stays
+        active.  In the window between failure and promotion this
+        raises 503 -- bounded by ``down_ttl``, which is why it must fit
+        inside the client's retry deadline.
+        """
+        node = group.active_node
+        if self._usable(node):
+            return node
+        now = time.monotonic()
+        down_since = node.down_since
+        if down_since is None or now - down_since < self.down_ttl:
             raise _RequestError(
                 503,
                 f"{node.name} owns these keys but is down "
-                f"({node.last_error}); retry after its cooldown",
+                f"({node.last_error}); retry within "
+                f"{self.down_ttl:.1f}s or an in-sync replica is promoted",
             )
+        promoted = self._promote(group)
+        if promoted is None:
+            raise _RequestError(
+                503,
+                f"{node.name} owns these keys and no replica has "
+                f"caught up to acked version {group.acked_version}",
+            )
+        return promoted
+
+    def _promote(self, group: _ShardGroup) -> Optional[_ShardNode]:
+        """Seat the freshest in-sync replica as the write target.
+
+        Probes every replica's health live (stale cached versions must
+        not decide a promotion) and requires ``version >=
+        group.acked_version``: promotion never silently drops an
+        acknowledged write.  Returns the new active node, or None when
+        no replica qualifies.
+        """
+        best: Optional[int] = None
+        best_version = -1
+        for index, node in enumerate(group.nodes):
+            if index == group.active:
+                continue
+            try:
+                reply = node.probe_client.health()
+            except ServiceError:
+                continue
+            version = reply.get("version")
+            if not isinstance(version, int):
+                continue
+            self._note_version(node, version)
+            self._mark_up(node)
+            if version >= group.acked_version and version > best_version:
+                best, best_version = index, version
+        if best is None:
+            return None
+        with self.lock:
+            if group.active_node.down_since is None:
+                # The primary came back between the check and now --
+                # keep it; a flapping node must not cause a promotion.
+                return group.active_node
+            group.active = best
+            group.promotions += 1
+        node = group.nodes[best]
+        if self.verbose:
+            print(
+                f"repro cluster: promoted {node.name} to primary "
+                f"(version {best_version} >= acked {group.acked_version})",
+                flush=True,
+            )
+        return node
+
+    def _intern_group(
+        self, owner: int, docs: list, hints: dict,
+        deadline_at: Optional[float] = None,
+    ) -> list:
+        group = self.groups[owner]
+        if self._budget_spent(deadline_at):
+            raise _RequestError(
+                503,
+                f"timeout budget ({self.budget}s) exhausted before "
+                f"shard {owner}'s intern group was dispatched",
+            )
+        node = self._write_target(group)
         try:
             reply = self._call(node, lambda c: c.intern_wire(docs, hints))
         except ServiceError as exc:
@@ -490,30 +779,53 @@ class ClusterCoordinator:
                 ) from None
             raise _RequestError(exc.status or 502, f"{node.name}: {exc}") \
                 from None
+        version = reply.get("version")
+        if isinstance(version, int):
+            with self.lock:
+                group.acked_version = max(group.acked_version, version)
         return reply["ids"]
 
     # -- folded views ----------------------------------------------------------
 
     def health(self) -> dict:
+        replies = self._fan_best_effort(self.nodes, lambda c: c.health())
+        by_node = dict(zip(self.nodes, replies))
         per_shard = []
-        for node, (reply, error) in zip(
-            self.nodes, self._fan_best_effort(lambda c: c.health())
-        ):
-            entry = {
-                "shard": node.index,
-                "url": node.url,
-                "ok": error is None and bool(reply and reply.get("ok")),
-            }
-            if reply:
-                entry["entries"] = reply.get("entries")
-                entry["version"] = reply.get("version")
-            if error:
-                entry["error"] = error
-            per_shard.append(entry)
+        for group in self.groups:
+            nodes = []
+            for node in group.nodes:
+                reply, error = by_node[node]
+                entry = {
+                    "url": node.url,
+                    "role": node.role,
+                    "active": node is group.active_node,
+                    "ok": error is None and bool(reply and reply.get("ok")),
+                }
+                if reply:
+                    entry["entries"] = reply.get("entries")
+                    entry["version"] = reply.get("version")
+                if error:
+                    entry["error"] = error
+                nodes.append(entry)
+            active = nodes[group.active]
+            per_shard.append(
+                {
+                    "shard": group.index,
+                    "url": group.active_node.url,
+                    # The shard is healthy if any of its nodes answers:
+                    # reads fail over, and a down primary is promotable.
+                    "ok": any(n["ok"] for n in nodes),
+                    "active_ok": active["ok"],
+                    "entries": active.get("entries"),
+                    "version": active.get("version"),
+                    "nodes": nodes,
+                }
+            )
         return {
             "ok": all(entry["ok"] for entry in per_shard),
             "role": "coordinator",
             "shard_count": self.topology.num_shards,
+            "replica_count": self.topology.num_replicas,
             "shards": per_shard,
             "requests_served": self.requests_served,
         }
@@ -542,11 +854,14 @@ class ClusterCoordinator:
         }
 
     def folded_metrics(self) -> dict:
+        primaries = [group.active_node for group in self.groups]
         per_shard = []
-        for node, (reply, error) in zip(
-            self.nodes, self._fan_best_effort(lambda c: c.metrics())
+        for group, node, (reply, error) in zip(
+            self.groups,
+            primaries,
+            self._fan_best_effort(primaries, lambda c: c.metrics()),
         ):
-            entry = {"shard": node.index, "url": node.url, "ok": error is None}
+            entry = {"shard": group.index, "url": node.url, "ok": error is None}
             if reply is not None:
                 entry["metrics"] = reply
             if error:
@@ -559,6 +874,70 @@ class ClusterCoordinator:
             "requests_served": self.requests_served,
             "shard_count": self.topology.num_shards,
             "shards": per_shard,
+            "failure_domains": self.failure_domains(),
+        }
+
+    def failure_domains(self) -> dict:
+        """The cluster's failure-domain telemetry, from cached state.
+
+        No network round-trips: down-sets, breaker counts and versions
+        reflect what the traffic and probes have already observed, so
+        this is safe to scrape at any rate.
+        """
+        now = time.monotonic()
+        down_shards = []
+        shards = []
+        for group in self.groups:
+            replica_versions = [n.version for n in group.replicas]
+            nodes = []
+            for node in group.nodes:
+                down = node.down_until > now
+                entry = {
+                    "url": node.url,
+                    "role": node.role,
+                    "active": node is group.active_node,
+                    "down": down,
+                    "breaker_opens": node.breaker_opens,
+                    "consecutive_failures": node.consecutive_failures,
+                    "version": node.version,
+                }
+                if node.last_error:
+                    entry["last_error"] = node.last_error
+                nodes.append(entry)
+            active_down = group.active_node.down_until > now
+            if active_down and not any(
+                n.down_until <= now for n in group.replicas
+            ):
+                down_shards.append(group.index)
+            shards.append(
+                {
+                    "shard": group.index,
+                    "active": group.active_node.url,
+                    "promoted": group.active != 0,
+                    "promotions": group.promotions,
+                    "failovers": group.failovers,
+                    "breaker_opens": sum(n.breaker_opens for n in group.nodes),
+                    "acked_version": group.acked_version,
+                    #: How far the laggiest replica trails acknowledged
+                    #: writes (None when the shard is unreplicated).
+                    "replica_lag": (
+                        max(0, group.acked_version - min(replica_versions))
+                        if replica_versions
+                        else None
+                    ),
+                    "nodes": nodes,
+                }
+            )
+        return {
+            "down_shards": down_shards,
+            "budget_s": self.budget,
+            "down_ttl_s": self.down_ttl,
+            "failovers": sum(g.failovers for g in self.groups),
+            "promotions": sum(g.promotions for g in self.groups),
+            "breaker_opens": sum(
+                n.breaker_opens for g in self.groups for n in g.nodes
+            ),
+            "shards": shards,
         }
 
     def merged_snapshot_bytes(self) -> bytes:
@@ -628,7 +1007,29 @@ def cluster(argv=None) -> int:
     )
     serve_p.add_argument(
         "--down-ttl", type=float, default=2.0,
-        help="seconds a failed shard is presumed down (fail fast window)",
+        help="seconds a failed shard is presumed down (fail fast window); "
+        "also how long a primary must stay down before an in-sync "
+        "replica is promoted",
+    )
+    serve_p.add_argument(
+        "--replica",
+        action="append",
+        default=[],
+        metavar="SHARD=URL",
+        dest="replicas",
+        help="read replica of shard SHARD (a node started with "
+        "--follow pointing at that shard); repeatable",
+    )
+    serve_p.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="total wall-clock allowance per incoming request; all "
+        "retries, failover hops and promotion probes must fit inside "
+        "(default: unbounded)",
+    )
+    serve_p.add_argument(
+        "--probe-interval", type=float, default=0.25, metavar="SECONDS",
+        help="how often a down node may be health-probed on touch "
+        "(half-open circuit breaker; default 0.25)",
     )
     serve_p.add_argument("--verbose", action="store_true")
 
@@ -647,19 +1048,41 @@ def cluster(argv=None) -> int:
         print(_json.dumps(client.metrics(), indent=2, sort_keys=True))
         return 0
 
+    replicas: dict[int, list[str]] = {}
+    for spec in args.replicas:
+        shard_text, _, url = spec.partition("=")
+        try:
+            shard_id = int(shard_text)
+        except ValueError:
+            shard_id = -1
+        if not url or shard_id < 0:
+            parser.error(
+                f"--replica takes SHARD=URL (e.g. 0=http://host:port), "
+                f"got {spec!r}"
+            )
+        replicas.setdefault(shard_id, []).append(url)
+
     coordinator = ClusterCoordinator(
         args.shards,
         host=args.host,
         port=args.port,
+        replicas=replicas or None,
         timeout=args.timeout,
         retries=args.retries,
         backoff=args.backoff,
         down_ttl=args.down_ttl,
+        budget=args.budget,
+        probe_interval=args.probe_interval,
         verbose=args.verbose,
+    )
+    replicated = (
+        f" + {coordinator.topology.num_replicas} replica(s)"
+        if coordinator.topology.num_replicas
+        else ""
     )
     print(
         f"repro cluster serve: {coordinator.url} fronting "
-        f"{coordinator.topology.num_shards} shard(s): "
+        f"{coordinator.topology.num_shards} shard(s){replicated}: "
         + ", ".join(coordinator.topology),
         flush=True,
     )

@@ -20,15 +20,23 @@ snapshot format; :meth:`push_snapshot` accepts raw bytes, a store, or
 a session and merging preserves hashes bit-for-bit.
 
 Transient failures -- connection refused/reset and 5xx replies -- are
-retried with exponential backoff plus jitter, bounded by ``retries``.
+retried with exponential backoff plus jitter, bounded by ``retries``
+AND by ``deadline`` (a total wall-clock budget per public call: sleeps
+are clamped to the remaining budget and no attempt starts after it is
+spent, so exponential backoff can never exceed the caller's timeout).
 Every endpoint here is idempotent (hashing is pure, interning and
 snapshot merging converge to the same state on replay), so retrying
 POSTs is safe.  4xx replies are the caller's fault and surface
 immediately as :class:`ServiceError` with the status attached.
+
+The client keeps a :attr:`ServiceClient.counters` dict (``requests``,
+``retries``, ``failures``, ``deadline_exhausted``) so tests and
+harnesses can assert exactly how much failover work a workload cost.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import random
 import time
@@ -58,6 +66,14 @@ class ServiceClient:
     delay in seconds, doubling per attempt and capped at
     ``max_backoff``, with each delay jittered to 50-100% of nominal so
     a fleet of clients does not retry in lockstep.
+
+    ``deadline`` (seconds, ``None`` = unbounded) is the total budget
+    one public call may spend across every attempt *including* backoff
+    sleeps: per-attempt socket timeouts and sleeps are clamped to what
+    remains, and once it is spent the call fails immediately with the
+    last error instead of starting another attempt.  A caller with a
+    10s deadline gets an answer or a :class:`ServiceError` within
+    ~10s, whatever ``retries`` says.
     """
 
     def __init__(
@@ -67,18 +83,48 @@ class ServiceClient:
         retries: int = 2,
         backoff: float = 0.1,
         max_backoff: float = 2.0,
+        deadline: Optional[float] = None,
     ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.backoff = backoff
         self.max_backoff = max_backoff
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        self.deadline = deadline
+        #: Failover accounting, cumulative over the client's lifetime:
+        #: ``requests`` public calls issued, ``retries`` extra attempts
+        #: after transient failures, ``failures`` calls that ultimately
+        #: raised, ``deadline_exhausted`` calls cut short by the budget.
+        self.counters = {
+            "requests": 0,
+            "retries": 0,
+            "failures": 0,
+            "deadline_exhausted": 0,
+        }
 
     # -- plumbing --------------------------------------------------------------
 
-    def _sleep_before_retry(self, attempt: int) -> None:
+    def _sleep_before_retry(
+        self, attempt: int, deadline_at: Optional[float]
+    ) -> bool:
+        """Back off before attempt ``attempt + 1``; False if the budget
+        is already too tight for another attempt to be worth starting."""
         delay = min(self.max_backoff, self.backoff * (2**attempt))
-        time.sleep(delay * (0.5 + random.random() * 0.5))
+        delay *= 0.5 + random.random() * 0.5
+        if deadline_at is not None:
+            remaining = deadline_at - time.monotonic()
+            if remaining <= delay:
+                return False
+            delay = min(delay, remaining)
+        time.sleep(delay)
+        return True
+
+    def _attempt_timeout(self, deadline_at: Optional[float]) -> float:
+        if deadline_at is None:
+            return self.timeout
+        return max(0.001, min(self.timeout, deadline_at - time.monotonic()))
 
     def _request(
         self,
@@ -87,7 +133,37 @@ class ServiceClient:
         body: Optional[bytes] = None,
         content_type: str = "application/json",
     ) -> tuple[int, bytes, str]:
-        for attempt in range(self.retries + 1):
+        self.counters["requests"] += 1
+        deadline_at = (
+            None if self.deadline is None else time.monotonic() + self.deadline
+        )
+
+        def _fail(error: ServiceError, spent: bool = False):
+            self.counters["failures"] += 1
+            if spent:
+                self.counters["deadline_exhausted"] += 1
+            raise error from None
+
+        def _spent(error: ServiceError) -> ServiceError:
+            return ServiceError(
+                f"{error} (deadline {self.deadline}s exhausted)",
+                status=error.status,
+            )
+
+        def _retry_or_fail(attempt: int, error: ServiceError) -> bool:
+            """True to go around again; raises when attempts or budget
+            are spent."""
+            if attempt >= self.retries:
+                _fail(error)
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                _fail(_spent(error), spent=True)
+            if not self._sleep_before_retry(attempt, deadline_at):
+                _fail(_spent(error), spent=True)
+            self.counters["retries"] += 1
+            return True
+
+        attempt = 0
+        while True:
             request = urllib.request.Request(
                 self.base_url + path, data=body, method=method
             )
@@ -95,7 +171,7 @@ class ServiceClient:
                 request.add_header("Content-Type", content_type)
             try:
                 with urllib.request.urlopen(
-                    request, timeout=self.timeout
+                    request, timeout=self._attempt_timeout(deadline_at)
                 ) as resp:
                     return (
                         resp.status,
@@ -108,32 +184,31 @@ class ServiceClient:
                     message = json.loads(detail).get("error", "")
                 except (json.JSONDecodeError, AttributeError):
                     message = detail.decode("utf-8", "replace")
-                if exc.code >= 500 and attempt < self.retries:
-                    self._sleep_before_retry(attempt)
-                    continue
-                raise ServiceError(
+                error = ServiceError(
                     f"{method} {path} -> {exc.code}: {message}",
                     status=exc.code,
-                ) from None
+                )
+                if exc.code < 500:
+                    _fail(error)
             except urllib.error.URLError as exc:
                 # Connection refused/reset, DNS, timeout: the request
                 # may never have reached the server, so replay it.
-                if attempt < self.retries:
-                    self._sleep_before_retry(attempt)
-                    continue
-                raise ServiceError(
-                    f"{method} {path} failed: {exc.reason}"
-                ) from None
+                error = ServiceError(f"{method} {path} failed: {exc.reason}")
             except TimeoutError:
                 # Read timeouts escape urllib unwrapped (socket.timeout
                 # is TimeoutError); same treatment as a dropped link.
-                if attempt < self.retries:
-                    self._sleep_before_retry(attempt)
-                    continue
-                raise ServiceError(
+                error = ServiceError(
                     f"{method} {path} timed out after {self.timeout}s"
-                ) from None
-        raise AssertionError("unreachable")  # pragma: no cover
+                )
+            except (OSError, http.client.HTTPException) as exc:
+                # A reset or half-closed socket *mid-exchange* (server
+                # SIGKILLed between accept and response, fault proxy
+                # cutting a body) also escapes urllib unwrapped.
+                error = ServiceError(
+                    f"{method} {path} failed mid-exchange: {exc!r}"
+                )
+            _retry_or_fail(attempt, error)
+            attempt += 1
 
     def _json(self, method: str, path: str, payload: Optional[dict] = None):
         body = (
@@ -152,8 +227,11 @@ class ServiceClient:
 
     # -- the session surface, remotely -----------------------------------------
 
-    def health(self) -> dict:
-        return self._json("GET", "/v1/health")
+    def health(self, checksum: bool = False) -> dict:
+        """Liveness probe; ``checksum=True`` asks the server to include
+        its order-free store content fingerprint (crash-recovery gate)."""
+        path = "/v1/health?checksum=1" if checksum else "/v1/health"
+        return self._json("GET", path)
 
     def stats(self) -> dict:
         return self._json("GET", "/v1/stats")

@@ -58,7 +58,10 @@ from repro.api import HashRequest, InternRequest, PlanError, Session
 from repro.core.arena import ENGINE_CHOICES, engine_kernel, resolve_kernel
 from repro.lang.sexpr import SexprError, from_wire
 from repro.store import (
+    Journal,
     SnapshotError,
+    apply_delta_bytes,
+    content_checksum,
     delta_to_bytes,
     snapshot_from_bytes,
     snapshot_to_bytes,
@@ -219,9 +222,24 @@ class _Handler(BaseHTTPRequestHandler):
             "entries": len(session.store) if session.store else 0,
             "shard_id": service.shard_id,
             "shard_count": service.shard_count,
+            "role": service.role,
         }
         if session.store is not None:
             body["version"] = session.store.version
+        if service.follow is not None:
+            body["following"] = service.follow
+            body["follower"] = service.follower_status()
+        if service.journal is not None:
+            body["journal"] = {
+                "directory": service.journal.directory,
+                "version": service.journal.version,
+                "segments": len(service.journal.segments()),
+            }
+        if session.store is not None and self.query.get("checksum"):
+            # O(store) -- opt-in: the durability gates compare a node's
+            # exact content across a crash/recovery boundary.
+            with service.lock:
+                body["content_checksum"] = content_checksum(session.store)
         self._send_json(200, body)
 
     def _get_stats(self) -> None:
@@ -326,6 +344,7 @@ class _Handler(BaseHTTPRequestHandler):
         with service.lock:
             mapping = store.merge_store(uploaded)
             entries = len(store)
+            service.journal_commit()
         service.count_request()
         self._send_json(
             200,
@@ -389,10 +408,81 @@ class _Handler(BaseHTTPRequestHandler):
                 # the batch, and a capacity condition must not surface
                 # as a KeyError.
                 hashes = [store.hash_expr(expr) for expr in corpus]
+            # Write-ahead durability: the batch's delta frame reaches
+            # the journal (fsync'd) *before* this 200 is sent -- an
+            # acked intern survives SIGKILL.  An append failure (disk
+            # full) surfaces as a 500 and the un-acked window rides in
+            # the next successful append.
+            service.journal_commit()
+            version = store.version
         service.count_request()
         self._send_json(
-            200, {"ids": ids, "hashes": hashes, "plan": plan.as_dict()}
+            200,
+            {
+                "ids": ids,
+                "hashes": hashes,
+                "version": version,
+                "plan": plan.as_dict(),
+            },
         )
+
+
+class _FollowerLoop(threading.Thread):
+    """Tail a primary's ``/v1/snapshot/delta`` on a poll loop.
+
+    Each tick fetches the window ``(store.version, primary]`` and
+    applies it under the server lock; applied deltas are re-journaled
+    verbatim when the follower has a journal, so a follower crash
+    recovers exactly like a primary crash.  Errors (primary down, delta
+    gap) are recorded and retried next tick -- a follower outlives its
+    primary and keeps serving whatever it has, which is what lets the
+    coordinator promote it.
+    """
+
+    def __init__(self, service: "ReproServer", primary_url: str, poll: float):
+        super().__init__(name="repro-follower", daemon=True)
+        from repro.service.client import ServiceClient
+
+        self.service = service
+        self.primary_url = primary_url
+        self.poll = poll
+        self.client = ServiceClient(primary_url, timeout=30.0, retries=0)
+        self.stop_event = threading.Event()
+        self.synced_at: Optional[float] = None
+        self.last_error: Optional[str] = None
+        self.frames_applied = 0
+        self.entries_applied = 0
+
+    def run(self) -> None:
+        from repro.service.client import ServiceError
+
+        while not self.stop_event.is_set():
+            try:
+                self.sync_once()
+            except (ServiceError, SnapshotError) as exc:
+                self.last_error = str(exc)
+            self.stop_event.wait(self.poll)
+
+    def sync_once(self) -> dict:
+        """One fetch-and-apply tick; also callable synchronously from
+        tests.  Raises on an unreachable primary or an inapplicable
+        delta."""
+        service = self.service
+        store = service.session.store
+        data = self.client.fetch_delta(store.version)
+        with service.lock:
+            report = apply_delta_bytes(store, data)
+            if report["applied"] and service.journal is not None:
+                service.journal.append_bytes(data)
+        self.synced_at = time.monotonic()
+        self.last_error = None
+        if report["applied"]:
+            self.frames_applied += 1
+            self.entries_applied += report["applied"]
+        return report
+
+    def stop(self) -> None:
+        self.stop_event.set()
 
 
 class ReproServer:
@@ -411,6 +501,20 @@ class ReproServer:
     ``shard_id``/``shard_count`` (both or neither) make this server a
     cluster shard node: ``/v1/intern`` rejects expressions whose root
     alpha-hash it does not own (``hash % shard_count != shard_id``).
+
+    ``journal`` (a directory path or a :class:`~repro.store.Journal`)
+    turns on write-ahead durability: the journal is replayed into the
+    store on construction and every intern/merge batch appends its
+    delta frame before the request is acknowledged.
+    ``checkpoint_every`` (intern batches, 0 = never) periodically
+    writes a full snapshot into the journal directory and GCs the
+    segments it covers.
+
+    ``follow`` (a primary's URL) makes this server a read replica: a
+    poll loop tails the primary's ``/v1/snapshot/delta`` every
+    ``poll_interval`` seconds.  A follower still answers every
+    endpoint (it can be promoted), and with a journal it is itself
+    crash-durable.
     """
 
     def __init__(
@@ -421,6 +525,10 @@ class ReproServer:
         verbose: bool = False,
         shard_id: Optional[int] = None,
         shard_count: Optional[int] = None,
+        journal=None,
+        checkpoint_every: int = 0,
+        follow: Optional[str] = None,
+        poll_interval: float = 0.5,
         **session_kwargs,
     ):
         if session is not None and session_kwargs:
@@ -441,6 +549,21 @@ class ReproServer:
         self.verbose = verbose
         self.shard_id = shard_id
         self.shard_count = shard_count
+        self.follow = follow
+        self.poll_interval = poll_interval
+        self.checkpoint_every = max(0, int(checkpoint_every))
+        self._interns_since_checkpoint = 0
+        self.journal: Optional[Journal] = (
+            Journal(journal) if isinstance(journal, str) else journal
+        )
+        if self.journal is not None:
+            if self.session.store is None:
+                raise ValueError("a journal needs a store-backed session")
+            #: Crash recovery happens before the listener exists: a
+            #: request can never observe a half-replayed store.
+            self.replay_report = self.journal.replay(self.session.store)
+        else:
+            self.replay_report = None
         self.started_at = time.monotonic()
         #: Serialises store-touching work across handler threads.
         self.lock = threading.Lock()
@@ -451,6 +574,49 @@ class ReproServer:
         self._thread: Optional[threading.Thread] = None
         self._serving = False
         self._closed = False
+        self._follower: Optional[_FollowerLoop] = None
+        if follow is not None:
+            if self.session.store is None:
+                raise ValueError("a follower needs a store-backed session")
+            self._follower = _FollowerLoop(self, follow, poll_interval)
+
+    @property
+    def role(self) -> str:
+        if self.follow is not None:
+            return "follower"
+        return "shard" if self.shard_count is not None else "standalone"
+
+    def follower_status(self) -> dict:
+        loop = self._follower
+        if loop is None:
+            return {}
+        return {
+            "synced_at_age_s": (
+                None
+                if loop.synced_at is None
+                else round(time.monotonic() - loop.synced_at, 3)
+            ),
+            "last_error": loop.last_error,
+            "frames_applied": loop.frames_applied,
+            "entries_applied": loop.entries_applied,
+        }
+
+    def sync_from_primary(self) -> dict:
+        """One synchronous follower catch-up tick (tests, warm boot)."""
+        if self._follower is None:
+            raise ValueError("this server does not follow a primary")
+        return self._follower.sync_once()
+
+    def journal_commit(self) -> None:
+        """Append the un-journaled window; caller holds ``self.lock``."""
+        if self.journal is None:
+            return
+        self.journal.append_delta(self.session.store)
+        if self.checkpoint_every:
+            self._interns_since_checkpoint += 1
+            if self._interns_since_checkpoint >= self.checkpoint_every:
+                self._interns_since_checkpoint = 0
+                self.journal.checkpoint(self.session.store)
 
     def count_request(self) -> None:
         with self.lock:
@@ -472,6 +638,7 @@ class ReproServer:
         """Serve on a daemon thread; returns immediately."""
         if self._thread is None:
             self._serving = True
+            self._start_follower()
             self._thread = threading.Thread(
                 target=self._httpd.serve_forever,
                 name="repro-serve",
@@ -483,7 +650,12 @@ class ReproServer:
     def serve_forever(self) -> None:
         """Serve on the calling thread until interrupted."""
         self._serving = True
+        self._start_follower()
         self._httpd.serve_forever()
+
+    def _start_follower(self) -> None:
+        if self._follower is not None and not self._follower.is_alive():
+            self._follower.start()
 
     def close(self) -> None:
         """Stop serving, release the socket (and session, if owned).
@@ -497,12 +669,17 @@ class ReproServer:
         if self._closed:
             return
         self._closed = True
+        if self._follower is not None and self._follower.is_alive():
+            self._follower.stop()
+            self._follower.join(timeout=5)
         if self._serving:
             self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        if self.journal is not None:
+            self.journal.close()
         if self._owns_session:
             self.session.close()
 
@@ -571,10 +748,71 @@ def serve(argv=None) -> int:
         help="total shards in the cluster (intern requests whose root "
         "hash this node does not own are rejected with 409)",
     )
+    parser.add_argument(
+        "--journal",
+        metavar="DIR",
+        help="write-ahead journal directory: every intern batch appends a "
+        "checksummed delta frame before it is acknowledged, and the store "
+        "is recovered from DIR (checkpoint + replay) on boot",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --journal: snapshot the store into the journal "
+        "directory every N intern batches and GC covered segments "
+        "(0 = never)",
+    )
+    parser.add_argument(
+        "--follow",
+        metavar="URL",
+        help="run as a read replica tailing URL's /v1/snapshot/delta",
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="replica poll period for --follow (default 0.5)",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
-    if args.load:
+    if args.journal and args.load:
+        parser.error(
+            "--journal recovers the store from its own checkpoint; "
+            "drop --load (copy the snapshot into DIR as checkpoint.snap "
+            "to seed a journaled node)"
+        )
+    if args.checkpoint_every and not args.journal:
+        parser.error("--checkpoint-every needs --journal")
+
+    journal = None
+    checkpoint_bytes = None
+    if args.journal:
+        journal = Journal(args.journal)
+        checkpoint_bytes = journal.load_checkpoint_bytes()
+
+    if checkpoint_bytes is not None:
+        if args.bits != 64 or args.seed is not None or args.num_shards is not None:
+            parser.error(
+                "--journal takes bits/seed/store shape from its checkpoint; "
+                "drop --bits/--seed/--num-shards"
+            )
+        session = Session.from_snapshot_bytes(checkpoint_bytes, backend=args.backend)
+        overrides = {
+            name: value
+            for name, value in (
+                ("workers", args.workers),
+                ("parallel_mode", args.parallel_mode),
+                ("engine", args.engine),
+            )
+            if value is not None
+        }
+        if overrides:
+            session.config = replace(session.config, **overrides)
+    elif args.load:
         if args.bits != 64 or args.seed is not None or args.num_shards is not None:
             parser.error(
                 "--load takes bits/seed/store shape from the snapshot; "
@@ -612,6 +850,10 @@ def serve(argv=None) -> int:
         verbose=args.verbose,
         shard_id=args.shard_id,
         shard_count=args.shard_count,
+        journal=journal,
+        checkpoint_every=args.checkpoint_every,
+        follow=args.follow,
+        poll_interval=args.poll_interval,
     )
     entries = len(session.store) if session.store is not None else 0
     shard = (
@@ -619,9 +861,17 @@ def serve(argv=None) -> int:
         if args.shard_count is not None
         else ""
     )
+    extras = ""
+    if server.replay_report is not None:
+        extras += (
+            f", journal replayed {server.replay_report['applied']} entries "
+            f"to v{server.replay_report['version']}"
+        )
+    if args.follow:
+        extras += f", following {args.follow}"
     print(
         f"repro serve: {server.url} (backend={session.backend.name}, "
-        f"bits={session.combiners.bits}, {entries} warm entries{shard})",
+        f"bits={session.combiners.bits}, {entries} warm entries{shard}{extras})",
         flush=True,
     )
 

@@ -14,12 +14,14 @@ from repro.store.parallel import (
     resolve_workers,
 )
 from repro.store.sharded import DEFAULT_NUM_SHARDS, ShardedExprStore
+from repro.store.journal import Journal, JournalError
 from repro.store.snapshot import (
     DELTA_FORMAT,
     SHARDED_SNAPSHOT_FORMAT,
     SNAPSHOT_FORMAT,
     SnapshotError,
     apply_delta_bytes,
+    content_checksum,
     delta_to_bytes,
     read_snapshot,
     snapshot_from_bytes,
@@ -50,6 +52,9 @@ __all__ = [
     "snapshot_to_bytes",
     "delta_to_bytes",
     "apply_delta_bytes",
+    "content_checksum",
+    "Journal",
+    "JournalError",
     "parallel_hash_corpus",
     "parallel_intern_corpus",
     "resolve_workers",

@@ -1,0 +1,439 @@
+"""Write-ahead durability for an :class:`~repro.store.ExprStore`.
+
+A :class:`Journal` is a directory of segment-rotated, checksummed
+frames, each frame holding one incremental snapshot delta
+(:func:`repro.store.delta_to_bytes`).  A server that appends the delta
+of every intern batch *before acknowledging it* can be SIGKILLed at any
+instant and recover its exact pre-crash store by replaying the journal
+on boot -- the ``repro-store-delta-v1`` version stamps give every frame
+a natural, gap-checked position in the store's history.
+
+Directory layout::
+
+    DIR/
+      journal-00000001.wal     # frames, oldest segment first
+      journal-00000002.wal
+      checkpoint.snap          # optional full snapshot covering a prefix
+
+Frame layout (binary, back to back inside a segment)::
+
+    magic    b"RJNL"                      4 bytes
+    length   payload byte count           8 bytes big-endian
+    digest   sha256(payload)             32 bytes
+    payload  delta_to_bytes() document    `length` bytes
+
+Guarantees:
+
+* **Durability before acknowledgement.**  :meth:`Journal.append_delta`
+  flushes and ``fsync``\\ s the segment before returning; callers ack
+  only after it returns.
+* **Torn tails truncate, corruption fails loudly.**  A crash mid-write
+  leaves a partial final frame; :meth:`replay` detects it (short read
+  or digest mismatch *at the tail of the last segment*), truncates the
+  file back to the last good frame and continues.  The same damage
+  anywhere else -- a bad digest mid-segment, a torn frame in a
+  non-final segment, segments replayed out of order (a version gap) --
+  is not a crash artefact and raises :class:`JournalError`.
+* **Idempotent replay.**  Frames are deltas, and
+  :func:`repro.store.apply_delta_bytes` verifies-and-skips entries the
+  store already holds, so duplicated frames and overlapping windows
+  re-apply cleanly; replaying an already-recovered journal is a no-op.
+* **Bounded disk.**  Segments rotate at ``max_segment_bytes``;
+  :meth:`checkpoint` writes a full snapshot (atomic rename) and
+  :meth:`gc` drops every segment the snapshot's version already
+  covers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.store.snapshot import (
+    SnapshotError,
+    apply_delta_bytes,
+    delta_to_bytes,
+    snapshot_to_bytes,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.store import ExprStore
+
+__all__ = ["Journal", "JournalError", "FRAME_MAGIC"]
+
+FRAME_MAGIC = b"RJNL"
+_FRAME_HEADER_BYTES = len(FRAME_MAGIC) + 8 + 32
+_SEGMENT_PREFIX = "journal-"
+_SEGMENT_SUFFIX = ".wal"
+_CHECKPOINT_NAME = "checkpoint.snap"
+
+
+class JournalError(RuntimeError):
+    """A journal directory that cannot be safely recovered or appended."""
+
+
+def _frame_bytes(payload: bytes) -> bytes:
+    return (
+        FRAME_MAGIC
+        + len(payload).to_bytes(8, "big")
+        + hashlib.sha256(payload).digest()
+        + payload
+    )
+
+
+def _delta_header(payload: bytes) -> dict:
+    """The JSON header line of a delta document, cheaply."""
+    newline = payload.find(b"\n")
+    head = payload if newline < 0 else payload[:newline]
+    try:
+        header = json.loads(head)
+    except json.JSONDecodeError as exc:
+        raise JournalError(f"frame payload has no delta header: {exc}") from None
+    if not isinstance(header, dict) or "version" not in header:
+        raise JournalError("frame payload is not a snapshot delta document")
+    return header
+
+
+def _fsync_dir(path: str) -> None:
+    """Make a rename/create in ``path`` itself durable (POSIX)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class Journal:
+    """A write-ahead log of snapshot deltas in one directory.
+
+    >>> journal = Journal(dirname)
+    >>> journal.replay(store)                 # crash-safe recovery on boot
+    >>> ...
+    >>> since = journal.version
+    >>> store.intern_many(batch)
+    >>> journal.append_delta(store)           # durable *before* the ack
+
+    ``fsync=False`` trades durability for test speed (the frames still
+    flush to the OS); production callers keep the default.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        max_segment_bytes: int = 8 * 1024 * 1024,
+        fsync: bool = True,
+    ):
+        if max_segment_bytes < 1:
+            raise ValueError(
+                f"max_segment_bytes must be >= 1, got {max_segment_bytes}"
+            )
+        self.directory = os.path.abspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.max_segment_bytes = max_segment_bytes
+        self.fsync = fsync
+        #: The store version the last appended/replayed frame reached;
+        #: `append_delta` defaults its window to ``(version, now]``, so
+        #: a failed append self-heals on the next successful one.
+        self.version = 0
+        self._handle = None
+        self._seq = 0
+        self._size = 0
+        #: Appending to an existing final segment is only safe after
+        #: replay() has verified (and possibly truncated) its tail.
+        self._tail_verified = False
+        self._closed = False
+
+    # -- directory layout ------------------------------------------------------
+
+    def _segment_path(self, seq: int) -> str:
+        return os.path.join(
+            self.directory, f"{_SEGMENT_PREFIX}{seq:08d}{_SEGMENT_SUFFIX}"
+        )
+
+    def segments(self) -> list[str]:
+        """Existing segment paths, oldest first."""
+        names = [
+            name
+            for name in os.listdir(self.directory)
+            if name.startswith(_SEGMENT_PREFIX)
+            and name.endswith(_SEGMENT_SUFFIX)
+        ]
+        return [os.path.join(self.directory, name) for name in sorted(names)]
+
+    @staticmethod
+    def _seq_of(path: str) -> int:
+        name = os.path.basename(path)
+        return int(name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)])
+
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.directory, _CHECKPOINT_NAME)
+
+    def load_checkpoint_bytes(self) -> Optional[bytes]:
+        """The checkpoint snapshot's bytes, if one has been written."""
+        try:
+            with open(self.checkpoint_path, "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    # -- appending -------------------------------------------------------------
+
+    def _open_for_append(self) -> None:
+        if self._handle is not None:
+            return
+        existing = self.segments()
+        if not existing:
+            self._seq = 1
+        elif self._tail_verified:
+            self._seq = self._seq_of(existing[-1])
+        else:
+            # Never append to an unverified tail: a torn final frame
+            # followed by a fresh valid frame would read as mid-segment
+            # corruption on the next recovery.  A new segment is always
+            # safe.
+            self._seq = self._seq_of(existing[-1]) + 1
+        path = self._segment_path(self._seq)
+        self._handle = open(path, "ab")
+        self._size = self._handle.tell()
+        if self._size == 0:
+            _fsync_dir(self.directory)
+
+    def _rotate_if_needed(self) -> None:
+        if self._size < self.max_segment_bytes:
+            return
+        self._handle.close()
+        self._seq += 1
+        self._handle = open(self._segment_path(self._seq), "ab")
+        self._size = self._handle.tell()
+        _fsync_dir(self.directory)
+
+    def append_bytes(self, payload: bytes) -> dict:
+        """Append one already-encoded delta document as a frame.
+
+        Durable (flushed + fsync'd) before returning.  Returns the
+        delta's header.  Used directly by follower nodes: the delta
+        bytes fetched from a primary journal verbatim.
+        """
+        if self._closed:
+            raise JournalError("journal is closed")
+        header = _delta_header(payload)
+        self._open_for_append()
+        self._rotate_if_needed()
+        frame = _frame_bytes(payload)
+        self._handle.write(frame)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self._size += len(frame)
+        self.version = max(self.version, header["version"])
+        return header
+
+    def append_delta(self, store: "ExprStore", since: Optional[int] = None):
+        """Journal the entries interned after ``since`` (default: the
+        last journaled version).  No frame is written for an empty
+        window.  Returns the delta header, or ``None`` if nothing new.
+        """
+        if since is None:
+            since = self.version
+        if store.version <= since:
+            return None
+        data = delta_to_bytes(store, since, meta={"journal": True})
+        return self.append_bytes(data)
+
+    # -- reading / recovery ----------------------------------------------------
+
+    def _read_frames(
+        self, path: str, tolerate_torn_tail: bool
+    ) -> tuple[list[bytes], Optional[int]]:
+        """All frame payloads of one segment.
+
+        Returns ``(payloads, torn_offset)``: ``torn_offset`` is the
+        byte offset of a torn tail to truncate at (only ever non-None
+        when ``tolerate_torn_tail``), a crash artefact.  Damage that is
+        not a tail -- in the middle of the file, or in a segment that
+        is not the journal's last -- raises :class:`JournalError`.
+        """
+        with open(path, "rb") as handle:
+            data = handle.read()
+        payloads: list[bytes] = []
+        offset = 0
+        while offset < len(data):
+            torn_reason = None
+            head = data[offset : offset + _FRAME_HEADER_BYTES]
+            if len(head) < _FRAME_HEADER_BYTES:
+                torn_reason = "partial frame header"
+            elif not head.startswith(FRAME_MAGIC):
+                torn_reason = "bad frame magic"
+            else:
+                length = int.from_bytes(head[4:12], "big")
+                digest = head[12:44]
+                start = offset + _FRAME_HEADER_BYTES
+                payload = data[start : start + length]
+                if len(payload) < length:
+                    torn_reason = "frame shorter than its declared length"
+                elif hashlib.sha256(payload).digest() != digest:
+                    torn_reason = "frame digest mismatch"
+            if torn_reason is None:
+                payloads.append(payload)
+                offset = start + length
+                continue
+            if tolerate_torn_tail:
+                return payloads, offset
+            raise JournalError(
+                f"corrupt frame in {os.path.basename(path)} at byte "
+                f"{offset}: {torn_reason} (not the journal tail, so not "
+                "a crash artefact -- refusing to guess)"
+            )
+        return payloads, None
+
+    def iter_frames(self) -> Iterator[tuple[str, bytes]]:
+        """``(segment_path, payload)`` for every intact frame, in order.
+
+        Read-only: torn tails are reported as if already truncated, but
+        the files are untouched.
+        """
+        paths = self.segments()
+        for index, path in enumerate(paths):
+            payloads, _torn = self._read_frames(
+                path, tolerate_torn_tail=index == len(paths) - 1
+            )
+            for payload in payloads:
+                yield path, payload
+
+    def replay(self, store: "ExprStore") -> dict:
+        """Recover ``store`` from the journal; returns a report dict.
+
+        Frames whose version the store has already reached are skipped
+        wholesale (idempotent); the rest apply through
+        :func:`repro.store.apply_delta_bytes`, which is all-or-nothing
+        per frame and validates the version chain -- a gap (a missing
+        or reordered segment) fails loudly as :class:`SnapshotError`
+        rather than silently skipping history.  A torn final frame in
+        the final segment is truncated away first.
+        """
+        report = {
+            "segments": 0,
+            "frames": 0,
+            "applied": 0,
+            "skipped_entries": 0,
+            "skipped_frames": 0,
+            "truncated_bytes": 0,
+            "version": store.version,
+        }
+        paths = self.segments()
+        last_seq = None
+        for index, path in enumerate(paths):
+            seq = self._seq_of(path)
+            if last_seq is not None and seq != last_seq + 1:
+                raise JournalError(
+                    f"segment sequence gap: {last_seq:08d} is followed by "
+                    f"{seq:08d} (missing or misnamed segment)"
+                )
+            last_seq = seq
+            report["segments"] += 1
+            payloads, torn_offset = self._read_frames(
+                path, tolerate_torn_tail=index == len(paths) - 1
+            )
+            if torn_offset is not None:
+                size = os.path.getsize(path)
+                with open(path, "r+b") as handle:
+                    handle.truncate(torn_offset)
+                    handle.flush()
+                    if self.fsync:
+                        os.fsync(handle.fileno())
+                report["truncated_bytes"] = size - torn_offset
+            for payload in payloads:
+                report["frames"] += 1
+                header = _delta_header(payload)
+                if header["version"] <= store.version:
+                    report["skipped_frames"] += 1
+                    continue
+                applied = apply_delta_bytes(store, payload)
+                report["applied"] += applied["applied"]
+                report["skipped_entries"] += applied["skipped"]
+        report["version"] = store.version
+        self.version = max(self.version, store.version)
+        self._tail_verified = True
+        return report
+
+    # -- checkpoint + GC -------------------------------------------------------
+
+    def checkpoint(self, store: "ExprStore", meta: Optional[dict] = None):
+        """Write a full snapshot covering the store's history, then GC.
+
+        The snapshot lands atomically (tmp + rename), so a crash during
+        the checkpoint leaves the previous one intact; segments fully
+        covered by the new snapshot's version are removed.  Returns the
+        GC report.
+        """
+        meta = dict(meta or {})
+        meta.setdefault("journal_checkpoint", True)
+        data = snapshot_to_bytes(store, meta=meta)
+        tmp = self.checkpoint_path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.checkpoint_path)
+        _fsync_dir(self.directory)
+        return self.gc(store.version)
+
+    def _segment_last_version(self, path: str, is_last: bool) -> Optional[int]:
+        payloads, _torn = self._read_frames(path, tolerate_torn_tail=is_last)
+        if not payloads:
+            return None
+        return _delta_header(payloads[-1])["version"]
+
+    def gc(self, covered_version: int) -> dict:
+        """Remove segments whose every frame is ``<= covered_version``.
+
+        The open (current) segment is never removed.  Returns
+        ``{"removed": [paths], "kept": N}``.
+        """
+        removed = []
+        paths = self.segments()
+        for index, path in enumerate(paths):
+            if self._handle is not None and self._seq_of(path) == self._seq:
+                break
+            last = self._segment_last_version(
+                path, is_last=index == len(paths) - 1
+            )
+            if last is not None and last > covered_version:
+                break
+            removed.append(path)
+        for path in removed:
+            os.remove(path)
+        if removed:
+            _fsync_dir(self.directory)
+        return {"removed": removed, "kept": len(paths) - len(removed)}
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+        self._closed = True
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Journal({self.directory!r}, version={self.version}, "
+            f"segments={len(self.segments())})"
+        )

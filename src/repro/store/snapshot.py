@@ -79,6 +79,7 @@ __all__ = [
     "snapshot_from_bytes",
     "delta_to_bytes",
     "apply_delta_bytes",
+    "content_checksum",
     "SNAPSHOT_FORMAT",
     "SHARDED_SNAPSHOT_FORMAT",
     "DELTA_FORMAT",
@@ -319,6 +320,36 @@ def _sharded_snapshot_to_bytes(
         header, separators=(",", ":"), sort_keys=True
     ).encode("utf-8")
     return header_bytes + b"\n" + body
+
+
+def content_checksum(store: "ExprStore") -> str:
+    """A canonical fingerprint of the store's *content*, order-free.
+
+    Two stores hold the same classes with the same ids, hashes, shapes
+    and version stamps iff their checksums match -- regardless of LRU
+    recency, stats counters or memo warmth, none of which survive a
+    crash anyway.  This is the equality a journal-recovered store is
+    gated on: ``content_checksum(recovered) ==
+    content_checksum(pre_crash)``.  Exposed over HTTP as
+    ``GET /v1/health?checksum=1``.
+    """
+    digest = hashlib.sha256()
+    entries = sorted(store.entries(), key=lambda e: e.node_id)
+    for entry in entries:
+        record = [
+            entry.node_id,
+            entry.hash,
+            entry.kind,
+            entry.size,
+            list(entry.children),
+            _node_payload(entry.expr),
+            entry.version,
+        ]
+        digest.update(
+            json.dumps(record, separators=(",", ":")).encode("utf-8")
+        )
+        digest.update(b"\n")
+    return f"sha256:{digest.hexdigest()}"
 
 
 def write_snapshot(
@@ -806,6 +837,35 @@ def apply_delta_bytes(store: "ExprStore", data: bytes) -> dict:
         applied = skipped = 0
         try:
             exprs = _build_exprs(records, resolve_base=_resolve_base)
+            # All-or-nothing: every mutation-loop failure mode is
+            # checked *before* the first store write, so a breaching
+            # delta (schema hole, entry disagreeing with the store)
+            # leaves the store untouched instead of half-applied --
+            # journal replay interrupted partway must never strand a
+            # prefix of one frame.
+            for rec in records:
+                missing = [
+                    key
+                    for key in ("i", "h", "k", "z", "c", "t", "s", "v", "m")
+                    if key not in rec
+                ]
+                if missing:
+                    raise SnapshotError(
+                        f"delta entry is missing field(s) {missing}: "
+                        f"{rec!r}"
+                    )
+                present = _existing(rec["i"])
+                if present is not None and (
+                    present.hash != rec["h"]
+                    or present.kind != rec["k"]
+                    or present.size != rec["z"]
+                ):
+                    raise SnapshotError(
+                        f"delta entry {rec['i']} disagrees with the "
+                        f"store's existing entry (hash/kind/size "
+                        "mismatch): the receiver does not mirror the "
+                        "emitting store"
+                    )
             for rec in sorted(records, key=lambda r: (r["z"], r["i"])):
                 node_id = rec["i"]
                 present = _existing(node_id)

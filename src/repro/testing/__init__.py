@@ -1,0 +1,15 @@
+"""Deterministic test doubles for the service stack.
+
+Currently: seeded fault injection (:mod:`repro.testing.faults`) --
+schedules, a TCP fault proxy, and a process reaper -- used by
+``benchmarks/chaos_smoke.py`` and ``tests/test_faults.py``.
+"""
+
+from repro.testing.faults import (
+    Fault,
+    FaultSchedule,
+    FaultyProxy,
+    ProcessReaper,
+)
+
+__all__ = ["Fault", "FaultSchedule", "FaultyProxy", "ProcessReaper"]

@@ -1,0 +1,362 @@
+"""Deterministic fault injection for the service/cluster stack.
+
+Chaos testing is only worth having if a failure reproduces: a flaky
+harness that kills a different process at a different moment every run
+cannot gate CI.  Everything here is therefore driven by a *seeded
+schedule* -- :class:`FaultSchedule` expands a seed into an explicit,
+printable list of :class:`Fault` events ("refuse connection 3",
+"inject 80ms latency into connection 7", "cut connection 12 mid-body",
+"SIGKILL shard-0 after batch 5"), and the two enforcement mechanisms
+replay that list exactly:
+
+* :class:`FaultyProxy` -- a real TCP proxy in front of a node.  Clients
+  connect to the proxy; the schedule decides per accepted connection
+  whether to refuse (close before reading), delay (sleep before
+  forwarding), or cut (forward only half the response body, then RST).
+  Network faults happen at the socket layer, below the HTTP client, so
+  retry/failover code faces the same torn reads a real network yields.
+
+* :class:`ProcessReaper` -- SIGKILLs a *named* subprocess when the
+  workload reaches the scheduled batch.  SIGKILL, not SIGTERM: the
+  point is that no atexit/finally handler runs, exactly like a kernel
+  OOM-kill or power loss, which is what the write-ahead journal must
+  survive.
+
+The schedule is pure data; ``repr`` of a schedule is its full event
+list, so a failing CI run's log contains everything needed to replay
+it locally with the same ``--fault-seed``.
+"""
+
+from __future__ import annotations
+
+import random
+import select
+import signal
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "Fault",
+    "FaultSchedule",
+    "FaultyProxy",
+    "ProcessReaper",
+]
+
+#: Fault kinds a schedule may emit, in one place so typos fail loudly.
+KINDS = ("refuse", "delay", "cut", "kill")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault event.
+
+    ``at`` is the index the fault fires on: the Nth accepted connection
+    for network faults, the Nth completed batch for ``kill``.
+    ``arg`` is kind-specific: delay seconds for ``delay``, the fraction
+    of the response body to forward before cutting for ``cut``, the
+    target process name for ``kill``.
+    """
+
+    kind: str
+    at: int
+    arg: object = None
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+@dataclass
+class FaultSchedule:
+    """A seed expanded into an explicit fault event list.
+
+    ``from_seed`` draws a reproducible mix of network faults over a
+    window of connections; the constructor also accepts a hand-written
+    event list for targeted tests.  Lookup is by kind + index, so the
+    enforcement sites stay trivial::
+
+        schedule = FaultSchedule.from_seed(1234, connections=40)
+        if schedule.network_fault(conn_index) ...
+        if schedule.kill_after_batch(batch_index) ...
+    """
+
+    events: list[Fault] = field(default_factory=list)
+    seed: Optional[int] = None
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        *,
+        connections: int = 50,
+        fault_rate: float = 0.25,
+        max_delay_s: float = 0.08,
+        kill_target: Optional[str] = None,
+        kill_after_batch: Optional[int] = None,
+    ) -> "FaultSchedule":
+        """Expand ``seed`` into a deterministic event list.
+
+        Roughly ``fault_rate`` of the first ``connections`` accepted
+        connections get a network fault, split evenly across refuse /
+        delay / cut by further draws.  The same seed always yields the
+        same list -- ``random.Random(seed)``, no global state.
+        """
+        rng = random.Random(seed)
+        events: list[Fault] = []
+        for index in range(connections):
+            if rng.random() >= fault_rate:
+                continue
+            kind = rng.choice(("refuse", "delay", "cut"))
+            if kind == "refuse":
+                events.append(Fault("refuse", index))
+            elif kind == "delay":
+                events.append(
+                    Fault("delay", index, round(rng.uniform(0.01, max_delay_s), 4))
+                )
+            else:
+                events.append(Fault("cut", index, round(rng.uniform(0.1, 0.9), 3)))
+        if kill_target is not None:
+            if kill_after_batch is None:
+                raise ValueError("kill_target needs kill_after_batch")
+            events.append(Fault("kill", kill_after_batch, kill_target))
+        return cls(events=events, seed=seed)
+
+    def network_fault(self, conn_index: int) -> Optional[Fault]:
+        """The fault for the Nth accepted connection, if any."""
+        for event in self.events:
+            if event.at == conn_index and event.kind in ("refuse", "delay", "cut"):
+                return event
+        return None
+
+    def kill_after_batch(self, batch_index: int) -> Optional[Fault]:
+        """The kill event firing once batch ``batch_index`` completes."""
+        for event in self.events:
+            if event.kind == "kill" and event.at == batch_index:
+                return event
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        head = f"FaultSchedule(seed={self.seed}, {len(self.events)} events)"
+        return head + "".join(
+            f"\n  {e.kind}@{e.at}" + (f" arg={e.arg}" if e.arg is not None else "")
+            for e in self.events
+        )
+
+
+class FaultyProxy:
+    """A TCP proxy that injects the schedule's network faults.
+
+    Sits between a client and an upstream ``(host, port)``; each
+    accepted connection consults ``schedule.network_fault(n)`` for its
+    fate.  Healthy connections are byte-forwarded both ways until
+    either side closes -- the proxy adds no protocol knowledge, so it
+    works for any HTTP exchange the service speaks.
+
+    ``cut`` faults forward the request upstream, then relay only
+    ``arg`` (fraction) of the response bytes seen in the first read
+    burst before hard-closing both sockets -- the client observes a
+    mid-body disconnect *after* the server did the work, the nastiest
+    retry case (the retry must be idempotent; interning is, by
+    construction).
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        schedule: FaultSchedule,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.upstream = (upstream_host, upstream_port)
+        self.schedule = schedule
+        self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.listener.bind((host, port))
+        self.listener.listen(32)
+        self.connections = 0
+        self.faults_fired: list[Fault] = []
+        self.lock = threading.Lock()
+        self._closed = False
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="faulty-proxy-accept", daemon=True
+        )
+
+    @property
+    def host(self) -> str:
+        return self.listener.getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        return self.listener.getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "FaultyProxy":
+        self._accept_thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.listener.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        for thread in self._threads:
+            thread.join(timeout=2)
+
+    def __enter__(self) -> "FaultyProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, _addr = self.listener.accept()
+            except OSError:
+                return  # listener closed
+            with self.lock:
+                index = self.connections
+                self.connections += 1
+            fault = self.schedule.network_fault(index)
+            if fault is not None:
+                with self.lock:
+                    self.faults_fired.append(fault)
+            thread = threading.Thread(
+                target=self._serve_conn,
+                args=(conn, fault),
+                name=f"faulty-proxy-conn-{index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _serve_conn(self, conn: socket.socket, fault: Optional[Fault]) -> None:
+        try:
+            if fault is not None and fault.kind == "refuse":
+                # Close before reading a byte: the client sees a reset /
+                # empty response, the same signature as a dead listener.
+                self._hard_close(conn)
+                return
+            if fault is not None and fault.kind == "delay":
+                threading.Event().wait(float(fault.arg))
+            upstream = socket.create_connection(self.upstream, timeout=10)
+        except OSError:
+            self._hard_close(conn)
+            return
+        try:
+            if fault is not None and fault.kind == "cut":
+                self._serve_cut(conn, upstream, float(fault.arg))
+            else:
+                self._pump(conn, upstream)
+        finally:
+            self._hard_close(conn)
+            self._hard_close(upstream)
+
+    def _pump(self, client: socket.socket, upstream: socket.socket) -> None:
+        """Forward bytes both ways until either side closes."""
+        sockets = [client, upstream]
+        peer = {client: upstream, upstream: client}
+        while True:
+            readable, _, _ = select.select(sockets, [], [], 10)
+            if not readable:
+                return
+            for sock in readable:
+                try:
+                    data = sock.recv(65536)
+                except OSError:
+                    return
+                if not data:
+                    return
+                try:
+                    peer[sock].sendall(data)
+                except OSError:
+                    return
+
+    def _serve_cut(
+        self, client: socket.socket, upstream: socket.socket, fraction: float
+    ) -> None:
+        """Forward the request, then cut the response mid-body."""
+        # Relay the full client request (requests are small; one read
+        # burst of up to 1MB covers every wire call the client makes
+        # before it waits on the reply).
+        client.settimeout(5)
+        try:
+            request = client.recv(1 << 20)
+            if request:
+                upstream.sendall(request)
+            upstream.settimeout(10)
+            response = upstream.recv(1 << 20)
+        except OSError:
+            return
+        keep = max(1, int(len(response) * fraction)) if response else 0
+        try:
+            if keep:
+                client.sendall(response[:keep])
+        except OSError:
+            pass
+        # Hard close (RST via SO_LINGER 0) so the client cannot mistake
+        # the truncation for a complete short reply.
+        self._hard_close(client, rst=True)
+
+    @staticmethod
+    def _hard_close(sock: socket.socket, rst: bool = False) -> None:
+        try:
+            if rst:
+                import struct
+
+                sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+            sock.close()
+        except OSError:
+            pass
+
+
+class ProcessReaper:
+    """SIGKILL a named process when the workload hits its batch mark.
+
+    The chaos driver registers subprocesses by name and calls
+    :meth:`after_batch` as the workload progresses; when the schedule
+    says ``kill@N target``, the target dies with ``SIGKILL`` --
+    no shutdown path runs, which is the fault model the journal is
+    built for.  Returns the fired event so the driver can log it and
+    later assert recovery.
+    """
+
+    def __init__(self, schedule: FaultSchedule):
+        self.schedule = schedule
+        self.processes: dict[str, object] = {}
+        self.killed: list[str] = []
+
+    def register(self, name: str, process) -> None:
+        """``process`` needs ``pid`` and ``poll()`` (subprocess.Popen)."""
+        self.processes[name] = process
+
+    def after_batch(self, batch_index: int) -> Optional[Fault]:
+        event = self.schedule.kill_after_batch(batch_index)
+        if event is None:
+            return None
+        name = str(event.arg)
+        process = self.processes.get(name)
+        if process is None or name in self.killed:
+            return None
+        import os
+
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait()
+        self.killed.append(name)
+        return event

@@ -1,0 +1,358 @@
+"""Tests for replica failover and fault tolerance (ISSUE 8).
+
+A shard's primary dying must not lose acknowledged classes or take the
+cluster down: reads fail over to an in-sync replica immediately,
+writes resume after promotion (bounded by ``down_ttl``), circuit
+breakers half-open via health probes instead of serving stale 503s,
+and client deadlines bound the total time any of this may take.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.cluster import ClusterCoordinator, ClusterTopology, TopologyError
+from repro.gen.random_exprs import random_expr
+from repro.lang.sexpr import to_wire
+from repro.service import ReproServer, ServiceClient, ServiceError
+
+
+def mixed_corpus(n_items, seed=13, size=40):
+    rng = random.Random(seed)
+    return [
+        random_expr(size, rng=rng, p_let=0.2, p_lit=0.2)
+        for _ in range(n_items)
+    ]
+
+
+def wire_corpus(n_items, seed=13):
+    return [to_wire(e) for e in mixed_corpus(n_items, seed=seed)]
+
+
+def wait_until(predicate, timeout=5.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def replicated_cluster(shard_count=1, **coordinator_kwargs):
+    """shard_count primaries, one follower replica each, a coordinator."""
+    primaries = [
+        ReproServer(port=0, shard_id=i, shard_count=shard_count).start()
+        for i in range(shard_count)
+    ]
+    replicas = [
+        ReproServer(
+            port=0,
+            shard_id=i,
+            shard_count=shard_count,
+            follow=primaries[i].url,
+            poll_interval=0.05,
+        ).start()
+        for i in range(shard_count)
+    ]
+    coordinator_kwargs.setdefault("retries", 1)
+    coordinator_kwargs.setdefault("backoff", 0.05)
+    coordinator_kwargs.setdefault("down_ttl", 0.4)
+    coordinator_kwargs.setdefault("probe_interval", 0.1)
+    coordinator = ClusterCoordinator(
+        [node.url for node in primaries],
+        replicas={i: [replicas[i].url] for i in range(shard_count)},
+        port=0,
+        **coordinator_kwargs,
+    ).start()
+    return coordinator, primaries, replicas
+
+
+def synced(primary, replica):
+    return replica.session.store.version >= primary.session.store.version
+
+
+class TestReplicaTopology:
+    def test_replicas_ride_along(self):
+        topo = ClusterTopology(
+            ["http://a:1", "http://b:2"],
+            replicas={0: ["http://a2:1"], 1: ["http://b2:2", "http://b3:2"]},
+        )
+        assert topo.num_shards == 2
+        assert topo.num_replicas == 3
+        assert topo.replicas_of(1) == ("http://b2:2", "http://b3:2")
+        assert topo.nodes_of(0) == ("http://a:1", "http://a2:1")
+        # Ownership is a function of shard count alone.
+        assert topo.owner_of(12345) == 12345 % 2
+
+    def test_replica_validation(self):
+        with pytest.raises(TopologyError, match="duplicate"):
+            ClusterTopology(["http://a:1"], replicas={0: ["http://a:1"]})
+        with pytest.raises(TopologyError, match="http"):
+            ClusterTopology(["http://a:1"], replicas={0: ["ftp://r:1"]})
+        with pytest.raises(TopologyError, match="shard"):
+            ClusterTopology(["http://a:1"], replicas={3: ["http://r:1"]})
+        with pytest.raises(TopologyError, match="group"):
+            ClusterTopology(["http://a:1"], replicas=[[], []])
+
+
+class TestFollowerRole:
+    def test_follower_tails_primary(self):
+        primary = ReproServer(port=0).start()
+        follower = ReproServer(
+            port=0, follow=primary.url, poll_interval=0.05
+        ).start()
+        try:
+            client = ServiceClient(primary.url)
+            client.intern_many(mixed_corpus(30, seed=3))
+            assert wait_until(lambda: synced(primary, follower))
+            a = ServiceClient(primary.url).health(checksum=True)
+            b = ServiceClient(follower.url).health(checksum=True)
+            assert a["content_checksum"] == b["content_checksum"]
+            assert b["role"] == "follower"
+            assert b["follower"]["entries_applied"] > 0
+        finally:
+            follower.close()
+            primary.close()
+
+    def test_follower_survives_primary_death(self):
+        primary = ReproServer(port=0).start()
+        follower = ReproServer(
+            port=0, follow=primary.url, poll_interval=0.05
+        ).start()
+        try:
+            ServiceClient(primary.url).intern_many(mixed_corpus(10, seed=5))
+            assert wait_until(lambda: synced(primary, follower))
+            version = follower.session.store.version
+            primary.close()
+            time.sleep(0.15)  # a few failed polls
+            health = ServiceClient(follower.url).health()
+            assert health["ok"] is True
+            assert health["version"] == version
+            assert health["follower"]["last_error"]
+        finally:
+            follower.close()
+
+
+class TestReadFailover:
+    def test_reads_survive_dead_primary(self):
+        coordinator, primaries, replicas = replicated_cluster()
+        try:
+            client = ServiceClient(coordinator.url, retries=2, backoff=0.05)
+            docs = wire_corpus(20)
+            client.intern_wire(docs)
+            assert wait_until(lambda: synced(primaries[0], replicas[0]))
+            primaries[0].close()
+            # Health, stats and hashing all keep answering.
+            assert client.health()["ok"] is True
+            stats = client.stats()
+            assert stats["entries"] > 0
+            reply = client.hash_wire(docs)
+            assert len(reply["hashes"]) == len(docs)
+            domains = client.metrics()["failure_domains"]
+            assert domains["down_shards"] == []
+            assert domains["breaker_opens"] >= 1
+        finally:
+            coordinator.close()
+            for node in primaries + replicas:
+                node.close()
+
+    def test_snapshot_survives_dead_primary(self):
+        coordinator, primaries, replicas = replicated_cluster()
+        try:
+            client = ServiceClient(coordinator.url, retries=2, backoff=0.05)
+            client.intern_wire(wire_corpus(15))
+            assert wait_until(lambda: synced(primaries[0], replicas[0]))
+            entries_before = client.stats()["entries"]
+            primaries[0].close()
+            data = client.fetch_snapshot()
+            from repro.store import snapshot_from_bytes
+
+            store, _header = snapshot_from_bytes(data)
+            assert len(store) == entries_before
+        finally:
+            coordinator.close()
+            for node in primaries + replicas:
+                node.close()
+
+
+class TestWriteFailover:
+    def test_promotion_after_down_ttl(self):
+        coordinator, primaries, replicas = replicated_cluster()
+        try:
+            client = ServiceClient(
+                coordinator.url, retries=6, backoff=0.1, deadline=20.0
+            )
+            docs = wire_corpus(30)
+            client.intern_wire(docs[:15])
+            assert wait_until(lambda: synced(primaries[0], replicas[0]))
+            primaries[0].close()
+            # Writes resume once the replica is promoted; the client's
+            # bounded retries absorb the (<= down_ttl) 503 window.
+            reply = client.intern_wire(docs[15:])
+            assert len(reply["ids"]) == 15
+            domains = client.metrics()["failure_domains"]
+            shard = domains["shards"][0]
+            assert shard["promoted"] is True
+            assert shard["active"] == replicas[0].url
+            assert domains["promotions"] == 1
+            # The promoted store holds both halves.
+            assert client.stats()["entries"] == len(
+                replicas[0].session.store
+            )
+        finally:
+            coordinator.close()
+            for node in primaries + replicas:
+                node.close()
+
+    def test_unreplicated_shard_still_503s(self):
+        node = ReproServer(port=0, shard_id=0, shard_count=1).start()
+        coordinator = ClusterCoordinator(
+            [node.url], port=0, retries=0, down_ttl=0.3, probe_interval=0.05
+        ).start()
+        try:
+            client = ServiceClient(coordinator.url, retries=0)
+            docs = wire_corpus(5)
+            client.intern_wire(docs[:2])
+            node.close()
+            time.sleep(0.35)  # past down_ttl: promotion would fire if possible
+            with pytest.raises(ServiceError) as excinfo:
+                client.intern_wire(docs[2:])
+            assert excinfo.value.status == 503
+        finally:
+            coordinator.close()
+
+    def test_promotion_requires_in_sync_replica(self):
+        """A replica behind the acked version must not be promoted."""
+        coordinator, primaries, replicas = replicated_cluster(down_ttl=0.2)
+        try:
+            client = ServiceClient(coordinator.url, retries=0)
+            # Pause the follower loop so the replica stays stale.
+            replicas[0]._follower.stop_event.set()
+            client.intern_wire(wire_corpus(10))
+            primaries[0].close()
+            # Every write from here fails 503; once the breaker has
+            # watched the primary stay down past down_ttl, the refusal
+            # names the stale replica (promotion considered, rejected).
+            message = ""
+            deadline = time.monotonic() + 5
+            while "caught up" not in message:
+                assert time.monotonic() < deadline, message
+                with pytest.raises(ServiceError) as excinfo:
+                    client.intern_wire(wire_corpus(5, seed=99))
+                assert excinfo.value.status == 503
+                message = str(excinfo.value)
+                time.sleep(0.1)
+            domains = client.metrics()["failure_domains"]
+            assert domains["shards"][0]["promoted"] is False
+        finally:
+            coordinator.close()
+            for node in replicas:
+                node.close()
+
+
+class TestCircuitBreaker:
+    def test_probe_on_touch_beats_down_ttl(self):
+        """A node back before the TTL expires serves again on the next
+        touch -- the liveness cache must not pin it down for the TTL."""
+        shard_count = 1
+        node = ReproServer(port=0, shard_id=0, shard_count=shard_count)
+        node.start()
+        coordinator = ClusterCoordinator(
+            [node.url],
+            port=0,
+            retries=0,
+            down_ttl=60.0,  # deliberately huge: only the probe can revive
+            probe_interval=0.05,
+        ).start()
+        try:
+            client = ServiceClient(coordinator.url, retries=0)
+            docs = wire_corpus(6)
+            client.intern_wire(docs[:3])
+            # Simulate a blip: mark the node down without killing it.
+            shard_node = coordinator.groups[0].nodes[0]
+            coordinator._mark_down(shard_node, RuntimeError("blip"))
+            assert shard_node.breaker_opens == 1
+            time.sleep(0.06)  # one probe interval, a fraction of the TTL
+            reply = client.intern_wire(docs[3:])
+            assert len(reply["ids"]) == 3
+            assert shard_node.down_until == 0.0
+        finally:
+            coordinator.close()
+            node.close()
+
+    def test_breaker_open_counts_are_monotone(self):
+        coordinator, primaries, replicas = replicated_cluster()
+        try:
+            client = ServiceClient(coordinator.url, retries=2, backoff=0.05)
+            client.intern_wire(wire_corpus(8))
+            assert wait_until(lambda: synced(primaries[0], replicas[0]))
+            primaries[0].close()
+            client.health()
+            client.hash_wire(wire_corpus(4, seed=2))
+            domains = client.metrics()["failure_domains"]
+            node_entry = domains["shards"][0]["nodes"][0]
+            assert node_entry["down"] is True
+            assert node_entry["breaker_opens"] >= 1
+            assert node_entry["role"] == "primary"
+        finally:
+            coordinator.close()
+            for node in primaries + replicas:
+                node.close()
+
+
+class TestClientDeadline:
+    def test_deadline_bounds_total_retry_time(self):
+        client = ServiceClient(
+            "http://127.0.0.1:9",  # nothing listens on the discard port
+            retries=50,
+            backoff=0.05,
+            deadline=0.5,
+        )
+        start = time.monotonic()
+        with pytest.raises(ServiceError, match="deadline"):
+            client.health()
+        elapsed = time.monotonic() - start
+        assert elapsed < 2.0  # 50 retries would take far longer
+        assert client.counters["deadline_exhausted"] == 1
+        assert client.counters["failures"] == 1
+
+    def test_deadline_validation(self):
+        with pytest.raises(ValueError, match="deadline"):
+            ServiceClient("http://127.0.0.1:9", deadline=0.0)
+
+    def test_counters_track_retries(self):
+        with ReproServer(port=0) as server:
+            client = ServiceClient(server.url, retries=2)
+            client.health()
+            assert client.counters["requests"] == 1
+            assert client.counters["retries"] == 0
+            assert client.counters["failures"] == 0
+
+
+class TestBudget:
+    def test_budget_validation(self):
+        with pytest.raises(ValueError, match="budget"):
+            ClusterCoordinator(["http://a:1"], port=0, budget=-1.0)
+
+    def test_exhausted_budget_is_a_bounded_503(self):
+        node = ReproServer(port=0, shard_id=0, shard_count=1).start()
+        coordinator = ClusterCoordinator(
+            [node.url],
+            port=0,
+            retries=0,
+            down_ttl=5.0,
+            probe_interval=10.0,  # no probes inside the window
+            budget=0.3,
+        ).start()
+        try:
+            client = ServiceClient(coordinator.url, retries=0)
+            client.intern_wire(wire_corpus(3))
+            node.close()
+            start = time.monotonic()
+            with pytest.raises(ServiceError) as excinfo:
+                client.intern_wire(wire_corpus(3, seed=8))
+            assert excinfo.value.status == 503
+            assert time.monotonic() - start < 3.0
+        finally:
+            coordinator.close()

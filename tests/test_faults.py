@@ -1,0 +1,152 @@
+"""Tests for the deterministic fault-injection harness (ISSUE 8).
+
+The harness only earns its place if the same seed always produces the
+same faults, and if the faults it injects are real enough that the
+client/coordinator retry machinery is what absorbs them -- asserted
+here by comparing results through a faulty proxy against a direct
+connection, bit for bit.
+"""
+
+import random
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.gen.random_exprs import random_expr
+from repro.service import ReproServer, ServiceClient, ServiceError
+from repro.testing import Fault, FaultSchedule, FaultyProxy, ProcessReaper
+
+
+def corpus(n, seed=17, size=30):
+    rng = random.Random(seed)
+    return [random_expr(size, rng=rng, p_let=0.2, p_lit=0.2) for _ in range(n)]
+
+
+class TestFaultSchedule:
+    def test_same_seed_same_events(self):
+        a = FaultSchedule.from_seed(1234, connections=60)
+        b = FaultSchedule.from_seed(1234, connections=60)
+        assert a.events == b.events
+        assert a.events  # 25% of 60 connections: the mix is non-empty
+
+    def test_different_seeds_differ(self):
+        a = FaultSchedule.from_seed(1, connections=60)
+        b = FaultSchedule.from_seed(2, connections=60)
+        assert a.events != b.events
+
+    def test_kill_event_rides_along(self):
+        schedule = FaultSchedule.from_seed(
+            7, connections=10, kill_target="shard-0", kill_after_batch=5
+        )
+        assert schedule.kill_after_batch(4) is None
+        event = schedule.kill_after_batch(5)
+        assert event is not None and event.arg == "shard-0"
+
+    def test_kill_target_needs_batch(self):
+        with pytest.raises(ValueError, match="kill_after_batch"):
+            FaultSchedule.from_seed(7, kill_target="shard-0")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("explode", 3)
+
+    def test_lookup_by_connection(self):
+        schedule = FaultSchedule(
+            events=[Fault("refuse", 2), Fault("delay", 5, 0.01)]
+        )
+        assert schedule.network_fault(0) is None
+        assert schedule.network_fault(2).kind == "refuse"
+        assert schedule.network_fault(5).arg == 0.01
+
+
+class TestFaultyProxy:
+    @pytest.fixture()
+    def server(self):
+        with ReproServer(port=0) as live:
+            yield live
+
+    def test_clean_schedule_is_transparent(self, server):
+        with FaultyProxy(
+            "127.0.0.1", server.port, FaultSchedule(events=[])
+        ) as proxy:
+            direct = ServiceClient(server.url).hash_corpus(corpus(10))
+            proxied = ServiceClient(proxy.url, retries=0).hash_corpus(corpus(10))
+            assert proxied == direct
+
+    def test_refusals_absorbed_by_retries(self, server):
+        schedule = FaultSchedule(
+            events=[Fault("refuse", 0), Fault("refuse", 1)]
+        )
+        with FaultyProxy("127.0.0.1", server.port, schedule) as proxy:
+            client = ServiceClient(proxy.url, retries=4, backoff=0.02)
+            hashes = client.hash_corpus(corpus(8))
+            assert hashes == ServiceClient(server.url).hash_corpus(corpus(8))
+            assert client.counters["retries"] >= 2
+            assert [f.kind for f in proxy.faults_fired] == ["refuse", "refuse"]
+
+    def test_refusal_without_retries_fails(self, server):
+        schedule = FaultSchedule(events=[Fault("refuse", 0)])
+        with FaultyProxy("127.0.0.1", server.port, schedule) as proxy:
+            client = ServiceClient(proxy.url, retries=0)
+            with pytest.raises(ServiceError):
+                client.health()
+
+    def test_mid_body_cut_is_retried_idempotently(self, server):
+        """The cut fires *after* the server interned the batch; the
+        retry must land on the same ids (interning is idempotent)."""
+        schedule = FaultSchedule(events=[Fault("cut", 0, 0.5)])
+        items = corpus(12, seed=23)
+        with FaultyProxy("127.0.0.1", server.port, schedule) as proxy:
+            client = ServiceClient(proxy.url, retries=4, backoff=0.02)
+            ids = client.intern_many(items)
+            assert client.counters["retries"] >= 1
+        # Same ids as asking the server directly: one batch, one intern.
+        assert ids == ServiceClient(server.url).intern_many(items)
+
+    def test_latency_injection_delays_but_answers(self, server):
+        schedule = FaultSchedule(events=[Fault("delay", 0, 0.2)])
+        with FaultyProxy("127.0.0.1", server.port, schedule) as proxy:
+            client = ServiceClient(proxy.url, retries=0)
+            start = time.monotonic()
+            assert client.health()["ok"] is True
+            assert time.monotonic() - start >= 0.2
+
+    def test_seeded_run_bit_identical_to_direct(self, server):
+        """The chaos harness's core gate, in miniature."""
+        schedule = FaultSchedule.from_seed(4242, connections=30)
+        truth = ServiceClient(server.url).hash_corpus(corpus(40, seed=9))
+        with FaultyProxy("127.0.0.1", server.port, schedule) as proxy:
+            client = ServiceClient(
+                proxy.url, retries=8, backoff=0.02, deadline=30.0
+            )
+            got = []
+            for start in range(0, 40, 5):
+                got.extend(client.hash_corpus(corpus(40, seed=9)[start : start + 5]))
+            assert got == truth
+            assert client.counters["failures"] == 0
+
+
+class TestProcessReaper:
+    def test_kills_named_process_at_batch(self):
+        schedule = FaultSchedule.from_seed(
+            1, connections=0, kill_target="victim", kill_after_batch=2
+        )
+        reaper = ProcessReaper(schedule)
+        victim = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(60)"]
+        )
+        try:
+            reaper.register("victim", victim)
+            assert reaper.after_batch(0) is None
+            assert reaper.after_batch(1) is None
+            event = reaper.after_batch(2)
+            assert event is not None and event.kind == "kill"
+            assert victim.poll() is not None  # SIGKILLed, reaped
+            assert reaper.killed == ["victim"]
+            # Firing again is a no-op: one kill per target.
+            assert reaper.after_batch(2) is None
+        finally:
+            if victim.poll() is None:  # pragma: no cover - cleanup
+                victim.kill()

@@ -1,0 +1,359 @@
+"""Tests for the write-ahead journal (ISSUE 8).
+
+The journal's contract: every acknowledged intern batch is a
+checksummed delta frame on disk, and any crash -- mid-frame, mid-apply,
+mid-checkpoint -- recovers to either the exact pre-crash store or a
+verified prefix of it, never a half-applied hybrid.  Differential
+tests compare a recovered store's content fingerprint against the
+original; corruption that is *not* a crash artefact must fail loudly.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.core.combiners import HashCombiners
+from repro.gen.random_exprs import random_expr
+from repro.store import (
+    ExprStore,
+    Journal,
+    JournalError,
+    SnapshotError,
+    apply_delta_bytes,
+    content_checksum,
+    delta_to_bytes,
+)
+from repro.store.journal import FRAME_MAGIC, _frame_bytes
+
+
+def corpus(n, seed=31, size=30):
+    rng = random.Random(seed)
+    return [random_expr(size, rng=rng, p_let=0.2, p_lit=0.2) for _ in range(n)]
+
+
+def make_store():
+    return ExprStore(HashCombiners(bits=64, seed=7))
+
+
+def journaled_store(tmp_path, batches=4, per_batch=10):
+    """A store built in batches, each batch journaled as one frame."""
+    directory = str(tmp_path / "wal")
+    journal = Journal(directory, fsync=False)
+    store = make_store()
+    items = corpus(batches * per_batch)
+    for batch in range(batches):
+        for expr in items[batch * per_batch : (batch + 1) * per_batch]:
+            store.intern(expr)
+        journal.append_delta(store)
+    journal.close()
+    return store, directory
+
+
+class TestAppendReplay:
+    def test_replay_rebuilds_exact_store(self, tmp_path):
+        store, directory = journaled_store(tmp_path)
+        recovered = make_store()
+        report = Journal(directory, fsync=False).replay(recovered)
+        assert report["applied"] == len(store)
+        assert report["truncated_bytes"] == 0
+        assert recovered.version == store.version
+        assert content_checksum(recovered) == content_checksum(store)
+
+    def test_replay_is_idempotent(self, tmp_path):
+        store, directory = journaled_store(tmp_path)
+        recovered = make_store()
+        journal = Journal(directory, fsync=False)
+        journal.replay(recovered)
+        again = journal.replay(recovered)
+        assert again["applied"] == 0
+        assert again["skipped_frames"] == again["frames"]
+        assert content_checksum(recovered) == content_checksum(store)
+
+    def test_empty_window_appends_nothing(self, tmp_path):
+        journal = Journal(str(tmp_path / "wal"), fsync=False)
+        store = make_store()
+        assert journal.append_delta(store) is None
+        store.intern(corpus(1)[0])
+        assert journal.append_delta(store) is not None
+        assert journal.append_delta(store) is None  # window already covered
+
+    def test_segment_rotation_and_order(self, tmp_path):
+        directory = str(tmp_path / "wal")
+        journal = Journal(directory, max_segment_bytes=1, fsync=False)
+        store = make_store()
+        for expr in corpus(12):
+            store.intern(expr)
+            journal.append_delta(store)
+        assert len(journal.segments()) >= 3  # 1-byte cap: every frame rotates
+        recovered = make_store()
+        Journal(directory, fsync=False).replay(recovered)
+        assert content_checksum(recovered) == content_checksum(store)
+
+
+class TestCrashArtefacts:
+    def test_torn_tail_truncates_to_last_good_frame(self, tmp_path):
+        store, directory = journaled_store(tmp_path)
+        last = Journal(directory, fsync=False).segments()[-1]
+        size = os.path.getsize(last)
+        with open(last, "r+b") as handle:
+            handle.truncate(size - 7)  # crash mid-frame-write
+        recovered = make_store()
+        report = Journal(directory, fsync=False).replay(recovered)
+        assert report["truncated_bytes"] > 0
+        # The torn frame is gone; everything before it survived intact.
+        assert 0 < recovered.version < store.version
+        # Differential: recovered == the intact frame prefix re-applied
+        # to a fresh store.
+        replayed = make_store()
+        for _path, payload in Journal(directory, fsync=False).iter_frames():
+            apply_delta_bytes(replayed, payload)
+        assert content_checksum(recovered) == content_checksum(replayed)
+
+    def test_torn_tail_then_append_then_recover(self, tmp_path):
+        """Crash, truncate on boot, keep writing, recover again."""
+        store, directory = journaled_store(tmp_path)
+        last = Journal(directory, fsync=False).segments()[-1]
+        with open(last, "r+b") as handle:
+            handle.truncate(os.path.getsize(last) - 3)
+        node = make_store()
+        journal = Journal(directory, fsync=False)
+        journal.replay(node)
+        for expr in corpus(10, seed=91):
+            node.intern(expr)
+        journal.append_delta(node)
+        journal.close()
+        recovered = make_store()
+        Journal(directory, fsync=False).replay(recovered)
+        assert content_checksum(recovered) == content_checksum(node)
+
+    def test_fresh_journal_never_appends_to_unverified_tail(self, tmp_path):
+        """Without replay(), appends open a NEW segment: a torn tail in
+        the previous one must stay a *tail* until recovery truncates it."""
+        store, directory = journaled_store(tmp_path, batches=2)
+        before = Journal(directory, fsync=False).segments()
+        journal = Journal(directory, fsync=False)  # no replay()
+        store.intern(corpus(1, seed=55)[0])
+        journal.append_delta(store, since=store.version - 1)
+        after = journal.segments()
+        journal.close()
+        assert len(after) == len(before) + 1
+
+    def test_duplicated_frame_skips_cleanly(self, tmp_path):
+        store, directory = journaled_store(tmp_path, batches=2)
+        journal = Journal(directory, fsync=False)
+        frames = [payload for _path, payload in journal.iter_frames()]
+        # Re-append the first frame at the end: version goes backwards.
+        journal.append_bytes(frames[0])
+        journal.close()
+        recovered = make_store()
+        report = Journal(directory, fsync=False).replay(recovered)
+        assert report["skipped_frames"] == 1
+        assert content_checksum(recovered) == content_checksum(store)
+
+
+class TestNonTailCorruption:
+    def test_non_final_segment_damage_fails_loudly(self, tmp_path):
+        directory = str(tmp_path / "wal")
+        journal = Journal(directory, max_segment_bytes=1, fsync=False)
+        store = make_store()
+        for expr in corpus(6):
+            store.intern(expr)
+            journal.append_delta(store)
+        journal.close()
+        first = Journal(directory, fsync=False).segments()[0]
+        data = bytearray(open(first, "rb").read())
+        data[len(FRAME_MAGIC) + 8 + 32 + 5] ^= 0xFF  # payload byte of frame 0
+        open(first, "wb").write(bytes(data))
+        # Damage in a non-final segment is not a crash artefact.
+        with pytest.raises(JournalError, match="corrupt frame"):
+            Journal(directory, fsync=False).replay(make_store())
+
+    def test_reordered_segment_fails_loudly(self, tmp_path):
+        _store, directory = journaled_store(tmp_path, batches=3, per_batch=4)
+        journal = Journal(directory, max_segment_bytes=1, fsync=False)
+        # Force multiple segments by rewriting the journal 1-frame-per-segment.
+        frames = [payload for _path, payload in journal.iter_frames()]
+        for path in journal.segments():
+            os.remove(path)
+        for payload in frames:
+            journal.append_bytes(payload)
+        journal.close()
+        paths = Journal(directory, fsync=False).segments()
+        assert len(paths) >= 3
+        # Drop a middle segment: the sequence gap must be detected.
+        os.remove(paths[1])
+        with pytest.raises(JournalError, match="sequence gap"):
+            Journal(directory, fsync=False).replay(make_store())
+
+    def test_swapped_segment_contents_fail_as_version_gap(self, tmp_path):
+        _store, directory = journaled_store(tmp_path, batches=3, per_batch=4)
+        journal = Journal(directory, max_segment_bytes=1, fsync=False)
+        frames = [payload for _path, payload in journal.iter_frames()]
+        for path in journal.segments():
+            os.remove(path)
+        # Segments renumbered contiguously but holding reordered
+        # history: the delta version chain must refuse the gap.
+        for payload in [frames[1], frames[0]] + frames[2:]:
+            journal.append_bytes(payload)
+        journal.close()
+        with pytest.raises(SnapshotError, match="delta starts at version"):
+            Journal(directory, fsync=False).replay(make_store())
+
+
+class TestCrashMidApply:
+    """apply_delta_bytes is all-or-nothing per frame: a frame that
+    cannot fully apply must leave the store untouched."""
+
+    def _delta_with_bad_record(self, mutate):
+        source = make_store()
+        for expr in corpus(8, seed=77):
+            source.intern(expr)
+        data = delta_to_bytes(source, 0)
+        header_line, body = data.split(b"\n", 1)
+        header = json.loads(header_line)
+        lines = body.rstrip(b"\n").split(b"\n")
+        records = [json.loads(line) for line in lines]
+        mutate(records)
+        new_body = b"\n".join(
+            json.dumps(r, separators=(",", ":")).encode() for r in records
+        )
+        # Recompute the body checksum so the outer envelope stays valid
+        # and the *record validation* layer is what must catch it.
+        import hashlib
+
+        header["checksum"] = "sha256:" + hashlib.sha256(new_body).hexdigest()
+        return (
+            json.dumps(header, separators=(",", ":")).encode()
+            + b"\n"
+            + new_body
+            + b"\n"
+        )
+
+    def test_malformed_record_leaves_store_untouched(self):
+        data = self._delta_with_bad_record(
+            lambda records: records[len(records) // 2].pop("h")
+        )
+        target = make_store()
+        for expr in corpus(3, seed=5):
+            target.intern(expr)
+        before = content_checksum(target)
+        version = target.version
+        with pytest.raises(SnapshotError):
+            apply_delta_bytes(target, data)
+        assert content_checksum(target) == before
+        assert target.version == version
+
+    def test_conflicting_record_leaves_store_untouched(self):
+        """A record disagreeing with an entry the store already holds
+        (split-brain artefact) is rejected before any mutation."""
+        source = make_store()
+        items = corpus(6, seed=7)
+        for expr in items:
+            source.intern(expr)
+        data = delta_to_bytes(source, 0)
+        header_line, body = data.split(b"\n", 1)
+        records = [json.loads(line) for line in body.rstrip(b"\n").split(b"\n")]
+        # Target already holds the same classes; corrupt one record's
+        # kind so it conflicts with the existing entry.
+        target = make_store()
+        for expr in items:
+            target.intern(expr)
+        victim = records[len(records) // 2]
+        victim["k"] = victim["k"] + "_x"
+        import hashlib
+
+        new_body = b"\n".join(
+            json.dumps(r, separators=(",", ":")).encode() for r in records
+        )
+        header = json.loads(header_line)
+        header["checksum"] = "sha256:" + hashlib.sha256(new_body).hexdigest()
+        data = (
+            json.dumps(header, separators=(",", ":")).encode()
+            + b"\n"
+            + new_body
+            + b"\n"
+        )
+        before = content_checksum(target)
+        with pytest.raises(SnapshotError):
+            apply_delta_bytes(target, data)
+        assert content_checksum(target) == before
+
+
+class TestCheckpointGC:
+    def test_checkpoint_covers_and_gcs_segments(self, tmp_path):
+        directory = str(tmp_path / "wal")
+        journal = Journal(directory, max_segment_bytes=1, fsync=False)
+        store = make_store()
+        for expr in corpus(10):
+            store.intern(expr)
+            journal.append_delta(store)
+        segments_before = len(journal.segments())
+        report = journal.checkpoint(store)
+        assert journal.load_checkpoint_bytes() is not None
+        # Everything but the open segment is covered and removed.
+        assert len(report["removed"]) == segments_before - 1
+        journal.close()
+
+    def test_recovery_from_checkpoint_plus_tail(self, tmp_path):
+        from repro.api import Session
+
+        directory = str(tmp_path / "wal")
+        journal = Journal(directory, max_segment_bytes=1, fsync=False)
+        store = make_store()
+        items = corpus(12, seed=3)
+        for expr in items[:8]:
+            store.intern(expr)
+            journal.append_delta(store)
+        journal.checkpoint(store)
+        for expr in items[8:]:
+            store.intern(expr)
+            journal.append_delta(store)
+        journal.close()
+        # Boot path: seed from the checkpoint, replay the tail.
+        recovery = Journal(directory, fsync=False)
+        session = Session.from_snapshot_bytes(recovery.load_checkpoint_bytes())
+        report = recovery.replay(session.store)
+        assert report["applied"] > 0
+        assert session.store.version == store.version
+        assert content_checksum(session.store) == content_checksum(store)
+        session.close()
+
+    def test_gc_never_removes_uncovered_segments(self, tmp_path):
+        directory = str(tmp_path / "wal")
+        journal = Journal(directory, max_segment_bytes=1, fsync=False)
+        store = make_store()
+        for expr in corpus(6):
+            store.intern(expr)
+            journal.append_delta(store)
+        # Covered only up to an early version: later segments survive.
+        report = journal.gc(covered_version=1)
+        journal.close()
+        recovered = make_store()
+        Journal(directory, fsync=False).replay(recovered)
+        assert recovered.version == store.version
+
+
+class TestContentChecksum:
+    def test_checksum_ignores_recency_and_stats(self):
+        a = make_store()
+        b = make_store()
+        items = corpus(10, seed=41)
+        for expr in items:
+            a.intern(expr)
+        for expr in items:
+            b.intern(expr)
+        for expr in items:  # extra touches: stats/LRU differ, content equal
+            b.intern(expr)
+        assert content_checksum(a) == content_checksum(b)
+
+    def test_checksum_sees_content(self):
+        a = make_store()
+        b = make_store()
+        items = corpus(10, seed=43)
+        for expr in items:
+            a.intern(expr)
+        for expr in items[:-1]:
+            b.intern(expr)
+        assert content_checksum(a) != content_checksum(b)
