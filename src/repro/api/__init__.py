@@ -61,9 +61,15 @@ from repro.api.plan import (
     Planner,
     PlanError,
 )
-from repro.api.remote import RemoteSession
+from repro.api.remote import RemoteSession, RemoteStreamSession
 from repro.api.request import HashRequest, InternRequest
 from repro.api.session import Session, SessionConfig, SessionError
+from repro.api.stream import (
+    EditReport,
+    StoreThrashError,
+    StreamError,
+    StreamSession,
+)
 
 __all__ = [
     # facade
@@ -72,6 +78,12 @@ __all__ = [
     "SessionError",
     "AsyncSession",
     "RemoteSession",
+    # streaming edit sessions
+    "StreamSession",
+    "RemoteStreamSession",
+    "StreamError",
+    "StoreThrashError",
+    "EditReport",
     # pipeline
     "HashRequest",
     "InternRequest",

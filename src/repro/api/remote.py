@@ -22,11 +22,11 @@ HTTP client (bounded retries with backoff -- see
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional, Sequence
 
 from repro.lang.expr import Expr
 
-__all__ = ["RemoteSession"]
+__all__ = ["RemoteSession", "RemoteStreamSession"]
 
 
 class RemoteSession:
@@ -83,6 +83,24 @@ class RemoteSession:
         except ServiceError:
             return False
 
+    # -- streaming edit sessions -----------------------------------------------
+
+    def open_stream(
+        self, corpus: Iterable[Expr], ttl: Optional[float] = None
+    ) -> "RemoteStreamSession":
+        """Open a server-side streaming edit session over ``corpus``.
+
+        The remote counterpart of :meth:`Session.open_stream`: the
+        corpus is uploaded once (``/v1/session/open``) and each
+        :meth:`RemoteStreamSession.edit` ships only the path and the
+        replacement subtree -- the server re-hashes the dirty spine
+        against its shared store and answers with the updated root
+        hash and the nodes-rehashed receipt.  ``ttl`` overrides the
+        server's idle-expiry for this session (bounded server-side).
+        """
+        reply = self.client.session_open(list(corpus), ttl=ttl)
+        return RemoteStreamSession(self.client, reply)
+
     # -- store movement --------------------------------------------------------
 
     def pull(self):
@@ -108,7 +126,8 @@ class RemoteSession:
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        """Nothing to release locally; here for Session symmetry."""
+        """Release the client's persistent keep-alive connections."""
+        self.client.close()
 
     def __enter__(self) -> "RemoteSession":
         return self
@@ -118,3 +137,62 @@ class RemoteSession:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"RemoteSession({self.client.base_url!r})"
+
+
+class RemoteStreamSession:
+    """Client half of one ``/v1/session`` edit stream.
+
+    Mirrors :class:`~repro.api.stream.StreamSession`'s surface
+    (``edit`` / ``report`` / ``close`` / ``root_hashes``) but holds no
+    trees locally -- only the session id and the last root hashes.  A
+    lost session (server restart, TTL expiry, failed-over cluster
+    node) surfaces as a :class:`~repro.service.client.ServiceError`
+    with ``status == 409``: reopen with the current corpus and replay.
+    """
+
+    def __init__(self, client, opened: dict):
+        self.client = client
+        self.session_id: str = opened["session"]
+        self.root_hashes: list[int] = list(opened.get("roots", ()))
+        self.opened = opened
+        self.closed = False
+
+    @property
+    def items(self) -> int:
+        return len(self.root_hashes)
+
+    def edit(self, item: int, path: Sequence[int], new_subexpr: Expr) -> dict:
+        """Stream one subtree replacement; returns the server's
+        :class:`~repro.api.stream.EditReport` dict."""
+        reply = self.client.session_edit(
+            self.session_id, item, list(path), new_subexpr
+        )
+        if 0 <= item < len(self.root_hashes):
+            self.root_hashes[item] = reply["root_hash"]
+        return reply
+
+    def report(self) -> dict:
+        return self.client.session_report(self.session_id)
+
+    def close(self) -> dict:
+        if self.closed:
+            return {"closed": True, "session": self.session_id}
+        self.closed = True
+        return self.client.session_close(self.session_id)
+
+    def __enter__(self) -> "RemoteStreamSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        from repro.service.client import ServiceError
+
+        try:
+            self.close()
+        except ServiceError:
+            # Expired/lost sessions are already gone server-side.
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"RemoteStreamSession({self.session_id!r}, {self.items} items)"
+        )

@@ -311,6 +311,23 @@ class Session:
             )
         return self.execute(InternRequest(exprs, workers=workers, engine=engine))
 
+    def open_stream(
+        self,
+        corpus: Iterable[Expr],
+        intern_classes: Optional[bool] = None,
+    ):
+        """Open a :class:`~repro.api.stream.StreamSession` over ``corpus``.
+
+        The streaming counterpart of :meth:`hash_corpus`: pay the
+        O(corpus) open once, then stream subtree-replacement edits that
+        re-hash only the dirty spine (see :mod:`repro.api.stream`).
+        Corpus roots are interned and pinned in this session's store so
+        LRU pressure from other traffic cannot evict them mid-stream.
+        """
+        from repro.api.stream import StreamSession
+
+        return StreamSession(corpus, session=self, intern_classes=intern_classes)
+
     def cse(self, expr: Expr, **kwargs):
         """Common-subexpression elimination through the session's store
         (see :func:`repro.apps.cse.cse` for the knobs)."""

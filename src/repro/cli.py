@@ -23,6 +23,20 @@ Utility commands work on expression files (surface syntax, see
     python -m repro session [FILE...]       # the Session facade: pick a
                                             # --backend, batch-hash a corpus,
                                             # --save/--load store snapshots
+    python -m repro session C0 C1 --stream TRACE.jsonl
+                                            # streaming rewrite session: open
+                                            # over the corpus, replay a JSONL
+                                            # edit trace (one {"item","path",
+                                            # "expr"} object per line); each
+                                            # edit re-hashes only the dirty
+                                            # spine.  --url points the same
+                                            # trace at a serve/cluster
+                                            # endpoint instead
+    python -m repro edit FILE --path 0.1 --with NEW.expr
+                                            # one subtree replacement:
+                                            # incremental re-hash, reports
+                                            # old/new root hash and the
+                                            # nodes-rehashed receipt
     python -m repro serve --port 8655       # serve the session over HTTP/JSON
                                             # (hash/intern/stats + snapshot
                                             # download/upload; --journal DIR
@@ -62,7 +76,16 @@ _EXPERIMENTS = {
     "difftest": "repro.analysis.differential",
 }
 
-_UTILITIES = ("hash", "classes", "cse", "store", "session", "serve", "cluster")
+_UTILITIES = (
+    "hash",
+    "classes",
+    "cse",
+    "store",
+    "session",
+    "edit",
+    "serve",
+    "cluster",
+)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -104,6 +127,8 @@ def _run_utility(command: str, rest: Sequence[str]) -> int:
         return _run_hash(rest)
     if command == "session":
         return _run_session(rest)
+    if command == "edit":
+        return _run_edit(rest)
     if command == "serve":
         from repro.service.server import serve
 
@@ -307,7 +332,39 @@ def _run_session(rest: Sequence[str]) -> int:
     parser.add_argument(
         "--stats", action="store_true", help="emit a final JSON stats record"
     )
+    parser.add_argument(
+        "--stream",
+        metavar="TRACE",
+        help="open a streaming edit session over the corpus and replay a "
+        "JSONL edit trace (one {\"item\", \"path\", \"expr\"} object per "
+        "line; expr in surface syntax); - reads the trace from stdin",
+    )
+    parser.add_argument(
+        "--url",
+        metavar="URL",
+        help="with --stream: run the session against a repro serve / "
+        "repro cluster endpoint instead of in-process",
+    )
+    parser.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        help="with --stream --url: per-session idle expiry override "
+        "(bounded by the server's --session-ttl)",
+    )
     args = parser.parse_args(rest)
+    if args.url and not args.stream:
+        parser.error("--url only makes sense with --stream")
+    if args.stream and args.check:
+        parser.error("--check does not combine with --stream")
+    if args.url and (
+        args.load or args.save or args.no_store or args.num_shards
+        or args.max_entries is not None
+    ):
+        parser.error(
+            "--url runs the session server-side; drop the local store flags "
+            "(--load/--save/--no-store/--max-entries/--num-shards)"
+        )
     if args.no_store and args.save:
         parser.error("--save needs a store; drop --no-store")
     if args.no_store and args.check:
@@ -328,6 +385,10 @@ def _run_session(rest: Sequence[str]) -> int:
 
     from repro.api import Session
 
+    exprs = [_read_expr(path) for path in args.files]
+    if args.stream and args.url:
+        return _session_stream_remote(args, exprs)
+
     if args.load:
         session = Session.load(args.load, backend=args.backend)
     else:
@@ -343,8 +404,9 @@ def _run_session(rest: Sequence[str]) -> int:
             engine=args.engine,
         )
 
-    exprs = [_read_expr(path) for path in args.files]
     try:
+        if args.stream:
+            return _session_stream_local(session, args, exprs)
         return _session_report(session, args, exprs)
     finally:
         session.close()  # releases persistent worker pools (--workers N)
@@ -422,6 +484,202 @@ def _session_report(session, args, exprs) -> int:
             f"# check ok: all {len(exprs)} expression(s) already known",
             file=sys.stderr,
         )
+    return 0
+
+
+def _iter_trace(path: str):
+    """Yield ``(line_no, record)`` per non-blank, non-comment trace line."""
+    import json
+
+    handle = sys.stdin if path == "-" else open(path, "r", encoding="utf-8")
+    try:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"trace line {line_no}: bad JSON: {exc}")
+            if not isinstance(record, dict):
+                raise SystemExit(f"trace line {line_no}: not a JSON object")
+            yield line_no, record
+    finally:
+        if path != "-":
+            handle.close()
+
+
+def _trace_edit(record, line_no: int, supply):
+    """Lower one trace record to ``(item, path, replacement)``.
+
+    The replacement is parsed from surface syntax and alpha-renamed
+    against the shared supply, so its binders cannot collide with the
+    corpus trees' (the uniqueness contract of incremental replace).
+    """
+    from repro.lang.names import uniquify_binders
+    from repro.lang.parser import ParseError, parse
+
+    try:
+        item = int(record["item"])
+        path = tuple(int(step) for step in record["path"])
+        source = record["expr"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(
+            f'trace line {line_no}: need {{"item", "path", "expr"}}: {exc}'
+        ) from None
+    try:
+        replacement = uniquify_binders(parse(source), supply)
+    except ParseError as exc:
+        raise SystemExit(f"trace line {line_no}: bad expr: {exc}") from None
+    return item, path, replacement
+
+
+def _trace_supply(exprs):
+    from repro.lang.names import NameSupply, all_names
+
+    reserved: set[str] = set()
+    for expr in exprs:
+        reserved |= all_names(expr)
+    return NameSupply(reserved=reserved)
+
+
+def _session_stream_local(session, args, exprs) -> int:
+    import json
+
+    supply = _trace_supply(exprs)
+    with session.open_stream(exprs) as stream:
+        for line_no, record in _iter_trace(args.stream):
+            item, path, replacement = _trace_edit(record, line_no, supply)
+            report = stream.edit(item, path, replacement)
+            body = report.as_dict()
+            body["root_hash"] = f"0x{report.root_hash:x}"
+            body["edit_hash"] = f"0x{report.edit_hash:x}"
+            body["path"] = list(report.path)
+            print(json.dumps(body, sort_keys=True))
+        summary = stream.report()
+    summary["root_hashes"] = [f"0x{h:x}" for h in summary["root_hashes"]]
+    if args.stats:
+        summary["session_stats"] = session.stats()
+    print(json.dumps(summary, sort_keys=True))
+    if args.save:
+        session.save(args.save)
+        print(f"# saved session snapshot to {args.save}", file=sys.stderr)
+    return 0
+
+
+def _session_stream_remote(args, exprs) -> int:
+    import json
+
+    from repro.api import RemoteSession
+    from repro.service.client import ServiceError
+
+    supply = _trace_supply(exprs)
+    remote = RemoteSession(args.url)
+    try:
+        with remote.open_stream(exprs, ttl=args.ttl) as stream:
+            for line_no, record in _iter_trace(args.stream):
+                item, path, replacement = _trace_edit(record, line_no, supply)
+                body = stream.edit(item, path, replacement)
+                body["root_hash"] = f"0x{body['root_hash']:x}"
+                body["edit_hash"] = f"0x{body['edit_hash']:x}"
+                print(json.dumps(body, sort_keys=True))
+            summary = stream.report()
+        summary["root_hashes"] = [
+            f"0x{h:x}" for h in summary["root_hashes"]
+        ]
+        print(json.dumps(summary, sort_keys=True))
+        return 0
+    except ServiceError as exc:
+        status = f" (HTTP {exc.status})" if exc.status else ""
+        print(f"repro session: {exc}{status}", file=sys.stderr)
+        return 1
+    finally:
+        remote.close()
+
+
+def _run_edit(rest: Sequence[str]) -> int:
+    """``repro edit``: one subtree replacement, incrementally re-hashed.
+
+    The smallest streaming session: open over one file, apply one edit,
+    report old/new root hash and the nodes-rehashed receipt.
+    """
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="repro edit",
+        description="Replace the subtree at --path with --with's "
+        "expression and re-hash only the dirty spine; reports old/new "
+        "root hash and nodes rehashed.",
+    )
+    parser.add_argument("file", help="expression file, or - for stdin")
+    parser.add_argument(
+        "--path",
+        required=True,
+        help="child indices from the root, dot- or comma-separated "
+        "(e.g. 0.1.0); an empty string addresses the root",
+    )
+    parser.add_argument(
+        "--with",
+        dest="replacement",
+        required=True,
+        metavar="FILE",
+        help="replacement expression file, or - for stdin",
+    )
+    parser.add_argument(
+        "--backend", default=None, help="unified-registry backend name"
+    )
+    parser.add_argument(
+        "--url",
+        metavar="URL",
+        help="apply the edit on a repro serve / cluster endpoint instead",
+    )
+    args = parser.parse_args(rest)
+    if args.file == "-" and args.replacement == "-":
+        parser.error("only one of FILE and --with may read stdin")
+
+    expr = _read_expr(args.file)
+    supply = _trace_supply([expr])
+    from repro.lang.names import uniquify_binders
+
+    replacement = uniquify_binders(_read_expr(args.replacement), supply)
+    try:
+        path = tuple(
+            int(step)
+            for step in args.path.replace(",", ".").split(".")
+            if step != ""
+        )
+    except ValueError:
+        parser.error(f"--path must be numeric indices, got {args.path!r}")
+
+    if args.url:
+        from repro.api import RemoteSession
+        from repro.service.client import ServiceError
+
+        remote = RemoteSession(args.url)
+        try:
+            with remote.open_stream([expr]) as stream:
+                old_hash = stream.root_hashes[0]
+                body = stream.edit(0, path, replacement)
+        except ServiceError as exc:
+            print(f"repro edit: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            remote.close()
+    else:
+        from repro.api import Session
+
+        with Session(backend=args.backend or "ours") as session:
+            with session.open_stream([expr]) as stream:
+                old_hash = stream.root_hashes[0]
+                body = stream.edit(0, path, replacement).as_dict()
+
+    body["file"] = args.file
+    body["path"] = list(path)
+    body["old_root_hash"] = f"0x{old_hash:x}"
+    body["root_hash"] = f"0x{body['root_hash']:x}"
+    body["edit_hash"] = f"0x{body['edit_hash']:x}"
+    print(json.dumps(body, sort_keys=True))
     return 0
 
 

@@ -31,6 +31,16 @@ whole processes:
   union into one flat store -- bit-identical hashes, coordinator-local
   ids -- so "save the cluster" degenerates to the single-node flow.
 
+* ``/v1/session/*`` (streaming edit sessions) is **sticky**: the open
+  picks a live node (hashing is ownership-free, so any node can host
+  a hash-only session) and every later edit/report/close for that
+  session id is forwarded to the same node, where the annotation trees
+  live.  Session state is in-process on its node, so it does not
+  survive that node: if the owner dies (or the node expired the
+  session), the coordinator drops the route and answers **409** --
+  the client reopens with its current corpus and replays, exactly the
+  TTL-expiry contract of a single node.
+
 Failure policy: every shard call is bounded (client timeout + bounded
 retries with backoff, all inside an optional per-request ``budget``),
 and each node carries a circuit breaker -- a failure opens it for
@@ -53,6 +63,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from http.server import ThreadingHTTPServer
 from typing import Callable, Optional
+from urllib.parse import parse_qs, urlsplit
 
 from repro.cluster.topology import ClusterTopology
 from repro.core.combiners import HashCombiners
@@ -145,13 +156,16 @@ class _CoordinatorHandler(_Handler):
         return self.server.service  # type: ignore[attr-defined]
 
     def do_GET(self) -> None:
+        split = urlsplit(self.path)
+        self.query = parse_qs(split.query)
         routes = {
             "/v1/health": self._get_health,
             "/v1/stats": self._get_stats,
             "/v1/metrics": self._get_metrics,
             "/v1/snapshot": self._get_snapshot,
+            "/v1/session/report": self._get_session_report,
         }
-        handler = routes.get(self.path.split("?", 1)[0])
+        handler = routes.get(split.path)
         if handler is None:
             self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
             return
@@ -161,6 +175,9 @@ class _CoordinatorHandler(_Handler):
         routes = {
             "/v1/hash": self._post_hash,
             "/v1/intern": self._post_intern,
+            "/v1/session/open": self._post_session_open,
+            "/v1/session/edit": self._post_session_edit,
+            "/v1/session/close": self._post_session_close,
         }
         handler = routes.get(self.path)
         if handler is None:
@@ -232,6 +249,41 @@ class _CoordinatorHandler(_Handler):
             },
         )
 
+    # -- streaming edit sessions (sticky routing) ------------------------------
+
+    def _post_session_open(self) -> None:
+        payload = self._read_json()
+        coordinator = self.coordinator
+        reply, node = coordinator.session_open_wire(payload)
+        coordinator.count_request()
+        reply["node"] = node.url
+        reply["shard"] = node.shard
+        self._send_json(200, reply)
+
+    def _post_session_edit(self) -> None:
+        payload = self._read_json()
+        reply = self.coordinator.session_forward(
+            "edit", payload.get("session"), payload
+        )
+        self.coordinator.count_request()
+        self._send_json(200, reply)
+
+    def _post_session_close(self) -> None:
+        payload = self._read_json()
+        reply = self.coordinator.session_forward(
+            "close", payload.get("session"), payload
+        )
+        self.coordinator.count_request()
+        self._send_json(200, reply)
+
+    def _get_session_report(self) -> None:
+        raw = self.query.get("session", [])
+        if len(raw) != 1:
+            raise _RequestError(400, "exactly one 'session' parameter required")
+        reply = self.coordinator.session_forward("report", raw[0], None)
+        self.coordinator.count_request()
+        self._send_json(200, reply)
+
 
 class ClusterCoordinator:
     """Route one logical store's traffic across shard nodes.
@@ -300,6 +352,12 @@ class ClusterCoordinator:
         self.nodes = [node for group in self.groups for node in group.nodes]
         self.lock = threading.Lock()
         self.requests_served = 0
+        #: sid -> node hosting that streaming session (sticky: the
+        #: annotation trees live in that node's process).
+        self.session_routes: dict[str, _ShardNode] = {}
+        self._session_rr = 0
+        #: Sessions dropped because their node died or expired them.
+        self.sessions_lost = 0
         self.started_at = time.monotonic()
         self._pool = ThreadPoolExecutor(
             max_workers=max(4, 2 * len(self.nodes)),
@@ -357,6 +415,9 @@ class ClusterCoordinator:
             self._thread.join(timeout=5)
             self._thread = None
         self._pool.shutdown(wait=False, cancel_futures=True)
+        for node in self.nodes:
+            node.client.close()
+            node.probe_client.close()
 
     shutdown = close
 
@@ -785,6 +846,122 @@ class ClusterCoordinator:
                 group.acked_version = max(group.acked_version, version)
         return reply["ids"]
 
+    # -- streaming edit sessions -----------------------------------------------
+
+    def session_open_wire(self, payload: dict):
+        """Open a streaming session on a live node; returns
+        ``(reply, node)`` and records the sticky route.
+
+        Hosting prefers each shard's active node (their metrics are the
+        ones :meth:`folded_metrics` scrapes) round-robin, falling back
+        to replicas -- hashing is ownership-free, so any node can hold
+        a hash-only session.  A node-side 429 (registry full) passes
+        through: capacity is operator configuration, not routing.
+        """
+        actives = [group.active_node for group in self.groups]
+        spares = [n for n in self.nodes if n not in actives]
+        with self.lock:
+            start = self._session_rr % max(1, len(actives))
+            self._session_rr += 1
+        candidates = actives[start:] + actives[:start] + spares
+        last: Optional[ServiceError] = None
+        for node in candidates:
+            if not self._usable(node):
+                continue
+            try:
+                reply = self._call(
+                    node, lambda c: c.session_wire("open", payload)
+                )
+            except ServiceError as exc:
+                if not self._is_liveness_failure(exc):
+                    raise _RequestError(
+                        exc.status or 502, f"{node.name}: {exc}"
+                    ) from None
+                last = exc
+                continue
+            sid = reply.get("session")
+            if isinstance(sid, str):
+                with self.lock:
+                    self.session_routes[sid] = node
+            return reply, node
+        raise _RequestError(
+            503,
+            "no node reachable to host the session"
+            + (f" (last error: {last})" if last else ""),
+        )
+
+    def session_forward(self, verb: str, sid, payload: Optional[dict]):
+        """Forward one session call to the node that owns ``sid``.
+
+        An unknown sid, a dead owner, or the owner having expired the
+        session all collapse to 409 -- the uniform "reopen and replay"
+        signal -- and the stale route is dropped.
+        """
+        node = self.session_routes.get(sid) if isinstance(sid, str) else None
+        if node is None:
+            raise _RequestError(
+                409, f"unknown session {sid!r}: reopen and replay"
+            )
+        if verb == "report":
+            call = lambda c: c.session_report(sid)  # noqa: E731
+        else:
+            call = lambda c: c.session_wire(verb, payload)  # noqa: E731
+        try:
+            reply = self._call(node, call)
+        except ServiceError as exc:
+            if self._is_liveness_failure(exc):
+                with self.lock:
+                    self.session_routes.pop(sid, None)
+                    self.sessions_lost += 1
+                raise _RequestError(
+                    409,
+                    f"session {sid!r} lost ({node.name} unreachable): "
+                    "reopen and replay",
+                ) from None
+            if exc.status == 409:
+                # The node itself expired or never knew the session.
+                with self.lock:
+                    self.session_routes.pop(sid, None)
+                    self.sessions_lost += 1
+            raise _RequestError(
+                exc.status or 502, f"{node.name}: {exc}"
+            ) from None
+        if verb == "close":
+            with self.lock:
+                self.session_routes.pop(sid, None)
+        return reply
+
+    def folded_sessions(self, per_shard: list) -> dict:
+        """Sum the nodes' ``sessions`` metrics blocks (plus the
+        coordinator's own routing counters); the folded rehash ratio is
+        recomputed from the summed numerator/denominator, not averaged."""
+        totals = {
+            "open": 0,
+            "opened": 0,
+            "closed": 0,
+            "expired": 0,
+            "rejected": 0,
+            "edits_served": 0,
+            "nodes_rehashed": 0,
+            "corpus_nodes_edited": 0,
+            "pinned_nodes": 0,
+        }
+        for entry in per_shard:
+            block = (entry.get("metrics") or {}).get("sessions")
+            if not isinstance(block, dict):
+                continue
+            for key in totals:
+                value = block.get(key)
+                if isinstance(value, (int, float)):
+                    totals[key] += value
+        pool = totals["corpus_nodes_edited"]
+        totals["rehash_ratio"] = (
+            totals["nodes_rehashed"] / pool if pool else None
+        )
+        totals["routed"] = len(self.session_routes)
+        totals["lost"] = self.sessions_lost
+        return totals
+
     # -- folded views ----------------------------------------------------------
 
     def health(self) -> dict:
@@ -873,6 +1050,7 @@ class ClusterCoordinator:
             "uptime_s": round(time.monotonic() - self.started_at, 3),
             "requests_served": self.requests_served,
             "shard_count": self.topology.num_shards,
+            "sessions": self.folded_sessions(per_shard),
             "shards": per_shard,
             "failure_domains": self.failure_domains(),
         }

@@ -35,7 +35,7 @@ from repro.core.hashed import (
     alpha_hash_root,
     summarise_node,
 )
-from repro.core.incremental import IncrementalHasher, ReplaceStats
+from repro.core.incremental import IncrementalHasher, PathError, ReplaceStats
 from repro.core.linear_lazy import LazyVarMap, LinearFn, alpha_hash_all_lazy
 from repro.core.varmap import HashedVarMap, MapOpStats, VarMapTree, entry_hash
 
@@ -61,6 +61,7 @@ __all__ = [
     "alpha_hash_root",
     "summarise_node",
     "IncrementalHasher",
+    "PathError",
     "ReplaceStats",
     "LazyVarMap",
     "LinearFn",

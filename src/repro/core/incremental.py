@@ -42,7 +42,16 @@ from repro.lang.traversal import preorder, replace_at
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store uses core)
     from repro.store import ExprStore
 
-__all__ = ["IncrementalHasher", "ReplaceStats"]
+__all__ = ["IncrementalHasher", "PathError", "ReplaceStats"]
+
+
+class PathError(IndexError):
+    """A position path does not address a node of the current expression.
+
+    Subclasses ``IndexError`` (what navigation historically raised) so
+    existing callers keep working; service layers map it to a client
+    error (HTTP 400) instead of a server fault.
+    """
 
 
 @dataclass(repr=False)
@@ -66,11 +75,16 @@ class ReplaceStats(StatsDictMixin):
     unchanged_nodes: int
     store_memo_nodes: int = 0
 
-    _stats_properties = ("touched_nodes",)
+    _stats_properties = ("touched_nodes", "spine_depth")
 
     @property
     def touched_nodes(self) -> int:
         return self.path_nodes + self.subtree_nodes - self.store_memo_nodes
+
+    @property
+    def spine_depth(self) -> int:
+        """Depth of the replaced position (the dirty spine's length)."""
+        return self.path_nodes
 
 
 class _Ann:
@@ -140,6 +154,10 @@ class IncrementalHasher:
         ann = self._root
         for index in path:
             self._expand(ann)
+            if not 0 <= index < len(ann.children):
+                raise PathError(
+                    f"invalid path {tuple(path)} at {ann.expr.kind}"
+                )
             ann = ann.children[index]
         return ann.top
 
@@ -197,8 +215,8 @@ class IncrementalHasher:
         for index in path:
             spine.append(ann)
             self._expand(ann)
-            if index >= len(ann.children):
-                raise IndexError(f"invalid path {tuple(path)} at {ann.expr.kind}")
+            if not 0 <= index < len(ann.children):
+                raise PathError(f"invalid path {tuple(path)} at {ann.expr.kind}")
             ann = ann.children[index]
 
         skip_counter = [0]

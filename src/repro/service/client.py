@@ -19,19 +19,30 @@ needs no combiner state at all.  Stores travel as the versioned
 snapshot format; :meth:`push_snapshot` accepts raw bytes, a store, or
 a session and merging preserves hashes bit-for-bit.
 
+Connections are **persistent**: each thread of the client keeps one
+``http.client.HTTPConnection`` alive across calls (the server speaks
+HTTP/1.1 keep-alive), so a streaming-edit hot loop pays connection
+setup once, not once per tiny request.  A keep-alive socket the server
+closed between requests (restart, idle reap) is detected and replayed
+once on a fresh connection *without* burning a retry -- the request
+never reached a handler.  :meth:`ServiceClient.close` releases the
+sockets; an unclosed client leaks nothing past process exit.
+
 Transient failures -- connection refused/reset and 5xx replies -- are
 retried with exponential backoff plus jitter, bounded by ``retries``
 AND by ``deadline`` (a total wall-clock budget per public call: sleeps
 are clamped to the remaining budget and no attempt starts after it is
 spent, so exponential backoff can never exceed the caller's timeout).
 Every endpoint here is idempotent (hashing is pure, interning and
-snapshot merging converge to the same state on replay), so retrying
+snapshot merging converge to the same state on replay, and replaying a
+subtree replacement at one path yields the same tree), so retrying
 POSTs is safe.  4xx replies are the caller's fault and surface
 immediately as :class:`ServiceError` with the status attached.
 
 The client keeps a :attr:`ServiceClient.counters` dict (``requests``,
-``retries``, ``failures``, ``deadline_exhausted``) so tests and
-harnesses can assert exactly how much failover work a workload cost.
+``retries``, ``failures``, ``deadline_exhausted``,
+``connections_opened``) so tests and harnesses can assert exactly how
+much failover work -- and how much connection churn -- a workload cost.
 """
 
 from __future__ import annotations
@@ -39,10 +50,10 @@ from __future__ import annotations
 import http.client
 import json
 import random
+import threading
 import time
-import urllib.error
-import urllib.request
-from typing import Iterable, Optional, Union
+from typing import Iterable, Optional, Sequence, Union
+from urllib.parse import urlsplit
 
 from repro.lang.expr import Expr
 from repro.lang.sexpr import to_wire
@@ -93,16 +104,87 @@ class ServiceClient:
         if deadline is not None and deadline <= 0:
             raise ValueError(f"deadline must be positive, got {deadline}")
         self.deadline = deadline
+        split = urlsplit(self.base_url)
+        if split.scheme not in ("http", "https") or not split.hostname:
+            raise ValueError(f"base_url must be http(s)://host[:port], got {base_url!r}")
+        self._scheme = split.scheme
+        self._host = split.hostname
+        self._port = split.port
+        self._path_prefix = split.path.rstrip("/")
+        # One persistent connection per thread (the coordinator shares a
+        # client across its fan-out pool), plus a registry so close()
+        # can release every thread's socket.
+        self._local = threading.local()
+        self._conn_registry: list[http.client.HTTPConnection] = []
+        self._registry_lock = threading.Lock()
         #: Failover accounting, cumulative over the client's lifetime:
         #: ``requests`` public calls issued, ``retries`` extra attempts
         #: after transient failures, ``failures`` calls that ultimately
-        #: raised, ``deadline_exhausted`` calls cut short by the budget.
+        #: raised, ``deadline_exhausted`` calls cut short by the budget,
+        #: ``connections_opened`` TCP connects (keep-alive means this
+        #: stays far below ``requests``).
         self.counters = {
             "requests": 0,
             "retries": 0,
             "failures": 0,
             "deadline_exhausted": 0,
+            "connections_opened": 0,
         }
+
+    # -- connection management -------------------------------------------------
+
+    def _connection(
+        self, timeout: float
+    ) -> tuple[http.client.HTTPConnection, bool]:
+        """This thread's persistent connection (fresh flag True when it
+        was just opened, i.e. it cannot be a stale keep-alive socket)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None and conn.sock is not None:
+            return conn, False
+        cls = (
+            http.client.HTTPSConnection
+            if self._scheme == "https"
+            else http.client.HTTPConnection
+        )
+        conn = cls(self._host, self._port, timeout=timeout)
+        self._local.conn = conn
+        with self._registry_lock:
+            self._conn_registry.append(conn)
+        self.counters["connections_opened"] += 1
+        return conn, True
+
+    def _drop_connection(self) -> None:
+        """Close and forget this thread's connection (after an error or
+        a server ``Connection: close``); the next request reconnects."""
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            return
+        self._local.conn = None
+        with self._registry_lock:
+            try:
+                self._conn_registry.remove(conn)
+            except ValueError:
+                pass
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - close never matters
+            pass
+
+    def close(self) -> None:
+        """Release every thread's persistent connection (idempotent)."""
+        with self._registry_lock:
+            conns, self._conn_registry = list(self._conn_registry), []
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- plumbing --------------------------------------------------------------
 
@@ -163,50 +245,71 @@ class ServiceClient:
             return True
 
         attempt = 0
+        free_replay = True
         while True:
-            request = urllib.request.Request(
-                self.base_url + path, data=body, method=method
-            )
-            if body is not None:
-                request.add_header("Content-Type", content_type)
+            timeout_s = self._attempt_timeout(deadline_at)
+            conn, fresh = self._connection(timeout_s)
+            conn.timeout = timeout_s
+            if conn.sock is not None:
+                conn.sock.settimeout(timeout_s)
             try:
-                with urllib.request.urlopen(
-                    request, timeout=self._attempt_timeout(deadline_at)
-                ) as resp:
-                    return (
-                        resp.status,
-                        resp.read(),
-                        resp.headers.get("Content-Type", ""),
-                    )
-            except urllib.error.HTTPError as exc:
-                detail = exc.read()
-                try:
-                    message = json.loads(detail).get("error", "")
-                except (json.JSONDecodeError, AttributeError):
-                    message = detail.decode("utf-8", "replace")
-                error = ServiceError(
-                    f"{method} {path} -> {exc.code}: {message}",
-                    status=exc.code,
+                headers = {}
+                if body is not None:
+                    headers["Content-Type"] = content_type
+                conn.request(
+                    method, self._path_prefix + path, body=body, headers=headers
                 )
-                if exc.code < 500:
+                resp = conn.getresponse()
+                data = resp.read()
+                status = resp.status
+                ctype = resp.headers.get("Content-Type", "")
+                if resp.will_close:
+                    # Server asked for Connection: close (it does on
+                    # every error reply); honor it, reconnect next call.
+                    self._drop_connection()
+                if status < 400:
+                    return status, data, ctype
+                try:
+                    message = json.loads(data).get("error", "")
+                except (json.JSONDecodeError, AttributeError):
+                    message = data.decode("utf-8", "replace")
+                error = ServiceError(
+                    f"{method} {path} -> {status}: {message}",
+                    status=status,
+                )
+                if status < 500:
                     _fail(error)
-            except urllib.error.URLError as exc:
-                # Connection refused/reset, DNS, timeout: the request
-                # may never have reached the server, so replay it.
-                error = ServiceError(f"{method} {path} failed: {exc.reason}")
             except TimeoutError:
-                # Read timeouts escape urllib unwrapped (socket.timeout
-                # is TimeoutError); same treatment as a dropped link.
+                # The socket state is unknowable after a timeout; drop
+                # it rather than risk reading a late stale reply.
+                self._drop_connection()
                 error = ServiceError(
                     f"{method} {path} timed out after {self.timeout}s"
                 )
             except (OSError, http.client.HTTPException) as exc:
-                # A reset or half-closed socket *mid-exchange* (server
-                # SIGKILLed between accept and response, fault proxy
-                # cutting a body) also escapes urllib unwrapped.
-                error = ServiceError(
-                    f"{method} {path} failed mid-exchange: {exc!r}"
-                )
+                self._drop_connection()
+                if (
+                    not fresh
+                    and free_replay
+                    and isinstance(
+                        exc,
+                        (
+                            http.client.RemoteDisconnected,
+                            http.client.BadStatusLine,
+                            ConnectionResetError,
+                            BrokenPipeError,
+                        ),
+                    )
+                ):
+                    # A reused keep-alive socket the server closed
+                    # between requests: the request never reached a
+                    # handler, so replay it immediately on a fresh
+                    # connection without consuming a retry.
+                    free_replay = False
+                    continue
+                # Connection refused/reset mid-exchange (server gone,
+                # fault proxy cutting a body): normal retry path.
+                error = ServiceError(f"{method} {path} failed: {exc!r}")
             _retry_or_fail(attempt, error)
             attempt += 1
 
@@ -288,6 +391,67 @@ class ServiceClient:
             self._corpus_payload(exprs, {"engine": engine, "workers": workers}),
         )
         return reply["ids"]
+
+    # -- streaming edit sessions -----------------------------------------------
+
+    def session_open(
+        self,
+        exprs: Iterable[Expr],
+        *,
+        ttl: Optional[float] = None,
+        engine: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> dict:
+        """Open a server-side :class:`~repro.api.stream.StreamSession`.
+
+        Uploads the corpus once; the reply carries the session id, the
+        root hashes and the resolved plan.  Stream edits with
+        :meth:`session_edit`; the server holds the trees.
+        """
+        payload = self._corpus_payload(
+            exprs, {"ttl": ttl, "engine": engine, "workers": workers}
+        )
+        return self._json("POST", "/v1/session/open", payload)
+
+    def session_edit(
+        self,
+        session_id: str,
+        item: int,
+        path: Sequence[int],
+        new_subexpr: Expr,
+    ) -> dict:
+        """Replace ``item``'s subtree at ``path``; returns the server's
+        :class:`~repro.api.stream.EditReport` dict plus the store
+        version.  Replaying the same edit converges to the same tree,
+        so the transport's retry policy stays safe here."""
+        return self._json(
+            "POST",
+            "/v1/session/edit",
+            {
+                "session": session_id,
+                "item": int(item),
+                "path": [int(step) for step in path],
+                "expr": to_wire(new_subexpr),
+            },
+        )
+
+    def session_report(self, session_id: str) -> dict:
+        """The session's running totals (edits, rehash ratio, pins)."""
+        return self._json("GET", f"/v1/session/report?session={session_id}")
+
+    def session_close(self, session_id: str) -> dict:
+        """Close the session and unpin its classes server-side."""
+        return self._json(
+            "POST", "/v1/session/close", {"session": session_id}
+        )
+
+    def session_wire(self, verb: str, payload: dict) -> dict:
+        """POST an already-encoded body to ``/v1/session/<verb>``.
+
+        The cluster coordinator relays session traffic to the owning
+        node without a decode/re-encode round trip.
+        """
+        return self._json("POST", f"/v1/session/{verb}", dict(payload))
 
     # -- wire-level passthrough (coordinator fan-out) --------------------------
 

@@ -17,7 +17,26 @@ versioned under ``/v1``:
                              ("load"); returns the id remapping size
 ``GET  /v1/snapshot/delta``  ``?since=V``: entries interned after store
                              version ``V`` as delta bytes (replica catch-up)
+``POST /v1/session/open``    upload a corpus, open a streaming edit session
+                             (:class:`~repro.api.stream.StreamSession`);
+                             returns the session id + root hashes + plan
+``POST /v1/session/edit``    ``{"session", "item", "path", "expr"}`` ->
+                             the edit report (root hash, nodes rehashed,
+                             sharing) -- O(dirty spine), not O(corpus)
+``GET  /v1/session/report``  ``?session=ID``: the session's running totals
+``POST /v1/session/close``   close + unpin the session's classes
 ===========================  ==================================================
+
+Sessions are the stateful exception to the otherwise request-scoped
+protocol: a registry (bounded by ``max_sessions``, idle-expired after
+``session_ttl`` seconds) maps ids to live
+:class:`~repro.api.stream.StreamSession` objects whose pinned classes
+an LRU-bounded store cannot evict mid-stream.  An unknown or expired
+id answers 409 (reopen and replay); a full registry answers 429.
+Shard-identity and follower nodes open sessions in hash-only mode
+(``intern_classes=False``): ownership checks and the follower's
+one-writer id space both forbid local interning, and incremental
+hashing needs none of it.
 
 Expressions ride as the flat postorder documents of
 :func:`repro.lang.sexpr.to_wire`; stores ride as the existing
@@ -47,14 +66,18 @@ across nodes.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
+import uuid
 from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
 from repro.api import HashRequest, InternRequest, PlanError, Session
+from repro.api.stream import StreamSession
+from repro.core.incremental import PathError
 from repro.core.arena import ENGINE_CHOICES, engine_kernel, resolve_kernel
 from repro.lang.sexpr import SexprError, from_wire
 from repro.store import (
@@ -191,6 +214,7 @@ class _Handler(BaseHTTPRequestHandler):
             "/v1/metrics": self._get_metrics,
             "/v1/snapshot": self._get_snapshot,
             "/v1/snapshot/delta": self._get_snapshot_delta,
+            "/v1/session/report": self._get_session_report,
         }
         handler = routes.get(split.path)
         if handler is None:
@@ -203,6 +227,9 @@ class _Handler(BaseHTTPRequestHandler):
             "/v1/hash": self._post_hash,
             "/v1/intern": self._post_intern,
             "/v1/snapshot": self._post_snapshot,
+            "/v1/session/open": self._post_session_open,
+            "/v1/session/edit": self._post_session_edit,
+            "/v1/session/close": self._post_session_close,
         }
         handler = routes.get(self.path)
         if handler is None:
@@ -253,6 +280,7 @@ class _Handler(BaseHTTPRequestHandler):
         session = service.session
         with service.lock:
             stats = session.stats()
+            sessions_block = service.session_metrics()
         store_stats = stats.get("store") or {}
         hits = store_stats.get("hits", 0)
         misses = store_stats.get("misses", 0)
@@ -274,6 +302,7 @@ class _Handler(BaseHTTPRequestHandler):
             "workers": stats.get("workers"),
             "shard_id": service.shard_id,
             "shard_count": service.shard_count,
+            "sessions": sessions_block,
             "store": None,
         }
         if session.store is not None:
@@ -426,6 +455,93 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
+    # -- streaming edit sessions -----------------------------------------------
+
+    def _post_session_open(self) -> None:
+        payload = self._read_json()
+        corpus = _decode_corpus(payload)
+        hints = _request_hints(payload)
+        ttl = payload.get("ttl")
+        service = self.service
+        with service.lock:
+            state = service.open_session(corpus, hints, ttl)
+            # Opening interns + pins the corpus roots on a standalone
+            # node: journal them before the ack, like any intern batch.
+            if state.stream.intern_classes:
+                service.journal_commit()
+        service.count_request()
+        stream = state.stream
+        self._send_json(
+            200,
+            {
+                "session": state.sid,
+                "roots": stream.root_hashes,
+                "items": stream.items,
+                "nodes": stream.corpus_nodes,
+                "ttl": state.ttl,
+                "intern_classes": stream.intern_classes,
+                "plan": stream.plan.as_dict() if stream.plan else None,
+            },
+        )
+
+    def _post_session_edit(self) -> None:
+        payload = self._read_json()
+        item = payload.get("item")
+        if not isinstance(item, int) or isinstance(item, bool):
+            raise _RequestError(400, "'item' must be an integer index")
+        path = payload.get("path")
+        if not isinstance(path, list):
+            raise _RequestError(400, "'path' must be a list of child indices")
+        doc = payload.get("expr")
+        if doc is None:
+            raise _RequestError(400, "body must carry an 'expr' document")
+        try:
+            new_subexpr = from_wire(doc)
+        except SexprError as exc:
+            raise _RequestError(400, f"malformed expression: {exc}") from None
+        service = self.service
+        with service.lock:
+            state = service.get_session(payload.get("session"))
+            try:
+                report = state.stream.edit(item, path, new_subexpr)
+            except (PathError, IndexError) as exc:
+                # _dispatch maps ValueError/KeyError already, but bad
+                # paths surface as (subclasses of) IndexError -- a
+                # client mistake, not a server fault.
+                raise _RequestError(400, f"bad edit target: {exc}") from None
+            service.note_edit(state, report)
+            if state.stream.intern_classes:
+                service.journal_commit()
+            store = service.session.store
+            version = store.version if store is not None else None
+        service.count_request()
+        body = report.as_dict()
+        body["session"] = state.sid
+        body["version"] = version
+        self._send_json(200, body)
+
+    def _get_session_report(self) -> None:
+        raw = self.query.get("session", [])
+        if len(raw) != 1:
+            raise _RequestError(400, "exactly one 'session' parameter required")
+        service = self.service
+        with service.lock:
+            state = service.get_session(raw[0])
+            body = state.stream.report()
+            body["session"] = state.sid
+            body["ttl"] = state.ttl
+            body["intern_classes"] = state.stream.intern_classes
+        service.count_request()
+        self._send_json(200, body)
+
+    def _post_session_close(self) -> None:
+        payload = self._read_json()
+        service = self.service
+        with service.lock:
+            reply = service.close_session(payload.get("session"))
+        service.count_request()
+        self._send_json(200, reply)
+
 
 class _FollowerLoop(threading.Thread):
     """Tail a primary's ``/v1/snapshot/delta`` on a poll loop.
@@ -483,6 +599,58 @@ class _FollowerLoop(threading.Thread):
 
     def stop(self) -> None:
         self.stop_event.set()
+        self.client.close()
+
+
+class _TrackingHTTPServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` that can sever live connections.
+
+    With HTTP/1.1 keep-alive, handler threads sit in a read loop on
+    their connection socket; ``shutdown()`` only stops the *accept*
+    loop, so a closed server would otherwise keep answering requests
+    on already-open connections indefinitely.  ``server_close`` here
+    shuts every tracked connection down so close means closed.
+    """
+
+    def __init__(self, *args, **kwargs):
+        self._connections: set = set()
+        self._conn_lock = threading.Lock()
+        super().__init__(*args, **kwargs)
+
+    def get_request(self):
+        request, client_address = super().get_request()
+        with self._conn_lock:
+            self._connections.add(request)
+        return request, client_address
+
+    def shutdown_request(self, request):
+        with self._conn_lock:
+            self._connections.discard(request)
+        super().shutdown_request(request)
+
+    def server_close(self):
+        super().server_close()
+        with self._conn_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for request in connections:
+            try:
+                request.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+
+class _SessionState:
+    """One live streaming edit session and its expiry bookkeeping."""
+
+    __slots__ = ("sid", "stream", "ttl", "created", "last_used")
+
+    def __init__(self, sid: str, stream: StreamSession, ttl: float):
+        self.sid = sid
+        self.stream = stream
+        self.ttl = ttl
+        self.created = time.monotonic()
+        self.last_used = self.created
 
 
 class ReproServer:
@@ -515,6 +683,10 @@ class ReproServer:
     ``poll_interval`` seconds.  A follower still answers every
     endpoint (it can be promoted), and with a journal it is itself
     crash-durable.
+
+    ``max_sessions`` bounds the streaming-session registry (429 past
+    it); ``session_ttl`` is the idle expiry in seconds -- a client
+    ``ttl`` may shorten it per session but never extend it.
     """
 
     def __init__(
@@ -529,6 +701,8 @@ class ReproServer:
         checkpoint_every: int = 0,
         follow: Optional[str] = None,
         poll_interval: float = 0.5,
+        max_sessions: int = 64,
+        session_ttl: float = 600.0,
         **session_kwargs,
     ):
         if session is not None and session_kwargs:
@@ -564,11 +738,30 @@ class ReproServer:
             self.replay_report = self.journal.replay(self.session.store)
         else:
             self.replay_report = None
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        if session_ttl <= 0:
+            raise ValueError(f"session_ttl must be positive, got {session_ttl}")
+        self.max_sessions = int(max_sessions)
+        self.session_ttl = float(session_ttl)
+        #: sid -> live streaming session; all access under ``self.lock``.
+        self.sessions: dict[str, _SessionState] = {}
+        #: Lifetime session counters; totals survive session close so
+        #: /v1/metrics can report work already done, not just open state.
+        self.session_totals = {
+            "opened": 0,
+            "closed": 0,
+            "expired": 0,
+            "rejected": 0,
+            "edits": 0,
+            "nodes_rehashed": 0,
+            "corpus_nodes_edited": 0,
+        }
         self.started_at = time.monotonic()
         #: Serialises store-touching work across handler threads.
         self.lock = threading.Lock()
         self.requests_served = 0
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd = _TrackingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.service = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
@@ -621,6 +814,103 @@ class ReproServer:
     def count_request(self) -> None:
         with self.lock:
             self.requests_served += 1
+
+    # -- streaming session registry (all methods: caller holds self.lock) ------
+
+    def _sweep_sessions(self) -> None:
+        """Expire sessions idle past their TTL (unpins their classes)."""
+        now = time.monotonic()
+        expired = [
+            sid
+            for sid, state in self.sessions.items()
+            if now - state.last_used > state.ttl
+        ]
+        for sid in expired:
+            self.sessions.pop(sid).stream.close()
+            self.session_totals["expired"] += 1
+
+    def open_session(self, corpus, hints, ttl) -> _SessionState:
+        self._sweep_sessions()
+        if len(self.sessions) >= self.max_sessions:
+            self.session_totals["rejected"] += 1
+            raise _RequestError(
+                429,
+                f"session registry full ({self.max_sessions} open); "
+                "close a session or retry later",
+            )
+        if ttl is None:
+            ttl = self.session_ttl
+        else:
+            try:
+                ttl = float(ttl)
+            except (TypeError, ValueError):
+                raise _RequestError(400, f"bad ttl {ttl!r}") from None
+            if ttl <= 0:
+                raise _RequestError(400, "ttl must be positive")
+            ttl = min(ttl, self.session_ttl)
+        # Shard-identity nodes refuse foreign classes and followers
+        # never write their primary's id space: both stream in
+        # hash-only mode.  Only a standalone store interns + pins.
+        intern = self.session.store is not None and self.role == "standalone"
+        stream = StreamSession(
+            corpus, session=self.session, intern_classes=intern, hints=hints
+        )
+        sid = uuid.uuid4().hex[:16]
+        state = _SessionState(sid, stream, ttl)
+        self.sessions[sid] = state
+        self.session_totals["opened"] += 1
+        return state
+
+    def get_session(self, sid) -> _SessionState:
+        self._sweep_sessions()
+        state = self.sessions.get(sid) if isinstance(sid, str) else None
+        if state is None:
+            raise _RequestError(
+                409, f"unknown or expired session {sid!r}: reopen and replay"
+            )
+        state.last_used = time.monotonic()
+        return state
+
+    def note_edit(self, state: _SessionState, report) -> None:
+        totals = self.session_totals
+        totals["edits"] += 1
+        totals["nodes_rehashed"] += report.nodes_rehashed
+        totals["corpus_nodes_edited"] += state.stream.corpus_nodes
+
+    def close_session(self, sid) -> dict:
+        state = self.get_session(sid)
+        del self.sessions[sid]
+        state.stream.close()
+        self.session_totals["closed"] += 1
+        return {"closed": True, "session": state.sid, "edits": state.stream.edits}
+
+    def session_metrics(self) -> dict:
+        """The ``sessions`` block of ``/v1/metrics``.
+
+        ``rehash_ratio`` is total nodes rehashed over the corpus nodes
+        that *could* have been rehashed (corpus size summed per edit):
+        the fleet-level O(spine)/O(corpus) receipt, tiny when
+        incremental hashing is winning.
+        """
+        totals = self.session_totals
+        pool = totals["corpus_nodes_edited"]
+        store = self.session.store
+        return {
+            "open": len(self.sessions),
+            "max": self.max_sessions,
+            "ttl_s": self.session_ttl,
+            "opened": totals["opened"],
+            "closed": totals["closed"],
+            "expired": totals["expired"],
+            "rejected": totals["rejected"],
+            "edits_served": totals["edits"],
+            "nodes_rehashed": totals["nodes_rehashed"],
+            "corpus_nodes_edited": pool,
+            "rehash_ratio": (
+                totals["nodes_rehashed"] / pool if pool else None
+            ),
+            "pinned_nodes": store.pinned_count if store is not None else 0,
+        }
 
     @property
     def host(self) -> str:
@@ -678,6 +968,10 @@ class ReproServer:
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        with self.lock:
+            for state in self.sessions.values():
+                state.stream.close()
+            self.sessions.clear()
         if self.journal is not None:
             self.journal.close()
         if self._owns_session:
@@ -776,6 +1070,21 @@ def serve(argv=None) -> int:
         metavar="SECONDS",
         help="replica poll period for --follow (default 0.5)",
     )
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        metavar="N",
+        help="cap on concurrently open streaming edit sessions "
+        "(/v1/session/open answers 429 past it; default 64)",
+    )
+    parser.add_argument(
+        "--session-ttl",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="idle expiry for streaming sessions (default 600)",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -854,6 +1163,8 @@ def serve(argv=None) -> int:
         checkpoint_every=args.checkpoint_every,
         follow=args.follow,
         poll_interval=args.poll_interval,
+        max_sessions=args.max_sessions,
+        session_ttl=args.session_ttl,
     )
     entries = len(session.store) if session.store is not None else 0
     shard = (

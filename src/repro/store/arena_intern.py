@@ -16,17 +16,21 @@ when a corpus is large enough for the compile-then-hash trade to win
   O(1) per item, while ``hash_expr``/``hashes`` on interior subtrees
   falls back to the tree path's memo as before.
 
-* :func:`intern_corpus_arena` -- bulk interning for eviction-free flat
-  stores.  The corpus is compiled once, hashed once, and then every
-  *unique* arena node is resolved against the intern table directly:
-  duplicates never reach ``_hash_tree``, and a class interned by an
-  earlier batch costs one dict probe.  Canonical entries, hashes, ids
-  and refcounts come out exactly as the serial path would produce for
-  the same arrival order; the summary memo is left cold (see above),
-  and ``hits``/``misses`` count unique arena nodes rather than subtree
-  occurrences.  LRU-bounded stores and sharded stores keep the serial
-  path: mid-batch eviction could invalidate the arena's child-class
-  links, and shards want the lock-striped write path.
+* :func:`intern_corpus_arena` -- bulk interning.  The corpus is
+  compiled once, hashed once, and then every *unique* arena node is
+  resolved against the intern table directly: duplicates never reach
+  ``_hash_tree``, and a class interned by an earlier batch costs one
+  dict probe.  Canonical entries, hashes, ids and refcounts come out
+  exactly as the serial path would produce for the same arrival order;
+  the summary memo is left cold (see above), and ``hits``/``misses``
+  count unique arena nodes rather than subtree occurrences.  Flat
+  stores take a direct-dict hot loop; sharded stores take a
+  lock-striped branch (writers are already serialised by the store's
+  memo lock, but every table mutation still happens under the owning
+  shard's lock so concurrent readers never see a torn table).
+  LRU-bounded stores enforce their bound once at the end of the batch
+  -- mid-batch eviction could invalidate the arena's child-class
+  links -- so the table may transiently exceed ``max_entries``.
 
 Both paths fold their work into ``store.stats`` so delegated hashing
 stays visible: ``hashed_nodes`` counts unique arena nodes summarised,
@@ -130,7 +134,7 @@ def hash_corpus_arena(
                 if (
                     fanout is None
                     and store._arena_intern_ok
-                    and store.max_entries is None
+                    and store.memo_limit is None
                 ):
                     # Serial passes produce per-node tops: stash the
                     # compile so a following bulk intern of the same
@@ -154,9 +158,7 @@ def hash_corpus_arena(
 def intern_corpus_arena(
     store: "ExprStore", corpus: Sequence[Expr], kernel: str = "auto"
 ) -> list[int]:
-    """Intern ``corpus`` via one arena pass (flat eviction-free stores)."""
-    from repro.store.store import StoreCollisionError, StoreEntry
-
+    """Intern ``corpus`` via one arena pass (flat or sharded stores)."""
     stats = store.stats
     arena = None
     cached = store._arena_compile_cache
@@ -181,6 +183,30 @@ def intern_corpus_arena(
     aux, sizes = arena.aux.tolist(), arena.sizes.tolist()
     names, literals = arena.names, arena.literals
 
+    if getattr(store, "_shards", None) is not None:
+        class_id = _resolve_sharded(
+            store, op, left, right, aux, sizes, names, literals, tops
+        )
+    else:
+        class_id = _resolve_flat(
+            store, op, left, right, aux, sizes, names, literals, tops
+        )
+
+    # Bounded stores enforce their LRU bound once per batch: evicting
+    # mid-loop could drop a class a later arena row links to as a child.
+    # Protect the last root, matching the serial path's final state.
+    store._evict_if_needed(protect=class_id[roots[-1]])
+    store._maybe_flush_memo()
+    return [class_id[root] for root in roots]
+
+
+def _resolve_flat(
+    store: "ExprStore", op, left, right, aux, sizes, names, literals, tops
+) -> list[int]:
+    """The direct-dict hot loop: one table transaction per unique node."""
+    from repro.store.store import StoreCollisionError, StoreEntry
+
+    stats = store.stats
     entries = store._entries
     by_hash = store._by_hash
     class_id = [0] * len(op)
@@ -238,5 +264,88 @@ def intern_corpus_arena(
         stats.misses += 1
         class_id[i] = node_id
 
-    store._maybe_flush_memo()
-    return [class_id[root] for root in roots]
+    return class_id
+
+
+def _resolve_sharded(
+    store, op, left, right, aux, sizes, names, literals, tops
+) -> list[int]:
+    """Lock-striped resolve for :class:`~repro.store.ShardedExprStore`.
+
+    The caller (``intern_many``) already holds the store's memo lock,
+    so this loop is the only writer; shard locks are still taken for
+    every mutation (and only one at a time) so lock-free readers on
+    other threads observe the same invariants the serial
+    ``_intern_one`` path maintains.  Ids come out of the per-shard
+    counters (``local * num_shards + shard``), exactly as serial
+    interning would assign them.
+    """
+    from repro.store.store import StoreCollisionError, StoreEntry
+
+    stats = store.stats
+    num_shards = store.num_shards
+    get_entry = store._get_entry
+    class_id = [0] * len(op)
+
+    for i in range(len(op)):
+        top = tops[i]
+        shard = store._shard_of_hash(top)
+        with shard.lock:
+            existing = shard.by_hash.get(top)
+            if existing is not None:
+                entry = shard.entries[existing]
+                kind = _KIND_OF_OP[op[i]]
+                if entry.kind != kind or entry.size != sizes[i]:
+                    raise StoreCollisionError(
+                        f"alpha-hash 0x{top:x} maps both a {entry.kind} of "
+                        f"size {entry.size} and a {kind} of size {sizes[i]}"
+                    )
+                shard.entries.move_to_end(existing)
+                shard.stats.hits += 1
+                stats.hits += 1
+                class_id[i] = existing
+                continue
+
+        opc = op[i]
+        if opc == OP_VAR:
+            canonical: Expr = Var(names[aux[i]])
+            kid_ids: tuple[int, ...] = ()
+        elif opc == OP_LIT:
+            canonical = Lit(literals[aux[i]])
+            kid_ids = ()
+        elif opc == OP_LAM:
+            kid_ids = (class_id[left[i]],)
+            canonical = Lam(names[aux[i]], get_entry(kid_ids[0]).expr)
+        elif opc == OP_APP:
+            kid_ids = (class_id[left[i]], class_id[right[i]])
+            canonical = App(get_entry(kid_ids[0]).expr, get_entry(kid_ids[1]).expr)
+        else:
+            kid_ids = (class_id[left[i]], class_id[right[i]])
+            canonical = Let(
+                names[aux[i]], get_entry(kid_ids[0]).expr, get_entry(kid_ids[1]).expr
+            )
+
+        with shard.lock:
+            node_id = shard.next_local * num_shards + shard.index
+            shard.next_local += 1
+            store.version += 1
+            shard.entries[node_id] = StoreEntry(
+                node_id=node_id,
+                hash=top,
+                kind=_KIND_OF_OP[opc],
+                size=sizes[i],
+                children=kid_ids,
+                expr=canonical,
+                version=store.version,
+            )
+            shard.by_hash[top] = node_id
+            shard.stats.misses += 1
+            stats.misses += 1
+        # Child refcounts live in other shards: one lock at a time.
+        for kid in kid_ids:
+            kid_shard = store._shard_of_id(kid)
+            with kid_shard.lock:
+                kid_shard.entries[kid].refcount += 1
+        class_id[i] = node_id
+
+    return class_id

@@ -216,9 +216,15 @@ class ShardedExprStore(ExprStore):
 
     # -- interning -------------------------------------------------------------
 
-    #: The arena bulk-intern path writes the flat `_entries`/`_by_hash`
-    #: tables directly; shards want the lock-striped write path instead.
-    _arena_intern_ok = False
+    #: The arena bulk-intern path has a lock-striped write branch for
+    #: sharded stores (see :func:`repro.store.arena_intern.intern_corpus_arena`);
+    #: :meth:`intern_many` wraps the whole batch in the memo lock so the
+    #: arena walk sees a consistent memo, exactly like serial interning.
+    _arena_intern_ok = True
+
+    def intern_many(self, exprs, engine: str = "auto") -> list[int]:
+        with self._memo_lock:
+            return super().intern_many(exprs, engine=engine)
 
     def intern(self, expr: Expr) -> int:
         """Intern ``expr`` (same contract as the flat store).
@@ -340,7 +346,11 @@ class ShardedExprStore(ExprStore):
                         if len(shard.entries) <= self._per_shard_max:
                             break
                         for node_id, entry in shard.entries.items():
-                            if entry.refcount == 0 and node_id != protect:
+                            if (
+                                entry.refcount == 0
+                                and node_id != protect
+                                and node_id not in self._pinned
+                            ):
                                 victim_entry = entry
                                 break
                         if victim_entry is None:

@@ -33,6 +33,13 @@ Two capacity modes:
   entries are evicted once the table exceeds ``N``; entries still
   referenced as children of live entries are pinned.  The summary memo
   is flushed wholesale when it exceeds ``memo_limit`` objects.
+
+Long-lived consumers (the streaming edit sessions of
+:mod:`repro.api.stream`, most notably) can additionally :meth:`~ExprStore.pin`
+individual classes: a pinned entry is never an eviction victim, and
+neither are its descendants (children of live entries carry a positive
+refcount).  Pins are counted, so overlapping sessions compose; they are
+in-memory state and do not survive snapshots.
 """
 
 from __future__ import annotations
@@ -201,6 +208,8 @@ class ExprStore:
         self._entries: "OrderedDict[int, StoreEntry]" = OrderedDict()
         #: alpha-hash -> node_id.
         self._by_hash: dict[int, int] = {}
+        #: node_id -> pin count; pinned classes are never LRU victims.
+        self._pinned: dict[int, int] = {}
         self._next_id = 0
         #: Monotonic intern stamp: +1 per canonical entry ever created
         #: (never reused, never decremented -- evictions leave gaps).
@@ -243,6 +252,43 @@ class ExprStore:
     def entries(self) -> Iterator[StoreEntry]:
         """All live entries, least-recently-used first."""
         return iter(list(self._entries.values()))
+
+    # -- pinning ---------------------------------------------------------------
+
+    def pin(self, node_id: int) -> None:
+        """Exempt the class ``node_id`` from LRU eviction.
+
+        Pins are counted (a class pinned twice needs two unpins) and
+        protect the whole canonical subtree: descendants of a live entry
+        already carry a positive refcount, so only roots need pinning.
+        Raises ``KeyError`` if the class is not (or no longer) live --
+        callers that may race eviction should re-intern first.
+        """
+        if node_id not in self:
+            raise KeyError(node_id)
+        self._pinned[node_id] = self._pinned.get(node_id, 0) + 1
+
+    def unpin(self, node_id: int) -> bool:
+        """Drop one pin from ``node_id``; ``True`` if a pin was held.
+
+        Forgiving on unknown ids (a crashed session may unpin classes
+        that were never successfully pinned)."""
+        count = self._pinned.get(node_id)
+        if count is None:
+            return False
+        if count <= 1:
+            del self._pinned[node_id]
+        else:
+            self._pinned[node_id] = count - 1
+        return True
+
+    def is_pinned(self, node_id: int) -> bool:
+        return node_id in self._pinned
+
+    @property
+    def pinned_count(self) -> int:
+        """Number of distinct pinned classes."""
+        return len(self._pinned)
 
     def cached_summary(
         self, node: Expr
@@ -479,19 +525,21 @@ class ExprStore:
     def intern_many(self, exprs: Iterable[Expr], engine: str = "auto") -> list[int]:
         """Batch :meth:`intern`: one id per input, duplicates collapse.
 
-        ``engine="arena"`` (or ``"auto"`` above the node threshold, on
-        eviction-free flat stores) compiles the corpus once and resolves
-        every unique subtree class against the intern table directly --
-        same classes, hashes and ids as the serial path, with
-        ``hits``/``misses`` counted per unique class instead of per
-        occurrence (see :mod:`repro.store.arena_intern`).
+        ``engine="arena"`` (or ``"auto"`` above the node threshold)
+        compiles the corpus once and resolves every unique subtree class
+        against the intern table directly -- same classes, hashes and
+        ids as the serial path, with ``hits``/``misses`` counted per
+        unique class instead of per occurrence (see
+        :mod:`repro.store.arena_intern`).  LRU-bounded stores enforce
+        their bound once at the end of the batch (arena child links
+        need every class live mid-batch), so the table may transiently
+        exceed ``max_entries`` by the batch's unique-class count.
         """
         corpus = exprs if isinstance(exprs, list) else list(exprs)
         planned = plan_corpus_engine(engine, corpus) if corpus else engine
         if (
             corpus
             and self._arena_intern_ok
-            and self.max_entries is None
             and engine_family(planned) == "arena"
         ):
             from repro.store.arena_intern import intern_corpus_arena
@@ -591,13 +639,17 @@ class ExprStore:
         while len(self._entries) > self.max_entries:
             victim = None
             for node_id, entry in self._entries.items():
-                if entry.refcount == 0 and node_id != protect:
+                if (
+                    entry.refcount == 0
+                    and node_id != protect
+                    and node_id not in self._pinned
+                ):
                     victim = node_id
                     break
             if victim is None:
-                # Every remaining entry is either the protected fresh root
-                # or referenced by a live parent; the table cannot shrink
-                # further without breaking child links.
+                # Every remaining entry is either the protected fresh root,
+                # pinned by a session, or referenced by a live parent; the
+                # table cannot shrink further without breaking child links.
                 break
             entry = self._entries.pop(victim)
             del self._by_hash[entry.hash]

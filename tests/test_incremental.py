@@ -153,3 +153,54 @@ class TestInteractionWithLets:
         hasher = IncrementalHasher(e)
         hasher.replace((1,), parse("w + w + w"))
         assert_matches_batch(hasher)
+
+
+class TestBoundedStoreEviction:
+    """Regression guards for bounded stores feeding the hasher.
+
+    A memo- or LRU-bounded :class:`~repro.store.ExprStore` evicts
+    entries at will between edits; the incremental rehash path must
+    fall back to recomputing evicted hashes -- never raise, never
+    drift from the from-scratch result.
+    """
+
+    def test_memo_flush_between_replaces_recomputes(self):
+        from repro.store import ExprStore
+
+        from repro.gen.random_exprs import alpha_rename
+
+        store = ExprStore(memo_limit=32)
+        e = random_expr(300, seed=11, shape="balanced")
+        hasher = IncrementalHasher(e, store=store)
+        rng = random.Random(12)
+        for index in range(12):
+            paths = [p for p, _n in preorder_with_paths(hasher.expr)]
+            path = rng.choice(paths)
+            repl = alpha_rename(random_expr(5, rng=rng), seed=1_000 + index)
+            store._memo.clear()  # wholesale memo eviction mid-stream
+            hasher.replace(path, repl)
+            assert_matches_batch(hasher)
+
+    def test_lru_churn_between_replaces_stays_bit_identical(self):
+        from repro.store import ExprStore
+
+        from repro.gen.random_exprs import alpha_rename
+
+        store = ExprStore(max_entries=8, memo_limit=16)
+        e = random_expr(200, seed=21, shape="balanced")
+        hasher = IncrementalHasher(e, store=store)
+        rng = random.Random(22)
+        for index in range(10):
+            # Foreign traffic cycles the tiny LRU several times over,
+            # evicting any class the hasher may have leaned on.
+            for extra in range(12):
+                store.intern(
+                    alpha_rename(
+                        random_expr(6, rng=rng), seed=9_000 + index * 100 + extra
+                    )
+                )
+            paths = [p for p, _n in preorder_with_paths(hasher.expr)]
+            path = rng.choice(paths)
+            repl = alpha_rename(random_expr(4, rng=rng), seed=2_000 + index)
+            hasher.replace(path, repl)
+            assert_matches_batch(hasher)
