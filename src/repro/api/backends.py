@@ -223,6 +223,7 @@ def load_entry_point_backends(refresh: bool = False) -> tuple[str, ...]:
             continue  # first registration (or a built-in) wins
         try:
             target = entry_point.load()
+        # repro-lint: allow[broad-except] reason=plugin isolation boundary; entry_point.load() runs third-party import code, and the contract is that one broken distribution is warned about (with the exception repr) and skipped, never allowed to take down the registry
         except Exception as exc:  # defensive: plugin code is untrusted
             warnings.warn(
                 f"repro.backends entry point {entry_point.name!r} failed to "

@@ -150,6 +150,7 @@ class AsyncExecutor:
 
         def job() -> list[int]:
             with self._session_lock:
+                # repro-lint: allow[lock-blocking,lock-cycle] reason=one job per session at a time is this lock's whole contract (the store's summary memo is the shared resource); inner is pinned to serial/pool on the line above, so the async executor can never re-enter itself
                 return inner.run(session, request, plan)
 
         return self._ensure().submit(job)
@@ -182,6 +183,7 @@ def register_executor(name: str, factory: Callable[[], Executor]) -> None:
     EXECUTORS[name] = factory
 
 
+# lint: returns SerialExecutor|PooledExecutor|AsyncExecutor
 def get_executor(name: str) -> Executor:
     """Build/fetch the executor registered under ``name``."""
     factory = EXECUTORS.get(name)

@@ -203,6 +203,7 @@ class Session:
         See :mod:`repro.api.plan` for the policy."""
         return self.planner.plan(self, request)
 
+    # repro-lint: allow[lock-blocking] reason=CPU-bound hashing/interning fan-out; a caller's service lock is what serializes the store mutation this performs, and no executor path touches a service lock of its own
     def execute(
         self, request: HashRequest, plan: Optional[ExecutionPlan] = None
     ) -> list[int]:

@@ -52,6 +52,16 @@ Utility commands work on expression files (surface syntax, see
                                             # failover + promotion, --budget
                                             # caps per-request failover time
                                             # (see repro.cluster)
+    python -m repro lint [--json]           # concurrency + determinism static
+                                            # analysis over the repro source
+                                            # tree: lock-order cycles, blocking
+                                            # calls under locks, guarded-by
+                                            # violations, nondeterministic
+                                            # iteration/encoding.  --witness
+                                            # cross-checks a runtime record
+                                            # from repro.testing.lockcheck,
+                                            # --baseline gates on new findings
+                                            # only (see repro.lint)
 """
 
 from __future__ import annotations
@@ -85,6 +95,7 @@ _UTILITIES = (
     "edit",
     "serve",
     "cluster",
+    "lint",
 )
 
 
@@ -137,6 +148,10 @@ def _run_utility(command: str, rest: Sequence[str]) -> int:
         from repro.cluster.coordinator import cluster
 
         return cluster(rest)
+    if command == "lint":
+        from repro.lint.runner import main as lint_main
+
+        return lint_main(rest)
 
     parser = argparse.ArgumentParser(prog=f"repro {command}")
     parser.add_argument("file", help="expression file, or - for stdin")

@@ -96,15 +96,15 @@ class _ShardNode:
         self.probe_client = probe_client
         self.role = role  # "primary" | "replica"
         #: Monotonic deadline before which the node is presumed down.
-        self.down_until = 0.0
+        self.down_until = 0.0  # guarded-by: ClusterCoordinator.lock
         #: When the current outage started (None while up).
-        self.down_since: Optional[float] = None
+        self.down_since: Optional[float] = None  # guarded-by: ClusterCoordinator.lock
         #: Earliest moment a touch may spend a health probe on this node.
-        self.next_probe_at = 0.0
-        self.last_error: Optional[str] = None
-        self.consecutive_failures = 0
+        self.next_probe_at = 0.0  # guarded-by: ClusterCoordinator.lock
+        self.last_error: Optional[str] = None  # guarded-by: ClusterCoordinator.lock
+        self.consecutive_failures = 0  # guarded-by: ClusterCoordinator.lock
         #: Up->down transitions (circuit-breaker opens), monotone.
-        self.breaker_opens = 0
+        self.breaker_opens = 0  # guarded-by: ClusterCoordinator.lock
         #: Highest store version observed in any of this node's replies.
         self.version = 0
 
@@ -129,13 +129,13 @@ class _ShardGroup:
     def __init__(self, index: int, nodes: list[_ShardNode]):
         self.index = index
         self.nodes = nodes
-        self.active = 0
+        self.active = 0  # guarded-by: ClusterCoordinator.lock
         #: Highest version this coordinator has acknowledged a write at;
         #: the in-sync bar a replica must clear to be promotable.
-        self.acked_version = 0
+        self.acked_version = 0  # guarded-by: ClusterCoordinator.lock
         #: Reads served by a non-active node because the active failed.
-        self.failovers = 0
-        self.promotions = 0
+        self.failovers = 0  # guarded-by: ClusterCoordinator.lock
+        self.promotions = 0  # guarded-by: ClusterCoordinator.lock
 
     @property
     def active_node(self) -> _ShardNode:
@@ -351,13 +351,13 @@ class ClusterCoordinator:
         #: the candidate pool for ownership-free work (hashing).
         self.nodes = [node for group in self.groups for node in group.nodes]
         self.lock = threading.Lock()
-        self.requests_served = 0
+        self.requests_served = 0  # guarded-by: lock
         #: sid -> node hosting that streaming session (sticky: the
         #: annotation trees live in that node's process).
-        self.session_routes: dict[str, _ShardNode] = {}
-        self._session_rr = 0
+        self.session_routes: dict[str, _ShardNode] = {}  # guarded-by: lock
+        self._session_rr = 0  # guarded-by: lock
         #: Sessions dropped because their node died or expired them.
-        self.sessions_lost = 0
+        self.sessions_lost = 0  # guarded-by: lock
         self.started_at = time.monotonic()
         self._pool = ThreadPoolExecutor(
             max_workers=max(4, 2 * len(self.nodes)),

@@ -188,7 +188,7 @@ def to_wire(expr: Expr) -> dict:
 
 def dumps(expr: Expr) -> str:
     """Serialise ``expr`` to a JSON string (see :func:`to_wire`)."""
-    return json.dumps(to_wire(expr), separators=(",", ":"))
+    return json.dumps(to_wire(expr), separators=(",", ":"), sort_keys=True)
 
 
 def from_wire(payload: Any) -> Expr:

@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` == ``repro lint``."""
+
+import sys
+
+from repro.lint.runner import main
+
+sys.exit(main())

@@ -1,0 +1,232 @@
+"""Determinism analysis: bit-identity is a *discipline*, not a test.
+
+Every hash the repo produces must be a pure function of the corpus,
+and every byte it puts on the wire must be a pure function of the
+store state.  These rules flag the ways Python lets that property rot
+silently:
+
+* ``det-set-iter`` -- iterating an unordered ``set``/``frozenset`` in
+  a kernel or wire module.  Set order varies run-to-run under hash
+  randomization; anything derived from it (hash input, encoded bytes,
+  even a tie-broken choice) diverges.  Wrap the iteration in
+  ``sorted()``.
+* ``det-popitem`` -- ``dict.popitem()`` pops the *last inserted* item
+  only as a CPython detail; name the key you mean.
+* ``det-time-random`` -- ``time.*`` / ``random.*`` anywhere in kernel
+  modules (``core/``, ``store/``).  Jitter, eviction clocks and
+  seeded noise belong in the service/testing layers, never where
+  hashes are computed.
+* ``wire-dict-order`` -- ``json.dumps`` without ``sort_keys=True`` in
+  a wire module: encoded frames are checksummed and diffed across
+  nodes, so their bytes must not depend on dict insertion order.
+* ``broad-except`` -- ``except:`` / ``except Exception`` /
+  ``except BaseException`` that neither re-raises nor carries a
+  pragma.  A swallowed fault in this codebase usually means a wrong
+  answer served with a 200.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.model import ModuleInfo
+
+#: path prefixes (relative to the source root) of kernel modules:
+#: hashes are computed here, nothing wall-clock or random may intrude.
+KERNEL_PREFIXES = ("repro/core/", "repro/store/", "repro/lang/")
+
+#: wire modules: bytes produced here cross process boundaries and get
+#: checksummed, so encoding must be canonical.
+WIRE_PREFIXES = ("repro/service/", "repro/cluster/")
+WIRE_FILES = (
+    "repro/lang/sexpr.py",
+    "repro/store/snapshot.py",
+    "repro/store/journal.py",
+    "repro/api/remote.py",
+)
+
+
+def _is_kernel(path: str) -> bool:
+    return path.startswith(KERNEL_PREFIXES)
+
+
+def _is_wire(path: str) -> bool:
+    return path.startswith(WIRE_PREFIXES) or path in WIRE_FILES
+
+
+def _qualname_at(mod: ModuleInfo, line: int) -> str:
+    best = ""
+    for fn in mod.all_funcs():
+        if fn.lineno <= line <= fn.end_lineno:
+            best = fn.qualname
+    return best
+
+
+def _is_setish(expr: ast.AST, local_sets: set) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        if expr.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(expr, ast.Name) and expr.id in local_sets:
+        return True
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.BitOr, ast.BitAnd, ast.Sub)
+    ):
+        return _is_setish(expr.left, local_sets) or _is_setish(
+            expr.right, local_sets
+        )
+    return False
+
+
+def _local_set_vars(root: ast.AST) -> set:
+    """Names assigned a set literal/comprehension/constructor."""
+    out = set()
+    for node in ast.walk(root):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and _is_setish(node.value, out):
+                out.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            ann = node.annotation
+            name = None
+            if isinstance(ann, ast.Name):
+                name = ann.id
+            elif isinstance(ann, ast.Subscript) and isinstance(ann.value, ast.Name):
+                name = ann.value.id
+            if name in ("set", "frozenset"):
+                out.add(node.target.id)
+    return out
+
+
+def check_module(mod: ModuleInfo) -> list[Finding]:
+    findings: list[Finding] = []
+    path = mod.path
+    kernel = _is_kernel(path)
+    wire = _is_wire(path)
+
+    def add(rule: str, line: int, message: str) -> None:
+        findings.append(
+            Finding(
+                rule=rule,
+                path=path,
+                line=line,
+                message=message,
+                context=_qualname_at(mod, line),
+            )
+        )
+
+    local_sets = _local_set_vars(mod.tree)
+    time_random_aliases = {
+        alias
+        for alias, src in mod.imported_names.items()
+        if src in ("time", "random")
+    }
+
+    for node in ast.walk(mod.tree):
+        # -- set iteration ---------------------------------------------------
+        if (kernel or wire) and isinstance(node, ast.For):
+            if _is_setish(node.iter, local_sets):
+                add(
+                    "det-set-iter",
+                    node.iter.lineno,
+                    "iteration over an unordered set; wrap in sorted()",
+                )
+        if (kernel or wire) and isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for gen in node.generators:
+                if _is_setish(gen.iter, local_sets):
+                    add(
+                        "det-set-iter",
+                        gen.iter.lineno,
+                        "comprehension over an unordered set; wrap in sorted()",
+                    )
+        # -- popitem ---------------------------------------------------------
+        if (kernel or wire) and isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "popitem"
+            ):
+                add(
+                    "det-popitem",
+                    node.lineno,
+                    "dict.popitem() pops in insertion order only by "
+                    "implementation accident",
+                )
+        # -- time/random in kernels ------------------------------------------
+        if kernel and isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id in ("time", "random")
+                and mod.imported_names.get(node.value.id) == node.value.id
+            ):
+                add(
+                    "det-time-random",
+                    node.lineno,
+                    f"{node.value.id}.{node.attr} in a kernel module",
+                )
+        if kernel and isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in time_random_aliases
+            ):
+                add(
+                    "det-time-random",
+                    node.lineno,
+                    f"{node.func.id}() (from "
+                    f"{mod.imported_names[node.func.id]}) in a kernel module",
+                )
+        # -- wire encoding ---------------------------------------------------
+        if wire and isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "dumps"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "json"
+            ):
+                sort_keys = any(
+                    kw.arg == "sort_keys"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in node.keywords
+                )
+                if not sort_keys:
+                    add(
+                        "wire-dict-order",
+                        node.lineno,
+                        "json.dumps without sort_keys=True in a wire module",
+                    )
+        # -- broad except ----------------------------------------------------
+        if isinstance(node, ast.ExceptHandler):
+            broad = node.type is None
+            if isinstance(node.type, ast.Name):
+                broad = node.type.id in ("Exception", "BaseException")
+            elif isinstance(node.type, ast.Tuple):
+                broad = any(
+                    isinstance(e, ast.Name)
+                    and e.id in ("Exception", "BaseException")
+                    for e in node.type.elts
+                )
+            if broad:
+                reraises = any(
+                    isinstance(sub, ast.Raise) and sub.exc is None
+                    for sub in ast.walk(node)
+                )
+                if not reraises:
+                    what = "bare except" if node.type is None else (
+                        "except "
+                        + (
+                            node.type.id
+                            if isinstance(node.type, ast.Name)
+                            else "(...)"
+                        )
+                    )
+                    add(
+                        "broad-except",
+                        node.lineno,
+                        f"{what} swallows without re-raising",
+                    )
+    return findings

@@ -1,0 +1,333 @@
+"""Drive the analyzers over a source tree; the `repro lint` CLI.
+
+Exit codes are CLI-conventional: 0 clean, 1 findings, 2 internal
+error.  ``--json`` writes the full machine-readable report (findings,
+suppressions, the lock-order graph, witness staleness) to stdout;
+``--baseline`` subtracts a previously recorded set of fingerprints so
+a legacy tree can be gated on *new* findings only; ``--witness``
+cross-checks a runtime lock-order record produced by
+``repro.testing.lockcheck`` against the static graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+
+from repro.lint import determinism
+from repro.lint.findings import RULES, Finding, fingerprint
+from repro.lint.locks import LockAnalysis
+from repro.lint.model import Index, ModuleInfo, collect_module
+
+BASELINE_FORMAT = "repro-lint-baseline-v1"
+WITNESS_FORMAT = "repro-lockcheck-v1"
+
+
+@dataclass
+class AnalysisResult:
+    findings: list = field(default_factory=list)
+    suppressed: list = field(default_factory=list)
+    stale_edges: list = field(default_factory=list)  # [(a, b), ...]
+    site_table: dict = field(default_factory=dict)  # (path, line) -> label
+    edges: dict = field(default_factory=dict)  # (a, b) -> (path, line, ctx)
+    modules: dict = field(default_factory=dict)  # path -> ModuleInfo
+    files: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "stale_edges": [list(e) for e in sorted(self.stale_edges)],
+            "lock_graph": {
+                "sites": {
+                    f"{path}:{line}": label
+                    for (path, line), label in sorted(self.site_table.items())
+                },
+                "edges": [
+                    {"from": a, "to": b, "path": path, "line": line}
+                    for (a, b), (path, line, _ctx) in sorted(self.edges.items())
+                ],
+            },
+            "summary": {
+                "files": self.files,
+                "findings": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "stale_edges": len(self.stale_edges),
+            },
+        }
+
+
+def default_root() -> str:
+    """The source root: the directory holding the ``repro`` package."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _iter_sources(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames if d not in ("__pycache__", ".git")
+        )
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                full = os.path.join(dirpath, name)
+                rel = os.path.relpath(full, root).replace(os.sep, "/")
+                yield full, rel
+
+
+def _function_allow(mod: ModuleInfo, line: int, rule: str):
+    """Innermost function whose def-line pragma covers (line, rule)."""
+    best = None
+    for fn in mod.all_funcs():
+        if fn.lineno <= line <= fn.end_lineno:
+            allow = fn.allows_rule(rule)
+            if allow is not None and (best is None or fn.lineno > best[0]):
+                best = (fn.lineno, allow)
+    return best[1] if best else None
+
+
+def analyze(root: str, witness: dict = None) -> AnalysisResult:
+    index = Index()
+    result = AnalysisResult()
+    for full, rel in _iter_sources(root):
+        with open(full, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        modname = rel[:-3].replace("/", ".")
+        if modname.endswith(".__init__"):
+            modname = modname[: -len(".__init__")]
+        mod = collect_module(rel, modname, source)
+        index.add(mod)
+        result.modules[rel] = mod
+        result.files += 1
+
+    locks = LockAnalysis(index)
+    locks.run()
+    result.site_table = locks.site_table
+    result.edges = locks.edges
+
+    raw: list[Finding] = list(locks.findings)
+    for mod in index.modules.values():
+        raw.extend(determinism.check_module(mod))
+        for allow in mod.pragmas.all_allows:
+            if not allow.reason:
+                raw.append(
+                    Finding(
+                        rule="pragma-reason",
+                        path=mod.path,
+                        line=allow.line,
+                        message=(
+                            "allow["
+                            + ",".join(sorted(allow.rules))
+                            + "] pragma without a reason="
+                        ),
+                    )
+                )
+
+    if witness is not None:
+        raw.extend(_cross_check(witness, result))
+
+    for finding in sorted(raw, key=lambda f: (f.path, f.line, f.rule)):
+        mod = result.modules.get(finding.path)
+        allow = None
+        if mod is not None and finding.rule != "pragma-reason":
+            for candidate in mod.pragmas.allows_at(finding.line):
+                if finding.rule in candidate.rules:
+                    allow = candidate
+                    break
+            if allow is None:
+                allow = _function_allow(mod, finding.line, finding.rule)
+        if allow is not None:
+            allow.used = True
+            result.suppressed.append(
+                dataclasses.replace(
+                    finding, suppressed=allow.reason or "(no reason given)"
+                )
+            )
+        else:
+            result.findings.append(finding)
+    return result
+
+
+def _cross_check(witness: dict, result: AnalysisResult) -> list[Finding]:
+    """Observed runtime lock behaviour vs. the static graph.
+
+    An observed acquisition at a site the static table cannot label, or
+    an observed edge missing from the static graph, is an analyzer gap
+    -- a hard finding.  Static edges never observed are reported as
+    stale (informational: over-approximation is the analyzer's job).
+    """
+    findings: list[Finding] = []
+
+    def qual_at(path: str, line: int) -> str:
+        mod = result.modules.get(path)
+        if mod is None:
+            return ""
+        best = ""
+        for fn in mod.all_funcs():
+            if fn.lineno <= line <= fn.end_lineno:
+                best = fn.qualname
+        return best
+
+    sites = [tuple(s) for s in witness.get("sites", ())]
+    for path, line in sorted(set(sites)):
+        if (path, line) not in result.site_table:
+            findings.append(
+                Finding(
+                    rule="witness-gap-site",
+                    path=path,
+                    line=line,
+                    message=(
+                        "runtime witnessed a lock acquisition here that "
+                        "the static analyzer has no label for"
+                    ),
+                    context=qual_at(path, line),
+                )
+            )
+
+    observed_label_edges = set()
+    for edge in witness.get("edges", ()):
+        (pa, la), (pb, lb) = (tuple(edge[0]), tuple(edge[1]))
+        label_a = result.site_table.get((pa, la))
+        label_b = result.site_table.get((pb, lb))
+        if label_a is None or label_b is None:
+            continue  # the gap-site finding above already covers it
+        observed_label_edges.add((label_a, label_b))
+        if (label_a, label_b) not in result.edges:
+            findings.append(
+                Finding(
+                    rule="witness-gap-edge",
+                    path=pb,
+                    line=lb,
+                    message=(
+                        f"runtime witnessed {label_a} -> {label_b} "
+                        f"(outer lock taken at {pa}:{la}); the static "
+                        "lock-order graph has no such edge"
+                    ),
+                    context=qual_at(pb, lb),
+                )
+            )
+    result.stale_edges = sorted(set(result.edges) - observed_label_edges)
+    return findings
+
+
+def _load_json(path: str, expected_format: str = None) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if expected_format and data.get("format") not in (None, expected_format):
+        raise ValueError(
+            f"{path}: format {data.get('format')!r}, expected {expected_format!r}"
+        )
+    return data
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "concurrency + determinism static analysis over the repro "
+            "source tree (exit 0 clean / 1 findings / 2 internal error)"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="source root to analyze (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings whose fingerprints appear in this baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--witness",
+        metavar="FILE",
+        help="cross-check a repro.testing.lockcheck witness record",
+    )
+    parser.add_argument(
+        "--rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        for rule in sorted(RULES):
+            print(f"{rule}: {RULES[rule]}")
+        return 0
+
+    try:
+        witness = None
+        if args.witness:
+            witness = _load_json(args.witness, WITNESS_FORMAT)
+        root = args.root or default_root()
+        result = analyze(root, witness=witness)
+
+        findings = result.findings
+        if args.baseline:
+            known = set(_load_json(args.baseline).get("fingerprints", ()))
+            findings = [f for f in findings if fingerprint(f) not in known]
+
+        if args.write_baseline:
+            with open(args.write_baseline, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {
+                        "format": BASELINE_FORMAT,
+                        "fingerprints": sorted(
+                            fingerprint(f) for f in result.findings
+                        ),
+                    },
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+                handle.write("\n")
+            print(
+                f"baseline: {len(result.findings)} finding(s) recorded to "
+                f"{args.write_baseline}"
+            )
+            return 0
+
+        if args.json:
+            report = result.as_dict()
+            report["findings"] = [f.as_dict() for f in findings]
+            report["summary"]["findings"] = len(findings)
+            json.dump(report, sys.stdout, indent=2, sort_keys=True)
+            sys.stdout.write("\n")
+        else:
+            for f in findings:
+                print(f.format())
+            if witness is not None and result.stale_edges:
+                print(
+                    f"note: {len(result.stale_edges)} static lock-order "
+                    "edge(s) were never observed at runtime (stale or "
+                    "over-approximate; informational)"
+                )
+            status = "clean" if not findings else f"{len(findings)} finding(s)"
+            print(
+                f"repro lint: {result.files} files, {status}, "
+                f"{len(result.suppressed)} suppressed by pragma"
+            )
+        return 1 if findings else 0
+    except BrokenPipeError:  # | head
+        return 0
+    # repro-lint: allow[broad-except] reason=CLI exit-code contract; any internal crash prints its traceback and maps to exit 2 so CI distinguishes "lint broke" from "lint found something"
+    except Exception:
+        import traceback
+
+        traceback.print_exc()
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

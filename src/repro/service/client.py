@@ -317,7 +317,9 @@ class ServiceClient:
         body = (
             None
             if payload is None
-            else json.dumps(payload, separators=(",", ":")).encode("utf-8")
+            else json.dumps(
+                payload, separators=(",", ":"), sort_keys=True
+            ).encode("utf-8")
         )
         _status, data, _ctype = self._request(method, path, body)
         return json.loads(data)

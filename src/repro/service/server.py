@@ -198,7 +198,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(exc.status, {"error": str(exc)})
         except (PlanError, ValueError, KeyError, TypeError) as exc:
             self._send_json(400, {"error": f"{type(exc).__name__}: {exc}"})
+        # repro-lint: allow[broad-except] reason=last-resort 500; the keep-alive handler thread must answer the client rather than die silently mid-exchange, and the fault is logged with method+path context before the response goes out
         except Exception as exc:  # pragma: no cover - defensive 500
+            self.log_error(
+                "unhandled %s while handling %s %s: %s",
+                type(exc).__name__,
+                self.command,
+                self.path,
+                exc,
+            )
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
 
     # -- routes ----------------------------------------------------------------
@@ -374,6 +382,7 @@ class _Handler(BaseHTTPRequestHandler):
             mapping = store.merge_store(uploaded)
             entries = len(store)
             service.journal_commit()
+        service.flush_checkpoint()
         service.count_request()
         self._send_json(
             200,
@@ -444,6 +453,7 @@ class _Handler(BaseHTTPRequestHandler):
             # the next successful append.
             service.journal_commit()
             version = store.version
+        service.flush_checkpoint()
         service.count_request()
         self._send_json(
             200,
@@ -469,6 +479,7 @@ class _Handler(BaseHTTPRequestHandler):
             # node: journal them before the ack, like any intern batch.
             if state.stream.intern_classes:
                 service.journal_commit()
+        service.flush_checkpoint()
         service.count_request()
         stream = state.stream
         self._send_json(
@@ -514,6 +525,7 @@ class _Handler(BaseHTTPRequestHandler):
                 service.journal_commit()
             store = service.session.store
             version = store.version if store is not None else None
+        service.flush_checkpoint()
         service.count_request()
         body = report.as_dict()
         body["session"] = state.sid
@@ -727,6 +739,10 @@ class ReproServer:
         self.poll_interval = poll_interval
         self.checkpoint_every = max(0, int(checkpoint_every))
         self._interns_since_checkpoint = 0
+        #: (snapshot bytes, covered version) encoded under ``self.lock``
+        #: by ``journal_commit``, written to disk outside the lock by
+        #: ``flush_checkpoint``.  # guarded-by: lock
+        self._pending_checkpoint: Optional[tuple[bytes, int]] = None
         self.journal: Optional[Journal] = (
             Journal(journal) if isinstance(journal, str) else journal
         )
@@ -745,10 +761,10 @@ class ReproServer:
         self.max_sessions = int(max_sessions)
         self.session_ttl = float(session_ttl)
         #: sid -> live streaming session; all access under ``self.lock``.
-        self.sessions: dict[str, _SessionState] = {}
+        self.sessions: dict[str, _SessionState] = {}  # guarded-by: lock
         #: Lifetime session counters; totals survive session close so
         #: /v1/metrics can report work already done, not just open state.
-        self.session_totals = {
+        self.session_totals = {  # guarded-by: lock
             "opened": 0,
             "closed": 0,
             "expired": 0,
@@ -760,7 +776,7 @@ class ReproServer:
         self.started_at = time.monotonic()
         #: Serialises store-touching work across handler threads.
         self.lock = threading.Lock()
-        self.requests_served = 0
+        self.requests_served = 0  # guarded-by: lock
         self._httpd = _TrackingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.service = self  # type: ignore[attr-defined]
@@ -800,8 +816,16 @@ class ReproServer:
             raise ValueError("this server does not follow a primary")
         return self._follower.sync_once()
 
-    def journal_commit(self) -> None:
-        """Append the un-journaled window; caller holds ``self.lock``."""
+    def journal_commit(self) -> None:  # holds-lock: lock
+        """Append the un-journaled window; caller holds ``self.lock``.
+
+        When a periodic checkpoint comes due, only the snapshot
+        *encode* happens here (it reads the store, so it needs the
+        lock); the disk write is deferred to ``flush_checkpoint``,
+        which the handler calls after releasing the lock.  Writing a
+        multi-megabyte snapshot with fsync under the service lock
+        would stall every other handler thread for the duration.
+        """
         if self.journal is None:
             return
         self.journal.append_delta(self.session.store)
@@ -809,7 +833,25 @@ class ReproServer:
             self._interns_since_checkpoint += 1
             if self._interns_since_checkpoint >= self.checkpoint_every:
                 self._interns_since_checkpoint = 0
-                self.journal.checkpoint(self.session.store)
+                self._pending_checkpoint = (
+                    self.journal.encode_checkpoint(self.session.store),
+                    self.session.store.version,
+                )
+
+    def flush_checkpoint(self) -> Optional[dict]:
+        """Write any checkpoint ``journal_commit`` deferred; lock-free I/O.
+
+        Returns the journal GC report, or ``None`` if nothing was
+        pending.  Crash-safe at every interleaving: the pending bytes
+        are a prefix of the already-fsync'd journal, so losing them
+        merely means the next recovery replays a few more frames.
+        """
+        with self.lock:
+            pending, self._pending_checkpoint = self._pending_checkpoint, None
+        if pending is None or self.journal is None:
+            return None
+        data, covered_version = pending
+        return self.journal.write_checkpoint(data, covered_version)
 
     def count_request(self) -> None:
         with self.lock:
@@ -817,7 +859,7 @@ class ReproServer:
 
     # -- streaming session registry (all methods: caller holds self.lock) ------
 
-    def _sweep_sessions(self) -> None:
+    def _sweep_sessions(self) -> None:  # holds-lock: lock
         """Expire sessions idle past their TTL (unpins their classes)."""
         now = time.monotonic()
         expired = [
@@ -829,7 +871,7 @@ class ReproServer:
             self.sessions.pop(sid).stream.close()
             self.session_totals["expired"] += 1
 
-    def open_session(self, corpus, hints, ttl) -> _SessionState:
+    def open_session(self, corpus, hints, ttl) -> _SessionState:  # holds-lock: lock
         self._sweep_sessions()
         if len(self.sessions) >= self.max_sessions:
             self.session_totals["rejected"] += 1
@@ -861,7 +903,7 @@ class ReproServer:
         self.session_totals["opened"] += 1
         return state
 
-    def get_session(self, sid) -> _SessionState:
+    def get_session(self, sid) -> _SessionState:  # holds-lock: lock
         self._sweep_sessions()
         state = self.sessions.get(sid) if isinstance(sid, str) else None
         if state is None:
@@ -871,20 +913,20 @@ class ReproServer:
         state.last_used = time.monotonic()
         return state
 
-    def note_edit(self, state: _SessionState, report) -> None:
+    def note_edit(self, state: _SessionState, report) -> None:  # holds-lock: lock
         totals = self.session_totals
         totals["edits"] += 1
         totals["nodes_rehashed"] += report.nodes_rehashed
         totals["corpus_nodes_edited"] += state.stream.corpus_nodes
 
-    def close_session(self, sid) -> dict:
+    def close_session(self, sid) -> dict:  # holds-lock: lock
         state = self.get_session(sid)
         del self.sessions[sid]
         state.stream.close()
         self.session_totals["closed"] += 1
         return {"closed": True, "session": state.sid, "edits": state.stream.edits}
 
-    def session_metrics(self) -> dict:
+    def session_metrics(self) -> dict:  # holds-lock: lock
         """The ``sessions`` block of ``/v1/metrics``.
 
         ``rehash_ratio`` is total nodes rehashed over the corpus nodes
@@ -972,6 +1014,9 @@ class ReproServer:
             for state in self.sessions.values():
                 state.stream.close()
             self.sessions.clear()
+        # A checkpoint that came due on the very last request would
+        # otherwise be lost to the deferred-write scheme.
+        self.flush_checkpoint()
         if self.journal is not None:
             self.journal.close()
         if self._owns_session:

@@ -214,6 +214,7 @@ class Journal:
         self._size = self._handle.tell()
         _fsync_dir(self.directory)
 
+    # repro-lint: allow[lock-blocking] reason=fsync-before-ack: callers hold the service lock across the append on purpose; the client ack must not outrun the durable journal write, or a crash acks data that was never persisted
     def append_bytes(self, payload: bytes) -> dict:
         """Append one already-encoded delta document as a frame.
 
@@ -372,10 +373,36 @@ class Journal:
         the checkpoint leaves the previous one intact; segments fully
         covered by the new snapshot's version are removed.  Returns the
         GC report.
+
+        This is ``encode_checkpoint`` + ``write_checkpoint`` in one
+        call; services that serialize store access with a lock should
+        use the two halves so only the *encode* (which reads the store)
+        runs under the lock, keeping snapshot disk I/O off the hot path.
+        """
+        data = self.encode_checkpoint(store, meta=meta)
+        return self.write_checkpoint(data, store.version)
+
+    def encode_checkpoint(
+        self, store: "ExprStore", meta: Optional[dict] = None
+    ) -> bytes:
+        """Encode a checkpoint snapshot of the store; no disk I/O.
+
+        Safe (and intended) to call while holding whatever lock
+        guarantees store consistency.
         """
         meta = dict(meta or {})
         meta.setdefault("journal_checkpoint", True)
-        data = snapshot_to_bytes(store, meta=meta)
+        return snapshot_to_bytes(store, meta=meta)
+
+    def write_checkpoint(self, data: bytes, covered_version: int) -> dict:
+        """Persist pre-encoded checkpoint bytes atomically, then GC.
+
+        The store is not touched: the bytes and the version they cover
+        were fixed by ``encode_checkpoint``, so this may run outside
+        the store lock -- a checkpoint is only ever a prefix of the
+        fsync'd journal, so a concurrent intern landing between encode
+        and write is replayed from the surviving segments on recovery.
+        """
         tmp = self.checkpoint_path + ".tmp"
         with open(tmp, "wb") as handle:
             handle.write(data)
@@ -384,7 +411,7 @@ class Journal:
                 os.fsync(handle.fileno())
         os.replace(tmp, self.checkpoint_path)
         _fsync_dir(self.directory)
-        return self.gc(store.version)
+        return self.gc(covered_version)
 
     def _segment_last_version(self, path: str, is_last: bool) -> Optional[int]:
         payloads, _torn = self._read_frames(path, tolerate_torn_tail=is_last)

@@ -169,12 +169,12 @@ def _hash_span(
 # which compete for the same CPUs anyway.
 
 _FORK_PUBLISH_LOCK = threading.Lock()
-_FORK_EXPRS: Optional[Sequence[Expr]] = None
-_FORK_ARENA: Optional[ExprArena] = None
-_FORK_AROOTS: Optional[list] = None
-_FORK_BITS = 64
-_FORK_SEED: Optional[int] = None
-_FORK_KERNEL = "scalar"
+_FORK_EXPRS: Optional[Sequence[Expr]] = None  # guarded-by: _FORK_PUBLISH_LOCK
+_FORK_ARENA: Optional[ExprArena] = None  # guarded-by: _FORK_PUBLISH_LOCK
+_FORK_AROOTS: Optional[list] = None  # guarded-by: _FORK_PUBLISH_LOCK
+_FORK_BITS = 64  # guarded-by: _FORK_PUBLISH_LOCK
+_FORK_SEED: Optional[int] = None  # guarded-by: _FORK_PUBLISH_LOCK
+_FORK_KERNEL = "scalar"  # guarded-by: _FORK_PUBLISH_LOCK
 
 
 def _fork_hash_range(span: tuple[int, int]) -> tuple[list[int], dict[str, int]]:
@@ -488,6 +488,7 @@ def _parallel_hash_arena(
                 _FORK_KERNEL = kernel
                 try:
                     with context.Pool(processes=n_procs) as procs:
+                        # repro-lint: allow[lock-blocking] reason=publish-to-fork window; the arena globals must stay pinned for the pool's whole lifetime so late-forking workers inherit them
                         span_results = procs.map(_fork_arena_range, spans)
                 finally:
                     _FORK_ARENA = None
@@ -637,6 +638,7 @@ def _run_process_chunks(todo, spans, combiners, n_workers, mode="process"):
             _FORK_SEED = combiners.seed
             try:
                 with context.Pool(processes=n_procs) as pool:
+                    # repro-lint: allow[lock-blocking] reason=publish-to-fork window; the globals must stay pinned for the pool's whole lifetime so late-forking workers inherit them, and serializing overlapping fan-outs is the lock's entire job
                     return pool.map(_fork_hash_range, spans)
             finally:
                 _FORK_EXPRS = None
@@ -692,6 +694,7 @@ def parallel_intern_corpus(
         _FORK_SEED = store.combiners.seed
         try:
             with context.Pool(processes=min(n_workers, len(spans))) as pool:
+                # repro-lint: allow[lock-blocking] reason=publish-to-fork window; the corpus global must stay pinned until every worker has forked, and overlapping corpus-wide interns are meant to serialize here
                 results = pool.map(_fork_intern_range, spans)
         finally:
             _FORK_EXPRS = None

@@ -81,11 +81,11 @@ class _Shard:
         self.index = index
         self.lock = threading.Lock()
         #: node_id -> entry, LRU order (oldest first).
-        self.entries: "OrderedDict[int, StoreEntry]" = OrderedDict()
+        self.entries: "OrderedDict[int, StoreEntry]" = OrderedDict()  # guarded-by: lock
         #: alpha-hash -> node_id (hashes owned by this shard only).
-        self.by_hash: dict[int, int] = {}
-        self.stats = StoreStats()
-        self.next_local = 0
+        self.by_hash: dict[int, int] = {}  # guarded-by: lock
+        self.stats = StoreStats()  # guarded-by: lock
+        self.next_local = 0  # guarded-by: lock
 
 
 class ShardedExprStore(ExprStore):

@@ -2,9 +2,13 @@
 
 Currently: seeded fault injection (:mod:`repro.testing.faults`) --
 schedules, a TCP fault proxy, and a process reaper -- used by
-``benchmarks/chaos_smoke.py`` and ``tests/test_faults.py``.
+``benchmarks/chaos_smoke.py`` and ``tests/test_faults.py``; and the
+runtime lock-order witness (:mod:`repro.testing.lockcheck`) that
+records observed lock acquisitions during test runs for
+``repro lint --witness`` to audit the static lock-order graph against.
 """
 
+from repro.testing import lockcheck
 from repro.testing.faults import (
     Fault,
     FaultSchedule,
@@ -12,4 +16,10 @@ from repro.testing.faults import (
     ProcessReaper,
 )
 
-__all__ = ["Fault", "FaultSchedule", "FaultyProxy", "ProcessReaper"]
+__all__ = [
+    "Fault",
+    "FaultSchedule",
+    "FaultyProxy",
+    "ProcessReaper",
+    "lockcheck",
+]

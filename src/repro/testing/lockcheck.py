@@ -1,0 +1,243 @@
+"""Runtime lock-order witness for the static analyzer (`repro lint`).
+
+:func:`install` monkeypatches :func:`threading.Lock` and
+:func:`threading.RLock` so that every lock *created by repro code* is
+wrapped in a recorder.  While installed, each acquisition is attributed
+to its source site -- the ``with`` statement's ``(path, line)`` inside
+the ``repro`` package -- and every nested acquisition contributes an
+observed ordering edge ``(outer site, inner site)`` per thread.
+
+The record is the ground truth the static lock analysis is audited
+against (``repro lint --witness``):
+
+* an observed site the analyzer has no label for, or an observed edge
+  missing from the static lock-order graph, means the analyzer under-
+  approximates -- a hard CI failure (``witness-gap-site`` /
+  ``witness-gap-edge``);
+* a static edge never observed is merely reported as stale: over-
+  approximation is the analyzer's job, the witness only bounds it.
+
+Design notes:
+
+* Only lock *creation* sites under the repro package are wrapped, so
+  pytest's, hypothesis' and the stdlib's own locks stay untouched and
+  the overhead lands only where the analyzer looks.
+* RLock reentry by the owning thread is counted but not re-recorded:
+  reacquisition is not a nesting event, and the static graph likewise
+  keeps RLock self-edges out of its cycle findings.
+* The recorder's own bookkeeping uses a *real* lock captured before
+  patching, so witnessing cannot recurse into itself.
+* Acquisitions on threads with no repro frame on the stack (stdlib
+  worker internals) are unattributable and skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+from typing import Optional
+
+FORMAT = "repro-lockcheck-v1"
+
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+_THIS_FILE = os.path.abspath(__file__)
+
+
+def _package_root() -> str:
+    """Parent of the ``repro`` package: site paths are relative to it,
+    matching the static analyzer's ``default_root``."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+class _Recorder:
+    """Shared observation state; one per :func:`install`."""
+
+    def __init__(self) -> None:
+        self.root = _package_root()
+        self.sites: set = set()  # {(path, line)}
+        self.edges: set = set()  # {((path, line), (path, line))}
+        self.mutex = _REAL_LOCK()
+        self.tls = threading.local()
+
+    def held_stack(self) -> list:
+        stack = getattr(self.tls, "stack", None)
+        if stack is None:
+            stack = self.tls.stack = []
+        return stack
+
+    def site_of_caller(self) -> Optional[tuple]:
+        """The innermost non-lockcheck frame inside the repro package."""
+        frame = sys._getframe(2)
+        while frame is not None:
+            fname = frame.f_code.co_filename
+            if fname != _THIS_FILE:
+                rel = os.path.relpath(os.path.abspath(fname), self.root)
+                rel = rel.replace(os.sep, "/")
+                if rel.startswith("repro/"):
+                    return (rel, frame.f_lineno)
+                if not rel.startswith(".."):
+                    # inside the source root but outside the package
+                    # (tests driving locks directly): unattributable.
+                    return None
+            frame = frame.f_back
+        return None
+
+    def note_acquired(self, lock: "_WitnessLock") -> None:
+        site = self.site_of_caller()
+        stack = self.held_stack()
+        if site is not None:
+            with self.mutex:
+                self.sites.add(site)
+                for held_site, _held_lock in stack:
+                    self.edges.add((held_site, site))
+        # Push even an unattributable hold so release stays balanced.
+        stack.append((site, lock))
+
+    def note_released(self, lock: "_WitnessLock") -> None:
+        stack = self.held_stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][1] is lock:
+                del stack[i]
+                return
+
+    def as_dict(self) -> dict:
+        with self.mutex:
+            return {
+                "format": FORMAT,
+                "sites": [list(s) for s in sorted(self.sites)],
+                "edges": [
+                    [list(a), list(b)] for a, b in sorted(self.edges)
+                ],
+            }
+
+
+class _WitnessLock:
+    """Wraps one Lock/RLock created by repro code."""
+
+    def __init__(self, recorder: _Recorder, reentrant: bool):
+        self._recorder = recorder
+        self._reentrant = reentrant
+        self._lock = _REAL_RLOCK() if reentrant else _REAL_LOCK()
+        self._owner: Optional[int] = None
+        self._count = 0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        me = threading.get_ident()
+        if self._reentrant and self._owner == me:
+            self._lock.acquire()
+            self._count += 1
+            return True
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            if self._reentrant:
+                self._owner = me
+                self._count = 1
+            self._recorder.note_acquired(self)
+        return got
+
+    def release(self) -> None:
+        if self._reentrant and self._owner == threading.get_ident():
+            self._count -= 1
+            if self._count == 0:
+                self._owner = None
+                self._recorder.note_released(self)
+        else:
+            self._recorder.note_released(self)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        kind = "RLock" if self._reentrant else "Lock"
+        return f"<witness {kind} {self._lock!r}>"
+
+
+_installed: Optional[_Recorder] = None
+_depth = 0
+
+
+def _from_repro(root: str) -> bool:
+    """Was the patched factory called from repro code?"""
+    frame = sys._getframe(2)
+    while frame is not None:
+        fname = frame.f_code.co_filename
+        if fname != _THIS_FILE:
+            rel = os.path.relpath(os.path.abspath(fname), root)
+            return rel.replace(os.sep, "/").startswith("repro/")
+        frame = frame.f_back
+    return False
+
+
+def install() -> _Recorder:
+    """Patch the lock factories.
+
+    Installs nest: a second :func:`install` (a witness test running
+    inside an already-witnessed pytest session) returns the live
+    recorder, and only the matching outermost :func:`uninstall`
+    restores the real factories.
+    """
+    global _installed, _depth
+    if _installed is not None:
+        _depth += 1
+        return _installed
+    recorder = _Recorder()
+
+    def make_lock():
+        if _from_repro(recorder.root):
+            return _WitnessLock(recorder, reentrant=False)
+        return _REAL_LOCK()
+
+    def make_rlock():
+        if _from_repro(recorder.root):
+            return _WitnessLock(recorder, reentrant=True)
+        return _REAL_RLOCK()
+
+    threading.Lock = make_lock
+    threading.RLock = make_rlock
+    _installed = recorder
+    _depth = 1
+    return recorder
+
+
+def uninstall() -> None:
+    """Undo one :func:`install`; the outermost restores the real
+    factories (already-wrapped locks keep working)."""
+    global _installed, _depth
+    if _installed is None:
+        return
+    _depth -= 1
+    if _depth > 0:
+        return
+    threading.Lock = _REAL_LOCK
+    threading.RLock = _REAL_RLOCK
+    _installed = None
+    _depth = 0
+
+
+def active() -> Optional[_Recorder]:
+    return _installed
+
+
+def dump(path: str, recorder: Optional[_Recorder] = None) -> dict:
+    """Write the witness record as ``repro-lockcheck-v1`` JSON."""
+    recorder = recorder or _installed
+    if recorder is None:
+        raise RuntimeError("lockcheck is not installed")
+    doc = recorder.as_dict()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return doc

@@ -2,10 +2,33 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 from hypothesis import HealthCheck, settings
 
 from repro.core.combiners import HashCombiners
+
+
+def pytest_configure(config):
+    """With ``REPRO_LOCKCHECK`` set, wrap every repro-created lock so
+    the run doubles as a lock-order witness for ``repro lint``."""
+    if os.environ.get("REPRO_LOCKCHECK"):
+        from repro.testing import lockcheck
+
+        lockcheck.install()
+
+
+def pytest_unconfigure(config):
+    if os.environ.get("REPRO_LOCKCHECK"):
+        from repro.testing import lockcheck
+
+        if lockcheck.active() is not None:
+            out = os.environ.get(
+                "REPRO_LOCKCHECK_OUT", "lockcheck-witness.json"
+            )
+            lockcheck.dump(out)
+            lockcheck.uninstall()
 
 # One moderate profile for CI; examples are deterministic via the
 # derandomize-by-default database behaviour of hypothesis under pytest.
