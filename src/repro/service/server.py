@@ -776,6 +776,16 @@ class ReproServer:
         self.started_at = time.monotonic()
         #: Serialises store-touching work across handler threads.
         self.lock = threading.Lock()
+        #: Serialises checkpoint disk writes across handler threads
+        #: (``flush_checkpoint``).  Taken only after ``self.lock`` is
+        #: released, never inside it, so checkpoint I/O still cannot
+        #: stall the hot path.
+        self._flush_lock = threading.Lock()
+        #: Highest covered version already written to the checkpoint
+        #: file; a flusher that stalled while a newer snapshot landed
+        #: (and GC'd the segments between them) must skip its write,
+        #: never replace the newer file.  # guarded-by: _flush_lock
+        self._flushed_checkpoint_version = 0
         self.requests_served = 0  # guarded-by: lock
         self._httpd = _TrackingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
@@ -838,20 +848,34 @@ class ReproServer:
                     self.session.store.version,
                 )
 
+    # repro-lint: allow[lock-blocking] reason=the flush lock exists to serialize checkpoint fsync+rename+GC among handler threads off the service lock; only concurrent flushers ever wait on it
     def flush_checkpoint(self) -> Optional[dict]:
-        """Write any checkpoint ``journal_commit`` deferred; lock-free I/O.
+        """Write any checkpoint ``journal_commit`` deferred; I/O off
+        the service lock.
 
         Returns the journal GC report, or ``None`` if nothing was
-        pending.  Crash-safe at every interleaving: the pending bytes
-        are a prefix of the already-fsync'd journal, so losing them
-        merely means the next recovery replays a few more frames.
+        pending (or a newer checkpoint already reached disk).  Crash-
+        safe at every interleaving: the pending bytes are a prefix of
+        the already-fsync'd journal, so losing them merely means the
+        next recovery replays a few more frames.  Concurrent flushers
+        are serialized by ``_flush_lock``, and version-ordered: a
+        flusher that swapped out checkpoint vN, stalled while another
+        wrote vM > N (whose GC dropped the segments covering (N, M]),
+        then woke up, must not ``os.replace`` the newer snapshot with
+        its stale one -- recovery would start from vN with the frames
+        to reach vM already deleted.
         """
         with self.lock:
             pending, self._pending_checkpoint = self._pending_checkpoint, None
         if pending is None or self.journal is None:
             return None
         data, covered_version = pending
-        return self.journal.write_checkpoint(data, covered_version)
+        with self._flush_lock:
+            if covered_version <= self._flushed_checkpoint_version:
+                return None
+            report = self.journal.write_checkpoint(data, covered_version)
+            self._flushed_checkpoint_version = covered_version
+            return report
 
     def count_request(self) -> None:
         with self.lock:

@@ -49,6 +49,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.store.snapshot import (
@@ -148,6 +149,16 @@ class Journal:
         #: replay() has verified (and possibly truncated) its tail.
         self._tail_verified = False
         self._closed = False
+        #: Guards the open-segment state (``_handle``/``_seq``/``_size``)
+        #: and segment-file scans.  Appends rotate segments while
+        #: :meth:`gc` lists, re-reads and unlinks them, and a service
+        #: deliberately runs checkpoint GC *off* the lock that
+        #: serializes its appends -- so the journal must not rely on
+        #: callers for that mutual exclusion.  The checkpoint body
+        #: write itself (the multi-megabyte fsync in
+        #: :meth:`write_checkpoint`) stays outside this mutex: it only
+        #: touches ``checkpoint.snap``, never the segment state.
+        self._mutex = threading.Lock()
 
     # -- directory layout ------------------------------------------------------
 
@@ -225,15 +236,16 @@ class Journal:
         if self._closed:
             raise JournalError("journal is closed")
         header = _delta_header(payload)
-        self._open_for_append()
-        self._rotate_if_needed()
-        frame = _frame_bytes(payload)
-        self._handle.write(frame)
-        self._handle.flush()
-        if self.fsync:
-            os.fsync(self._handle.fileno())
-        self._size += len(frame)
-        self.version = max(self.version, header["version"])
+        with self._mutex:
+            self._open_for_append()
+            self._rotate_if_needed()
+            frame = _frame_bytes(payload)
+            self._handle.write(frame)
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+            self._size += len(frame)
+            self.version = max(self.version, header["version"])
         return header
 
     def append_delta(self, store: "ExprStore", since: Optional[int] = None):
@@ -419,39 +431,46 @@ class Journal:
             return None
         return _delta_header(payloads[-1])["version"]
 
+    # repro-lint: allow[lock-blocking] reason=the segment scan and unlink must not interleave with append-side rotation; the mutex covers one directory fsync, never the checkpoint body write
     def gc(self, covered_version: int) -> dict:
         """Remove segments whose every frame is ``<= covered_version``.
 
         The open (current) segment is never removed.  Returns
-        ``{"removed": [paths], "kept": N}``.
+        ``{"removed": [paths], "kept": N}``.  Runs under the journal
+        mutex: a concurrent append may be rotating segments, and the
+        open-segment guard and last-version reads below must see a
+        settled layout.
         """
-        removed = []
-        paths = self.segments()
-        for index, path in enumerate(paths):
-            if self._handle is not None and self._seq_of(path) == self._seq:
-                break
-            last = self._segment_last_version(
-                path, is_last=index == len(paths) - 1
-            )
-            if last is not None and last > covered_version:
-                break
-            removed.append(path)
-        for path in removed:
-            os.remove(path)
-        if removed:
-            _fsync_dir(self.directory)
-        return {"removed": removed, "kept": len(paths) - len(removed)}
+        with self._mutex:
+            removed = []
+            paths = self.segments()
+            for index, path in enumerate(paths):
+                if self._handle is not None and self._seq_of(path) == self._seq:
+                    break
+                last = self._segment_last_version(
+                    path, is_last=index == len(paths) - 1
+                )
+                if last is not None and last > covered_version:
+                    break
+                removed.append(path)
+            for path in removed:
+                os.remove(path)
+            if removed:
+                _fsync_dir(self.directory)
+            return {"removed": removed, "kept": len(paths) - len(removed)}
 
     # -- lifecycle -------------------------------------------------------------
 
+    # repro-lint: allow[lock-blocking] reason=final flush+fsync at shutdown; holds the journal mutex so a late checkpoint GC cannot observe the handle mid-close
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.flush()
-            if self.fsync:
-                os.fsync(self._handle.fileno())
-            self._handle.close()
-            self._handle = None
-        self._closed = True
+        with self._mutex:
+            if self._handle is not None:
+                self._handle.flush()
+                if self.fsync:
+                    os.fsync(self._handle.fileno())
+                self._handle.close()
+                self._handle = None
+            self._closed = True
 
     def __enter__(self) -> "Journal":
         return self

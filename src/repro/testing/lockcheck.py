@@ -95,9 +95,17 @@ class _Recorder:
             with self.mutex:
                 self.sites.add(site)
                 for held_site, _held_lock in stack:
-                    self.edges.add((held_site, site))
+                    # Unattributable holds (repro locks driven directly
+                    # by test code) are on the stack for balance only;
+                    # they have no site to hang an edge on.
+                    if held_site is not None:
+                        self.edges.add((held_site, site))
         # Push even an unattributable hold so release stays balanced.
         stack.append((site, lock))
+        # Remember which thread's stack holds the entry: a plain Lock
+        # may legally be released from a different thread, and the
+        # stale entry must be removable from over there.
+        lock._holder_stack = stack
 
     def note_released(self, lock: "_WitnessLock") -> None:
         stack = self.held_stack()
@@ -105,6 +113,20 @@ class _Recorder:
             if stack[i][1] is lock:
                 del stack[i]
                 return
+        # Cross-thread release (acquire on thread A, release on thread
+        # B -- legal for threading.Lock): drop the hold from the
+        # acquiring thread's stack, or it would seed spurious witness
+        # edges (and grow) forever.  The recorder mutex serializes this
+        # removal against that thread's own edge scans; the owner only
+        # ever *appends* outside the mutex, which never shifts the
+        # indices scanned here.
+        other = getattr(lock, "_holder_stack", None)
+        if other is not None and other is not stack:
+            with self.mutex:
+                for i in range(len(other) - 1, -1, -1):
+                    if other[i][1] is lock:
+                        del other[i]
+                        return
 
     def as_dict(self) -> dict:
         with self.mutex:
@@ -142,7 +164,12 @@ class _WitnessLock:
         return got
 
     def release(self) -> None:
-        if self._reentrant and self._owner == threading.get_ident():
+        if self._reentrant:
+            if self._owner != threading.get_ident():
+                # Not the owner: the underlying RLock raises without
+                # touching any state, so the recorder must not either.
+                self._lock.release()
+                return
             self._count -= 1
             if self._count == 0:
                 self._owner = None
@@ -152,6 +179,10 @@ class _WitnessLock:
         self._lock.release()
 
     def locked(self) -> bool:
+        if self._reentrant:
+            # RLock only grew .locked() in Python 3.14; answer from the
+            # tracked owner state instead of delegating.
+            return self._count > 0
         return self._lock.locked()
 
     def __enter__(self) -> bool:

@@ -334,6 +334,110 @@ class TestCheckpointGC:
         Journal(directory, fsync=False).replay(recovered)
         assert recovered.version == store.version
 
+    def test_concurrent_appends_and_checkpoint_gc_stay_consistent(
+        self, tmp_path
+    ):
+        """Appends (with segment rotation) race checkpoint writes and
+        their GC on purpose: the journal's internal mutex must keep the
+        segment layout settled, and replay must still rebuild the exact
+        store."""
+        import threading
+
+        directory = str(tmp_path / "wal")
+        journal = Journal(directory, max_segment_bytes=1, fsync=False)
+        store = make_store()
+        # Plays the service lock: serializes appends and snapshot
+        # encodes, exactly like ReproServer does -- checkpoint *writes*
+        # deliberately run outside it.
+        lock = threading.Lock()
+        stop = threading.Event()
+        failures = []
+
+        def checkpointer():
+            try:
+                while not stop.is_set():
+                    with lock:
+                        data = journal.encode_checkpoint(store)
+                        version = store.version
+                    journal.write_checkpoint(data, version)
+            except Exception as exc:  # surfaces in the main thread
+                failures.append(exc)
+
+        thread = threading.Thread(target=checkpointer)
+        thread.start()
+        try:
+            for expr in corpus(40, seed=5):
+                with lock:
+                    store.intern(expr)
+                    journal.append_delta(store)
+        finally:
+            stop.set()
+            thread.join()
+        journal.close()
+        assert not failures, failures
+
+        from repro.api import Session
+
+        recovery = Journal(directory, fsync=False)
+        checkpoint_bytes = recovery.load_checkpoint_bytes()
+        assert checkpoint_bytes is not None
+        session = Session.from_snapshot_bytes(checkpoint_bytes)
+        recovery.replay(session.store)
+        assert session.store.version == store.version
+        assert content_checksum(session.store) == content_checksum(store)
+        session.close()
+
+
+class TestStaleCheckpointFlusher:
+    def test_stale_flusher_never_overwrites_newer_checkpoint(self, tmp_path):
+        """The lost-update interleaving: flusher A swaps out checkpoint
+        vN and stalls; flusher B swaps a later vM, writes it, and GC
+        drops the segments vM covers; A wakes up.  A's older snapshot
+        must be skipped, not ``os.replace``'d over B's -- recovery
+        would otherwise start from vN with the frames for (N, M]
+        already deleted."""
+        from repro.api import Session
+        from repro.service.server import ReproServer
+
+        directory = str(tmp_path / "wal")
+        server = ReproServer(port=0, journal=directory, checkpoint_every=1)
+        try:
+            store = server.session.store
+            items = corpus(8, seed=11)
+            with server.lock:
+                for expr in items[:4]:
+                    store.intern(expr)
+                server.journal_commit()
+                # Flusher A: swaps the pending checkpoint out, then
+                # stalls before writing it.
+                stale, server._pending_checkpoint = (
+                    server._pending_checkpoint,
+                    None,
+                )
+            assert stale is not None
+            # Flusher B: a later batch comes due and is fully flushed.
+            with server.lock:
+                for expr in items[4:]:
+                    store.intern(expr)
+                server.journal_commit()
+            assert server.flush_checkpoint() is not None
+            newer = server.journal.load_checkpoint_bytes()
+            # Flusher A wakes up and tries to write its older snapshot.
+            with server.lock:
+                server._pending_checkpoint = stale
+            assert server.flush_checkpoint() is None
+            assert server.journal.load_checkpoint_bytes() == newer
+            # Recovery from what is on disk reproduces the full store.
+            recovery = Journal(directory, fsync=False)
+            session = Session.from_snapshot_bytes(
+                recovery.load_checkpoint_bytes()
+            )
+            recovery.replay(session.store)
+            assert content_checksum(session.store) == content_checksum(store)
+            session.close()
+        finally:
+            server.close()
+
 
 class TestContentChecksum:
     def test_checksum_ignores_recency_and_stats(self):

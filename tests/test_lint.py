@@ -385,6 +385,48 @@ def test_witness_gap_site_is_detected():
     assert "witness-gap-site" in rules
 
 
+def test_witness_cross_thread_release_leaves_no_stale_hold():
+    # Legal for threading.Lock: acquire on one thread, release on
+    # another.  The acquirer's TLS stack must not keep the hold around
+    # seeding spurious witness edges (false CI witness-gap failures).
+    import threading
+
+    from repro.testing import lockcheck
+
+    recorder = lockcheck.install()
+    try:
+        lock = lockcheck._WitnessLock(recorder, reentrant=False)
+        lock.acquire()
+        stack = recorder.held_stack()
+        assert any(entry[1] is lock for entry in stack)
+        releaser = threading.Thread(target=lock.release)
+        releaser.start()
+        releaser.join()
+        assert not any(entry[1] is lock for entry in stack)
+        assert not lock.locked()
+    finally:
+        lockcheck.uninstall()
+
+
+def test_witness_rlock_locked_works_before_py314():
+    # RLock only grew .locked() in Python 3.14; the wrapper must answer
+    # from its own owner tracking instead of delegating.
+    from repro.testing import lockcheck
+
+    recorder = lockcheck.install()
+    try:
+        rlock = lockcheck._WitnessLock(recorder, reentrant=True)
+        assert rlock.locked() is False
+        with rlock:
+            assert rlock.locked() is True
+            with rlock:  # reentry keeps it held
+                assert rlock.locked() is True
+            assert rlock.locked() is True
+        assert rlock.locked() is False
+    finally:
+        lockcheck.uninstall()
+
+
 def test_witness_wraps_only_repro_locks():
     import threading
 
